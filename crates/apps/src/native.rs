@@ -1,0 +1,152 @@
+//! Native twins: the same work as the Wasm programs, written directly in
+//! Rust against the kernel model.
+//!
+//! These are the Fig. 8 baselines ("Native Execution Time" axis) and the
+//! payloads the container tier runs: no Wasm engine, no WALI translation —
+//! just the workload against the kernel.
+
+use vkernel::{Kernel, SysResult, Tid};
+use wali_abi::flags::{O_CREAT, O_RDWR};
+
+/// Outcome of a native twin run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeStats {
+    /// Syscalls issued.
+    pub syscalls: u64,
+    /// Abstract work units executed (matches the Wasm twin's op mix).
+    pub work: u64,
+}
+
+fn unwrap_sys<T>(r: SysResult<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("native twin syscall failed: {e:?}"),
+    }
+}
+
+/// Native `lua` twin: dispatch loop + heap growth + script I/O.
+pub fn lua_native(k: &mut Kernel, tid: Tid, scale: u32) -> NativeStats {
+    let mut stats = NativeStats::default();
+    let fd = unwrap_sys(k.sys_openat(tid, wali_abi::flags::AT_FDCWD, "/tmp/script.lua", O_CREAT | O_RDWR, 0o644));
+    stats.syscalls += 1;
+    let mut script = [0u8; 4096];
+    let n = unwrap_sys(k.sys_read(tid, fd, &mut script)) as usize;
+    let n = if n == 0 { 64 } else { n };
+    unwrap_sys(k.sys_close(tid, fd));
+    stats.syscalls += 2;
+
+    let mut acc = 0u64;
+    let mut i = 0u64;
+    for _round in 0..scale.max(1) {
+        for pc in 0..n {
+            let op = (script[pc] & 7) as u64;
+            if op == 4 && i % 64 == 0 {
+                // Heap growth beat (brk twin is pure bookkeeping here).
+                stats.syscalls += 2;
+            }
+            acc = (acc + 0x9e37_79b9 + op).wrapping_mul(31);
+            i += 1;
+            stats.work += 1;
+        }
+        stats.syscalls += 1; // clock_gettime beat
+        k.enter_syscall();
+    }
+    unwrap_sys(k.sys_write(tid, 1, b"lua: done\n"));
+    stats.syscalls += 1;
+    std::hint::black_box(acc);
+    stats
+}
+
+/// Native single-process `bash` twin (builtin loop).
+pub fn bash_native(k: &mut Kernel, tid: Tid, iterations: u32) -> NativeStats {
+    let mut stats = NativeStats::default();
+    let mut acc = 0u64;
+    for i in 0..iterations.max(1) as u64 {
+        acc = (acc + 0x5bd1_e995).wrapping_mul(33);
+        stats.work += 1;
+        if i % 256 == 0 {
+            unwrap_sys(k.sys_write(tid, 1, b"$ "));
+            let fd = unwrap_sys(k.sys_openat(
+                tid,
+                wali_abi::flags::AT_FDCWD,
+                "/tmp/.bash_history",
+                O_CREAT | O_RDWR,
+                0o600,
+            ));
+            unwrap_sys(k.sys_write(tid, fd, b"$ "));
+            unwrap_sys(k.sys_close(tid, fd));
+            unwrap_sys(k.sys_getpid(tid));
+            stats.syscalls += 5;
+        }
+    }
+    std::hint::black_box(acc);
+    stats
+}
+
+/// Native `sqlite` twin: paged inserts with journal beats.
+pub fn sqlite_native(k: &mut Kernel, tid: Tid, rows: u32) -> NativeStats {
+    let mut stats = NativeStats::default();
+    let fd = unwrap_sys(k.sys_openat(tid, wali_abi::flags::AT_FDCWD, "/tmp/test.db", O_CREAT | O_RDWR, 0o644));
+    unwrap_sys(k.sys_ftruncate(tid, fd, 16384));
+    stats.syscalls += 2;
+    let mut pages = vec![0u8; 16384];
+    let scratch = [0u8; 32];
+    for i in 0..rows.max(1) {
+        let slot = ((i as u64 * 2654435761) & 1023) as usize;
+        pages[slot * 16..slot * 16 + 4].copy_from_slice(&i.to_le_bytes());
+        pages[slot * 16 + 4..slot * 16 + 8].copy_from_slice(&(i * 7).to_le_bytes());
+        stats.work += 1;
+        if i % 32 == 0 {
+            let jfd = unwrap_sys(k.sys_openat(
+                tid,
+                wali_abi::flags::AT_FDCWD,
+                "/tmp/test.db-journal",
+                O_CREAT | O_RDWR | wali_abi::flags::O_APPEND,
+                0o644,
+            ));
+            unwrap_sys(k.sys_pwrite(tid, jfd, &scratch, 0));
+            unwrap_sys(k.sys_fsync(tid, jfd));
+            unwrap_sys(k.sys_close(tid, jfd));
+            // msync twin: write the pages through.
+            unwrap_sys(k.sys_pwrite(tid, fd, &pages, 0));
+            stats.syscalls += 5;
+        }
+    }
+    let mut out = [0u8; 16];
+    unwrap_sys(k.sys_pread(tid, fd, &mut out, 128));
+    unwrap_sys(k.sys_close(tid, fd));
+    stats.syscalls += 2;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp() -> (Kernel, Tid) {
+        let mut k = Kernel::new();
+        let tid = k.spawn_process();
+        (k, tid)
+    }
+
+    #[test]
+    fn twins_run_against_the_kernel() {
+        let (mut k, tid) = kp();
+        let lua = lua_native(&mut k, tid, 2);
+        assert!(lua.work > 0 && lua.syscalls > 0);
+        let bash = bash_native(&mut k, tid, 512);
+        assert!(bash.syscalls >= 10);
+        let sq = sqlite_native(&mut k, tid, 64);
+        assert!(sq.syscalls > 5);
+        assert!(k.vfs.read_file("/tmp/test.db").unwrap().len() >= 16384);
+        assert_eq!(String::from_utf8_lossy(&k.take_console()).matches("lua: done").count(), 1);
+    }
+
+    #[test]
+    fn twin_work_scales_with_parameter() {
+        let (mut k, tid) = kp();
+        let small = lua_native(&mut k, tid, 1);
+        let big = lua_native(&mut k, tid, 8);
+        assert!(big.work >= 4 * small.work);
+    }
+}

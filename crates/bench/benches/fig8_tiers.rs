@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 8: one workload across execution tiers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use virt::{Container, EmuRunner, Image};
+use wasm::SafepointScheme;
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_lua");
+    g.sample_size(10);
+    g.bench_function("native", |b| {
+        b.iter(|| {
+            let mut k = vkernel::Kernel::new();
+            let tid = k.spawn_process();
+            apps::native::lua_native(&mut k, tid, 5);
+        })
+    });
+    g.bench_function("wali", |b| {
+        b.iter(|| {
+            let app = apps::lua_sim(5);
+            let _ = bench::run_on_wali(&app, SafepointScheme::LoopHeaders);
+        })
+    });
+    g.bench_function("container", |b| {
+        let image = Image::typical();
+        b.iter(|| {
+            let mut k = vkernel::Kernel::new();
+            let cont = Container::start(&mut k, &image, "bench");
+            apps::native::lua_native(&mut k, cont.tid, 5);
+        })
+    });
+    g.bench_function("emulator", |b| {
+        let module = bench::reload(&apps::lua_sim(5).module);
+        b.iter(|| {
+            let mut e = EmuRunner::new(&module).unwrap();
+            bench::seed_kernel(&e.kernel());
+            let _ = e.run(&[]).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Table 2: per-syscall WALI interface overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wali::registry::build_linker;
+use wali::WaliContext;
+use wasm::host::Caller;
+use wasm::interp::{Instance, Value};
+use wasm::prep::Program;
+use wasm::SafepointScheme;
+
+fn bench_syscalls(c: &mut Criterion) {
+    let mut mb = wasm::build::ModuleBuilder::new();
+    mb.memory(4, Some(16));
+    let buf = mb.reserve(4096) as i64;
+    let sig = mb.sig([], [wasm::types::ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.i32(0);
+    });
+    mb.export("_start", f);
+    let module = mb.build();
+    let linker = build_linker();
+    let program =
+        std::sync::Arc::new(Program::link(&module, &linker, SafepointScheme::None).unwrap());
+    let instance = Instance::new(program).unwrap();
+    let kernel = std::rc::Rc::new(std::cell::RefCell::new(vkernel::Kernel::new()));
+    let tid = kernel.borrow_mut().spawn_process();
+    let mut ctx = WaliContext::new(kernel, tid, 8192);
+    instance.memory.write(buf as u64, b"/tmp/bench.dat\0").unwrap();
+
+    let call = |ctx: &mut WaliContext, name: &str, args: &[i64]| {
+        let f = linker.resolve("wali", &format!("SYS_{name}")).unwrap().clone();
+        let vals: Vec<Value> = args.iter().map(|v| Value::I64(*v)).collect();
+        let mut caller = Caller { instance: &instance, data: ctx };
+        let _ = f(&mut caller, &vals);
+    };
+    call(&mut ctx, "open", &[buf, 0o102, 0o644]);
+    let fd = 3i64;
+
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("getpid", |b| b.iter(|| call(&mut ctx, "getpid", &[])));
+    g.bench_function("read", |b| b.iter(|| call(&mut ctx, "read", &[fd, buf, 64])));
+    g.bench_function("write", |b| b.iter(|| call(&mut ctx, "write", &[fd, buf, 64])));
+    g.bench_function("fstat", |b| b.iter(|| call(&mut ctx, "fstat", &[fd, buf])));
+    g.bench_function("lseek", |b| b.iter(|| call(&mut ctx, "lseek", &[fd, 0, 0])));
+    g.bench_function("rt_sigprocmask", |b| {
+        b.iter(|| call(&mut ctx, "rt_sigprocmask", &[0, 0, buf, 8]))
+    });
+    g.bench_function("mmap_munmap", |b| {
+        b.iter(|| {
+            call(&mut ctx, "mmap", &[0, 4096, 3, 0x22, -1, 0]);
+            // Address is deterministic: pool reuses the gap each round.
+            let addr = ctx.mmap.borrow().base() as i64;
+            call(&mut ctx, "munmap", &[addr, 4096]);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_syscalls);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for Table 3: safepoint scheme overhead on the lua
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wasm::SafepointScheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_lua");
+    g.sample_size(10);
+    for scheme in SafepointScheme::ALL {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let app = apps::lua_sim(10);
+                let _ = bench::run_on_wali(&app, scheme);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

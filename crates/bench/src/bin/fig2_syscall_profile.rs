@@ -1,0 +1,70 @@
+//! Fig. 2: log-normalized Linux syscall profile, aggregate + per-app.
+//!
+//! Reproduces the paper's figure from *actual traced runs* of the
+//! application suite on WALI: the top row is the aggregate distribution of
+//! all invoked syscalls sorted by frequency; lower rows show each
+//! benchmark's frequency using the same ordering.
+
+use std::collections::BTreeMap;
+
+use wasm::SafepointScheme;
+
+fn main() {
+    let apps = apps::suite();
+    let mut traces: Vec<(String, BTreeMap<&'static str, u64>)> = Vec::new();
+    let mut aggregate: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for app in &apps {
+        let (out, _) = bench::run_on_wali(app, SafepointScheme::LoopHeaders);
+        for (name, n) in &out.trace.counts {
+            *aggregate.entry(name).or_insert(0) += n;
+        }
+        traces.push((app.name.to_string(), out.trace.counts));
+    }
+
+    // Aggregate ordering: most frequent first (the figure's x-axis).
+    let mut order: Vec<(&'static str, u64)> =
+        aggregate.iter().map(|(k, v)| (*k, *v)).collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    println!("Fig. 2 — log-normalized syscall profile (sorted by aggregate frequency)");
+    println!("{} unique syscalls across {} applications\n", order.len(), traces.len());
+    let log_norm = |n: u64, max: u64| {
+        if n == 0 {
+            0.0
+        } else {
+            ((n as f64).ln_1p()) / ((max as f64).ln_1p())
+        }
+    };
+    let max = order.first().map(|(_, n)| *n).unwrap_or(1);
+    let row = |label: &str, counts: &BTreeMap<&'static str, u64>| {
+        let cells: String = order
+            .iter()
+            .map(|(name, _)| {
+                let n = counts.get(name).copied().unwrap_or(0);
+                let v = log_norm(n, max);
+                match (v * 4.0).round() as u32 {
+                    0 if n == 0 => ' ',
+                    0 => '.',
+                    1 => '-',
+                    2 => '+',
+                    3 => '*',
+                    _ => '#',
+                }
+            })
+            .collect();
+        println!("{label:>12} |{cells}|");
+    };
+    row("Aggregate", &aggregate);
+    for (name, counts) in &traces {
+        row(name, counts);
+    }
+    println!("\nx-axis ({} syscalls, most frequent first):", order.len());
+    for chunk in order.chunks(8) {
+        let line: Vec<String> = chunk.iter().map(|(n, c)| format!("{n}={c}")).collect();
+        println!("  {}", line.join("  "));
+    }
+    let per_app: Vec<String> =
+        traces.iter().map(|(n, c)| format!("{n}:{}", c.len())).collect();
+    println!("\nunique syscalls per app: {}", per_app.join("  "));
+    println!("union across suite: {} (paper: most apps <100, union 140-150 over a full distro)", aggregate.len());
+}

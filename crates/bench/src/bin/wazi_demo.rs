@@ -1,0 +1,50 @@
+//! §5.1 demo: a control application deployed on the Zephyr model within
+//! the 384 KiB SRAM budget of a Nucleo-F767ZI-class board.
+
+use wasm::build::ModuleBuilder;
+use wasm::instr::BlockType;
+use wasm::interp::Value;
+use wasm::types::ValType::{I32, I64};
+use wazi::WaziRunner;
+
+fn main() {
+    let mut mb = ModuleBuilder::new();
+    let sig6 = |mb: &mut ModuleBuilder, name: &str, n: usize| {
+        let sig = mb.sig(vec![I64; n], [I64]);
+        mb.import_func("wazi", &format!("z_{name}"), sig)
+    };
+    let sleep = sig6(&mut mb, "k_sleep", 1);
+    let gpio_set = sig6(&mut mb, "gpio_pin_set", 3);
+    let console = sig6(&mut mb, "console_out", 2);
+    let fs_write = sig6(&mut mb, "fs_write", 4);
+    let uptime = sig6(&mut mb, "k_uptime_get", 0);
+    mb.memory(2, Some(4));
+    let msg = mb.c_str("sensor tick\n");
+    let log = mb.c_str("data.log");
+    let sig = mb.sig([], [I64]);
+    let main = mb.func(sig, |b| {
+        let i = b.local(I32);
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(250).call(sleep).drop_();
+            b.i64(0).i64(13).local_get(i).i32(1).and32().extend_u().call(gpio_set).drop_();
+            b.i64(msg as i64).i64(12).call(console).drop_();
+            b.i64(log as i64).i64(msg as i64).i64(12).i64(1).call(fs_write).drop_();
+            b.local_get(i).i32(1).add32().local_tee(i).i32(20).lt_s32().br_if(0);
+        });
+        b.call(uptime);
+    });
+    mb.export("main", main);
+    let module = mb.build();
+
+    println!("WAZI demo — Lua-toolchain-style control loop on the Zephyr model");
+    println!("SRAM budget: {} KiB", wazi::SRAM_BUDGET_PAGES * 64);
+    let mut runner = WaziRunner::new();
+    let out = runner.run(&module, &[]).expect("deploys within budget");
+    let z = runner.zephyr.borrow();
+    println!("uptime after run: {:?} ms", out.first().and_then(Value::as_i64));
+    println!("console bytes: {}", z.console.len());
+    println!("flash log 'data.log': {} bytes", z.flash_fs["data.log"].len());
+    println!("GPIO 0.13 final: {}", z.gpio_get(0, 13));
+    println!("\nWAZI interface generated from the syscall encoding: {} calls",
+        wazi::interface::ZEPHYR_SYSCALLS.len());
+}

@@ -1,0 +1,104 @@
+//! Shared measurement helpers for the per-table/per-figure report
+//! binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has one regenerating
+//! entry point (see `DESIGN.md`'s experiment index):
+//!
+//! | Artifact | Binary |
+//! |----------|--------|
+//! | Fig. 2   | `fig2_syscall_profile` |
+//! | Fig. 3   | `fig3_isa_similarity` |
+//! | Table 1  | `table1_porting` |
+//! | Table 2  | `table2_report` (+ `table2_syscall_overhead` bench) |
+//! | Table 3  | `table3_report` (+ `table3_sigpoll` bench) |
+//! | Fig. 7   | `fig7_breakdown` |
+//! | Fig. 8   | `fig8_virtualization` |
+//! | §5.1     | `wazi_demo` |
+
+use std::time::{Duration, Instant};
+
+use apps::App;
+use wali::runner::WaliRunner;
+use wali::RunOutcome;
+use wasm::{Module, SafepointScheme};
+
+/// Decodes an app module through the real binary pipeline.
+pub fn reload(module: &Module) -> Module {
+    let bytes = wasm::encode::encode(module);
+    wasm::decode::decode(&bytes).expect("round trip")
+}
+
+/// Runs an app on WALI with the given safepoint scheme, returning the
+/// outcome and total wall time (startup + execution).
+pub fn run_on_wali(app: &App, scheme: SafepointScheme) -> (RunOutcome, Duration) {
+    let module = reload(&app.module);
+    let t0 = Instant::now();
+    let mut runner = WaliRunner::new(scheme);
+    seed_files(&runner);
+    runner.register_program("/usr/bin/app", &module).expect("register");
+    runner.spawn("/usr/bin/app", &[], &[]).expect("spawn");
+    let out = runner.run().expect("run");
+    let wall = t0.elapsed();
+    assert!(
+        matches!(out.main_exit, Some(wali::runner::TaskEnd::Exited(0))),
+        "{} failed: {:?}",
+        app.name,
+        out.main_exit
+    );
+    (out, wall)
+}
+
+/// Seeds workload input files (the lua "script").
+pub fn seed_files(runner: &WaliRunner) {
+    seed_kernel(&runner.kernel);
+}
+
+/// Seeds input files on a raw kernel handle (emulator tier).
+pub fn seed_kernel(kernel: &wali::context::KernelRef) {
+    kernel
+        .borrow_mut()
+        .vfs
+        .write_file(
+            "/tmp/script.lua",
+            b"local acc = 0; for i = 1, 100 do acc = acc + i * 31 end; print(acc)",
+        )
+        .expect("seed");
+}
+
+/// Renders a 0..1 value as a fixed-width ASCII bar.
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n), ".".repeat(width - n))
+}
+
+/// Median wall time of `f` over `n` runs (n >= 1).
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..n.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_renders_fixed_width() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10).len(), 10);
+    }
+
+    #[test]
+    fn run_on_wali_exercises_an_app() {
+        let (out, wall) = run_on_wali(&apps::lua_sim(2), SafepointScheme::LoopHeaders);
+        assert!(out.trace.total_syscalls() > 0);
+        assert!(wall.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Virtualization comparators for the Fig. 8 experiment.
+//!
+//! The paper positions WALI between two incumbent technologies:
+//!
+//! * [`container`] — a Docker-style OS-interface virtualizer: image
+//!   **layers** are materialized into a union rootfs, namespaces and
+//!   cgroup accounting are set up, and only then does the workload run —
+//!   at native speed. The startup work is real (files copied through the
+//!   VFS, bookkeeping allocated), not a sleep, so the measured startup
+//!   cost scales with image size exactly as Docker's does.
+//! * [`emu`] — a QEMU-style ISA emulator tier: the *same Wasm binary* runs
+//!   on a deliberately naive interpreter that re-resolves every branch
+//!   target by scanning for block ends and routes every memory access
+//!   through a soft-MMU page table, the two classic costs of
+//!   non-optimizing emulation. Startup is near-zero; per-instruction cost
+//!   is an order of magnitude above the prepared tier.
+//!
+//! Together with the native twins in `apps::native` and the WALI runner
+//! itself, these give the four lines of Fig. 8.
+
+pub mod container;
+pub mod emu;
+
+pub use container::{Container, Image, Layer};
+pub use emu::EmuRunner;

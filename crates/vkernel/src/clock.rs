@@ -1,0 +1,79 @@
+//! Virtual clocks.
+//!
+//! All kernel-visible time is virtual and advances deterministically: a
+//! small quantum per syscall (mode-switch cost model) plus explicit
+//! advances by the scheduler when every task is blocked. `CLOCK_REALTIME`
+//! is the monotonic clock plus a fixed boot epoch.
+
+/// Nanoseconds the clock advances per syscall entry (mode-switch model).
+pub const SYSCALL_QUANTUM_NS: u64 = 180;
+
+/// Fixed boot epoch for `CLOCK_REALTIME` (2025-01-01T00:00:00Z).
+pub const BOOT_EPOCH_NS: u64 = 1_735_689_600_000_000_000;
+
+/// A deterministic virtual clock.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    mono_ns: u64,
+}
+
+impl Clock {
+    /// Creates a clock at boot (monotonic 0).
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Current monotonic time in nanoseconds.
+    #[inline]
+    pub fn monotonic_ns(&self) -> u64 {
+        self.mono_ns
+    }
+
+    /// Current realtime in nanoseconds since the Unix epoch.
+    #[inline]
+    pub fn realtime_ns(&self) -> u64 {
+        BOOT_EPOCH_NS + self.mono_ns
+    }
+
+    /// Advances the clock by `ns`.
+    pub fn advance(&mut self, ns: u64) {
+        self.mono_ns += ns;
+    }
+
+    /// Advances to at least `deadline` (no-op if already past).
+    pub fn advance_to(&mut self, deadline: u64) {
+        self.mono_ns = self.mono_ns.max(deadline);
+    }
+
+    /// Per-syscall tick.
+    pub fn tick(&mut self) {
+        self.advance(SYSCALL_QUANTUM_NS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.monotonic_ns(), 0);
+        c.tick();
+        assert_eq!(c.monotonic_ns(), SYSCALL_QUANTUM_NS);
+        c.advance(1_000);
+        assert_eq!(c.monotonic_ns(), SYSCALL_QUANTUM_NS + 1_000);
+        c.advance_to(500);
+        assert_eq!(c.monotonic_ns(), SYSCALL_QUANTUM_NS + 1_000, "never goes backwards");
+        c.advance_to(10_000);
+        assert_eq!(c.monotonic_ns(), 10_000);
+    }
+
+    #[test]
+    fn realtime_tracks_monotonic() {
+        let mut c = Clock::new();
+        assert_eq!(c.realtime_ns(), BOOT_EPOCH_NS);
+        c.advance(5);
+        assert_eq!(c.realtime_ns(), BOOT_EPOCH_NS + 5);
+    }
+}

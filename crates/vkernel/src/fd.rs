@@ -1,0 +1,242 @@
+//! File descriptors and descriptor tables.
+//!
+//! Linux semantics that matter to applications are preserved exactly:
+//! `dup` shares the *open file description* (offset and status flags),
+//! `FD_CLOEXEC` lives on the descriptor not the description, and the
+//! lowest free slot is always allocated.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wali_abi::Errno;
+
+use crate::vfs::InodeId;
+
+/// Default soft limit on open descriptors (RLIMIT_NOFILE).
+pub const DEFAULT_NOFILE: usize = 1024;
+
+/// What an open file description refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Regular file.
+    Regular(InodeId),
+    /// Open directory (for `getdents64` / `fchdir`).
+    Dir(InodeId),
+    /// Read end of a pipe.
+    PipeRead(usize),
+    /// Write end of a pipe.
+    PipeWrite(usize),
+    /// A socket.
+    Socket(usize),
+    /// Character device by inode.
+    CharDev(InodeId),
+    /// Snapshot text (generated `/proc` files).
+    ProcSnapshot(Rc<Vec<u8>>),
+    /// An eventfd counter.
+    EventFd,
+}
+
+/// An open file description (shared by duplicated descriptors).
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// Referent.
+    pub kind: FileKind,
+    /// Byte offset for seekable files.
+    pub offset: u64,
+    /// Status flags (`O_APPEND`, `O_NONBLOCK`, access mode …).
+    pub flags: i32,
+    /// eventfd counter value (only for `FileKind::EventFd`).
+    pub counter: u64,
+}
+
+impl OpenFile {
+    /// Creates a description.
+    pub fn new(kind: FileKind, flags: i32) -> OpenFile {
+        OpenFile { kind, offset: 0, flags, counter: 0 }
+    }
+}
+
+/// A shared open file description handle.
+pub type FileRef = Rc<RefCell<OpenFile>>;
+
+/// One descriptor-table slot.
+#[derive(Clone, Debug)]
+pub struct FdEntry {
+    /// The shared description.
+    pub file: FileRef,
+    /// Close-on-exec flag (per descriptor).
+    pub cloexec: bool,
+}
+
+/// A file descriptor table.
+#[derive(Clone, Debug, Default)]
+pub struct FdTable {
+    slots: Vec<Option<FdEntry>>,
+    /// RLIMIT_NOFILE soft limit.
+    pub limit: usize,
+}
+
+impl FdTable {
+    /// Creates an empty table with the default limit.
+    pub fn new() -> FdTable {
+        FdTable { slots: Vec::new(), limit: DEFAULT_NOFILE }
+    }
+
+    /// Allocates the lowest free descriptor at or above `min`.
+    pub fn alloc_from(&mut self, min: usize, entry: FdEntry) -> Result<i32, Errno> {
+        if min >= self.limit {
+            return Err(Errno::Einval);
+        }
+        for fd in min..self.slots.len() {
+            if self.slots[fd].is_none() {
+                self.slots[fd] = Some(entry);
+                return Ok(fd as i32);
+            }
+        }
+        let fd = self.slots.len().max(min);
+        if fd >= self.limit {
+            return Err(Errno::Emfile);
+        }
+        while self.slots.len() < fd {
+            self.slots.push(None);
+        }
+        self.slots.push(Some(entry));
+        Ok(fd as i32)
+    }
+
+    /// Allocates the lowest free descriptor.
+    pub fn alloc(&mut self, file: FileRef, cloexec: bool) -> Result<i32, Errno> {
+        self.alloc_from(0, FdEntry { file, cloexec })
+    }
+
+    /// Looks a descriptor up.
+    pub fn get(&self, fd: i32) -> Result<&FdEntry, Errno> {
+        if fd < 0 {
+            return Err(Errno::Ebadf);
+        }
+        self.slots.get(fd as usize).and_then(|e| e.as_ref()).ok_or(Errno::Ebadf)
+    }
+
+    /// Looks a descriptor up mutably.
+    pub fn get_mut(&mut self, fd: i32) -> Result<&mut FdEntry, Errno> {
+        if fd < 0 {
+            return Err(Errno::Ebadf);
+        }
+        self.slots.get_mut(fd as usize).and_then(|e| e.as_mut()).ok_or(Errno::Ebadf)
+    }
+
+    /// Closes a descriptor, returning its description.
+    pub fn close(&mut self, fd: i32) -> Result<FdEntry, Errno> {
+        if fd < 0 {
+            return Err(Errno::Ebadf);
+        }
+        self.slots.get_mut(fd as usize).and_then(|e| e.take()).ok_or(Errno::Ebadf)
+    }
+
+    /// `dup2`: places a duplicate of `old` at exactly `new`, closing any
+    /// existing descriptor there.
+    pub fn dup_to(&mut self, old: i32, new: i32, cloexec: bool) -> Result<i32, Errno> {
+        if new < 0 || new as usize >= self.limit {
+            return Err(Errno::Ebadf);
+        }
+        let file = self.get(old)?.file.clone();
+        while self.slots.len() <= new as usize {
+            self.slots.push(None);
+        }
+        self.slots[new as usize] = Some(FdEntry { file, cloexec });
+        Ok(new)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Closes every CLOEXEC descriptor (on `execve`).
+    pub fn close_cloexec(&mut self) {
+        for slot in &mut self.slots {
+            if slot.as_ref().map(|e| e.cloexec).unwrap_or(false) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Iterates over open `(fd, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, &FdEntry)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|e| (i as i32, e)))
+    }
+
+    /// Deep-copies the table sharing the open file descriptions (fork
+    /// semantics: descriptors copied, descriptions shared).
+    pub fn fork_copy(&self) -> FdTable {
+        FdTable { slots: self.slots.clone(), limit: self.limit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file() -> FileRef {
+        Rc::new(RefCell::new(OpenFile::new(FileKind::Regular(0), 0)))
+    }
+
+    #[test]
+    fn lowest_free_slot_is_allocated() {
+        let mut t = FdTable::new();
+        assert_eq!(t.alloc(file(), false).unwrap(), 0);
+        assert_eq!(t.alloc(file(), false).unwrap(), 1);
+        assert_eq!(t.alloc(file(), false).unwrap(), 2);
+        t.close(1).unwrap();
+        assert_eq!(t.alloc(file(), false).unwrap(), 1);
+    }
+
+    #[test]
+    fn dup_shares_offset() {
+        let mut t = FdTable::new();
+        let fd = t.alloc(file(), false).unwrap();
+        let dup = t.alloc(t.get(fd).unwrap().file.clone(), false).unwrap();
+        t.get(fd).unwrap().file.borrow_mut().offset = 42;
+        assert_eq!(t.get(dup).unwrap().file.borrow().offset, 42);
+    }
+
+    #[test]
+    fn dup2_replaces_target() {
+        let mut t = FdTable::new();
+        let a = t.alloc(file(), false).unwrap();
+        let b = t.alloc(file(), false).unwrap();
+        t.get(a).unwrap().file.borrow_mut().offset = 7;
+        t.dup_to(a, b, false).unwrap();
+        assert_eq!(t.get(b).unwrap().file.borrow().offset, 7);
+        // dup2 to a large out-of-range fd fails.
+        assert_eq!(t.dup_to(a, DEFAULT_NOFILE as i32, false).unwrap_err(), Errno::Ebadf);
+    }
+
+    #[test]
+    fn cloexec_is_per_descriptor_and_cleared_on_exec() {
+        let mut t = FdTable::new();
+        let f = file();
+        let keep = t.alloc(f.clone(), false).unwrap();
+        let lose = t.alloc(f, true).unwrap();
+        t.close_cloexec();
+        assert!(t.get(keep).is_ok());
+        assert_eq!(t.get(lose).unwrap_err(), Errno::Ebadf);
+    }
+
+    #[test]
+    fn bad_fds_are_ebadf() {
+        let mut t = FdTable::new();
+        assert_eq!(t.get(-1).unwrap_err(), Errno::Ebadf);
+        assert_eq!(t.get(0).unwrap_err(), Errno::Ebadf);
+        assert_eq!(t.close(5).unwrap_err(), Errno::Ebadf);
+    }
+
+    #[test]
+    fn fork_copy_shares_descriptions() {
+        let mut t = FdTable::new();
+        let fd = t.alloc(file(), false).unwrap();
+        let copy = t.fork_copy();
+        t.get(fd).unwrap().file.borrow_mut().offset = 99;
+        assert_eq!(copy.get(fd).unwrap().file.borrow().offset, 99, "offset shared across fork");
+    }
+}

@@ -1,0 +1,1155 @@
+//! The kernel object: tasks, processes, signals, timers and scheduling
+//! hooks. File, socket and memory syscalls live in the sibling submodules
+//! as further `impl Kernel` blocks.
+
+pub mod fs;
+pub mod sock;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use wali_abi::flags::{
+    w_exitcode, w_termsig, CLONE_FILES, CLONE_FS, CLONE_SIGHAND, CLONE_THREAD, CLONE_VM, WNOHANG,
+};
+use wali_abi::layout::{WaliSigaction, WaliUtsname};
+use wali_abi::signals::{SigSet, Signal, SIG_BLOCK, SIG_SETMASK, SIG_UNBLOCK};
+use wali_abi::Errno;
+
+use crate::clock::Clock;
+use crate::fd::{FdTable, FileKind, FileRef, OpenFile};
+use crate::pipe::Pipe;
+use crate::signal::{disposition, Disposition, PendingSet, SigHandlers};
+use crate::socket::Socket;
+use crate::task::{FsInfo, Pid, Rusage, Task, TaskState, Tid};
+use crate::vfs::Vfs;
+use crate::{block, block_until, MmId, SysResult};
+
+/// What the embedder must do about a deliverable signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalDelivery {
+    /// Run the registered handler (Wasm function index in the action),
+    /// with the given signal number; the mask to restore afterwards is
+    /// included.
+    Handler {
+        /// Signal number.
+        signo: i32,
+        /// The registered action.
+        action: WaliSigaction,
+        /// Mask to restore when the handler returns.
+        old_mask: SigSet,
+    },
+    /// The whole process was killed by this signal; stop executing it.
+    Killed {
+        /// Signal number.
+        signo: i32,
+    },
+}
+
+/// The deterministic Linux model.
+pub struct Kernel {
+    /// The filesystem.
+    pub vfs: Vfs,
+    /// Virtual time.
+    pub clock: Clock,
+    tasks: BTreeMap<Tid, Task>,
+    next_tid: Tid,
+    next_mm: u64,
+    pub(crate) pipes: Vec<Option<Pipe>>,
+    pub(crate) sockets: Vec<Option<Socket>>,
+    pub(crate) addr_registry: HashMap<String, usize>,
+    futexes: HashMap<(MmId, u32), VecDeque<Tid>>,
+    rng_state: u64,
+    /// Captured console (tty) output.
+    pub console: Vec<u8>,
+    /// Count of syscalls entered (all tasks).
+    pub syscall_count: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel with the standard filesystem layout and an init
+    /// task (pid 1).
+    pub fn new() -> Kernel {
+        let vfs = Vfs::with_std_layout();
+        let init = Task::init(vfs.root);
+        let mut tasks = BTreeMap::new();
+        tasks.insert(1, init);
+        Kernel {
+            vfs,
+            clock: Clock::new(),
+            tasks,
+            next_tid: 2,
+            next_mm: 2,
+            pipes: Vec::new(),
+            sockets: Vec::new(),
+            addr_registry: HashMap::new(),
+            futexes: HashMap::new(),
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            console: Vec::new(),
+            syscall_count: 0,
+        }
+    }
+
+    /// Per-syscall bookkeeping: tick the clock and count the entry.
+    pub fn enter_syscall(&mut self) {
+        self.clock.tick();
+        self.syscall_count += 1;
+    }
+
+    /// Fetches a task.
+    pub fn task(&self, tid: Tid) -> Result<&Task, Errno> {
+        self.tasks.get(&tid).ok_or(Errno::Esrch)
+    }
+
+    /// Fetches a task mutably.
+    pub fn task_mut(&mut self, tid: Tid) -> Result<&mut Task, Errno> {
+        self.tasks.get_mut(&tid).ok_or(Errno::Esrch)
+    }
+
+    /// All live tids (diagnostics, schedulers).
+    pub fn tids(&self) -> Vec<Tid> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Spawns a fresh process (child of init) with stdio wired to the
+    /// console tty. This is how the WALI runner creates an application's
+    /// initial process.
+    pub fn spawn_process(&mut self) -> Tid {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        let mm = MmId(self.next_mm);
+        self.next_mm += 1;
+
+        let mut fdtable = FdTable::new();
+        let tty = self
+            .vfs
+            .resolve(self.vfs.root, "/dev/tty", true)
+            .ok()
+            .and_then(|r| r.inode)
+            .expect("std layout has /dev/tty");
+        for _ in 0..3 {
+            let file: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::CharDev(tty), 0)));
+            fdtable.alloc(file, false).expect("empty table");
+        }
+
+        let task = Task {
+            tid,
+            tgid: tid,
+            ppid: 1,
+            pgid: tid,
+            sid: 1,
+            state: TaskState::Running,
+            fdtable: Rc::new(RefCell::new(fdtable)),
+            fs: Rc::new(RefCell::new(FsInfo { cwd: self.vfs.root, umask: 0o022 })),
+            sighand: Rc::new(RefCell::new(SigHandlers::new())),
+            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            pending: PendingSet::default(),
+            sigmask: SigSet::EMPTY,
+            mm,
+            uid: 1000,
+            euid: 1000,
+            gid: 1000,
+            egid: 1000,
+            children: Vec::new(),
+            clear_child_tid: 0,
+            rusage: Rusage::default(),
+            alarm_deadline: None,
+            futex_woken: false,
+            exit_code: None,
+            sig_hint: Rc::new(std::cell::Cell::new(false)),
+        };
+        self.tasks.get_mut(&1).expect("init").children.push(tid);
+        self.tasks.insert(tid, task);
+        tid
+    }
+
+    // --- Process lifecycle -------------------------------------------------
+
+    /// `fork`: new process duplicating the caller (fd table copied with
+    /// shared descriptions, fresh address space id).
+    pub fn sys_fork(&mut self, tid: Tid) -> SysResult {
+        let parent = self.task(tid)?.clone();
+        let child_tid = self.next_tid;
+        self.next_tid += 1;
+        let mm = MmId(self.next_mm);
+        self.next_mm += 1;
+
+        let child = Task {
+            tid: child_tid,
+            tgid: child_tid,
+            ppid: parent.tgid,
+            pgid: parent.pgid,
+            sid: parent.sid,
+            state: TaskState::Running,
+            fdtable: Rc::new(RefCell::new(parent.fdtable.borrow().fork_copy())),
+            fs: Rc::new(RefCell::new(parent.fs.borrow().clone())),
+            sighand: Rc::new(RefCell::new(parent.sighand.borrow().clone())),
+            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            pending: PendingSet::default(),
+            sigmask: parent.sigmask,
+            mm,
+            uid: parent.uid,
+            euid: parent.euid,
+            gid: parent.gid,
+            egid: parent.egid,
+            children: Vec::new(),
+            clear_child_tid: 0,
+            rusage: Rusage::default(),
+            alarm_deadline: None,
+            futex_woken: false,
+            exit_code: None,
+            sig_hint: Rc::new(std::cell::Cell::new(false)),
+        };
+        self.tasks.insert(child_tid, child);
+        self.task_mut(tid)?.children.push(child_tid);
+        Ok(child_tid as i64)
+    }
+
+    /// `clone`: thread or process creation per the flag set (§3.1). The
+    /// embedder decides what to do with the engine-side state; the kernel
+    /// only manages task identity and sharing.
+    pub fn sys_clone(&mut self, tid: Tid, flags: u64) -> SysResult {
+        let parent = self.task(tid)?.clone();
+        let child_tid = self.next_tid;
+        self.next_tid += 1;
+
+        let is_thread = flags & CLONE_THREAD != 0;
+        if is_thread && flags & (CLONE_VM | CLONE_SIGHAND) != (CLONE_VM | CLONE_SIGHAND) {
+            // Linux requires CLONE_THREAD ⊆ CLONE_SIGHAND ⊆ CLONE_VM.
+            return Err(Errno::Einval.into());
+        }
+
+        let mm = if flags & CLONE_VM != 0 {
+            parent.mm
+        } else {
+            let mm = MmId(self.next_mm);
+            self.next_mm += 1;
+            mm
+        };
+        let fdtable = if flags & CLONE_FILES != 0 {
+            parent.fdtable.clone()
+        } else {
+            Rc::new(RefCell::new(parent.fdtable.borrow().fork_copy()))
+        };
+        let fs = if flags & CLONE_FS != 0 {
+            parent.fs.clone()
+        } else {
+            Rc::new(RefCell::new(parent.fs.borrow().clone()))
+        };
+        let sighand = if flags & CLONE_SIGHAND != 0 {
+            parent.sighand.clone()
+        } else {
+            Rc::new(RefCell::new(parent.sighand.borrow().clone()))
+        };
+        let (tgid, ppid, shared_pending) = if is_thread {
+            (parent.tgid, parent.ppid, parent.shared_pending.clone())
+        } else {
+            (child_tid, parent.tgid, Rc::new(RefCell::new(PendingSet::default())))
+        };
+
+        let child = Task {
+            tid: child_tid,
+            tgid,
+            ppid,
+            pgid: parent.pgid,
+            sid: parent.sid,
+            state: TaskState::Running,
+            fdtable,
+            fs,
+            sighand,
+            shared_pending,
+            pending: PendingSet::default(),
+            sigmask: parent.sigmask,
+            mm,
+            uid: parent.uid,
+            euid: parent.euid,
+            gid: parent.gid,
+            egid: parent.egid,
+            children: Vec::new(),
+            clear_child_tid: 0,
+            rusage: Rusage::default(),
+            alarm_deadline: None,
+            futex_woken: false,
+            exit_code: None,
+            sig_hint: Rc::new(std::cell::Cell::new(false)),
+        };
+        self.tasks.insert(child_tid, child);
+        if !is_thread {
+            self.task_mut(tid)?.children.push(child_tid);
+        }
+        Ok(child_tid as i64)
+    }
+
+    /// `exit_group`: terminates every task in the caller's thread group.
+    pub fn sys_exit_group(&mut self, tid: Tid, code: i32) -> SysResult {
+        let tgid = self.task(tid)?.tgid;
+        self.terminate_group(tgid, w_exitcode(code), Some(code));
+        Ok(0)
+    }
+
+    /// `exit`: terminates one thread (whole group if it is the last).
+    pub fn sys_exit_thread(&mut self, tid: Tid, code: i32) -> SysResult {
+        let tgid = self.task(tid)?.tgid;
+        let group: Vec<Tid> = self.group_tids(tgid);
+        // Futex-wake the clear_child_tid word (pthread_join protocol).
+        let (ctid, mm) = {
+            let t = self.task(tid)?;
+            (t.clear_child_tid, t.mm)
+        };
+        if ctid != 0 {
+            self.futex_wake_at(mm, ctid, usize::MAX);
+        }
+        if group.len() == 1 {
+            self.terminate_group(tgid, w_exitcode(code), Some(code));
+        } else {
+            let t = self.task_mut(tid)?;
+            t.state = TaskState::Dead;
+            t.exit_code = Some(code);
+        }
+        Ok(0)
+    }
+
+    fn group_tids(&self, tgid: Pid) -> Vec<Tid> {
+        self.tasks
+            .values()
+            .filter(|t| t.tgid == tgid && !matches!(t.state, TaskState::Dead))
+            .map(|t| t.tid)
+            .collect()
+    }
+
+    /// Marks a whole thread group zombie with `status` and signals the
+    /// parent with SIGCHLD; children are reparented to init.
+    fn terminate_group(&mut self, tgid: Pid, status: i32, code: Option<i32>) {
+        let tids = self.group_tids(tgid);
+        for t in &tids {
+            if let Some(task) = self.tasks.get(t) {
+                task.sig_hint.set(true);
+            }
+        }
+        let mut ppid = 1;
+        let mut orphans = Vec::new();
+        for t in tids {
+            if let Some(task) = self.tasks.get_mut(&t) {
+                if t == tgid {
+                    task.state = TaskState::Zombie(status);
+                    ppid = task.ppid;
+                    task.exit_code = code;
+                    orphans.append(&mut task.children);
+                } else {
+                    task.state = TaskState::Dead;
+                }
+            }
+        }
+        for orphan in orphans {
+            if let Some(t) = self.tasks.get_mut(&orphan) {
+                t.ppid = 1;
+            }
+            self.tasks.get_mut(&1).expect("init").children.push(orphan);
+        }
+        let _ = self.send_signal_to_process(ppid, Signal::Sigchld.number());
+    }
+
+    /// `wait4(pid, options)`: reaps a zombie child; returns
+    /// `(pid, status)`. Blocks unless `WNOHANG`.
+    pub fn sys_wait4(&mut self, tid: Tid, pid: i32, options: i32) -> SysResult<(Pid, i32)> {
+        let me = self.task(tid)?.tgid;
+        let children = self.task(tid)?.children.clone();
+        if children.is_empty() {
+            return Err(Errno::Echild.into());
+        }
+        let candidates: Vec<Pid> = children
+            .iter()
+            .copied()
+            .filter(|&c| match pid {
+                -1 => true,
+                0 => self.tasks.get(&c).map(|t| t.pgid) == self.tasks.get(&me).map(|t| t.pgid),
+                p if p > 0 => c == p,
+                pg => self.tasks.get(&c).map(|t| t.pgid == -pg).unwrap_or(false),
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(Errno::Echild.into());
+        }
+        for c in &candidates {
+            if let Some(TaskState::Zombie(status)) = self.tasks.get(c).map(|t| t.state.clone()) {
+                // Reap: remove the zombie and its dead siblings.
+                let dead: Vec<Tid> = self
+                    .tasks
+                    .values()
+                    .filter(|t| t.tgid == *c)
+                    .map(|t| t.tid)
+                    .collect();
+                for d in dead {
+                    self.tasks.remove(&d);
+                }
+                self.task_mut(tid)?.children.retain(|x| x != c);
+                return Ok((*c, status));
+            }
+        }
+        if options & WNOHANG != 0 {
+            return Ok((0, 0));
+        }
+        Err(block())
+    }
+
+    /// `execve` kernel-side effects: CLOEXEC fds closed, caught signal
+    /// handlers reset. (The engine swaps the program.)
+    pub fn sys_execve(&mut self, tid: Tid) -> SysResult {
+        let task = self.task(tid)?;
+        task.fdtable.borrow_mut().close_cloexec();
+        task.sighand.borrow_mut().reset_for_exec();
+        Ok(0)
+    }
+
+    // --- Identity ----------------------------------------------------------
+
+    /// `getpid`.
+    pub fn sys_getpid(&self, tid: Tid) -> SysResult {
+        Ok(self.task(tid)?.tgid as i64)
+    }
+
+    /// `getppid`.
+    pub fn sys_getppid(&self, tid: Tid) -> SysResult {
+        Ok(self.task(tid)?.ppid as i64)
+    }
+
+    /// `gettid`.
+    pub fn sys_gettid(&self, tid: Tid) -> SysResult {
+        Ok(self.task(tid)?.tid as i64)
+    }
+
+    /// `setpgid`.
+    pub fn sys_setpgid(&mut self, tid: Tid, pid: i32, pgid: i32) -> SysResult {
+        let target = if pid == 0 { self.task(tid)?.tgid } else { pid };
+        let pgid = if pgid == 0 { target } else { pgid };
+        if pgid < 0 {
+            return Err(Errno::Einval.into());
+        }
+        let t = self.task_mut(target)?;
+        t.pgid = pgid;
+        Ok(0)
+    }
+
+    /// `getpgid`.
+    pub fn sys_getpgid(&self, tid: Tid, pid: i32) -> SysResult {
+        let target = if pid == 0 { tid } else { pid };
+        Ok(self.task(target)?.pgid as i64)
+    }
+
+    /// `setsid`.
+    pub fn sys_setsid(&mut self, tid: Tid) -> SysResult {
+        let t = self.task_mut(tid)?;
+        if t.pgid == t.tgid {
+            return Err(Errno::Eperm.into());
+        }
+        t.sid = t.tgid;
+        t.pgid = t.tgid;
+        Ok(t.sid as i64)
+    }
+
+    /// `getsid`.
+    pub fn sys_getsid(&self, tid: Tid, pid: i32) -> SysResult {
+        let target = if pid == 0 { tid } else { pid };
+        Ok(self.task(target)?.sid as i64)
+    }
+
+    /// `set_tid_address`.
+    pub fn sys_set_tid_address(&mut self, tid: Tid, addr: u32) -> SysResult {
+        let t = self.task_mut(tid)?;
+        t.clear_child_tid = addr;
+        Ok(t.tid as i64)
+    }
+
+    // --- Signals -----------------------------------------------------------
+
+    /// `rt_sigaction`: stores the action, returns the previous one.
+    pub fn sys_rt_sigaction(
+        &mut self,
+        tid: Tid,
+        signo: i32,
+        new: Option<WaliSigaction>,
+    ) -> SysResult<WaliSigaction> {
+        let sig = Signal::from_number(signo);
+        if !(1..64).contains(&signo) || sig.map(|s| !s.catchable()).unwrap_or(false) {
+            if new.is_some() {
+                return Err(Errno::Einval.into());
+            }
+        }
+        let task = self.task(tid)?;
+        let mut handlers = task.sighand.borrow_mut();
+        let old = handlers.get(signo);
+        if let Some(action) = new {
+            if sig.map(|s| !s.catchable()).unwrap_or(false) {
+                return Err(Errno::Einval.into());
+            }
+            handlers.set(signo, action);
+        }
+        Ok(old)
+    }
+
+    /// `rt_sigprocmask`.
+    pub fn sys_rt_sigprocmask(
+        &mut self,
+        tid: Tid,
+        how: i32,
+        set: Option<SigSet>,
+    ) -> SysResult<SigSet> {
+        let task = self.task_mut(tid)?;
+        let old = task.sigmask;
+        if let Some(arg) = set {
+            if ![SIG_BLOCK, SIG_UNBLOCK, SIG_SETMASK].contains(&how) {
+                return Err(Errno::Einval.into());
+            }
+            task.sigmask = old.apply(how, arg).ok_or(Errno::Einval)?;
+            // Unblocking may expose pending signals; re-raise the hint so
+            // the safepoint right after this syscall delivers them
+            // (paper §3.3: the extra post-sigprocmask safepoint).
+            if !task.pending.is_empty() || !task.shared_pending.borrow().is_empty() {
+                task.sig_hint.set(true);
+            }
+        }
+        Ok(old)
+    }
+
+    /// `rt_sigpending`.
+    pub fn sys_rt_sigpending(&self, tid: Tid) -> SysResult<SigSet> {
+        let t = self.task(tid)?;
+        Ok(SigSet(t.pending.mask().0 | t.shared_pending.borrow().mask().0))
+    }
+
+    /// `kill(pid, sig)`.
+    pub fn sys_kill(&mut self, _tid: Tid, pid: i32, signo: i32) -> SysResult {
+        if signo == 0 {
+            // Existence probe.
+            return if self.tasks.values().any(|t| t.tgid == pid && !t.exited()) {
+                Ok(0)
+            } else {
+                Err(Errno::Esrch.into())
+            };
+        }
+        if !(1..64).contains(&signo) {
+            return Err(Errno::Einval.into());
+        }
+        if pid > 0 {
+            self.send_signal_to_process(pid, signo)?;
+        } else if pid == -1 {
+            let targets: Vec<Pid> = self
+                .tasks
+                .values()
+                .filter(|t| t.tgid != 1 && !t.exited())
+                .map(|t| t.tgid)
+                .collect();
+            for t in targets {
+                let _ = self.send_signal_to_process(t, signo);
+            }
+        } else {
+            // Process group.
+            let pgid = if pid == 0 { self.task(_tid)?.pgid } else { -pid };
+            let targets: Vec<Pid> = self
+                .tasks
+                .values()
+                .filter(|t| t.pgid == pgid && !t.exited())
+                .map(|t| t.tgid)
+                .collect();
+            if targets.is_empty() {
+                return Err(Errno::Esrch.into());
+            }
+            for t in targets {
+                let _ = self.send_signal_to_process(t, signo);
+            }
+        }
+        Ok(0)
+    }
+
+    /// `tgkill(tgid, tid, sig)`: thread-directed signal.
+    pub fn sys_tgkill(&mut self, _me: Tid, tgid: Pid, tid: Tid, signo: i32) -> SysResult {
+        let t = self.task_mut(tid)?;
+        if t.tgid != tgid {
+            return Err(Errno::Esrch.into());
+        }
+        if !(1..64).contains(&signo) {
+            return Err(Errno::Einval.into());
+        }
+        t.pending.add(signo);
+        t.sig_hint.set(true);
+        Ok(0)
+    }
+
+    /// Generates `signo` for process `pid` (stage 2 of the lifecycle).
+    pub fn send_signal_to_process(&mut self, pid: Pid, signo: i32) -> Result<(), Errno> {
+        let main = self.tasks.get(&pid).ok_or(Errno::Esrch)?;
+        if main.tgid != pid || main.exited() {
+            return Err(Errno::Esrch);
+        }
+        main.shared_pending.borrow_mut().add(signo);
+        for t in self.group_tids(pid) {
+            if let Some(task) = self.tasks.get(&t) {
+                task.sig_hint.set(true);
+            }
+        }
+        // SIGCONT resumes stopped tasks at generation time, like Linux.
+        if signo == Signal::Sigcont.number() {
+            let tids = self.group_tids(pid);
+            for t in tids {
+                if let Some(task) = self.tasks.get_mut(&t) {
+                    if task.state == TaskState::Stopped {
+                        task.state = TaskState::Running;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the next deliverable signal for `tid`, applying dispositions:
+    /// ignored signals are consumed silently; fatal ones terminate the
+    /// process; stop/continue adjust task states; handlers are returned to
+    /// the embedder for execution at a safepoint (§3.3 stage 4).
+    pub fn next_signal(&mut self, tid: Tid) -> Option<SignalDelivery> {
+        loop {
+            let (signo, action, old_mask) = {
+                let task = self.tasks.get_mut(&tid)?;
+                if task.exited() {
+                    return None;
+                }
+                let mask = task.sigmask;
+                let signo = task
+                    .pending
+                    .take_deliverable(mask)
+                    .or_else(|| task.shared_pending.borrow_mut().take_deliverable(mask))?;
+                let action = task.sighand.borrow().get(signo);
+                (signo, action, mask)
+            };
+            match disposition(signo, action) {
+                Disposition::Ignore => continue,
+                Disposition::Continue => continue,
+                Disposition::Stop => {
+                    let tgid = self.tasks.get(&tid)?.tgid;
+                    for t in self.group_tids(tgid) {
+                        if let Some(task) = self.tasks.get_mut(&t) {
+                            task.state = TaskState::Stopped;
+                        }
+                    }
+                    continue;
+                }
+                Disposition::Kill => {
+                    let tgid = self.tasks.get(&tid)?.tgid;
+                    self.terminate_group(tgid, w_termsig(signo), None);
+                    return Some(SignalDelivery::Killed { signo });
+                }
+                Disposition::Handler(action) => {
+                    let task = self.tasks.get_mut(&tid)?;
+                    // Block the handler's mask plus the signal itself
+                    // (unless SA_NODEFER) for the handler's duration.
+                    let mut during = SigSet(old_mask.0 | action.mask);
+                    if action.flags & wali_abi::signals::SA_NODEFER == 0 {
+                        during.insert(signo);
+                    }
+                    task.sigmask = during;
+                    if action.flags & wali_abi::signals::SA_RESETHAND != 0 {
+                        task.sighand.borrow_mut().set(signo, WaliSigaction::default());
+                    }
+                    return Some(SignalDelivery::Handler { signo, action, old_mask });
+                }
+            }
+        }
+    }
+
+    /// Restores the mask after a handler completes.
+    pub fn signal_return(&mut self, tid: Tid, old_mask: SigSet) {
+        if let Some(task) = self.tasks.get_mut(&tid) {
+            task.sigmask = old_mask;
+            // Previously-masked pending signals may now be deliverable.
+            if !task.pending.is_empty() || !task.shared_pending.borrow().is_empty() {
+                task.sig_hint.set(true);
+            }
+        }
+    }
+
+    /// True if an unblocked signal is pending (EINTR condition for
+    /// blocking syscalls).
+    pub fn has_pending_signal(&self, tid: Tid) -> bool {
+        let Ok(task) = self.task(tid) else { return false };
+        let mask = task.sigmask;
+        let pend = SigSet(task.pending.mask().0 | task.shared_pending.borrow().mask().0);
+        SigSet(pend.0 & !mask.0).lowest().is_some()
+    }
+
+    /// `pause`: blocks until a signal arrives.
+    pub fn sys_pause(&mut self, tid: Tid) -> SysResult {
+        if self.has_pending_signal(tid) {
+            return Err(Errno::Eintr.into());
+        }
+        Err(block())
+    }
+
+    /// `alarm(seconds)`: schedules SIGALRM; returns remaining seconds of a
+    /// previous alarm.
+    pub fn sys_alarm(&mut self, tid: Tid, seconds: u32) -> SysResult {
+        let now = self.clock.monotonic_ns();
+        let task = self.task_mut(tid)?;
+        let prev = task
+            .alarm_deadline
+            .map(|d| d.saturating_sub(now).div_ceil(1_000_000_000))
+            .unwrap_or(0);
+        task.alarm_deadline =
+            if seconds == 0 { None } else { Some(now + seconds as u64 * 1_000_000_000) };
+        Ok(prev as i64)
+    }
+
+    /// Fires expired timers; the scheduler calls this after advancing the
+    /// clock.
+    pub fn fire_timers(&mut self) {
+        let now = self.clock.monotonic_ns();
+        let expired: Vec<Pid> = self
+            .tasks
+            .values()
+            .filter(|t| t.alarm_deadline.map(|d| d <= now).unwrap_or(false))
+            .map(|t| t.tgid)
+            .collect();
+        for pid in expired {
+            for t in self.group_tids(pid) {
+                if let Some(task) = self.tasks.get_mut(&t) {
+                    task.alarm_deadline = None;
+                }
+            }
+            let _ = self.send_signal_to_process(pid, Signal::Sigalrm.number());
+        }
+    }
+
+    /// Earliest wake-up deadline over all tasks (sleep or alarm), used by
+    /// the scheduler when everything is blocked.
+    pub fn next_timer_deadline(&self) -> Option<u64> {
+        self.tasks.values().filter_map(|t| t.alarm_deadline).min()
+    }
+
+    // --- Futex -------------------------------------------------------------
+
+    /// `futex(FUTEX_WAIT)`: the embedder has already compared the word
+    /// (cooperative scheduling makes the check race-free) and passes
+    /// whether it matched.
+    pub fn sys_futex_wait(
+        &mut self,
+        tid: Tid,
+        mm: MmId,
+        addr: u32,
+        value_matches: bool,
+        deadline: Option<u64>,
+    ) -> SysResult {
+        let task = self.task_mut(tid)?;
+        if task.futex_woken {
+            task.futex_woken = false;
+            self.futexes.get_mut(&(mm, addr)).map(|q| q.retain(|t| *t != tid));
+            return Ok(0);
+        }
+        if !value_matches {
+            return Err(Errno::Eagain.into());
+        }
+        if let Some(d) = deadline {
+            if self.clock.monotonic_ns() >= d {
+                self.futexes.get_mut(&(mm, addr)).map(|q| q.retain(|t| *t != tid));
+                return Err(Errno::Etimedout.into());
+            }
+        }
+        let q = self.futexes.entry((mm, addr)).or_default();
+        if !q.contains(&tid) {
+            q.push_back(tid);
+        }
+        Err(match deadline {
+            Some(d) => block_until(d),
+            None => block(),
+        })
+    }
+
+    /// `futex(FUTEX_WAKE)`: wakes up to `count` waiters, returns the
+    /// number woken.
+    pub fn sys_futex_wake(&mut self, mm: MmId, addr: u32, count: usize) -> SysResult {
+        Ok(self.futex_wake_at(mm, addr, count) as i64)
+    }
+
+    fn futex_wake_at(&mut self, mm: MmId, addr: u32, count: usize) -> usize {
+        let Some(q) = self.futexes.get_mut(&(mm, addr)) else { return 0 };
+        let mut woken = 0;
+        while woken < count {
+            let Some(t) = q.pop_front() else { break };
+            if let Some(task) = self.tasks.get_mut(&t) {
+                task.futex_woken = true;
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    // --- Time --------------------------------------------------------------
+
+    /// `clock_gettime`.
+    pub fn sys_clock_gettime(&self, clock_id: i32) -> SysResult<u64> {
+        use wali_abi::flags::*;
+        match clock_id {
+            CLOCK_REALTIME => Ok(self.clock.realtime_ns()),
+            CLOCK_MONOTONIC | CLOCK_MONOTONIC_RAW | CLOCK_PROCESS_CPUTIME_ID
+            | CLOCK_THREAD_CPUTIME_ID => Ok(self.clock.monotonic_ns()),
+            _ => Err(Errno::Einval.into()),
+        }
+    }
+
+    /// `nanosleep`: blocks until the virtual deadline.
+    pub fn sys_nanosleep(&mut self, tid: Tid, duration_ns: u64) -> SysResult {
+        if self.has_pending_signal(tid) {
+            return Err(Errno::Eintr.into());
+        }
+        let deadline = self.clock.monotonic_ns() + duration_ns;
+        Err(block_until(deadline))
+    }
+
+    /// Retry entry for `nanosleep`: completes once the deadline passed.
+    pub fn sys_nanosleep_retry(&mut self, tid: Tid, deadline: u64) -> SysResult {
+        if self.clock.monotonic_ns() >= deadline {
+            return Ok(0);
+        }
+        if self.has_pending_signal(tid) {
+            return Err(Errno::Eintr.into());
+        }
+        Err(block_until(deadline))
+    }
+
+    // --- Misc --------------------------------------------------------------
+
+    /// `uname`.
+    pub fn sys_uname(&self) -> WaliUtsname {
+        WaliUtsname {
+            sysname: "Linux".into(),
+            nodename: "wali-vm".into(),
+            release: "6.1.0-wali".into(),
+            version: "#1 SMP wali-rs".into(),
+            machine: "wasm32".into(),
+            domainname: "(none)".into(),
+        }
+    }
+
+    /// `getrandom`: deterministic xorshift stream.
+    pub fn sys_getrandom(&mut self, out: &mut [u8]) -> SysResult {
+        for chunk in out.chunks_mut(8) {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            let bytes = self.rng_state.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Ok(out.len() as i64)
+    }
+
+    /// Virtual CPU-time accounting hook for `getrusage`/`times`.
+    pub fn account_user_time(&mut self, tid: Tid, ns: u64) {
+        if let Ok(t) = self.task_mut(tid) {
+            t.rusage.utime_ns += ns;
+        }
+    }
+
+    /// Snapshot of a task's accounting.
+    pub fn rusage_of(&self, tid: Tid) -> Rusage {
+        self.task(tid).map(|t| t.rusage).unwrap_or_default()
+    }
+
+    /// Takes the captured console output.
+    pub fn take_console(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.console)
+    }
+
+    pub(crate) fn alloc_pipe(&mut self) -> usize {
+        for (i, slot) in self.pipes.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(Pipe::new());
+                return i;
+            }
+        }
+        self.pipes.push(Some(Pipe::new()));
+        self.pipes.len() - 1
+    }
+
+    pub(crate) fn pipe(&mut self, id: usize) -> Result<&mut Pipe, Errno> {
+        self.pipes.get_mut(id).and_then(|p| p.as_mut()).ok_or(Errno::Ebadf)
+    }
+
+    pub(crate) fn alloc_socket(&mut self, sock: Socket) -> usize {
+        for (i, slot) in self.sockets.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(sock);
+                return i;
+            }
+        }
+        self.sockets.push(Some(sock));
+        self.sockets.len() - 1
+    }
+
+    pub(crate) fn socket(&mut self, id: usize) -> Result<&mut Socket, Errno> {
+        self.sockets.get_mut(id).and_then(|s| s.as_mut()).ok_or(Errno::Ebadf)
+    }
+
+    pub(crate) fn socket_ref(&self, id: usize) -> Result<&Socket, Errno> {
+        self.sockets.get(id).and_then(|s| s.as_ref()).ok_or(Errno::Ebadf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SysError;
+    use wali_abi::flags::{wexitstatus, wifexited, wifsignaled, wtermsig, CLONE_PTHREAD};
+    use wali_abi::signals::SIG_IGN;
+
+    fn kernel_with_proc() -> (Kernel, Tid) {
+        let mut k = Kernel::new();
+        let tid = k.spawn_process();
+        (k, tid)
+    }
+
+    #[test]
+    fn spawn_process_has_stdio() {
+        let (k, tid) = kernel_with_proc();
+        let t = k.task(tid).unwrap();
+        assert_eq!(t.fdtable.borrow().open_count(), 3);
+        assert_eq!(t.tgid, tid);
+        assert_eq!(t.ppid, 1);
+    }
+
+    #[test]
+    fn fork_wait_reaps_zombie() {
+        let (mut k, tid) = kernel_with_proc();
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        // Child exits 7; parent waits.
+        k.sys_exit_group(child, 7).unwrap();
+        let (pid, status) = k.sys_wait4(tid, -1, 0).unwrap();
+        assert_eq!(pid, child);
+        assert!(wifexited(status));
+        assert_eq!(wexitstatus(status), 7);
+        // Child is gone.
+        assert!(k.task(child).is_err());
+        // Second wait: no children left.
+        assert_eq!(k.sys_wait4(tid, -1, 0), Err(SysError::Err(Errno::Echild)));
+    }
+
+    #[test]
+    fn wait_blocks_until_child_exits() {
+        let (mut k, tid) = kernel_with_proc();
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        assert!(matches!(k.sys_wait4(tid, child, 0), Err(SysError::Block(_))));
+        assert_eq!(k.sys_wait4(tid, child, WNOHANG).unwrap(), (0, 0));
+        k.sys_exit_group(child, 0).unwrap();
+        assert_eq!(k.sys_wait4(tid, child, 0).unwrap().0, child);
+    }
+
+    #[test]
+    fn parent_gets_sigchld() {
+        let (mut k, tid) = kernel_with_proc();
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        k.sys_exit_group(child, 0).unwrap();
+        let pending = k.sys_rt_sigpending(tid).unwrap();
+        assert!(pending.contains(Signal::Sigchld.number()));
+        // Default disposition ignores it silently.
+        assert_eq!(k.next_signal(tid), None);
+    }
+
+    #[test]
+    fn clone_thread_shares_fdtable_and_tgid() {
+        let (mut k, tid) = kernel_with_proc();
+        let t2 = k.sys_clone(tid, CLONE_PTHREAD).unwrap() as Tid;
+        assert_eq!(k.task(t2).unwrap().tgid, tid);
+        // fd opened by one thread is visible in the other.
+        let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
+        assert!(k.task(t2).unwrap().fdtable.borrow().get(r).is_ok());
+    }
+
+    #[test]
+    fn clone_process_does_not_share_fdtable() {
+        let (mut k, tid) = kernel_with_proc();
+        let child = k.sys_clone(tid, 0).unwrap() as Tid;
+        assert_ne!(k.task(child).unwrap().tgid, tid);
+        let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
+        assert!(k.task(child).unwrap().fdtable.borrow().get(r).is_err());
+    }
+
+    #[test]
+    fn clone_thread_requires_vm_and_sighand() {
+        let (mut k, tid) = kernel_with_proc();
+        assert_eq!(
+            k.sys_clone(tid, CLONE_THREAD),
+            Err(SysError::Err(Errno::Einval)),
+            "CLONE_THREAD without CLONE_VM|CLONE_SIGHAND is EINVAL"
+        );
+    }
+
+    #[test]
+    fn fatal_signal_kills_process() {
+        let (mut k, tid) = kernel_with_proc();
+        k.sys_kill(tid, tid, Signal::Sigterm.number()).unwrap();
+        match k.next_signal(tid) {
+            Some(SignalDelivery::Killed { signo }) => assert_eq!(signo, 15),
+            other => panic!("{other:?}"),
+        }
+        assert!(k.task(tid).unwrap().exited());
+        // Parent (init) can reap with the termsig status.
+        let (pid, status) = k.sys_wait4(1, tid, 0).unwrap();
+        assert_eq!(pid, tid);
+        assert!(wifsignaled(status));
+        assert_eq!(wtermsig(status), 15);
+    }
+
+    #[test]
+    fn ignored_signal_is_consumed() {
+        let (mut k, tid) = kernel_with_proc();
+        k.sys_rt_sigaction(
+            tid,
+            Signal::Sigterm.number(),
+            Some(WaliSigaction { handler: SIG_IGN, flags: 0, mask: 0 }),
+        )
+        .unwrap();
+        k.sys_kill(tid, tid, Signal::Sigterm.number()).unwrap();
+        assert_eq!(k.next_signal(tid), None);
+        assert!(!k.task(tid).unwrap().exited());
+    }
+
+    #[test]
+    fn handler_delivery_blocks_signal_until_return() {
+        let (mut k, tid) = kernel_with_proc();
+        let action = WaliSigaction { handler: 42, flags: 0, mask: 0 };
+        k.sys_rt_sigaction(tid, 10, Some(action)).unwrap();
+        k.sys_kill(tid, tid, 10).unwrap();
+        let old_mask = match k.next_signal(tid) {
+            Some(SignalDelivery::Handler { signo, action: a, old_mask }) => {
+                assert_eq!(signo, 10);
+                assert_eq!(a.handler, 42);
+                old_mask
+            }
+            other => panic!("{other:?}"),
+        };
+        // The signal itself is blocked during its handler (no SA_NODEFER):
+        k.sys_kill(tid, tid, 10).unwrap();
+        assert_eq!(k.next_signal(tid), None, "deferred during handler");
+        k.signal_return(tid, old_mask);
+        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Handler { .. })));
+    }
+
+    #[test]
+    fn sigprocmask_blocks_and_unblocks() {
+        let (mut k, tid) = kernel_with_proc();
+        let action = WaliSigaction { handler: 7, flags: 0, mask: 0 };
+        k.sys_rt_sigaction(tid, 12, Some(action)).unwrap();
+        let mut set = SigSet::EMPTY;
+        set.insert(12);
+        k.sys_rt_sigprocmask(tid, SIG_BLOCK, Some(set)).unwrap();
+        k.sys_kill(tid, tid, 12).unwrap();
+        assert_eq!(k.next_signal(tid), None, "blocked");
+        assert!(k.sys_rt_sigpending(tid).unwrap().contains(12));
+        k.sys_rt_sigprocmask(tid, SIG_UNBLOCK, Some(set)).unwrap();
+        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Handler { .. })));
+    }
+
+    #[test]
+    fn sigkill_cannot_be_caught() {
+        let (mut k, tid) = kernel_with_proc();
+        let action = WaliSigaction { handler: 9, flags: 0, mask: 0 };
+        assert_eq!(
+            k.sys_rt_sigaction(tid, Signal::Sigkill.number(), Some(action)),
+            Err(SysError::Err(Errno::Einval))
+        );
+    }
+
+    #[test]
+    fn alarm_fires_sigalrm_after_deadline() {
+        let (mut k, tid) = kernel_with_proc();
+        k.sys_alarm(tid, 1).unwrap();
+        assert_eq!(k.next_timer_deadline().is_some(), true);
+        k.clock.advance(2_000_000_000);
+        k.fire_timers();
+        assert!(k.sys_rt_sigpending(tid).unwrap().contains(Signal::Sigalrm.number()));
+        // Default SIGALRM kills.
+        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Killed { signo: 14 })));
+    }
+
+    #[test]
+    fn futex_wait_wake_protocol() {
+        let (mut k, tid) = kernel_with_proc();
+        let t2 = k.sys_clone(tid, CLONE_PTHREAD).unwrap() as Tid;
+        let mm = k.task(tid).unwrap().mm;
+        // t2 waits (value matched).
+        assert!(matches!(k.sys_futex_wait(t2, mm, 0x1000, true, None), Err(SysError::Block(_))));
+        // Waker wakes one.
+        assert_eq!(k.sys_futex_wake(mm, 0x1000, 1).unwrap(), 1);
+        // Retry completes.
+        assert_eq!(k.sys_futex_wait(t2, mm, 0x1000, true, None).unwrap(), 0);
+        // Mismatched value is EAGAIN.
+        assert_eq!(
+            k.sys_futex_wait(t2, mm, 0x1000, false, None),
+            Err(SysError::Err(Errno::Eagain))
+        );
+    }
+
+    #[test]
+    fn exit_thread_wakes_joiner_via_clear_child_tid() {
+        let (mut k, tid) = kernel_with_proc();
+        let t2 = k.sys_clone(tid, CLONE_PTHREAD).unwrap() as Tid;
+        let mm = k.task(tid).unwrap().mm;
+        k.sys_set_tid_address(t2, 0x2000).unwrap();
+        // Main waits on the tid word.
+        assert!(matches!(k.sys_futex_wait(tid, mm, 0x2000, true, None), Err(SysError::Block(_))));
+        k.sys_exit_thread(t2, 0).unwrap();
+        // Woken now.
+        assert_eq!(k.sys_futex_wait(tid, mm, 0x2000, true, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn nanosleep_blocks_until_virtual_deadline() {
+        let (mut k, tid) = kernel_with_proc();
+        let r = k.sys_nanosleep(tid, 1_000_000);
+        let deadline = match r {
+            Err(SysError::Block(b)) => b.deadline.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(k.sys_nanosleep_retry(tid, deadline), Err(SysError::Block(_))));
+        k.clock.advance_to(deadline);
+        assert_eq!(k.sys_nanosleep_retry(tid, deadline).unwrap(), 0);
+    }
+
+    #[test]
+    fn getrandom_is_deterministic() {
+        let mut k1 = Kernel::new();
+        let mut k2 = Kernel::new();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        k1.sys_getrandom(&mut a).unwrap();
+        k2.sys_getrandom(&mut b).unwrap();
+        assert_eq!(a, b);
+        let mut c = [0u8; 16];
+        k1.sys_getrandom(&mut c).unwrap();
+        assert_ne!(a, c, "stream advances");
+    }
+
+    #[test]
+    fn setsid_and_pgid() {
+        let (mut k, tid) = kernel_with_proc();
+        // Leader of its own group: setsid fails.
+        assert_eq!(k.sys_setsid(tid), Err(SysError::Err(Errno::Eperm)));
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        assert_eq!(k.sys_getpgid(child, 0).unwrap(), tid as i64);
+        let sid = k.sys_setsid(child).unwrap();
+        assert_eq!(sid, child as i64);
+        assert_eq!(k.sys_getpgid(child, 0).unwrap(), child as i64);
+    }
+
+    #[test]
+    fn orphans_are_reparented_to_init() {
+        let (mut k, tid) = kernel_with_proc();
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        let grandchild = k.sys_fork(child).unwrap() as Tid;
+        k.sys_exit_group(child, 0).unwrap();
+        assert_eq!(k.task(grandchild).unwrap().ppid, 1);
+    }
+}

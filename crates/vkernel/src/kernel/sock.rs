@@ -1,0 +1,742 @@
+//! Socket syscalls and readiness (`poll`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wali_abi::flags::{
+    MSG_DONTWAIT, MSG_PEEK, O_NONBLOCK, POLLERR, POLLHUP, POLLIN, POLLOUT, SHUT_RD,
+    SHUT_RDWR, SHUT_WR, SOCK_CLOEXEC, SOCK_DGRAM, SOCK_NONBLOCK, SOCK_STREAM,
+};
+use wali_abi::layout::WaliSockaddr;
+use wali_abi::signals::Signal;
+use wali_abi::Errno;
+
+use crate::fd::{FileKind, FileRef, OpenFile};
+use crate::socket::{addr_key, SockState, Socket};
+use crate::vfs::DevKind;
+use crate::vfs::InodeKind;
+use crate::{block, SysResult, Tid};
+
+use super::Kernel;
+
+impl Kernel {
+    fn sock_fd(&mut self, tid: Tid, sock_id: usize, flags: i32) -> SysResult<i32> {
+        let status = if flags & SOCK_NONBLOCK != 0 { O_NONBLOCK } else { 0 };
+        let file: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::Socket(sock_id), status)));
+        let task = self.task(tid)?;
+        let fd = task.fdtable.borrow_mut().alloc(file, flags & SOCK_CLOEXEC != 0)?;
+        Ok(fd)
+    }
+
+    fn sock_of_fd(&self, tid: Tid, fd: i32) -> Result<usize, Errno> {
+        let task = self.task(tid)?;
+        let table = task.fdtable.borrow();
+        let kind = table.get(fd)?.file.borrow().kind.clone();
+        match kind {
+            FileKind::Socket(id) => Ok(id),
+            _ => Err(Errno::Enotsock),
+        }
+    }
+
+    fn fd_nonblock(&self, tid: Tid, fd: i32) -> bool {
+        self.task(tid)
+            .ok()
+            .and_then(|t| {
+                let table = t.fdtable.borrow();
+                table.get(fd).ok().map(|e| e.file.borrow().flags & O_NONBLOCK != 0)
+            })
+            .unwrap_or(false)
+    }
+
+    /// `socket`.
+    pub fn sys_socket(&mut self, tid: Tid, domain: i32, ty: i32, _proto: i32) -> SysResult<i32> {
+        use wali_abi::flags::{AF_INET, AF_UNIX};
+        if domain != AF_UNIX && domain != AF_INET {
+            return Err(Errno::Eafnosupport.into());
+        }
+        let base_ty = ty & 0xf;
+        if base_ty != SOCK_STREAM && base_ty != SOCK_DGRAM {
+            return Err(Errno::Eprotonosupport.into());
+        }
+        let mut sock = Socket::new(domain, base_ty);
+        sock.nonblock = ty & SOCK_NONBLOCK != 0;
+        let id = self.alloc_socket(sock);
+        self.sock_fd(tid, id, ty)
+    }
+
+    /// `bind`.
+    pub fn sys_bind(&mut self, tid: Tid, fd: i32, addr: WaliSockaddr) -> SysResult {
+        let id = self.sock_of_fd(tid, fd)?;
+        let addr = match addr {
+            WaliSockaddr::Inet { addr: ip, port: 0 } => {
+                // Ephemeral port assignment.
+                let mut port = 49152u16;
+                while self.addr_registry.contains_key(&addr_key(&WaliSockaddr::Inet {
+                    addr: ip,
+                    port,
+                })) {
+                    port = port.checked_add(1).ok_or(Errno::Eaddrinuse)?;
+                }
+                WaliSockaddr::Inet { addr: ip, port }
+            }
+            other => other,
+        };
+        let key = addr_key(&addr);
+        if self.addr_registry.contains_key(&key) {
+            return Err(Errno::Eaddrinuse.into());
+        }
+        let sock = self.socket(id)?;
+        if sock.local.is_some() {
+            return Err(Errno::Einval.into());
+        }
+        sock.local = Some(addr.clone());
+        sock.state = SockState::Bound;
+        self.addr_registry.insert(key, id);
+        Ok(0)
+    }
+
+    /// `listen`.
+    pub fn sys_listen(&mut self, tid: Tid, fd: i32, backlog: i32) -> SysResult {
+        let id = self.sock_of_fd(tid, fd)?;
+        let sock = self.socket(id)?;
+        if sock.ty != SOCK_STREAM {
+            return Err(Errno::Eopnotsupp.into());
+        }
+        match sock.state {
+            SockState::Bound | SockState::Listening { .. } => {
+                sock.state = SockState::Listening {
+                    backlog: backlog.max(1) as usize,
+                    pending: Default::default(),
+                };
+                Ok(0)
+            }
+            _ => Err(Errno::Einval.into()),
+        }
+    }
+
+    /// `connect`.
+    pub fn sys_connect(&mut self, tid: Tid, fd: i32, addr: WaliSockaddr) -> SysResult {
+        let id = self.sock_of_fd(tid, fd)?;
+        let (ty, state_ok) = {
+            let s = self.socket(id)?;
+            (s.ty, matches!(s.state, SockState::Unbound | SockState::Bound))
+        };
+        if ty == SOCK_DGRAM {
+            // Datagram connect just sets the default peer address.
+            let s = self.socket(id)?;
+            s.remote = Some(addr);
+            return Ok(0);
+        }
+        if !state_ok {
+            return Err(Errno::Eisconn.into());
+        }
+        let listener_id =
+            *self.addr_registry.get(&addr_key(&addr)).ok_or(Errno::Econnrefused)?;
+        // Create the server-side socket of the pair.
+        let (domain, srv_ty) = {
+            let l = self.socket_ref(listener_id)?;
+            match &l.state {
+                SockState::Listening { backlog, pending } if pending.len() >= *backlog => {
+                    return Err(Errno::Econnrefused.into());
+                }
+                SockState::Listening { .. } => {}
+                _ => return Err(Errno::Econnrefused.into()),
+            }
+            (l.domain, l.ty)
+        };
+        let mut server_side = Socket::new(domain, srv_ty);
+        server_side.state = SockState::Connected { peer: id };
+        server_side.local = Some(addr.clone());
+        let server_id = self.alloc_socket(server_side);
+
+        {
+            let client = self.socket(id)?;
+            client.state = SockState::Connected { peer: server_id };
+            client.remote = Some(addr);
+        }
+        {
+            let client_local = self.socket_ref(id)?.local.clone();
+            let server = self.socket(server_id)?;
+            server.remote = client_local;
+        }
+        match &mut self.socket(listener_id)?.state {
+            SockState::Listening { pending, .. } => pending.push_back(server_id),
+            _ => unreachable!("checked above"),
+        }
+        Ok(0)
+    }
+
+    /// `accept4`: returns the new connection fd.
+    pub fn sys_accept(&mut self, tid: Tid, fd: i32, flags: i32) -> SysResult<i32> {
+        let id = self.sock_of_fd(tid, fd)?;
+        let nonblock = self.fd_nonblock(tid, fd) || self.socket_ref(id)?.nonblock;
+        let conn = {
+            let sock = self.socket(id)?;
+            match &mut sock.state {
+                SockState::Listening { pending, .. } => pending.pop_front(),
+                _ => return Err(Errno::Einval.into()),
+            }
+        };
+        match conn {
+            Some(conn_id) => self.sock_fd(tid, conn_id, flags),
+            None if nonblock => Err(Errno::Eagain.into()),
+            None => {
+                if self.has_pending_signal(tid) {
+                    Err(Errno::Eintr.into())
+                } else {
+                    Err(block())
+                }
+            }
+        }
+    }
+
+    /// Stream/dgram send used by `write`, `send` and `sendto`.
+    pub fn sock_send(&mut self, tid: Tid, id: usize, data: &[u8], msg_flags: i32) -> SysResult<usize> {
+        let nonblock =
+            msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
+        let (ty, state, shut_wr) = {
+            let s = self.socket_ref(id)?;
+            (s.ty, s.state.clone(), s.shut_wr)
+        };
+        if shut_wr {
+            return self.epipe(tid);
+        }
+        match (ty, state) {
+            (SOCK_STREAM, SockState::Connected { peer }) => {
+                let peer_ok = matches!(
+                    self.socket_ref(peer).map(|p| p.state.clone()),
+                    Ok(SockState::Connected { .. })
+                );
+                if !peer_ok {
+                    return self.epipe(tid);
+                }
+                let p = self.socket(peer)?;
+                if p.shut_rd {
+                    return self.epipe(tid);
+                }
+                let space = p.recv_space();
+                if space == 0 {
+                    if nonblock {
+                        return Err(Errno::Eagain.into());
+                    }
+                    return Err(block());
+                }
+                let n = data.len().min(space);
+                p.recv.extend(&data[..n]);
+                Ok(n)
+            }
+            (SOCK_STREAM, SockState::Closed) => self.epipe(tid),
+            (SOCK_STREAM, _) => Err(Errno::Enotconn.into()),
+            (SOCK_DGRAM, _) => {
+                let dest = self.socket_ref(id)?.remote.clone().ok_or(Errno::Edestaddrreq)?;
+                self.dgram_send_to(id, &dest, data)
+            }
+            _ => Err(Errno::Einval.into()),
+        }
+    }
+
+    fn epipe(&mut self, tid: Tid) -> SysResult<usize> {
+        let tgid = self.task(tid)?.tgid;
+        let _ = self.send_signal_to_process(tgid, Signal::Sigpipe.number());
+        Err(Errno::Epipe.into())
+    }
+
+    fn dgram_send_to(
+        &mut self,
+        from_id: usize,
+        dest: &WaliSockaddr,
+        data: &[u8],
+    ) -> SysResult<usize> {
+        let target = *self.addr_registry.get(&addr_key(dest)).ok_or(Errno::Econnrefused)?;
+        let src = self
+            .socket_ref(from_id)?
+            .local
+            .clone()
+            .unwrap_or(WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 0 });
+        let t = self.socket(target)?;
+        if t.dgrams.len() >= 256 {
+            return Err(Errno::Enobufs.into());
+        }
+        t.dgrams.push_back((src, data.to_vec()));
+        Ok(data.len())
+    }
+
+    /// `sendto`.
+    pub fn sys_sendto(
+        &mut self,
+        tid: Tid,
+        fd: i32,
+        data: &[u8],
+        msg_flags: i32,
+        dest: Option<WaliSockaddr>,
+    ) -> SysResult<usize> {
+        let id = self.sock_of_fd(tid, fd)?;
+        match dest {
+            Some(addr) if self.socket_ref(id)?.ty == SOCK_DGRAM => {
+                self.dgram_send_to(id, &addr, data)
+            }
+            _ => self.sock_send(tid, id, data, msg_flags),
+        }
+    }
+
+    /// Stream/dgram receive used by `read`, `recv` and `recvfrom`.
+    pub fn sock_recv(&mut self, tid: Tid, id: usize, out: &mut [u8], msg_flags: i32) -> SysResult<usize> {
+        let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
+        let peek = msg_flags & MSG_PEEK != 0;
+        let (ty, state, shut_rd) = {
+            let s = self.socket_ref(id)?;
+            (s.ty, s.state.clone(), s.shut_rd)
+        };
+        match ty {
+            SOCK_STREAM => {
+                let s = self.socket(id)?;
+                if !s.recv.is_empty() {
+                    let n = out.len().min(s.recv.len());
+                    if peek {
+                        for (i, b) in s.recv.iter().take(n).enumerate() {
+                            out[i] = *b;
+                        }
+                    } else {
+                        for b in out.iter_mut().take(n) {
+                            *b = s.recv.pop_front().expect("non-empty");
+                        }
+                    }
+                    return Ok(n);
+                }
+                if shut_rd || matches!(state, SockState::Closed) {
+                    return Ok(0);
+                }
+                // Peer gone means EOF too.
+                if let SockState::Connected { peer } = state {
+                    let peer_live = matches!(
+                        self.socket_ref(peer).map(|p| p.state.clone()),
+                        Ok(SockState::Connected { .. })
+                    );
+                    if !peer_live {
+                        return Ok(0);
+                    }
+                } else {
+                    return Err(Errno::Enotconn.into());
+                }
+                if nonblock {
+                    return Err(Errno::Eagain.into());
+                }
+                if self.has_pending_signal(tid) {
+                    return Err(Errno::Eintr.into());
+                }
+                Err(block())
+            }
+            SOCK_DGRAM => {
+                let s = self.socket(id)?;
+                match if peek { s.dgrams.front().cloned() } else { s.dgrams.pop_front() } {
+                    Some((_, data)) => {
+                        let n = out.len().min(data.len());
+                        out[..n].copy_from_slice(&data[..n]);
+                        Ok(n)
+                    }
+                    None if shut_rd => Ok(0),
+                    None if nonblock => Err(Errno::Eagain.into()),
+                    None => Err(block()),
+                }
+            }
+            _ => Err(Errno::Einval.into()),
+        }
+    }
+
+    /// `recvfrom`: returns `(n, source_address)`.
+    pub fn sys_recvfrom(
+        &mut self,
+        tid: Tid,
+        fd: i32,
+        out: &mut [u8],
+        msg_flags: i32,
+    ) -> SysResult<(usize, Option<WaliSockaddr>)> {
+        let id = self.sock_of_fd(tid, fd)?;
+        if self.socket_ref(id)?.ty == SOCK_DGRAM {
+            let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
+            let s = self.socket(id)?;
+            return match s.dgrams.pop_front() {
+                Some((src, data)) => {
+                    let n = out.len().min(data.len());
+                    out[..n].copy_from_slice(&data[..n]);
+                    Ok((n, Some(src)))
+                }
+                None if nonblock => Err(Errno::Eagain.into()),
+                None => Err(block()),
+            };
+        }
+        let n = self.sock_recv(tid, id, out, msg_flags)?;
+        let src = self.socket_ref(id)?.remote.clone();
+        Ok((n, src))
+    }
+
+    /// `shutdown`.
+    pub fn sys_shutdown(&mut self, tid: Tid, fd: i32, how: i32) -> SysResult {
+        let id = self.sock_of_fd(tid, fd)?;
+        let s = self.socket(id)?;
+        match how {
+            SHUT_RD => s.shut_rd = true,
+            SHUT_WR => s.shut_wr = true,
+            SHUT_RDWR => {
+                s.shut_rd = true;
+                s.shut_wr = true;
+            }
+            _ => return Err(Errno::Einval.into()),
+        }
+        Ok(0)
+    }
+
+    /// `socketpair`.
+    pub fn sys_socketpair(&mut self, tid: Tid, domain: i32, ty: i32) -> SysResult<(i32, i32)> {
+        let base_ty = ty & 0xf;
+        let a = self.alloc_socket(Socket::new(domain, base_ty));
+        let b = self.alloc_socket(Socket::new(domain, base_ty));
+        self.socket(a)?.state = SockState::Connected { peer: b };
+        self.socket(b)?.state = SockState::Connected { peer: a };
+        let fa = self.sock_fd(tid, a, ty)?;
+        let fb = self.sock_fd(tid, b, ty)?;
+        Ok((fa, fb))
+    }
+
+    /// `setsockopt`.
+    pub fn sys_setsockopt(
+        &mut self,
+        tid: Tid,
+        fd: i32,
+        level: i32,
+        name: i32,
+        value: i32,
+    ) -> SysResult {
+        let id = self.sock_of_fd(tid, fd)?;
+        self.socket(id)?.set_option(level, name, value);
+        Ok(0)
+    }
+
+    /// `getsockopt`.
+    pub fn sys_getsockopt(&mut self, tid: Tid, fd: i32, level: i32, name: i32) -> SysResult<i32> {
+        let id = self.sock_of_fd(tid, fd)?;
+        Ok(self.socket_ref(id)?.get_option(level, name))
+    }
+
+    /// `getsockname`.
+    pub fn sys_getsockname(&mut self, tid: Tid, fd: i32) -> SysResult<WaliSockaddr> {
+        let id = self.sock_of_fd(tid, fd)?;
+        self.socket_ref(id)?
+            .local
+            .clone()
+            .ok_or(Errno::Einval.into())
+    }
+
+    /// `getpeername`.
+    pub fn sys_getpeername(&mut self, tid: Tid, fd: i32) -> SysResult<WaliSockaddr> {
+        let id = self.sock_of_fd(tid, fd)?;
+        self.socket_ref(id)?
+            .remote
+            .clone()
+            .ok_or(Errno::Enotconn.into())
+    }
+
+    /// Tears a socket down when its last descriptor closes.
+    pub(crate) fn release_socket(&mut self, id: usize) {
+        // Unregister the bound address only if this socket owns the
+        // registration (accepted connections share the listener's local
+        // address but must not tear its registration down).
+        if let Ok(s) = self.socket_ref(id) {
+            if let Some(local) = &s.local {
+                let key = addr_key(local);
+                if self.addr_registry.get(&key) == Some(&id) {
+                    self.addr_registry.remove(&key);
+                }
+            }
+        }
+        let peer = match self.socket_ref(id).map(|s| s.state.clone()) {
+            Ok(SockState::Connected { peer }) => Some(peer),
+            _ => None,
+        };
+        if let Some(p) = peer {
+            if let Ok(ps) = self.socket(p) {
+                ps.state = SockState::Closed;
+            }
+        }
+        // Drop pending unaccepted connections of a listener.
+        if let Ok(s) = self.socket(id) {
+            if let SockState::Listening { pending, .. } = &mut s.state {
+                let orphans: Vec<usize> = pending.drain(..).collect();
+                s.state = SockState::Closed;
+                for o in orphans {
+                    if let Ok(os) = self.socket(o) {
+                        os.state = SockState::Closed;
+                    }
+                }
+            } else {
+                s.state = SockState::Closed;
+            }
+        }
+        self.sockets[id] = None;
+    }
+
+    // --- poll ---------------------------------------------------------------
+
+    /// Readiness check for `poll`: computes `revents` for each `(fd,
+    /// events)` pair. The embedder handles blocking and timeouts.
+    pub fn poll_check(&mut self, tid: Tid, fds: &[(i32, i16)]) -> SysResult<Vec<i16>> {
+        let mut out = Vec::with_capacity(fds.len());
+        for &(fd, events) in fds {
+            let revents = if fd < 0 { 0 } else { self.poll_one(tid, fd, events)? };
+            out.push(revents);
+        }
+        Ok(out)
+    }
+
+    fn poll_one(&mut self, tid: Tid, fd: i32, events: i16) -> SysResult<i16> {
+        let task = self.task(tid)?;
+        let entry = {
+            let table = task.fdtable.borrow();
+            match table.get(fd) {
+                Ok(e) => e.file.clone(),
+                Err(_) => return Ok(wali_abi::flags::POLLNVAL),
+            }
+        };
+        let kind = entry.borrow().kind.clone();
+        let mut revents = 0i16;
+        match kind {
+            FileKind::Regular(_) | FileKind::Dir(_) | FileKind::ProcSnapshot(_) => {
+                // Always ready.
+                revents |= (POLLIN | POLLOUT) & events;
+            }
+            FileKind::PipeRead(id) => {
+                let p = self.pipe(id)?;
+                if p.readable() {
+                    revents |= POLLIN & events;
+                }
+                if p.writers == 0 {
+                    revents |= POLLHUP;
+                }
+            }
+            FileKind::PipeWrite(id) => {
+                let p = self.pipe(id)?;
+                if p.writable() {
+                    revents |= POLLOUT & events;
+                }
+                if p.readers == 0 {
+                    revents |= POLLERR;
+                }
+            }
+            FileKind::Socket(id) => {
+                let s = self.socket_ref(id)?;
+                if s.readable() {
+                    revents |= POLLIN & events;
+                }
+                match &s.state {
+                    SockState::Connected { peer } => {
+                        let peer_live = matches!(
+                            self.socket_ref(*peer).map(|p| p.state.clone()),
+                            Ok(SockState::Connected { .. })
+                        );
+                        if !peer_live {
+                            revents |= POLLIN & events | POLLHUP;
+                        } else if self.socket_ref(*peer)?.recv_space() > 0 {
+                            revents |= POLLOUT & events;
+                        }
+                    }
+                    SockState::Closed => revents |= POLLHUP,
+                    _ => {}
+                }
+            }
+            FileKind::CharDev(inode) => {
+                let dev = match &self.vfs.get(inode)?.kind {
+                    InodeKind::CharDev(d) => d.clone(),
+                    _ => return Ok(0),
+                };
+                match dev {
+                    // The console never produces input; always writable.
+                    DevKind::Tty => revents |= POLLOUT & events,
+                    _ => revents |= (POLLIN | POLLOUT) & events,
+                }
+            }
+            FileKind::EventFd => {
+                if entry.borrow().counter > 0 {
+                    revents |= POLLIN & events;
+                }
+                revents |= POLLOUT & events;
+            }
+        }
+        Ok(revents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SysError;
+    use wali_abi::flags::{AF_INET, AF_UNIX};
+
+    fn kp() -> (Kernel, Tid) {
+        let mut k = Kernel::new();
+        let tid = k.spawn_process();
+        (k, tid)
+    }
+
+    fn loopback(port: u16) -> WaliSockaddr {
+        WaliSockaddr::Inet { addr: [127, 0, 0, 1], port }
+    }
+
+    #[test]
+    fn stream_connect_accept_echo() {
+        let (mut k, tid) = kp();
+        let srv = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_bind(tid, srv, loopback(8080)).unwrap();
+        k.sys_listen(tid, srv, 8).unwrap();
+
+        let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_connect(tid, cli, loopback(8080)).unwrap();
+        let conn = k.sys_accept(tid, srv, 0).unwrap();
+
+        let id = k.sock_of_fd(tid, cli).unwrap();
+        assert_eq!(k.sock_send(tid, id, b"ping", 0).unwrap(), 4);
+        let mut buf = [0u8; 8];
+        assert_eq!(k.sys_read(tid, conn, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+
+        // Echo back.
+        assert_eq!(k.sys_write(tid, conn, b"pong").unwrap(), 4);
+        assert_eq!(k.sys_read(tid, cli, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"pong");
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let (mut k, tid) = kp();
+        let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        assert_eq!(
+            k.sys_connect(tid, cli, loopback(9999)),
+            Err(SysError::Err(Errno::Econnrefused))
+        );
+    }
+
+    #[test]
+    fn bind_conflicts_are_eaddrinuse() {
+        let (mut k, tid) = kp();
+        let a = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        let b = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_bind(tid, a, loopback(80)).unwrap();
+        assert_eq!(k.sys_bind(tid, b, loopback(80)), Err(SysError::Err(Errno::Eaddrinuse)));
+        // Ephemeral assignment works.
+        k.sys_bind(tid, b, loopback(0)).unwrap();
+        let local = k.sys_getsockname(tid, b).unwrap();
+        assert!(matches!(local, WaliSockaddr::Inet { port, .. } if port >= 49152));
+    }
+
+    #[test]
+    fn accept_blocks_until_connection() {
+        let (mut k, tid) = kp();
+        let srv = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_bind(tid, srv, loopback(7000)).unwrap();
+        k.sys_listen(tid, srv, 1).unwrap();
+        assert!(matches!(k.sys_accept(tid, srv, 0), Err(SysError::Block(_))));
+        let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_connect(tid, cli, loopback(7000)).unwrap();
+        assert!(k.sys_accept(tid, srv, 0).is_ok());
+    }
+
+    #[test]
+    fn close_propagates_eof_and_epipe() {
+        let (mut k, tid) = kp();
+        let (a, b) = k.sys_socketpair(tid, AF_UNIX, SOCK_STREAM).unwrap();
+        k.sys_write(tid, a, b"bye").unwrap();
+        k.sys_close(tid, a).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(k.sys_read(tid, b, &mut buf).unwrap(), 3, "drain buffered data");
+        assert_eq!(k.sys_read(tid, b, &mut buf).unwrap(), 0, "then EOF");
+        assert_eq!(k.sys_write(tid, b, b"x"), Err(SysError::Err(Errno::Epipe)));
+    }
+
+    #[test]
+    fn dgram_sendto_recvfrom() {
+        let (mut k, tid) = kp();
+        let rx = k.sys_socket(tid, AF_INET, SOCK_DGRAM, 0).unwrap();
+        k.sys_bind(tid, rx, loopback(5353)).unwrap();
+        let tx = k.sys_socket(tid, AF_INET, SOCK_DGRAM, 0).unwrap();
+        k.sys_bind(tid, tx, loopback(5454)).unwrap();
+        assert_eq!(k.sys_sendto(tid, tx, b"dgram", 0, Some(loopback(5353))).unwrap(), 5);
+        let mut buf = [0u8; 16];
+        let (n, src) = k.sys_recvfrom(tid, rx, &mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"dgram");
+        assert_eq!(src, Some(loopback(5454)));
+    }
+
+    #[test]
+    fn unix_sockets_use_path_namespace() {
+        let (mut k, tid) = kp();
+        let srv = k.sys_socket(tid, AF_UNIX, SOCK_STREAM, 0).unwrap();
+        let addr = WaliSockaddr::Unix { path: "/tmp/test.sock".into() };
+        k.sys_bind(tid, srv, addr.clone()).unwrap();
+        k.sys_listen(tid, srv, 4).unwrap();
+        let cli = k.sys_socket(tid, AF_UNIX, SOCK_STREAM, 0).unwrap();
+        k.sys_connect(tid, cli, addr).unwrap();
+        assert!(k.sys_accept(tid, srv, 0).is_ok());
+    }
+
+    #[test]
+    fn sockopts_and_peeking() {
+        use wali_abi::flags::{SOL_SOCKET, SO_REUSEADDR};
+        let (mut k, tid) = kp();
+        let (a, b) = k.sys_socketpair(tid, AF_UNIX, SOCK_STREAM).unwrap();
+        k.sys_setsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR, 1).unwrap();
+        assert_eq!(k.sys_getsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR).unwrap(), 1);
+        k.sys_write(tid, a, b"peekme").unwrap();
+        let id = k.sock_of_fd(tid, b).unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(k.sock_recv(tid, id, &mut buf, MSG_PEEK).unwrap(), 6);
+        assert_eq!(k.sock_recv(tid, id, &mut buf, 0).unwrap(), 6, "peek did not consume");
+    }
+
+    #[test]
+    fn shutdown_wr_gives_epipe_rd_gives_eof() {
+        let (mut k, tid) = kp();
+        let (a, b) = k.sys_socketpair(tid, AF_UNIX, SOCK_STREAM).unwrap();
+        k.sys_shutdown(tid, a, SHUT_WR).unwrap();
+        assert_eq!(k.sys_write(tid, a, b"x"), Err(SysError::Err(Errno::Epipe)));
+        k.sys_shutdown(tid, b, SHUT_RD).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(k.sys_read(tid, b, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn poll_reports_readiness() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let revents = k.poll_check(tid, &[(r, POLLIN), (w, POLLOUT)]).unwrap();
+        assert_eq!(revents[0], 0, "empty pipe not readable");
+        assert_eq!(revents[1], POLLOUT);
+        k.sys_write(tid, w, b"data").unwrap();
+        let revents = k.poll_check(tid, &[(r, POLLIN)]).unwrap();
+        assert_eq!(revents[0], POLLIN);
+        // Bad fd reports POLLNVAL.
+        let revents = k.poll_check(tid, &[(99, POLLIN)]).unwrap();
+        assert_eq!(revents[0], wali_abi::flags::POLLNVAL);
+    }
+
+    #[test]
+    fn poll_detects_hangup() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        k.sys_close(tid, w).unwrap();
+        let revents = k.poll_check(tid, &[(r, POLLIN)]).unwrap();
+        assert_ne!(revents[0] & POLLHUP, 0);
+    }
+
+    #[test]
+    fn listener_close_resets_pending() {
+        let (mut k, tid) = kp();
+        let srv = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_bind(tid, srv, loopback(6000)).unwrap();
+        k.sys_listen(tid, srv, 4).unwrap();
+        let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_connect(tid, cli, loopback(6000)).unwrap();
+        k.sys_close(tid, srv).unwrap();
+        // Port is released.
+        let srv2 = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_bind(tid, srv2, loopback(6000)).unwrap();
+    }
+}

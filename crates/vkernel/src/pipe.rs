@@ -1,0 +1,148 @@
+//! Anonymous pipes with Linux buffer semantics.
+
+use std::collections::VecDeque;
+
+/// Default pipe capacity (Linux: 16 pages).
+pub const PIPE_BUF_SIZE: usize = 16 * 4096;
+
+/// One pipe's shared buffer state.
+#[derive(Clone, Debug)]
+pub struct Pipe {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    /// Number of open read ends.
+    pub readers: u32,
+    /// Number of open write ends.
+    pub writers: u32,
+}
+
+impl Default for Pipe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of a pipe read/write attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipeIo {
+    /// Bytes transferred.
+    Xfer(usize),
+    /// Nothing available / no space; caller blocks or gets EAGAIN.
+    WouldBlock,
+    /// Read: all writers closed and buffer drained (EOF).
+    Eof,
+    /// Write: all readers closed (EPIPE + SIGPIPE).
+    Broken,
+}
+
+impl Pipe {
+    /// Creates an empty pipe with one reader and one writer end.
+    pub fn new() -> Pipe {
+        Pipe { buf: VecDeque::new(), capacity: PIPE_BUF_SIZE, readers: 1, writers: 1 }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Space left before writers block.
+    pub fn space(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Attempts to read up to `out.len()` bytes.
+    pub fn read(&mut self, out: &mut [u8]) -> PipeIo {
+        if self.buf.is_empty() {
+            if self.writers == 0 {
+                return PipeIo::Eof;
+            }
+            return PipeIo::WouldBlock;
+        }
+        let n = out.len().min(self.buf.len());
+        for b in out.iter_mut().take(n) {
+            *b = self.buf.pop_front().expect("non-empty");
+        }
+        PipeIo::Xfer(n)
+    }
+
+    /// Attempts to write `data`, transferring as much as fits.
+    pub fn write(&mut self, data: &[u8]) -> PipeIo {
+        if self.readers == 0 {
+            return PipeIo::Broken;
+        }
+        if self.space() == 0 {
+            return PipeIo::WouldBlock;
+        }
+        let n = data.len().min(self.space());
+        self.buf.extend(&data[..n]);
+        PipeIo::Xfer(n)
+    }
+
+    /// True if a reader would not block.
+    pub fn readable(&self) -> bool {
+        !self.buf.is_empty() || self.writers == 0
+    }
+
+    /// True if a writer would not block.
+    pub fn writable(&self) -> bool {
+        self.space() > 0 || self.readers == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut p = Pipe::new();
+        assert_eq!(p.write(b"hello"), PipeIo::Xfer(5));
+        let mut buf = [0u8; 16];
+        assert_eq!(p.read(&mut buf), PipeIo::Xfer(5));
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(p.read(&mut buf), PipeIo::WouldBlock);
+    }
+
+    #[test]
+    fn eof_when_writers_gone() {
+        let mut p = Pipe::new();
+        p.write(b"x").unwrap_xfer();
+        p.writers = 0;
+        let mut buf = [0u8; 4];
+        assert_eq!(p.read(&mut buf), PipeIo::Xfer(1), "drain first");
+        assert_eq!(p.read(&mut buf), PipeIo::Eof);
+    }
+
+    #[test]
+    fn broken_when_readers_gone() {
+        let mut p = Pipe::new();
+        p.readers = 0;
+        assert_eq!(p.write(b"x"), PipeIo::Broken);
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut p = Pipe::new();
+        let big = vec![7u8; PIPE_BUF_SIZE + 100];
+        assert_eq!(p.write(&big), PipeIo::Xfer(PIPE_BUF_SIZE));
+        assert_eq!(p.write(b"more"), PipeIo::WouldBlock);
+        let mut buf = vec![0u8; 100];
+        assert_eq!(p.read(&mut buf), PipeIo::Xfer(100));
+        assert_eq!(p.write(b"more"), PipeIo::Xfer(4));
+    }
+
+    impl PipeIo {
+        fn unwrap_xfer(self) -> usize {
+            match self {
+                PipeIo::Xfer(n) => n,
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

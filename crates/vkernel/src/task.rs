@@ -1,0 +1,177 @@
+//! Kernel tasks: threads and processes.
+//!
+//! A *task* is one schedulable entity (Linux LWP). A *process* (thread
+//! group) is the set of tasks sharing a `tgid`. Sharing of the fd table,
+//! filesystem info, signal handlers and address space is governed by the
+//! `clone` flags exactly as on Linux, which is what lets WALI explore the
+//! paper's process-model spectrum (§3.1, Fig. 4).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use wali_abi::signals::SigSet;
+
+use crate::fd::FdTable;
+use crate::signal::{PendingSet, SigHandlers};
+use crate::vfs::InodeId;
+use crate::MmId;
+
+/// A thread id.
+pub type Tid = i32;
+/// A process (thread-group) id.
+pub type Pid = i32;
+
+/// Filesystem info shared under `CLONE_FS`.
+#[derive(Clone, Debug)]
+pub struct FsInfo {
+    /// Current working directory inode.
+    pub cwd: InodeId,
+    /// File-creation mask.
+    pub umask: u32,
+}
+
+/// Scheduling/lifecycle state of a task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Runnable or running.
+    Running,
+    /// Stopped by a job-control signal; resumes on SIGCONT.
+    Stopped,
+    /// Exited but not yet reaped; wait-status attached.
+    Zombie(i32),
+    /// Fully reaped (slot reusable only after removal).
+    Dead,
+}
+
+/// Per-process accounting (approximate rusage).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rusage {
+    /// Virtual user time (ns).
+    pub utime_ns: u64,
+    /// Virtual system time (ns).
+    pub stime_ns: u64,
+    /// Peak resident set (bytes, engine-reported).
+    pub maxrss: u64,
+    /// Voluntary context switches (blocks).
+    pub nvcsw: u64,
+}
+
+/// One kernel task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Thread id (unique).
+    pub tid: Tid,
+    /// Thread-group id (process id).
+    pub tgid: Pid,
+    /// Parent process id.
+    pub ppid: Pid,
+    /// Process group id.
+    pub pgid: Pid,
+    /// Session id.
+    pub sid: Pid,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Descriptor table (shared under `CLONE_FILES`).
+    pub fdtable: Rc<RefCell<FdTable>>,
+    /// cwd/umask (shared under `CLONE_FS`).
+    pub fs: Rc<RefCell<FsInfo>>,
+    /// Signal handlers (shared under `CLONE_SIGHAND`).
+    pub sighand: Rc<RefCell<SigHandlers>>,
+    /// Process-wide pending signals (shared by the thread group).
+    pub shared_pending: Rc<RefCell<PendingSet>>,
+    /// Thread-private pending signals (`tkill`/`tgkill`).
+    pub pending: PendingSet,
+    /// Blocked-signal mask (per thread).
+    pub sigmask: SigSet,
+    /// Address-space identity (shared under `CLONE_VM`).
+    pub mm: MmId,
+    /// Real/effective/saved uid (simplified to one triple slot each).
+    pub uid: u32,
+    /// Effective uid.
+    pub euid: u32,
+    /// Real gid.
+    pub gid: u32,
+    /// Effective gid.
+    pub egid: u32,
+    /// Children pids (for `wait4`).
+    pub children: Vec<Pid>,
+    /// `set_tid_address` / `CLONE_CHILD_CLEARTID` address.
+    pub clear_child_tid: u32,
+    /// Accounting.
+    pub rusage: Rusage,
+    /// Pending `alarm(2)` deadline (virtual mono ns).
+    pub alarm_deadline: Option<u64>,
+    /// A futex wake hit this task while it was blocked.
+    pub futex_woken: bool,
+    /// Exit code passed to `exit_group`, once exited.
+    pub exit_code: Option<i32>,
+    /// Fast-path flag the embedder polls at safepoints: set whenever a
+    /// signal may be deliverable or the task was terminated, cleared by
+    /// the embedder once drained. Keeps safepoint polling O(1).
+    pub sig_hint: Rc<Cell<bool>>,
+}
+
+impl Task {
+    /// Creates the init task (pid 1).
+    pub fn init(root: InodeId) -> Task {
+        Task {
+            tid: 1,
+            tgid: 1,
+            ppid: 0,
+            pgid: 1,
+            sid: 1,
+            state: TaskState::Running,
+            fdtable: Rc::new(RefCell::new(FdTable::new())),
+            fs: Rc::new(RefCell::new(FsInfo { cwd: root, umask: 0o022 })),
+            sighand: Rc::new(RefCell::new(SigHandlers::new())),
+            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            pending: PendingSet::default(),
+            sigmask: SigSet::EMPTY,
+            mm: MmId(1),
+            uid: 1000,
+            euid: 1000,
+            gid: 1000,
+            egid: 1000,
+            children: Vec::new(),
+            clear_child_tid: 0,
+            rusage: Rusage::default(),
+            alarm_deadline: None,
+            futex_woken: false,
+            exit_code: None,
+            sig_hint: Rc::new(Cell::new(false)),
+        }
+    }
+
+    /// True when the task can be scheduled.
+    pub fn runnable(&self) -> bool {
+        self.state == TaskState::Running
+    }
+
+    /// True when the task has exited (zombie or dead).
+    pub fn exited(&self) -> bool {
+        matches!(self.state, TaskState::Zombie(_) | TaskState::Dead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_task_shape() {
+        let t = Task::init(0);
+        assert_eq!(t.tid, 1);
+        assert_eq!(t.tgid, 1);
+        assert_eq!(t.sid, 1);
+        assert!(t.runnable());
+        assert!(!t.exited());
+    }
+
+    #[test]
+    fn zombie_is_exited_not_runnable() {
+        let mut t = Task::init(0);
+        t.state = TaskState::Zombie(0);
+        assert!(t.exited());
+        assert!(!t.runnable());
+    }
+}

@@ -1,0 +1,544 @@
+//! In-memory virtual filesystem: inodes, directories, symlinks, devices
+//! and the `/proc` entries WALI's security model interposes on.
+
+use std::collections::BTreeMap;
+
+use wali_abi::flags::{S_IFCHR, S_IFDIR, S_IFLNK, S_IFMT, S_IFREG};
+use wali_abi::Errno;
+
+/// Index into the inode table.
+pub type InodeId = usize;
+
+/// Maximum symlink traversals before `ELOOP`.
+pub const MAX_SYMLINK_DEPTH: u32 = 40;
+/// Maximum path length before `ENAMETOOLONG`.
+pub const PATH_MAX: usize = 4096;
+
+/// Character/pseudo device behaviours.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DevKind {
+    /// `/dev/null`: reads EOF, writes discarded.
+    Null,
+    /// `/dev/zero`: reads zeros.
+    Zero,
+    /// `/dev/urandom`: deterministic pseudo-random stream.
+    Urandom,
+    /// `/dev/tty`: line console (writes captured by the kernel).
+    Tty,
+    /// `/proc/self/mem`: the host-address-space hole WALI must interpose
+    /// on and deny (paper §3.6 pitfall 1).
+    ProcSelfMem,
+    /// A `/proc` text file whose content is generated at open time.
+    ProcText(&'static str),
+}
+
+/// What an inode is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Regular file with contents.
+    File(Vec<u8>),
+    /// Directory mapping names to inodes.
+    Dir(BTreeMap<String, InodeId>),
+    /// Symbolic link to a target path.
+    Symlink(String),
+    /// Character device.
+    CharDev(DevKind),
+}
+
+/// An inode.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// Stable inode number (for `stat`).
+    pub ino: u64,
+    /// Content.
+    pub kind: InodeKind,
+    /// Permission bits (file-type bits derived from `kind`).
+    pub perm: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Access/modify/change times (virtual ns since epoch).
+    pub atime: u64,
+    /// Modification time.
+    pub mtime: u64,
+    /// Change time.
+    pub ctime: u64,
+}
+
+impl Inode {
+    /// The full `st_mode` including file-type bits.
+    pub fn mode(&self) -> u32 {
+        let kind_bits = match &self.kind {
+            InodeKind::File(_) => S_IFREG,
+            InodeKind::Dir(_) => S_IFDIR,
+            InodeKind::Symlink(_) => S_IFLNK,
+            InodeKind::CharDev(_) => S_IFCHR,
+        };
+        kind_bits | (self.perm & !S_IFMT)
+    }
+
+    /// Byte size for `stat` (file length, symlink target length, 0 else).
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::File(data) => data.len() as u64,
+            InodeKind::Symlink(t) => t.len() as u64,
+            InodeKind::Dir(entries) => (entries.len() as u64 + 2) * 32,
+            InodeKind::CharDev(_) => 0,
+        }
+    }
+
+    /// Directory entries, or `ENOTDIR`.
+    pub fn dir(&self) -> Result<&BTreeMap<String, InodeId>, Errno> {
+        match &self.kind {
+            InodeKind::Dir(d) => Ok(d),
+            _ => Err(Errno::Enotdir),
+        }
+    }
+
+    fn dir_mut(&mut self) -> Result<&mut BTreeMap<String, InodeId>, Errno> {
+        match &mut self.kind {
+            InodeKind::Dir(d) => Ok(d),
+            _ => Err(Errno::Enotdir),
+        }
+    }
+}
+
+/// Result of a path resolution.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    /// The directory containing the final component.
+    pub parent: InodeId,
+    /// The final path component (empty for `/`).
+    pub name: String,
+    /// The inode, if the final component exists.
+    pub inode: Option<InodeId>,
+}
+
+/// The filesystem.
+#[derive(Clone, Debug)]
+pub struct Vfs {
+    inodes: Vec<Option<Inode>>,
+    /// Root directory inode.
+    pub root: InodeId,
+    next_ino: u64,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// Creates a filesystem with only `/`.
+    pub fn new() -> Vfs {
+        let mut vfs = Vfs { inodes: Vec::new(), root: 0, next_ino: 1 };
+        let root = vfs.alloc(InodeKind::Dir(BTreeMap::new()), 0o755, 0);
+        vfs.root = root;
+        vfs
+    }
+
+    /// Creates a filesystem with the standard layout: `/tmp`, `/home`,
+    /// `/etc/passwd`, `/dev/{null,zero,urandom,tty}` and the `/proc`
+    /// entries the WALI security model cares about.
+    pub fn with_std_layout() -> Vfs {
+        let mut vfs = Vfs::new();
+        for dir in ["/tmp", "/home", "/home/user", "/etc", "/dev", "/proc", "/proc/self", "/var", "/var/log", "/usr", "/usr/bin"] {
+            vfs.mkdir_p(dir).expect("std layout");
+        }
+        vfs.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/bash\nuser:x:1000:1000::/home/user:/bin/bash\n")
+            .expect("std layout");
+        vfs.write_file("/etc/hostname", b"wali-vm\n").expect("std layout");
+        vfs.mknod_dev("/dev/null", DevKind::Null).expect("std layout");
+        vfs.mknod_dev("/dev/zero", DevKind::Zero).expect("std layout");
+        vfs.mknod_dev("/dev/urandom", DevKind::Urandom).expect("std layout");
+        vfs.mknod_dev("/dev/tty", DevKind::Tty).expect("std layout");
+        vfs.mknod_dev("/proc/self/mem", DevKind::ProcSelfMem).expect("std layout");
+        vfs.mknod_dev("/proc/self/status", DevKind::ProcText("status")).expect("std layout");
+        vfs.mknod_dev("/proc/meminfo", DevKind::ProcText("meminfo")).expect("std layout");
+        vfs.mknod_dev("/proc/cpuinfo", DevKind::ProcText("cpuinfo")).expect("std layout");
+        vfs
+    }
+
+    /// Allocates a new inode.
+    pub fn alloc(&mut self, kind: InodeKind, perm: u32, now: u64) -> InodeId {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        let node = Inode {
+            ino,
+            kind,
+            perm,
+            uid: 0,
+            gid: 0,
+            nlink: 1,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        };
+        self.inodes.push(Some(node));
+        self.inodes.len() - 1
+    }
+
+    /// Fetches an inode.
+    pub fn get(&self, id: InodeId) -> Result<&Inode, Errno> {
+        self.inodes.get(id).and_then(|i| i.as_ref()).ok_or(Errno::Enoent)
+    }
+
+    /// Fetches an inode mutably.
+    pub fn get_mut(&mut self, id: InodeId) -> Result<&mut Inode, Errno> {
+        self.inodes.get_mut(id).and_then(|i| i.as_mut()).ok_or(Errno::Enoent)
+    }
+
+    /// Resolves `path` relative to `cwd`, following intermediate symlinks
+    /// always and the final symlink only when `follow_last` is set.
+    pub fn resolve(&self, cwd: InodeId, path: &str, follow_last: bool) -> Result<Resolved, Errno> {
+        self.resolve_depth(cwd, path, follow_last, 0)
+    }
+
+    fn resolve_depth(
+        &self,
+        cwd: InodeId,
+        path: &str,
+        follow_last: bool,
+        depth: u32,
+    ) -> Result<Resolved, Errno> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(Errno::Eloop);
+        }
+        if path.len() > PATH_MAX {
+            return Err(Errno::Enametoolong);
+        }
+        if path.is_empty() {
+            return Err(Errno::Enoent);
+        }
+
+        // Walk maintaining a directory stack so `..` works without parent
+        // pointers.
+        let mut stack: Vec<InodeId> = vec![self.root];
+        if !path.starts_with('/') && cwd != self.root {
+            stack = self.dir_stack_of(cwd)?;
+        }
+
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty() && *c != ".").collect();
+        if comps.is_empty() {
+            // "/" or "." — the directory itself.
+            let dir = *stack.last().expect("non-empty stack");
+            return Ok(Resolved { parent: dir, name: String::new(), inode: Some(dir) });
+        }
+
+        for (i, comp) in comps.iter().enumerate() {
+            let last = i == comps.len() - 1;
+            if *comp == ".." {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+                if last {
+                    let dir = *stack.last().expect("root remains");
+                    return Ok(Resolved { parent: dir, name: String::new(), inode: Some(dir) });
+                }
+                continue;
+            }
+            let dir_id = *stack.last().expect("non-empty stack");
+            let dir = self.get(dir_id)?;
+            let entries = dir.dir()?;
+            match entries.get(*comp) {
+                None if last => {
+                    return Ok(Resolved { parent: dir_id, name: comp.to_string(), inode: None });
+                }
+                None => return Err(Errno::Enoent),
+                Some(&child) => {
+                    let node = self.get(child)?;
+                    if let InodeKind::Symlink(target) = &node.kind {
+                        if !last || follow_last {
+                            // Re-resolve: target, then the remaining comps.
+                            let mut rebuilt = target.clone();
+                            for rest in &comps[i + 1..] {
+                                rebuilt.push('/');
+                                rebuilt.push_str(rest);
+                            }
+                            return self.resolve_depth(dir_id, &rebuilt, follow_last, depth + 1);
+                        }
+                    }
+                    if last {
+                        return Ok(Resolved {
+                            parent: dir_id,
+                            name: comp.to_string(),
+                            inode: Some(child),
+                        });
+                    }
+                    stack.push(child);
+                }
+            }
+        }
+        unreachable!("loop returns on the last component");
+    }
+
+    /// Rebuilds the directory stack for `dir` by scanning from the root
+    /// (directories form a tree, so a DFS finds the unique path).
+    fn dir_stack_of(&self, dir: InodeId) -> Result<Vec<InodeId>, Errno> {
+        if dir == self.root {
+            return Ok(vec![self.root]);
+        }
+        let mut stack = vec![self.root];
+        if self.dfs_to(dir, &mut stack) {
+            Ok(stack)
+        } else {
+            Err(Errno::Enoent)
+        }
+    }
+
+    fn dfs_to(&self, target: InodeId, stack: &mut Vec<InodeId>) -> bool {
+        let cur = *stack.last().expect("non-empty");
+        let Ok(node) = self.get(cur) else { return false };
+        let Ok(entries) = node.dir() else { return false };
+        for &child in entries.values() {
+            if matches!(self.get(child).map(|n| &n.kind), Ok(InodeKind::Dir(_))) {
+                stack.push(child);
+                if child == target || self.dfs_to(target, stack) {
+                    return true;
+                }
+                stack.pop();
+            }
+        }
+        false
+    }
+
+    /// Returns the absolute path of a directory inode (for `getcwd`).
+    pub fn abs_path_of(&self, dir: InodeId) -> Result<String, Errno> {
+        let stack = self.dir_stack_of(dir)?;
+        if stack.len() == 1 {
+            return Ok("/".to_string());
+        }
+        let mut out = String::new();
+        for win in stack.windows(2) {
+            let parent = self.get(win[0])?;
+            let entries = parent.dir()?;
+            let name = entries
+                .iter()
+                .find(|(_, &id)| id == win[1])
+                .map(|(n, _)| n.clone())
+                .ok_or(Errno::Enoent)?;
+            out.push('/');
+            out.push_str(&name);
+        }
+        Ok(out)
+    }
+
+    /// Adds a directory entry; the caller ensures `parent` is a directory.
+    pub fn link_into(&mut self, parent: InodeId, name: &str, child: InodeId) -> Result<(), Errno> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Errno::Einval);
+        }
+        let entries = self.get_mut(parent)?.dir_mut()?;
+        if entries.contains_key(name) {
+            return Err(Errno::Eexist);
+        }
+        entries.insert(name.to_string(), child);
+        self.get_mut(child)?.nlink += 1;
+        Ok(())
+    }
+
+    /// Removes a directory entry, freeing the inode when nlink drops to 0.
+    pub fn unlink_from(&mut self, parent: InodeId, name: &str) -> Result<(), Errno> {
+        let entries = self.get_mut(parent)?.dir_mut()?;
+        let child = *entries.get(name).ok_or(Errno::Enoent)?;
+        entries.remove(name);
+        let node = self.get_mut(child)?;
+        node.nlink = node.nlink.saturating_sub(1);
+        if node.nlink == 0 {
+            self.inodes[child] = None;
+        }
+        Ok(())
+    }
+
+    /// Creates every missing directory along `path`.
+    pub fn mkdir_p(&mut self, path: &str) -> Result<InodeId, Errno> {
+        let mut cur = self.root;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let next = {
+                let dir = self.get(cur)?.dir()?;
+                dir.get(comp).copied()
+            };
+            cur = match next {
+                Some(id) => id,
+                None => {
+                    let id = self.alloc(InodeKind::Dir(BTreeMap::new()), 0o755, 0);
+                    self.link_into(cur, comp, id)?;
+                    id
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Creates (or truncates) a regular file at an absolute path.
+    pub fn write_file(&mut self, path: &str, content: &[u8]) -> Result<InodeId, Errno> {
+        let r = self.resolve(self.root, path, true)?;
+        match r.inode {
+            Some(id) => {
+                match &mut self.get_mut(id)?.kind {
+                    InodeKind::File(data) => {
+                        data.clear();
+                        data.extend_from_slice(content);
+                        Ok(id)
+                    }
+                    _ => Err(Errno::Eisdir),
+                }
+            }
+            None => {
+                let id = self.alloc(InodeKind::File(content.to_vec()), 0o644, 0);
+                self.link_into(r.parent, &r.name, id)?;
+                // link_into bumped nlink to 2 (alloc starts at 1).
+                self.get_mut(id)?.nlink = 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Reads a whole regular file at an absolute path (test convenience).
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, Errno> {
+        let r = self.resolve(self.root, path, true)?;
+        let id = r.inode.ok_or(Errno::Enoent)?;
+        match &self.get(id)?.kind {
+            InodeKind::File(data) => Ok(data.clone()),
+            InodeKind::Dir(_) => Err(Errno::Eisdir),
+            _ => Err(Errno::Einval),
+        }
+    }
+
+    /// Creates a device node at an absolute path.
+    pub fn mknod_dev(&mut self, path: &str, dev: DevKind) -> Result<InodeId, Errno> {
+        let r = self.resolve(self.root, path, true)?;
+        if r.inode.is_some() {
+            return Err(Errno::Eexist);
+        }
+        let id = self.alloc(InodeKind::CharDev(dev), 0o666, 0);
+        self.link_into(r.parent, &r.name, id)?;
+        self.get_mut(id)?.nlink = 1;
+        Ok(id)
+    }
+
+    /// Number of live inodes (for memory accounting).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.iter().filter(|i| i.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_layout_has_expected_nodes() {
+        let vfs = Vfs::with_std_layout();
+        for p in ["/tmp", "/dev/null", "/proc/self/mem", "/etc/passwd"] {
+            let r = vfs.resolve(vfs.root, p, true).unwrap();
+            assert!(r.inode.is_some(), "{p} missing");
+        }
+    }
+
+    #[test]
+    fn resolve_relative_and_dotdot() {
+        let mut vfs = Vfs::with_std_layout();
+        let home = vfs.mkdir_p("/home/user/work").unwrap();
+        vfs.write_file("/home/user/notes.txt", b"hi").unwrap();
+        let r = vfs.resolve(home, "../notes.txt", true).unwrap();
+        assert!(r.inode.is_some());
+        let r = vfs.resolve(home, "../../..", true).unwrap();
+        assert_eq!(r.inode, Some(vfs.root));
+        // `..` from root stays at root.
+        let r = vfs.resolve(vfs.root, "../../tmp", true).unwrap();
+        assert!(r.inode.is_some());
+    }
+
+    #[test]
+    fn missing_intermediate_is_enoent() {
+        let vfs = Vfs::with_std_layout();
+        assert_eq!(vfs.resolve(vfs.root, "/no/such/dir", true).unwrap_err(), Errno::Enoent);
+        // Missing *final* component resolves with inode = None.
+        let r = vfs.resolve(vfs.root, "/tmp/newfile", true).unwrap();
+        assert!(r.inode.is_none());
+        assert_eq!(r.name, "newfile");
+    }
+
+    #[test]
+    fn file_as_directory_is_enotdir() {
+        let mut vfs = Vfs::with_std_layout();
+        vfs.write_file("/tmp/f", b"x").unwrap();
+        assert_eq!(vfs.resolve(vfs.root, "/tmp/f/sub", true).unwrap_err(), Errno::Enotdir);
+    }
+
+    #[test]
+    fn symlinks_follow_and_detect_loops() {
+        let mut vfs = Vfs::with_std_layout();
+        vfs.write_file("/tmp/real", b"data").unwrap();
+        let link = vfs.alloc(InodeKind::Symlink("/tmp/real".into()), 0o777, 0);
+        let tmp = vfs.resolve(vfs.root, "/tmp", true).unwrap().inode.unwrap();
+        vfs.link_into(tmp, "alias", link).unwrap();
+
+        let r = vfs.resolve(vfs.root, "/tmp/alias", true).unwrap();
+        let node = vfs.get(r.inode.unwrap()).unwrap();
+        assert!(matches!(node.kind, InodeKind::File(_)));
+
+        // nofollow returns the symlink itself.
+        let r = vfs.resolve(vfs.root, "/tmp/alias", false).unwrap();
+        let node = vfs.get(r.inode.unwrap()).unwrap();
+        assert!(matches!(node.kind, InodeKind::Symlink(_)));
+
+        // Self-loop traps at depth 40.
+        let looper = vfs.alloc(InodeKind::Symlink("/tmp/loop".into()), 0o777, 0);
+        vfs.link_into(tmp, "loop", looper).unwrap();
+        assert_eq!(vfs.resolve(vfs.root, "/tmp/loop", true).unwrap_err(), Errno::Eloop);
+    }
+
+    #[test]
+    fn symlink_mid_path_is_followed() {
+        let mut vfs = Vfs::with_std_layout();
+        vfs.mkdir_p("/data/store").unwrap();
+        vfs.write_file("/data/store/x", b"1").unwrap();
+        let link = vfs.alloc(InodeKind::Symlink("/data".into()), 0o777, 0);
+        vfs.link_into(vfs.root, "d", link).unwrap();
+        let r = vfs.resolve(vfs.root, "/d/store/x", false).unwrap();
+        assert!(r.inode.is_some());
+    }
+
+    #[test]
+    fn unlink_frees_at_zero_nlink() {
+        let mut vfs = Vfs::with_std_layout();
+        let id = vfs.write_file("/tmp/f", b"x").unwrap();
+        let tmp = vfs.resolve(vfs.root, "/tmp", true).unwrap().inode.unwrap();
+        vfs.link_into(tmp, "g", id).unwrap();
+        assert_eq!(vfs.get(id).unwrap().nlink, 2);
+        vfs.unlink_from(tmp, "f").unwrap();
+        assert!(vfs.get(id).is_ok(), "still linked as g");
+        vfs.unlink_from(tmp, "g").unwrap();
+        assert_eq!(vfs.get(id).unwrap_err(), Errno::Enoent);
+    }
+
+    #[test]
+    fn abs_path_round_trips() {
+        let mut vfs = Vfs::with_std_layout();
+        let work = vfs.mkdir_p("/home/user/work").unwrap();
+        assert_eq!(vfs.abs_path_of(work).unwrap(), "/home/user/work");
+        assert_eq!(vfs.abs_path_of(vfs.root).unwrap(), "/");
+    }
+
+    #[test]
+    fn mode_bits_reflect_kind() {
+        let vfs = Vfs::with_std_layout();
+        let dev = vfs.resolve(vfs.root, "/dev/null", true).unwrap().inode.unwrap();
+        assert_eq!(vfs.get(dev).unwrap().mode() & S_IFMT, S_IFCHR);
+        let tmp = vfs.resolve(vfs.root, "/tmp", true).unwrap().inode.unwrap();
+        assert_eq!(vfs.get(tmp).unwrap().mode() & S_IFMT, S_IFDIR);
+    }
+
+    #[test]
+    fn long_paths_rejected() {
+        let vfs = Vfs::new();
+        let long = "/a".repeat(3000);
+        assert_eq!(vfs.resolve(vfs.root, &long, true).unwrap_err(), Errno::Enametoolong);
+    }
+}

@@ -1,0 +1,322 @@
+//! Linux error numbers.
+//!
+//! WALI returns errors to Wasm exactly as Linux does: syscalls return a
+//! negative errno in the result register. The numbering below follows the
+//! generic (asm-generic) Linux ABI, which is shared by all ISAs WALI
+//! targets, so no per-ISA translation is required for error values.
+
+use core::fmt;
+
+/// A Linux `errno` value.
+///
+/// The discriminants match the asm-generic Linux numbering so that a WALI
+/// syscall result can be produced with a plain negation, mirroring the raw
+/// kernel ABI (`-ENOENT` etc.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+#[allow(missing_docs)] // The variants are the canonical Linux names.
+pub enum Errno {
+    Eperm = 1,
+    Enoent = 2,
+    Esrch = 3,
+    Eintr = 4,
+    Eio = 5,
+    Enxio = 6,
+    E2big = 7,
+    Enoexec = 8,
+    Ebadf = 9,
+    Echild = 10,
+    Eagain = 11,
+    Enomem = 12,
+    Eacces = 13,
+    Efault = 14,
+    Enotblk = 15,
+    Ebusy = 16,
+    Eexist = 17,
+    Exdev = 18,
+    Enodev = 19,
+    Enotdir = 20,
+    Eisdir = 21,
+    Einval = 22,
+    Enfile = 23,
+    Emfile = 24,
+    Enotty = 25,
+    Etxtbsy = 26,
+    Efbig = 27,
+    Enospc = 28,
+    Espipe = 29,
+    Erofs = 30,
+    Emlink = 31,
+    Epipe = 32,
+    Edom = 33,
+    Erange = 34,
+    Edeadlk = 35,
+    Enametoolong = 36,
+    Enolck = 37,
+    Enosys = 38,
+    Enotempty = 39,
+    Eloop = 40,
+    Enomsg = 42,
+    Eidrm = 43,
+    Enodata = 61,
+    Etime = 62,
+    Eproto = 71,
+    Ebadmsg = 74,
+    Eoverflow = 75,
+    Enotsock = 88,
+    Edestaddrreq = 89,
+    Emsgsize = 90,
+    Eprototype = 91,
+    Enoprotoopt = 92,
+    Eprotonosupport = 93,
+    Eopnotsupp = 95,
+    Eafnosupport = 97,
+    Eaddrinuse = 98,
+    Eaddrnotavail = 99,
+    Enetdown = 100,
+    Enetunreach = 101,
+    Econnaborted = 103,
+    Econnreset = 104,
+    Enobufs = 105,
+    Eisconn = 106,
+    Enotconn = 107,
+    Etimedout = 110,
+    Econnrefused = 111,
+    Ehostunreach = 113,
+    Ealready = 114,
+    Einprogress = 115,
+}
+
+impl Errno {
+    /// Returns the raw positive errno number (e.g. `2` for [`Errno::Enoent`]).
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self as i32
+    }
+
+    /// Returns the value a syscall stores in its result register: `-errno`.
+    #[inline]
+    pub const fn as_ret(self) -> i64 {
+        -(self as i32 as i64)
+    }
+
+    /// Decodes a raw syscall return value into `Ok(value)` or `Err(errno)`.
+    ///
+    /// Mirrors the userspace convention: values in `[-4095, -1]` are errno
+    /// encodings, everything else is a successful result.
+    pub fn demux(ret: i64) -> Result<i64, Errno> {
+        if (-4095..0).contains(&ret) {
+            Err(Self::from_raw((-ret) as i32).unwrap_or(Errno::Einval))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Looks an errno up by its raw positive number.
+    pub fn from_raw(raw: i32) -> Option<Errno> {
+        ALL.iter().copied().find(|e| e.raw() == raw)
+    }
+
+    /// Returns the canonical C macro name, e.g. `"ENOENT"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::Eperm => "EPERM",
+            Errno::Enoent => "ENOENT",
+            Errno::Esrch => "ESRCH",
+            Errno::Eintr => "EINTR",
+            Errno::Eio => "EIO",
+            Errno::Enxio => "ENXIO",
+            Errno::E2big => "E2BIG",
+            Errno::Enoexec => "ENOEXEC",
+            Errno::Ebadf => "EBADF",
+            Errno::Echild => "ECHILD",
+            Errno::Eagain => "EAGAIN",
+            Errno::Enomem => "ENOMEM",
+            Errno::Eacces => "EACCES",
+            Errno::Efault => "EFAULT",
+            Errno::Enotblk => "ENOTBLK",
+            Errno::Ebusy => "EBUSY",
+            Errno::Eexist => "EEXIST",
+            Errno::Exdev => "EXDEV",
+            Errno::Enodev => "ENODEV",
+            Errno::Enotdir => "ENOTDIR",
+            Errno::Eisdir => "EISDIR",
+            Errno::Einval => "EINVAL",
+            Errno::Enfile => "ENFILE",
+            Errno::Emfile => "EMFILE",
+            Errno::Enotty => "ENOTTY",
+            Errno::Etxtbsy => "ETXTBSY",
+            Errno::Efbig => "EFBIG",
+            Errno::Enospc => "ENOSPC",
+            Errno::Espipe => "ESPIPE",
+            Errno::Erofs => "EROFS",
+            Errno::Emlink => "EMLINK",
+            Errno::Epipe => "EPIPE",
+            Errno::Edom => "EDOM",
+            Errno::Erange => "ERANGE",
+            Errno::Edeadlk => "EDEADLK",
+            Errno::Enametoolong => "ENAMETOOLONG",
+            Errno::Enolck => "ENOLCK",
+            Errno::Enosys => "ENOSYS",
+            Errno::Enotempty => "ENOTEMPTY",
+            Errno::Eloop => "ELOOP",
+            Errno::Enomsg => "ENOMSG",
+            Errno::Eidrm => "EIDRM",
+            Errno::Enodata => "ENODATA",
+            Errno::Etime => "ETIME",
+            Errno::Eproto => "EPROTO",
+            Errno::Ebadmsg => "EBADMSG",
+            Errno::Eoverflow => "EOVERFLOW",
+            Errno::Enotsock => "ENOTSOCK",
+            Errno::Edestaddrreq => "EDESTADDRREQ",
+            Errno::Emsgsize => "EMSGSIZE",
+            Errno::Eprototype => "EPROTOTYPE",
+            Errno::Enoprotoopt => "ENOPROTOOPT",
+            Errno::Eprotonosupport => "EPROTONOSUPPORT",
+            Errno::Eopnotsupp => "EOPNOTSUPP",
+            Errno::Eafnosupport => "EAFNOSUPPORT",
+            Errno::Eaddrinuse => "EADDRINUSE",
+            Errno::Eaddrnotavail => "EADDRNOTAVAIL",
+            Errno::Enetdown => "ENETDOWN",
+            Errno::Enetunreach => "ENETUNREACH",
+            Errno::Econnaborted => "ECONNABORTED",
+            Errno::Econnreset => "ECONNRESET",
+            Errno::Enobufs => "ENOBUFS",
+            Errno::Eisconn => "EISCONN",
+            Errno::Enotconn => "ENOTCONN",
+            Errno::Etimedout => "ETIMEDOUT",
+            Errno::Econnrefused => "ECONNREFUSED",
+            Errno::Ehostunreach => "EHOSTUNREACH",
+            Errno::Ealready => "EALREADY",
+            Errno::Einprogress => "EINPROGRESS",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.raw())
+    }
+}
+
+/// Every errno this crate defines, in ascending numeric order.
+pub const ALL: &[Errno] = &[
+    Errno::Eperm,
+    Errno::Enoent,
+    Errno::Esrch,
+    Errno::Eintr,
+    Errno::Eio,
+    Errno::Enxio,
+    Errno::E2big,
+    Errno::Enoexec,
+    Errno::Ebadf,
+    Errno::Echild,
+    Errno::Eagain,
+    Errno::Enomem,
+    Errno::Eacces,
+    Errno::Efault,
+    Errno::Enotblk,
+    Errno::Ebusy,
+    Errno::Eexist,
+    Errno::Exdev,
+    Errno::Enodev,
+    Errno::Enotdir,
+    Errno::Eisdir,
+    Errno::Einval,
+    Errno::Enfile,
+    Errno::Emfile,
+    Errno::Enotty,
+    Errno::Etxtbsy,
+    Errno::Efbig,
+    Errno::Enospc,
+    Errno::Espipe,
+    Errno::Erofs,
+    Errno::Emlink,
+    Errno::Epipe,
+    Errno::Edom,
+    Errno::Erange,
+    Errno::Edeadlk,
+    Errno::Enametoolong,
+    Errno::Enolck,
+    Errno::Enosys,
+    Errno::Enotempty,
+    Errno::Eloop,
+    Errno::Enomsg,
+    Errno::Eidrm,
+    Errno::Enodata,
+    Errno::Etime,
+    Errno::Eproto,
+    Errno::Ebadmsg,
+    Errno::Eoverflow,
+    Errno::Enotsock,
+    Errno::Edestaddrreq,
+    Errno::Emsgsize,
+    Errno::Eprototype,
+    Errno::Enoprotoopt,
+    Errno::Eprotonosupport,
+    Errno::Eopnotsupp,
+    Errno::Eafnosupport,
+    Errno::Eaddrinuse,
+    Errno::Eaddrnotavail,
+    Errno::Enetdown,
+    Errno::Enetunreach,
+    Errno::Econnaborted,
+    Errno::Econnreset,
+    Errno::Enobufs,
+    Errno::Eisconn,
+    Errno::Enotconn,
+    Errno::Etimedout,
+    Errno::Econnrefused,
+    Errno::Ehostunreach,
+    Errno::Ealready,
+    Errno::Einprogress,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_encoding_round_trips() {
+        for &e in ALL {
+            assert_eq!(Errno::demux(e.as_ret()), Err(e), "{e}");
+        }
+    }
+
+    #[test]
+    fn success_values_pass_through_demux() {
+        assert_eq!(Errno::demux(0), Ok(0));
+        assert_eq!(Errno::demux(42), Ok(42));
+        // Large negative values outside [-4095, -1] are results, not errors
+        // (e.g. mmap can return high addresses interpreted as negative).
+        assert_eq!(Errno::demux(-4096), Ok(-4096));
+        assert_eq!(Errno::demux(i64::MIN), Ok(i64::MIN));
+    }
+
+    #[test]
+    fn from_raw_matches_raw() {
+        for &e in ALL {
+            assert_eq!(Errno::from_raw(e.raw()), Some(e));
+        }
+        assert_eq!(Errno::from_raw(0), None);
+        assert_eq!(Errno::from_raw(-1), None);
+        assert_eq!(Errno::from_raw(4096), None);
+    }
+
+    #[test]
+    fn numbering_matches_linux_asm_generic() {
+        assert_eq!(Errno::Eperm.raw(), 1);
+        assert_eq!(Errno::Enoent.raw(), 2);
+        assert_eq!(Errno::Eagain.raw(), 11);
+        assert_eq!(Errno::Enosys.raw(), 38);
+        assert_eq!(Errno::Epipe.raw(), 32);
+        assert_eq!(Errno::Econnrefused.raw(), 111);
+    }
+
+    #[test]
+    fn all_is_sorted_and_unique() {
+        for w in ALL.windows(2) {
+            assert!(w[0].raw() < w[1].raw(), "{} !< {}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! ISA-portable syscall flag constants.
+//!
+//! WALI gives flag-bearing syscall arguments a *dedicated representation*
+//! (paper §3.5 "ISA-Specific Kernel Interfaces"): the Wasm side always uses
+//! the encodings below, and the host engine translates to whatever the
+//! native ISA expects. Our virtual kernel consumes this encoding directly,
+//! which corresponds to the identity translation on the generic Linux ABI;
+//! the x86-64-style deviations (e.g. `O_DIRECTORY`) are handled by
+//! [`crate::layout`] conversion tests.
+
+/// `open(2)` access mode mask.
+pub const O_ACCMODE: i32 = 0o3;
+/// Open read-only.
+pub const O_RDONLY: i32 = 0o0;
+/// Open write-only.
+pub const O_WRONLY: i32 = 0o1;
+/// Open read-write.
+pub const O_RDWR: i32 = 0o2;
+/// Create the file if absent.
+pub const O_CREAT: i32 = 0o100;
+/// Fail if `O_CREAT` and the file exists.
+pub const O_EXCL: i32 = 0o200;
+/// Do not make the fd the controlling tty.
+pub const O_NOCTTY: i32 = 0o400;
+/// Truncate to length 0 on open.
+pub const O_TRUNC: i32 = 0o1000;
+/// All writes append.
+pub const O_APPEND: i32 = 0o2000;
+/// Non-blocking I/O.
+pub const O_NONBLOCK: i32 = 0o4000;
+/// Synchronous writes (data + metadata).
+pub const O_SYNC: i32 = 0o4010000;
+/// Fail unless the path is a directory.
+pub const O_DIRECTORY: i32 = 0o200000;
+/// Do not follow a trailing symlink.
+pub const O_NOFOLLOW: i32 = 0o400000;
+/// Close on exec.
+pub const O_CLOEXEC: i32 = 0o2000000;
+
+/// `*at` syscall sentinel: resolve relative to the CWD.
+pub const AT_FDCWD: i32 = -100;
+/// `*at` flag: operate on the symlink itself.
+pub const AT_SYMLINK_NOFOLLOW: i32 = 0x100;
+/// `unlinkat` flag: remove a directory.
+pub const AT_REMOVEDIR: i32 = 0x200;
+/// `faccessat` flag: use effective IDs.
+pub const AT_EACCESS: i32 = 0x200;
+
+/// `access(2)`: test for existence.
+pub const F_OK: i32 = 0;
+/// `access(2)`: test for execute permission.
+pub const X_OK: i32 = 1;
+/// `access(2)`: test for write permission.
+pub const W_OK: i32 = 2;
+/// `access(2)`: test for read permission.
+pub const R_OK: i32 = 4;
+
+/// `lseek(2)` whence: absolute offset.
+pub const SEEK_SET: i32 = 0;
+/// `lseek(2)` whence: relative to current.
+pub const SEEK_CUR: i32 = 1;
+/// `lseek(2)` whence: relative to end.
+pub const SEEK_END: i32 = 2;
+
+/// File type mask for `st_mode`.
+pub const S_IFMT: u32 = 0o170000;
+/// FIFO.
+pub const S_IFIFO: u32 = 0o010000;
+/// Character device.
+pub const S_IFCHR: u32 = 0o020000;
+/// Directory.
+pub const S_IFDIR: u32 = 0o040000;
+/// Block device.
+pub const S_IFBLK: u32 = 0o060000;
+/// Regular file.
+pub const S_IFREG: u32 = 0o100000;
+/// Symbolic link.
+pub const S_IFLNK: u32 = 0o120000;
+/// Socket.
+pub const S_IFSOCK: u32 = 0o140000;
+
+/// `mmap` protection: no access.
+pub const PROT_NONE: i32 = 0x0;
+/// `mmap` protection: readable.
+pub const PROT_READ: i32 = 0x1;
+/// `mmap` protection: writable.
+pub const PROT_WRITE: i32 = 0x2;
+/// `mmap` protection: executable (always refused by WALI, §3.6).
+pub const PROT_EXEC: i32 = 0x4;
+
+/// `mmap` flag: changes are shared.
+pub const MAP_SHARED: i32 = 0x01;
+/// `mmap` flag: copy-on-write private mapping.
+pub const MAP_PRIVATE: i32 = 0x02;
+/// `mmap` flag: place exactly at the hinted address.
+pub const MAP_FIXED: i32 = 0x10;
+/// `mmap` flag: not backed by a file.
+pub const MAP_ANONYMOUS: i32 = 0x20;
+/// `mmap` flag: do not reserve swap (accepted, ignored).
+pub const MAP_NORESERVE: i32 = 0x4000;
+/// `mmap` failure return value.
+pub const MAP_FAILED: i64 = -1;
+
+/// `mremap` flag: the kernel may move the mapping.
+pub const MREMAP_MAYMOVE: i32 = 1;
+/// `mremap` flag: move to a fixed new address.
+pub const MREMAP_FIXED: i32 = 2;
+
+/// `madvise` advice: no special treatment.
+pub const MADV_NORMAL: i32 = 0;
+/// `madvise` advice: expect random access.
+pub const MADV_RANDOM: i32 = 1;
+/// `madvise` advice: pages will not be needed.
+pub const MADV_DONTNEED: i32 = 4;
+
+/// `clone` flag: share the address space.
+pub const CLONE_VM: u64 = 0x0000_0100;
+/// `clone` flag: share filesystem info (cwd, umask).
+pub const CLONE_FS: u64 = 0x0000_0200;
+/// `clone` flag: share the file descriptor table.
+pub const CLONE_FILES: u64 = 0x0000_0400;
+/// `clone` flag: share signal handlers.
+pub const CLONE_SIGHAND: u64 = 0x0000_0800;
+/// `clone` flag: same thread group (implies LWP semantics).
+pub const CLONE_THREAD: u64 = 0x0001_0000;
+/// `clone` flag: new mount namespace (accepted, modeled as no-op).
+pub const CLONE_NEWNS: u64 = 0x0002_0000;
+/// `clone` flag: share the System V semaphore undo list.
+pub const CLONE_SYSVSEM: u64 = 0x0004_0000;
+/// `clone` flag: set TLS for the child.
+pub const CLONE_SETTLS: u64 = 0x0008_0000;
+/// `clone` flag: store the child TID at the given parent address.
+pub const CLONE_PARENT_SETTID: u64 = 0x0010_0000;
+/// `clone` flag: clear the TID and futex-wake on child exit.
+pub const CLONE_CHILD_CLEARTID: u64 = 0x0020_0000;
+/// `clone` flag: store the child TID at the given child address.
+pub const CLONE_CHILD_SETTID: u64 = 0x0100_0000;
+/// The flag set musl uses for `pthread_create`, for convenience.
+pub const CLONE_PTHREAD: u64 = CLONE_VM
+    | CLONE_FS
+    | CLONE_FILES
+    | CLONE_SIGHAND
+    | CLONE_THREAD
+    | CLONE_SYSVSEM
+    | CLONE_SETTLS
+    | CLONE_PARENT_SETTID
+    | CLONE_CHILD_CLEARTID;
+
+/// `fcntl` command: duplicate the fd.
+pub const F_DUPFD: i32 = 0;
+/// `fcntl` command: get fd flags (`FD_CLOEXEC`).
+pub const F_GETFD: i32 = 1;
+/// `fcntl` command: set fd flags.
+pub const F_SETFD: i32 = 2;
+/// `fcntl` command: get file status flags.
+pub const F_GETFL: i32 = 3;
+/// `fcntl` command: set file status flags.
+pub const F_SETFL: i32 = 4;
+/// `fcntl` command: duplicate with `FD_CLOEXEC` set.
+pub const F_DUPFD_CLOEXEC: i32 = 1030;
+/// The close-on-exec fd flag.
+pub const FD_CLOEXEC: i32 = 1;
+
+/// `poll` event: readable.
+pub const POLLIN: i16 = 0x001;
+/// `poll` event: exceptional condition.
+pub const POLLPRI: i16 = 0x002;
+/// `poll` event: writable.
+pub const POLLOUT: i16 = 0x004;
+/// `poll` event: error (revents only).
+pub const POLLERR: i16 = 0x008;
+/// `poll` event: hangup (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// `poll` event: fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// Socket domain: Unix.
+pub const AF_UNIX: i32 = 1;
+/// Socket domain: IPv4.
+pub const AF_INET: i32 = 2;
+/// Socket type: stream.
+pub const SOCK_STREAM: i32 = 1;
+/// Socket type: datagram.
+pub const SOCK_DGRAM: i32 = 2;
+/// Socket type flag: non-blocking.
+pub const SOCK_NONBLOCK: i32 = 0o4000;
+/// Socket type flag: close-on-exec.
+pub const SOCK_CLOEXEC: i32 = 0o2000000;
+/// Socket option level: socket itself.
+pub const SOL_SOCKET: i32 = 1;
+/// Socket option: address reuse.
+pub const SO_REUSEADDR: i32 = 2;
+/// Socket option: get/clear pending error.
+pub const SO_ERROR: i32 = 4;
+/// Socket option: send buffer size.
+pub const SO_SNDBUF: i32 = 7;
+/// Socket option: receive buffer size.
+pub const SO_RCVBUF: i32 = 8;
+/// Socket option: keep-alive probes.
+pub const SO_KEEPALIVE: i32 = 9;
+/// `shutdown` how: no more receives.
+pub const SHUT_RD: i32 = 0;
+/// `shutdown` how: no more sends.
+pub const SHUT_WR: i32 = 1;
+/// `shutdown` how: both.
+pub const SHUT_RDWR: i32 = 2;
+/// `send`/`recv` flag: non-blocking for this call.
+pub const MSG_DONTWAIT: i32 = 0x40;
+/// `recv` flag: peek without consuming.
+pub const MSG_PEEK: i32 = 0x02;
+
+/// `futex` op: wait if the word equals the expected value.
+pub const FUTEX_WAIT: i32 = 0;
+/// `futex` op: wake up to N waiters.
+pub const FUTEX_WAKE: i32 = 1;
+/// `futex` op modifier: process-private futex.
+pub const FUTEX_PRIVATE_FLAG: i32 = 128;
+
+/// `wait4` option: return immediately if no child has exited.
+pub const WNOHANG: i32 = 1;
+/// `wait4` option: also report stopped children.
+pub const WUNTRACED: i32 = 2;
+
+/// `clock_gettime` clock: wall clock.
+pub const CLOCK_REALTIME: i32 = 0;
+/// `clock_gettime` clock: monotonic since boot.
+pub const CLOCK_MONOTONIC: i32 = 1;
+/// `clock_gettime` clock: raw monotonic (used for Table 2 timing).
+pub const CLOCK_MONOTONIC_RAW: i32 = 4;
+/// `clock_gettime` clock: per-process CPU time.
+pub const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+/// `clock_gettime` clock: per-thread CPU time.
+pub const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+/// `rlimit` resource: max file size.
+pub const RLIMIT_FSIZE: i32 = 1;
+/// `rlimit` resource: max data segment.
+pub const RLIMIT_DATA: i32 = 2;
+/// `rlimit` resource: max stack size.
+pub const RLIMIT_STACK: i32 = 3;
+/// `rlimit` resource: max open files.
+pub const RLIMIT_NOFILE: i32 = 7;
+/// `rlimit` resource: address space limit.
+pub const RLIMIT_AS: i32 = 9;
+/// Unlimited rlimit value.
+pub const RLIM_INFINITY: u64 = u64::MAX;
+
+/// `getrusage` who: the calling process.
+pub const RUSAGE_SELF: i32 = 0;
+/// `getrusage` who: waited-for children.
+pub const RUSAGE_CHILDREN: i32 = -1;
+
+/// ioctl: get window size.
+pub const TIOCGWINSZ: u64 = 0x5413;
+/// ioctl: bytes available to read.
+pub const FIONREAD: u64 = 0x541B;
+/// ioctl: set non-blocking.
+pub const FIONBIO: u64 = 0x5421;
+
+/// Constructs a `wait4` status for a normal exit.
+#[inline]
+pub const fn w_exitcode(code: i32) -> i32 {
+    (code & 0xff) << 8
+}
+
+/// Constructs a `wait4` status for a termination by signal.
+#[inline]
+pub const fn w_termsig(sig: i32) -> i32 {
+    sig & 0x7f
+}
+
+/// True if the status denotes a normal exit.
+#[inline]
+pub const fn wifexited(status: i32) -> bool {
+    status & 0x7f == 0
+}
+
+/// Extracts the exit code from a normal-exit status.
+#[inline]
+pub const fn wexitstatus(status: i32) -> i32 {
+    (status >> 8) & 0xff
+}
+
+/// True if the status denotes termination by signal.
+#[inline]
+pub const fn wifsignaled(status: i32) -> bool {
+    let sig = status & 0x7f;
+    sig != 0 && sig != 0x7f
+}
+
+/// Extracts the terminating signal number.
+#[inline]
+pub const fn wtermsig(status: i32) -> i32 {
+    status & 0x7f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_match_generic_linux() {
+        assert_eq!(O_CREAT, 0o100);
+        assert_eq!(O_APPEND, 0o2000);
+        assert_eq!(O_CLOEXEC, 0o2000000);
+        assert_eq!(O_RDONLY & O_ACCMODE, O_RDONLY);
+        assert_eq!(O_RDWR & O_ACCMODE, O_RDWR);
+    }
+
+    #[test]
+    fn wait_status_round_trip() {
+        let st = w_exitcode(42);
+        assert!(wifexited(st));
+        assert!(!wifsignaled(st));
+        assert_eq!(wexitstatus(st), 42);
+
+        let st = w_termsig(9);
+        assert!(!wifexited(st));
+        assert!(wifsignaled(st));
+        assert_eq!(wtermsig(st), 9);
+    }
+
+    #[test]
+    fn pthread_clone_flags_include_vm_and_thread() {
+        assert_ne!(CLONE_PTHREAD & CLONE_VM, 0);
+        assert_ne!(CLONE_PTHREAD & CLONE_THREAD, 0);
+        assert_ne!(CLONE_PTHREAD & CLONE_FILES, 0);
+    }
+
+    #[test]
+    fn file_kind_bits_are_disjoint_under_mask() {
+        let kinds = [S_IFIFO, S_IFCHR, S_IFDIR, S_IFBLK, S_IFREG, S_IFLNK, S_IFSOCK];
+        for (i, a) in kinds.iter().enumerate() {
+            assert_eq!(a & S_IFMT, *a);
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Host instruction-set architectures WALI targets.
+
+use core::fmt;
+
+/// A hardware ISA with a Linux syscall table.
+///
+/// WALI currently targets the three ISAs the paper implements (§3.5):
+/// x86-64, aarch64 and riscv64. The Wasm side never sees the ISA — the
+/// whole point of name-bound syscalls — but the per-ISA tables are needed
+/// to compute interface commonality (Fig. 3) and to know which calls the
+/// host can faithfully attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// 64-bit x86, the legacy-rich table.
+    X86_64,
+    /// 64-bit Arm, based on the generic Linux syscall table.
+    Aarch64,
+    /// 64-bit RISC-V, based on the generic Linux syscall table.
+    Riscv64,
+}
+
+impl Isa {
+    /// All supported ISAs.
+    pub const ALL: [Isa; 3] = [Isa::X86_64, Isa::Aarch64, Isa::Riscv64];
+
+    /// The conventional lowercase name (`"x86_64"`, `"aarch64"`, `"rv64"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::X86_64 => "x86_64",
+            Isa::Aarch64 => "aarch64",
+            Isa::Riscv64 => "rv64",
+        }
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,838 @@
+//! ISA-portable byte layouts for structured syscall arguments.
+//!
+//! A small fraction (<10 %) of syscalls accept pointers to structured
+//! arguments whose native layout varies across ISAs (§3.2 "Layout (ABI)
+//! Conversion"): `kstat` famously permutes fields between x86-64, aarch64
+//! and riscv64. WALI therefore fixes one little-endian layout per struct —
+//! the *WALI layout* — and requires the host to convert to and from the
+//! native representation at the syscall boundary.
+//!
+//! Every struct here documents its WALI layout explicitly (offset table in
+//! the type docs) and provides fallible `read_from`/`write_to` converters
+//! over raw linear-memory bytes. The converters are the single place where
+//! Wasm byte images become typed values, which keeps the bounds checking
+//! auditable.
+
+use crate::errno::Errno;
+
+/// Fallible little-endian cursor over a linear-memory byte slice.
+///
+/// All layout conversions funnel through this reader/writer pair so that an
+/// out-of-bounds struct access uniformly surfaces as `EFAULT`, matching
+/// what Linux reports for bad user pointers.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Errno> {
+        let end = self.pos.checked_add(n).ok_or(Errno::Efault)?;
+        let s = self.buf.get(self.pos..end).ok_or(Errno::Efault)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, Errno> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, Errno> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i32`.
+    pub fn i32(&mut self) -> Result<i32, Errno> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, Errno> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, Errno> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Skips `n` bytes of padding.
+    pub fn skip(&mut self, n: usize) -> Result<(), Errno> {
+        self.take(n).map(|_| ())
+    }
+}
+
+/// Fallible little-endian writer over a linear-memory byte slice.
+pub struct CursorMut<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> CursorMut<'a> {
+    /// Creates a writer over `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        CursorMut { buf, pos: 0 }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), Errno> {
+        let end = self.pos.checked_add(bytes.len()).ok_or(Errno::Efault)?;
+        let dst = self.buf.get_mut(self.pos..end).ok_or(Errno::Efault)?;
+        dst.copy_from_slice(bytes);
+        self.pos = end;
+        Ok(())
+    }
+
+    /// Writes a `u16`.
+    pub fn u16(&mut self, v: u16) -> Result<(), Errno> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) -> Result<(), Errno> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Writes an `i32`.
+    pub fn i32(&mut self, v: i32) -> Result<(), Errno> {
+        self.u32(v as u32)
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) -> Result<(), Errno> {
+        self.put(&v.to_le_bytes())
+    }
+
+    /// Writes an `i64`.
+    pub fn i64(&mut self, v: i64) -> Result<(), Errno> {
+        self.u64(v as u64)
+    }
+
+    /// Writes `n` zero bytes of padding.
+    pub fn zero(&mut self, n: usize) -> Result<(), Errno> {
+        for _ in 0..n {
+            self.put(&[0])?;
+        }
+        Ok(())
+    }
+}
+
+/// WALI `kstat`: the ISA-portable `struct stat` (§3.5).
+///
+/// Layout (size [`WaliStat::SIZE`] = 96):
+///
+/// | off | field | | off | field |
+/// |----:|-------|-|----:|-------|
+/// | 0 | `st_dev: u64` | 48 | `st_size: i64` |
+/// | 8 | `st_ino: u64` | 56 | `st_blksize: i64` |
+/// | 16 | `st_mode: u32` | 64 | `st_blocks: i64` |
+/// | 20 | `st_nlink: u32` | 72 | `st_atim: WaliTimespec` |
+/// | 24 | `st_uid: u32` | 88*| (repeats for mtim at 88−16=72+16, ctim) |
+/// | 28 | `st_gid: u32` | | |
+/// | 32 | `st_rdev: u64` | | |
+/// | 40 | (reserved) | | |
+///
+/// atim/mtim/ctim are stored as three consecutive 16-byte
+/// [`WaliTimespec`]s starting at offset 72 − the struct is 72 + 48 = 120…
+/// see `SIZE`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names are the canonical `struct stat` names.
+pub struct WaliStat {
+    pub st_dev: u64,
+    pub st_ino: u64,
+    pub st_mode: u32,
+    pub st_nlink: u32,
+    pub st_uid: u32,
+    pub st_gid: u32,
+    pub st_rdev: u64,
+    pub st_size: i64,
+    pub st_blksize: i64,
+    pub st_blocks: i64,
+    pub st_atim: WaliTimespec,
+    pub st_mtim: WaliTimespec,
+    pub st_ctim: WaliTimespec,
+}
+
+impl WaliStat {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 120;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u64(self.st_dev)?;
+        w.u64(self.st_ino)?;
+        w.u32(self.st_mode)?;
+        w.u32(self.st_nlink)?;
+        w.u32(self.st_uid)?;
+        w.u32(self.st_gid)?;
+        w.u64(self.st_rdev)?;
+        w.zero(8)?;
+        w.i64(self.st_size)?;
+        w.i64(self.st_blksize)?;
+        w.i64(self.st_blocks)?;
+        for t in [self.st_atim, self.st_mtim, self.st_ctim] {
+            w.i64(t.sec)?;
+            w.i64(t.nsec)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let st_dev = r.u64()?;
+        let st_ino = r.u64()?;
+        let st_mode = r.u32()?;
+        let st_nlink = r.u32()?;
+        let st_uid = r.u32()?;
+        let st_gid = r.u32()?;
+        let st_rdev = r.u64()?;
+        r.skip(8)?;
+        let st_size = r.i64()?;
+        let st_blksize = r.i64()?;
+        let st_blocks = r.i64()?;
+        let mut times = [WaliTimespec::default(); 3];
+        for t in &mut times {
+            t.sec = r.i64()?;
+            t.nsec = r.i64()?;
+        }
+        Ok(WaliStat {
+            st_dev,
+            st_ino,
+            st_mode,
+            st_nlink,
+            st_uid,
+            st_gid,
+            st_rdev,
+            st_size,
+            st_blksize,
+            st_blocks,
+            st_atim: times[0],
+            st_mtim: times[1],
+            st_ctim: times[2],
+        })
+    }
+}
+
+/// WALI `timespec`: `{ sec: i64 @0, nsec: i64 @8 }`, size 16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub struct WaliTimespec {
+    pub sec: i64,
+    pub nsec: i64,
+}
+
+impl WaliTimespec {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 16;
+
+    /// Builds a timespec from total nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        WaliTimespec { sec: (ns / 1_000_000_000) as i64, nsec: (ns % 1_000_000_000) as i64 }
+    }
+
+    /// Converts to total nanoseconds, `None` on invalid/negative fields.
+    pub fn to_nanos(self) -> Option<u64> {
+        if self.sec < 0 || !(0..1_000_000_000).contains(&self.nsec) {
+            return None;
+        }
+        (self.sec as u64).checked_mul(1_000_000_000)?.checked_add(self.nsec as u64)
+    }
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.i64(self.sec)?;
+        w.i64(self.nsec)
+    }
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliTimespec { sec: r.i64()?, nsec: r.i64()? })
+    }
+}
+
+/// WALI `timeval`: `{ sec: i64 @0, usec: i64 @8 }`, size 16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliTimeval {
+    pub sec: i64,
+    pub usec: i64,
+}
+
+impl WaliTimeval {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 16;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.i64(self.sec)?;
+        w.i64(self.usec)
+    }
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliTimeval { sec: r.i64()?, usec: r.i64()? })
+    }
+}
+
+/// WALI `iovec` in wasm32: `{ iov_base: u32 @0, iov_len: u32 @4 }`, size 8.
+///
+/// Unlike the native 64-bit `iovec`, pointers in Wasm linear memory are
+/// 32-bit, so scatter-gather arrays must be layout-converted (this is why
+/// `readv`/`writev` are [`crate::spec::SyscallClass::Translated`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliIovec {
+    pub base: u32,
+    pub len: u32,
+}
+
+impl WaliIovec {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 8;
+
+    /// Deserializes one iovec from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliIovec { base: r.u32()?, len: r.u32()? })
+    }
+
+    /// Reads an iovec array of `count` entries starting at `buf`.
+    pub fn read_array(buf: &[u8], count: usize) -> Result<Vec<WaliIovec>, Errno> {
+        // Linux caps iovcnt at 1024 (UIO_MAXIOV) and returns EINVAL beyond.
+        if count > 1024 {
+            return Err(Errno::Einval);
+        }
+        let mut v = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = i * Self::SIZE;
+            let slice = buf.get(off..off + Self::SIZE).ok_or(Errno::Efault)?;
+            v.push(Self::read_from(slice)?);
+        }
+        Ok(v)
+    }
+}
+
+/// WALI `ksigaction` (§3.3): size 24.
+///
+/// | off | field |
+/// |----:|-------|
+/// | 0 | `handler: u32` — Wasm table index, or `SIG_DFL`/`SIG_IGN` |
+/// | 4 | `flags: u32` — `SA_*` bits |
+/// | 8 | `mask: u64` — signals blocked during the handler |
+/// | 16 | `restorer: u32` — ignored (no trampoline in WALI, §3.6) |
+/// | 20 | padding |
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliSigaction {
+    pub handler: u32,
+    pub flags: u32,
+    pub mask: u64,
+}
+
+impl WaliSigaction {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 24;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u32(self.handler)?;
+        w.u32(self.flags)?;
+        w.u64(self.mask)?;
+        w.zero(8)
+    }
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let handler = r.u32()?;
+        let flags = r.u32()?;
+        let mask = r.u64()?;
+        Ok(WaliSigaction { handler, flags, mask })
+    }
+}
+
+/// WALI `dirent64` header: size 19 + name + NUL, 8-aligned record length.
+///
+/// | off | field |
+/// |----:|-------|
+/// | 0 | `d_ino: u64` |
+/// | 8 | `d_off: i64` |
+/// | 16 | `d_reclen: u16` |
+/// | 18 | `d_type: u8` |
+/// | 19 | `d_name: [u8]` NUL-terminated |
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliDirent {
+    pub ino: u64,
+    pub off: i64,
+    pub file_type: u8,
+    pub name: String,
+}
+
+impl WaliDirent {
+    /// Fixed header length before the name bytes.
+    pub const HEADER: usize = 19;
+
+    /// Total 8-aligned record length for this entry.
+    pub fn reclen(&self) -> usize {
+        (Self::HEADER + self.name.len() + 1 + 7) & !7
+    }
+
+    /// Serializes into `buf`; returns the record length, or `None` if the
+    /// entry does not fit (the syscall then stops filling, like Linux).
+    pub fn write_to(&self, buf: &mut [u8]) -> Option<usize> {
+        let reclen = self.reclen();
+        if buf.len() < reclen {
+            return None;
+        }
+        let mut w = CursorMut::new(buf);
+        w.u64(self.ino).ok()?;
+        w.i64(self.off).ok()?;
+        w.u16(reclen as u16).ok()?;
+        w.put(&[self.file_type]).ok()?;
+        w.put(self.name.as_bytes()).ok()?;
+        w.zero(reclen - Self::HEADER - self.name.len()).ok()?;
+        Some(reclen)
+    }
+
+    /// Deserializes one record; returns the entry and its record length.
+    pub fn read_from(buf: &[u8]) -> Result<(Self, usize), Errno> {
+        let mut r = Cursor::new(buf);
+        let ino = r.u64()?;
+        let off = r.i64()?;
+        let reclen = r.u16()? as usize;
+        let file_type = *r.take(1)?.first().ok_or(Errno::Efault)?;
+        if reclen < Self::HEADER || reclen > buf.len() {
+            return Err(Errno::Einval);
+        }
+        let name_area = &buf[Self::HEADER..reclen];
+        let name_len = name_area.iter().position(|&b| b == 0).ok_or(Errno::Einval)?;
+        let name = String::from_utf8_lossy(&name_area[..name_len]).into_owned();
+        Ok((WaliDirent { ino, off, file_type, name }, reclen))
+    }
+}
+
+/// WALI `rlimit`: `{ cur: u64 @0, max: u64 @8 }`, size 16.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliRlimit {
+    pub cur: u64,
+    pub max: u64,
+}
+
+impl WaliRlimit {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 16;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u64(self.cur)?;
+        w.u64(self.max)
+    }
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliRlimit { cur: r.u64()?, max: r.u64()? })
+    }
+}
+
+/// WALI `rusage` (truncated to the fields applications read): size 144.
+///
+/// `ru_utime` and `ru_stime` are [`WaliTimeval`]s at offsets 0 and 16;
+/// `ru_maxrss` is at 32; the remaining 13 `i64` counters follow zeroed or
+/// populated as available.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliRusage {
+    pub utime: WaliTimeval,
+    pub stime: WaliTimeval,
+    pub maxrss: i64,
+    pub minflt: i64,
+    pub majflt: i64,
+    pub nvcsw: i64,
+    pub nivcsw: i64,
+}
+
+impl WaliRusage {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 144;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        if buf.len() < Self::SIZE {
+            return Err(Errno::Efault);
+        }
+        let mut w = CursorMut::new(buf);
+        for t in [self.utime, self.stime] {
+            w.i64(t.sec)?;
+            w.i64(t.usec)?;
+        }
+        w.i64(self.maxrss)?;
+        w.zero(16)?; // ixrss, idrss
+        w.zero(8)?; // isrss
+        w.i64(self.minflt)?;
+        w.i64(self.majflt)?;
+        w.zero(40)?; // nswap, inblock, oublock, msgsnd, msgrcv
+        w.i64(self.nvcsw)?;
+        w.i64(self.nivcsw)
+    }
+}
+
+/// WALI `utsname`: five fixed 65-byte NUL-padded fields, size 390.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliUtsname {
+    pub sysname: String,
+    pub nodename: String,
+    pub release: String,
+    pub version: String,
+    pub machine: String,
+    pub domainname: String,
+}
+
+impl WaliUtsname {
+    /// Per-field width including the NUL.
+    pub const FIELD: usize = 65;
+    /// Size of the WALI byte image (six fields).
+    pub const SIZE: usize = 6 * Self::FIELD;
+
+    /// Serializes into the WALI layout, truncating over-long fields.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        if buf.len() < Self::SIZE {
+            return Err(Errno::Efault);
+        }
+        let fields = [
+            &self.sysname,
+            &self.nodename,
+            &self.release,
+            &self.version,
+            &self.machine,
+            &self.domainname,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            let dst = &mut buf[i * Self::FIELD..(i + 1) * Self::FIELD];
+            dst.fill(0);
+            let n = f.len().min(Self::FIELD - 1);
+            dst[..n].copy_from_slice(&f.as_bytes()[..n]);
+        }
+        Ok(())
+    }
+}
+
+/// WALI `sysinfo` (truncated): size 64.
+///
+/// `{ uptime: i64 @0, totalram: u64 @8, freeram: u64 @16, procs: u32 @24,
+/// mem_unit: u32 @28 }`, rest zero-padded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliSysinfo {
+    pub uptime: i64,
+    pub totalram: u64,
+    pub freeram: u64,
+    pub procs: u32,
+    pub mem_unit: u32,
+}
+
+impl WaliSysinfo {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 64;
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        if buf.len() < Self::SIZE {
+            return Err(Errno::Efault);
+        }
+        let mut w = CursorMut::new(buf);
+        w.i64(self.uptime)?;
+        w.u64(self.totalram)?;
+        w.u64(self.freeram)?;
+        w.u32(self.procs)?;
+        w.u32(self.mem_unit)?;
+        w.zero(Self::SIZE - 32)
+    }
+}
+
+/// WALI `pollfd`: `{ fd: i32 @0, events: i16 @4, revents: i16 @6 }`, size 8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliPollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl WaliPollFd {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 8;
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let fd = r.i32()?;
+        let events = r.u16()? as i16;
+        let revents = r.u16()? as i16;
+        Ok(WaliPollFd { fd, events, revents })
+    }
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.i32(self.fd)?;
+        w.u16(self.events as u16)?;
+        w.u16(self.revents as u16)
+    }
+}
+
+/// A decoded WALI socket address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaliSockaddr {
+    /// `AF_INET`: IPv4 address and port (host byte order in the variant).
+    Inet {
+        /// IPv4 address as four octets.
+        addr: [u8; 4],
+        /// Port number.
+        port: u16,
+    },
+    /// `AF_UNIX`: filesystem path.
+    Unix {
+        /// Socket path (abstract names unsupported).
+        path: String,
+    },
+}
+
+impl WaliSockaddr {
+    /// Decodes a `sockaddr` byte image of `len` bytes.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let family = r.u16()? as i32;
+        match family {
+            crate::flags::AF_INET => {
+                let port = u16::from_be_bytes([buf[2], buf[3]]);
+                let addr = [
+                    *buf.get(4).ok_or(Errno::Efault)?,
+                    *buf.get(5).ok_or(Errno::Efault)?,
+                    *buf.get(6).ok_or(Errno::Efault)?,
+                    *buf.get(7).ok_or(Errno::Efault)?,
+                ];
+                Ok(WaliSockaddr::Inet { addr, port })
+            }
+            crate::flags::AF_UNIX => {
+                let rest = buf.get(2..).ok_or(Errno::Efault)?;
+                let end = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+                Ok(WaliSockaddr::Unix {
+                    path: String::from_utf8_lossy(&rest[..end]).into_owned(),
+                })
+            }
+            _ => Err(Errno::Eafnosupport),
+        }
+    }
+
+    /// Encodes into a `sockaddr` byte image; returns the encoded length.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<usize, Errno> {
+        match self {
+            WaliSockaddr::Inet { addr, port } => {
+                if buf.len() < 16 {
+                    return Err(Errno::Efault);
+                }
+                buf[..16].fill(0);
+                buf[0..2].copy_from_slice(&(crate::flags::AF_INET as u16).to_le_bytes());
+                buf[2..4].copy_from_slice(&port.to_be_bytes());
+                buf[4..8].copy_from_slice(addr);
+                Ok(16)
+            }
+            WaliSockaddr::Unix { path } => {
+                let need = 2 + path.len() + 1;
+                if buf.len() < need {
+                    return Err(Errno::Efault);
+                }
+                buf[0..2].copy_from_slice(&(crate::flags::AF_UNIX as u16).to_le_bytes());
+                buf[2..2 + path.len()].copy_from_slice(path.as_bytes());
+                buf[2 + path.len()] = 0;
+                Ok(need)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stat_round_trip() {
+        let s = WaliStat {
+            st_dev: 7,
+            st_ino: 1234,
+            st_mode: 0o100644,
+            st_nlink: 2,
+            st_uid: 1000,
+            st_gid: 1000,
+            st_rdev: 0,
+            st_size: 4096,
+            st_blksize: 512,
+            st_blocks: 8,
+            st_atim: WaliTimespec { sec: 1, nsec: 2 },
+            st_mtim: WaliTimespec { sec: 3, nsec: 4 },
+            st_ctim: WaliTimespec { sec: 5, nsec: 6 },
+        };
+        let mut buf = [0u8; WaliStat::SIZE];
+        s.write_to(&mut buf).unwrap();
+        assert_eq!(WaliStat::read_from(&buf).unwrap(), s);
+    }
+
+    #[test]
+    fn stat_short_buffer_is_efault() {
+        let s = WaliStat::default();
+        let mut buf = [0u8; WaliStat::SIZE - 1];
+        assert_eq!(s.write_to(&mut buf), Err(Errno::Efault));
+        assert_eq!(WaliStat::read_from(&buf), Err(Errno::Efault));
+    }
+
+    #[test]
+    fn timespec_nanos_round_trip() {
+        let t = WaliTimespec::from_nanos(1_500_000_042);
+        assert_eq!(t, WaliTimespec { sec: 1, nsec: 500_000_042 });
+        assert_eq!(t.to_nanos(), Some(1_500_000_042));
+        assert_eq!(WaliTimespec { sec: -1, nsec: 0 }.to_nanos(), None);
+        assert_eq!(WaliTimespec { sec: 0, nsec: 1_000_000_000 }.to_nanos(), None);
+    }
+
+    #[test]
+    fn iovec_array_reads_and_caps() {
+        let mut buf = vec![0u8; 3 * WaliIovec::SIZE];
+        for (i, chunk) in buf.chunks_mut(WaliIovec::SIZE).enumerate() {
+            chunk[..4].copy_from_slice(&(0x100 * (i as u32 + 1)).to_le_bytes());
+            chunk[4..8].copy_from_slice(&(16u32).to_le_bytes());
+        }
+        let v = WaliIovec::read_array(&buf, 3).unwrap();
+        assert_eq!(v[2], WaliIovec { base: 0x300, len: 16 });
+        assert_eq!(WaliIovec::read_array(&buf, 4), Err(Errno::Efault));
+        assert_eq!(WaliIovec::read_array(&buf, 2000), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn sigaction_round_trip() {
+        let sa = WaliSigaction { handler: 17, flags: crate::signals::SA_RESTART, mask: 0b1010 };
+        let mut buf = [0u8; WaliSigaction::SIZE];
+        sa.write_to(&mut buf).unwrap();
+        assert_eq!(WaliSigaction::read_from(&buf).unwrap(), sa);
+    }
+
+    #[test]
+    fn dirent_round_trip_and_alignment() {
+        let d = WaliDirent { ino: 42, off: 1, file_type: 8, name: "hello.txt".into() };
+        assert_eq!(d.reclen() % 8, 0);
+        let mut buf = vec![0u8; d.reclen()];
+        let n = d.write_to(&mut buf).unwrap();
+        assert_eq!(n, d.reclen());
+        let (back, len) = WaliDirent::read_from(&buf).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(len, n);
+    }
+
+    #[test]
+    fn dirent_does_not_overflow_small_buffer() {
+        let d = WaliDirent { ino: 1, off: 0, file_type: 4, name: "name".into() };
+        let mut buf = vec![0u8; d.reclen() - 1];
+        assert_eq!(d.write_to(&mut buf), None);
+    }
+
+    #[test]
+    fn sockaddr_inet_round_trip() {
+        let a = WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 8080 };
+        let mut buf = [0u8; 16];
+        let n = a.write_to(&mut buf).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(WaliSockaddr::read_from(&buf).unwrap(), a);
+    }
+
+    #[test]
+    fn sockaddr_unix_round_trip() {
+        let a = WaliSockaddr::Unix { path: "/tmp/sock".into() };
+        let mut buf = [0u8; 64];
+        a.write_to(&mut buf).unwrap();
+        assert_eq!(WaliSockaddr::read_from(&buf).unwrap(), a);
+    }
+
+    #[test]
+    fn sockaddr_bad_family_is_eafnosupport() {
+        let buf = [99u8, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(WaliSockaddr::read_from(&buf), Err(Errno::Eafnosupport));
+    }
+
+    #[test]
+    fn utsname_truncates_long_fields() {
+        let u = WaliUtsname {
+            sysname: "Linux".into(),
+            nodename: "n".repeat(100),
+            release: "6.1.0-wali".into(),
+            version: "#1".into(),
+            machine: "wasm32".into(),
+            domainname: "(none)".into(),
+        };
+        let mut buf = [0u8; WaliUtsname::SIZE];
+        u.write_to(&mut buf).unwrap();
+        // Field 1 (nodename) must be truncated to 64 chars + NUL.
+        let node = &buf[WaliUtsname::FIELD..2 * WaliUtsname::FIELD];
+        assert_eq!(node[63], b'n');
+        assert_eq!(node[64], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stat_round_trips(
+            dev in any::<u64>(), ino in any::<u64>(), mode in any::<u32>(),
+            size in any::<i64>(), sec in any::<i64>(), nsec in any::<i64>(),
+        ) {
+            let s = WaliStat {
+                st_dev: dev, st_ino: ino, st_mode: mode, st_size: size,
+                st_atim: WaliTimespec { sec, nsec },
+                ..Default::default()
+            };
+            let mut buf = [0u8; WaliStat::SIZE];
+            s.write_to(&mut buf).unwrap();
+            prop_assert_eq!(WaliStat::read_from(&buf).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_pollfd_round_trips(fd in any::<i32>(), ev in any::<i16>(), rev in any::<i16>()) {
+            let p = WaliPollFd { fd, events: ev, revents: rev };
+            let mut buf = [0u8; WaliPollFd::SIZE];
+            p.write_to(&mut buf).unwrap();
+            prop_assert_eq!(WaliPollFd::read_from(&buf).unwrap(), p);
+        }
+
+        #[test]
+        fn prop_rlimit_round_trips(cur in any::<u64>(), max in any::<u64>()) {
+            let r = WaliRlimit { cur, max };
+            let mut buf = [0u8; WaliRlimit::SIZE];
+            r.write_to(&mut buf).unwrap();
+            prop_assert_eq!(WaliRlimit::read_from(&buf).unwrap(), r);
+        }
+
+        #[test]
+        fn prop_dirent_round_trips(ino in any::<u64>(), name in "[a-zA-Z0-9_.]{1,64}") {
+            let d = WaliDirent { ino, off: 0, file_type: 8, name };
+            let mut buf = vec![0u8; d.reclen()];
+            d.write_to(&mut buf).unwrap();
+            let (back, _) = WaliDirent::read_from(&buf).unwrap();
+            prop_assert_eq!(back, d);
+        }
+    }
+}

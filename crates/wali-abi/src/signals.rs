@@ -1,0 +1,372 @@
+//! Linux signal numbers, default dispositions and `sigaction` constants.
+//!
+//! WALI virtualizes the full signal lifecycle (paper §3.3): registration
+//! (`rt_sigaction`), generation, delivery (subject to per-thread masks) and
+//! handler execution at engine safepoints. This module is the shared
+//! vocabulary for that machinery: numbers follow the generic Linux ABI used
+//! by x86-64, aarch64 and riscv64, so signal values are ISA-portable by
+//! construction.
+
+use core::fmt;
+
+/// Number of real-time-capable signal slots WALI models (1..=NSIG-1).
+pub const NSIG: usize = 65;
+
+/// A classic (non-realtime) Linux signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+#[allow(missing_docs)] // The variants are the canonical Linux names.
+pub enum Signal {
+    Sighup = 1,
+    Sigint = 2,
+    Sigquit = 3,
+    Sigill = 4,
+    Sigtrap = 5,
+    Sigabrt = 6,
+    Sigbus = 7,
+    Sigfpe = 8,
+    Sigkill = 9,
+    Sigusr1 = 10,
+    Sigsegv = 11,
+    Sigusr2 = 12,
+    Sigpipe = 13,
+    Sigalrm = 14,
+    Sigterm = 15,
+    Sigstkflt = 16,
+    Sigchld = 17,
+    Sigcont = 18,
+    Sigstop = 19,
+    Sigtstp = 20,
+    Sigttin = 21,
+    Sigttou = 22,
+    Sigurg = 23,
+    Sigxcpu = 24,
+    Sigxfsz = 25,
+    Sigvtalrm = 26,
+    Sigprof = 27,
+    Sigwinch = 28,
+    Sigio = 29,
+    Sigpwr = 30,
+    Sigsys = 31,
+}
+
+/// What an undisposed (SIG_DFL) signal does to the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefaultDisposition {
+    /// Terminate the process.
+    Terminate,
+    /// Terminate and (nominally) dump core.
+    CoreDump,
+    /// Ignore the signal.
+    Ignore,
+    /// Stop (suspend) the process.
+    Stop,
+    /// Continue a stopped process.
+    Continue,
+}
+
+impl Signal {
+    /// Returns the raw signal number.
+    #[inline]
+    pub const fn number(self) -> i32 {
+        self as i32
+    }
+
+    /// Looks a classic signal up by number.
+    pub fn from_number(n: i32) -> Option<Signal> {
+        ALL.iter().copied().find(|s| s.number() == n)
+    }
+
+    /// The canonical C macro name, e.g. `"SIGINT"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Sighup => "SIGHUP",
+            Signal::Sigint => "SIGINT",
+            Signal::Sigquit => "SIGQUIT",
+            Signal::Sigill => "SIGILL",
+            Signal::Sigtrap => "SIGTRAP",
+            Signal::Sigabrt => "SIGABRT",
+            Signal::Sigbus => "SIGBUS",
+            Signal::Sigfpe => "SIGFPE",
+            Signal::Sigkill => "SIGKILL",
+            Signal::Sigusr1 => "SIGUSR1",
+            Signal::Sigsegv => "SIGSEGV",
+            Signal::Sigusr2 => "SIGUSR2",
+            Signal::Sigpipe => "SIGPIPE",
+            Signal::Sigalrm => "SIGALRM",
+            Signal::Sigterm => "SIGTERM",
+            Signal::Sigstkflt => "SIGSTKFLT",
+            Signal::Sigchld => "SIGCHLD",
+            Signal::Sigcont => "SIGCONT",
+            Signal::Sigstop => "SIGSTOP",
+            Signal::Sigtstp => "SIGTSTP",
+            Signal::Sigttin => "SIGTTIN",
+            Signal::Sigttou => "SIGTTOU",
+            Signal::Sigurg => "SIGURG",
+            Signal::Sigxcpu => "SIGXCPU",
+            Signal::Sigxfsz => "SIGXFSZ",
+            Signal::Sigvtalrm => "SIGVTALRM",
+            Signal::Sigprof => "SIGPROF",
+            Signal::Sigwinch => "SIGWINCH",
+            Signal::Sigio => "SIGIO",
+            Signal::Sigpwr => "SIGPWR",
+            Signal::Sigsys => "SIGSYS",
+        }
+    }
+
+    /// The kernel's default action when no handler is registered.
+    pub fn default_disposition(self) -> DefaultDisposition {
+        use DefaultDisposition::*;
+        match self {
+            Signal::Sigchld | Signal::Sigurg | Signal::Sigwinch => Ignore,
+            Signal::Sigcont => Continue,
+            Signal::Sigstop | Signal::Sigtstp | Signal::Sigttin | Signal::Sigttou => Stop,
+            Signal::Sigquit
+            | Signal::Sigill
+            | Signal::Sigtrap
+            | Signal::Sigabrt
+            | Signal::Sigbus
+            | Signal::Sigfpe
+            | Signal::Sigsegv
+            | Signal::Sigxcpu
+            | Signal::Sigxfsz
+            | Signal::Sigsys => CoreDump,
+            _ => Terminate,
+        }
+    }
+
+    /// Whether userspace may catch, block or ignore this signal.
+    ///
+    /// `SIGKILL` and `SIGSTOP` cannot be disposed, exactly as on Linux;
+    /// `rt_sigaction` on them returns `EINVAL`.
+    pub fn catchable(self) -> bool {
+        !matches!(self, Signal::Sigkill | Signal::Sigstop)
+    }
+
+    /// Whether the signal is delivered synchronously in reaction to a fault.
+    ///
+    /// Synchronous signals map onto engine traps in WALI (paper §3.3) and
+    /// never traverse the asynchronous pending queue.
+    pub fn synchronous(self) -> bool {
+        matches!(
+            self,
+            Signal::Sigill | Signal::Sigtrap | Signal::Sigbus | Signal::Sigfpe | Signal::Sigsegv
+        )
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All classic signals in numeric order.
+pub const ALL: &[Signal] = &[
+    Signal::Sighup,
+    Signal::Sigint,
+    Signal::Sigquit,
+    Signal::Sigill,
+    Signal::Sigtrap,
+    Signal::Sigabrt,
+    Signal::Sigbus,
+    Signal::Sigfpe,
+    Signal::Sigkill,
+    Signal::Sigusr1,
+    Signal::Sigsegv,
+    Signal::Sigusr2,
+    Signal::Sigpipe,
+    Signal::Sigalrm,
+    Signal::Sigterm,
+    Signal::Sigstkflt,
+    Signal::Sigchld,
+    Signal::Sigcont,
+    Signal::Sigstop,
+    Signal::Sigtstp,
+    Signal::Sigttin,
+    Signal::Sigttou,
+    Signal::Sigurg,
+    Signal::Sigxcpu,
+    Signal::Sigxfsz,
+    Signal::Sigvtalrm,
+    Signal::Sigprof,
+    Signal::Sigwinch,
+    Signal::Sigio,
+    Signal::Sigpwr,
+    Signal::Sigsys,
+];
+
+/// Special handler value: restore the default disposition (`SIG_DFL`).
+pub const SIG_DFL: u32 = 0;
+/// Special handler value: ignore the signal (`SIG_IGN`).
+pub const SIG_IGN: u32 = 1;
+/// Special handler value returned on error (`SIG_ERR`).
+pub const SIG_ERR: u32 = u32::MAX;
+
+/// `sigaction.sa_flags`: do not receive `SIGCHLD` on child stop.
+pub const SA_NOCLDSTOP: u32 = 0x0000_0001;
+/// `sigaction.sa_flags`: do not transform children into zombies.
+pub const SA_NOCLDWAIT: u32 = 0x0000_0002;
+/// `sigaction.sa_flags`: three-argument (siginfo) handler.
+pub const SA_SIGINFO: u32 = 0x0000_0004;
+/// `sigaction.sa_flags`: run handler on an alternate stack.
+pub const SA_ONSTACK: u32 = 0x0800_0000;
+/// `sigaction.sa_flags`: restart interruptible syscalls after the handler.
+pub const SA_RESTART: u32 = 0x1000_0000;
+/// `sigaction.sa_flags`: do not block the signal during its own handler.
+pub const SA_NODEFER: u32 = 0x4000_0000;
+/// `sigaction.sa_flags`: reset to `SIG_DFL` on handler entry.
+pub const SA_RESETHAND: u32 = 0x8000_0000;
+
+/// `rt_sigprocmask` how-value: add to the blocked set.
+pub const SIG_BLOCK: i32 = 0;
+/// `rt_sigprocmask` how-value: remove from the blocked set.
+pub const SIG_UNBLOCK: i32 = 1;
+/// `rt_sigprocmask` how-value: replace the blocked set.
+pub const SIG_SETMASK: i32 = 2;
+
+/// A 64-bit signal set, bit `n-1` representing signal `n` (Linux layout).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SigSet(pub u64);
+
+impl SigSet {
+    /// The empty set.
+    pub const EMPTY: SigSet = SigSet(0);
+    /// The full set (all 64 slots).
+    pub const FULL: SigSet = SigSet(u64::MAX);
+
+    /// Returns whether signal number `n` (1-based) is in the set.
+    #[inline]
+    pub fn contains(self, n: i32) -> bool {
+        (1..=64).contains(&n) && self.0 & (1u64 << (n - 1)) != 0
+    }
+
+    /// Adds signal number `n` (1-based) to the set.
+    #[inline]
+    pub fn insert(&mut self, n: i32) {
+        if (1..=64).contains(&n) {
+            self.0 |= 1u64 << (n - 1);
+        }
+    }
+
+    /// Removes signal number `n` (1-based) from the set.
+    #[inline]
+    pub fn remove(&mut self, n: i32) {
+        if (1..=64).contains(&n) {
+            self.0 &= !(1u64 << (n - 1));
+        }
+    }
+
+    /// Applies an `rt_sigprocmask`-style update, returning the new mask.
+    ///
+    /// `SIGKILL` and `SIGSTOP` can never be blocked; the kernel silently
+    /// clears them, and so do we.
+    pub fn apply(self, how: i32, arg: SigSet) -> Option<SigSet> {
+        let mut next = match how {
+            SIG_BLOCK => SigSet(self.0 | arg.0),
+            SIG_UNBLOCK => SigSet(self.0 & !arg.0),
+            SIG_SETMASK => arg,
+            _ => return None,
+        };
+        next.remove(Signal::Sigkill.number());
+        next.remove(Signal::Sigstop.number());
+        Some(next)
+    }
+
+    /// Returns the lowest-numbered signal present, if any.
+    pub fn lowest(self) -> Option<i32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as i32 + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_matches_linux() {
+        assert_eq!(Signal::Sigint.number(), 2);
+        assert_eq!(Signal::Sigkill.number(), 9);
+        assert_eq!(Signal::Sigsegv.number(), 11);
+        assert_eq!(Signal::Sigchld.number(), 17);
+        assert_eq!(Signal::Sigsys.number(), 31);
+    }
+
+    #[test]
+    fn default_dispositions() {
+        use DefaultDisposition::*;
+        assert_eq!(Signal::Sigchld.default_disposition(), Ignore);
+        assert_eq!(Signal::Sigterm.default_disposition(), Terminate);
+        assert_eq!(Signal::Sigsegv.default_disposition(), CoreDump);
+        assert_eq!(Signal::Sigstop.default_disposition(), Stop);
+        assert_eq!(Signal::Sigcont.default_disposition(), Continue);
+    }
+
+    #[test]
+    fn kill_and_stop_are_uncatchable() {
+        assert!(!Signal::Sigkill.catchable());
+        assert!(!Signal::Sigstop.catchable());
+        assert!(Signal::Sigint.catchable());
+    }
+
+    #[test]
+    fn sigset_insert_remove_contains() {
+        let mut s = SigSet::EMPTY;
+        assert!(!s.contains(2));
+        s.insert(2);
+        s.insert(17);
+        assert!(s.contains(2));
+        assert!(s.contains(17));
+        assert_eq!(s.lowest(), Some(2));
+        s.remove(2);
+        assert!(!s.contains(2));
+        assert_eq!(s.lowest(), Some(17));
+    }
+
+    #[test]
+    fn sigset_ignores_out_of_range() {
+        let mut s = SigSet::EMPTY;
+        s.insert(0);
+        s.insert(65);
+        s.insert(-3);
+        assert_eq!(s, SigSet::EMPTY);
+        assert!(!s.contains(0));
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    fn procmask_apply_semantics() {
+        let mut base = SigSet::EMPTY;
+        base.insert(2);
+        let mut arg = SigSet::EMPTY;
+        arg.insert(3);
+        let blocked = base.apply(SIG_BLOCK, arg).unwrap();
+        assert!(blocked.contains(2) && blocked.contains(3));
+        let unblocked = blocked.apply(SIG_UNBLOCK, arg).unwrap();
+        assert!(unblocked.contains(2) && !unblocked.contains(3));
+        let set = unblocked.apply(SIG_SETMASK, arg).unwrap();
+        assert!(!set.contains(2) && set.contains(3));
+        assert_eq!(base.apply(99, arg), None);
+    }
+
+    #[test]
+    fn procmask_cannot_block_kill_or_stop() {
+        let all = SigSet::FULL;
+        let masked = SigSet::EMPTY.apply(SIG_SETMASK, all).unwrap();
+        assert!(!masked.contains(Signal::Sigkill.number()));
+        assert!(!masked.contains(Signal::Sigstop.number()));
+        assert!(masked.contains(Signal::Sigterm.number()));
+    }
+
+    #[test]
+    fn synchronous_signals_are_fault_class() {
+        assert!(Signal::Sigsegv.synchronous());
+        assert!(Signal::Sigfpe.synchronous());
+        assert!(!Signal::Sigint.synchronous());
+        assert!(!Signal::Sigchld.synchronous());
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-ISA Linux syscall tables.
+//!
+//! Because WALI binds syscalls *by name* (§3.5), the interesting artifact of
+//! a syscall table is its **name set**, not its numbering; the numbering
+//! differences between ISAs are exactly what name-binding erases. These
+//! tables drive the cross-ISA commonality analysis of Fig. 3: aarch64 and
+//! riscv64 instantiate the generic Linux table with a handful of arch
+//! extras, while x86-64 adds the large legacy tail kept for backward
+//! compatibility (`open`, `stat`, `fork`, `select`, …).
+//!
+//! The lists mirror the upstream `unistd.h` tables closely enough that the
+//! aggregate structure the paper reports holds: a large common core, arm64
+//! and riscv64 nearly identical, both largely a subset of x86-64.
+
+use crate::isa::Isa;
+use std::collections::BTreeSet;
+
+/// The generic (asm-generic) 64-bit Linux syscall names shared by modern
+/// ISAs such as aarch64 and riscv64.
+pub const GENERIC: &[&str] = &[
+    "io_setup", "io_destroy", "io_submit", "io_cancel", "io_getevents",
+    "setxattr", "lsetxattr", "fsetxattr", "getxattr", "lgetxattr",
+    "fgetxattr", "listxattr", "llistxattr", "flistxattr", "removexattr",
+    "lremovexattr", "fremovexattr", "getcwd", "eventfd2", "epoll_create1",
+    "epoll_ctl", "epoll_pwait", "dup", "dup3", "fcntl",
+    "inotify_init1", "inotify_add_watch", "inotify_rm_watch", "ioctl",
+    "ioprio_set", "ioprio_get", "flock", "mknodat", "mkdirat", "unlinkat",
+    "symlinkat", "linkat", "umount2", "mount", "pivot_root",
+    "statfs", "fstatfs", "truncate", "ftruncate", "fallocate", "faccessat",
+    "chdir", "fchdir", "chroot", "fchmod", "fchmodat", "fchownat", "fchown",
+    "openat", "close", "vhangup", "pipe2", "quotactl", "getdents64",
+    "lseek", "read", "write", "readv", "writev", "pread64", "pwrite64",
+    "preadv", "pwritev", "sendfile", "pselect6", "ppoll", "signalfd4",
+    "vmsplice", "splice", "tee", "readlinkat", "newfstatat", "fstat",
+    "sync", "fsync", "fdatasync", "sync_file_range", "timerfd_create",
+    "timerfd_settime", "timerfd_gettime", "utimensat", "acct", "capget",
+    "capset", "personality", "exit", "exit_group", "waitid",
+    "set_tid_address", "unshare", "futex", "set_robust_list",
+    "get_robust_list", "nanosleep", "getitimer", "setitimer", "kexec_load",
+    "init_module", "delete_module", "timer_create", "timer_gettime",
+    "timer_getoverrun", "timer_settime", "timer_delete", "clock_settime",
+    "clock_gettime", "clock_getres", "clock_nanosleep", "syslog", "ptrace",
+    "sched_setparam", "sched_setscheduler", "sched_getscheduler",
+    "sched_getparam", "sched_setaffinity", "sched_getaffinity",
+    "sched_yield", "sched_get_priority_max", "sched_get_priority_min",
+    "sched_rr_get_interval", "restart_syscall", "kill", "tkill", "tgkill",
+    "sigaltstack", "rt_sigsuspend", "rt_sigaction", "rt_sigprocmask",
+    "rt_sigpending", "rt_sigtimedwait", "rt_sigqueueinfo", "rt_sigreturn",
+    "setpriority", "getpriority", "reboot", "setregid", "setgid",
+    "setreuid", "setuid", "setresuid", "getresuid", "setresgid",
+    "getresgid", "setfsuid", "setfsgid", "times", "setpgid", "getpgid",
+    "getsid", "setsid", "getgroups", "setgroups", "uname", "sethostname",
+    "setdomainname", "getrlimit", "setrlimit", "getrusage", "umask",
+    "prctl", "getcpu", "gettimeofday", "settimeofday", "adjtimex",
+    "getpid", "getppid", "getuid", "geteuid", "getgid", "getegid",
+    "gettid", "sysinfo", "mq_open", "mq_unlink", "mq_timedsend",
+    "mq_timedreceive", "mq_notify", "mq_getsetattr", "msgget", "msgctl",
+    "msgrcv", "msgsnd", "semget", "semctl", "semtimedop", "semop",
+    "shmget", "shmctl", "shmat", "shmdt", "socket", "socketpair", "bind",
+    "listen", "accept", "connect", "getsockname", "getpeername", "sendto",
+    "recvfrom", "setsockopt", "getsockopt", "shutdown", "sendmsg",
+    "recvmsg", "readahead", "brk", "munmap", "mremap", "add_key",
+    "request_key", "keyctl", "clone", "execve", "mmap", "fadvise64",
+    "swapon", "swapoff", "mprotect", "msync", "mlock", "munlock",
+    "mlockall", "munlockall", "mincore", "madvise", "remap_file_pages",
+    "mbind", "get_mempolicy", "set_mempolicy", "migrate_pages",
+    "move_pages", "rt_tgsigqueueinfo", "perf_event_open", "accept4",
+    "recvmmsg", "wait4", "prlimit64", "fanotify_init", "fanotify_mark",
+    "name_to_handle_at", "open_by_handle_at", "clock_adjtime", "syncfs",
+    "setns", "sendmmsg", "process_vm_readv", "process_vm_writev", "kcmp",
+    "finit_module", "sched_setattr", "sched_getattr", "renameat2",
+    "seccomp", "getrandom", "memfd_create", "bpf", "execveat",
+    "userfaultfd", "membarrier", "mlock2", "copy_file_range", "preadv2",
+    "pwritev2", "pkey_mprotect", "pkey_alloc", "pkey_free", "statx",
+    "io_pgetevents", "rseq", "kexec_file_load", "pidfd_send_signal",
+    "io_uring_setup", "io_uring_enter", "io_uring_register", "open_tree",
+    "move_mount", "fsopen", "fsconfig", "fsmount", "fspick", "pidfd_open",
+    "clone3", "close_range", "openat2", "pidfd_getfd", "faccessat2",
+    "process_madvise", "epoll_pwait2", "mount_setattr", "quotactl_fd",
+    "landlock_create_ruleset", "landlock_add_rule", "landlock_restrict_self",
+    "process_mrelease", "futex_waitv", "set_mempolicy_home_node",
+    "cachestat", "fchmodat2", "futex_wake", "futex_wait", "futex_requeue",
+    "statmount", "listmount", "lsm_get_self_attr", "lsm_set_self_attr",
+    "lsm_list_modules", "mseal",
+];
+
+/// Legacy and arch-specific syscalls present on x86-64 but absent from the
+/// generic table.
+pub const X86_64_EXTRA: &[&str] = &[
+    "open", "stat", "lstat", "poll", "access", "pipe", "select", "dup2",
+    "pause", "alarm", "fork", "vfork", "getdents", "rename", "mkdir",
+    "rmdir", "creat", "link", "unlink", "symlink", "readlink", "chmod",
+    "chown", "lchown", "getpgrp", "utime", "mknod", "uselib", "ustat",
+    "sysfs", "getpmsg", "putpmsg", "afs_syscall", "tuxcall", "security",
+    "time", "futimesat", "signalfd", "eventfd", "epoll_create",
+    "epoll_wait", "epoll_ctl_old", "epoll_wait_old", "inotify_init",
+    "arch_prctl", "ioperm", "iopl", "modify_ldt", "_sysctl",
+    "get_thread_area", "set_thread_area", "get_kernel_syms", "query_module",
+    "nfsservctl", "vserver", "create_module", "sysctl", "umount",
+    "renameat", "memfd_secret", "map_shadow_stack", "uretprobe",
+];
+
+/// Arch-specific syscalls present on aarch64 beyond the generic table.
+pub const AARCH64_EXTRA: &[&str] = &["renameat", "memfd_secret", "nfsservctl"];
+
+/// Arch-specific syscalls present on riscv64 beyond the generic table.
+pub const RISCV64_EXTRA: &[&str] = &["riscv_flush_icache", "riscv_hwprobe", "nfsservctl"];
+
+/// Generic syscalls *not* wired up on riscv64.
+pub const RISCV64_REMOVED: &[&str] = &[];
+
+/// Returns the full syscall name set for `isa`.
+pub fn syscalls(isa: Isa) -> BTreeSet<&'static str> {
+    let mut set: BTreeSet<&'static str> = GENERIC.iter().copied().collect();
+    let extra = match isa {
+        Isa::X86_64 => X86_64_EXTRA,
+        Isa::Aarch64 => AARCH64_EXTRA,
+        Isa::Riscv64 => RISCV64_EXTRA,
+    };
+    set.extend(extra.iter().copied());
+    if isa == Isa::Riscv64 {
+        for name in RISCV64_REMOVED {
+            set.remove(name);
+        }
+    }
+    set
+}
+
+/// The syscall names common to every supported ISA (the Fig. 3 core).
+pub fn common_core() -> BTreeSet<&'static str> {
+    let mut isas = Isa::ALL.iter();
+    let mut core = syscalls(*isas.next().expect("at least one ISA"));
+    for isa in isas {
+        let s = syscalls(*isa);
+        core.retain(|n| s.contains(n));
+    }
+    core
+}
+
+/// The union of syscall names across all ISAs — the domain of the WALI
+/// specification (§3.5: "the set of virtual syscalls in WALI are a union of
+/// all syscalls across supported architectures").
+pub fn union_all() -> BTreeSet<&'static str> {
+    let mut u = BTreeSet::new();
+    for isa in Isa::ALL {
+        u.extend(syscalls(isa));
+    }
+    u
+}
+
+/// Summary row for Fig. 3: `(isa, total, common, arch_specific)`.
+pub fn fig3_row(isa: Isa) -> (Isa, usize, usize, usize) {
+    let set = syscalls(isa);
+    let core = common_core();
+    let common = set.iter().filter(|n| core.contains(*n)).count();
+    (isa, set.len(), common, set.len() - common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_table_has_no_duplicates() {
+        let set: BTreeSet<_> = GENERIC.iter().collect();
+        assert_eq!(set.len(), GENERIC.len());
+    }
+
+    #[test]
+    fn extras_do_not_duplicate_generic() {
+        let generic: BTreeSet<_> = GENERIC.iter().copied().collect();
+        for extra in [X86_64_EXTRA, AARCH64_EXTRA, RISCV64_EXTRA] {
+            for name in extra {
+                assert!(!generic.contains(name), "{name} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn table_sizes_are_realistic() {
+        // Linux officially supports roughly 300 generic and 350+ x86-64
+        // syscalls; the paper's Fig. 3 x-axis runs to ~500 with x86-64 the
+        // largest.
+        assert!(GENERIC.len() >= 280, "generic = {}", GENERIC.len());
+        let x = syscalls(Isa::X86_64).len();
+        let a = syscalls(Isa::Aarch64).len();
+        let r = syscalls(Isa::Riscv64).len();
+        assert!(x > a && x > r, "x86-64 must be the largest: {x} {a} {r}");
+        assert!(x >= 330, "x86_64 = {x}");
+    }
+
+    #[test]
+    fn arm_and_riscv_nearly_identical() {
+        let a = syscalls(Isa::Aarch64);
+        let r = syscalls(Isa::Riscv64);
+        let sym_diff = a.symmetric_difference(&r).count();
+        assert!(sym_diff <= 8, "arm/riscv diff = {sym_diff}");
+    }
+
+    #[test]
+    fn common_core_is_large_subset_of_x86() {
+        let core = common_core();
+        let x = syscalls(Isa::X86_64);
+        assert!(core.iter().all(|n| x.contains(n)));
+        // "a large common core … largely a subset of x86-64".
+        assert!(core.len() as f64 >= 0.9 * syscalls(Isa::Aarch64).len() as f64);
+    }
+
+    #[test]
+    fn fig3_rows_partition_each_table() {
+        for isa in Isa::ALL {
+            let (_, total, common, specific) = fig3_row(isa);
+            assert_eq!(total, common + specific);
+        }
+    }
+
+    #[test]
+    fn union_covers_every_isa() {
+        let u = union_all();
+        for isa in Isa::ALL {
+            for name in syscalls(isa) {
+                assert!(u.contains(name));
+            }
+        }
+        assert!(u.len() >= syscalls(Isa::X86_64).len());
+    }
+}

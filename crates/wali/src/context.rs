@@ -1,0 +1,309 @@
+//! Per-task WALI execution context.
+//!
+//! One [`WaliContext`] exists per kernel task (per Wasm instance in the
+//! 1-to-1 model). It owns the engine-side state the paper enumerates as
+//! WALI's bookkeeping: the virtual sigtable, the mmap pool base, the `brk`
+//! watermark, argv/env, the trace, and the seccomp-like policy layer.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
+
+use vkernel::kernel::SignalDelivery;
+use vkernel::{Kernel, MmId, Tid};
+use wali_abi::signals::SigSet;
+use wasm::error::Trap;
+use wasm::host::{HostCtx, PendingCall};
+use wasm::interp::Value;
+
+use crate::mmap::MmapPool;
+use crate::policy::Policy;
+use crate::sigtable::SigTable;
+use crate::trace::Trace;
+
+/// Shared handle to the kernel model.
+pub type KernelRef = Rc<RefCell<Kernel>>;
+
+/// The embedder context threaded through every WALI host call.
+pub struct WaliContext {
+    /// The kernel this task runs against.
+    pub kernel: KernelRef,
+    /// Kernel task id.
+    pub tid: Tid,
+    /// Address-space identity (for futex keys).
+    pub mm: MmId,
+    /// Virtual signal table (shared between threads of a process).
+    pub sigtable: Rc<RefCell<SigTable>>,
+    /// Memory-mapping pool (shared between threads of a process).
+    pub mmap: Rc<RefCell<MmapPool>>,
+    /// Current program break.
+    pub brk: Rc<Cell<u32>>,
+    /// Initial program break (floor for shrinking).
+    pub brk_start: u32,
+    /// Command-line arguments (§3.4: owned by the engine, copied into the
+    /// sandbox on request).
+    pub args: Vec<String>,
+    /// Environment variables as `KEY=VALUE` strings.
+    pub env: Vec<String>,
+    /// Syscall trace.
+    pub trace: Trace,
+    /// Optional syscall policy layered over the interface (§3.6).
+    pub policy: Option<Policy>,
+    /// Deadline handed back by the runner when retrying a blocked call.
+    pub retry_deadline: Option<u64>,
+    /// Fast-path signal hint shared with the kernel task.
+    sig_hint: Rc<Cell<bool>>,
+    /// Masks to restore when nested signal handlers return (§3.3).
+    handler_masks: Vec<SigSet>,
+    /// Exit status once the task is terminated.
+    pub exited: Option<i32>,
+    /// Opaque state slot for APIs layered over WALI (e.g. the WASI
+    /// capability tables). Not inherited across fork/exec.
+    pub ext: Option<Box<dyn std::any::Any>>,
+}
+
+impl WaliContext {
+    /// Creates the context for an existing kernel task.
+    ///
+    /// `heap_base` is the first address past the module's static data; the
+    /// `brk` heap starts there and the mmap pool above it (1 MiB of brk
+    /// headroom).
+    pub fn new(kernel: KernelRef, tid: Tid, heap_base: u32) -> WaliContext {
+        let (mm, sig_hint) = {
+            let k = kernel.borrow();
+            let task = k.task(tid).expect("task exists");
+            (task.mm, task.sig_hint.clone())
+        };
+        let brk_start = (heap_base + 15) & !15;
+        let pool_base = brk_start + (1 << 20);
+        WaliContext {
+            kernel,
+            tid,
+            mm,
+            sigtable: Rc::new(RefCell::new(SigTable::new())),
+            mmap: Rc::new(RefCell::new(MmapPool::new(pool_base))),
+            brk: Rc::new(Cell::new(brk_start)),
+            brk_start,
+            args: Vec::new(),
+            env: Vec::new(),
+            trace: Trace::default(),
+            policy: None,
+            retry_deadline: None,
+            sig_hint,
+            handler_masks: Vec::new(),
+            exited: None,
+            ext: None,
+        }
+    }
+
+    /// Derives a sibling context for a `CLONE_THREAD` child: shares the
+    /// sigtable, mmap pool and brk (one address space), fresh trace.
+    pub fn thread_sibling(&self, tid: Tid) -> WaliContext {
+        let (mm, sig_hint) = {
+            let k = self.kernel.borrow();
+            let task = k.task(tid).expect("task exists");
+            (task.mm, task.sig_hint.clone())
+        };
+        WaliContext {
+            kernel: self.kernel.clone(),
+            tid,
+            mm,
+            sigtable: self.sigtable.clone(),
+            mmap: self.mmap.clone(),
+            brk: self.brk.clone(),
+            brk_start: self.brk_start,
+            args: self.args.clone(),
+            env: self.env.clone(),
+            trace: Trace::default(),
+            policy: self.policy.clone(),
+            retry_deadline: None,
+            sig_hint,
+            handler_masks: Vec::new(),
+            exited: None,
+            ext: None,
+        }
+    }
+
+    /// Derives a child context for `fork`: private copies of the sigtable,
+    /// pool and brk (fresh address space with identical content).
+    pub fn fork_child(&self, tid: Tid) -> WaliContext {
+        let (mm, sig_hint) = {
+            let k = self.kernel.borrow();
+            let task = k.task(tid).expect("task exists");
+            (task.mm, task.sig_hint.clone())
+        };
+        WaliContext {
+            kernel: self.kernel.clone(),
+            tid,
+            mm,
+            sigtable: Rc::new(RefCell::new(self.sigtable.borrow().clone())),
+            mmap: Rc::new(RefCell::new(self.mmap.borrow().clone())),
+            brk: Rc::new(Cell::new(self.brk.get())),
+            brk_start: self.brk_start,
+            args: self.args.clone(),
+            env: self.env.clone(),
+            trace: Trace::default(),
+            policy: self.policy.clone(),
+            retry_deadline: None,
+            sig_hint,
+            handler_masks: Vec::new(),
+            exited: None,
+            ext: None,
+        }
+    }
+
+    /// Runs `f` against the kernel, attributing the elapsed time to the
+    /// kernel layer (Fig. 7 accounting).
+    pub fn with_kernel<R>(&mut self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let t0 = Instant::now();
+        let r = f(&mut self.kernel.borrow_mut());
+        self.trace.kernel_time += t0.elapsed();
+        r
+    }
+}
+
+impl HostCtx for WaliContext {
+    fn poll_signal(&mut self) -> Option<PendingCall> {
+        // Fast path: nothing flagged for this task.
+        if !self.sig_hint.get() {
+            return None;
+        }
+        let delivery = {
+            let mut k = self.kernel.borrow_mut();
+            let d = k.next_signal(self.tid);
+            if d.is_none() {
+                // Drained (or the hint was for an already-consumed
+                // process-wide signal another thread took).
+                if !k.has_pending_signal(self.tid) {
+                    self.sig_hint.set(false);
+                }
+            }
+            d
+        }?;
+        match delivery {
+            SignalDelivery::Handler { signo, old_mask, .. } => {
+                let entry = self.sigtable.borrow().get(signo)?;
+                self.handler_masks.push(old_mask);
+                Some(PendingCall { func: entry.func_index, args: vec![Value::I32(signo)] })
+            }
+            SignalDelivery::Killed { signo } => {
+                self.exited = Some(128 + signo);
+                None
+            }
+        }
+    }
+
+    fn check_abort(&mut self) -> Option<Trap> {
+        if self.exited.is_some() {
+            return Some(Trap::Aborted);
+        }
+        if self.sig_hint.get() {
+            // Another task may have terminated our process.
+            let k = self.kernel.borrow();
+            if let Ok(task) = k.task(self.tid) {
+                if task.exited() {
+                    drop(k);
+                    self.exited = Some(0);
+                    return Some(Trap::Aborted);
+                }
+            }
+        }
+        None
+    }
+
+    fn signal_return(&mut self) {
+        if let Some(mask) = self.handler_masks.pop() {
+            self.kernel.borrow_mut().signal_return(self.tid, mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> WaliContext {
+        let kernel = Rc::new(RefCell::new(Kernel::new()));
+        let tid = kernel.borrow_mut().spawn_process();
+        WaliContext::new(kernel, tid, 4096)
+    }
+
+    #[test]
+    fn layout_of_heap_and_pool() {
+        let c = ctx();
+        assert_eq!(c.brk.get(), 4096);
+        assert!(c.mmap.borrow().base() >= c.brk.get() + (1 << 20));
+    }
+
+    #[test]
+    fn poll_without_signals_is_cheap_none() {
+        let mut c = ctx();
+        assert_eq!(c.poll_signal(), None);
+        assert!(c.check_abort().is_none());
+    }
+
+    #[test]
+    fn fatal_signal_aborts_via_hint() {
+        let mut c = ctx();
+        let tid = c.tid;
+        c.kernel.borrow_mut().sys_kill(tid, tid, 15).unwrap();
+        assert_eq!(c.poll_signal(), None, "default SIGTERM kills, no handler call");
+        assert_eq!(c.check_abort(), Some(Trap::Aborted));
+        assert_eq!(c.exited, Some(128 + 15));
+    }
+
+    #[test]
+    fn handler_delivery_and_mask_restore() {
+        use crate::sigtable::SigEntry;
+        use wali_abi::layout::WaliSigaction;
+        let mut c = ctx();
+        let tid = c.tid;
+        c.sigtable
+            .borrow_mut()
+            .set(10, Some(SigEntry { table_index: 2, func_index: 42 }));
+        c.kernel
+            .borrow_mut()
+            .sys_rt_sigaction(tid, 10, Some(WaliSigaction { handler: 2, flags: 0, mask: 0 }))
+            .unwrap();
+        c.kernel.borrow_mut().sys_kill(tid, tid, 10).unwrap();
+        let call = c.poll_signal().expect("handler call");
+        assert_eq!(call.func, 42);
+        assert_eq!(call.args, vec![Value::I32(10)]);
+        // During the handler the signal is masked; same signal stays
+        // pending rather than delivering.
+        c.kernel.borrow_mut().sys_kill(tid, tid, 10).unwrap();
+        assert_eq!(c.poll_signal(), None);
+        // Handler returns: mask restored, second delivery happens.
+        c.signal_return();
+        assert!(c.poll_signal().is_some());
+    }
+
+    #[test]
+    fn fork_child_gets_private_state() {
+        let c = ctx();
+        let child_tid = {
+            let tid = c.tid;
+            c.kernel.borrow_mut().sys_fork(tid).unwrap() as Tid
+        };
+        let child = c.fork_child(child_tid);
+        child.brk.set(999);
+        assert_ne!(c.brk.get(), 999, "brk not shared across fork");
+        assert_ne!(c.mm, child.mm);
+    }
+
+    #[test]
+    fn thread_sibling_shares_address_space_state() {
+        let c = ctx();
+        let t2 = {
+            let tid = c.tid;
+            c.kernel
+                .borrow_mut()
+                .sys_clone(tid, wali_abi::flags::CLONE_PTHREAD)
+                .unwrap() as Tid
+        };
+        let sib = c.thread_sibling(t2);
+        sib.brk.set(777);
+        assert_eq!(c.brk.get(), 777, "brk shared between threads");
+        assert_eq!(c.mm, sib.mm);
+    }
+}

@@ -1,0 +1,47 @@
+//! WALI — the WebAssembly Linux Interface (the paper's core contribution).
+//!
+//! WALI exposes the Linux userspace syscall surface to Wasm modules as
+//! ~150 *name-bound* host functions (`wali.SYS_<name>`), each a thin,
+//! mostly-passthrough translation between the Wasm sandbox and the kernel:
+//!
+//! * [`mem`] — address-space translation between wasm32 pointers and
+//!   kernel buffers: zero-copy for raw byte buffers, explicit layout
+//!   conversion (via `wali-abi::layout`) for the <10 % of structured
+//!   arguments (§3.2).
+//! * [`mmap`] — sandboxed `mmap`/`mremap`/`munmap` entirely inside linear
+//!   memory with single-base-pointer bookkeeping (§3.2).
+//! * [`sigtable`] + [`context`] — the virtual signal table, asynchronous
+//!   delivery at engine safepoints, handler re-entrancy and mask
+//!   restoration (§3.3).
+//! * [`registry`] — builds the host-function [`wasm::Linker`]; passthrough
+//!   wrappers are generated mechanically from the spec classification,
+//!   realizing the >85 % auto-generation claim (§5).
+//! * [`runner`] — the process runtime: the 1-to-1 instance-per-thread
+//!   model with `fork` (thread snapshot + memory clone), `execve`
+//!   (program swap) and pthread-style `clone` (shared memory sibling),
+//!   scheduled cooperatively over the deterministic kernel (§3.1).
+//! * [`policy`] — seccomp-like dynamic syscall policies layered *above*
+//!   the interface rather than inside the engine TCB (§3.6).
+//! * [`trace`] — syscall profiles (Fig. 2) and the wasm/kernel/wali time
+//!   breakdown (Fig. 7).
+//!
+//! The security model (§3.6) is enforced here: `/proc/self/mem` opens are
+//! interposed and denied, `sigreturn` traps, `PROT_EXEC` mappings are
+//! refused, and every pointer crossing the boundary is bounds-checked.
+
+pub mod context;
+pub mod mem;
+pub mod mmap;
+pub mod policy;
+pub mod registry;
+pub mod runner;
+pub mod sigtable;
+pub mod trace;
+
+pub use context::WaliContext;
+pub use registry::build_linker;
+pub use runner::{RunOutcome, WaliRunner};
+pub use trace::Trace;
+
+/// The import module namespace for WALI syscalls.
+pub const WALI_MODULE: &str = "wali";

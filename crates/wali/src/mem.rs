@@ -1,0 +1,152 @@
+//! Address-space translation between the Wasm sandbox and the kernel
+//! (§3.2).
+//!
+//! Raw byte buffers cross the boundary zero-copy via
+//! [`wasm::mem::Memory::with_slice`]; structured arguments go through the
+//! explicit WALI layouts in [`wali_abi::layout`]. Every access is
+//! bounds-checked against the module's linear memory and surfaces as
+//! `EFAULT`, matching what the kernel reports for bad user pointers.
+
+use wali_abi::Errno;
+use wasm::interp::Value;
+use wasm::mem::Memory;
+
+/// Extracts argument `i` as an i64 (WALI syscall imports are all-i64).
+pub fn arg(args: &[Value], i: usize) -> i64 {
+    match args.get(i) {
+        Some(Value::I64(v)) => *v,
+        Some(Value::I32(v)) => *v as i64,
+        _ => 0,
+    }
+}
+
+/// Extracts argument `i` as a wasm32 pointer.
+pub fn arg_ptr(args: &[Value], i: usize) -> u32 {
+    arg(args, i) as u32
+}
+
+/// Extracts argument `i` as an i32.
+pub fn arg_i32(args: &[Value], i: usize) -> i32 {
+    arg(args, i) as i32
+}
+
+/// Reads `len` bytes at `ptr` into a fresh buffer.
+pub fn read_bytes(mem: &Memory, ptr: u32, len: usize) -> Result<Vec<u8>, Errno> {
+    mem.read(ptr as u64, len).map_err(|_| Errno::Efault)
+}
+
+/// Writes `bytes` at `ptr`.
+pub fn write_bytes(mem: &Memory, ptr: u32, bytes: &[u8]) -> Result<(), Errno> {
+    mem.write(ptr as u64, bytes).map_err(|_| Errno::Efault)
+}
+
+/// Reads a NUL-terminated UTF-8 string (paths, names).
+pub fn read_cstr(mem: &Memory, ptr: u32) -> Result<String, Errno> {
+    let bytes = mem.read_cstr(ptr as u64).map_err(|_| Errno::Efault)?;
+    String::from_utf8(bytes).map_err(|_| Errno::Einval)
+}
+
+/// Zero-copy read view: runs `f` over the linear-memory byte range.
+pub fn with_slice<R>(
+    mem: &Memory,
+    ptr: u32,
+    len: usize,
+    f: impl FnOnce(&[u8]) -> R,
+) -> Result<R, Errno> {
+    mem.with_slice(ptr as u64, len, f).map_err(|_| Errno::Efault)
+}
+
+/// Zero-copy write view: runs `f` over the mutable byte range.
+pub fn with_slice_mut<R>(
+    mem: &Memory,
+    ptr: u32,
+    len: usize,
+    f: impl FnOnce(&mut [u8]) -> R,
+) -> Result<R, Errno> {
+    mem.with_slice_mut(ptr as u64, len, f).map_err(|_| Errno::Efault)
+}
+
+/// Reads a little-endian u32 at `ptr`.
+pub fn read_u32(mem: &Memory, ptr: u32) -> Result<u32, Errno> {
+    mem.load::<4>(ptr as u64).map(u32::from_le_bytes).map_err(|_| Errno::Efault)
+}
+
+/// Writes a little-endian u32 at `ptr`.
+pub fn write_u32(mem: &Memory, ptr: u32, v: u32) -> Result<(), Errno> {
+    mem.store::<4>(ptr as u64, v.to_le_bytes()).map_err(|_| Errno::Efault)
+}
+
+/// Writes a little-endian u64 at `ptr`.
+pub fn write_u64(mem: &Memory, ptr: u32, v: u64) -> Result<(), Errno> {
+    mem.store::<8>(ptr as u64, v.to_le_bytes()).map_err(|_| Errno::Efault)
+}
+
+/// Reads a little-endian u64 at `ptr`.
+pub fn read_u64(mem: &Memory, ptr: u32) -> Result<u64, Errno> {
+    mem.load::<8>(ptr as u64).map(u64::from_le_bytes).map_err(|_| Errno::Efault)
+}
+
+/// Reads a NUL-terminated array of wasm32 string pointers (argv/envp).
+pub fn read_str_array(mem: &Memory, mut ptr: u32) -> Result<Vec<String>, Errno> {
+    let mut out = Vec::new();
+    if ptr == 0 {
+        return Ok(out);
+    }
+    loop {
+        let p = read_u32(mem, ptr)?;
+        if p == 0 {
+            return Ok(out);
+        }
+        out.push(read_cstr(mem, p)?);
+        ptr = ptr.checked_add(4).ok_or(Errno::Efault)?;
+        if out.len() > 4096 {
+            return Err(Errno::E2big);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(1, Some(2))
+    }
+
+    #[test]
+    fn cstr_and_bytes_round_trip() {
+        let m = mem();
+        write_bytes(&m, 64, b"hello\0").unwrap();
+        assert_eq!(read_cstr(&m, 64).unwrap(), "hello");
+        assert_eq!(read_bytes(&m, 64, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn out_of_bounds_is_efault() {
+        let m = mem();
+        assert_eq!(read_bytes(&m, 65530, 100).unwrap_err(), Errno::Efault);
+        assert_eq!(write_bytes(&m, u32::MAX - 2, b"abc").unwrap_err(), Errno::Efault);
+        assert_eq!(read_u32(&m, 65534).unwrap_err(), Errno::Efault);
+    }
+
+    #[test]
+    fn str_array_reads_argv_layout() {
+        let m = mem();
+        write_bytes(&m, 100, b"arg0\0").unwrap();
+        write_bytes(&m, 110, b"arg1\0").unwrap();
+        write_u32(&m, 200, 100).unwrap();
+        write_u32(&m, 204, 110).unwrap();
+        write_u32(&m, 208, 0).unwrap();
+        assert_eq!(read_str_array(&m, 200).unwrap(), vec!["arg0", "arg1"]);
+        assert_eq!(read_str_array(&m, 0).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn value_arg_extraction() {
+        let args = [Value::I64(-5), Value::I64(0xffff_ffff)];
+        assert_eq!(arg(&args, 0), -5);
+        assert_eq!(arg_i32(&args, 0), -5);
+        assert_eq!(arg_ptr(&args, 1), 0xffff_ffff);
+        assert_eq!(arg(&args, 7), 0, "missing args default to 0");
+    }
+}

@@ -1,0 +1,102 @@
+//! Seccomp-like dynamic syscall policies, layered *over* WALI (§3.6).
+//!
+//! WALI deliberately does not implement `seccomp` in the engine; instead,
+//! name-bound syscalls make it trivial to interpose uniform, ISA-agnostic
+//! policies above the interface. A [`Policy`] is consulted before every
+//! syscall; denial surfaces to the application as a plain errno (like
+//! `SECCOMP_RET_ERRNO`) or a trap (like `SECCOMP_RET_KILL`).
+
+use std::collections::BTreeSet;
+
+use wali_abi::Errno;
+
+/// What to do with a denied syscall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenyAction {
+    /// Fail the call with this errno.
+    Errno(Errno),
+    /// Trap (kill) the calling module.
+    Kill,
+}
+
+/// Decision for one syscall attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the call through.
+    Allow,
+    /// Deny with the given action.
+    Deny(DenyAction),
+}
+
+/// A simple allow/deny-list syscall policy.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    default_allow: bool,
+    listed: BTreeSet<&'static str>,
+    action: DenyAction,
+    /// Names that were denied at least once (audit log).
+    pub denied_log: Vec<&'static str>,
+}
+
+impl Policy {
+    /// Allow everything except `denied` (deny-list mode).
+    pub fn deny_list(denied: impl IntoIterator<Item = &'static str>, action: DenyAction) -> Policy {
+        Policy {
+            default_allow: true,
+            listed: denied.into_iter().collect(),
+            action,
+            denied_log: Vec::new(),
+        }
+    }
+
+    /// Deny everything except `allowed` (allow-list mode, the
+    /// gVisor/Nabla-style restricted profile).
+    pub fn allow_list(
+        allowed: impl IntoIterator<Item = &'static str>,
+        action: DenyAction,
+    ) -> Policy {
+        Policy {
+            default_allow: false,
+            listed: allowed.into_iter().collect(),
+            action,
+            denied_log: Vec::new(),
+        }
+    }
+
+    /// Decides whether `name` may proceed, logging denials.
+    pub fn check(&mut self, name: &'static str) -> Verdict {
+        let allowed = if self.default_allow {
+            !self.listed.contains(name)
+        } else {
+            self.listed.contains(name)
+        };
+        if allowed {
+            Verdict::Allow
+        } else {
+            self.denied_log.push(name);
+            Verdict::Deny(self.action)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_list_blocks_only_listed() {
+        let mut p = Policy::deny_list(["execve", "fork"], DenyAction::Errno(Errno::Eperm));
+        assert_eq!(p.check("read"), Verdict::Allow);
+        assert_eq!(p.check("execve"), Verdict::Deny(DenyAction::Errno(Errno::Eperm)));
+        assert_eq!(p.denied_log, vec!["execve"]);
+    }
+
+    #[test]
+    fn allow_list_blocks_everything_else() {
+        let mut p = Policy::allow_list(["read", "write", "exit_group"], DenyAction::Kill);
+        assert_eq!(p.check("write"), Verdict::Allow);
+        assert_eq!(p.check("socket"), Verdict::Deny(DenyAction::Kill));
+        assert_eq!(p.check("mmap"), Verdict::Deny(DenyAction::Kill));
+        assert_eq!(p.denied_log.len(), 2);
+    }
+}

@@ -1,0 +1,572 @@
+//! File and filesystem syscalls: mostly zero-copy passthrough (§3.2).
+
+use vkernel::kernel::fs::IoctlOut;
+use vkernel::SysError;
+use wali_abi::flags::{AT_FDCWD, AT_REMOVEDIR, AT_SYMLINK_NOFOLLOW, O_RDWR};
+use wali_abi::layout::{WaliIovec, WaliStat, WaliTimespec};
+use wali_abi::Errno;
+use wasm::host::{Caller, Linker};
+use wasm::interp::Value;
+
+use crate::context::WaliContext;
+use crate::mem::{
+    arg, arg_i32, arg_ptr, read_bytes, read_cstr, with_slice, with_slice_mut, write_bytes,
+    write_u32,
+};
+use crate::registry::{flat, k, sys};
+
+type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
+type R = Result<i64, SysError>;
+
+/// The host-address-space escape hatch WALI interposes on (§3.6).
+fn forbidden_path(path: &str) -> bool {
+    path == "/proc/self/mem" || path.starts_with("/proc/self/mem/")
+}
+
+fn do_openat(c: C, dirfd: i32, path: &str, flags: i32, mode: u32) -> R {
+    if forbidden_path(path) {
+        // Interposed before the kernel ever sees it.
+        return Err(Errno::Eacces.into());
+    }
+    k(c, |kk, tid| kk.sys_openat(tid, dirfd, path, flags, mode)).map(|fd| fd as i64)
+}
+
+fn stat_out(c: C, ptr: u32, st: WaliStat) -> R {
+    let mem = c.instance.memory.clone();
+    let mut buf = [0u8; WaliStat::SIZE];
+    st.write_to(&mut buf).map_err(SysError::Err)?;
+    write_bytes(&mem, ptr, &buf).map_err(SysError::Err)?;
+    Ok(0)
+}
+
+pub(crate) fn register(l: &mut Linker<WaliContext>) {
+    sys!(l, "read", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+        let mem = c.instance.memory.clone();
+        flat(with_slice_mut(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_read(tid, fd, buf))))
+    });
+
+    sys!(l, "write", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+        let mem = c.instance.memory.clone();
+        flat(with_slice(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_write(tid, fd, buf))))
+    });
+
+    sys!(l, "pread64", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len, off) =
+            (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize, arg(a, 3) as u64);
+        let mem = c.instance.memory.clone();
+        flat(with_slice_mut(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_pread(tid, fd, buf, off))))
+    });
+
+    sys!(l, "pwrite64", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len, off) =
+            (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize, arg(a, 3) as u64);
+        let mem = c.instance.memory.clone();
+        flat(with_slice(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, off))))
+    });
+
+    // Scatter-gather I/O needs layout conversion: wasm32 iovecs are 8
+    // bytes, native ones 16 (§3.2 "Layout Conversion").
+    sys!(l, "readv", |c: C, a: &[Value]| -> R { do_iov(c, a, false) });
+    sys!(l, "writev", |c: C, a: &[Value]| -> R { do_iov(c, a, true) });
+    sys!(l, "preadv", |c: C, a: &[Value]| -> R { do_iov(c, a, false) });
+    sys!(l, "pwritev", |c: C, a: &[Value]| -> R { do_iov(c, a, true) });
+
+    sys!(l, "open", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        do_openat(c, AT_FDCWD, &path, arg_i32(a, 1), arg(a, 2) as u32)
+    });
+
+    sys!(l, "openat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        do_openat(c, arg_i32(a, 0), &path, arg_i32(a, 2), arg(a, 3) as u32)
+    });
+
+    sys!(l, "close", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_close(tid, fd))
+    });
+
+    sys!(l, "lseek", |c: C, a: &[Value]| -> R {
+        let (fd, off, whence) = (arg_i32(a, 0), arg(a, 1), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_lseek(tid, fd, off, whence))
+    });
+
+    sys!(l, "dup", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_dup(tid, fd))
+    });
+
+    sys!(l, "dup2", |c: C, a: &[Value]| -> R {
+        let (old, new) = (arg_i32(a, 0), arg_i32(a, 1));
+        if old == new {
+            // dup2 is a no-op on equal fds (dup3 errors instead).
+            return k(c, |kk, tid| {
+                kk.task(tid)
+                    .and_then(|t| t.fdtable.borrow().get(old).map(|_| new as i64))
+                    .map_err(SysError::Err)
+            });
+        }
+        k(c, |kk, tid| kk.sys_dup3(tid, old, new, 0))
+    });
+
+    sys!(l, "dup3", |c: C, a: &[Value]| -> R {
+        let (old, new, flags) = (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_dup3(tid, old, new, flags))
+    });
+
+    sys!(l, "pipe", |c: C, a: &[Value]| -> R { do_pipe(c, arg_ptr(a, 0), 0) });
+    sys!(l, "pipe2", |c: C, a: &[Value]| -> R { do_pipe(c, arg_ptr(a, 0), arg_i32(a, 1)) });
+
+    sys!(l, "fcntl", |c: C, a: &[Value]| -> R {
+        let (fd, cmd, argv) = (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_fcntl(tid, fd, cmd, argv))
+    });
+
+    sys!(l, "ioctl", |c: C, a: &[Value]| -> R {
+        let (fd, op, argp) = (arg_i32(a, 0), arg(a, 1) as u64, arg_ptr(a, 2));
+        let mem = c.instance.memory.clone();
+        let out = k(c, |kk, tid| kk.sys_ioctl(tid, fd, op))?;
+        match out {
+            IoctlOut::Int(v) => {
+                if argp != 0 {
+                    write_u32(&mem, argp, v as u32).map_err(SysError::Err)?;
+                }
+                Ok(0)
+            }
+            IoctlOut::Winsize { rows, cols } => {
+                let mut ws = [0u8; 8];
+                ws[0..2].copy_from_slice(&rows.to_le_bytes());
+                ws[2..4].copy_from_slice(&cols.to_le_bytes());
+                write_bytes(&mem, argp, &ws).map_err(SysError::Err)?;
+                Ok(0)
+            }
+        }
+    });
+
+    sys!(l, "flock", |c: C, a: &[Value]| -> R {
+        // Single-kernel model: advisory locks always succeed.
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_fsync(tid, fd))
+    });
+
+    sys!(l, "fsync", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_fsync(tid, fd))
+    });
+    sys!(l, "fdatasync", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_fsync(tid, fd))
+    });
+    sys!(l, "sync", |_c: C, _a: &[Value]| -> R { Ok(0) });
+
+    sys!(l, "truncate", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let len = arg(a, 1) as u64;
+        k(c, |kk, tid| kk.sys_truncate(tid, &path, len))
+    });
+
+    sys!(l, "ftruncate", |c: C, a: &[Value]| -> R {
+        let (fd, len) = (arg_i32(a, 0), arg(a, 1) as u64);
+        k(c, |kk, tid| kk.sys_ftruncate(tid, fd, len))
+    });
+
+    sys!(l, "fallocate", |c: C, a: &[Value]| -> R {
+        let (fd, off, len) = (arg_i32(a, 0), arg(a, 2) as u64, arg(a, 3) as u64);
+        k(c, |kk, tid| {
+            let st = kk.sys_fstat(tid, fd)?;
+            let want = off + len;
+            if (st.st_size as u64) < want {
+                kk.sys_ftruncate(tid, fd, want)?;
+            }
+            Ok(0)
+        })
+    });
+
+    sys!(l, "stat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let st = k(c, |kk, tid| kk.sys_fstatat(tid, AT_FDCWD, &path, 0))?;
+        stat_out(c, arg_ptr(a, 1), st)
+    });
+
+    sys!(l, "lstat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let st = k(c, |kk, tid| kk.sys_fstatat(tid, AT_FDCWD, &path, AT_SYMLINK_NOFOLLOW))?;
+        stat_out(c, arg_ptr(a, 1), st)
+    });
+
+    sys!(l, "fstat", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        let st = k(c, |kk, tid| kk.sys_fstat(tid, fd))?;
+        stat_out(c, arg_ptr(a, 1), st)
+    });
+
+    sys!(l, "newfstatat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, flags) = (arg_i32(a, 0), arg_i32(a, 3));
+        let st = if path.is_empty() {
+            // AT_EMPTY_PATH convention.
+            k(c, |kk, tid| kk.sys_fstat(tid, dirfd))?
+        } else {
+            k(c, |kk, tid| kk.sys_fstatat(tid, dirfd, &path, flags))?
+        };
+        stat_out(c, arg_ptr(a, 2), st)
+    });
+
+    sys!(l, "getdents64", |c: C, a: &[Value]| -> R {
+        let (fd, dirp, count) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+        let mem = c.instance.memory.clone();
+        let entries = k(c, |kk, tid| kk.sys_getdents(tid, fd, count))?;
+        let mut image = vec![0u8; count];
+        let mut used = 0;
+        for e in &entries {
+            match e.write_to(&mut image[used..]) {
+                Some(n) => used += n,
+                None => break,
+            }
+        }
+        write_bytes(&mem, dirp, &image[..used]).map_err(SysError::Err)?;
+        Ok(used as i64)
+    });
+
+    sys!(l, "getcwd", |c: C, a: &[Value]| -> R {
+        let (buf, size) = (arg_ptr(a, 0), arg(a, 1) as usize);
+        let mem = c.instance.memory.clone();
+        let cwd = k(c, |kk, tid| kk.sys_getcwd(tid))?;
+        if cwd.len() + 1 > size {
+            return Err(Errno::Erange.into());
+        }
+        write_bytes(&mem, buf, cwd.as_bytes()).map_err(SysError::Err)?;
+        write_bytes(&mem, buf + cwd.len() as u32, &[0]).map_err(SysError::Err)?;
+        Ok(cwd.len() as i64 + 1)
+    });
+
+    sys!(l, "chdir", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_chdir(tid, &path))
+    });
+
+    sys!(l, "fchdir", |c: C, a: &[Value]| -> R {
+        let fd = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_fchdir(tid, fd))
+    });
+
+    sys!(l, "mkdir", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let mode = arg(a, 1) as u32;
+        k(c, |kk, tid| kk.sys_mkdirat(tid, AT_FDCWD, &path, mode))
+    });
+
+    sys!(l, "mkdirat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, mode) = (arg_i32(a, 0), arg(a, 2) as u32);
+        k(c, |kk, tid| kk.sys_mkdirat(tid, dirfd, &path, mode))
+    });
+
+    sys!(l, "rmdir", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_unlinkat(tid, AT_FDCWD, &path, AT_REMOVEDIR))
+    });
+
+    sys!(l, "unlink", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_unlinkat(tid, AT_FDCWD, &path, 0))
+    });
+
+    sys!(l, "unlinkat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, flags) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_unlinkat(tid, dirfd, &path, flags))
+    });
+
+    sys!(l, "rename", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let old = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let new = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_renameat(tid, AT_FDCWD, &old, AT_FDCWD, &new))
+    });
+
+    sys!(l, "renameat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let old = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let new = read_cstr(&mem, arg_ptr(a, 3)).map_err(SysError::Err)?;
+        let (ofd, nfd) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_renameat(tid, ofd, &old, nfd, &new))
+    });
+
+    sys!(l, "renameat2", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let old = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let new = read_cstr(&mem, arg_ptr(a, 3)).map_err(SysError::Err)?;
+        let (ofd, nfd) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_renameat(tid, ofd, &old, nfd, &new))
+    });
+
+    sys!(l, "link", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let old = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let new = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_linkat(tid, AT_FDCWD, &old, AT_FDCWD, &new))
+    });
+
+    sys!(l, "linkat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let old = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let new = read_cstr(&mem, arg_ptr(a, 3)).map_err(SysError::Err)?;
+        let (ofd, nfd) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_linkat(tid, ofd, &old, nfd, &new))
+    });
+
+    sys!(l, "symlink", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let target = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_symlinkat(tid, &target, AT_FDCWD, &path))
+    });
+
+    sys!(l, "symlinkat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let target = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let path = read_cstr(&mem, arg_ptr(a, 2)).map_err(SysError::Err)?;
+        let dirfd = arg_i32(a, 1);
+        k(c, |kk, tid| kk.sys_symlinkat(tid, &target, dirfd, &path))
+    });
+
+    sys!(l, "readlink", |c: C, a: &[Value]| -> R {
+        do_readlink(c, AT_FDCWD, arg_ptr(a, 0), arg_ptr(a, 1), arg(a, 2) as usize)
+    });
+
+    sys!(l, "readlinkat", |c: C, a: &[Value]| -> R {
+        do_readlink(c, arg_i32(a, 0), arg_ptr(a, 1), arg_ptr(a, 2), arg(a, 3) as usize)
+    });
+
+    sys!(l, "access", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let mode = arg_i32(a, 1);
+        k(c, |kk, tid| kk.sys_faccessat(tid, AT_FDCWD, &path, mode))
+    });
+
+    sys!(l, "faccessat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, mode) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_faccessat(tid, dirfd, &path, mode))
+    });
+
+    sys!(l, "faccessat2", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, mode) = (arg_i32(a, 0), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_faccessat(tid, dirfd, &path, mode))
+    });
+
+    sys!(l, "chmod", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let mode = arg(a, 1) as u32;
+        k(c, |kk, tid| kk.sys_fchmodat(tid, AT_FDCWD, &path, mode))
+    });
+
+    sys!(l, "fchmod", |c: C, a: &[Value]| -> R {
+        let (fd, mode) = (arg_i32(a, 0), arg(a, 1) as u32);
+        k(c, |kk, tid| kk.sys_fchmod(tid, fd, mode))
+    });
+
+    sys!(l, "fchmodat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, mode) = (arg_i32(a, 0), arg(a, 2) as u32);
+        k(c, |kk, tid| kk.sys_fchmodat(tid, dirfd, &path, mode))
+    });
+
+    sys!(l, "chown", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let (uid, gid) = (arg(a, 1) as u32, arg(a, 2) as u32);
+        k(c, |kk, tid| kk.sys_fchownat(tid, AT_FDCWD, &path, uid, gid, 0))
+    });
+
+    sys!(l, "fchown", |_c: C, a: &[Value]| -> R {
+        // fd-relative chown: resolve through fstat then ignore (ids only).
+        let _fd = arg_i32(a, 0);
+        Ok(0)
+    });
+
+    sys!(l, "fchownat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
+        let (dirfd, uid, gid, flags) =
+            (arg_i32(a, 0), arg(a, 2) as u32, arg(a, 3) as u32, arg_i32(a, 4));
+        k(c, |kk, tid| kk.sys_fchownat(tid, dirfd, &path, uid, gid, flags))
+    });
+
+    sys!(l, "umask", |c: C, a: &[Value]| -> R {
+        let mask = arg(a, 0) as u32;
+        k(c, |kk, tid| kk.sys_umask(tid, mask))
+    });
+
+    sys!(l, "mknod", |c: C, a: &[Value]| -> R {
+        // Userspace mknod: regular files only (devices are privileged).
+        let mem = c.instance.memory.clone();
+        let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        let mode = arg(a, 1) as u32;
+        k(c, |kk, tid| {
+            kk.sys_openat(tid, AT_FDCWD, &path, wali_abi::flags::O_CREAT | O_RDWR, mode)
+                .and_then(|fd| kk.sys_close(tid, fd))
+        })
+    });
+
+    sys!(l, "utimensat", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let path_ptr = arg_ptr(a, 1);
+        if path_ptr != 0 {
+            let path = read_cstr(&mem, path_ptr).map_err(SysError::Err)?;
+            let dirfd = arg_i32(a, 0);
+            k(c, |kk, tid| kk.sys_faccessat(tid, dirfd, &path, 0))?;
+        }
+        // Timestamps accepted; the virtual clock owns time.
+        let times_ptr = arg_ptr(a, 2);
+        if times_ptr != 0 {
+            let raw = read_bytes(&mem, times_ptr, 2 * WaliTimespec::SIZE).map_err(SysError::Err)?;
+            WaliTimespec::read_from(&raw[..WaliTimespec::SIZE]).map_err(SysError::Err)?;
+        }
+        Ok(0)
+    });
+
+    sys!(l, "statfs", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        let _path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
+        write_statfs(&mem, arg_ptr(a, 1))
+    });
+
+    sys!(l, "fstatfs", |c: C, a: &[Value]| -> R {
+        let mem = c.instance.memory.clone();
+        write_statfs(&mem, arg_ptr(a, 1))
+    });
+
+    sys!(l, "sendfile", |c: C, a: &[Value]| -> R {
+        let (out_fd, in_fd, count) = (arg_i32(a, 0), arg_i32(a, 1), arg(a, 3) as usize);
+        k(c, |kk, tid| {
+            let mut moved = 0usize;
+            let mut chunk = [0u8; 4096];
+            while moved < count {
+                let want = chunk.len().min(count - moved);
+                let n = kk.sys_read(tid, in_fd, &mut chunk[..want])? as usize;
+                if n == 0 {
+                    break;
+                }
+                let w = kk.sys_write(tid, out_fd, &chunk[..n])? as usize;
+                moved += w;
+                if w < n {
+                    break;
+                }
+            }
+            Ok(moved as i64)
+        })
+    });
+
+    sys!(l, "copy_file_range", |c: C, a: &[Value]| -> R {
+        let (in_fd, out_fd, count) = (arg_i32(a, 0), arg_i32(a, 2), arg(a, 4) as usize);
+        k(c, |kk, tid| {
+            let mut moved = 0usize;
+            let mut chunk = [0u8; 4096];
+            while moved < count {
+                let want = chunk.len().min(count - moved);
+                let n = kk.sys_read(tid, in_fd, &mut chunk[..want])? as usize;
+                if n == 0 {
+                    break;
+                }
+                kk.sys_write(tid, out_fd, &chunk[..n])?;
+                moved += n;
+            }
+            Ok(moved as i64)
+        })
+    });
+
+    sys!(l, "eventfd2", |c: C, a: &[Value]| -> R {
+        let (initval, flags) = (arg(a, 0) as u32, arg_i32(a, 1));
+        k(c, |kk, tid| kk.sys_eventfd2(tid, initval, flags))
+    });
+
+    sys!(l, "statx", |_c: C, _a: &[Value]| -> R {
+        // Modern stat variant: libcs fall back to newfstatat on ENOSYS.
+        Err(Errno::Enosys.into())
+    });
+}
+
+fn do_pipe(c: C, fds_ptr: u32, flags: i32) -> R {
+    let mem = c.instance.memory.clone();
+    let (r, w) = k(c, |kk, tid| kk.sys_pipe2(tid, flags))?;
+    write_u32(&mem, fds_ptr, r as u32).map_err(SysError::Err)?;
+    write_u32(&mem, fds_ptr + 4, w as u32).map_err(SysError::Err)?;
+    Ok(0)
+}
+
+fn do_readlink(c: C, dirfd: i32, path_ptr: u32, buf: u32, size: usize) -> R {
+    let mem = c.instance.memory.clone();
+    let path = read_cstr(&mem, path_ptr).map_err(SysError::Err)?;
+    let target = k(c, |kk, tid| kk.sys_readlinkat(tid, dirfd, &path))?;
+    let n = target.len().min(size);
+    write_bytes(&mem, buf, &target[..n]).map_err(SysError::Err)?;
+    Ok(n as i64)
+}
+
+fn do_iov(c: C, a: &[Value], write: bool) -> R {
+    let (fd, iov_ptr, iovcnt) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+    let mem = c.instance.memory.clone();
+    let raw = read_bytes(&mem, iov_ptr, iovcnt * WaliIovec::SIZE).map_err(SysError::Err)?;
+    let iovs = WaliIovec::read_array(&raw, iovcnt).map_err(SysError::Err)?;
+    let mut total = 0i64;
+    for iov in iovs {
+        if iov.len == 0 {
+            continue;
+        }
+        let n = if write {
+            flat(with_slice(&mem, iov.base, iov.len as usize, |buf| {
+                k(c, |kk, tid| kk.sys_write(tid, fd, buf))
+            }))?
+        } else {
+            flat(with_slice_mut(&mem, iov.base, iov.len as usize, |buf| {
+                k(c, |kk, tid| kk.sys_read(tid, fd, buf))
+            }))?
+        };
+        total += n;
+        if (n as u32) < iov.len {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// Writes a minimal ISA-portable `statfs` image (tmpfs-flavoured).
+fn write_statfs(mem: &wasm::mem::Memory, ptr: u32) -> R {
+    let mut buf = [0u8; 120];
+    let fields: [(usize, u64); 7] = [
+        (0, 0x0102_1994), // f_type = TMPFS_MAGIC
+        (8, 4096),        // f_bsize
+        (16, 4_000_000),  // f_blocks
+        (24, 2_000_000),  // f_bfree
+        (32, 2_000_000),  // f_bavail
+        (40, 1_000_000),  // f_files
+        (48, 900_000),    // f_ffree
+    ];
+    for (off, v) in fields {
+        buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    write_bytes(mem, ptr, &buf).map_err(SysError::Err)?;
+    Ok(0)
+}

@@ -1,0 +1,190 @@
+//! Memory-management syscalls: sandboxed mapping inside linear memory
+//! (§3.2).
+
+use vkernel::SysError;
+use wali_abi::flags::{MADV_DONTNEED, MAP_ANONYMOUS};
+use wali_abi::Errno;
+use wasm::host::{Caller, Linker};
+use wasm::interp::Value;
+use wasm::PAGE_SIZE;
+
+use crate::context::WaliContext;
+use crate::mem::{arg, arg_i32, arg_ptr};
+use crate::mmap::Region;
+use crate::registry::{flat, k, sys};
+
+type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
+type R = Result<i64, SysError>;
+
+/// Grows linear memory (if needed) so that `[0, end)` is addressable.
+fn ensure_mapped(c: C, end: u32) -> Result<(), SysError> {
+    let mem = &c.instance.memory;
+    let need_pages = (end as usize).div_ceil(PAGE_SIZE) as u32;
+    let have = mem.pages();
+    if need_pages > have {
+        // Grows up to the module's self-imposed max, failing with ENOMEM
+        // beyond it — exactly the paper's policy.
+        if mem.grow(need_pages - have) < 0 {
+            return Err(Errno::Enomem.into());
+        }
+    }
+    Ok(())
+}
+
+/// Reads file content into a fresh mapping.
+fn populate_file_mapping(c: C, region: &Region) -> Result<(), SysError> {
+    let Some((fd, off)) = region.file else { return Ok(()) };
+    let mem = c.instance.memory.clone();
+    let (addr, len) = (region.addr, region.len as usize);
+    flat(
+        mem.with_slice_mut(addr as u64, len, |buf| {
+            k(c, |kk, tid| kk.sys_pread(tid, fd, buf, off)).map(|_| ())
+        })
+        .map_err(|_| Errno::Efault),
+    )
+}
+
+/// Writes a shared file mapping back to its file (msync/munmap).
+fn writeback_shared(c: C, region: &Region) -> Result<(), SysError> {
+    if !region.is_shared_file() {
+        return Ok(());
+    }
+    let Some((fd, off)) = region.file else { return Ok(()) };
+    let mem = c.instance.memory.clone();
+    let (addr, len) = (region.addr, region.len as usize);
+    flat(
+        mem.with_slice(addr as u64, len, |buf| {
+            k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, off)).map(|_| ())
+        })
+        .map_err(|_| Errno::Efault),
+    )
+}
+
+pub(crate) fn register(l: &mut Linker<WaliContext>) {
+    sys!(l, "mmap", |c: C, a: &[Value]| -> R {
+        let (_addr_hint, len, prot, flags, fd, off) = (
+            arg_ptr(a, 0),
+            arg(a, 1) as u32,
+            arg_i32(a, 2),
+            arg_i32(a, 3),
+            arg_i32(a, 4),
+            arg(a, 5) as u64,
+        );
+        let file = if flags & MAP_ANONYMOUS != 0 || fd < 0 { None } else { Some((fd, off)) };
+        let region = {
+            let mut pool = c.data.mmap.borrow_mut();
+            pool.map(len, prot, flags, file).map_err(SysError::Err)?
+        };
+        ensure_mapped(c, region.addr + region.len)?;
+        // Fresh anonymous mappings are zeroed; file mappings read content.
+        c.instance
+            .memory
+            .fill(region.addr as u64, 0, region.len as u64)
+            .map_err(|_| SysError::Err(Errno::Efault))?;
+        if file.is_some() {
+            populate_file_mapping(c, &region)?;
+        }
+        Ok(region.addr as i64)
+    });
+
+    sys!(l, "munmap", |c: C, a: &[Value]| -> R {
+        let (addr, len) = (arg_ptr(a, 0), arg(a, 1) as u32);
+        let removed = {
+            let mut pool = c.data.mmap.borrow_mut();
+            pool.unmap(addr, len).map_err(SysError::Err)?
+        };
+        for region in &removed {
+            writeback_shared(c, region)?;
+            // Discard contents so stale data cannot leak into later maps.
+            let _ = c.instance.memory.fill(region.addr as u64, 0, region.len as u64);
+        }
+        Ok(0)
+    });
+
+    sys!(l, "mremap", |c: C, a: &[Value]| -> R {
+        let (old_addr, old_len, new_len, flags) =
+            (arg_ptr(a, 0), arg(a, 1) as u32, arg(a, 2) as u32, arg_i32(a, 3));
+        let (old, new) = {
+            let mut pool = c.data.mmap.borrow_mut();
+            pool.remap(old_addr, old_len, new_len, flags).map_err(SysError::Err)?
+        };
+        ensure_mapped(c, new.addr + new.len)?;
+        if new.addr != old.addr {
+            // Moved: copy the old contents (MREMAP_MAYMOVE path).
+            c.instance
+                .memory
+                .copy_within(new.addr as u64, old.addr as u64, old.len.min(new.len) as u64)
+                .map_err(|_| SysError::Err(Errno::Efault))?;
+            let _ = c.instance.memory.fill(old.addr as u64, 0, old.len as u64);
+        } else if new.len > old.len {
+            let _ = c
+                .instance
+                .memory
+                .fill((new.addr + old.len) as u64, 0, (new.len - old.len) as u64);
+        }
+        Ok(new.addr as i64)
+    });
+
+    sys!(l, "mprotect", |c: C, a: &[Value]| -> R {
+        let (addr, len, prot) = (arg_ptr(a, 0), arg(a, 1) as u32, arg_i32(a, 2));
+        let mut pool = c.data.mmap.borrow_mut();
+        match pool.protect(addr, len, prot) {
+            Ok(()) => Ok(0),
+            // Protecting non-pool memory (data/heap) is a no-op success:
+            // the sandbox itself is the protection domain.
+            Err(Errno::Enomem) if addr < pool.base() => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    });
+
+    sys!(l, "brk", |c: C, a: &[Value]| -> R {
+        let want = arg_ptr(a, 0);
+        let cur = c.data.brk.get();
+        if want == 0 {
+            return Ok(cur as i64);
+        }
+        if want < c.data.brk_start {
+            return Ok(cur as i64);
+        }
+        let ceiling = c.data.mmap.borrow().base();
+        if want > ceiling {
+            return Ok(cur as i64);
+        }
+        ensure_mapped(c, want)?;
+        c.data.brk.set(want);
+        Ok(want as i64)
+    });
+
+    sys!(l, "madvise", |c: C, a: &[Value]| -> R {
+        let (addr, len, advice) = (arg_ptr(a, 0), arg(a, 1) as u64, arg_i32(a, 2));
+        if advice == MADV_DONTNEED {
+            let _ = c.instance.memory.fill(addr as u64, 0, len);
+        }
+        Ok(0)
+    });
+
+    sys!(l, "msync", |c: C, a: &[Value]| -> R {
+        let (addr, _len) = (arg_ptr(a, 0), arg(a, 1) as u32);
+        let region = c.data.mmap.borrow().region_at(addr).cloned();
+        match region {
+            Some(r) => {
+                writeback_shared(c, &r)?;
+                Ok(0)
+            }
+            None => Err(Errno::Enomem.into()),
+        }
+    });
+
+    sys!(l, "mlock", |_c: C, _a: &[Value]| -> R { Ok(0) });
+    sys!(l, "munlock", |_c: C, _a: &[Value]| -> R { Ok(0) });
+    sys!(l, "membarrier", |_c: C, _a: &[Value]| -> R { Ok(0) });
+
+    sys!(l, "mincore", |c: C, a: &[Value]| -> R {
+        let (_addr, len, vec) = (arg_ptr(a, 0), arg(a, 1) as usize, arg_ptr(a, 2));
+        // Everything in linear memory is resident by construction.
+        let pages = len.div_ceil(4096);
+        let ones = vec![1u8; pages];
+        crate::mem::write_bytes(&c.instance.memory, vec, &ones).map_err(SysError::Err)?;
+        Ok(0)
+    });
+}

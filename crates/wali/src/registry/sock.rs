@@ -1,0 +1,379 @@
+//! Socket and readiness syscalls.
+
+use vkernel::SysError;
+use wali_abi::layout::{WaliPollFd, WaliSockaddr, WaliTimespec};
+use wali_abi::Errno;
+use wasm::host::{Caller, Linker};
+use wasm::interp::Value;
+
+use crate::context::WaliContext;
+use crate::mem::{
+    arg, arg_i32, arg_ptr, read_bytes, read_u32, with_slice, with_slice_mut, write_bytes,
+    write_u32,
+};
+use crate::registry::{flat, k, sys};
+
+type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
+type R = Result<i64, SysError>;
+
+fn read_sockaddr(c: &mut Caller<'_, WaliContext>, ptr: u32, len: usize) -> Result<WaliSockaddr, Errno> {
+    let raw = read_bytes(&c.instance.memory, ptr, len.clamp(2, 128))?;
+    WaliSockaddr::read_from(&raw)
+}
+
+fn write_sockaddr(
+    c: &mut Caller<'_, WaliContext>,
+    addr: &WaliSockaddr,
+    ptr: u32,
+    len_ptr: u32,
+) -> Result<(), Errno> {
+    if ptr == 0 {
+        return Ok(());
+    }
+    let mut buf = [0u8; 128];
+    let n = addr.write_to(&mut buf)?;
+    let cap = if len_ptr != 0 { read_u32(&c.instance.memory, len_ptr)? as usize } else { n };
+    let out = n.min(cap);
+    write_bytes(&c.instance.memory, ptr, &buf[..out])?;
+    if len_ptr != 0 {
+        write_u32(&c.instance.memory, len_ptr, n as u32)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn register(l: &mut Linker<WaliContext>) {
+    sys!(l, "socket", |c: C, a: &[Value]| -> R {
+        let (domain, ty, proto) = (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2));
+        k(c, |kk, tid| kk.sys_socket(tid, domain, ty, proto)).map(|fd| fd as i64)
+    });
+
+    sys!(l, "socketpair", |c: C, a: &[Value]| -> R {
+        let (domain, ty, fds_ptr) = (arg_i32(a, 0), arg_i32(a, 1), arg_ptr(a, 3));
+        let mem = c.instance.memory.clone();
+        let (fa, fb) = k(c, |kk, tid| kk.sys_socketpair(tid, domain, ty))?;
+        write_u32(&mem, fds_ptr, fa as u32).map_err(SysError::Err)?;
+        write_u32(&mem, fds_ptr + 4, fb as u32).map_err(SysError::Err)?;
+        Ok(0)
+    });
+
+    sys!(l, "bind", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+        let addr = read_sockaddr(c, ptr, len).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_bind(tid, fd, addr))
+    });
+
+    sys!(l, "listen", |c: C, a: &[Value]| -> R {
+        let (fd, backlog) = (arg_i32(a, 0), arg_i32(a, 1));
+        k(c, |kk, tid| kk.sys_listen(tid, fd, backlog))
+    });
+
+    sys!(l, "connect", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+        let addr = read_sockaddr(c, ptr, len).map_err(SysError::Err)?;
+        k(c, |kk, tid| kk.sys_connect(tid, fd, addr))
+    });
+
+    sys!(l, "accept", |c: C, a: &[Value]| -> R { do_accept(c, a, 0) });
+    sys!(l, "accept4", |c: C, a: &[Value]| -> R {
+        let flags = arg_i32(a, 3);
+        do_accept(c, a, flags)
+    });
+
+    sys!(l, "getsockname", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len_ptr) = (arg_i32(a, 0), arg_ptr(a, 1), arg_ptr(a, 2));
+        let addr = k(c, |kk, tid| kk.sys_getsockname(tid, fd))?;
+        write_sockaddr(c, &addr, ptr, len_ptr).map_err(SysError::Err)?;
+        Ok(0)
+    });
+
+    sys!(l, "getpeername", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len_ptr) = (arg_i32(a, 0), arg_ptr(a, 1), arg_ptr(a, 2));
+        let addr = k(c, |kk, tid| kk.sys_getpeername(tid, fd))?;
+        write_sockaddr(c, &addr, ptr, len_ptr).map_err(SysError::Err)?;
+        Ok(0)
+    });
+
+    // sendto(fd, buf, len, flags, dest, destlen).
+    sys!(l, "sendto", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len, flags, dest_ptr, dest_len) = (
+            arg_i32(a, 0),
+            arg_ptr(a, 1),
+            arg(a, 2) as usize,
+            arg_i32(a, 3),
+            arg_ptr(a, 4),
+            arg(a, 5) as usize,
+        );
+        let dest = if dest_ptr != 0 {
+            Some(read_sockaddr(c, dest_ptr, dest_len).map_err(SysError::Err)?)
+        } else {
+            None
+        };
+        let mem = c.instance.memory.clone();
+        flat(with_slice(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_sendto(tid, fd, buf, flags, dest.clone()))
+        }))
+        .map(|n| n as i64)
+    });
+
+    // recvfrom(fd, buf, len, flags, src, srclen).
+    sys!(l, "recvfrom", |c: C, a: &[Value]| -> R {
+        let (fd, ptr, len, flags, src_ptr, srclen_ptr) = (
+            arg_i32(a, 0),
+            arg_ptr(a, 1),
+            arg(a, 2) as usize,
+            arg_i32(a, 3),
+            arg_ptr(a, 4),
+            arg_ptr(a, 5),
+        );
+        let mem = c.instance.memory.clone();
+        let (n, src) = flat(with_slice_mut(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_recvfrom(tid, fd, buf, flags))
+        }))?;
+        if let Some(addr) = src {
+            write_sockaddr(c, &addr, src_ptr, srclen_ptr).map_err(SysError::Err)?;
+        }
+        Ok(n as i64)
+    });
+
+    // sendmsg/recvmsg: parse the wasm32 msghdr (name/namelen, iov/iovlen).
+    sys!(l, "sendmsg", |c: C, a: &[Value]| -> R { do_msg(c, a, true) });
+    sys!(l, "recvmsg", |c: C, a: &[Value]| -> R { do_msg(c, a, false) });
+
+    sys!(l, "setsockopt", |c: C, a: &[Value]| -> R {
+        let (fd, level, name, val_ptr) =
+            (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2), arg_ptr(a, 3));
+        let value = read_u32(&c.instance.memory, val_ptr).map_err(SysError::Err)? as i32;
+        k(c, |kk, tid| kk.sys_setsockopt(tid, fd, level, name, value))
+    });
+
+    sys!(l, "getsockopt", |c: C, a: &[Value]| -> R {
+        let (fd, level, name, val_ptr, len_ptr) =
+            (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2), arg_ptr(a, 3), arg_ptr(a, 4));
+        let mem = c.instance.memory.clone();
+        let v = k(c, |kk, tid| kk.sys_getsockopt(tid, fd, level, name))?;
+        write_u32(&mem, val_ptr, v as u32).map_err(SysError::Err)?;
+        if len_ptr != 0 {
+            write_u32(&mem, len_ptr, 4).map_err(SysError::Err)?;
+        }
+        Ok(0)
+    });
+
+    sys!(l, "shutdown", |c: C, a: &[Value]| -> R {
+        let (fd, how) = (arg_i32(a, 0), arg_i32(a, 1));
+        k(c, |kk, tid| kk.sys_shutdown(tid, fd, how))
+    });
+
+    // poll(fds, nfds, timeout_ms).
+    sys!(l, "poll", |c: C, a: &[Value]| -> R {
+        let timeout_ms = arg(a, 2);
+        do_poll(c, arg_ptr(a, 0), arg(a, 1) as usize, timeout_ms)
+    });
+
+    // ppoll(fds, nfds, timespec, sigmask).
+    sys!(l, "ppoll", |c: C, a: &[Value]| -> R {
+        let ts_ptr = arg_ptr(a, 2);
+        let timeout_ms = if ts_ptr == 0 {
+            -1
+        } else {
+            let raw = read_bytes(&c.instance.memory, ts_ptr, WaliTimespec::SIZE)
+                .map_err(SysError::Err)?;
+            let ts = WaliTimespec::read_from(&raw).map_err(SysError::Err)?;
+            (ts.to_nanos().unwrap_or(0) / 1_000_000) as i64
+        };
+        do_poll(c, arg_ptr(a, 0), arg(a, 1) as usize, timeout_ms)
+    });
+
+    // select(nfds, readfds, writefds, exceptfds, timeval) over fd_set
+    // bitmaps, lowered onto the same readiness check.
+    sys!(l, "select", |c: C, a: &[Value]| -> R { do_select(c, a, false) });
+    sys!(l, "pselect6", |c: C, a: &[Value]| -> R { do_select(c, a, true) });
+
+    // Minimal epoll surface: report ENOSYS so portable code falls back to
+    // poll (libuv and friends handle this).
+    for name in ["epoll_create1", "epoll_ctl", "epoll_wait", "epoll_pwait"] {
+        crate::registry::register_nosys(l, match name {
+            "epoll_create1" => "epoll_create1",
+            "epoll_ctl" => "epoll_ctl",
+            "epoll_wait" => "epoll_wait",
+            _ => "epoll_pwait",
+        });
+    }
+}
+
+fn do_accept(c: C, a: &[Value], flags: i32) -> R {
+    let (fd, addr_ptr, len_ptr) = (arg_i32(a, 0), arg_ptr(a, 1), arg_ptr(a, 2));
+    let conn = k(c, |kk, tid| kk.sys_accept(tid, fd, flags))?;
+    if addr_ptr != 0 {
+        if let Ok(addr) = k(c, |kk, tid| kk.sys_getpeername(tid, conn)) {
+            write_sockaddr(c, &addr, addr_ptr, len_ptr).map_err(SysError::Err)?;
+        }
+    }
+    Ok(conn as i64)
+}
+
+fn do_msg(c: C, a: &[Value], send: bool) -> R {
+    use wali_abi::layout::WaliIovec;
+    let (fd, msg_ptr, flags) = (arg_i32(a, 0), arg_ptr(a, 1), arg_i32(a, 2));
+    let mem = c.instance.memory.clone();
+    // wasm32 msghdr: name(4) namelen(4) iov(4) iovlen(4) control(4)
+    // controllen(4) flags(4).
+    let hdr = read_bytes(&mem, msg_ptr, 28).map_err(SysError::Err)?;
+    let iov_ptr = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
+    let iovlen = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
+    let raw = read_bytes(&mem, iov_ptr, iovlen * WaliIovec::SIZE).map_err(SysError::Err)?;
+    let iovs = WaliIovec::read_array(&raw, iovlen).map_err(SysError::Err)?;
+    let mut total = 0i64;
+    for iov in iovs {
+        if iov.len == 0 {
+            continue;
+        }
+        let n = if send {
+            flat(with_slice(&mem, iov.base, iov.len as usize, |buf| {
+                k(c, |kk, tid| kk.sys_sendto(tid, fd, buf, flags, None))
+            }))?
+        } else {
+            flat(with_slice_mut(&mem, iov.base, iov.len as usize, |buf| {
+                k(c, |kk, tid| kk.sys_recvfrom(tid, fd, buf, flags).map(|(n, _)| n))
+            }))?
+        };
+        total += n as i64;
+        if (n as u32) < iov.len {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+fn do_poll(c: C, fds_ptr: u32, nfds: usize, timeout_ms: i64) -> R {
+    if nfds > 1024 {
+        return Err(Errno::Einval.into());
+    }
+    let mem = c.instance.memory.clone();
+    let raw = read_bytes(&mem, fds_ptr, nfds * WaliPollFd::SIZE).map_err(SysError::Err)?;
+    let mut fds = Vec::with_capacity(nfds);
+    for i in 0..nfds {
+        let p = WaliPollFd::read_from(&raw[i * WaliPollFd::SIZE..]).map_err(SysError::Err)?;
+        fds.push(p);
+    }
+    let pairs: Vec<(i32, i16)> = fds.iter().map(|p| (p.fd, p.events)).collect();
+    let retry_deadline = c.data.retry_deadline.take();
+    let revents = k(c, |kk, tid| kk.poll_check(tid, &pairs))?;
+    let ready = revents.iter().filter(|&&r| r != 0).count();
+    if ready > 0 || timeout_ms == 0 {
+        for (i, p) in fds.iter_mut().enumerate() {
+            p.revents = revents[i];
+            let mut buf = [0u8; WaliPollFd::SIZE];
+            p.write_to(&mut buf).map_err(SysError::Err)?;
+            write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
+                .map_err(SysError::Err)?;
+        }
+        return Ok(ready as i64);
+    }
+    // Nothing ready: block with the timeout deadline.
+    let deadline = match retry_deadline {
+        Some(d) => Some(d),
+        None if timeout_ms > 0 => Some(k(c, |kk, _| {
+            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
+        })?),
+        None => None,
+    };
+    if let Some(d) = deadline {
+        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
+        if now >= d {
+            // Timed out: zero revents, return 0.
+            for (i, p) in fds.iter_mut().enumerate() {
+                p.revents = 0;
+                let mut buf = [0u8; WaliPollFd::SIZE];
+                p.write_to(&mut buf).map_err(SysError::Err)?;
+                write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
+                    .map_err(SysError::Err)?;
+            }
+            return Ok(0);
+        }
+        return Err(vkernel::block_until(d));
+    }
+    Err(vkernel::block())
+}
+
+fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
+    let nfds = arg_i32(a, 0).clamp(0, 1024) as usize;
+    let (rptr, wptr) = (arg_ptr(a, 1), arg_ptr(a, 2));
+    let tptr = arg_ptr(a, 4);
+    let mem = c.instance.memory.clone();
+
+    let read_set = |ptr: u32| -> Result<Vec<i32>, SysError> {
+        if ptr == 0 {
+            return Ok(Vec::new());
+        }
+        let raw = read_bytes(&mem, ptr, 128).map_err(SysError::Err)?;
+        let mut fds = Vec::new();
+        for fd in 0..nfds {
+            if raw[fd / 8] & (1 << (fd % 8)) != 0 {
+                fds.push(fd as i32);
+            }
+        }
+        Ok(fds)
+    };
+    let rfds = read_set(rptr)?;
+    let wfds = read_set(wptr)?;
+
+    let mut pairs: Vec<(i32, i16)> = Vec::new();
+    for fd in &rfds {
+        pairs.push((*fd, wali_abi::flags::POLLIN));
+    }
+    for fd in &wfds {
+        pairs.push((*fd, wali_abi::flags::POLLOUT));
+    }
+
+    let timeout_ms: i64 = if tptr == 0 {
+        -1
+    } else if is_pselect {
+        let raw = read_bytes(&mem, tptr, WaliTimespec::SIZE).map_err(SysError::Err)?;
+        let ts = WaliTimespec::read_from(&raw).map_err(SysError::Err)?;
+        (ts.to_nanos().unwrap_or(0) / 1_000_000) as i64
+    } else {
+        let raw = read_bytes(&mem, tptr, 16).map_err(SysError::Err)?;
+        let sec = i64::from_le_bytes(raw[0..8].try_into().expect("8 bytes"));
+        let usec = i64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+        sec * 1000 + usec / 1000
+    };
+
+    let retry_deadline = c.data.retry_deadline.take();
+    let revents = k(c, |kk, tid| kk.poll_check(tid, &pairs))?;
+    let ready = revents.iter().filter(|&&r| r != 0).count();
+
+    if ready > 0 || timeout_ms == 0 {
+        // Write back the surviving bits.
+        let write_set = |ptr: u32, fds: &[i32], base: usize| -> Result<(), SysError> {
+            if ptr == 0 {
+                return Ok(());
+            }
+            let mut raw = [0u8; 128];
+            for (i, fd) in fds.iter().enumerate() {
+                if revents[base + i] != 0 {
+                    raw[*fd as usize / 8] |= 1 << (*fd as usize % 8);
+                }
+            }
+            write_bytes(&mem, ptr, &raw).map_err(SysError::Err)
+        };
+        write_set(rptr, &rfds, 0)?;
+        write_set(wptr, &wfds, rfds.len())?;
+        return Ok(ready as i64);
+    }
+
+    let deadline = match retry_deadline {
+        Some(d) => Some(d),
+        None if timeout_ms > 0 => Some(k(c, |kk, _| {
+            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
+        })?),
+        None => None,
+    };
+    if let Some(d) = deadline {
+        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
+        if now >= d {
+            return Ok(0);
+        }
+        return Err(vkernel::block_until(d));
+    }
+    Err(vkernel::block())
+}

@@ -1,0 +1,528 @@
+//! The WALI process runtime.
+//!
+//! Implements the paper's process-model spectrum (§3.1, Fig. 4) on top of
+//! the deterministic kernel: every Wasm instance is one kernel task
+//! (1-to-1 identity), multiple tasks are multiplexed cooperatively onto
+//! one host thread (the N-to-1 "lightweight process" execution), and the
+//! control-transferring syscalls are realized with engine primitives:
+//!
+//! * `fork` — snapshot the suspended [`wasm::Thread`], deep-copy linear
+//!   memory, resume the parent with the child pid and the child with 0;
+//! * `clone(CLONE_VM)` — same snapshot but *sharing* linear memory, the
+//!   instance-per-thread model (fresh globals/table per instance);
+//! * `execve` — swap in a program registered under the target path;
+//! * blocking syscalls — retried round-robin, advancing the virtual clock
+//!   when every task is blocked.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vkernel::{Kernel, TaskState, Tid};
+use wali_abi::Errno;
+use wasm::host::{Caller, HostOutcome, Linker};
+use wasm::interp::{Instance, RunResult, Thread, Value};
+use wasm::prep::Program;
+use wasm::{Module, SafepointScheme, Trap};
+
+use crate::context::{KernelRef, WaliContext};
+use crate::registry::{build_linker, WaliSuspend};
+use crate::trace::Trace;
+
+/// How a task ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskEnd {
+    /// Normal exit with this code.
+    Exited(i32),
+    /// Died on a trap.
+    Trapped(Trap),
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Exit status of the first spawned task.
+    pub main_exit: Option<TaskEnd>,
+    /// Per-task endings in completion order.
+    pub ends: Vec<(Tid, TaskEnd)>,
+    /// Captured console output.
+    pub console: Vec<u8>,
+    /// Merged trace across all tasks.
+    pub trace: Trace,
+    /// Peak linear-memory pages over all instances.
+    pub peak_memory_pages: u32,
+}
+
+impl RunOutcome {
+    /// Console output as UTF-8 (lossy).
+    pub fn stdout(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// The main task's exit code, if it exited normally.
+    pub fn exit_code(&self) -> Option<i32> {
+        match self.main_exit {
+            Some(TaskEnd::Exited(code)) => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A scheduling error.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// A module failed to link.
+    Link(wasm::prep::LinkError),
+    /// Instantiation failed.
+    Instantiate(Trap),
+    /// The entry export is missing.
+    NoEntry(&'static str),
+    /// All live tasks are blocked with no wake-up source.
+    Deadlock(Vec<(Tid, &'static str)>),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::Link(e) => write!(f, "link error: {e}"),
+            RunnerError::Instantiate(t) => write!(f, "instantiation failed: {t}"),
+            RunnerError::NoEntry(n) => write!(f, "module exports no `{n}`"),
+            RunnerError::Deadlock(tasks) => write!(f, "deadlock: {tasks:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+enum Pending {
+    Start { func: u32, args: Vec<Value> },
+    Resume(Vec<Value>),
+    Retry { module: &'static str, import: &'static str, args: Vec<Value>, deadline: Option<u64> },
+}
+
+/// Ops per scheduling slice before a busy task is preempted.
+const FUEL_SLICE: u64 = 1 << 20;
+
+struct Slot {
+    tid: Tid,
+    instance: Instance<WaliContext>,
+    thread: Thread,
+    ctx: WaliContext,
+    pending: Option<Pending>,
+}
+
+/// The runtime.
+pub struct WaliRunner {
+    /// The kernel all tasks share.
+    pub kernel: KernelRef,
+    linker: Linker<WaliContext>,
+    programs: HashMap<String, Arc<Program<WaliContext>>>,
+    scheme: SafepointScheme,
+    tasks: Vec<Slot>,
+    spawned_any: bool,
+    main_tid: Option<Tid>,
+    outcome: RunOutcome,
+}
+
+impl WaliRunner {
+    /// Creates a runtime with a fresh kernel and the full WALI linker.
+    pub fn new(scheme: SafepointScheme) -> WaliRunner {
+        WaliRunner {
+            kernel: Rc::new(RefCell::new(Kernel::new())),
+            linker: build_linker(),
+            programs: HashMap::new(),
+            scheme,
+            tasks: Vec::new(),
+            spawned_any: false,
+            main_tid: None,
+            outcome: RunOutcome::default(),
+        }
+    }
+
+    /// Default runtime: loop-header safepoints (the paper's choice).
+    pub fn new_default() -> WaliRunner {
+        Self::new(SafepointScheme::LoopHeaders)
+    }
+
+    /// The safepoint scheme in use.
+    pub fn scheme(&self) -> SafepointScheme {
+        self.scheme
+    }
+
+    /// Mutable access to the linker, so higher-level APIs (e.g. the WASI
+    /// layer) can register additional host modules **before** programs are
+    /// registered.
+    pub fn linker_mut(&mut self) -> &mut Linker<WaliContext> {
+        &mut self.linker
+    }
+
+    /// Adjusts the context of a spawned (not yet finished) task — used to
+    /// attach layered-API state such as WASI preopens.
+    pub fn configure_ctx(&mut self, tid: Tid, f: impl FnOnce(&mut WaliContext)) {
+        if let Some(slot) = self.tasks.iter_mut().find(|s| s.tid == tid) {
+            f(&mut slot.ctx);
+        }
+    }
+
+    /// Links `module` and registers it as the executable at `path`
+    /// (`execve` target). Also materializes a stub file in the VFS so
+    /// `access`/`stat` on the path behave.
+    pub fn register_program(&mut self, path: &str, module: &Module) -> Result<(), RunnerError> {
+        let program =
+            Program::link(module, &self.linker, self.scheme).map_err(RunnerError::Link)?;
+        let _ = self.kernel.borrow_mut().vfs.write_file(path, b"\0asm\x01\0\0\0");
+        self.programs.insert(path.to_string(), Arc::new(program));
+        Ok(())
+    }
+
+    /// Spawns a process running the program registered at `path`.
+    pub fn spawn(
+        &mut self,
+        path: &str,
+        args: &[&str],
+        env: &[&str],
+    ) -> Result<Tid, RunnerError> {
+        let program = self
+            .programs
+            .get(path)
+            .cloned()
+            .ok_or(RunnerError::NoEntry("program not registered"))?;
+        let tid = self.kernel.borrow_mut().spawn_process();
+        let instance = Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
+        let entry = instance
+            .export_func("_start")
+            .or_else(|| instance.export_func("main"))
+            .ok_or(RunnerError::NoEntry("_start"))?;
+        let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
+        ctx.args = std::iter::once(path.to_string())
+            .chain(args.iter().map(|s| s.to_string()))
+            .collect();
+        ctx.env = env.iter().map(|s| s.to_string()).collect();
+        if !self.spawned_any {
+            self.main_tid = Some(tid);
+            self.spawned_any = true;
+        }
+        self.tasks.push(Slot {
+            tid,
+            instance,
+            thread: Thread::new(),
+            ctx,
+            pending: Some(Pending::Start { func: entry, args: Vec::new() }),
+        });
+        Ok(tid)
+    }
+
+    /// Spawns with a seccomp-like policy attached (§3.6 layering).
+    pub fn spawn_with_policy(
+        &mut self,
+        path: &str,
+        args: &[&str],
+        env: &[&str],
+        policy: crate::policy::Policy,
+    ) -> Result<Tid, RunnerError> {
+        let tid = self.spawn(path, args, env)?;
+        if let Some(slot) = self.tasks.iter_mut().find(|s| s.tid == tid) {
+            slot.ctx.policy = Some(policy);
+        }
+        Ok(tid)
+    }
+
+    /// Runs until every task finishes.
+    pub fn run(&mut self) -> Result<RunOutcome, RunnerError> {
+        while !self.tasks.is_empty() {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.tasks.len() {
+                if self.attempt(i)? {
+                    progressed = true;
+                }
+                // `attempt` may remove or append tasks; re-check bounds.
+                i += 1;
+            }
+            self.reap_finished();
+            if !progressed && !self.tasks.is_empty() {
+                self.advance_idle_clock()?;
+            }
+        }
+        let mut outcome = std::mem::take(&mut self.outcome);
+        outcome.console = self.kernel.borrow_mut().take_console();
+        Ok(outcome)
+    }
+
+    /// Runs a single registered program to completion (convenience).
+    pub fn run_to_exit(
+        module: &Module,
+        args: &[&str],
+        env: &[&str],
+    ) -> Result<RunOutcome, RunnerError> {
+        let mut runner = WaliRunner::new_default();
+        runner.register_program("/usr/bin/app", module)?;
+        runner.spawn("/usr/bin/app", args, env)?;
+        runner.run()
+    }
+
+    fn attempt(&mut self, i: usize) -> Result<bool, RunnerError> {
+        let Some(pending) = self.tasks[i].pending.take() else { return Ok(false) };
+
+        // A task whose kernel identity died (killed by a sibling) is
+        // finalized without running.
+        if self.task_killed(self.tasks[i].tid) {
+            self.finish_task(i, None);
+            return Ok(true);
+        }
+
+        let result = {
+            let slot = &mut self.tasks[i];
+            let t0 = Instant::now();
+            let steps0 = slot.thread.steps;
+            slot.thread.refuel(Some(FUEL_SLICE));
+            let r = match pending {
+                Pending::Start { func, args } => {
+                    slot.thread.call(&mut slot.instance, &mut slot.ctx, func, &args)
+                }
+                Pending::Resume(values) => {
+                    slot.thread.resume(&mut slot.instance, &mut slot.ctx, &values)
+                }
+                Pending::Retry { module, import, args, deadline } => {
+                    slot.ctx.retry_deadline = deadline;
+                    let f = self
+                        .linker
+                        .resolve(module, import)
+                        .expect("retry of a registered function")
+                        .clone();
+                    let mut caller =
+                        Caller { instance: &slot.instance, data: &mut slot.ctx };
+                    match f(&mut caller, &args) {
+                        Ok(values) => {
+                            slot.thread.resume(&mut slot.instance, &mut slot.ctx, &values)
+                        }
+                        Err(HostOutcome::Trap(t)) => RunResult::Trapped(t),
+                        Err(HostOutcome::Suspend(s)) => RunResult::Suspended(s),
+                    }
+                }
+            };
+            slot.ctx.trace.total_time += t0.elapsed();
+            slot.ctx.trace.wasm_steps += slot.thread.steps - steps0;
+            (r, slot.thread.steps != steps0)
+        };
+        let (result, ran_wasm) = result;
+
+        match result {
+            RunResult::Done(values) => {
+                let code = values.first().and_then(Value::as_i32).unwrap_or(0);
+                let tid = self.tasks[i].tid;
+                let already = self.tasks[i].ctx.exited;
+                if already.is_none() {
+                    let _ = self.kernel.borrow_mut().sys_exit_group(tid, code);
+                }
+                self.finish_task(i, Some(TaskEnd::Exited(already.unwrap_or(code))));
+                Ok(true)
+            }
+            RunResult::Trapped(Trap::Aborted) => {
+                self.finish_task(i, None);
+                Ok(true)
+            }
+            RunResult::Trapped(t) => {
+                let tid = self.tasks[i].tid;
+                let _ = self.kernel.borrow_mut().sys_exit_group(tid, 128);
+                self.finish_task(i, Some(TaskEnd::Trapped(t)));
+                Ok(true)
+            }
+            RunResult::Suspended(s) => match s.downcast::<WaliSuspend>() {
+                Ok(payload) => self.handle_suspend(i, *payload, ran_wasm),
+                Err(s) => {
+                    if s.downcast::<wasm::interp::Preempted>().is_ok() {
+                        // Fuel slice expired: reschedule fairly.
+                        self.tasks[i].pending = Some(Pending::Resume(Vec::new()));
+                        Ok(true)
+                    } else {
+                        Err(RunnerError::NoEntry("unknown suspension payload"))
+                    }
+                }
+            },
+        }
+    }
+
+    fn handle_suspend(
+        &mut self,
+        i: usize,
+        payload: WaliSuspend,
+        ran_wasm: bool,
+    ) -> Result<bool, RunnerError> {
+        match payload {
+            WaliSuspend::Exit { code } => {
+                self.finish_task(i, Some(TaskEnd::Exited(code)));
+                Ok(true)
+            }
+            WaliSuspend::Blocked { module, import, args, deadline } => {
+                // Re-blocking counts as progress only if the task actually
+                // executed wasm since its last block (a completed retry
+                // that blocked again made real progress; an immediately
+                // re-blocked retry did not — the idle path advances the
+                // clock in that case).
+                let tid = self.tasks[i].tid;
+                self.tasks[i].pending =
+                    Some(Pending::Retry { module, import, args, deadline });
+                self.tasks[i].ctx.with_kernel(|k| {
+                    if let Ok(t) = k.task_mut(tid) {
+                        t.rusage.nvcsw += 1;
+                    }
+                });
+                Ok(ran_wasm)
+            }
+            WaliSuspend::Fork { child_tid } => {
+                let child = {
+                    let slot = &self.tasks[i];
+                    Slot {
+                        tid: child_tid,
+                        instance: slot.instance.fork_clone(),
+                        thread: slot.thread.clone(),
+                        ctx: slot.ctx.fork_child(child_tid),
+                        pending: Some(Pending::Resume(vec![Value::I64(0)])),
+                    }
+                };
+                self.tasks.push(child);
+                self.tasks[i].pending =
+                    Some(Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                Ok(true)
+            }
+            WaliSuspend::Clone { child_tid, share_vm, thread } => {
+                let child = {
+                    let slot = &self.tasks[i];
+                    let instance = if share_vm {
+                        slot.instance.thread_clone()
+                    } else {
+                        slot.instance.fork_clone()
+                    };
+                    let ctx = if thread {
+                        slot.ctx.thread_sibling(child_tid)
+                    } else {
+                        slot.ctx.fork_child(child_tid)
+                    };
+                    Slot {
+                        tid: child_tid,
+                        instance,
+                        thread: slot.thread.clone(),
+                        ctx,
+                        pending: Some(Pending::Resume(vec![Value::I64(0)])),
+                    }
+                };
+                self.tasks.push(child);
+                self.tasks[i].pending =
+                    Some(Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                Ok(true)
+            }
+            WaliSuspend::Exec { path, argv, envp } => {
+                let Some(program) = self.programs.get(&path).cloned() else {
+                    self.tasks[i].pending =
+                        Some(Pending::Resume(vec![Value::I64(Errno::Enoent.as_ret())]));
+                    return Ok(true);
+                };
+                let tid = self.tasks[i].tid;
+                {
+                    let mut k = self.kernel.borrow_mut();
+                    let _ = k.sys_execve(tid);
+                }
+                let instance =
+                    Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
+                let entry = instance
+                    .export_func("_start")
+                    .or_else(|| instance.export_func("main"))
+                    .ok_or(RunnerError::NoEntry("_start"))?;
+                let old_trace = self.tasks[i].ctx.trace.clone();
+                let mut ctx =
+                    WaliContext::new(self.kernel.clone(), tid, program.data_end());
+                ctx.args = if argv.is_empty() { vec![path.clone()] } else { argv };
+                ctx.env = envp;
+                ctx.trace = old_trace;
+                let slot = &mut self.tasks[i];
+                slot.instance = instance;
+                slot.thread = Thread::new();
+                slot.ctx = ctx;
+                slot.pending = Some(Pending::Start { func: entry, args: Vec::new() });
+                Ok(true)
+            }
+        }
+    }
+
+    fn task_killed(&self, tid: Tid) -> bool {
+        let k = self.kernel.borrow();
+        k.task(tid).map(|t| t.exited()).unwrap_or(true)
+    }
+
+    fn finish_task(&mut self, i: usize, end: Option<TaskEnd>) {
+        let slot = self.tasks.remove(i);
+        let end = end.unwrap_or_else(|| {
+            // Pull the status from the kernel (killed by signal or exited
+            // by a sibling thread).
+            let k = self.kernel.borrow();
+            match k.task(slot.tid).map(|t| t.state.clone()) {
+                Ok(TaskState::Zombie(status)) if wali_abi::flags::wifsignaled(status) => {
+                    TaskEnd::Exited(128 + wali_abi::flags::wtermsig(status))
+                }
+                Ok(TaskState::Zombie(status)) => {
+                    TaskEnd::Exited(wali_abi::flags::wexitstatus(status))
+                }
+                _ => TaskEnd::Exited(slot.ctx.exited.unwrap_or(0)),
+            }
+        });
+        self.outcome.peak_memory_pages =
+            self.outcome.peak_memory_pages.max(slot.instance.memory.peak_pages());
+        self.outcome.trace.merge(&slot.ctx.trace);
+        if Some(slot.tid) == self.main_tid {
+            self.outcome.main_exit = Some(end.clone());
+        }
+        self.outcome.ends.push((slot.tid, end));
+    }
+
+    /// Finalizes any task whose kernel identity exited while it was
+    /// blocked (killed by a sibling or a signal).
+    fn reap_finished(&mut self) {
+        let mut i = 0;
+        while i < self.tasks.len() {
+            if self.task_killed(self.tasks[i].tid) {
+                self.finish_task(i, None);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Every task is blocked: advance the virtual clock to the nearest
+    /// wake-up source and fire timers; error out if none exists.
+    fn advance_idle_clock(&mut self) -> Result<(), RunnerError> {
+        let retry_deadline = self
+            .tasks
+            .iter()
+            .filter_map(|s| match &s.pending {
+                Some(Pending::Retry { deadline, .. }) => *deadline,
+                _ => None,
+            })
+            .min();
+        let mut k = self.kernel.borrow_mut();
+        let timer_deadline = k.next_timer_deadline();
+        match retry_deadline.into_iter().chain(timer_deadline).min() {
+            Some(d) => {
+                k.clock.advance_to(d);
+                k.fire_timers();
+                Ok(())
+            }
+            None => {
+                let blocked: Vec<(Tid, &'static str)> = self
+                    .tasks
+                    .iter()
+                    .map(|s| {
+                        let name = match &s.pending {
+                            Some(Pending::Retry { import, .. }) => *import,
+                            _ => "?",
+                        };
+                        (s.tid, name)
+                    })
+                    .collect();
+                Err(RunnerError::Deadlock(blocked))
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The virtual signal table (§3.3, stage 1).
+//!
+//! When a module registers a handler via `wali.SYS_rt_sigaction`, the Wasm
+//! *table index* it passes is dereferenced once into a function index and
+//! stored here; the kernel keeps the opaque table index so the old action
+//! round-trips back to the module on later `rt_sigaction` calls. The table
+//! costs well under 1 KiB, matching the paper's bookkeeping claim.
+
+use wali_abi::signals::NSIG;
+
+/// One registered virtual handler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SigEntry {
+    /// The table index the application registered (returned as old action).
+    pub table_index: u32,
+    /// The dereferenced function index used for delivery.
+    pub func_index: u32,
+}
+
+/// signo → registered Wasm handler.
+#[derive(Clone, Debug)]
+pub struct SigTable {
+    entries: [Option<SigEntry>; NSIG],
+}
+
+impl Default for SigTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SigTable {
+    /// An empty table.
+    pub fn new() -> SigTable {
+        SigTable { entries: [None; NSIG] }
+    }
+
+    /// Registers a handler, returning the previous entry.
+    pub fn set(&mut self, signo: i32, entry: Option<SigEntry>) -> Option<SigEntry> {
+        if !(1..NSIG as i32).contains(&signo) {
+            return None;
+        }
+        std::mem::replace(&mut self.entries[signo as usize], entry)
+    }
+
+    /// Looks up the handler for `signo`.
+    pub fn get(&self, signo: i32) -> Option<SigEntry> {
+        if !(1..NSIG as i32).contains(&signo) {
+            return None;
+        }
+        self.entries[signo as usize]
+    }
+
+    /// Approximate in-engine footprint in bytes (paper: "<1 kB").
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of_val(&self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut t = SigTable::new();
+        assert_eq!(t.get(2), None);
+        let e = SigEntry { table_index: 3, func_index: 17 };
+        assert_eq!(t.set(2, Some(e)), None);
+        assert_eq!(t.get(2), Some(e));
+        let e2 = SigEntry { table_index: 4, func_index: 18 };
+        assert_eq!(t.set(2, Some(e2)), Some(e));
+        assert_eq!(t.set(2, None), Some(e2));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let mut t = SigTable::new();
+        assert_eq!(t.set(0, Some(SigEntry::default())), None);
+        assert_eq!(t.set(100, Some(SigEntry::default())), None);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(-1), None);
+    }
+
+    #[test]
+    fn footprint_is_under_1kib() {
+        assert!(SigTable::new().footprint_bytes() < 1024);
+    }
+}

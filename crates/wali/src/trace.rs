@@ -1,0 +1,123 @@
+//! Syscall tracing and time breakdown.
+//!
+//! Two experiments read this data: Fig. 2 (per-application syscall
+//! frequency profiles) and Fig. 7 (wasm-app / kernel / wali runtime
+//! breakdown). Kernel time is measured around kernel-model invocations and
+//! WALI time is the remaining host-call time, exactly mirroring how the
+//! paper splits the stack.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-task syscall counts and layer timings.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Number of invocations per syscall name.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Wall time spent inside host (WALI + kernel) calls.
+    pub host_time: Duration,
+    /// Wall time spent inside the kernel model.
+    pub kernel_time: Duration,
+    /// Total wall time of the task (set by the runner).
+    pub total_time: Duration,
+    /// Executed Wasm ops (engine step counter snapshot).
+    pub wasm_steps: u64,
+}
+
+impl Trace {
+    /// Records one invocation of `name`.
+    #[inline]
+    pub fn count(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Total syscall invocations.
+    pub fn total_syscalls(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct syscalls used.
+    pub fn unique_syscalls(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Time attributed to the WALI interface layer itself.
+    pub fn wali_time(&self) -> Duration {
+        self.host_time.saturating_sub(self.kernel_time)
+    }
+
+    /// Time attributed to Wasm application code.
+    pub fn wasm_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.host_time)
+    }
+
+    /// Fractional breakdown `(wasm, kernel, wali)` of total time.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_time.as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.wasm_time().as_secs_f64() / total,
+            self.kernel_time.as_secs_f64() / total,
+            self.wali_time().as_secs_f64() / total,
+        )
+    }
+
+    /// Merges another trace into this one (multi-task aggregation).
+    pub fn merge(&mut self, other: &Trace) {
+        for (name, n) in &other.counts {
+            *self.counts.entry(name).or_insert(0) += n;
+        }
+        self.host_time += other.host_time;
+        self.kernel_time += other.kernel_time;
+        self.total_time += other.total_time;
+        self.wasm_steps += other.wasm_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut t = Trace::default();
+        t.count("read");
+        t.count("read");
+        t.count("write");
+        assert_eq!(t.counts["read"], 2);
+        assert_eq!(t.total_syscalls(), 3);
+        assert_eq!(t.unique_syscalls(), 2);
+    }
+
+    #[test]
+    fn breakdown_partitions_total() {
+        let t = Trace {
+            total_time: Duration::from_millis(100),
+            host_time: Duration::from_millis(40),
+            kernel_time: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let (wasm, kernel, wali) = t.breakdown();
+        assert!((wasm - 0.6).abs() < 1e-9);
+        assert!((kernel - 0.3).abs() < 1e-9);
+        assert!((wali - 0.1).abs() < 1e-9);
+        assert!((wasm + kernel + wali - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Trace::default();
+        a.count("read");
+        a.host_time = Duration::from_millis(5);
+        let mut b = Trace::default();
+        b.count("read");
+        b.count("mmap");
+        b.kernel_time = Duration::from_millis(3);
+        a.merge(&b);
+        assert_eq!(a.counts["read"], 2);
+        assert_eq!(a.counts["mmap"], 1);
+        assert_eq!(a.kernel_time, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,479 @@
+//! End-to-end tests: Wasm modules built with the module builder, encoded
+//! to real binary bytes, decoded, validated, linked against the WALI
+//! registry and executed by the runner over the virtual kernel.
+
+use wasm::build::{FuncId, ModuleBuilder};
+use wasm::instr::BlockType;
+use wasm::types::ValType::{I32, I64};
+use wasm::Module;
+
+use wali::runner::{TaskEnd, WaliRunner};
+
+/// Imports `SYS_<name>` with `n` i64 params returning i64.
+fn sys(mb: &mut ModuleBuilder, name: &str, n: usize) -> FuncId {
+    let sig = mb.sig(vec![I64; n], [I64]);
+    mb.import_func("wali", &format!("SYS_{name}"), sig)
+}
+
+fn run(module: &Module, args: &[&str]) -> wali::RunOutcome {
+    let bytes = wasm::encode::encode(module);
+    let module = wasm::decode::decode(&bytes).expect("round trip");
+    WaliRunner::run_to_exit(&module, args, &["HOME=/home/user"]).expect("run")
+}
+
+#[test]
+fn hello_world_via_sys_write() {
+    let mut mb = ModuleBuilder::new();
+    let write = sys(&mut mb, "write", 3);
+    mb.memory(2, Some(16));
+    let msg = mb.c_str("hello, wali!\n");
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        b.i64(1).i64(msg as i64).i64(13).call(write).drop_();
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0));
+    assert_eq!(out.stdout(), "hello, wali!\n");
+    assert_eq!(out.trace.counts["write"], 1);
+}
+
+#[test]
+fn open_write_read_file_round_trip() {
+    let mut mb = ModuleBuilder::new();
+    let open = sys(&mut mb, "open", 3);
+    let write = sys(&mut mb, "write", 3);
+    let close = sys(&mut mb, "close", 1);
+    let lseek = sys(&mut mb, "lseek", 3);
+    let read = sys(&mut mb, "read", 3);
+    mb.memory(2, Some(16));
+    let path = mb.c_str("/tmp/data.txt");
+    let content = mb.c_str("persisted");
+    let buf = mb.reserve(64);
+    let main_sig = mb.sig([], [I32]);
+
+    let main = mb.func(main_sig, |b| {
+        let fd_local = b.local(I64);
+        // fd = open(path, O_CREAT|O_RDWR = 0o102, 0o644)
+        b.i64(path as i64).i64(0o102).i64(0o644).call(open).local_set(fd_local);
+        // write(fd, content, 9)
+        b.local_get(fd_local).i64(content as i64).i64(9).call(write).drop_();
+        // lseek(fd, 0, SEEK_SET)
+        b.local_get(fd_local).i64(0).i64(0).call(lseek).drop_();
+        // n = read(fd, buf, 64)
+        b.local_get(fd_local).i64(buf as i64).i64(64).call(read);
+        // close(fd)
+        b.local_get(fd_local).call(close).drop_();
+        // return n == 9 && buf[0] == 'p' ? 0 : 1
+        b.i64(9).eq64();
+        b.i32(buf as i32).load8u(0).i32('p' as i32).eq32();
+        b.and32();
+        b.if_else(BlockType::Value(I32), |b| {
+            b.i32(0);
+        }, |b| {
+            b.i32(1);
+        });
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0), "stdout: {}", out.stdout());
+}
+
+#[test]
+fn fork_parent_and_child_diverge() {
+    // parent: fork(); if pid == 0 { write "child"; exit(7) }
+    //         else { wait4(pid); write "parent"; exit(0) }
+    let mut mb = ModuleBuilder::new();
+    let fork = sys(&mut mb, "fork", 0);
+    let write = sys(&mut mb, "write", 3);
+    let wait4 = sys(&mut mb, "wait4", 4);
+    let exit = sys(&mut mb, "exit_group", 1);
+    mb.memory(2, Some(16));
+    let child_msg = mb.c_str("child\n");
+    let parent_msg = mb.c_str("parent\n");
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let pid = b.local(I64);
+        b.call(fork).local_set(pid);
+        b.local_get(pid).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            b.i64(1).i64(child_msg as i64).i64(6).call(write).drop_();
+            b.i64(7).call(exit).drop_();
+        });
+        // parent
+        b.local_get(pid).i64(0).i64(0).i64(0).call(wait4).drop_();
+        b.i64(1).i64(parent_msg as i64).i64(7).call(write).drop_();
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0));
+    // Child runs after the parent blocks in wait4 (cooperative schedule).
+    assert_eq!(out.stdout(), "child\nparent\n");
+    let exits: Vec<&TaskEnd> = out.ends.iter().map(|(_, e)| e).collect();
+    assert!(exits.contains(&&TaskEnd::Exited(7)));
+}
+
+#[test]
+fn pipe_between_fork_halves() {
+    let mut mb = ModuleBuilder::new();
+    let pipe = sys(&mut mb, "pipe", 1);
+    let fork = sys(&mut mb, "fork", 0);
+    let read = sys(&mut mb, "read", 3);
+    let write = sys(&mut mb, "write", 3);
+    let close = sys(&mut mb, "close", 1);
+    let exit = sys(&mut mb, "exit_group", 1);
+    mb.memory(2, Some(16));
+    let fds = mb.reserve(8);
+    let msg = mb.c_str("through-pipe");
+    let buf = mb.reserve(64);
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let pid = b.local(I64);
+        b.i64(fds as i64).call(pipe).drop_();
+        b.call(fork).local_set(pid);
+        b.local_get(pid).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            // child: write then exit.
+            b.i32(fds as i32 + 4).load32(0).extend_u();
+            b.i64(msg as i64).i64(12).call(write).drop_();
+            b.i64(0).call(exit).drop_();
+        });
+        // parent: read (blocks until child writes), compare first byte.
+        b.i32(fds as i32).load32(0).extend_u();
+        b.i64(buf as i64).i64(64).call(read);
+        b.i64(12).eq64();
+        b.i32(buf as i32).load8u(0).i32('t' as i32).eq32();
+        b.and32();
+        b.if_else(BlockType::Value(I32), |b| {
+            b.i32(0);
+        }, |b| {
+            b.i32(1);
+        });
+        // tidy: close both ends.
+        b.i32(fds as i32).load32(0).extend_u().call(close).drop_();
+        b.i32(fds as i32 + 4).load32(0).extend_u().call(close).drop_();
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0));
+}
+
+#[test]
+fn signal_handler_runs_at_safepoint() {
+    // Register a SIGUSR1 handler that stores 42 at mem[512]; kill(self);
+    // spin until mem[512] != 0; return it.
+    let mut mb = ModuleBuilder::new();
+    let sigaction = sys(&mut mb, "rt_sigaction", 4);
+    let kill = sys(&mut mb, "kill", 2);
+    let getpid = sys(&mut mb, "getpid", 0);
+    mb.memory(2, Some(16));
+
+    let handler_sig = mb.sig([I32], []);
+    let dummy = mb.func(handler_sig, |_| {});
+    let handler = mb.func(handler_sig, |b| {
+        b.i32(512).i32(42).store32(0);
+    });
+    // Slots 0 and 1 are reserved: they collide with the SIG_DFL/SIG_IGN
+    // handler encodings, exactly like address 0/1 in the native ABI.
+    let base = mb.table_entries(&[dummy, dummy, handler]);
+    assert_eq!(base, 0);
+    let act = mb.reserve(24);
+
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        // act.handler = table index 2; flags = 0; mask = 0.
+        b.i32(act as i32).i32(2).store32(0);
+        // rt_sigaction(SIGUSR1=10, act, 0, 8)
+        b.i64(10).i64(act as i64).i64(0).i64(8).call(sigaction).drop_();
+        // kill(getpid(), SIGUSR1)
+        b.call(getpid).i64(10).call(kill).drop_();
+        // Spin until the handler fires (loop-header safepoints poll).
+        b.loop_(BlockType::Empty, |b| {
+            b.i32(512).load32(0).eqz32().br_if(0);
+        });
+        b.i32(512).load32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(42));
+    assert_eq!(out.trace.counts["rt_sigaction"], 1);
+}
+
+#[test]
+fn uncaught_sigterm_kills_process() {
+    let mut mb = ModuleBuilder::new();
+    let kill = sys(&mut mb, "kill", 2);
+    let getpid = sys(&mut mb, "getpid", 0);
+    mb.memory(1, Some(4));
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        b.call(getpid).i64(15).call(kill).drop_();
+        // Never reached: the post-syscall poll kills us.
+        b.loop_(BlockType::Empty, |b| {
+            b.br(0);
+        });
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    // Shell convention: 128 + signo.
+    assert_eq!(out.exit_code(), Some(143));
+}
+
+#[test]
+fn nanosleep_advances_virtual_clock() {
+    let mut mb = ModuleBuilder::new();
+    let nanosleep = sys(&mut mb, "nanosleep", 2);
+    let clock_gettime = sys(&mut mb, "clock_gettime", 2);
+    mb.memory(2, Some(16));
+    let req = mb.reserve(16);
+    let ts = mb.reserve(16);
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        // req = { sec: 2, nsec: 0 }
+        b.i32(req as i32).i64(2).store64(0);
+        b.i64(req as i64).i64(0).call(nanosleep).drop_();
+        // ts = clock_gettime(CLOCK_MONOTONIC)
+        b.i64(1).i64(ts as i64).call(clock_gettime).drop_();
+        // return ts.sec >= 2
+        b.i32(ts as i32).load64(0).i64(2);
+        b.emit(wasm::instr::Instr::Rel(wasm::instr::RelOp::I64GeS));
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(1));
+}
+
+#[test]
+fn mmap_munmap_and_brk() {
+    let mut mb = ModuleBuilder::new();
+    let mmap = sys(&mut mb, "mmap", 6);
+    let munmap = sys(&mut mb, "munmap", 2);
+    let brk = sys(&mut mb, "brk", 1);
+    mb.memory(2, Some(64));
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let p = b.local(I64);
+        let b0 = b.local(I64);
+        // p = mmap(0, 8192, RW=3, MAP_PRIVATE|ANON=0x22, -1, 0)
+        b.i64(0).i64(8192).i64(3).i64(0x22).i64(-1).i64(0).call(mmap).local_set(p);
+        // *(i32*)p = 7 — the mapping is real linear memory.
+        b.local_get(p).wrap().i32(7).store32(0);
+        b.local_get(p).wrap().load32(0).i32(7).ne32();
+        b.if_(BlockType::Empty, |b| {
+            b.i32(1).ret();
+        });
+        // munmap(p, 8192) == 0
+        b.local_get(p).i64(8192).call(munmap).i64(0).eq64().eqz32();
+        b.if_(BlockType::Empty, |b| {
+            b.i32(2).ret();
+        });
+        // brk grows: b0 = brk(0); brk(b0 + 4096) == b0 + 4096
+        b.i64(0).call(brk).local_set(b0);
+        b.local_get(b0).i64(4096).add64().call(brk);
+        b.local_get(b0).i64(4096).add64().eq64().eqz32();
+        b.if_(BlockType::Empty, |b| {
+            b.i32(3).ret();
+        });
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0));
+    assert_eq!(out.trace.counts["mmap"], 1);
+}
+
+#[test]
+fn execve_replaces_program() {
+    // Program A execs /usr/bin/b which writes "B ran" and exits 5.
+    let mut a = ModuleBuilder::new();
+    let execve = sys(&mut a, "execve", 3);
+    let write_a = sys(&mut a, "write", 3);
+    a.memory(2, Some(16));
+    let path = a.c_str("/usr/bin/b");
+    let pre = a.c_str("A before exec\n");
+    let main_sig = a.sig([], [I32]);
+    let main_a = a.func(main_sig, |b| {
+        b.i64(1).i64(pre as i64).i64(14).call(write_a).drop_();
+        b.i64(path as i64).i64(0).i64(0).call(execve).drop_();
+        // Unreachable on success.
+        b.i32(99);
+    });
+    a.export("_start", main_a);
+
+    let mut bm = ModuleBuilder::new();
+    let write_b = sys(&mut bm, "write", 3);
+    bm.memory(2, Some(16));
+    let msg = bm.c_str("B ran\n");
+    let main_sig_b = bm.sig([], [I32]);
+    let main_b = bm.func(main_sig_b, |b| {
+        b.i64(1).i64(msg as i64).i64(6).call(write_b).drop_();
+        b.i32(5);
+    });
+    bm.export("_start", main_b);
+
+    let mut runner = WaliRunner::new_default();
+    runner.register_program("/usr/bin/a", &a.build()).unwrap();
+    runner.register_program("/usr/bin/b", &bm.build()).unwrap();
+    runner.spawn("/usr/bin/a", &[], &[]).unwrap();
+    let out = runner.run().unwrap();
+    assert_eq!(out.exit_code(), Some(5));
+    assert_eq!(out.stdout(), "A before exec\nB ran\n");
+}
+
+#[test]
+fn argv_support_methods() {
+    let mut mb = ModuleBuilder::new();
+    let argc_sig = mb.sig([], [I32]);
+    let get_argc = mb.import_func("wali", "get_argc", argc_sig);
+    let len_sig = mb.sig([I32], [I32]);
+    let get_argv_len = mb.import_func("wali", "get_argv_len", len_sig);
+    let copy_sig = mb.sig([I32, I32], [I32]);
+    let copy_argv = mb.import_func("wali", "copy_argv", copy_sig);
+    let write = sys(&mut mb, "write", 3);
+    mb.memory(2, Some(16));
+    let buf = mb.reserve(256);
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let n = b.local(I32);
+        // copy argv[1] into buf and write it (length excludes the NUL).
+        b.i32(buf as i32).i32(1).call(copy_argv).i32(1).sub32().local_set(n);
+        b.i64(1).i64(buf as i64).local_get(n).extend_u().call(write).drop_();
+        b.call(get_argc);
+        b.i32(1).call(get_argv_len).add32();
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &["hello-arg"]);
+    assert_eq!(out.stdout(), "hello-arg");
+    // argc (2) + len("hello-arg")+1 (10) = 12.
+    assert_eq!(out.exit_code(), Some(12));
+}
+
+#[test]
+fn sigreturn_is_forbidden() {
+    let mut mb = ModuleBuilder::new();
+    let sigreturn = sys(&mut mb, "rt_sigreturn", 0);
+    mb.memory(1, Some(4));
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        b.call(sigreturn).drop_();
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let bytes = wasm::encode::encode(&mb.build());
+    let module = wasm::decode::decode(&bytes).unwrap();
+    let out = WaliRunner::run_to_exit(&module, &[], &[]).unwrap();
+    match &out.main_exit {
+        Some(TaskEnd::Trapped(wasm::Trap::Forbidden("rt_sigreturn"))) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn proc_self_mem_is_interposed() {
+    let mut mb = ModuleBuilder::new();
+    let open = sys(&mut mb, "open", 3);
+    mb.memory(2, Some(16));
+    let path = mb.c_str("/proc/self/mem");
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        // open returns -EACCES (-13): return the negated errno.
+        b.i64(path as i64).i64(2).i64(0).call(open);
+        b.emit(wasm::instr::Instr::I64Const(-1)).emit(wasm::instr::Instr::Bin(
+            wasm::instr::BinOp::I64Mul,
+        ));
+        b.wrap();
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(13), "EACCES from the interposition");
+}
+
+#[test]
+fn clone_thread_shares_memory() {
+    // Main clones a thread that stores 99 at mem[600]; main futex-waits
+    // on a flag the thread sets, then reads mem[600].
+    let mut mb = ModuleBuilder::new();
+    let clone = sys(&mut mb, "clone", 5);
+    let exit = sys(&mut mb, "exit", 1);
+    mb.memory(2, Some(16));
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let pid = b.local(I64);
+        // CLONE_VM|CLONE_THREAD|CLONE_SIGHAND = 0x10900
+        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(pid);
+        b.local_get(pid).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            // "thread": share the same linear memory.
+            b.i32(600).i32(99).store32(0);
+            b.i64(0).call(exit).drop_();
+        });
+        // main: spin until the store is visible.
+        b.loop_(BlockType::Empty, |b| {
+            b.i32(600).load32(0).eqz32().br_if(0);
+        });
+        b.i32(600).load32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(99));
+}
+
+#[test]
+fn policy_denies_sockets() {
+    use wali::policy::{DenyAction, Policy};
+    use wali_abi::Errno;
+    let mut mb = ModuleBuilder::new();
+    let socket = sys(&mut mb, "socket", 3);
+    mb.memory(1, Some(4));
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        b.i64(2).i64(1).i64(0).call(socket);
+        b.emit(wasm::instr::Instr::I64Const(-1))
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
+        b.wrap();
+    });
+    mb.export("_start", main);
+    let bytes = wasm::encode::encode(&mb.build());
+    let module = wasm::decode::decode(&bytes).unwrap();
+
+    let mut runner = WaliRunner::new_default();
+    runner.register_program("/usr/bin/app", &module).unwrap();
+    runner
+        .spawn_with_policy(
+            "/usr/bin/app",
+            &[],
+            &[],
+            Policy::deny_list(["socket"], DenyAction::Errno(Errno::Eperm)),
+        )
+        .unwrap();
+    let out = runner.run().unwrap();
+    assert_eq!(out.exit_code(), Some(1), "EPERM (1) from the policy layer");
+}
+
+#[test]
+fn time_breakdown_is_populated() {
+    let mut mb = ModuleBuilder::new();
+    let write = sys(&mut mb, "write", 3);
+    mb.memory(2, Some(16));
+    let msg = mb.c_str("x");
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let i = b.local(I32);
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(1).i64(msg as i64).i64(1).call(write).drop_();
+            b.local_get(i).i32(1).add32().local_tee(i).i32(200).lt_s32().br_if(0);
+        });
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(out.exit_code(), Some(0));
+    assert_eq!(out.trace.counts["write"], 200);
+    assert!(out.trace.total_time.as_nanos() > 0);
+    assert!(out.trace.host_time <= out.trace.total_time);
+    assert!(out.trace.kernel_time <= out.trace.host_time);
+    assert!(out.trace.wasm_steps > 1000);
+}

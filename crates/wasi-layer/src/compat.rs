@@ -1,0 +1,174 @@
+//! API feature matrices for the Table 1 porting-effort experiment.
+//!
+//! The paper's Table 1 shows which popular codebases port to WALI, WASIX
+//! and WASI, and which *missing feature* blocks the failing APIs. This
+//! module encodes the feature surface of each API; the application suite
+//! declares its required features and the matrix is computed, not typed.
+
+use std::collections::BTreeSet;
+
+/// An OS feature a codebase may require.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Feature {
+    /// Plain file I/O (open/read/write/seek).
+    BasicFs,
+    /// POSIX signals (`rt_sigaction`, `kill`).
+    Signals,
+    /// Descriptor duplication (`dup`/`dup2`).
+    Dup,
+    /// Permission changes (`chmod`).
+    Chmod,
+    /// Self-hosting: spawn/exec of further programs.
+    SelfHost,
+    /// Memory mapping (`mmap`).
+    Mmap,
+    /// `mremap` growth.
+    Mremap,
+    /// Users and groups (`getuid`, `setuid`).
+    Users,
+    /// Socket options (`setsockopt`).
+    SockOpt,
+    /// Sockets at all.
+    Sockets,
+    /// Child reaping (`wait4`).
+    Wait4,
+    /// Process creation (`fork`).
+    Fork,
+    /// Threads (`clone`).
+    Threads,
+    /// `sysconf`-style system queries (`sysinfo`/`uname`).
+    Sysconf,
+    /// Terminal and device control (`ioctl`).
+    Ioctl,
+    /// `socketpair`.
+    SocketPair,
+    /// Process groups and sessions.
+    ProcessGroups,
+    /// Readiness multiplexing (`poll`/`select`).
+    Poll,
+    /// Pipes.
+    Pipes,
+    /// Linux-specific surfaces (the whole syscall table, LTP-style).
+    LinuxSpecific,
+}
+
+/// A Wasm system API under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Api {
+    /// Thin Linux kernel interface (this repository's core).
+    Wali,
+    /// Wasmer's POSIX-flavoured WASI superset.
+    Wasix,
+    /// WASI preview1.
+    Wasi,
+}
+
+impl Api {
+    /// All compared APIs, in Table 1 column order.
+    pub const ALL: [Api; 3] = [Api::Wali, Api::Wasix, Api::Wasi];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Api::Wali => "WALI",
+            Api::Wasix => "WASIX",
+            Api::Wasi => "WASI",
+        }
+    }
+
+    /// The feature set the API supports.
+    pub fn features(self) -> BTreeSet<Feature> {
+        use Feature::*;
+        match self {
+            // The union: WALI models the kernel interface itself.
+            Api::Wali => [
+                BasicFs, Signals, Dup, Chmod, SelfHost, Mmap, Mremap, Users, SockOpt, Sockets,
+                Wait4, Fork, Threads, Sysconf, Ioctl, SocketPair, ProcessGroups, Poll, Pipes,
+                LinuxSpecific,
+            ]
+            .into_iter()
+            .collect(),
+            // WASIX: WASI plus fork/threads/sockets/pipes and some POSIX,
+            // but no signals-complete, mmap, users, ioctl, pgroups …
+            Api::Wasix => [
+                BasicFs, Dup, Sockets, Wait4, Fork, Threads, Poll, Pipes, Sysconf, SockOpt,
+            ]
+            .into_iter()
+            .collect(),
+            // WASI preview1: capability fs + clocks + random only.
+            Api::Wasi => [BasicFs, Poll].into_iter().collect(),
+        }
+    }
+
+    /// Whether this API can run a codebase needing `required`; on failure
+    /// returns the first missing feature (Table 1's last column).
+    pub fn supports(self, required: &BTreeSet<Feature>) -> Result<(), Feature> {
+        let have = self.features();
+        match required.iter().find(|f| !have.contains(f)) {
+            None => Ok(()),
+            Some(f) => Err(*f),
+        }
+    }
+}
+
+/// Human-readable label used in the Table 1 "Missing Features" column.
+pub fn feature_label(f: Feature) -> &'static str {
+    match f {
+        Feature::BasicFs => "file I/O",
+        Feature::Signals => "signals",
+        Feature::Dup => "dup",
+        Feature::Chmod => "chmod",
+        Feature::SelfHost => "self-host",
+        Feature::Mmap => "mmap",
+        Feature::Mremap => "mremap",
+        Feature::Users => "users",
+        Feature::SockOpt => "sockopt",
+        Feature::Sockets => "sockets",
+        Feature::Wait4 => "wait4",
+        Feature::Fork => "fork",
+        Feature::Threads => "threads",
+        Feature::Sysconf => "sysconf",
+        Feature::Ioctl => "ioctl",
+        Feature::SocketPair => "socketpair",
+        Feature::ProcessGroups => "pgroups",
+        Feature::Poll => "poll",
+        Feature::Pipes => "pipes",
+        Feature::LinuxSpecific => "linux",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Feature::*;
+
+    #[test]
+    fn wali_supports_everything() {
+        let all: BTreeSet<Feature> = Api::Wasix.features().union(&Api::Wasi.features()).copied().collect();
+        assert!(Api::Wali.supports(&all).is_ok());
+        assert!(Api::Wali.supports(&[Signals, Mmap, LinuxSpecific].into_iter().collect()).is_ok());
+    }
+
+    #[test]
+    fn wasi_rejects_signals_with_reason() {
+        let need: BTreeSet<Feature> = [BasicFs, Signals].into_iter().collect();
+        assert_eq!(Api::Wasi.supports(&need), Err(Signals));
+        assert_eq!(Api::Wasix.supports(&need), Err(Signals));
+        assert!(Api::Wali.supports(&need).is_ok());
+    }
+
+    #[test]
+    fn wasix_sits_between() {
+        let fork_need: BTreeSet<Feature> = [BasicFs, Fork, Wait4].into_iter().collect();
+        assert!(Api::Wasix.supports(&fork_need).is_ok());
+        assert!(Api::Wasi.supports(&fork_need).is_err());
+        let mmap_need: BTreeSet<Feature> = [Mmap].into_iter().collect();
+        assert_eq!(Api::Wasix.supports(&mmap_need), Err(Mmap));
+    }
+
+    #[test]
+    fn feature_counts_are_ordered() {
+        assert!(Api::Wali.features().len() > Api::Wasix.features().len());
+        assert!(Api::Wasix.features().len() > Api::Wasi.features().len());
+    }
+}

@@ -1,0 +1,120 @@
+//! WASI errno space and the Linux→WASI translation.
+//!
+//! WASI renumbers every errno (part of its OS-agnostic design); since this
+//! layer runs over WALI, results arrive in Linux numbering and must be
+//! translated at the API boundary.
+
+use wali_abi::Errno;
+
+/// WASI `errno::success`.
+pub const SUCCESS: i32 = 0;
+/// WASI `errno::badf`.
+pub const BADF: i32 = 8;
+/// WASI `errno::inval`.
+pub const INVAL: i32 = 28;
+/// WASI `errno::noent`.
+pub const NOENT: i32 = 44;
+/// WASI `errno::notcapable` — the capability model's own error.
+pub const NOTCAPABLE: i32 = 76;
+
+/// Maps a Linux errno onto the WASI preview1 numbering.
+pub fn to_wasi(e: Errno) -> i32 {
+    match e {
+        Errno::E2big => 1,
+        Errno::Eacces => 2,
+        Errno::Eaddrinuse => 3,
+        Errno::Eaddrnotavail => 4,
+        Errno::Eafnosupport => 5,
+        Errno::Eagain => 6,
+        Errno::Ealready => 7,
+        Errno::Ebadf => 8,
+        Errno::Ebadmsg => 9,
+        Errno::Ebusy => 10,
+        Errno::Echild => 12,
+        Errno::Econnaborted => 13,
+        Errno::Econnrefused => 14,
+        Errno::Econnreset => 15,
+        Errno::Edeadlk => 16,
+        Errno::Edestaddrreq => 17,
+        Errno::Edom => 18,
+        Errno::Eexist => 20,
+        Errno::Efault => 21,
+        Errno::Efbig => 22,
+        Errno::Ehostunreach => 23,
+        Errno::Eidrm => 24,
+        Errno::Einprogress => 26,
+        Errno::Eintr => 27,
+        Errno::Einval => 28,
+        Errno::Eio => 29,
+        Errno::Eisconn => 30,
+        Errno::Eisdir => 31,
+        Errno::Eloop => 32,
+        Errno::Emfile => 33,
+        Errno::Emlink => 34,
+        Errno::Emsgsize => 35,
+        Errno::Enametoolong => 37,
+        Errno::Enetdown => 38,
+        Errno::Enetunreach => 40,
+        Errno::Enfile => 41,
+        Errno::Enobufs => 42,
+        Errno::Enodev => 43,
+        Errno::Enoent => 44,
+        Errno::Enoexec => 45,
+        Errno::Enolck => 46,
+        Errno::Enomem => 48,
+        Errno::Enomsg => 49,
+        Errno::Enoprotoopt => 50,
+        Errno::Enospc => 51,
+        Errno::Enosys => 52,
+        Errno::Enotconn => 53,
+        Errno::Enotdir => 54,
+        Errno::Enotempty => 55,
+        Errno::Enotsock => 57,
+        Errno::Eopnotsupp => 58,
+        Errno::Enotty => 59,
+        Errno::Enxio => 60,
+        Errno::Eoverflow => 61,
+        Errno::Eperm => 63,
+        Errno::Epipe => 64,
+        Errno::Eproto => 65,
+        Errno::Eprotonosupport => 66,
+        Errno::Eprototype => 67,
+        Errno::Erange => 68,
+        Errno::Erofs => 69,
+        Errno::Espipe => 70,
+        Errno::Esrch => 71,
+        Errno::Etime => 73,
+        Errno::Etimedout => 73,
+        Errno::Etxtbsy => 74,
+        Errno::Exdev => 75,
+        _ => 29, // EIO for everything unmapped
+    }
+}
+
+/// Maps a raw WALI return value (`>= 0` or `-errno`) onto
+/// `Ok(value)`/`Err(wasi_errno)`.
+pub fn demux(ret: i64) -> Result<i64, i32> {
+    match Errno::demux(ret) {
+        Ok(v) => Ok(v),
+        Err(e) => Err(to_wasi(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumbering_differs_from_linux() {
+        assert_eq!(to_wasi(Errno::Enoent), 44);
+        assert_ne!(to_wasi(Errno::Enoent), Errno::Enoent.raw());
+        assert_eq!(to_wasi(Errno::Ebadf), BADF);
+        assert_eq!(to_wasi(Errno::Eperm), 63);
+    }
+
+    #[test]
+    fn demux_translates() {
+        assert_eq!(demux(5), Ok(5));
+        assert_eq!(demux(Errno::Enoent.as_ret()), Err(NOENT));
+    }
+}

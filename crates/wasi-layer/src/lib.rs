@@ -1,0 +1,24 @@
+//! WASI preview1 implemented **over WALI** (the paper's layering claim).
+//!
+//! This crate is the `libuvwasi`-analogue of §4.1/Fig. 6: a complete WASI
+//! snapshot-preview1 implementation whose every operation bottoms out in
+//! WALI syscalls. Crucially, this crate has **no dependency on the kernel
+//! model** — check `Cargo.toml`: it sees only the `wali` interface crate
+//! and the engine. The capability-based security model (preopened
+//! directories, per-descriptor rights) therefore lives *outside* the
+//! engine TCB, exactly as the paper advocates: "engines will be more
+//! secure if they move their WASI implementations up … layering them
+//! over kernel interfaces".
+//!
+//! The paper ships WASI as a Wasm module compiled against WALI; here it is
+//! a Rust module constrained to the same interface, which preserves the
+//! property that matters (the implementation can only do what WALI
+//! exposes) while staying a library. The substitution is recorded in
+//! DESIGN.md.
+
+pub mod compat;
+pub mod errno;
+pub mod layer;
+
+pub use compat::{Api, Feature};
+pub use layer::{add_wasi_layer, init_wasi, WasiState, WASI_MODULE};

@@ -1,0 +1,570 @@
+//! Programmatic module construction.
+//!
+//! The application suite (paper Table 1 workloads) is written against this
+//! builder: it produces a [`Module`] that is then *encoded to real binary
+//! bytes and decoded back* by the runners, so the full binary pipeline is
+//! exercised by every app.
+
+use crate::instr::{BlockType, Instr, LoadKind, MemArg, StoreKind};
+use crate::module::{
+    ConstExpr, DataSegment, ElemSegment, Export, ExportDesc, FuncBody, Global, Import,
+    ImportDesc, Module,
+};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+/// A function handle (final combined-space index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncId(pub u32);
+
+/// Builds a [`Module`] incrementally.
+///
+/// Function imports must all be registered before the first local function
+/// is declared, because handles are final indices.
+pub struct ModuleBuilder {
+    module: Module,
+    imports_frozen: bool,
+    data_cursor: u32,
+    declared: Vec<Option<FuncBody>>,
+}
+
+impl Default for ModuleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder; the data cursor starts at 1024, keeping
+    /// the first KiB free (NULL guard zone, as C toolchains do).
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder {
+            module: Module::default(),
+            imports_frozen: false,
+            data_cursor: 1024,
+            declared: Vec::new(),
+        }
+    }
+
+    /// Interns a function signature and returns its type index.
+    pub fn sig(
+        &mut self,
+        params: impl Into<Vec<ValType>>,
+        results: impl Into<Vec<ValType>>,
+    ) -> u32 {
+        let ty = FuncType { params: params.into(), results: results.into() };
+        if let Some(i) = self.module.types.iter().position(|t| *t == ty) {
+            return i as u32;
+        }
+        self.module.types.push(ty);
+        (self.module.types.len() - 1) as u32
+    }
+
+    /// Imports a host function; must precede all local declarations.
+    pub fn import_func(&mut self, module: &str, name: &str, ty: u32) -> FuncId {
+        assert!(!self.imports_frozen, "imports must be declared before local functions");
+        let idx = self.module.num_imported_funcs();
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            desc: ImportDesc::Func(ty),
+        });
+        FuncId(idx)
+    }
+
+    /// Declares a memory (64 KiB pages).
+    pub fn memory(&mut self, min: u32, max: Option<u32>) -> &mut Self {
+        self.module.memories = vec![MemoryType { limits: Limits { min, max }, shared: false }];
+        self
+    }
+
+    /// Declares a shared memory (for instance-per-thread workloads).
+    pub fn shared_memory(&mut self, min: u32, max: u32) -> &mut Self {
+        self.module.memories =
+            vec![MemoryType { limits: Limits { min, max: Some(max) }, shared: true }];
+        self
+    }
+
+    /// Declares a funcref table.
+    pub fn table(&mut self, min: u32, max: Option<u32>) -> &mut Self {
+        self.module.tables = vec![TableType { limits: Limits { min, max } }];
+        self
+    }
+
+    /// Adds a mutable global and returns its index.
+    pub fn global(&mut self, ty: ValType, mutable: bool, init: ConstExpr) -> u32 {
+        self.module.globals.push(Global { ty: GlobalType { ty, mutable }, init });
+        (self.module.globals.len() - 1) as u32
+    }
+
+    /// Places `bytes` at the data cursor; returns the address.
+    pub fn data(&mut self, bytes: &[u8]) -> u32 {
+        let at = self.data_cursor;
+        self.data_at(at, bytes);
+        // Keep subsequent blobs 8-aligned.
+        self.data_cursor = (at + bytes.len() as u32 + 7) & !7;
+        at
+    }
+
+    /// Places `bytes` at a fixed address.
+    pub fn data_at(&mut self, addr: u32, bytes: &[u8]) {
+        self.module
+            .datas
+            .push(DataSegment { offset: ConstExpr::I32(addr as i32), bytes: bytes.to_vec() });
+    }
+
+    /// Places a NUL-terminated string; returns the address.
+    pub fn c_str(&mut self, s: &str) -> u32 {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.data(&bytes)
+    }
+
+    /// Reserves `len` zeroed bytes at the cursor; returns the address.
+    pub fn reserve(&mut self, len: u32) -> u32 {
+        let at = self.data_cursor;
+        self.data_cursor = (at + len + 7) & !7;
+        at
+    }
+
+    /// First address past all placed data (heap base for apps).
+    pub fn data_end(&self) -> u32 {
+        self.data_cursor
+    }
+
+    /// Declares a local function (body provided later via [`Self::define`]).
+    pub fn declare(&mut self, ty: u32) -> FuncId {
+        self.imports_frozen = true;
+        let idx = self.module.num_imported_funcs() + self.module.funcs.len() as u32;
+        self.module.funcs.push(ty);
+        self.declared.push(None);
+        FuncId(idx)
+    }
+
+    /// Defines the body of a declared function.
+    pub fn define(&mut self, f: FuncId, build: impl FnOnce(&mut FuncBuilder)) {
+        let local = (f.0 - self.module.num_imported_funcs()) as usize;
+        let ty = self.module.types[self.module.funcs[local] as usize].clone();
+        let mut fb = FuncBuilder::new(ty.params.len() as u32);
+        build(&mut fb);
+        self.declared[local] = Some(fb.finish());
+    }
+
+    /// Declares and defines in one step.
+    pub fn func(&mut self, ty: u32, build: impl FnOnce(&mut FuncBuilder)) -> FuncId {
+        let f = self.declare(ty);
+        self.define(f, build);
+        f
+    }
+
+    /// Exports a function.
+    pub fn export(&mut self, name: &str, f: FuncId) -> &mut Self {
+        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Func(f.0) });
+        self
+    }
+
+    /// Exports the memory.
+    pub fn export_memory(&mut self, name: &str) -> &mut Self {
+        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Memory(0) });
+        self
+    }
+
+    /// Appends functions to the table; returns the first slot index.
+    pub fn table_entries(&mut self, funcs: &[FuncId]) -> u32 {
+        let base: u32 = self.module.elems.iter().map(|e| e.funcs.len() as u32).sum();
+        if self.module.tables.is_empty() {
+            self.table(base + funcs.len() as u32, None);
+        } else {
+            let t = &mut self.module.tables[0];
+            t.limits.min = t.limits.min.max(base + funcs.len() as u32);
+            if let Some(max) = t.limits.max {
+                t.limits.max = Some(max.max(t.limits.min));
+            }
+        }
+        self.module.elems.push(ElemSegment {
+            offset: ConstExpr::I32(base as i32),
+            funcs: funcs.iter().map(|f| f.0).collect(),
+        });
+        base
+    }
+
+    /// Sets the start function.
+    pub fn start(&mut self, f: FuncId) -> &mut Self {
+        self.module.start = Some(f.0);
+        self
+    }
+
+    /// Finalizes into a [`Module`].
+    ///
+    /// # Panics
+    /// Panics if a declared function was never defined.
+    pub fn build(mut self) -> Module {
+        self.module.code = self
+            .declared
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("function {i} declared but not defined")))
+            .collect();
+        self.module
+    }
+}
+
+/// Builds the body of a single function.
+pub struct FuncBuilder {
+    params: u32,
+    locals: Vec<(u32, ValType)>,
+    instrs: Vec<Instr>,
+}
+
+impl FuncBuilder {
+    fn new(params: u32) -> FuncBuilder {
+        FuncBuilder { params, locals: Vec::new(), instrs: Vec::new() }
+    }
+
+    fn finish(self) -> FuncBody {
+        FuncBody { locals: self.locals, instrs: self.instrs }
+    }
+
+    /// Declares a new local and returns its index.
+    pub fn local(&mut self, ty: ValType) -> u32 {
+        let idx = self.params + self.locals.iter().map(|(n, _)| n).sum::<u32>();
+        self.locals.push((1, ty));
+        idx
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    // --- Structured control flow -----------------------------------------
+
+    /// `block ... end`.
+    pub fn block(&mut self, bt: BlockType, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.instrs.push(Instr::Block(bt));
+        body(self);
+        self.instrs.push(Instr::End);
+        self
+    }
+
+    /// `loop ... end`.
+    pub fn loop_(&mut self, bt: BlockType, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.instrs.push(Instr::Loop(bt));
+        body(self);
+        self.instrs.push(Instr::End);
+        self
+    }
+
+    /// `if ... end` (condition must already be on the stack).
+    pub fn if_(&mut self, bt: BlockType, then: impl FnOnce(&mut Self)) -> &mut Self {
+        self.instrs.push(Instr::If(bt));
+        then(self);
+        self.instrs.push(Instr::End);
+        self
+    }
+
+    /// `if ... else ... end`.
+    pub fn if_else(
+        &mut self,
+        bt: BlockType,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.instrs.push(Instr::If(bt));
+        then(self);
+        self.instrs.push(Instr::Else);
+        els(self);
+        self.instrs.push(Instr::End);
+        self
+    }
+
+    /// `br depth`.
+    pub fn br(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::Br(depth))
+    }
+
+    /// `br_if depth`.
+    pub fn br_if(&mut self, depth: u32) -> &mut Self {
+        self.emit(Instr::BrIf(depth))
+    }
+
+    /// `return`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Return)
+    }
+
+    /// `call f`.
+    pub fn call(&mut self, f: FuncId) -> &mut Self {
+        self.emit(Instr::Call(f.0))
+    }
+
+    /// `call_indirect (type ty)`.
+    pub fn call_indirect(&mut self, ty: u32) -> &mut Self {
+        self.emit(Instr::CallIndirect(ty))
+    }
+
+    /// `unreachable`.
+    pub fn unreachable(&mut self) -> &mut Self {
+        self.emit(Instr::Unreachable)
+    }
+
+    // --- Constants and variables ------------------------------------------
+
+    /// `i32.const`.
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.emit(Instr::I32Const(v))
+    }
+
+    /// `i64.const`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.emit(Instr::I64Const(v))
+    }
+
+    /// `f64.const`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.emit(Instr::F64Const(v.to_bits()))
+    }
+
+    /// `local.get`.
+    pub fn local_get(&mut self, i: u32) -> &mut Self {
+        self.emit(Instr::LocalGet(i))
+    }
+
+    /// `local.set`.
+    pub fn local_set(&mut self, i: u32) -> &mut Self {
+        self.emit(Instr::LocalSet(i))
+    }
+
+    /// `local.tee`.
+    pub fn local_tee(&mut self, i: u32) -> &mut Self {
+        self.emit(Instr::LocalTee(i))
+    }
+
+    /// `global.get`.
+    pub fn global_get(&mut self, i: u32) -> &mut Self {
+        self.emit(Instr::GlobalGet(i))
+    }
+
+    /// `global.set`.
+    pub fn global_set(&mut self, i: u32) -> &mut Self {
+        self.emit(Instr::GlobalSet(i))
+    }
+
+    /// `drop`.
+    pub fn drop_(&mut self) -> &mut Self {
+        self.emit(Instr::Drop)
+    }
+
+    /// `select`.
+    pub fn select(&mut self) -> &mut Self {
+        self.emit(Instr::Select)
+    }
+
+    // --- Memory -----------------------------------------------------------
+
+    /// `i32.load` with a constant offset.
+    pub fn load32(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Load(LoadKind::I32, MemArg::offset(offset)))
+    }
+
+    /// `i64.load` with a constant offset.
+    pub fn load64(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Load(LoadKind::I64, MemArg::offset(offset)))
+    }
+
+    /// `i32.load8_u` with a constant offset.
+    pub fn load8u(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Load(LoadKind::I32_8U, MemArg::offset(offset)))
+    }
+
+    /// `i32.store` with a constant offset.
+    pub fn store32(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Store(StoreKind::I32, MemArg::offset(offset)))
+    }
+
+    /// `i64.store` with a constant offset.
+    pub fn store64(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Store(StoreKind::I64, MemArg::offset(offset)))
+    }
+
+    /// `i32.store8` with a constant offset.
+    pub fn store8(&mut self, offset: u32) -> &mut Self {
+        self.emit(Instr::Store(StoreKind::I32_8, MemArg::offset(offset)))
+    }
+
+    // --- Common numeric shorthands ----------------------------------------
+
+    /// `i32.add`.
+    pub fn add32(&mut self) -> &mut Self {
+        self.emit(Instr::Bin(crate::instr::BinOp::I32Add))
+    }
+
+    /// `i32.sub`.
+    pub fn sub32(&mut self) -> &mut Self {
+        self.emit(Instr::Bin(crate::instr::BinOp::I32Sub))
+    }
+
+    /// `i32.mul`.
+    pub fn mul32(&mut self) -> &mut Self {
+        self.emit(Instr::Bin(crate::instr::BinOp::I32Mul))
+    }
+
+    /// `i32.and`.
+    pub fn and32(&mut self) -> &mut Self {
+        self.emit(Instr::Bin(crate::instr::BinOp::I32And))
+    }
+
+    /// `i32.eqz`.
+    pub fn eqz32(&mut self) -> &mut Self {
+        self.emit(Instr::Un(crate::instr::UnOp::I32Eqz))
+    }
+
+    /// `i32.eq`.
+    pub fn eq32(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I32Eq))
+    }
+
+    /// `i32.ne`.
+    pub fn ne32(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I32Ne))
+    }
+
+    /// `i32.lt_s`.
+    pub fn lt_s32(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I32LtS))
+    }
+
+    /// `i32.lt_u`.
+    pub fn lt_u32(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I32LtU))
+    }
+
+    /// `i32.ge_s`.
+    pub fn ge_s32(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I32GeS))
+    }
+
+    /// `i64.eq`.
+    pub fn eq64(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I64Eq))
+    }
+
+    /// `i64.add`.
+    pub fn add64(&mut self) -> &mut Self {
+        self.emit(Instr::Bin(crate::instr::BinOp::I64Add))
+    }
+
+    /// `i64.lt_s`.
+    pub fn lt_s64(&mut self) -> &mut Self {
+        self.emit(Instr::Rel(crate::instr::RelOp::I64LtS))
+    }
+
+    /// `i32.wrap_i64`.
+    pub fn wrap(&mut self) -> &mut Self {
+        self.emit(Instr::Cvt(crate::instr::CvtOp::I32WrapI64))
+    }
+
+    /// `i64.extend_i32_s`.
+    pub fn extend_s(&mut self) -> &mut Self {
+        self.emit(Instr::Cvt(crate::instr::CvtOp::I64ExtendI32S))
+    }
+
+    /// `i64.extend_i32_u`.
+    pub fn extend_u(&mut self) -> &mut Self {
+        self.emit(Instr::Cvt(crate::instr::CvtOp::I64ExtendI32U))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::encode::encode;
+    use crate::host::Linker;
+    use crate::interp::{Instance, RunResult, Thread, Value};
+    use crate::prep::Program;
+    use crate::safepoint::SafepointScheme;
+    use std::sync::Arc;
+
+    fn run_main(module: &Module, args: &[Value]) -> RunResult {
+        let linker: Linker<()> = Linker::new();
+        let program =
+            Arc::new(Program::link(module, &linker, SafepointScheme::LoopHeaders).unwrap());
+        let mut inst = Instance::new(program).unwrap();
+        let main = inst.export_func("main").unwrap();
+        let mut t = Thread::new();
+        t.call(&mut inst, &mut (), main, args)
+    }
+
+    #[test]
+    fn builder_produces_runnable_add() {
+        let mut mb = ModuleBuilder::new();
+        let sig = mb.sig([ValType::I32, ValType::I32], [ValType::I32]);
+        let f = mb.func(sig, |b| {
+            b.local_get(0).local_get(1).add32();
+        });
+        mb.export("main", f);
+        let module = mb.build();
+        // Round-trip through the binary format, as the apps do.
+        let module = decode(&encode(&module)).unwrap();
+        match run_main(&module, &[Value::I32(2), Value::I32(40)]) {
+            RunResult::Done(v) => assert_eq!(v, vec![Value::I32(42)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        let mut mb = ModuleBuilder::new();
+        let sig = mb.sig([], [ValType::I32]);
+        let f = mb.func(sig, |b| {
+            let i = b.local(ValType::I32);
+            b.loop_(BlockType::Empty, |b| {
+                b.local_get(i).i32(1).add32().local_set(i);
+                b.local_get(i).i32(10).lt_s32().br_if(0);
+            });
+            b.local_get(i);
+        });
+        mb.export("main", f);
+        let module = mb.build();
+        match run_main(&module, &[]) {
+            RunResult::Done(v) => assert_eq!(v, vec![Value::I32(10)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_cursor_is_aligned_and_monotonic() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.c_str("hi");
+        let b = mb.data(b"xyz");
+        let c = mb.reserve(100);
+        assert_eq!(a, 1024);
+        assert_eq!(b % 8, 0);
+        assert!(b > a && c > b);
+        assert!(mb.data_end() >= c + 100);
+    }
+
+    #[test]
+    fn table_entries_accumulate() {
+        let mut mb = ModuleBuilder::new();
+        let sig = mb.sig([], []);
+        let f = mb.func(sig, |_| {});
+        let g = mb.func(sig, |_| {});
+        let base0 = mb.table_entries(&[f]);
+        let base1 = mb.table_entries(&[g, f]);
+        assert_eq!(base0, 0);
+        assert_eq!(base1, 1);
+        let m = mb.build();
+        assert_eq!(m.tables[0].limits.min, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but not defined")]
+    fn undefined_function_panics() {
+        let mut mb = ModuleBuilder::new();
+        let sig = mb.sig([], []);
+        mb.declare(sig);
+        let _ = mb.build();
+    }
+}

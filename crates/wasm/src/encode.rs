@@ -1,0 +1,693 @@
+//! Binary-format encoder: [`Module`] → bytes.
+//!
+//! Together with [`crate::decode`] this gives a loss-free round trip, which
+//! the property tests exercise; the [`crate::build::ModuleBuilder`] output
+//! always flows through `encode` + `decode` in the app suite so the binary
+//! path is what actually runs.
+
+use crate::instr::{AtomicWidth, BlockType, Instr, LoadKind, MemArg, RmwOp, StoreKind};
+use crate::leb;
+use crate::module::{ConstExpr, ExportDesc, ImportDesc, Module};
+use crate::types::Limits;
+
+/// Encodes a module into the Wasm binary format.
+pub fn encode(m: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(b"\0asm");
+    out.extend_from_slice(&[1, 0, 0, 0]);
+
+    if !m.types.is_empty() {
+        section(&mut out, 1, |s| {
+            leb::write_u32(s, m.types.len() as u32);
+            for t in &m.types {
+                s.push(0x60);
+                leb::write_u32(s, t.params.len() as u32);
+                for p in &t.params {
+                    s.push(p.byte());
+                }
+                leb::write_u32(s, t.results.len() as u32);
+                for r in &t.results {
+                    s.push(r.byte());
+                }
+            }
+        });
+    }
+
+    if !m.imports.is_empty() {
+        section(&mut out, 2, |s| {
+            leb::write_u32(s, m.imports.len() as u32);
+            for i in &m.imports {
+                leb::write_name(s, &i.module);
+                leb::write_name(s, &i.name);
+                match &i.desc {
+                    ImportDesc::Func(t) => {
+                        s.push(0x00);
+                        leb::write_u32(s, *t);
+                    }
+                    ImportDesc::Table(t) => {
+                        s.push(0x01);
+                        s.push(0x70);
+                        limits(s, &t.limits, false);
+                    }
+                    ImportDesc::Memory(t) => {
+                        s.push(0x02);
+                        limits(s, &t.limits, t.shared);
+                    }
+                    ImportDesc::Global(g) => {
+                        s.push(0x03);
+                        s.push(g.ty.byte());
+                        s.push(g.mutable as u8);
+                    }
+                }
+            }
+        });
+    }
+
+    if !m.funcs.is_empty() {
+        section(&mut out, 3, |s| {
+            leb::write_u32(s, m.funcs.len() as u32);
+            for f in &m.funcs {
+                leb::write_u32(s, *f);
+            }
+        });
+    }
+
+    if !m.tables.is_empty() {
+        section(&mut out, 4, |s| {
+            leb::write_u32(s, m.tables.len() as u32);
+            for t in &m.tables {
+                s.push(0x70);
+                limits(s, &t.limits, false);
+            }
+        });
+    }
+
+    if !m.memories.is_empty() {
+        section(&mut out, 5, |s| {
+            leb::write_u32(s, m.memories.len() as u32);
+            for mem in &m.memories {
+                limits(s, &mem.limits, mem.shared);
+            }
+        });
+    }
+
+    if !m.globals.is_empty() {
+        section(&mut out, 6, |s| {
+            leb::write_u32(s, m.globals.len() as u32);
+            for g in &m.globals {
+                s.push(g.ty.ty.byte());
+                s.push(g.ty.mutable as u8);
+                const_expr(s, &g.init);
+            }
+        });
+    }
+
+    if !m.exports.is_empty() {
+        section(&mut out, 7, |s| {
+            leb::write_u32(s, m.exports.len() as u32);
+            for e in &m.exports {
+                leb::write_name(s, &e.name);
+                let (kind, idx) = match e.desc {
+                    ExportDesc::Func(i) => (0x00, i),
+                    ExportDesc::Table(i) => (0x01, i),
+                    ExportDesc::Memory(i) => (0x02, i),
+                    ExportDesc::Global(i) => (0x03, i),
+                };
+                s.push(kind);
+                leb::write_u32(s, idx);
+            }
+        });
+    }
+
+    if let Some(start) = m.start {
+        section(&mut out, 8, |s| leb::write_u32(s, start));
+    }
+
+    if !m.elems.is_empty() {
+        section(&mut out, 9, |s| {
+            leb::write_u32(s, m.elems.len() as u32);
+            for e in &m.elems {
+                leb::write_u32(s, 0);
+                const_expr(s, &e.offset);
+                leb::write_u32(s, e.funcs.len() as u32);
+                for f in &e.funcs {
+                    leb::write_u32(s, *f);
+                }
+            }
+        });
+    }
+
+    if !m.code.is_empty() {
+        section(&mut out, 10, |s| {
+            leb::write_u32(s, m.code.len() as u32);
+            for body in &m.code {
+                let mut b = Vec::new();
+                leb::write_u32(&mut b, body.locals.len() as u32);
+                for (n, t) in &body.locals {
+                    leb::write_u32(&mut b, *n);
+                    b.push(t.byte());
+                }
+                for i in &body.instrs {
+                    instr(&mut b, i);
+                }
+                b.push(0x0b);
+                leb::write_u32(s, b.len() as u32);
+                s.extend_from_slice(&b);
+            }
+        });
+    }
+
+    if !m.datas.is_empty() {
+        section(&mut out, 11, |s| {
+            leb::write_u32(s, m.datas.len() as u32);
+            for d in &m.datas {
+                leb::write_u32(s, 0);
+                const_expr(s, &d.offset);
+                leb::write_u32(s, d.bytes.len() as u32);
+                s.extend_from_slice(&d.bytes);
+            }
+        });
+    }
+
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: u8, f: impl FnOnce(&mut Vec<u8>)) {
+    let mut body = Vec::new();
+    f(&mut body);
+    out.push(id);
+    leb::write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn limits(out: &mut Vec<u8>, l: &Limits, shared: bool) {
+    match (l.max, shared) {
+        (None, _) => {
+            out.push(0x00);
+            leb::write_u32(out, l.min);
+        }
+        (Some(max), false) => {
+            out.push(0x01);
+            leb::write_u32(out, l.min);
+            leb::write_u32(out, max);
+        }
+        (Some(max), true) => {
+            out.push(0x03);
+            leb::write_u32(out, l.min);
+            leb::write_u32(out, max);
+        }
+    }
+}
+
+fn const_expr(out: &mut Vec<u8>, e: &ConstExpr) {
+    match e {
+        ConstExpr::I32(v) => {
+            out.push(0x41);
+            leb::write_i32(out, *v);
+        }
+        ConstExpr::I64(v) => {
+            out.push(0x42);
+            leb::write_i64(out, *v);
+        }
+        ConstExpr::F32(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ConstExpr::F64(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ConstExpr::GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, *i);
+        }
+        ConstExpr::RefNull => {
+            out.push(0xd0);
+            out.push(0x70);
+        }
+        ConstExpr::RefFunc(i) => {
+            out.push(0xd2);
+            leb::write_u32(out, *i);
+        }
+    }
+    out.push(0x0b);
+}
+
+fn memarg(out: &mut Vec<u8>, a: &MemArg) {
+    leb::write_u32(out, a.align);
+    leb::write_u32(out, a.offset);
+}
+
+fn block_type(out: &mut Vec<u8>, bt: &BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.byte()),
+        BlockType::Func(i) => {
+            assert!(*i < 64, "block type index must fit a single SLEB byte");
+            out.push(*i as u8);
+        }
+    }
+}
+
+/// Encodes a single instruction.
+pub fn instr(out: &mut Vec<u8>, i: &Instr) {
+    match i {
+        Instr::Unreachable => out.push(0x00),
+        Instr::Nop => out.push(0x01),
+        Instr::Block(bt) => {
+            out.push(0x02);
+            block_type(out, bt);
+        }
+        Instr::Loop(bt) => {
+            out.push(0x03);
+            block_type(out, bt);
+        }
+        Instr::If(bt) => {
+            out.push(0x04);
+            block_type(out, bt);
+        }
+        Instr::Else => out.push(0x05),
+        Instr::End => out.push(0x0b),
+        Instr::Br(l) => {
+            out.push(0x0c);
+            leb::write_u32(out, *l);
+        }
+        Instr::BrIf(l) => {
+            out.push(0x0d);
+            leb::write_u32(out, *l);
+        }
+        Instr::BrTable(targets, default) => {
+            out.push(0x0e);
+            leb::write_u32(out, targets.len() as u32);
+            for t in targets.iter() {
+                leb::write_u32(out, *t);
+            }
+            leb::write_u32(out, *default);
+        }
+        Instr::Return => out.push(0x0f),
+        Instr::Call(f) => {
+            out.push(0x10);
+            leb::write_u32(out, *f);
+        }
+        Instr::CallIndirect(t) => {
+            out.push(0x11);
+            leb::write_u32(out, *t);
+            leb::write_u32(out, 0);
+        }
+        Instr::Drop => out.push(0x1a),
+        Instr::Select => out.push(0x1b),
+        Instr::LocalGet(i) => {
+            out.push(0x20);
+            leb::write_u32(out, *i);
+        }
+        Instr::LocalSet(i) => {
+            out.push(0x21);
+            leb::write_u32(out, *i);
+        }
+        Instr::LocalTee(i) => {
+            out.push(0x22);
+            leb::write_u32(out, *i);
+        }
+        Instr::GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, *i);
+        }
+        Instr::GlobalSet(i) => {
+            out.push(0x24);
+            leb::write_u32(out, *i);
+        }
+        Instr::Load(kind, a) => {
+            let op = match kind {
+                LoadKind::I32 => 0x28,
+                LoadKind::I64 => 0x29,
+                LoadKind::F32 => 0x2a,
+                LoadKind::F64 => 0x2b,
+                LoadKind::I32_8S => 0x2c,
+                LoadKind::I32_8U => 0x2d,
+                LoadKind::I32_16S => 0x2e,
+                LoadKind::I32_16U => 0x2f,
+                LoadKind::I64_8S => 0x30,
+                LoadKind::I64_8U => 0x31,
+                LoadKind::I64_16S => 0x32,
+                LoadKind::I64_16U => 0x33,
+                LoadKind::I64_32S => 0x34,
+                LoadKind::I64_32U => 0x35,
+            };
+            out.push(op);
+            memarg(out, a);
+        }
+        Instr::Store(kind, a) => {
+            let op = match kind {
+                StoreKind::I32 => 0x36,
+                StoreKind::I64 => 0x37,
+                StoreKind::F32 => 0x38,
+                StoreKind::F64 => 0x39,
+                StoreKind::I32_8 => 0x3a,
+                StoreKind::I32_16 => 0x3b,
+                StoreKind::I64_8 => 0x3c,
+                StoreKind::I64_16 => 0x3d,
+                StoreKind::I64_32 => 0x3e,
+            };
+            out.push(op);
+            memarg(out, a);
+        }
+        Instr::MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        Instr::MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        Instr::MemoryCopy => {
+            out.push(0xfc);
+            leb::write_u32(out, 10);
+            out.push(0x00);
+            out.push(0x00);
+        }
+        Instr::MemoryFill => {
+            out.push(0xfc);
+            leb::write_u32(out, 11);
+            out.push(0x00);
+        }
+        Instr::I32Const(v) => {
+            out.push(0x41);
+            leb::write_i32(out, *v);
+        }
+        Instr::I64Const(v) => {
+            out.push(0x42);
+            leb::write_i64(out, *v);
+        }
+        Instr::F32Const(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        Instr::F64Const(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        Instr::Un(op) => out.push(unop_byte(*op)),
+        Instr::Bin(op) => out.push(binop_byte(*op)),
+        Instr::Rel(op) => out.push(relop_byte(*op)),
+        Instr::Cvt(op) => out.push(cvtop_byte(*op)),
+        Instr::AtomicNotify(a) => atomic(out, 0x00, Some(a)),
+        Instr::AtomicWait32(a) => atomic(out, 0x01, Some(a)),
+        Instr::AtomicFence => {
+            out.push(0xfe);
+            leb::write_u32(out, 0x03);
+            out.push(0x00);
+        }
+        Instr::AtomicLoad(w, a) => {
+            let sub = match w {
+                AtomicWidth::I32 => 0x10,
+                AtomicWidth::I64 => 0x11,
+            };
+            atomic(out, sub, Some(a));
+        }
+        Instr::AtomicStore(w, a) => {
+            let sub = match w {
+                AtomicWidth::I32 => 0x17,
+                AtomicWidth::I64 => 0x18,
+            };
+            atomic(out, sub, Some(a));
+        }
+        Instr::AtomicRmw(op, a) => {
+            let sub = match op {
+                RmwOp::Add => 0x1e,
+                RmwOp::Sub => 0x25,
+                RmwOp::And => 0x2c,
+                RmwOp::Or => 0x33,
+                RmwOp::Xor => 0x3a,
+                RmwOp::Xchg => 0x41,
+            };
+            atomic(out, sub, Some(a));
+        }
+        Instr::AtomicCmpxchg(a) => atomic(out, 0x48, Some(a)),
+    }
+}
+
+fn atomic(out: &mut Vec<u8>, sub: u32, a: Option<&MemArg>) {
+    out.push(0xfe);
+    leb::write_u32(out, sub);
+    if let Some(a) = a {
+        memarg(out, a);
+    }
+}
+
+fn unop_byte(op: crate::instr::UnOp) -> u8 {
+    use crate::instr::UnOp::*;
+    match op {
+        I32Eqz => 0x45,
+        I64Eqz => 0x50,
+        I32Clz => 0x67,
+        I32Ctz => 0x68,
+        I32Popcnt => 0x69,
+        I64Clz => 0x79,
+        I64Ctz => 0x7a,
+        I64Popcnt => 0x7b,
+        F32Abs => 0x8b,
+        F32Neg => 0x8c,
+        F32Ceil => 0x8d,
+        F32Floor => 0x8e,
+        F32Trunc => 0x8f,
+        F32Nearest => 0x90,
+        F32Sqrt => 0x91,
+        F64Abs => 0x99,
+        F64Neg => 0x9a,
+        F64Ceil => 0x9b,
+        F64Floor => 0x9c,
+        F64Trunc => 0x9d,
+        F64Nearest => 0x9e,
+        F64Sqrt => 0x9f,
+        I32Extend8S => 0xc0,
+        I32Extend16S => 0xc1,
+        I64Extend8S => 0xc2,
+        I64Extend16S => 0xc3,
+        I64Extend32S => 0xc4,
+    }
+}
+
+fn binop_byte(op: crate::instr::BinOp) -> u8 {
+    use crate::instr::BinOp::*;
+    match op {
+        I32Add => 0x6a,
+        I32Sub => 0x6b,
+        I32Mul => 0x6c,
+        I32DivS => 0x6d,
+        I32DivU => 0x6e,
+        I32RemS => 0x6f,
+        I32RemU => 0x70,
+        I32And => 0x71,
+        I32Or => 0x72,
+        I32Xor => 0x73,
+        I32Shl => 0x74,
+        I32ShrS => 0x75,
+        I32ShrU => 0x76,
+        I32Rotl => 0x77,
+        I32Rotr => 0x78,
+        I64Add => 0x7c,
+        I64Sub => 0x7d,
+        I64Mul => 0x7e,
+        I64DivS => 0x7f,
+        I64DivU => 0x80,
+        I64RemS => 0x81,
+        I64RemU => 0x82,
+        I64And => 0x83,
+        I64Or => 0x84,
+        I64Xor => 0x85,
+        I64Shl => 0x86,
+        I64ShrS => 0x87,
+        I64ShrU => 0x88,
+        I64Rotl => 0x89,
+        I64Rotr => 0x8a,
+        F32Add => 0x92,
+        F32Sub => 0x93,
+        F32Mul => 0x94,
+        F32Div => 0x95,
+        F32Min => 0x96,
+        F32Max => 0x97,
+        F32Copysign => 0x98,
+        F64Add => 0xa0,
+        F64Sub => 0xa1,
+        F64Mul => 0xa2,
+        F64Div => 0xa3,
+        F64Min => 0xa4,
+        F64Max => 0xa5,
+        F64Copysign => 0xa6,
+    }
+}
+
+fn relop_byte(op: crate::instr::RelOp) -> u8 {
+    use crate::instr::RelOp::*;
+    match op {
+        I32Eq => 0x46,
+        I32Ne => 0x47,
+        I32LtS => 0x48,
+        I32LtU => 0x49,
+        I32GtS => 0x4a,
+        I32GtU => 0x4b,
+        I32LeS => 0x4c,
+        I32LeU => 0x4d,
+        I32GeS => 0x4e,
+        I32GeU => 0x4f,
+        I64Eq => 0x51,
+        I64Ne => 0x52,
+        I64LtS => 0x53,
+        I64LtU => 0x54,
+        I64GtS => 0x55,
+        I64GtU => 0x56,
+        I64LeS => 0x57,
+        I64LeU => 0x58,
+        I64GeS => 0x59,
+        I64GeU => 0x5a,
+        F32Eq => 0x5b,
+        F32Ne => 0x5c,
+        F32Lt => 0x5d,
+        F32Gt => 0x5e,
+        F32Le => 0x5f,
+        F32Ge => 0x60,
+        F64Eq => 0x61,
+        F64Ne => 0x62,
+        F64Lt => 0x63,
+        F64Gt => 0x64,
+        F64Le => 0x65,
+        F64Ge => 0x66,
+    }
+}
+
+fn cvtop_byte(op: crate::instr::CvtOp) -> u8 {
+    use crate::instr::CvtOp::*;
+    match op {
+        I32WrapI64 => 0xa7,
+        I32TruncF32S => 0xa8,
+        I32TruncF32U => 0xa9,
+        I32TruncF64S => 0xaa,
+        I32TruncF64U => 0xab,
+        I64ExtendI32S => 0xac,
+        I64ExtendI32U => 0xad,
+        I64TruncF32S => 0xae,
+        I64TruncF32U => 0xaf,
+        I64TruncF64S => 0xb0,
+        I64TruncF64U => 0xb1,
+        F32ConvertI32S => 0xb2,
+        F32ConvertI32U => 0xb3,
+        F32ConvertI64S => 0xb4,
+        F32ConvertI64U => 0xb5,
+        F32DemoteF64 => 0xb6,
+        F64ConvertI32S => 0xb7,
+        F64ConvertI32U => 0xb8,
+        F64ConvertI64S => 0xb9,
+        F64ConvertI64U => 0xba,
+        F64PromoteF32 => 0xbb,
+        I32ReinterpretF32 => 0xbc,
+        I64ReinterpretF64 => 0xbd,
+        F32ReinterpretI32 => 0xbe,
+        F64ReinterpretI64 => 0xbf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::instr::{BinOp, UnOp};
+    use crate::module::{Export, FuncBody, Global, Import};
+    use crate::types::{FuncType, GlobalType, MemoryType, ValType};
+
+    fn sample_module() -> Module {
+        Module {
+            types: vec![
+                FuncType::new([ValType::I32, ValType::I32], [ValType::I32]),
+                FuncType::new([], []),
+            ],
+            imports: vec![Import {
+                module: "wali".into(),
+                name: "SYS_getpid".into(),
+                desc: ImportDesc::Func(1),
+            }],
+            funcs: vec![0],
+            memories: vec![MemoryType {
+                limits: Limits { min: 1, max: Some(16) },
+                shared: false,
+            }],
+            globals: vec![Global {
+                ty: GlobalType { ty: ValType::I64, mutable: true },
+                init: ConstExpr::I64(-7),
+            }],
+            exports: vec![Export { name: "add".into(), desc: ExportDesc::Func(1) }],
+            datas: vec![crate::module::DataSegment {
+                offset: ConstExpr::I32(8),
+                bytes: b"hello".to_vec(),
+            }],
+            code: vec![FuncBody {
+                locals: vec![(1, ValType::I64)],
+                instrs: vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(1),
+                    Instr::Bin(BinOp::I32Add),
+                    Instr::Un(UnOp::I32Eqz),
+                    Instr::If(BlockType::Value(ValType::I32)),
+                    Instr::I32Const(1),
+                    Instr::Else,
+                    Instr::I32Const(0),
+                    Instr::End,
+                ],
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_sample_module() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_numeric_ops_round_trip() {
+        use crate::instr::{CvtOp, RelOp};
+        // One representative per dense range boundary plus extremes.
+        let instrs = vec![
+            Instr::Un(UnOp::I32Eqz),
+            Instr::Un(UnOp::I64Extend32S),
+            Instr::Bin(BinOp::I32Add),
+            Instr::Bin(BinOp::F64Copysign),
+            Instr::Rel(RelOp::I32Eq),
+            Instr::Rel(RelOp::F64Ge),
+            Instr::Cvt(CvtOp::I32WrapI64),
+            Instr::Cvt(CvtOp::F64ReinterpretI64),
+            Instr::I64Const(i64::MIN),
+            Instr::F32Const(f32::NAN.to_bits()),
+            Instr::F64Const(f64::NEG_INFINITY.to_bits()),
+            Instr::MemoryCopy,
+            Instr::MemoryFill,
+            Instr::AtomicRmw(RmwOp::Xchg, MemArg { align: 2, offset: 4 }),
+            Instr::AtomicCmpxchg(MemArg { align: 2, offset: 0 }),
+            Instr::AtomicWait32(MemArg { align: 2, offset: 0 }),
+            Instr::AtomicFence,
+        ];
+        let mut buf = Vec::new();
+        for i in &instrs {
+            instr(&mut buf, i);
+        }
+        buf.push(0x0b);
+        let mut r = crate::leb::Reader::new(&buf);
+        let back = crate::decode::decode_expr(&mut r).unwrap();
+        assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn shared_memory_flag_round_trips() {
+        let m = Module {
+            memories: vec![MemoryType {
+                limits: Limits { min: 2, max: Some(4) },
+                shared: true,
+            }],
+            ..Default::default()
+        };
+        let back = decode(&encode(&m)).unwrap();
+        assert!(back.memories[0].shared);
+    }
+}

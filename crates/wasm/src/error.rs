@@ -1,0 +1,132 @@
+//! Engine error and trap types.
+
+use core::fmt;
+
+/// An error while decoding a binary module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-construct.
+    UnexpectedEof,
+    /// Bad magic number or version.
+    BadHeader,
+    /// LEB128 integer used more bytes than its width allows.
+    IntegerTooLong,
+    /// LEB128 integer value exceeds its declared width.
+    IntegerTooLarge,
+    /// A name was not valid UTF-8.
+    InvalidUtf8,
+    /// Unknown or unsupported opcode byte(s).
+    UnknownOpcode(u32),
+    /// Unknown section id.
+    UnknownSection(u8),
+    /// Sections out of order or duplicated.
+    SectionOrder(u8),
+    /// A section's declared size did not match its content.
+    SectionSize,
+    /// An index or count was malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadHeader => write!(f, "bad wasm magic or version"),
+            DecodeError::IntegerTooLong => write!(f, "LEB128 integer too long"),
+            DecodeError::IntegerTooLarge => write!(f, "LEB128 integer too large"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in name"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:x}"),
+            DecodeError::UnknownSection(id) => write!(f, "unknown section id {id}"),
+            DecodeError::SectionOrder(id) => write!(f, "section {id} out of order"),
+            DecodeError::SectionSize => write!(f, "section size mismatch"),
+            DecodeError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An error found by the validator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function index the error occurred in, if any.
+    pub func: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ValidateError {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        ValidateError { func: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(i) => write!(f, "validation error in func {i}: {}", self.message),
+            None => write!(f, "validation error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A runtime trap.
+///
+/// Traps are the Wasm-level analogue of synchronous signals: the paper maps
+/// hardware faults (SIGSEGV, SIGFPE, …) onto engine traps (§3.3), and WALI
+/// adds interface traps such as [`Trap::Forbidden`] for `sigreturn` (§3.6)
+/// and [`Trap::Nosys`] for name-bound calls the platform cannot attempt
+/// (§3.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// `unreachable` executed.
+    Unreachable,
+    /// Linear-memory access out of bounds (the SIGSEGV analogue).
+    MemoryOutOfBounds,
+    /// Table access out of bounds.
+    TableOutOfBounds,
+    /// `call_indirect` on a null table entry.
+    UninitializedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// Integer division by zero (the SIGFPE analogue).
+    DivisionByZero,
+    /// `INT_MIN / -1` style overflow (also SIGFPE).
+    IntegerOverflow,
+    /// Float-to-int conversion out of range.
+    InvalidConversion,
+    /// Wasm call stack exhausted.
+    StackOverflow,
+    /// The embedder aborted execution.
+    Aborted,
+    /// A WALI syscall that this platform cannot faithfully attempt.
+    Nosys(&'static str),
+    /// A syscall forbidden by the WALI security model (e.g. `sigreturn`).
+    Forbidden(&'static str),
+    /// Host-defined trap with a message.
+    Host(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::MemoryOutOfBounds => write!(f, "out-of-bounds memory access"),
+            Trap::TableOutOfBounds => write!(f, "out-of-bounds table access"),
+            Trap::UninitializedElement => write!(f, "uninitialized table element"),
+            Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::DivisionByZero => write!(f, "integer division by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversion => write!(f, "invalid float-to-int conversion"),
+            Trap::StackOverflow => write!(f, "call stack exhausted"),
+            Trap::Aborted => write!(f, "execution aborted"),
+            Trap::Nosys(name) => write!(f, "syscall {name} not supported on this platform"),
+            Trap::Forbidden(name) => write!(f, "syscall {name} forbidden by WALI"),
+            Trap::Host(m) => write!(f, "host trap: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

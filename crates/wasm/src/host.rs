@@ -1,0 +1,181 @@
+//! Host-function linking — the extension point kernel interfaces plug into.
+//!
+//! A [`Linker`] maps `(module, name)` import pairs to host closures. WALI
+//! registers ~150 `("wali", "SYS_*")` functions; WASI-over-WALI registers
+//! `("wasi_snapshot_preview1", *)` functions that are themselves written
+//! against WALI. The generic parameter `T` is the embedder context (e.g.
+//! `wali::WaliContext`) threaded into every host call.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::Trap;
+use crate::interp::{Instance, Value};
+
+/// Why a host function did not return values.
+pub enum HostOutcome {
+    /// Trap the calling Wasm thread.
+    Trap(Trap),
+    /// Suspend execution and hand the resumable thread to the embedder.
+    ///
+    /// WALI uses this for control-transferring syscalls: `fork` (snapshot
+    /// and resume both sides), `execve` (replace the program), thread
+    /// `clone` (spawn an instance-per-thread sibling) and `exit`.
+    Suspend(Suspension),
+}
+
+impl From<Trap> for HostOutcome {
+    fn from(t: Trap) -> Self {
+        HostOutcome::Trap(t)
+    }
+}
+
+/// An opaque embedder-defined suspension payload.
+pub struct Suspension(pub Box<dyn Any + Send>);
+
+impl Suspension {
+    /// Wraps a payload.
+    pub fn new<P: Any + Send>(payload: P) -> Self {
+        Suspension(Box::new(payload))
+    }
+
+    /// Attempts to downcast the payload.
+    pub fn downcast<P: Any>(self) -> Result<Box<P>, Suspension> {
+        self.0.downcast::<P>().map_err(Suspension)
+    }
+}
+
+/// The view a host function gets of the running instance.
+pub struct Caller<'a, T> {
+    /// The instance that performed the call (memory, table, exports).
+    pub instance: &'a Instance<T>,
+    /// Embedder context.
+    pub data: &'a mut T,
+}
+
+impl<'a, T> Caller<'a, T> {
+    /// Shorthand for the instance's linear memory.
+    pub fn memory(&self) -> &crate::mem::Memory {
+        &self.instance.memory
+    }
+}
+
+/// Signature of a host function.
+pub type HostFn<T> =
+    Arc<dyn Fn(&mut Caller<'_, T>, &[Value]) -> Result<Vec<Value>, HostOutcome> + Send + Sync>;
+
+/// A pending re-entrant call requested at a safepoint (signal delivery).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingCall {
+    /// Function index (combined space) to invoke.
+    pub func: u32,
+    /// Arguments to pass.
+    pub args: Vec<Value>,
+}
+
+/// Embedder context hooks the interpreter consults during execution.
+pub trait HostCtx {
+    /// Polled at compiler-inserted safepoints and after host calls return
+    /// (the syscall-exit delivery point, as on Linux); returning a call
+    /// makes the interpreter execute it re-entrantly before continuing
+    /// (§3.3 signal handler execution).
+    fn poll_signal(&mut self) -> Option<PendingCall> {
+        None
+    }
+
+    /// Checked at the same points as [`HostCtx::poll_signal`]; returning a
+    /// trap aborts the thread (fatal-signal kill).
+    fn check_abort(&mut self) -> Option<Trap> {
+        None
+    }
+
+    /// Called when a frame injected by [`HostCtx::poll_signal`] returns,
+    /// so the embedder can restore the pre-handler signal mask.
+    fn signal_return(&mut self) {}
+}
+
+impl HostCtx for () {}
+
+/// Registry of host functions keyed by `(module, name)`.
+pub struct Linker<T> {
+    funcs: HashMap<(String, String), HostFn<T>>,
+}
+
+impl<T> Default for Linker<T> {
+    fn default() -> Self {
+        Linker { funcs: HashMap::new() }
+    }
+}
+
+impl<T> Clone for Linker<T> {
+    fn clone(&self) -> Self {
+        Linker { funcs: self.funcs.clone() }
+    }
+}
+
+impl<T> Linker<T> {
+    /// Creates an empty linker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a host function under `(module, name)`.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        f: impl Fn(&mut Caller<'_, T>, &[Value]) -> Result<Vec<Value>, HostOutcome>
+            + Send
+            + Sync
+            + 'static,
+    ) -> &mut Self {
+        self.funcs.insert((module.to_string(), name.to_string()), Arc::new(f));
+        self
+    }
+
+    /// Looks up a registered function.
+    pub fn resolve(&self, module: &str, name: &str) -> Option<&HostFn<T>> {
+        self.funcs.get(&(module.to_string(), name.to_string()))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over registered `(module, name)` pairs.
+    pub fn names(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.funcs.keys().map(|(m, n)| (m.as_str(), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linker_registers_and_resolves() {
+        let mut l: Linker<()> = Linker::new();
+        l.func("wali", "SYS_getpid", |_, _| Ok(vec![Value::I64(42)]));
+        assert!(l.resolve("wali", "SYS_getpid").is_some());
+        assert!(l.resolve("wali", "SYS_nope").is_none());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn suspension_downcasts() {
+        #[derive(Debug, PartialEq)]
+        struct Payload(u32);
+        let s = Suspension::new(Payload(7));
+        assert_eq!(*s.downcast::<Payload>().ok().unwrap(), Payload(7));
+
+        let s = Suspension::new(Payload(7));
+        assert!(s.downcast::<String>().is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! LEB128 variable-length integer encoding, as used by the Wasm binary
+//! format.
+
+use crate::error::DecodeError;
+
+/// A bounds-checked reader over a byte buffer with LEB128 primitives.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when all bytes have been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEof)?;
+        let s = self.buf.get(self.pos..end).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads an unsigned LEB128 value of at most 32 bits.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let v = self.uleb(32)?;
+        Ok(v as u32)
+    }
+
+    /// Reads an unsigned LEB128 value of at most 64 bits.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        self.uleb(64)
+    }
+
+    /// Reads a signed LEB128 value of at most 32 bits.
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let v = self.sleb(32)?;
+        Ok(v as i32)
+    }
+
+    /// Reads a signed LEB128 value of at most 64 bits.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.sleb(64)
+    }
+
+    /// Reads a little-endian IEEE-754 f32 bit pattern.
+    pub fn f32_bits(&mut self) -> Result<u32, DecodeError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian IEEE-754 f64 bit pattern.
+    pub fn f64_bits(&mut self) -> Result<u64, DecodeError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 name.
+    pub fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    fn uleb(&mut self, bits: u32) -> Result<u64, DecodeError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= bits {
+                return Err(DecodeError::IntegerTooLong);
+            }
+            let payload = (byte & 0x7f) as u64;
+            // Reject set bits beyond the requested width.
+            if shift + 7 > bits && payload >> (bits - shift) != 0 {
+                return Err(DecodeError::IntegerTooLarge);
+            }
+            result |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    fn sleb(&mut self, bits: u32) -> Result<i64, DecodeError> {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= bits {
+                return Err(DecodeError::IntegerTooLong);
+            }
+            result |= (((byte & 0x7f) as i64) << shift) as i64;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                // Sign-extend from the last payload bit.
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                // Width check: the value must fit in `bits`.
+                if bits < 64 {
+                    let min = -(1i64 << (bits - 1));
+                    let max = (1i64 << (bits - 1)) - 1;
+                    if result < min || result > max {
+                        return Err(DecodeError::IntegerTooLarge);
+                    }
+                }
+                return Ok(result);
+            }
+        }
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of `v` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    write_u64(out, v as u64);
+}
+
+/// Appends an unsigned LEB128 encoding of `v` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `v` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, v: i32) {
+    write_i64(out, v as i64);
+}
+
+/// Appends a signed LEB128 encoding of `v` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let done = (v == 0 && byte & 0x40 == 0) || (v == -1 && byte & 0x40 != 0);
+        if done {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed UTF-8 name to `out`.
+pub fn write_name(out: &mut Vec<u8>, name: &str) {
+    write_u32(out, name.len() as u32);
+    out.extend_from_slice(name.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unsigned_round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(Reader::new(&buf).u64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip_edges() {
+        for v in [0i64, 1, -1, 63, 64, -64, -65, i32::MIN as i64, i32::MAX as i64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(Reader::new(&buf).i64().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn u32_rejects_overwide_encoding() {
+        // 2^32 encoded as u64-style LEB must not decode as u32.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1u64 << 32);
+        assert!(Reader::new(&buf).u32().is_err());
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        assert!(matches!(Reader::new(&[0x80]).u32(), Err(DecodeError::UnexpectedEof)));
+        assert!(matches!(Reader::new(&[]).byte(), Err(DecodeError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut buf = Vec::new();
+        write_name(&mut buf, "SYS_mmap");
+        assert_eq!(Reader::new(&buf).name().unwrap(), "SYS_mmap");
+    }
+
+    #[test]
+    fn invalid_utf8_name_rejected() {
+        let buf = [2u8, 0xff, 0xfe];
+        assert!(matches!(Reader::new(&buf).name(), Err(DecodeError::InvalidUtf8)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_round_trips(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            prop_assert_eq!(Reader::new(&buf).u64().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_i64_round_trips(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            prop_assert_eq!(Reader::new(&buf).i64().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_i32_round_trips(v in any::<i32>()) {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            prop_assert_eq!(Reader::new(&buf).i32().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_encoding_is_minimal_for_u32(v in any::<u32>()) {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            // ceil(bits/7) bytes, minimum 1.
+            let expected = ((32 - v.leading_zeros()).max(1) as usize).div_ceil(7);
+            prop_assert_eq!(buf.len(), expected);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Linear memory with up-front reservation for thread sharing.
+//!
+//! Instance-per-thread execution (paper §3.1) shares one linear memory
+//! between several instances running on different host threads. To make
+//! that sound without locking every access, [`Memory`] allocates its
+//! *maximum* size once at creation and never relocates; `memory.grow` only
+//! moves the current-length watermark. Plain loads/stores are then racy
+//! byte accesses into a stable allocation — the Wasm threads memory model —
+//! while `grow` and the atomics use real atomic operations.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::error::Trap;
+use crate::PAGE_SIZE;
+
+/// Default maximum (in pages) when a memory declares no maximum: 1024
+/// pages = 64 MiB, a deliberate cap so reservation stays cheap.
+pub const DEFAULT_MAX_PAGES: u32 = 1024;
+
+/// A Wasm linear memory.
+pub struct Memory {
+    /// Backing buffer, sized to `max_pages` once and never reallocated.
+    buf: UnsafeCell<Box<[u8]>>,
+    /// Current size in pages; grows monotonically up to `max_pages`.
+    cur_pages: AtomicU32,
+    /// Peak observed size in pages (for memory-usage experiments).
+    peak_pages: AtomicU32,
+    max_pages: u32,
+}
+
+// SAFETY: All access to `buf` is bounds-checked against `cur_pages * 64Ki`,
+// and the buffer is allocated at maximum size up front, so concurrent
+// loads/stores never read outside the allocation and `grow` never moves it.
+// Plain (non-atomic) concurrent accesses may race, which is exactly the
+// semantics Wasm shared memories give to unsynchronized accesses (the
+// value read is *some* byte-level interleaving, never UB at the Wasm
+// level); the host-level data race is confined to `u8` reads/writes via
+// raw pointers, never references with aliasing guarantees.
+unsafe impl Sync for Memory {}
+// SAFETY: See `Sync` above; ownership transfer adds no additional hazard.
+unsafe impl Send for Memory {}
+
+impl Memory {
+    /// Creates a memory with `min` pages, reserving `max` (or
+    /// [`DEFAULT_MAX_PAGES`]) up front.
+    pub fn new(min: u32, max: Option<u32>) -> Memory {
+        let max_pages = max.unwrap_or(DEFAULT_MAX_PAGES).max(min);
+        let bytes = max_pages as usize * PAGE_SIZE;
+        Memory {
+            buf: UnsafeCell::new(vec![0u8; bytes].into_boxed_slice()),
+            cur_pages: AtomicU32::new(min),
+            peak_pages: AtomicU32::new(min),
+            max_pages,
+        }
+    }
+
+    /// Current size in pages.
+    #[inline]
+    pub fn pages(&self) -> u32 {
+        self.cur_pages.load(Ordering::Acquire)
+    }
+
+    /// Peak size in pages over the memory's lifetime.
+    pub fn peak_pages(&self) -> u32 {
+        self.peak_pages.load(Ordering::Relaxed)
+    }
+
+    /// Declared maximum in pages.
+    pub fn max_pages(&self) -> u32 {
+        self.max_pages
+    }
+
+    /// Current size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.pages() as usize * PAGE_SIZE
+    }
+
+    /// Grows by `delta` pages; returns the previous page count or -1,
+    /// exactly like `memory.grow`.
+    pub fn grow(&self, delta: u32) -> i32 {
+        loop {
+            let cur = self.cur_pages.load(Ordering::Acquire);
+            let next = match cur.checked_add(delta) {
+                Some(n) if n <= self.max_pages => n,
+                _ => return -1,
+            };
+            if self
+                .cur_pages
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.peak_pages.fetch_max(next, Ordering::Relaxed);
+                return cur as i32;
+            }
+        }
+    }
+
+    #[inline]
+    fn ptr(&self) -> *mut u8 {
+        // SAFETY: We only produce a raw pointer here; all dereferences are
+        // bounds-checked by the callers below.
+        unsafe { (*self.buf.get()).as_mut_ptr() }
+    }
+
+    /// Deep-copies the memory (fork semantics: same limits, same bytes,
+    /// independent buffer).
+    pub fn deep_clone(&self) -> Memory {
+        let new = Memory::new(self.pages(), Some(self.max_pages));
+        let len = self.size();
+        // SAFETY: Both buffers are at least `len` bytes (same page count,
+        // maxima allocated up front) and do not overlap.
+        unsafe {
+            core::ptr::copy_nonoverlapping(self.ptr(), new.ptr(), len);
+        }
+        new.peak_pages.store(self.peak_pages(), Ordering::Relaxed);
+        new
+    }
+
+    /// Checks that `[addr, addr+len)` is in bounds.
+    #[inline]
+    pub fn check(&self, addr: u64, len: u64) -> Result<usize, Trap> {
+        let end = addr.checked_add(len).ok_or(Trap::MemoryOutOfBounds)?;
+        if end > self.size() as u64 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads `N` bytes at `addr`.
+    #[inline]
+    pub fn load<const N: usize>(&self, addr: u64) -> Result<[u8; N], Trap> {
+        let off = self.check(addr, N as u64)?;
+        let mut out = [0u8; N];
+        // SAFETY: `check` guarantees `off + N <= size <= allocation`.
+        unsafe {
+            core::ptr::copy_nonoverlapping(self.ptr().add(off), out.as_mut_ptr(), N);
+        }
+        Ok(out)
+    }
+
+    /// Writes `N` bytes at `addr`.
+    #[inline]
+    pub fn store<const N: usize>(&self, addr: u64, val: [u8; N]) -> Result<(), Trap> {
+        let off = self.check(addr, N as u64)?;
+        // SAFETY: `check` guarantees `off + N <= size <= allocation`.
+        unsafe {
+            core::ptr::copy_nonoverlapping(val.as_ptr(), self.ptr().add(off), N);
+        }
+        Ok(())
+    }
+
+    /// Copies a byte range out of memory.
+    pub fn read(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        let off = self.check(addr, len as u64)?;
+        let mut out = vec![0u8; len];
+        // SAFETY: Bounds checked above.
+        unsafe {
+            core::ptr::copy_nonoverlapping(self.ptr().add(off), out.as_mut_ptr(), len);
+        }
+        Ok(out)
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    pub fn write(&self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        let off = self.check(addr, bytes.len() as u64)?;
+        // SAFETY: Bounds checked above.
+        unsafe {
+            core::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr().add(off), bytes.len());
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over the byte range as a shared slice (zero-copy reads).
+    ///
+    /// This is the zero-copy fast path WALI uses for I/O syscalls (§3.2).
+    pub fn with_slice<R>(&self, addr: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R, Trap> {
+        let off = self.check(addr, len as u64)?;
+        // SAFETY: Bounds checked; concurrent writers may race but byte
+        // reads remain valid (shared-memory semantics).
+        let slice = unsafe { core::slice::from_raw_parts(self.ptr().add(off), len) };
+        Ok(f(slice))
+    }
+
+    /// Runs `f` over the byte range as a mutable slice (zero-copy writes).
+    pub fn with_slice_mut<R>(
+        &self,
+        addr: u64,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, Trap> {
+        let off = self.check(addr, len as u64)?;
+        // SAFETY: Bounds checked; exclusivity is not required under the
+        // shared-memory model (racy writes are program bugs, not UB at the
+        // byte level).
+        let slice = unsafe { core::slice::from_raw_parts_mut(self.ptr().add(off), len) };
+        Ok(f(slice))
+    }
+
+    /// `memory.fill`.
+    pub fn fill(&self, addr: u64, val: u8, len: u64) -> Result<(), Trap> {
+        let off = self.check(addr, len)?;
+        // SAFETY: Bounds checked above.
+        unsafe {
+            core::ptr::write_bytes(self.ptr().add(off), val, len as usize);
+        }
+        Ok(())
+    }
+
+    /// `memory.copy` (overlap-safe).
+    pub fn copy_within(&self, dst: u64, src: u64, len: u64) -> Result<(), Trap> {
+        let d = self.check(dst, len)?;
+        let s = self.check(src, len)?;
+        // SAFETY: Both ranges bounds-checked; `copy` handles overlap.
+        unsafe {
+            core::ptr::copy(self.ptr().add(s), self.ptr().add(d), len as usize);
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string starting at `addr` (bounded scan).
+    pub fn read_cstr(&self, addr: u64) -> Result<Vec<u8>, Trap> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let [b] = self.load::<1>(a)?;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > 1 << 20 {
+                return Err(Trap::MemoryOutOfBounds);
+            }
+        }
+    }
+
+    /// 32-bit atomic load with SeqCst ordering.
+    pub fn atomic_load32(&self, addr: u64) -> Result<u32, Trap> {
+        let off = self.check_aligned(addr, 4)?;
+        // SAFETY: In-bounds, 4-aligned, and the allocation outlives the
+        // reference; AtomicU32 has the same layout as u32.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        Ok(a.load(Ordering::SeqCst))
+    }
+
+    /// 32-bit atomic store with SeqCst ordering.
+    pub fn atomic_store32(&self, addr: u64, val: u32) -> Result<(), Trap> {
+        let off = self.check_aligned(addr, 4)?;
+        // SAFETY: See `atomic_load32`.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        a.store(val, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// 64-bit atomic load with SeqCst ordering.
+    pub fn atomic_load64(&self, addr: u64) -> Result<u64, Trap> {
+        let off = self.check_aligned(addr, 8)?;
+        // SAFETY: See `atomic_load32`, with 8-byte alignment.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU64) };
+        Ok(a.load(Ordering::SeqCst))
+    }
+
+    /// 64-bit atomic store with SeqCst ordering.
+    pub fn atomic_store64(&self, addr: u64, val: u64) -> Result<(), Trap> {
+        let off = self.check_aligned(addr, 8)?;
+        // SAFETY: See `atomic_load32`, with 8-byte alignment.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU64) };
+        a.store(val, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// 32-bit atomic read-modify-write; returns the old value.
+    pub fn atomic_rmw32(&self, addr: u64, op: crate::instr::RmwOp, val: u32) -> Result<u32, Trap> {
+        use crate::instr::RmwOp;
+        let off = self.check_aligned(addr, 4)?;
+        // SAFETY: See `atomic_load32`.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        let old = match op {
+            RmwOp::Add => a.fetch_add(val, Ordering::SeqCst),
+            RmwOp::Sub => a.fetch_sub(val, Ordering::SeqCst),
+            RmwOp::And => a.fetch_and(val, Ordering::SeqCst),
+            RmwOp::Or => a.fetch_or(val, Ordering::SeqCst),
+            RmwOp::Xor => a.fetch_xor(val, Ordering::SeqCst),
+            RmwOp::Xchg => a.swap(val, Ordering::SeqCst),
+        };
+        Ok(old)
+    }
+
+    /// 32-bit atomic compare-exchange; returns the old value.
+    pub fn atomic_cmpxchg32(&self, addr: u64, expected: u32, new: u32) -> Result<u32, Trap> {
+        let off = self.check_aligned(addr, 4)?;
+        // SAFETY: See `atomic_load32`.
+        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        Ok(match a.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(v) => v,
+            Err(v) => v,
+        })
+    }
+
+    fn check_aligned(&self, addr: u64, align: u64) -> Result<usize, Trap> {
+        if addr % align != 0 {
+            return Err(Trap::MemoryOutOfBounds);
+        }
+        self.check(addr, align)
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("pages", &self.pages())
+            .field("max_pages", &self.max_pages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_and_bounds() {
+        let m = Memory::new(1, Some(3));
+        assert_eq!(m.pages(), 1);
+        assert!(m.store::<4>(PAGE_SIZE as u64 - 4, [1, 2, 3, 4]).is_ok());
+        assert_eq!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]), Err(Trap::MemoryOutOfBounds));
+        assert_eq!(m.grow(1), 1);
+        assert!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]).is_ok());
+        assert_eq!(m.grow(2), -1);
+        assert_eq!(m.grow(1), 2);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.peak_pages(), 3);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let m = Memory::new(1, None);
+        m.store::<8>(16, 0xdead_beef_cafe_f00du64.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(m.load::<8>(16).unwrap()), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn cstr_and_bulk_ops() {
+        let m = Memory::new(1, None);
+        m.write(100, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(100).unwrap(), b"hello");
+        m.copy_within(200, 100, 11).unwrap();
+        assert_eq!(m.read(200, 5).unwrap(), b"hello");
+        m.fill(100, b'x', 5).unwrap();
+        assert_eq!(m.read_cstr(100).unwrap(), b"xxxxx");
+    }
+
+    #[test]
+    fn overlapping_copy_is_memmove() {
+        let m = Memory::new(1, None);
+        m.write(0, b"abcdef").unwrap();
+        m.copy_within(2, 0, 4).unwrap();
+        assert_eq!(m.read(0, 6).unwrap(), b"ababcd");
+    }
+
+    #[test]
+    fn atomics_work_and_require_alignment() {
+        let m = Memory::new(1, None);
+        m.atomic_store32(8, 5).unwrap();
+        assert_eq!(m.atomic_rmw32(8, crate::instr::RmwOp::Add, 3).unwrap(), 5);
+        assert_eq!(m.atomic_load32(8).unwrap(), 8);
+        assert_eq!(m.atomic_cmpxchg32(8, 8, 42).unwrap(), 8);
+        assert_eq!(m.atomic_load32(8).unwrap(), 42);
+        assert_eq!(m.atomic_load32(6), Err(Trap::MemoryOutOfBounds));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(Memory::new(1, None));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.atomic_rmw32(0, crate::instr::RmwOp::Add, 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.atomic_load32(0).unwrap(), 4000);
+    }
+}

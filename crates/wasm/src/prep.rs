@@ -1,0 +1,760 @@
+//! Preparation ("compilation"): validated structured code → flat op arrays
+//! with resolved branch targets, plus safepoint insertion.
+//!
+//! This is the engine's execution tier. Branches are pre-resolved to
+//! `(pc, stack-fixup)` pairs so the interpreter never scans for block
+//! boundaries; the naive QEMU-analogue tier in `wali-virt` deliberately
+//! skips this step.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::ValidateError;
+use crate::host::{HostFn, Linker};
+use crate::instr::{BlockType, Instr};
+use crate::module::{ConstExpr, ExportDesc, FuncBody, ImportDesc, Module};
+use crate::safepoint::SafepointScheme;
+use crate::types::{FuncType, GlobalType, MemoryType, TableType};
+
+/// A resolved branch destination with its stack fixup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BrDest {
+    /// Target op index.
+    pub target: u32,
+    /// Absolute operand-stack height to truncate to (above locals).
+    pub drop_to: u32,
+    /// Number of top values carried across the branch.
+    pub keep: u16,
+}
+
+/// A flattened executable operation.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)]
+pub enum Op {
+    Unreachable,
+    /// Poll for pending asynchronous signals (paper §3.3).
+    Safepoint,
+    Br(BrDest),
+    BrIf(BrDest),
+    /// Inverted conditional used to lower `if`.
+    BrIfZero(BrDest),
+    BrTable(Box<[BrDest]>, BrDest),
+    Return,
+    Call(u32),
+    CallIndirect(u32),
+    Drop,
+    Select,
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+    Load(crate::instr::LoadKind, u64),
+    Store(crate::instr::StoreKind, u64),
+    MemorySize,
+    MemoryGrow,
+    MemoryCopy,
+    MemoryFill,
+    /// Raw 64-bit constant (type erased after validation).
+    Const(u64),
+    Un(crate::instr::UnOp),
+    Bin(crate::instr::BinOp),
+    Rel(crate::instr::RelOp),
+    Cvt(crate::instr::CvtOp),
+    AtomicNotify(u64),
+    AtomicWait32(u64),
+    AtomicFence,
+    AtomicLoad(crate::instr::AtomicWidth, u64),
+    AtomicStore(crate::instr::AtomicWidth, u64),
+    AtomicRmw(crate::instr::RmwOp, u64),
+    AtomicCmpxchg(u64),
+}
+
+/// A prepared function body.
+#[derive(Clone, Debug)]
+pub struct PreparedFunc {
+    /// Type index.
+    pub ty: u32,
+    /// Number of parameters.
+    pub params: u32,
+    /// Number of declared (non-param) locals.
+    pub locals: u32,
+    /// Number of results.
+    pub results: u32,
+    /// Flat op array.
+    pub ops: Box<[Op]>,
+}
+
+/// A function in the combined index space.
+pub enum FuncDef<T> {
+    /// Imported host function.
+    Host {
+        /// Import module name.
+        module: String,
+        /// Import field name.
+        name: String,
+        /// Type index.
+        ty: u32,
+        /// Resolved implementation.
+        f: HostFn<T>,
+    },
+    /// Local prepared function.
+    Local(Arc<PreparedFunc>),
+}
+
+impl<T> FuncDef<T> {
+    /// The function's type index.
+    pub fn type_idx(&self) -> u32 {
+        match self {
+            FuncDef::Host { ty, .. } => *ty,
+            FuncDef::Local(p) => p.ty,
+        }
+    }
+}
+
+/// An error while linking a module against a [`Linker`].
+#[derive(Debug)]
+pub enum LinkError {
+    /// Validation failed.
+    Validate(ValidateError),
+    /// An imported function had no host registration.
+    MissingImport(String, String),
+    /// Non-function imports are not supported.
+    UnsupportedImport(String, String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Validate(e) => write!(f, "{e}"),
+            LinkError::MissingImport(m, n) => write!(f, "missing import {m}.{n}"),
+            LinkError::UnsupportedImport(m, n) => write!(f, "unsupported import kind {m}.{n}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<ValidateError> for LinkError {
+    fn from(e: ValidateError) -> Self {
+        LinkError::Validate(e)
+    }
+}
+
+/// A validated, prepared, linked program ready to instantiate.
+pub struct Program<T> {
+    /// Function signatures.
+    pub types: Vec<FuncType>,
+    /// Combined function index space (imports first).
+    pub funcs: Vec<FuncDef<T>>,
+    /// Export name → descriptor.
+    pub exports: HashMap<String, ExportDesc>,
+    /// Memory declaration, if any.
+    pub memory: Option<MemoryType>,
+    /// Table declaration, if any.
+    pub table: Option<TableType>,
+    /// Global declarations and initializers.
+    pub globals: Vec<(GlobalType, ConstExpr)>,
+    /// Active element segments.
+    pub elems: Vec<(ConstExpr, Vec<u32>)>,
+    /// Active data segments.
+    pub datas: Vec<(ConstExpr, Vec<u8>)>,
+    /// Start function.
+    pub start: Option<u32>,
+    /// Safepoint scheme the code was prepared with.
+    pub scheme: SafepointScheme,
+}
+
+impl<T> Program<T> {
+    /// Validates, prepares and links `module` against `linker`.
+    pub fn link(
+        module: &Module,
+        linker: &Linker<T>,
+        scheme: SafepointScheme,
+    ) -> Result<Program<T>, LinkError> {
+        crate::validate::validate(module)?;
+
+        let mut funcs = Vec::new();
+        for imp in &module.imports {
+            match &imp.desc {
+                ImportDesc::Func(ty) => {
+                    let f = linker
+                        .resolve(&imp.module, &imp.name)
+                        .ok_or_else(|| LinkError::MissingImport(imp.module.clone(), imp.name.clone()))?
+                        .clone();
+                    funcs.push(FuncDef::Host {
+                        module: imp.module.clone(),
+                        name: imp.name.clone(),
+                        ty: *ty,
+                        f,
+                    });
+                }
+                _ => {
+                    return Err(LinkError::UnsupportedImport(imp.module.clone(), imp.name.clone()))
+                }
+            }
+        }
+
+        for (i, body) in module.code.iter().enumerate() {
+            let ty_idx = module.funcs[i];
+            let ty = &module.types[ty_idx as usize];
+            let prepared = prepare_func(module, ty_idx, ty, body, scheme);
+            funcs.push(FuncDef::Local(Arc::new(prepared)));
+        }
+
+        Ok(Program {
+            types: module.types.clone(),
+            funcs,
+            exports: module.exports.iter().map(|e| (e.name.clone(), e.desc)).collect(),
+            memory: module.memories.first().copied(),
+            table: module.tables.first().copied(),
+            globals: module.globals.iter().map(|g| (g.ty, g.init)).collect(),
+            elems: module.elems.iter().map(|e| (e.offset, e.funcs.clone())).collect(),
+            datas: module.datas.iter().map(|d| (d.offset, d.bytes.clone())).collect(),
+            start: module.start,
+            scheme,
+        })
+    }
+
+    /// One past the highest byte any active data segment initializes
+    /// (the conventional heap base for WALI contexts).
+    pub fn data_end(&self) -> u32 {
+        self.datas
+            .iter()
+            .map(|(off, bytes)| match off {
+                ConstExpr::I32(v) => *v as u32 + bytes.len() as u32,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(1024)
+    }
+
+    /// Counts safepoint ops across all prepared functions (Table 3
+    /// instrumentation).
+    pub fn safepoint_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .filter_map(|f| match f {
+                FuncDef::Local(p) => Some(p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Identifies one branch-destination slot within an op, so forward-target
+/// patching is precise (a `br_table` can mix loop and block targets).
+#[derive(Clone, Copy, Debug)]
+struct PatchRef {
+    op: usize,
+    slot: Slot,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// The single destination of `Br`/`BrIf`/`BrIfZero`.
+    Single,
+    /// Entry `i` of a `BrTable`.
+    Table(usize),
+    /// The default destination of a `BrTable`.
+    TableDefault,
+}
+
+struct CtrlEntry {
+    /// Op-stack height at frame entry (params already pushed below it).
+    height: u32,
+    /// Branch arity (start types for loops, end types otherwise).
+    arity: u16,
+    /// For loops, the header pc; for blocks/ifs, patch list of forward refs.
+    kind: CtrlKind,
+    /// Height to restore on Else/End (height + result arity).
+    end_height: u32,
+    /// Result arity (to restore at end).
+    end_arity: u16,
+    /// Start arity (params), needed by `else` re-entry.
+    start_arity: u16,
+}
+
+enum CtrlKind {
+    Loop { header: u32 },
+    Block { patches: Vec<PatchRef> },
+    If { patches: Vec<PatchRef>, else_jump: Option<usize> },
+}
+
+fn block_sig(module: &Module, bt: &BlockType) -> (u16, u16) {
+    match bt {
+        BlockType::Empty => (0, 0),
+        BlockType::Value(_) => (0, 1),
+        BlockType::Func(i) => {
+            let ty = &module.types[*i as usize];
+            (ty.params.len() as u16, ty.results.len() as u16)
+        }
+    }
+}
+
+/// Flattens one function body.
+fn prepare_func(
+    module: &Module,
+    ty_idx: u32,
+    ty: &FuncType,
+    body: &FuncBody,
+    scheme: SafepointScheme,
+) -> PreparedFunc {
+    let mut ops: Vec<Op> = Vec::with_capacity(body.instrs.len() + 8);
+    let mut ctrls: Vec<CtrlEntry> = Vec::new();
+    // Absolute operand-stack height (above locals); `None` in dead code.
+    let mut height: Option<u32> = Some(0);
+
+    let every = scheme == SafepointScheme::EveryInstruction;
+    if scheme == SafepointScheme::FunctionEntry {
+        ops.push(Op::Safepoint);
+    }
+
+    macro_rules! h {
+        () => {
+            height.unwrap_or(0)
+        };
+    }
+
+    // The function body itself acts as the outermost block.
+    ctrls.push(CtrlEntry {
+        height: 0,
+        arity: ty.results.len() as u16,
+        kind: CtrlKind::Block { patches: Vec::new() },
+        end_height: ty.results.len() as u32,
+        end_arity: ty.results.len() as u16,
+        start_arity: 0,
+    });
+
+    for instr in &body.instrs {
+        if every && !matches!(instr, Instr::Block(_) | Instr::Loop(_) | Instr::Else | Instr::End) {
+            ops.push(Op::Safepoint);
+        }
+        match instr {
+            Instr::Unreachable => {
+                ops.push(Op::Unreachable);
+                height = None;
+            }
+            Instr::Nop => {}
+            Instr::Block(bt) => {
+                let (p, r) = block_sig(module, bt);
+                let entry = h!().saturating_sub(p as u32);
+                ctrls.push(CtrlEntry {
+                    height: entry,
+                    arity: r,
+                    kind: CtrlKind::Block { patches: Vec::new() },
+                    end_height: entry + r as u32,
+                    end_arity: r,
+                    start_arity: p,
+                });
+            }
+            Instr::Loop(bt) => {
+                let (p, r) = block_sig(module, bt);
+                let entry = h!().saturating_sub(p as u32);
+                let header = ops.len() as u32;
+                if scheme == SafepointScheme::LoopHeaders || every {
+                    ops.push(Op::Safepoint);
+                }
+                ctrls.push(CtrlEntry {
+                    height: entry,
+                    arity: p,
+                    kind: CtrlKind::Loop { header },
+                    end_height: entry + r as u32,
+                    end_arity: r,
+                    start_arity: p,
+                });
+            }
+            Instr::If(bt) => {
+                let (p, r) = block_sig(module, bt);
+                // Pop the condition first.
+                let after_cond = h!().saturating_sub(1);
+                height = height.map(|h| h.saturating_sub(1));
+                let entry = after_cond.saturating_sub(p as u32);
+                let patch_pos = ops.len();
+                ops.push(Op::BrIfZero(BrDest { target: 0, drop_to: entry, keep: p }));
+                ctrls.push(CtrlEntry {
+                    height: entry,
+                    arity: r,
+                    kind: CtrlKind::If { patches: Vec::new(), else_jump: Some(patch_pos) },
+                    end_height: entry + r as u32,
+                    end_arity: r,
+                    start_arity: p,
+                });
+            }
+            Instr::Else => {
+                let top = ctrls.last_mut().expect("validated");
+                // Jump over the else arm from the end of the then arm.
+                let over = ops.len();
+                ops.push(Op::Br(BrDest {
+                    target: 0,
+                    drop_to: top.height,
+                    keep: top.end_arity,
+                }));
+                if let CtrlKind::If { patches, else_jump } = &mut top.kind {
+                    patches.push(PatchRef { op: over, slot: Slot::Single });
+                    if let Some(pos) = else_jump.take() {
+                        // The false-branch of `if` lands right here.
+                        let here = ops.len() as u32;
+                        patch(&mut ops, PatchRef { op: pos, slot: Slot::Single }, here);
+                    }
+                }
+                height = Some(top.height + top.start_arity as u32);
+            }
+            Instr::End => {
+                let top = ctrls.pop().expect("validated");
+                let end_pc = ops.len() as u32;
+                match top.kind {
+                    CtrlKind::Loop { .. } => {}
+                    CtrlKind::Block { patches } => {
+                        for p in patches {
+                            patch(&mut ops, p, end_pc);
+                        }
+                    }
+                    CtrlKind::If { patches, else_jump } => {
+                        for p in patches {
+                            patch(&mut ops, p, end_pc);
+                        }
+                        if let Some(pos) = else_jump {
+                            // No else arm: the false branch falls through
+                            // to the end (keep = result arity = param
+                            // arity for valid no-else ifs).
+                            patch(&mut ops, PatchRef { op: pos, slot: Slot::Single }, end_pc);
+                        }
+                    }
+                }
+                height = Some(top.end_height);
+                if ctrls.is_empty() {
+                    // Implicit function end: emit the return below.
+                    ops.push(Op::Return);
+                    // Re-push a dummy root so stray trailing code (none in
+                    // valid modules) does not panic.
+                    ctrls.push(CtrlEntry {
+                        height: top.end_height,
+                        arity: top.end_arity,
+                        kind: CtrlKind::Block { patches: Vec::new() },
+                        end_height: top.end_height,
+                        end_arity: top.end_arity,
+                        start_arity: 0,
+                    });
+                }
+            }
+            Instr::Br(depth) => {
+                let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
+                ops.push(Op::Br(dest));
+                height = None;
+            }
+            Instr::BrIf(depth) => {
+                height = height.map(|h| h.saturating_sub(1));
+                let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
+                ops.push(Op::BrIf(dest));
+            }
+            Instr::BrTable(targets, default) => {
+                let pos = ops.len();
+                // Reserve the op slot first so patch refs can point at it.
+                ops.push(Op::Return);
+                let dests: Vec<BrDest> = targets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| br_dest(&mut ctrls, *d, pos, Slot::Table(i)))
+                    .collect();
+                let def = br_dest(&mut ctrls, *default, pos, Slot::TableDefault);
+                ops[pos] = Op::BrTable(dests.into_boxed_slice(), def);
+                height = None;
+            }
+            Instr::Return => {
+                ops.push(Op::Return);
+                height = None;
+            }
+            Instr::Call(f) => {
+                let ft = module.func_type(*f).expect("validated");
+                height = height
+                    .map(|h| h.saturating_sub(ft.params.len() as u32) + ft.results.len() as u32);
+                ops.push(Op::Call(*f));
+            }
+            Instr::CallIndirect(t) => {
+                let ft = &module.types[*t as usize];
+                height = height
+                    .map(|h| h.saturating_sub(1 + ft.params.len() as u32) + ft.results.len() as u32);
+                ops.push(Op::CallIndirect(*t));
+            }
+            Instr::Drop => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::Drop);
+            }
+            Instr::Select => {
+                height = height.map(|h| h.saturating_sub(2));
+                ops.push(Op::Select);
+            }
+            Instr::LocalGet(i) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::LocalGet(*i));
+            }
+            Instr::LocalSet(i) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::LocalSet(*i));
+            }
+            Instr::LocalTee(i) => ops.push(Op::LocalTee(*i)),
+            Instr::GlobalGet(i) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::GlobalGet(*i));
+            }
+            Instr::GlobalSet(i) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::GlobalSet(*i));
+            }
+            Instr::Load(k, a) => ops.push(Op::Load(*k, a.offset as u64)),
+            Instr::Store(k, a) => {
+                height = height.map(|h| h.saturating_sub(2));
+                ops.push(Op::Store(*k, a.offset as u64));
+            }
+            Instr::MemorySize => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::MemorySize);
+            }
+            Instr::MemoryGrow => ops.push(Op::MemoryGrow),
+            Instr::MemoryCopy => {
+                height = height.map(|h| h.saturating_sub(3));
+                ops.push(Op::MemoryCopy);
+            }
+            Instr::MemoryFill => {
+                height = height.map(|h| h.saturating_sub(3));
+                ops.push(Op::MemoryFill);
+            }
+            Instr::I32Const(v) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::Const(*v as u32 as u64));
+            }
+            Instr::I64Const(v) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::Const(*v as u64));
+            }
+            Instr::F32Const(bits) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::Const(*bits as u64));
+            }
+            Instr::F64Const(bits) => {
+                height = height.map(|h| h + 1);
+                ops.push(Op::Const(*bits));
+            }
+            Instr::Un(op) => ops.push(Op::Un(*op)),
+            Instr::Bin(op) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::Bin(*op));
+            }
+            Instr::Rel(op) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::Rel(*op));
+            }
+            Instr::Cvt(op) => ops.push(Op::Cvt(*op)),
+            Instr::AtomicNotify(a) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::AtomicNotify(a.offset as u64));
+            }
+            Instr::AtomicWait32(a) => {
+                height = height.map(|h| h.saturating_sub(2));
+                ops.push(Op::AtomicWait32(a.offset as u64));
+            }
+            Instr::AtomicFence => ops.push(Op::AtomicFence),
+            Instr::AtomicLoad(w, a) => ops.push(Op::AtomicLoad(*w, a.offset as u64)),
+            Instr::AtomicStore(w, a) => {
+                height = height.map(|h| h.saturating_sub(2));
+                ops.push(Op::AtomicStore(*w, a.offset as u64));
+            }
+            Instr::AtomicRmw(op, a) => {
+                height = height.map(|h| h.saturating_sub(1));
+                ops.push(Op::AtomicRmw(*op, a.offset as u64));
+            }
+            Instr::AtomicCmpxchg(a) => {
+                height = height.map(|h| h.saturating_sub(2));
+                ops.push(Op::AtomicCmpxchg(a.offset as u64));
+            }
+        }
+    }
+    // Implicit end of the outermost body (validated code always ends with
+    // the body's own End only when nested; here instrs have no trailing
+    // End, so close the root frame).
+    let root = ctrls.pop().expect("root frame");
+    let end_pc = ops.len() as u32;
+    match root.kind {
+        CtrlKind::Block { patches } => {
+            for p in patches {
+                patch(&mut ops, p, end_pc);
+            }
+        }
+        _ => unreachable!("root frame is a block"),
+    }
+    ops.push(Op::Return);
+
+    PreparedFunc {
+        ty: ty_idx,
+        params: ty.params.len() as u32,
+        locals: body.local_count(),
+        results: ty.results.len() as u32,
+        ops: ops.into_boxed_slice(),
+    }
+}
+
+/// Computes a branch destination for `depth`, registering a patch if the
+/// target is forward.
+fn br_dest(ctrls: &mut [CtrlEntry], depth: u32, op_pos: usize, slot: Slot) -> BrDest {
+    let idx = ctrls.len() - 1 - depth as usize;
+    let entry = &mut ctrls[idx];
+    let dest = BrDest { target: 0, drop_to: entry.height, keep: entry.arity };
+    match &mut entry.kind {
+        CtrlKind::Loop { header } => BrDest { target: *header, ..dest },
+        CtrlKind::Block { patches } | CtrlKind::If { patches, .. } => {
+            patches.push(PatchRef { op: op_pos, slot });
+            dest
+        }
+    }
+}
+
+/// Patches one branch-destination slot.
+fn patch(ops: &mut [Op], at: PatchRef, target: u32) {
+    let dest = match (&mut ops[at.op], at.slot) {
+        (Op::Br(d), Slot::Single)
+        | (Op::BrIf(d), Slot::Single)
+        | (Op::BrIfZero(d), Slot::Single) => d,
+        (Op::BrTable(dests, _), Slot::Table(i)) => &mut dests[i],
+        (Op::BrTable(_, def), Slot::TableDefault) => def,
+        (other, slot) => panic!("patching op {other:?} with slot {slot:?}"),
+    };
+    dest.target = target;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+    use crate::module::FuncBody;
+    use crate::types::ValType;
+
+    fn prep_body(instrs: Vec<Instr>, results: Vec<ValType>) -> PreparedFunc {
+        let module = Module {
+            types: vec![FuncType { params: vec![], results }],
+            funcs: vec![0],
+            code: vec![FuncBody { locals: vec![], instrs }],
+            memories: vec![MemoryType {
+                limits: crate::types::Limits { min: 1, max: Some(2) },
+                shared: false,
+            }],
+            ..Default::default()
+        };
+        crate::validate::validate(&module).expect("valid");
+        prepare_func(&module, 0, &module.types[0], &module.code[0], SafepointScheme::LoopHeaders)
+    }
+
+    #[test]
+    fn flat_code_ends_with_return() {
+        let p = prep_body(vec![Instr::I32Const(7)], vec![ValType::I32]);
+        assert_eq!(p.ops.last(), Some(&Op::Return));
+        assert_eq!(p.ops[0], Op::Const(7));
+    }
+
+    #[test]
+    fn loop_gets_safepoint_at_header() {
+        let p = prep_body(
+            vec![
+                Instr::Loop(BlockType::Empty),
+                Instr::I32Const(0),
+                Instr::BrIf(0),
+                Instr::End,
+            ],
+            vec![],
+        );
+        assert_eq!(p.ops[0], Op::Safepoint);
+        // The back-edge must target the safepoint so every iteration polls.
+        match &p.ops[2] {
+            Op::BrIf(d) => assert_eq!(d.target, 0),
+            other => panic!("expected BrIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_branch_is_patched_past_end() {
+        let p = prep_body(
+            vec![
+                Instr::Block(BlockType::Empty),
+                Instr::Br(0),
+                Instr::I32Const(9),
+                Instr::Drop,
+                Instr::End,
+            ],
+            vec![],
+        );
+        // ops: Br, Const, Drop, Return — Br target = 3 (after Drop).
+        match &p.ops[0] {
+            Op::Br(d) => assert_eq!(d.target, 3),
+            other => panic!("expected Br, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_lowering_targets() {
+        let p = prep_body(
+            vec![
+                Instr::I32Const(1),
+                Instr::If(BlockType::Value(ValType::I32)),
+                Instr::I32Const(10),
+                Instr::Else,
+                Instr::I32Const(20),
+                Instr::End,
+                Instr::Drop,
+            ],
+            vec![],
+        );
+        // ops: Const(1), BrIfZero->else, Const(10), Br->end, Const(20), Drop, Return
+        match &p.ops[1] {
+            Op::BrIfZero(d) => assert_eq!(d.target, 4),
+            other => panic!("{other:?}"),
+        }
+        match &p.ops[3] {
+            Op::Br(d) => assert_eq!(d.target, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_instruction_scheme_polls_densely() {
+        let module = Module {
+            types: vec![FuncType { params: vec![], results: vec![ValType::I32] }],
+            funcs: vec![0],
+            code: vec![FuncBody {
+                locals: vec![],
+                instrs: vec![Instr::I32Const(1), Instr::I32Const(2), Instr::Bin(BinOp::I32Add)],
+            }],
+            ..Default::default()
+        };
+        crate::validate::validate(&module).unwrap();
+        let p = prepare_func(
+            &module,
+            0,
+            &module.types[0],
+            &module.code[0],
+            SafepointScheme::EveryInstruction,
+        );
+        let polls = p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count();
+        assert_eq!(polls, 3);
+    }
+
+    #[test]
+    fn function_entry_scheme_polls_once() {
+        let module = Module {
+            types: vec![FuncType { params: vec![], results: vec![] }],
+            funcs: vec![0],
+            code: vec![FuncBody { locals: vec![], instrs: vec![Instr::Nop] }],
+            ..Default::default()
+        };
+        crate::validate::validate(&module).unwrap();
+        let p = prepare_func(
+            &module,
+            0,
+            &module.types[0],
+            &module.code[0],
+            SafepointScheme::FunctionEntry,
+        );
+        assert_eq!(p.ops[0], Op::Safepoint);
+        let polls = p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count();
+        assert_eq!(polls, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Robustness: the decoder and validator must never panic on arbitrary
+//! input — malformed modules are rejected with errors, not crashes. This
+//! is the property that lets WALI engines accept untrusted binaries.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decoder_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = wasm::decode::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_header_plus_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&noise);
+        // Decoding may fail; validating anything that decodes must not panic.
+        if let Ok(module) = wasm::decode::decode(&bytes) {
+            let _ = wasm::validate::validate(&module);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_modules_never_panic(
+        seed in any::<u8>(),
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
+    ) {
+        // Start from a real module and corrupt it.
+        let mut mb = wasm::build::ModuleBuilder::new();
+        mb.memory(1, Some(2));
+        let sig = mb.sig([wasm::types::ValType::I32], [wasm::types::ValType::I32]);
+        let f = mb.func(sig, |b| {
+            b.local_get(0).i32(seed as i32).add32();
+        });
+        mb.export("main", f);
+        let mut bytes = wasm::encode::encode(&mb.build());
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] = val;
+        }
+        if let Ok(module) = wasm::decode::decode(&bytes) {
+            let _ = wasm::validate::validate(&module);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! WAZI — the kernel-interface recipe applied to Zephyr RTOS (paper §5.1).
+//!
+//! Zephyr is a second, very different kernel: ISA-portable syscalls, a
+//! compile-time syscall encoding, kernel objects (threads, semaphores,
+//! message queues) instead of processes, devices instead of files, and
+//! hard SRAM budgets. Applying the recipe of §5:
+//!
+//! 1. *Enumerate and name-bind* — [`interface::ZEPHYR_SYSCALLS`] is the
+//!    syscall encoding; the host functions are **generated mechanically**
+//!    from it (the paper extracts the same encoding from the Zephyr
+//!    compiler), each import named `wazi.z_<name>`.
+//! 2. *Sandbox addresses* — every buffer argument is bounds-checked
+//!    against linear memory.
+//! 3. *ISA-portable layouts* — Zephyr is already ISA-portable; scalars
+//!    cross unchanged.
+//! 4./5. *Processes & memory* — Zephyr has no processes; k-threads map
+//!    onto instances and the SRAM budget is enforced by capping the
+//!    module's memory maximum ([`interface::SRAM_BUDGET_PAGES`], the
+//!    paper's 384 KiB Nucleo-F767ZI board).
+//! 6. *Async interactions* — timers expire into deferred work the guest
+//!    polls, keeping Wasm execution synchronous.
+
+pub mod interface;
+pub mod zephyr;
+
+pub use interface::{WaziRunner, SRAM_BUDGET_PAGES};
+pub use zephyr::Zephyr;

@@ -1,0 +1,256 @@
+//! A small Zephyr RTOS model: kernel objects, devices, uptime.
+
+use std::collections::BTreeMap;
+
+/// Zephyr error code `-EAGAIN` (would block / count exhausted).
+pub const Z_EAGAIN: i64 = -11;
+/// Zephyr error code `-EINVAL`.
+pub const Z_EINVAL: i64 = -22;
+/// Zephyr error code `-ENOENT`.
+pub const Z_ENOENT: i64 = -2;
+
+/// A counting semaphore (`struct k_sem`).
+#[derive(Clone, Copy, Debug)]
+pub struct KSem {
+    /// Current count.
+    pub count: u32,
+    /// Maximum count.
+    pub limit: u32,
+}
+
+/// A message queue (`struct k_msgq`) of fixed-size messages.
+#[derive(Clone, Debug)]
+pub struct KMsgq {
+    /// Message size in bytes.
+    pub msg_size: u32,
+    /// Capacity in messages.
+    pub capacity: u32,
+    queue: Vec<Vec<u8>>,
+}
+
+/// A one-shot kernel timer.
+#[derive(Clone, Copy, Debug)]
+pub struct KTimer {
+    /// Expiry in uptime milliseconds.
+    pub expiry_ms: u64,
+    /// Expirations not yet consumed by `k_timer_status_sync`.
+    pub expired: u32,
+}
+
+/// The Zephyr kernel model.
+#[derive(Debug, Default)]
+pub struct Zephyr {
+    uptime_ms: u64,
+    sems: Vec<KSem>,
+    msgqs: Vec<KMsgq>,
+    timers: Vec<KTimer>,
+    /// GPIO pin levels by (port, pin).
+    pub gpio: BTreeMap<(u32, u32), bool>,
+    /// LittleFS-style flash filesystem: name → content.
+    pub flash_fs: BTreeMap<String, Vec<u8>>,
+    /// Console output (printk).
+    pub console: Vec<u8>,
+}
+
+impl Zephyr {
+    /// Boots the RTOS model.
+    pub fn new() -> Zephyr {
+        Zephyr::default()
+    }
+
+    /// `k_uptime_get` (milliseconds since boot).
+    pub fn uptime_ms(&self) -> u64 {
+        self.uptime_ms
+    }
+
+    /// `k_sleep`: advances uptime (cooperative single-core model) and
+    /// fires timers.
+    pub fn sleep_ms(&mut self, ms: u64) {
+        self.uptime_ms += ms;
+        for t in &mut self.timers {
+            if t.expiry_ms != 0 && t.expiry_ms <= self.uptime_ms {
+                t.expired += 1;
+                t.expiry_ms = 0;
+            }
+        }
+    }
+
+    /// `k_sem_init`: returns the semaphore id.
+    pub fn sem_init(&mut self, initial: u32, limit: u32) -> usize {
+        self.sems.push(KSem { count: initial.min(limit), limit });
+        self.sems.len() - 1
+    }
+
+    /// `k_sem_give`.
+    pub fn sem_give(&mut self, id: usize) -> i64 {
+        match self.sems.get_mut(id) {
+            Some(s) => {
+                s.count = (s.count + 1).min(s.limit);
+                0
+            }
+            None => Z_EINVAL,
+        }
+    }
+
+    /// `k_sem_take` with `K_NO_WAIT` semantics (cooperative model).
+    pub fn sem_take(&mut self, id: usize) -> i64 {
+        match self.sems.get_mut(id) {
+            Some(s) if s.count > 0 => {
+                s.count -= 1;
+                0
+            }
+            Some(_) => Z_EAGAIN,
+            None => Z_EINVAL,
+        }
+    }
+
+    /// `k_msgq_init`: returns the queue id.
+    pub fn msgq_init(&mut self, msg_size: u32, capacity: u32) -> usize {
+        self.msgqs.push(KMsgq { msg_size, capacity, queue: Vec::new() });
+        self.msgqs.len() - 1
+    }
+
+    /// Message size of queue `id` (used by the generated interface glue).
+    pub fn msgqs_size(&self, id: usize) -> Option<u32> {
+        self.msgqs.get(id).map(|q| q.msg_size)
+    }
+
+    /// `k_msgq_put`.
+    pub fn msgq_put(&mut self, id: usize, msg: &[u8]) -> i64 {
+        match self.msgqs.get_mut(id) {
+            Some(q) if msg.len() as u32 != q.msg_size => Z_EINVAL,
+            Some(q) if q.queue.len() as u32 >= q.capacity => Z_EAGAIN,
+            Some(q) => {
+                q.queue.push(msg.to_vec());
+                0
+            }
+            None => Z_EINVAL,
+        }
+    }
+
+    /// `k_msgq_get`: returns the message or an error code.
+    pub fn msgq_get(&mut self, id: usize) -> Result<Vec<u8>, i64> {
+        match self.msgqs.get_mut(id) {
+            Some(q) if q.queue.is_empty() => Err(Z_EAGAIN),
+            Some(q) => Ok(q.queue.remove(0)),
+            None => Err(Z_EINVAL),
+        }
+    }
+
+    /// `k_timer_start` (one-shot): returns the timer id.
+    pub fn timer_start(&mut self, after_ms: u64) -> usize {
+        self.timers.push(KTimer { expiry_ms: self.uptime_ms + after_ms, expired: 0 });
+        self.timers.len() - 1
+    }
+
+    /// `k_timer_status_get`: consumes and returns the expiry count.
+    pub fn timer_status(&mut self, id: usize) -> i64 {
+        match self.timers.get_mut(id) {
+            Some(t) => {
+                let n = t.expired;
+                t.expired = 0;
+                n as i64
+            }
+            None => Z_EINVAL,
+        }
+    }
+
+    /// `gpio_pin_set`.
+    pub fn gpio_set(&mut self, port: u32, pin: u32, level: bool) {
+        self.gpio.insert((port, pin), level);
+    }
+
+    /// `gpio_pin_get`.
+    pub fn gpio_get(&self, port: u32, pin: u32) -> bool {
+        self.gpio.get(&(port, pin)).copied().unwrap_or(false)
+    }
+
+    /// `printk` / console device write.
+    pub fn printk(&mut self, bytes: &[u8]) {
+        self.console.extend_from_slice(bytes);
+    }
+
+    /// `fs_write` (littlefs model: whole-file replace/append).
+    pub fn fs_write(&mut self, name: &str, data: &[u8], append: bool) -> i64 {
+        let slot = self.flash_fs.entry(name.to_string()).or_default();
+        if append {
+            slot.extend_from_slice(data);
+        } else {
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        data.len() as i64
+    }
+
+    /// `fs_read` from an offset.
+    pub fn fs_read(&self, name: &str, offset: usize, out: &mut [u8]) -> i64 {
+        match self.flash_fs.get(name) {
+            Some(data) => {
+                let off = offset.min(data.len());
+                let n = out.len().min(data.len() - off);
+                out[..n].copy_from_slice(&data[off..off + n]);
+                n as i64
+            }
+            None => Z_ENOENT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semaphores_count_and_saturate() {
+        let mut z = Zephyr::new();
+        let s = z.sem_init(1, 2);
+        assert_eq!(z.sem_take(s), 0);
+        assert_eq!(z.sem_take(s), Z_EAGAIN);
+        z.sem_give(s);
+        z.sem_give(s);
+        z.sem_give(s); // saturates at limit 2
+        assert_eq!(z.sem_take(s), 0);
+        assert_eq!(z.sem_take(s), 0);
+        assert_eq!(z.sem_take(s), Z_EAGAIN);
+        assert_eq!(z.sem_take(99), Z_EINVAL);
+    }
+
+    #[test]
+    fn msgq_fifo_and_capacity() {
+        let mut z = Zephyr::new();
+        let q = z.msgq_init(4, 2);
+        assert_eq!(z.msgq_put(q, b"aaaa"), 0);
+        assert_eq!(z.msgq_put(q, b"bbbb"), 0);
+        assert_eq!(z.msgq_put(q, b"cccc"), Z_EAGAIN, "full");
+        assert_eq!(z.msgq_put(q, b"xy"), Z_EINVAL, "wrong size");
+        assert_eq!(z.msgq_get(q).unwrap(), b"aaaa");
+        assert_eq!(z.msgq_get(q).unwrap(), b"bbbb");
+        assert_eq!(z.msgq_get(q).unwrap_err(), Z_EAGAIN);
+    }
+
+    #[test]
+    fn timers_fire_on_sleep() {
+        let mut z = Zephyr::new();
+        let t = z.timer_start(50);
+        z.sleep_ms(30);
+        assert_eq!(z.timer_status(t), 0);
+        z.sleep_ms(30);
+        assert_eq!(z.timer_status(t), 1);
+        assert_eq!(z.timer_status(t), 0, "consumed");
+        assert_eq!(z.uptime_ms(), 60);
+    }
+
+    #[test]
+    fn gpio_and_flash_fs() {
+        let mut z = Zephyr::new();
+        z.gpio_set(0, 13, true);
+        assert!(z.gpio_get(0, 13));
+        assert!(!z.gpio_get(0, 14));
+        assert_eq!(z.fs_write("boot.cfg", b"lua=1", false), 5);
+        z.fs_write("boot.cfg", b";v2", true);
+        let mut buf = [0u8; 16];
+        assert_eq!(z.fs_read("boot.cfg", 0, &mut buf), 8);
+        assert_eq!(&buf[..8], b"lua=1;v2");
+        assert_eq!(z.fs_read("nope", 0, &mut buf), Z_ENOENT);
+    }
+}

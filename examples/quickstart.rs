@@ -1,0 +1,41 @@
+//! Quickstart: build a Wasm program that talks to Linux through WALI and
+//! run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wasm::build::ModuleBuilder;
+use wasm::types::ValType::{I32, I64};
+
+fn main() {
+    // 1. Build a module that imports a WALI syscall by name.
+    let mut mb = ModuleBuilder::new();
+    let write_sig = mb.sig([I64, I64, I64], [I64]);
+    let sys_write = mb.import_func("wali", "SYS_write", write_sig);
+    let getpid_sig = mb.sig([], [I64]);
+    let sys_getpid = mb.import_func("wali", "SYS_getpid", getpid_sig);
+    mb.memory(2, Some(16));
+    let msg = mb.c_str("hello from wasm, via SYS_write\n");
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        // write(stdout, msg, 31)
+        b.i64(1).i64(msg as i64).i64(31).call(sys_write).drop_();
+        // exit code = getpid() (prove we have a kernel identity)
+        b.call(sys_getpid).wrap();
+    });
+    mb.export("_start", main);
+    let module = mb.build();
+
+    // 2. The binary pipeline is real: encode to bytes, decode back.
+    let bytes = wasm::encode::encode(&module);
+    println!("module: {} bytes of wasm", bytes.len());
+    let module = wasm::decode::decode(&bytes).expect("valid binary");
+
+    // 3. Run it on the WALI runtime.
+    let out = wali::WaliRunner::run_to_exit(&module, &[], &["HOME=/home/user"])
+        .expect("runs");
+    print!("console: {}", out.stdout());
+    println!("exit code (the pid): {:?}", out.exit_code());
+    println!("syscalls traced: {:?}", out.trace.counts);
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the wali-rs workspace.
+//!
+//! This package only hosts the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. The actual library surface
+//! is split across the crates in `crates/*`; see `DESIGN.md` for the map.
+
+pub use apps;
+pub use vkernel;
+pub use virt;
+pub use wali;
+pub use wali_abi;
+pub use wasi_layer;
+pub use wasm;
+pub use wazi;
