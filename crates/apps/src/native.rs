@@ -38,9 +38,9 @@ pub fn lua_native(k: &mut Kernel, tid: Tid, scale: u32) -> NativeStats {
     let mut acc = 0u64;
     let mut i = 0u64;
     for _round in 0..scale.max(1) {
-        for pc in 0..n {
-            let op = (script[pc] & 7) as u64;
-            if op == 4 && i % 64 == 0 {
+        for b in script.iter().take(n) {
+            let op = (b & 7) as u64;
+            if op == 4 && i.is_multiple_of(64) {
                 // Heap growth beat (brk twin is pure bookkeeping here).
                 stats.syscalls += 2;
             }

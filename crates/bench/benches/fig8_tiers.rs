@@ -1,12 +1,14 @@
-//! Criterion bench for Fig. 8: one workload across execution tiers.
+//! Bench for Fig. 8: one workload across execution tiers.
+//!
+//! Set `WALI_NO_FUSE=1` to run the WALI tier with superinstruction fusion
+//! disabled (before/after comparison for the fused-dispatch fast path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness;
 use virt::{Container, EmuRunner, Image};
 use wasm::SafepointScheme;
 
-fn bench_tiers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_lua");
-    g.sample_size(10);
+fn main() {
+    let mut g = harness::group("fig8_lua");
     g.bench_function("native", |b| {
         b.iter(|| {
             let mut k = vkernel::Kernel::new();
@@ -38,6 +40,3 @@ fn bench_tiers(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_tiers);
-criterion_main!(benches);

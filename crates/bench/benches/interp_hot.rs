@@ -1,0 +1,27 @@
+//! Interpreter fast-path bench: fused vs. unfused dispatch on a
+//! compute-heavy workload (the lua interpreter-style app at a scale where
+//! execution, not module preparation, dominates).
+
+use bench::harness;
+use wali::runner::{TaskEnd, WaliRunner};
+use wasm::SafepointScheme;
+
+fn main() {
+    let app = apps::lua_sim(100);
+    let module = bench::reload(&app.module);
+    let mut g = harness::group("interp_lua100");
+    for (name, fuse) in [("fused", true), ("unfused", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut runner = WaliRunner::new(SafepointScheme::LoopHeaders);
+                runner.set_fuse(fuse);
+                bench::seed_files(&runner);
+                runner.register_program("/usr/bin/app", &module).expect("register");
+                runner.spawn("/usr/bin/app", &[], &[]).expect("spawn");
+                let out = runner.run().expect("run");
+                assert!(matches!(out.main_exit, Some(TaskEnd::Exited(0))));
+            })
+        });
+    }
+    g.finish();
+}

@@ -1,6 +1,10 @@
-//! Criterion bench for Table 2: per-syscall WALI interface overhead.
+//! Bench for Table 2: per-syscall WALI interface overhead.
+//!
+//! The syscalls are invoked as host calls through the registry wrappers,
+//! so this exercises the trace/policy/kernel hot path (see `fig8_tiers`
+//! for the interpreter side of the fast path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness;
 use wali::registry::build_linker;
 use wali::WaliContext;
 use wasm::host::Caller;
@@ -8,7 +12,7 @@ use wasm::interp::{Instance, Value};
 use wasm::prep::Program;
 use wasm::SafepointScheme;
 
-fn bench_syscalls(c: &mut Criterion) {
+fn main() {
     let mut mb = wasm::build::ModuleBuilder::new();
     mb.memory(4, Some(16));
     let buf = mb.reserve(4096) as i64;
@@ -36,10 +40,18 @@ fn bench_syscalls(c: &mut Criterion) {
     call(&mut ctx, "open", &[buf, 0o102, 0o644]);
     let fd = 3i64;
 
-    let mut g = c.benchmark_group("table2");
+    let mut g = harness::group("table2");
     g.bench_function("getpid", |b| b.iter(|| call(&mut ctx, "getpid", &[])));
     g.bench_function("read", |b| b.iter(|| call(&mut ctx, "read", &[fd, buf, 64])));
-    g.bench_function("write", |b| b.iter(|| call(&mut ctx, "write", &[fd, buf, 64])));
+    g.bench_function("write_rewind", |b| {
+        // Rewind each round so the file stays fixed-size: an append-only
+        // file grows with iteration count, which would make the measured
+        // cost depend on how fast the rest of the loop is.
+        b.iter(|| {
+            call(&mut ctx, "lseek", &[fd, 0, 0]);
+            call(&mut ctx, "write", &[fd, buf, 64]);
+        })
+    });
     g.bench_function("fstat", |b| b.iter(|| call(&mut ctx, "fstat", &[fd, buf])));
     g.bench_function("lseek", |b| b.iter(|| call(&mut ctx, "lseek", &[fd, 0, 0])));
     g.bench_function("rt_sigprocmask", |b| {
@@ -55,6 +67,3 @@ fn bench_syscalls(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_syscalls);
-criterion_main!(benches);

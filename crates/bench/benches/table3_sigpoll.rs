@@ -1,12 +1,10 @@
-//! Criterion bench for Table 3: safepoint scheme overhead on the lua
-//! workload.
+//! Bench for Table 3: safepoint scheme overhead on the lua workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness;
 use wasm::SafepointScheme;
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_lua");
-    g.sample_size(10);
+fn main() {
+    let mut g = harness::group("table3_lua");
     for scheme in SafepointScheme::ALL {
         g.bench_function(scheme.name(), |b| {
             b.iter(|| {
@@ -17,6 +15,3 @@ fn bench_schemes(c: &mut Criterion) {
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

@@ -18,7 +18,7 @@ fn main() {
         for (name, n) in &out.trace.counts {
             *aggregate.entry(name).or_insert(0) += n;
         }
-        traces.push((app.name.to_string(), out.trace.counts));
+        traces.push((app.name.to_string(), out.trace.counts.to_map()));
     }
 
     // Aggregate ordering: most frequent first (the figure's x-axis).

@@ -9,7 +9,7 @@ use wasm::SafepointScheme;
 
 fn main() {
     println!("Table 1 — porting effort of Wasm APIs\n");
-    println!("{:<12} {:<16} {:>5} {:>6} {:>5}  {}", "Codebase", "Description", "WALI", "WASIX", "WASI", "Missing (first blocking feature)");
+    println!("{:<12} {:<16} {:>5} {:>6} {:>5}  Missing (first blocking feature)", "Codebase", "Description", "WALI", "WASIX", "WASI");
     println!("{}", "-".repeat(78));
     for e in apps::catalog() {
         let cells: Vec<(Api, Result<(), wasi_layer::Feature>)> =

@@ -1,7 +1,7 @@
 //! Table 2: per-syscall intrinsic overhead of the WALI interface.
 //!
 //! Measures the wall time of each WALI host function (translation wrapper
-//! + kernel model) against a no-op host-call baseline, mirroring the
+//! plus kernel model) against a no-op host-call baseline, mirroring the
 //! paper's VDSO-clocked per-syscall overhead. LoC is counted from this
 //! repository's registry implementations; the State column comes from the
 //! spec classification.

@@ -9,7 +9,8 @@ fn main() {
         "App", "Loop (%)", "Func (%)", "All (%)"
     );
     println!("{}", "-".repeat(46));
-    let mk: Vec<(&str, Box<dyn Fn() -> apps::App>)> = vec![
+    type AppBuilder = Box<dyn Fn() -> apps::App>;
+    let mk: Vec<(&str, AppBuilder)> = vec![
         ("bash", Box::new(|| apps::bash_sim(48))),
         ("lua", Box::new(|| apps::lua_sim(2000))),
         ("sqlite3", Box::new(|| apps::sqlite_sim(20000))),

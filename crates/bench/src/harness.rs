@@ -1,0 +1,166 @@
+//! A small, dependency-free micro-benchmark harness.
+//!
+//! The API deliberately mirrors the subset of Criterion the bench files
+//! use (`group` / `bench_function` / `iter` / `finish`), so the benches
+//! read the same while running on a plain `harness = false` target.
+//!
+//! Methodology: each benchmark is calibrated to a target sample wall time,
+//! then timed over several samples; the reported figure is the median
+//! ns/iteration with min..max spread. Set `WALI_BENCH_SAMPLE_MS` to adjust
+//! the per-sample budget (default 100 ms).
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one sample.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("WALI_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// A named group of benchmarks, printed as one table.
+pub struct Group {
+    name: String,
+    rows: Vec<(String, Stats)>,
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Fastest sample ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample ns per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// Opens a benchmark group.
+pub fn group(name: &str) -> Group {
+    Group { name: name.to_string(), rows: Vec::new() }
+}
+
+/// The per-benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+impl Group {
+    /// Criterion-compat no-op (sampling is time-budgeted here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark: calibrate, sample, record.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Calibrate: grow the iteration count until one sample meets the
+        // budget.
+        let budget = sample_budget();
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= budget || iters >= (1 << 30) {
+                break;
+            }
+            let scale = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                (budget.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.2, 16.0)
+            };
+            iters = ((iters as f64) * scale).ceil() as u64;
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters,
+        };
+        println!(
+            "{}/{name:<28} {:>12}/iter  ({} .. {})  [{} iters/sample]",
+            self.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.iters
+        );
+        self.rows.push((name.to_string(), stats));
+        self
+    }
+
+    /// Prints the summary table.
+    pub fn finish(&self) {
+        println!("\n== {} ==", self.name);
+        for (name, s) in &self.rows {
+            println!("  {name:<30} median {:>12}/iter", fmt_ns(s.median_ns));
+        }
+    }
+
+    /// Recorded results (for report binaries that post-process).
+    pub fn results(&self) -> impl Iterator<Item = (&str, Stats)> {
+        self.rows.iter().map(|(n, s)| (n.as_str(), *s))
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("WALI_BENCH_SAMPLE_MS", "1");
+        let mut g = group("t");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let (name, stats) = g.results().next().unwrap();
+        assert_eq!(name, "noop");
+        assert!(stats.iters >= 1);
+        assert!(stats.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert!(fmt_ns(1500.0).ends_with("µs"));
+        assert!(fmt_ns(2.5e6).ends_with("ms"));
+    }
+}

@@ -296,10 +296,7 @@ impl<'a> Emu<'a> {
                     return Ok(Flow::Branch(d));
                 }
                 Instr::Return => return Ok(Flow::Return),
-                Instr::Call(f) => match self.call_function(*f)? {
-                    Flow::Exit(c) => return Ok(Flow::Exit(c)),
-                    _ => {}
-                },
+                Instr::Call(f) => if let Flow::Exit(c) = self.call_function(*f)? { return Ok(Flow::Exit(c)) },
                 Instr::CallIndirect(_) => {
                     let idx = self.pop()? as usize;
                     let f = self

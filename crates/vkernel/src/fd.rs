@@ -74,12 +74,17 @@ pub struct FdTable {
     slots: Vec<Option<FdEntry>>,
     /// RLIMIT_NOFILE soft limit.
     pub limit: usize,
+    /// One-entry lookup cache for [`FdTable::get_file_cached`]: the last
+    /// `(fd, description)` resolved. Read/write-heavy applications hammer
+    /// a single descriptor, so this skips the slot walk and entry clone
+    /// on the repeat lookups that dominate the syscall hot path.
+    last: RefCell<Option<(i32, FileRef)>>,
 }
 
 impl FdTable {
     /// Creates an empty table with the default limit.
     pub fn new() -> FdTable {
-        FdTable { slots: Vec::new(), limit: DEFAULT_NOFILE }
+        FdTable { slots: Vec::new(), limit: DEFAULT_NOFILE, last: RefCell::new(None) }
     }
 
     /// Allocates the lowest free descriptor at or above `min`.
@@ -125,11 +130,36 @@ impl FdTable {
         self.slots.get_mut(fd as usize).and_then(|e| e.as_mut()).ok_or(Errno::Ebadf)
     }
 
+    /// The cached fast path to an open file description.
+    ///
+    /// Equivalent to `get(fd)?.file.clone()` but remembers the last hit,
+    /// so repeated I/O on one descriptor — the shape of every read/write
+    /// loop — resolves without touching the slot table.
+    pub fn get_file_cached(&self, fd: i32) -> Result<FileRef, Errno> {
+        if let Some((cached_fd, file)) = &*self.last.borrow() {
+            if *cached_fd == fd {
+                return Ok(file.clone());
+            }
+        }
+        let file = self.get(fd)?.file.clone();
+        *self.last.borrow_mut() = Some((fd, file.clone()));
+        Ok(file)
+    }
+
+    /// Drops the lookup cache entry for `fd` (slot is being replaced).
+    fn uncache(&mut self, fd: i32) {
+        let stale = matches!(&*self.last.borrow(), Some((cached_fd, _)) if *cached_fd == fd);
+        if stale {
+            *self.last.borrow_mut() = None;
+        }
+    }
+
     /// Closes a descriptor, returning its description.
     pub fn close(&mut self, fd: i32) -> Result<FdEntry, Errno> {
         if fd < 0 {
             return Err(Errno::Ebadf);
         }
+        self.uncache(fd);
         self.slots.get_mut(fd as usize).and_then(|e| e.take()).ok_or(Errno::Ebadf)
     }
 
@@ -139,6 +169,7 @@ impl FdTable {
         if new < 0 || new as usize >= self.limit {
             return Err(Errno::Ebadf);
         }
+        self.uncache(new);
         let file = self.get(old)?.file.clone();
         while self.slots.len() <= new as usize {
             self.slots.push(None);
@@ -154,6 +185,7 @@ impl FdTable {
 
     /// Closes every CLOEXEC descriptor (on `execve`).
     pub fn close_cloexec(&mut self) {
+        *self.last.borrow_mut() = None;
         for slot in &mut self.slots {
             if slot.as_ref().map(|e| e.cloexec).unwrap_or(false) {
                 *slot = None;
@@ -169,7 +201,7 @@ impl FdTable {
     /// Deep-copies the table sharing the open file descriptions (fork
     /// semantics: descriptors copied, descriptions shared).
     pub fn fork_copy(&self) -> FdTable {
-        FdTable { slots: self.slots.clone(), limit: self.limit }
+        FdTable { slots: self.slots.clone(), limit: self.limit, last: RefCell::new(None) }
     }
 }
 
@@ -229,6 +261,32 @@ mod tests {
         assert_eq!(t.get(-1).unwrap_err(), Errno::Ebadf);
         assert_eq!(t.get(0).unwrap_err(), Errno::Ebadf);
         assert_eq!(t.close(5).unwrap_err(), Errno::Ebadf);
+    }
+
+    #[test]
+    fn cached_lookup_tracks_close_and_dup() {
+        let mut t = FdTable::new();
+        let a = t.alloc(file(), false).unwrap();
+        let f1 = t.get_file_cached(a).unwrap();
+        // Cache hit resolves to the same description.
+        assert!(Rc::ptr_eq(&f1, &t.get_file_cached(a).unwrap()));
+        // close invalidates: the fd must become EBADF, not a stale hit.
+        t.close(a).unwrap();
+        assert_eq!(t.get_file_cached(a).unwrap_err(), Errno::Ebadf);
+        // Re-allocating the lowest slot re-caches the new description.
+        let b = t.alloc(file(), false).unwrap();
+        assert_eq!(a, b);
+        let f2 = t.get_file_cached(b).unwrap();
+        assert!(!Rc::ptr_eq(&f1, &f2));
+        // dup2 over a cached fd must drop the stale mapping.
+        let c = t.alloc(file(), false).unwrap();
+        let _ = t.get_file_cached(c).unwrap();
+        t.dup_to(b, c, false).unwrap();
+        assert!(Rc::ptr_eq(&t.get_file_cached(c).unwrap(), &f2));
+        // close_cloexec wipes the cache wholesale.
+        let _ = t.get_file_cached(b).unwrap();
+        t.close_cloexec();
+        assert!(t.get_file_cached(b).is_ok(), "non-cloexec fd survives");
     }
 
     #[test]

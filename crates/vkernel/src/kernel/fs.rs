@@ -132,7 +132,7 @@ impl Kernel {
     fn file_of(&self, tid: Tid, fd: i32) -> Result<FileRef, Errno> {
         let task = self.task(tid)?;
         let table = task.fdtable.borrow();
-        Ok(table.get(fd)?.file.clone())
+        table.get_file_cached(fd)
     }
 
     /// `read`.

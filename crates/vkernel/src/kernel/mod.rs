@@ -476,10 +476,10 @@ impl Kernel {
         new: Option<WaliSigaction>,
     ) -> SysResult<WaliSigaction> {
         let sig = Signal::from_number(signo);
-        if !(1..64).contains(&signo) || sig.map(|s| !s.catchable()).unwrap_or(false) {
-            if new.is_some() {
-                return Err(Errno::Einval.into());
-            }
+        if (!(1..64).contains(&signo) || sig.map(|s| !s.catchable()).unwrap_or(false))
+            && new.is_some()
+        {
+            return Err(Errno::Einval.into());
         }
         let task = self.task(tid)?;
         let mut handlers = task.sighand.borrow_mut();
@@ -745,7 +745,7 @@ impl Kernel {
         let task = self.task_mut(tid)?;
         if task.futex_woken {
             task.futex_woken = false;
-            self.futexes.get_mut(&(mm, addr)).map(|q| q.retain(|t| *t != tid));
+            if let Some(q) = self.futexes.get_mut(&(mm, addr)) { q.retain(|t| *t != tid) }
             return Ok(0);
         }
         if !value_matches {
@@ -753,7 +753,7 @@ impl Kernel {
         }
         if let Some(d) = deadline {
             if self.clock.monotonic_ns() >= d {
-                self.futexes.get_mut(&(mm, addr)).map(|q| q.retain(|t| *t != tid));
+                if let Some(q) = self.futexes.get_mut(&(mm, addr)) { q.retain(|t| *t != tid) }
                 return Err(Errno::Etimedout.into());
             }
         }
@@ -1066,7 +1066,7 @@ mod tests {
     fn alarm_fires_sigalrm_after_deadline() {
         let (mut k, tid) = kernel_with_proc();
         k.sys_alarm(tid, 1).unwrap();
-        assert_eq!(k.next_timer_deadline().is_some(), true);
+        assert!(k.next_timer_deadline().is_some());
         k.clock.advance(2_000_000_000);
         k.fire_timers();
         assert!(k.sys_rt_sigpending(tid).unwrap().contains(Signal::Sigalrm.number()));

@@ -672,7 +672,6 @@ impl WaliSockaddr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn stat_round_trip() {
@@ -794,7 +793,12 @@ mod tests {
         assert_eq!(node[64], 0);
     }
 
-    proptest! {
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn prop_stat_round_trips(
             dev in any::<u64>(), ino in any::<u64>(), mode in any::<u32>(),
@@ -833,6 +837,7 @@ mod tests {
             d.write_to(&mut buf).unwrap();
             let (back, _) = WaliDirent::read_from(&buf).unwrap();
             prop_assert_eq!(back, d);
+        }
         }
     }
 }

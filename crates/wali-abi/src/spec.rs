@@ -265,6 +265,26 @@ pub const SUPPORT_METHODS: &[&str] = &[
     "proc_exit",
 ];
 
+/// Number of entries in [`SPEC`]; the size of dense per-syscall tables
+/// (handler tables, trace counters) indexed by [`sysno`].
+pub const SPEC_LEN: usize = SPEC.len();
+
+/// Resolves a syscall name to its dense index into [`SPEC`].
+///
+/// The index is the key of the pre-resolved handler table and the dense
+/// trace counters: stable for a build, contiguous, and cheap to look up
+/// (one hash over an interned map, done once at registration time — the
+/// per-call paths only ever index with the result).
+pub fn sysno(name: &str) -> Option<u16> {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static INDEX: OnceLock<HashMap<&'static str, u16>> = OnceLock::new();
+    INDEX
+        .get_or_init(|| SPEC.iter().enumerate().map(|(i, s)| (s.name, i as u16)).collect())
+        .get(name)
+        .copied()
+}
+
 /// Looks a spec entry up by syscall name.
 pub fn lookup(name: &str) -> Option<&'static WaliSyscall> {
     SPEC.iter().find(|s| s.name == name)

@@ -160,6 +160,15 @@ impl WaliContext {
         self.trace.kernel_time += t0.elapsed();
         r
     }
+
+    /// Per-syscall-entry bookkeeping (clock tick + counter), without the
+    /// layer-timing wrap: the tick is constant-time and timing it would
+    /// charge the timer's own overhead to the kernel layer (Fig. 7) on
+    /// every single syscall.
+    #[inline]
+    pub fn tick_syscall(&mut self) {
+        self.kernel.borrow_mut().enter_syscall();
+    }
 }
 
 impl HostCtx for WaliContext {

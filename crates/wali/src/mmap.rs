@@ -132,7 +132,7 @@ impl MmapPool {
     /// `munmap`: removes `[addr, addr+len)`; supports exact regions and
     /// prefix/suffix/interior splits like the kernel.
     pub fn unmap(&mut self, addr: u32, len: u32) -> Result<Vec<Region>, Errno> {
-        if addr % MAP_PAGE != 0 || len == 0 {
+        if !addr.is_multiple_of(MAP_PAGE) || len == 0 {
             return Err(Errno::Einval);
         }
         let len = round_up(len);
@@ -251,7 +251,6 @@ fn round_up(v: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use wali_abi::flags::{MAP_PRIVATE, PROT_READ, PROT_WRITE};
 
     const RW: i32 = PROT_READ | PROT_WRITE;
@@ -354,7 +353,12 @@ mod tests {
         assert!(removed[0].is_shared_file());
     }
 
-    proptest! {
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn prop_regions_never_overlap(ops in proptest::collection::vec((1u32..20000, any::<bool>()), 1..40)) {
             let mut p = pool();
@@ -376,6 +380,7 @@ mod tests {
                     }
                 }
             }
+        }
         }
     }
 }

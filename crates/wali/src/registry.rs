@@ -38,6 +38,10 @@ pub enum WaliSuspend {
         module: &'static str,
         /// Full import name (`"SYS_read"`, or a layered API function).
         import: &'static str,
+        /// Dense spec index of the syscall, when the blocked call is a
+        /// WALI syscall: lets the runner retry through the pre-resolved
+        /// handler table instead of a by-name registry lookup.
+        sysno: Option<u16>,
         /// Original raw arguments.
         args: Vec<Value>,
         /// Optional wake deadline (virtual mono ns).
@@ -71,6 +75,7 @@ pub enum WaliSuspend {
 /// Maps a kernel result onto the syscall return convention, or suspends.
 pub fn finish(
     import: &'static str,
+    sysno: Option<u16>,
     args: &[Value],
     r: Result<i64, SysError>,
 ) -> Result<Vec<Value>, HostOutcome> {
@@ -81,6 +86,7 @@ pub fn finish(
             Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Blocked {
                 module: crate::WALI_MODULE,
                 import,
+                sysno,
                 args: args.to_vec(),
                 deadline,
             })))
@@ -88,12 +94,15 @@ pub fn finish(
     }
 }
 
-/// Common wrapper body shared by `sys!` registrations.
+/// Common wrapper body shared by `sys!` registrations. `sysno` is the
+/// pre-resolved dense spec index (resolved once at registration, so the
+/// per-call path is an array increment, not a name lookup).
 pub fn enter(
     caller: &mut Caller<'_, WaliContext>,
     name: &'static str,
+    sysno: Option<u16>,
 ) -> Result<(), Result<Vec<Value>, HostOutcome>> {
-    caller.data.trace.count(name);
+    caller.data.trace.count_dispatch(sysno, name);
     if let Some(policy) = &mut caller.data.policy {
         match policy.check(name) {
             Verdict::Allow => {}
@@ -105,7 +114,7 @@ pub fn enter(
             }
         }
     }
-    caller.data.with_kernel(|k| k.enter_syscall());
+    caller.data.tick_syscall();
     Ok(())
 }
 
@@ -113,20 +122,21 @@ pub fn enter(
 macro_rules! sys {
     ($l:expr, $name:literal, $f:expr) => {{
         let name: &'static str = $name;
+        let sysno = wali_abi::spec::sysno(name);
         $l.func(
             crate::WALI_MODULE,
             concat!("SYS_", $name),
             move |caller: &mut wasm::host::Caller<'_, crate::context::WaliContext>,
                   args: &[wasm::interp::Value]| {
                 let t0 = std::time::Instant::now();
-                if let Err(early) = crate::registry::enter(caller, name) {
+                if let Err(early) = crate::registry::enter(caller, name, sysno) {
                     caller.data.trace.host_time += t0.elapsed();
                     return early;
                 }
                 #[allow(clippy::redundant_closure_call)]
                 let r = ($f)(caller, args);
                 caller.data.trace.host_time += t0.elapsed();
-                crate::registry::finish(concat!("SYS_", $name), args, r)
+                crate::registry::finish(concat!("SYS_", $name), sysno, args, r)
             },
         );
     }};
@@ -137,13 +147,14 @@ macro_rules! sys {
 macro_rules! sysx {
     ($l:expr, $name:literal, $f:expr) => {{
         let name: &'static str = $name;
+        let sysno = wali_abi::spec::sysno(name);
         $l.func(
             crate::WALI_MODULE,
             concat!("SYS_", $name),
             move |caller: &mut wasm::host::Caller<'_, crate::context::WaliContext>,
                   args: &[wasm::interp::Value]| {
                 let t0 = std::time::Instant::now();
-                if let Err(early) = crate::registry::enter(caller, name) {
+                if let Err(early) = crate::registry::enter(caller, name, sysno) {
                     caller.data.trace.host_time += t0.elapsed();
                     return early;
                 }
@@ -179,8 +190,9 @@ pub(crate) fn flat<T>(r: Result<Result<T, SysError>, Errno>) -> Result<T, SysErr
 /// name-bound and present, but traps when invoked (§3.5 "allowing the
 /// latter to trap if it cannot faithfully attempt the execution").
 pub(crate) fn register_nosys(l: &mut Linker<WaliContext>, name: &'static str) {
+    let sysno = wali_abi::spec::sysno(name);
     l.func(WALI_MODULE, &format!("SYS_{name}"), move |caller, _args| {
-        caller.data.trace.count(name);
+        caller.data.trace.count_dispatch(sysno, name);
         Ok(vec![Value::I64(Errno::Enosys.as_ret())])
     });
 }

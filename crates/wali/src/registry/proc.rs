@@ -129,7 +129,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let (ru, now) =
             k(c, |kk, tid| Ok::<_, SysError>((kk.rusage_of(tid), kk.clock.monotonic_ns())))?;
         // clock_t at 100 Hz.
-        let tick = |ns: u64| (ns / 10_000_000) as u64;
+        let tick = |ns: u64| ns / 10_000_000;
         let mut image = [0u8; 32];
         image[0..8].copy_from_slice(&tick(ru.utime_ns).to_le_bytes());
         image[8..16].copy_from_slice(&tick(ru.stime_ns).to_le_bytes());

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use vkernel::{Kernel, TaskState, Tid};
 use wali_abi::Errno;
-use wasm::host::{Caller, HostOutcome, Linker};
+use wasm::host::{Caller, HostFn, HostOutcome, Linker};
 use wasm::interp::{Instance, RunResult, Thread, Value};
 use wasm::prep::Program;
 use wasm::{Module, SafepointScheme, Trap};
@@ -97,9 +97,18 @@ impl std::fmt::Display for RunnerError {
 impl std::error::Error for RunnerError {}
 
 enum Pending {
-    Start { func: u32, args: Vec<Value> },
+    Start {
+        func: u32,
+        args: Vec<Value>,
+    },
     Resume(Vec<Value>),
-    Retry { module: &'static str, import: &'static str, args: Vec<Value>, deadline: Option<u64> },
+    Retry {
+        module: &'static str,
+        import: &'static str,
+        sysno: Option<u16>,
+        args: Vec<Value>,
+        deadline: Option<u64>,
+    },
 }
 
 /// Ops per scheduling slice before a busy task is preempted.
@@ -118,8 +127,18 @@ pub struct WaliRunner {
     /// The kernel all tasks share.
     pub kernel: KernelRef,
     linker: Linker<WaliContext>,
+    /// Dense syscall handler table indexed by `wali_abi::spec::sysno`,
+    /// pre-resolved from the linker at [`WaliRunner::register_program`]
+    /// time so blocked-syscall retries skip the by-name registry lookup.
+    handlers: Vec<Option<HostFn<WaliContext>>>,
     programs: HashMap<String, Arc<Program<WaliContext>>>,
     scheme: SafepointScheme,
+    /// Superinstruction fusion override; `None` follows
+    /// [`wasm::prep::fuse_default`].
+    fuse: Option<bool>,
+    /// Set when `linker_mut` may have changed registrations since the
+    /// handler table was built.
+    handlers_dirty: bool,
     tasks: Vec<Slot>,
     spawned_any: bool,
     main_tid: Option<Tid>,
@@ -132,8 +151,11 @@ impl WaliRunner {
         WaliRunner {
             kernel: Rc::new(RefCell::new(Kernel::new())),
             linker: build_linker(),
+            handlers: Vec::new(),
             programs: HashMap::new(),
             scheme,
+            fuse: None,
+            handlers_dirty: true,
             tasks: Vec::new(),
             spawned_any: false,
             main_tid: None,
@@ -155,7 +177,15 @@ impl WaliRunner {
     /// layer) can register additional host modules **before** programs are
     /// registered.
     pub fn linker_mut(&mut self) -> &mut Linker<WaliContext> {
+        self.handlers_dirty = true;
         &mut self.linker
+    }
+
+    /// Overrides superinstruction fusion for subsequently registered
+    /// programs (A/B measurement; default follows
+    /// [`wasm::prep::fuse_default`]).
+    pub fn set_fuse(&mut self, fuse: bool) {
+        self.fuse = Some(fuse);
     }
 
     /// Adjusts the context of a spawned (not yet finished) task — used to
@@ -170,10 +200,20 @@ impl WaliRunner {
     /// (`execve` target). Also materializes a stub file in the VFS so
     /// `access`/`stat` on the path behave.
     pub fn register_program(&mut self, path: &str, module: &Module) -> Result<(), RunnerError> {
-        let program =
-            Program::link(module, &self.linker, self.scheme).map_err(RunnerError::Link)?;
+        let fuse = self.fuse.unwrap_or_else(wasm::prep::fuse_default);
+        let program = Program::link_with(module, &self.linker, self.scheme, fuse)
+            .map_err(RunnerError::Link)?;
         let _ = self.kernel.borrow_mut().vfs.write_file(path, b"\0asm\x01\0\0\0");
         self.programs.insert(path.to_string(), Arc::new(program));
+        // (Re)build the dense handler table, but only when the linker
+        // could have changed since the last build.
+        if self.handlers_dirty {
+            self.handlers = wali_abi::spec::SPEC
+                .iter()
+                .map(|s| self.linker.resolve(crate::WALI_MODULE, &s.import_name()).cloned())
+                .collect();
+            self.handlers_dirty = false;
+        }
         Ok(())
     }
 
@@ -285,13 +325,23 @@ impl WaliRunner {
                 Pending::Resume(values) => {
                     slot.thread.resume(&mut slot.instance, &mut slot.ctx, &values)
                 }
-                Pending::Retry { module, import, args, deadline } => {
+                Pending::Retry { module, import, sysno, args, deadline } => {
                     slot.ctx.retry_deadline = deadline;
-                    let f = self
-                        .linker
-                        .resolve(module, import)
-                        .expect("retry of a registered function")
-                        .clone();
+                    // Fast path: WALI syscalls retry through the dense
+                    // pre-resolved handler table; other modules (layered
+                    // APIs) fall back to the by-name registry.
+                    let f = match sysno.filter(|_| module == crate::WALI_MODULE) {
+                        Some(no) => self
+                            .handlers
+                            .get(no as usize)
+                            .and_then(|h| h.clone())
+                            .expect("retry of a registered syscall"),
+                        None => self
+                            .linker
+                            .resolve(module, import)
+                            .expect("retry of a registered function")
+                            .clone(),
+                    };
                     let mut caller =
                         Caller { instance: &slot.instance, data: &mut slot.ctx };
                     match f(&mut caller, &args) {
@@ -356,7 +406,7 @@ impl WaliRunner {
                 self.finish_task(i, Some(TaskEnd::Exited(code)));
                 Ok(true)
             }
-            WaliSuspend::Blocked { module, import, args, deadline } => {
+            WaliSuspend::Blocked { module, import, sysno, args, deadline } => {
                 // Re-blocking counts as progress only if the task actually
                 // executed wasm since its last block (a completed retry
                 // that blocked again made real progress; an immediately
@@ -364,7 +414,7 @@ impl WaliRunner {
                 // clock in that case).
                 let tid = self.tasks[i].tid;
                 self.tasks[i].pending =
-                    Some(Pending::Retry { module, import, args, deadline });
+                    Some(Pending::Retry { module, import, sysno, args, deadline });
                 self.tasks[i].ctx.with_kernel(|k| {
                     if let Ok(t) = k.task_mut(tid) {
                         t.rusage.nvcsw += 1;

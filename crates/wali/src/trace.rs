@@ -5,15 +5,143 @@
 //! breakdown). Kernel time is measured around kernel-model invocations and
 //! WALI time is the remaining host-call time, exactly mirroring how the
 //! paper splits the stack.
+//!
+//! Counting is on every syscall's hot path, so [`SysCounts`] stores spec
+//! syscalls in a dense array indexed by [`wali_abi::spec::sysno`] — one
+//! add per call — and falls back to a name-keyed map only for non-spec
+//! entries (support methods, layered APIs).
 
 use std::collections::BTreeMap;
+use std::ops::Index;
 use std::time::Duration;
+
+use wali_abi::spec::{self, SPEC_LEN};
+
+/// Per-syscall invocation counters with a dense spec-indexed fast path.
+#[derive(Clone)]
+pub struct SysCounts {
+    dense: Box<[u64; SPEC_LEN]>,
+    named: BTreeMap<&'static str, u64>,
+}
+
+impl Default for SysCounts {
+    fn default() -> Self {
+        SysCounts { dense: Box::new([0; SPEC_LEN]), named: BTreeMap::new() }
+    }
+}
+
+impl SysCounts {
+    /// Records one invocation by dense syscall index (the hot path).
+    #[inline]
+    pub fn bump(&mut self, sysno: u16) {
+        self.dense[sysno as usize] += 1;
+    }
+
+    /// Records one invocation by name (slow path; resolves the index).
+    pub fn count(&mut self, name: &'static str) {
+        match spec::sysno(name) {
+            Some(no) => self.bump(no),
+            None => *self.named.entry(name).or_insert(0) += 1,
+        }
+    }
+
+    /// Adds `n` invocations of `name` (merging).
+    fn add(&mut self, name: &'static str, n: u64) {
+        match spec::sysno(name) {
+            Some(no) => self.dense[no as usize] += n,
+            None => *self.named.entry(name).or_insert(0) += n,
+        }
+    }
+
+    /// The count for `name`, if any were recorded.
+    pub fn get(&self, name: &str) -> Option<&u64> {
+        match spec::sysno(name) {
+            Some(no) => {
+                let c = &self.dense[no as usize];
+                (*c > 0).then_some(c)
+            }
+            None => self.named.get(name),
+        }
+    }
+
+    /// True if `name` was invoked at least once.
+    pub fn contains_key(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over `(name, count)` pairs with nonzero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (spec::SPEC[i].name, *c))
+            .chain(self.named.iter().map(|(n, c)| (*n, *c)))
+    }
+
+    /// Iterates over invoked syscall names.
+    pub fn keys(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.iter().map(|(n, _)| n)
+    }
+
+    /// Number of distinct invoked syscalls.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.dense.iter().sum::<u64>() + self.named.values().sum::<u64>()
+    }
+
+    /// Snapshot as an ordinary name-keyed map (report binaries).
+    pub fn to_map(&self) -> BTreeMap<&'static str, u64> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a SysCounts {
+    type Item = (&'static str, u64);
+    type IntoIter = Box<dyn Iterator<Item = (&'static str, u64)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl Index<&str> for SysCounts {
+    type Output = u64;
+
+    fn index(&self, name: &str) -> &u64 {
+        match spec::sysno(name) {
+            Some(no) => &self.dense[no as usize],
+            None => self.named.get(name).unwrap_or(&0),
+        }
+    }
+}
+
+impl PartialEq for SysCounts {
+    fn eq(&self, other: &Self) -> bool {
+        *self.dense == *other.dense && self.named == other.named
+    }
+}
+
+impl std::fmt::Debug for SysCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
 
 /// Per-task syscall counts and layer timings.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Number of invocations per syscall name.
-    pub counts: BTreeMap<&'static str, u64>,
+    pub counts: SysCounts,
     /// Wall time spent inside host (WALI + kernel) calls.
     pub host_time: Duration,
     /// Wall time spent inside the kernel model.
@@ -28,12 +156,30 @@ impl Trace {
     /// Records one invocation of `name`.
     #[inline]
     pub fn count(&mut self, name: &'static str) {
-        *self.counts.entry(name).or_insert(0) += 1;
+        self.counts.count(name);
+    }
+
+    /// Records one invocation by pre-resolved dense index (the hot path
+    /// used by the registry wrappers).
+    #[inline]
+    pub fn count_sysno(&mut self, sysno: u16) {
+        self.counts.bump(sysno);
+    }
+
+    /// Records one invocation through a registration-time dispatch pair:
+    /// the dense index when the call is a spec syscall, the name
+    /// otherwise.
+    #[inline]
+    pub fn count_dispatch(&mut self, sysno: Option<u16>, name: &'static str) {
+        match sysno {
+            Some(no) => self.counts.bump(no),
+            None => self.counts.count(name),
+        }
     }
 
     /// Total syscall invocations.
     pub fn total_syscalls(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.total()
     }
 
     /// Number of distinct syscalls used.
@@ -66,8 +212,11 @@ impl Trace {
 
     /// Merges another trace into this one (multi-task aggregation).
     pub fn merge(&mut self, other: &Trace) {
-        for (name, n) in &other.counts {
-            *self.counts.entry(name).or_insert(0) += n;
+        for i in 0..SPEC_LEN {
+            self.counts.dense[i] += other.counts.dense[i];
+        }
+        for (name, n) in &other.counts.named {
+            self.counts.add(name, *n);
         }
         self.host_time += other.host_time;
         self.kernel_time += other.kernel_time;
@@ -89,6 +238,22 @@ mod tests {
         assert_eq!(t.counts["read"], 2);
         assert_eq!(t.total_syscalls(), 3);
         assert_eq!(t.unique_syscalls(), 2);
+    }
+
+    #[test]
+    fn dense_and_named_counts_agree() {
+        let mut c = SysCounts::default();
+        let no = spec::sysno("read").expect("read is in the spec");
+        c.bump(no);
+        c.count("read");
+        c.count("get_argc"); // support method: not in SPEC, named fallback
+        assert_eq!(c["read"], 2);
+        assert_eq!(c["get_argc"], 1);
+        assert_eq!(c["never_called"], 0);
+        assert!(c.contains_key("get_argc"));
+        assert!(!c.contains_key("never_called"));
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.to_map().len(), 2);
     }
 
     #[test]

@@ -167,6 +167,7 @@ fn wali_call(
                     Err(Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Blocked {
                         module: WASI_MODULE,
                         import: wasi_import,
+                        sysno: None,
                         args: wasi_args.to_vec(),
                         deadline,
                     }))))

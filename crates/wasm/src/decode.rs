@@ -416,7 +416,7 @@ pub fn decode_expr(r: &mut Reader) -> Result<Vec<Instr>, DecodeError> {
             }
             0xfe => {
                 let sub = r.u32()?;
-                let instr = match sub {
+                match sub {
                     0x00 => Instr::AtomicNotify(memarg(r)?),
                     0x01 => Instr::AtomicWait32(memarg(r)?),
                     0x03 => {
@@ -435,8 +435,7 @@ pub fn decode_expr(r: &mut Reader) -> Result<Vec<Instr>, DecodeError> {
                     0x41 => Instr::AtomicRmw(RmwOp::Xchg, memarg(r)?),
                     0x48 => Instr::AtomicCmpxchg(memarg(r)?),
                     _ => return Err(DecodeError::UnknownOpcode(0xfe00 | sub)),
-                };
-                instr
+                }
             }
             other => return Err(DecodeError::UnknownOpcode(other as u32)),
         };

@@ -98,8 +98,12 @@ pub trait HostCtx {
 impl HostCtx for () {}
 
 /// Registry of host functions keyed by `(module, name)`.
+///
+/// Stored as a two-level map so [`Linker::resolve`] is allocation-free:
+/// the blocked-syscall retry path resolves on every scheduling round, so
+/// a per-resolve `String` pair would be a hot-path cost.
 pub struct Linker<T> {
-    funcs: HashMap<(String, String), HostFn<T>>,
+    funcs: HashMap<String, HashMap<String, HostFn<T>>>,
 }
 
 impl<T> Default for Linker<T> {
@@ -130,28 +134,33 @@ impl<T> Linker<T> {
             + Sync
             + 'static,
     ) -> &mut Self {
-        self.funcs.insert((module.to_string(), name.to_string()), Arc::new(f));
+        self.funcs
+            .entry(module.to_string())
+            .or_default()
+            .insert(name.to_string(), Arc::new(f));
         self
     }
 
-    /// Looks up a registered function.
+    /// Looks up a registered function (no allocation).
     pub fn resolve(&self, module: &str, name: &str) -> Option<&HostFn<T>> {
-        self.funcs.get(&(module.to_string(), name.to_string()))
+        self.funcs.get(module)?.get(name)
     }
 
     /// Number of registered functions.
     pub fn len(&self) -> usize {
-        self.funcs.len()
+        self.funcs.values().map(|m| m.len()).sum()
     }
 
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.funcs.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over registered `(module, name)` pairs.
     pub fn names(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.funcs.keys().map(|(m, n)| (m.as_str(), n.as_str()))
+        self.funcs
+            .iter()
+            .flat_map(|(m, inner)| inner.keys().map(move |n| (m.as_str(), n.as_str())))
     }
 }
 

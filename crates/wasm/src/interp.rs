@@ -790,6 +790,60 @@ impl Thread {
                         Err(t) => trap!(t),
                     }
                 }
+
+                // Fused superinstructions: one dispatch for the dominant
+                // pairs/triples, semantically identical to the unfused
+                // sequences above.
+                Op::LocalLocalBin(a, b, op) => {
+                    let frame = self.frames.last().expect("frame");
+                    let va = self.stack[frame.base + *a as usize];
+                    let vb = self.stack[frame.base + *b as usize];
+                    match eval_bin(*op, va, vb) {
+                        Ok(v) => self.stack.push(v),
+                        Err(t) => trap!(t),
+                    }
+                }
+                Op::LocalConstBin(a, k, op) => {
+                    let frame = self.frames.last().expect("frame");
+                    let va = self.stack[frame.base + *a as usize];
+                    match eval_bin(*op, va, *k) {
+                        Ok(v) => self.stack.push(v),
+                        Err(t) => trap!(t),
+                    }
+                }
+                Op::ConstBin(k, op) => {
+                    let a = self.pop();
+                    match eval_bin(*op, a, *k) {
+                        Ok(v) => self.stack.push(v),
+                        Err(t) => trap!(t),
+                    }
+                }
+                Op::RelBrIf(rel, d) => {
+                    let d = *d;
+                    let b = self.pop();
+                    let a = self.pop();
+                    if eval_rel(*rel, a, b) != 0 {
+                        self.do_branch(&d);
+                    }
+                }
+                Op::RelBrIfZero(rel, d) => {
+                    let d = *d;
+                    let b = self.pop();
+                    let a = self.pop();
+                    if eval_rel(*rel, a, b) == 0 {
+                        self.do_branch(&d);
+                    }
+                }
+                Op::LocalLoad(i, kind, offset) => {
+                    let frame = self.frames.last().expect("frame");
+                    let base = self.stack[frame.base + *i as usize];
+                    let addr = base as u32 as u64 + offset;
+                    let v = match load(&inst.memory, *kind, addr) {
+                        Ok(v) => v,
+                        Err(t) => trap!(t),
+                    };
+                    self.stack.push(v);
+                }
             }
         }
     }

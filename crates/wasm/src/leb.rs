@@ -118,7 +118,7 @@ impl<'a> Reader<'a> {
             if shift >= bits {
                 return Err(DecodeError::IntegerTooLong);
             }
-            result |= (((byte & 0x7f) as i64) << shift) as i64;
+            result |= ((byte & 0x7f) as i64) << shift;
             shift += 7;
             if byte & 0x80 == 0 {
                 // Sign-extend from the last payload bit.
@@ -185,7 +185,6 @@ pub fn write_name(out: &mut Vec<u8>, name: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn unsigned_round_trip_edges() {
@@ -232,7 +231,12 @@ mod tests {
         assert!(matches!(Reader::new(&buf).name(), Err(DecodeError::InvalidUtf8)));
     }
 
-    proptest! {
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn prop_u64_round_trips(v in any::<u64>()) {
             let mut buf = Vec::new();
@@ -261,6 +265,7 @@ mod tests {
             // ceil(bits/7) bytes, minimum 1.
             let expected = ((32 - v.leading_zeros()).max(1) as usize).div_ceil(7);
             prop_assert_eq!(buf.len(), expected);
+        }
         }
     }
 }

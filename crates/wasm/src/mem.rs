@@ -300,7 +300,7 @@ impl Memory {
     }
 
     fn check_aligned(&self, addr: u64, align: u64) -> Result<usize, Trap> {
-        if addr % align != 0 {
+        if !addr.is_multiple_of(align) {
             return Err(Trap::MemoryOutOfBounds);
         }
         self.check(addr, align)

@@ -68,6 +68,22 @@ pub enum Op {
     AtomicStore(crate::instr::AtomicWidth, u64),
     AtomicRmw(crate::instr::RmwOp, u64),
     AtomicCmpxchg(u64),
+
+    // Fused superinstructions. Emitted by the preparation peephole for the
+    // dominant dispatch pairs; never required for correctness (disabling
+    // fusion yields the unfused forms above with identical semantics).
+    /// `local.get a; local.get b; <binop>`.
+    LocalLocalBin(u32, u32, crate::instr::BinOp),
+    /// `local.get a; const k; <binop>`.
+    LocalConstBin(u32, u64, crate::instr::BinOp),
+    /// `const k; <binop>` (stack top is the left operand).
+    ConstBin(u64, crate::instr::BinOp),
+    /// `<relop>; br_if`.
+    RelBrIf(crate::instr::RelOp, BrDest),
+    /// `<relop>; br_if_zero` (the lowered `if` condition).
+    RelBrIfZero(crate::instr::RelOp, BrDest),
+    /// `local.get i; <load>`.
+    LocalLoad(u32, crate::instr::LoadKind, u64),
 }
 
 /// A prepared function body.
@@ -163,14 +179,35 @@ pub struct Program<T> {
     pub start: Option<u32>,
     /// Safepoint scheme the code was prepared with.
     pub scheme: SafepointScheme,
+    /// Whether superinstruction fusion was applied.
+    pub fused: bool,
+}
+
+/// The process-wide default for superinstruction fusion: on, unless the
+/// `WALI_NO_FUSE` environment variable is set (A/B measurement escape
+/// hatch used by the benches).
+pub fn fuse_default() -> bool {
+    std::env::var_os("WALI_NO_FUSE").is_none()
 }
 
 impl<T> Program<T> {
-    /// Validates, prepares and links `module` against `linker`.
+    /// Validates, prepares and links `module` against `linker`, using the
+    /// [`fuse_default`] fusion setting.
     pub fn link(
         module: &Module,
         linker: &Linker<T>,
         scheme: SafepointScheme,
+    ) -> Result<Program<T>, LinkError> {
+        Self::link_with(module, linker, scheme, fuse_default())
+    }
+
+    /// Validates, prepares and links with explicit control over
+    /// superinstruction fusion (`fuse = false` emits only unfused ops).
+    pub fn link_with(
+        module: &Module,
+        linker: &Linker<T>,
+        scheme: SafepointScheme,
+        fuse: bool,
     ) -> Result<Program<T>, LinkError> {
         crate::validate::validate(module)?;
 
@@ -198,7 +235,7 @@ impl<T> Program<T> {
         for (i, body) in module.code.iter().enumerate() {
             let ty_idx = module.funcs[i];
             let ty = &module.types[ty_idx as usize];
-            let prepared = prepare_func(module, ty_idx, ty, body, scheme);
+            let prepared = prepare_func(module, ty_idx, ty, body, scheme, fuse);
             funcs.push(FuncDef::Local(Arc::new(prepared)));
         }
 
@@ -213,6 +250,7 @@ impl<T> Program<T> {
             datas: module.datas.iter().map(|d| (d.offset, d.bytes.clone())).collect(),
             start: module.start,
             scheme,
+            fused: fuse,
         })
     }
 
@@ -299,11 +337,18 @@ fn prepare_func(
     ty: &FuncType,
     body: &FuncBody,
     scheme: SafepointScheme,
+    fuse: bool,
 ) -> PreparedFunc {
     let mut ops: Vec<Op> = Vec::with_capacity(body.instrs.len() + 8);
     let mut ctrls: Vec<CtrlEntry> = Vec::new();
     // Absolute operand-stack height (above locals); `None` in dead code.
     let mut height: Option<u32> = Some(0);
+    // Fusion fence: ops below this index are (or may become) branch
+    // targets or carry registered patch refs, so a superinstruction may
+    // consume trailing ops only from this index on. A fused op that
+    // *starts* at a branch-target index is fine — the jump lands on the
+    // whole superinstruction, which performs the same work.
+    let mut barrier: usize = 0;
 
     let every = scheme == SafepointScheme::EveryInstruction;
     if scheme == SafepointScheme::FunctionEntry {
@@ -352,6 +397,7 @@ fn prepare_func(
                 let (p, r) = block_sig(module, bt);
                 let entry = h!().saturating_sub(p as u32);
                 let header = ops.len() as u32;
+                barrier = barrier.max(header as usize);
                 if scheme == SafepointScheme::LoopHeaders || every {
                     ops.push(Op::Safepoint);
                 }
@@ -370,8 +416,15 @@ fn prepare_func(
                 let after_cond = h!().saturating_sub(1);
                 height = height.map(|h| h.saturating_sub(1));
                 let entry = after_cond.saturating_sub(p as u32);
-                let patch_pos = ops.len();
-                ops.push(Op::BrIfZero(BrDest { target: 0, drop_to: entry, keep: p }));
+                let dest = BrDest { target: 0, drop_to: entry, keep: p };
+                if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::Rel(_))) {
+                    let Some(Op::Rel(rel)) = ops.pop() else { unreachable!() };
+                    ops.push(Op::RelBrIfZero(rel, dest));
+                } else {
+                    ops.push(Op::BrIfZero(dest));
+                }
+                let patch_pos = ops.len() - 1;
+                barrier = ops.len();
                 ctrls.push(CtrlEntry {
                     height: entry,
                     arity: r,
@@ -398,6 +451,7 @@ fn prepare_func(
                         patch(&mut ops, PatchRef { op: pos, slot: Slot::Single }, here);
                     }
                 }
+                barrier = ops.len();
                 height = Some(top.height + top.start_arity as u32);
             }
             Instr::End => {
@@ -422,6 +476,7 @@ fn prepare_func(
                         }
                     }
                 }
+                barrier = ops.len();
                 height = Some(top.end_height);
                 if ctrls.is_empty() {
                     // Implicit function end: emit the return below.
@@ -441,12 +496,20 @@ fn prepare_func(
             Instr::Br(depth) => {
                 let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
                 ops.push(Op::Br(dest));
+                barrier = ops.len();
                 height = None;
             }
             Instr::BrIf(depth) => {
                 height = height.map(|h| h.saturating_sub(1));
-                let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
-                ops.push(Op::BrIf(dest));
+                if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::Rel(_))) {
+                    let Some(Op::Rel(rel)) = ops.pop() else { unreachable!() };
+                    let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
+                    ops.push(Op::RelBrIf(rel, dest));
+                } else {
+                    let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
+                    ops.push(Op::BrIf(dest));
+                }
+                barrier = ops.len();
             }
             Instr::BrTable(targets, default) => {
                 let pos = ops.len();
@@ -459,6 +522,7 @@ fn prepare_func(
                     .collect();
                 let def = br_dest(&mut ctrls, *default, pos, Slot::TableDefault);
                 ops[pos] = Op::BrTable(dests.into_boxed_slice(), def);
+                barrier = ops.len();
                 height = None;
             }
             Instr::Return => {
@@ -502,7 +566,14 @@ fn prepare_func(
                 height = height.map(|h| h.saturating_sub(1));
                 ops.push(Op::GlobalSet(*i));
             }
-            Instr::Load(k, a) => ops.push(Op::Load(*k, a.offset as u64)),
+            Instr::Load(k, a) => {
+                if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::LocalGet(_))) {
+                    let Some(Op::LocalGet(i)) = ops.pop() else { unreachable!() };
+                    ops.push(Op::LocalLoad(i, *k, a.offset as u64));
+                } else {
+                    ops.push(Op::Load(*k, a.offset as u64));
+                }
+            }
             Instr::Store(k, a) => {
                 height = height.map(|h| h.saturating_sub(2));
                 ops.push(Op::Store(*k, a.offset as u64));
@@ -539,7 +610,27 @@ fn prepare_func(
             Instr::Un(op) => ops.push(Op::Un(*op)),
             Instr::Bin(op) => {
                 height = height.map(|h| h.saturating_sub(1));
-                ops.push(Op::Bin(*op));
+                if !fuse {
+                    ops.push(Op::Bin(*op));
+                } else if ops.len() >= barrier + 2
+                    && matches!(
+                        &ops[ops.len() - 2..],
+                        [Op::LocalGet(_), Op::LocalGet(_)] | [Op::LocalGet(_), Op::Const(_)]
+                    )
+                {
+                    let second = ops.pop().expect("matched");
+                    let Some(Op::LocalGet(a)) = ops.pop() else { unreachable!() };
+                    match second {
+                        Op::LocalGet(b) => ops.push(Op::LocalLocalBin(a, b, *op)),
+                        Op::Const(k) => ops.push(Op::LocalConstBin(a, k, *op)),
+                        _ => unreachable!(),
+                    }
+                } else if ops.len() > barrier && matches!(ops.last(), Some(Op::Const(_))) {
+                    let Some(Op::Const(k)) = ops.pop() else { unreachable!() };
+                    ops.push(Op::ConstBin(k, *op));
+                } else {
+                    ops.push(Op::Bin(*op));
+                }
             }
             Instr::Rel(op) => {
                 height = height.map(|h| h.saturating_sub(1));
@@ -614,7 +705,9 @@ fn patch(ops: &mut [Op], at: PatchRef, target: u32) {
     let dest = match (&mut ops[at.op], at.slot) {
         (Op::Br(d), Slot::Single)
         | (Op::BrIf(d), Slot::Single)
-        | (Op::BrIfZero(d), Slot::Single) => d,
+        | (Op::BrIfZero(d), Slot::Single)
+        | (Op::RelBrIf(_, d), Slot::Single)
+        | (Op::RelBrIfZero(_, d), Slot::Single) => d,
         (Op::BrTable(dests, _), Slot::Table(i)) => &mut dests[i],
         (Op::BrTable(_, def), Slot::TableDefault) => def,
         (other, slot) => panic!("patching op {other:?} with slot {slot:?}"),
@@ -641,7 +734,14 @@ mod tests {
             ..Default::default()
         };
         crate::validate::validate(&module).expect("valid");
-        prepare_func(&module, 0, &module.types[0], &module.code[0], SafepointScheme::LoopHeaders)
+        prepare_func(
+            &module,
+            0,
+            &module.types[0],
+            &module.code[0],
+            SafepointScheme::LoopHeaders,
+            true,
+        )
     }
 
     #[test]
@@ -732,6 +832,7 @@ mod tests {
             &module.types[0],
             &module.code[0],
             SafepointScheme::EveryInstruction,
+            true,
         );
         let polls = p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count();
         assert_eq!(polls, 3);
@@ -752,6 +853,7 @@ mod tests {
             &module.types[0],
             &module.code[0],
             SafepointScheme::FunctionEntry,
+            true,
         );
         assert_eq!(p.ops[0], Op::Safepoint);
         let polls = p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count();

@@ -104,7 +104,7 @@ pub struct Limits {
 impl Limits {
     /// Checks internal consistency (`min <= max`).
     pub fn valid(&self) -> bool {
-        self.max.map_or(true, |m| self.min <= m)
+        self.max.is_none_or(|m| self.min <= m)
     }
 }
 

@@ -221,10 +221,10 @@ fn safepoint_reentrancy_runs_signal_handler() {
     let mut inst = link(&module, &Linker::<Ctx>::new(), SafepointScheme::LoopHeaders);
     let handler_idx = inst.export_func("handler").unwrap();
     let main_idx = inst.export_func("main").unwrap();
-    let mut ctx = Ctx::default();
     // Queue a pending "SIGINT" delivered at the first loop-header
     // safepoint.
-    ctx.pending = Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] });
+    let mut ctx =
+        Ctx { pending: Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] }), ..Default::default() };
 
     let mut t = Thread::new();
     match t.call(&mut inst, &mut ctx, main_idx, &[]) {
@@ -258,8 +258,8 @@ fn no_safepoints_means_no_delivery() {
     let mut inst = link(&module, &Linker::<Ctx>::new(), SafepointScheme::None);
     let handler_idx = inst.export_func("handler").unwrap();
     let main_idx = inst.export_func("main").unwrap();
-    let mut ctx = Ctx::default();
-    ctx.pending = Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] });
+    let mut ctx =
+        Ctx { pending: Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] }), ..Default::default() };
 
     let mut t = Thread::new();
     match t.call(&mut inst, &mut ctx, main_idx, &[]) {

@@ -1,0 +1,322 @@
+//! Dispatch equivalence: superinstruction fusion must be unobservable.
+//!
+//! Every program in the corpus is prepared twice — fusion enabled and
+//! disabled — and executed with the same inputs; results, traps, final
+//! memory and globals must match exactly. The corpus leans on the fused
+//! patterns (`local.get local.get binop`, `const binop`, compare+`br_if`,
+//! `local.get` + load) including the edge cases the fusion barrier
+//! protects: branch targets landing between fusible ops.
+
+use std::sync::Arc;
+
+use wasm::build::ModuleBuilder;
+use wasm::host::Linker;
+use wasm::instr::{BinOp, BlockType, Instr, LoadKind, MemArg, RelOp, StoreKind};
+use wasm::interp::{Instance, RunResult, Thread, Value};
+use wasm::prep::{Op, Program};
+use wasm::safepoint::SafepointScheme;
+use wasm::types::ValType;
+
+/// Builds each corpus module fresh (ModuleBuilder is consumed by build).
+fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
+    let mut out: Vec<(&'static str, wasm::Module, Vec<Value>)> = Vec::new();
+
+    // local.get+local.get+binop and local.get+const+binop in a counted
+    // loop with compare+br_if as the back edge.
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local(ValType::I32); // acc = local 1
+        b.local(ValType::I32); // i   = local 2
+        b.emit(Instr::Block(BlockType::Empty))
+            .emit(Instr::Loop(BlockType::Empty))
+            // if i >= n break
+            .local_get(2)
+            .local_get(0)
+            .emit(Instr::Rel(RelOp::I32GeS))
+            .emit(Instr::BrIf(1))
+            // acc = acc + i*31
+            .local_get(1)
+            .local_get(2)
+            .i32(31)
+            .emit(Instr::Bin(BinOp::I32Mul))
+            .emit(Instr::Bin(BinOp::I32Add))
+            .local_set(1)
+            // i += 1
+            .local_get(2)
+            .i32(1)
+            .emit(Instr::Bin(BinOp::I32Add))
+            .local_set(2)
+            .emit(Instr::Br(0))
+            .emit(Instr::End)
+            .emit(Instr::End)
+            .local_get(1);
+    });
+    mb.export("main", f);
+    out.push(("loop_arith", mb.build(), vec![Value::I32(100)]));
+
+    // local.get + load / store round trip over memory.
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(2));
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local(ValType::I32);
+        // mem[64] = n * 3
+        b.i32(64)
+            .local_get(0)
+            .i32(3)
+            .emit(Instr::Bin(BinOp::I32Mul))
+            .emit(Instr::Store(StoreKind::I32, MemArg::offset(0)))
+            // return mem[64] + n  (local.get + i32.load fuses)
+            .local_get(0)
+            .emit(Instr::Load(LoadKind::I32, MemArg::offset(64)))
+            .local_get(0)
+            .emit(Instr::Bin(BinOp::I32Add));
+    });
+    mb.export("main", f);
+    out.push(("load_store", mb.build(), vec![Value::I32(0)]));
+
+    // if/else with a fused compare condition (Rel + BrIfZero).
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32, ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local_get(0)
+            .local_get(1)
+            .emit(Instr::Rel(RelOp::I32LtS))
+            .emit(Instr::If(BlockType::Value(ValType::I32)))
+            .i32(-1)
+            .emit(Instr::Else)
+            .local_get(0)
+            .local_get(1)
+            .emit(Instr::Bin(BinOp::I32Sub))
+            .emit(Instr::End);
+    });
+    mb.export("main", f);
+    out.push(("if_else_cmp", mb.build(), vec![Value::I32(9), Value::I32(4)]));
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32, ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local_get(0)
+            .local_get(1)
+            .emit(Instr::Rel(RelOp::I32LtS))
+            .emit(Instr::If(BlockType::Value(ValType::I32)))
+            .i32(-1)
+            .emit(Instr::Else)
+            .local_get(0)
+            .local_get(1)
+            .emit(Instr::Bin(BinOp::I32Sub))
+            .emit(Instr::End);
+    });
+    mb.export("main", f);
+    out.push(("if_else_cmp_taken", mb.build(), vec![Value::I32(2), Value::I32(4)]));
+
+    // Forward branch landing exactly *on* a fusible pair: the block end
+    // coincides with the const, so a fused const+binop starting at the
+    // target is legal (the jump executes the whole superinstruction) —
+    // both the taken and fall-through paths must agree.
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local(ValType::I32);
+        b.local_get(0)
+            .local_set(1)
+            .local_get(1) // value flowing out of the block
+            .emit(Instr::Block(BlockType::Empty))
+            .local_get(0)
+            .emit(Instr::BrIf(0)) // jumps to End: next op executes
+            .emit(Instr::End)
+            // target lands here: const+binop where the const predates the
+            // barrier in the unfused stream
+            .i32(7)
+            .emit(Instr::Bin(BinOp::I32Add));
+    });
+    mb.export("main", f);
+    out.push(("branch_into_pair", mb.build(), vec![Value::I32(5)]));
+
+    // Trap parity: division by zero behind a fused const divisor.
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local_get(0).i32(0).emit(Instr::Bin(BinOp::I32DivS));
+    });
+    mb.export("main", f);
+    out.push(("div_by_zero_const", mb.build(), vec![Value::I32(10)]));
+
+    // Trap parity: OOB via the fused local.get+load.
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(1));
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local_get(0).emit(Instr::Load(LoadKind::I32, MemArg::offset(0)));
+    });
+    mb.export("main", f);
+    out.push(("oob_local_load", mb.build(), vec![Value::I32(70000)]));
+
+    // Loop header landing *between* fusible ops: the address is pushed
+    // before the loop and the load is the loop's first op, so the
+    // back-edge targets the load. Fusing local.get+load here would make
+    // iterations 2+ skip the load; the fusion barrier must prevent it.
+    let mut mb = ModuleBuilder::new();
+    mb.memory(1, Some(1));
+    let loop_sig;
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    {
+        loop_sig = mb.sig([ValType::I32], [ValType::I32]);
+    }
+    let f = mb.func(sig, |b| {
+        b.local(ValType::I32); // counter = local 1
+        b.i32(3)
+            .local_set(1)
+            .local_get(0) // addr, becomes the loop parameter
+            .emit(Instr::Loop(BlockType::Func(loop_sig)))
+            .emit(Instr::Load(LoadKind::I32, MemArg::offset(0))) // loop header region
+            .emit(Instr::Drop)
+            .local_get(0) // fresh addr for the back edge / result
+            .local_get(1)
+            .i32(1)
+            .emit(Instr::Bin(BinOp::I32Sub))
+            .local_tee(1)
+            .emit(Instr::BrIf(0))
+            .emit(Instr::End);
+    });
+    mb.export("main", f);
+    out.push(("loop_header_load", mb.build(), vec![Value::I32(8)]));
+
+    // br_table with fused arithmetic in the arms.
+    for (name, v) in
+        [("br_table_0", 0), ("br_table_1", 1), ("br_table_default", 9)]
+    {
+        let mut mb2 = ModuleBuilder::new();
+        let sig = mb2.sig([ValType::I32], [ValType::I32]);
+        let f2 = mb2.func(sig, |b| {
+            b.local(ValType::I32);
+            b.emit(Instr::Block(BlockType::Empty))
+                .emit(Instr::Block(BlockType::Empty))
+                .emit(Instr::Block(BlockType::Empty))
+                .local_get(0)
+                .emit(Instr::BrTable(Box::new([0, 1]), 2))
+                .emit(Instr::End)
+                .local_get(0)
+                .i32(10)
+                .emit(Instr::Bin(BinOp::I32Add))
+                .local_set(1)
+                .emit(Instr::Br(1))
+                .emit(Instr::End)
+                .local_get(0)
+                .i32(20)
+                .emit(Instr::Bin(BinOp::I32Add))
+                .local_set(1)
+                .emit(Instr::End)
+                .local_get(1);
+        });
+        mb2.export("main", f2);
+        out.push((name, mb2.build(), vec![Value::I32(v)]));
+    }
+
+    out
+}
+
+fn run(module: &wasm::Module, fuse: bool, args: &[Value], scheme: SafepointScheme) -> (RunResult, Vec<u64>) {
+    let linker: Linker<()> = Linker::new();
+    let program = Arc::new(Program::link_with(module, &linker, scheme, fuse).expect("link"));
+    assert_eq!(program.fused, fuse);
+    let mut inst = Instance::new(program).expect("instantiate");
+    let main = inst.export_func("main").expect("main export");
+    let mut t = Thread::new();
+    let r = t.call(&mut inst, &mut (), main, args);
+    (r, inst.globals.clone())
+}
+
+fn fused_op_count(module: &wasm::Module, fuse: bool) -> usize {
+    let linker: Linker<()> = Linker::new();
+    let program =
+        Arc::new(Program::link_with(module, &linker, SafepointScheme::LoopHeaders, fuse).unwrap());
+    program
+        .funcs
+        .iter()
+        .filter_map(|f| match f {
+            wasm::prep::FuncDef::Local(p) => Some(
+                p.ops
+                    .iter()
+                    .filter(|o| {
+                        matches!(
+                            o,
+                            Op::LocalLocalBin(..)
+                                | Op::LocalConstBin(..)
+                                | Op::ConstBin(..)
+                                | Op::RelBrIf(..)
+                                | Op::RelBrIfZero(..)
+                                | Op::LocalLoad(..)
+                        )
+                    })
+                    .count(),
+            ),
+            _ => None,
+        })
+        .sum()
+}
+
+#[test]
+fn fusion_is_observationally_equivalent() {
+    for scheme in [SafepointScheme::None, SafepointScheme::LoopHeaders, SafepointScheme::EveryInstruction] {
+        for (name, module, args) in corpus() {
+            let (fused, g1) = run(&module, true, &args, scheme);
+            let (unfused, g2) = run(&module, false, &args, scheme);
+            match (&fused, &unfused) {
+                (RunResult::Done(a), RunResult::Done(b)) => {
+                    assert_eq!(a, b, "{name} ({scheme:?}): results diverge")
+                }
+                (RunResult::Trapped(a), RunResult::Trapped(b)) => {
+                    assert_eq!(a, b, "{name} ({scheme:?}): traps diverge")
+                }
+                other => panic!("{name} ({scheme:?}): outcome shape diverges: {other:?}"),
+            }
+            assert_eq!(g1, g2, "{name} ({scheme:?}): globals diverge");
+        }
+    }
+}
+
+#[test]
+fn fusion_actually_fires_on_the_corpus() {
+    let mut total_fused = 0;
+    for (name, module, _) in corpus() {
+        let n = fused_op_count(&module, true);
+        assert_eq!(fused_op_count(&module, false), 0, "{name}: unfused link emits fused ops");
+        total_fused += n;
+    }
+    assert!(total_fused >= 10, "corpus should exercise fusion, got {total_fused} fused ops");
+}
+
+#[test]
+fn barrier_blocks_fusion_across_branch_targets() {
+    // A branch target on a fused pair's *start* is fine: in
+    // `branch_into_pair` both paths (taken / fall-through) land on the
+    // const+add superinstruction and must produce n+7.
+    let (_, module, _) = corpus().into_iter().find(|(n, _, _)| *n == "branch_into_pair").unwrap();
+    for arg in [0, 5] {
+        let (r, _) = run(&module, true, &[Value::I32(arg)], SafepointScheme::LoopHeaders);
+        match r {
+            RunResult::Done(v) => assert_eq!(v, vec![Value::I32(arg + 7)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // A branch target *between* the ops of a would-be pair must block
+    // fusion: in `loop_header_load` (scheme None, so no safepoint pads
+    // the header) the back edge lands on the load whose address operand
+    // was pushed before the loop — the load must stay unfused.
+    let (_, module, _) = corpus().into_iter().find(|(n, _, _)| *n == "loop_header_load").unwrap();
+    let linker: Linker<()> = Linker::new();
+    let program =
+        Arc::new(Program::link_with(&module, &linker, SafepointScheme::None, true).unwrap());
+    let has_plain_load = program.funcs.iter().any(|f| match f {
+        wasm::prep::FuncDef::Local(p) => p.ops.iter().any(|o| matches!(o, Op::Load(..))),
+        _ => false,
+    });
+    let has_fused_load = program.funcs.iter().any(|f| match f {
+        wasm::prep::FuncDef::Local(p) => p.ops.iter().any(|o| matches!(o, Op::LocalLoad(..))),
+        _ => false,
+    });
+    assert!(has_plain_load, "the loop-header load must not fuse across the back edge");
+    assert!(!has_fused_load);
+}

@@ -1,6 +1,7 @@
 //! Robustness: the decoder and validator must never panic on arbitrary
 //! input — malformed modules are rejected with errors, not crashes. This
 //! is the property that lets WALI engines accept untrusted binaries.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

@@ -13,12 +13,15 @@
 //!    against linear memory.
 //! 3. *ISA-portable layouts* — Zephyr is already ISA-portable; scalars
 //!    cross unchanged.
-//! 4./5. *Processes & memory* — Zephyr has no processes; k-threads map
+//! 4. (with 5.) *Processes & memory* — Zephyr has no processes; k-threads map
 //!    onto instances and the SRAM budget is enforced by capping the
 //!    module's memory maximum ([`interface::SRAM_BUDGET_PAGES`], the
 //!    paper's 384 KiB Nucleo-F767ZI board).
 //! 6. *Async interactions* — timers expire into deferred work the guest
 //!    polls, keeping Wasm execution synchronous.
+//!
+//! The crate map and the experiment this crate feeds (`wazi_demo`,
+//! §5.1) are indexed in the repository's `DESIGN.md`.
 
 pub mod interface;
 pub mod zephyr;
