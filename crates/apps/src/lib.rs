@@ -13,6 +13,9 @@
 //!   a database file, `mremap` growth, `pread64`/`pwrite64`, `fsync`.
 //! * [`progs::memcached_sim`] — threaded KV server: `clone` workers,
 //!   loopback sockets, `setsockopt`, shared-memory coordination.
+//! * [`progs::epoll_server_sim`] — event-loop KV server: one thread
+//!   multiplexing every connection with `epoll_create1`/`epoll_ctl`/
+//!   `epoll_wait`, plus N concurrent client threads.
 //! * [`progs::paho_mqtt_sim`] — pub/sub client: `connect`, timed publishes
 //!   with `nanosleep`, socket echo round trips.
 //!
@@ -28,4 +31,7 @@ pub mod native;
 pub mod progs;
 
 pub use catalog::{catalog, CatalogEntry};
-pub use progs::{bash_builtin_sim, bash_sim, lua_sim, memcached_sim, paho_mqtt_sim, sqlite_sim, suite, App};
+pub use progs::{
+    bash_builtin_sim, bash_sim, epoll_server_sim, lua_sim, memcached_sim, paho_mqtt_sim,
+    sqlite_sim, suite, App,
+};

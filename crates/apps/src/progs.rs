@@ -421,6 +421,183 @@ pub fn memcached_sim(requests: u32) -> App {
     }
 }
 
+/// `memcached`-style **event-loop** server: one server thread multiplexes
+/// every connection with `epoll_create1`/`epoll_ctl`/`epoll_wait`, while
+/// `clients` concurrent client threads each hold one connection open and
+/// pipeline `requests` request/reply round trips over it.
+///
+/// This is the paper's server-workload shape (§6) on the event-driven
+/// scheduler: the server parks in `epoll_wait` and is woken only by
+/// connection attempts and request bytes; the clients park in blocking
+/// `read` and are woken by the reply.
+pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
+    let mut mb = ModuleBuilder::new();
+    let socket = sys(&mut mb, "socket", 3);
+    let bind = sys(&mut mb, "bind", 3);
+    let listen = sys(&mut mb, "listen", 2);
+    let accept = sys(&mut mb, "accept", 3);
+    let connect = sys(&mut mb, "connect", 3);
+    let setsockopt = sys(&mut mb, "setsockopt", 5);
+    let read = sys(&mut mb, "read", 3);
+    let write = sys(&mut mb, "write", 3);
+    let close = sys(&mut mb, "close", 1);
+    let clone = sys(&mut mb, "clone", 5);
+    let exit = sys(&mut mb, "exit", 1);
+    let ep_create = sys(&mut mb, "epoll_create1", 1);
+    let ep_ctl = sys(&mut mb, "epoll_ctl", 4);
+    let ep_wait = sys(&mut mb, "epoll_wait", 4);
+    mb.memory(8, Some(256));
+
+    // sockaddr_in 127.0.0.1:11311.
+    let addr = mb.reserve(16);
+    let addr_init = {
+        let mut bytes = [0u8; 16];
+        bytes[0..2].copy_from_slice(&2u16.to_le_bytes());
+        bytes[2..4].copy_from_slice(&11311u16.to_be_bytes());
+        bytes[4..8].copy_from_slice(&[127, 0, 0, 1]);
+        bytes
+    };
+    mb.data_at(addr, &addr_init);
+    let req = mb.c_str("get key7");
+    let reply = mb.c_str("VALUE ok");
+    // epoll_event scratch (registration) + report buffer (16 events).
+    let evreg = mb.reserve(12);
+    let evbuf = mb.reserve(16 * 12);
+    let sbuf = mb.reserve(256);
+    let cbuf = mb.reserve(256);
+    // Shared slots: [768]=server ready, [772]=requests served,
+    // [776]=clients finished.
+    let clients = clients.max(1);
+    let requests = requests.max(1);
+    let total = (clients * requests) as i32;
+
+    let sig = mb.sig([], [I32]);
+    let main = mb.func(sig, |b| {
+        let tidv = b.local(I64);
+        let srv = b.local(I64);
+        let ep = b.local(I64);
+        let conn = b.local(I64);
+        let cli = b.local(I64);
+        let n = b.local(I32);
+        let kx = b.local(I32);
+        let fdv = b.local(I64);
+        let r = b.local(I64);
+        let j = b.local(I32);
+        let ci = b.local(I32);
+
+        // --- server thread -------------------------------------------------
+        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(tidv);
+        b.local_get(tidv).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            b.i64(2).i64(1).i64(0).call(socket).local_set(srv);
+            b.local_get(srv).i64(1).i64(2).i64(addr as i64 + 12).i64(4).call(setsockopt).drop_();
+            b.local_get(srv).i64(addr as i64).i64(16).call(bind).drop_();
+            b.local_get(srv).i64(64).call(listen).drop_();
+            b.i64(0).call(ep_create).local_set(ep);
+            // Register the listener: events=EPOLLIN, data=srv.
+            b.i32(evreg as i32).i32(1).store32(0);
+            b.i32(evreg as i32).local_get(srv).store64(4);
+            b.local_get(ep).i64(1).local_get(srv).i64(evreg as i64).call(ep_ctl).drop_();
+            b.i32(768).i32(1).store32(0); // ready
+            b.loop_(BlockType::Empty, |b| {
+                // Park until something is readable.
+                b.local_get(ep).i64(evbuf as i64).i64(16).i64(-1).call(ep_wait).wrap()
+                    .local_set(n);
+                b.i32(0).local_set(kx);
+                b.loop_(BlockType::Empty, |b| {
+                    // fd = events[kx].data (low 32 bits, packed at +4).
+                    b.i32(evbuf as i32).local_get(kx).i32(12).mul32().add32().load32(4)
+                        .extend_u().local_set(fdv);
+                    b.local_get(fdv).local_get(srv).eq64();
+                    b.if_else(
+                        BlockType::Empty,
+                        |b| {
+                            // New connection: accept + watch it.
+                            b.local_get(srv).i64(0).i64(0).call(accept).local_set(conn);
+                            b.i32(evreg as i32).i32(1).store32(0);
+                            b.i32(evreg as i32).local_get(conn).store64(4);
+                            b.local_get(ep).i64(1).local_get(conn).i64(evreg as i64)
+                                .call(ep_ctl).drop_();
+                        },
+                        |b| {
+                            // Request bytes or EOF.
+                            b.local_get(fdv).i64(sbuf as i64).i64(64).call(read).local_set(r);
+                            b.local_get(r).i64(0).emit(wasm::instr::Instr::Rel(
+                                wasm::instr::RelOp::I64LeS,
+                            ));
+                            b.if_else(
+                                BlockType::Empty,
+                                |b| {
+                                    // Client hung up: deregister + close.
+                                    b.local_get(ep).i64(2).local_get(fdv).i64(0)
+                                        .call(ep_ctl).drop_();
+                                    b.local_get(fdv).call(close).drop_();
+                                },
+                                |b| {
+                                    b.local_get(fdv).i64(reply as i64).i64(8).call(write)
+                                        .drop_();
+                                    b.i32(772).i32(772).load32(0).i32(1).add32().store32(0);
+                                },
+                            );
+                        },
+                    );
+                    b.local_get(kx).i32(1).add32().local_tee(kx).local_get(n).lt_s32()
+                        .br_if(0);
+                });
+                b.i32(772).load32(0).i32(total).lt_s32().br_if(0);
+            });
+            b.i64(0).call(exit).drop_();
+        });
+
+        // --- client threads ------------------------------------------------
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(tidv);
+            b.local_get(tidv).i64(0).eq64();
+            b.if_(BlockType::Empty, |b| {
+                // Wait for the server socket, then connect once and
+                // pipeline `requests` round trips on the connection.
+                b.loop_(BlockType::Empty, |b| {
+                    b.i32(768).load32(0).eqz32().br_if(0);
+                });
+                b.i64(2).i64(1).i64(0).call(socket).local_set(cli);
+                b.local_get(cli).i64(addr as i64).i64(16).call(connect).drop_();
+                b.i32(0).local_set(j);
+                b.loop_(BlockType::Empty, |b| {
+                    b.local_get(cli).i64(req as i64).i64(8).call(write).drop_();
+                    b.local_get(cli).i64(cbuf as i64).i64(64).call(read).drop_();
+                    b.local_get(j).i32(1).add32().local_tee(j).i32(requests as i32)
+                        .lt_s32().br_if(0);
+                });
+                b.local_get(cli).call(close).drop_();
+                b.i32(776).i32(776).load32(0).i32(1).add32().store32(0);
+                b.i64(0).call(exit).drop_();
+            });
+            b.local_get(ci).i32(1).add32().local_tee(ci).i32(clients as i32).lt_s32()
+                .br_if(0);
+        });
+
+        // Main: wait for every client, then verify the served count.
+        b.loop_(BlockType::Empty, |b| {
+            b.i32(776).load32(0).i32(clients as i32).lt_s32().br_if(0);
+        });
+        b.i32(772).load32(0).i32(total).ne32();
+    });
+    mb.export("_start", main);
+    App {
+        name: "memcached-epoll",
+        description: "Event-loop daemon",
+        module: mb.build(),
+        required: feats(&[
+            Feature::BasicFs,
+            Feature::Sockets,
+            Feature::Threads,
+            Feature::SockOpt,
+            Feature::Poll,
+        ]),
+        emulatable: false,
+    }
+}
+
 /// `paho-mqtt`-style pub/sub client against an in-process echo broker.
 pub fn paho_mqtt_sim(messages: u32) -> App {
     let mut mb = ModuleBuilder::new();
@@ -573,6 +750,25 @@ mod tests {
         assert_eq!(out.trace.counts["clone"], 1);
         assert!(out.trace.counts["accept"] >= 5);
         assert!(out.trace.counts["connect"] >= 5);
+    }
+
+    #[test]
+    fn epoll_server_sim_serves_every_client() {
+        let out = run(epoll_server_sim(4, 3));
+        assert_eq!(out.exit_code(), Some(0), "all 12 requests served: {:?}", out.main_exit);
+        assert_eq!(out.trace.counts["epoll_create1"], 1);
+        // Listener + 4 connections added, 4 removed on hangup.
+        assert!(out.trace.counts["epoll_ctl"] >= 5, "{:?}", out.trace.counts);
+        assert!(out.trace.counts["epoll_wait"] >= 4);
+        assert!(out.trace.counts["accept"] >= 4);
+    }
+
+    #[test]
+    fn epoll_server_sim_is_fusion_invariant() {
+        // The server scenario must behave identically with fusion off
+        // (the CI dispatch-equivalence gate runs this file that way).
+        let out = run(epoll_server_sim(2, 2));
+        assert_eq!(out.exit_code(), Some(0));
     }
 
     #[test]

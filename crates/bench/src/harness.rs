@@ -8,7 +8,18 @@
 //! then timed over several samples; the reported figure is the median
 //! ns/iteration with min..max spread. Set `WALI_BENCH_SAMPLE_MS` to adjust
 //! the per-sample budget (default 100 ms).
+//!
+//! # Machine-readable output (`--json`)
+//!
+//! Passing `--json` on the bench command line (`cargo bench -p bench --
+//! --json`) appends one JSON object per benchmark —
+//! `{"bench":"<group>/<name>","median_ns":…,"min_ns":…,"max_ns":…,
+//! "iters":…}` — to the path named by `WALI_BENCH_JSON` (default
+//! `target/bench.jsonl`). Benches are separate processes, so the file is
+//! JSON-lines; CI folds it into the single `BENCH_PR<N>.json`
+//! name→median map it uploads as the bench-trajectory artifact.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Target wall time for one sample.
@@ -22,6 +33,35 @@ fn sample_budget() -> Duration {
 
 /// Number of timed samples per benchmark.
 const SAMPLES: usize = 7;
+
+/// Whether `--json` was passed to this bench binary (cargo forwards
+/// everything after `--`; unknown flags like cargo's own `--bench` are
+/// ignored by the harness).
+fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Where JSON-lines results are appended.
+fn json_path() -> std::path::PathBuf {
+    std::env::var_os("WALI_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/bench.jsonl"))
+}
+
+/// Appends one benchmark result as a JSON line.
+fn append_json(group: &str, name: &str, s: &Stats) {
+    let path = json_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let line = format!(
+        "{{\"bench\":\"{}/{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{}}}\n",
+        group, name, s.median_ns, s.min_ns, s.max_ns, s.iters
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
 
 /// A named group of benchmarks, printed as one table.
 pub struct Group {
@@ -111,6 +151,9 @@ impl Group {
             fmt_ns(stats.max_ns),
             stats.iters
         );
+        if json_requested() {
+            append_json(&self.name, name, &stats);
+        }
         self.rows.push((name.to_string(), stats));
         self
     }

@@ -34,6 +34,8 @@ pub enum FileKind {
     ProcSnapshot(Rc<Vec<u8>>),
     /// An eventfd counter.
     EventFd,
+    /// An epoll instance.
+    Epoll(usize),
 }
 
 /// An open file description (shared by duplicated descriptors).
@@ -69,7 +71,7 @@ pub struct FdEntry {
 }
 
 /// A file descriptor table.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct FdTable {
     slots: Vec<Option<FdEntry>>,
     /// RLIMIT_NOFILE soft limit.
@@ -79,6 +81,16 @@ pub struct FdTable {
     /// a single descriptor, so this skips the slot walk and entry clone
     /// on the repeat lookups that dominate the syscall hot path.
     last: RefCell<Option<(i32, FileRef)>>,
+}
+
+impl Clone for FdTable {
+    /// Cloning never copies the lookup cache: the clone's cache starts
+    /// cold so it can never serve a hit that the original's subsequent
+    /// `close`/`dup2` invalidation would not reach. (Every clone path —
+    /// `fork_copy` and direct `.clone()` — goes through here.)
+    fn clone(&self) -> FdTable {
+        FdTable { slots: self.slots.clone(), limit: self.limit, last: RefCell::new(None) }
+    }
 }
 
 impl FdTable {
@@ -183,14 +195,28 @@ impl FdTable {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Closes every CLOEXEC descriptor (on `execve`).
-    pub fn close_cloexec(&mut self) {
+    /// Closes every CLOEXEC descriptor (on `execve`), returning the swept
+    /// entries so the kernel can release their descriptions (pipe end
+    /// counts, socket refs) exactly like an explicit `close`.
+    #[must_use = "swept entries must be released by the kernel"]
+    pub fn close_cloexec(&mut self) -> Vec<FdEntry> {
         *self.last.borrow_mut() = None;
+        let mut swept = Vec::new();
         for slot in &mut self.slots {
             if slot.as_ref().map(|e| e.cloexec).unwrap_or(false) {
-                *slot = None;
+                if let Some(entry) = slot.take() {
+                    swept.push(entry);
+                }
             }
         }
+        swept
+    }
+
+    /// Empties the table, returning every open entry (task exit: the
+    /// kernel releases each description).
+    pub fn drain(&mut self) -> Vec<FdEntry> {
+        *self.last.borrow_mut() = None;
+        self.slots.drain(..).flatten().collect()
     }
 
     /// Iterates over open `(fd, entry)` pairs.
@@ -199,9 +225,9 @@ impl FdTable {
     }
 
     /// Deep-copies the table sharing the open file descriptions (fork
-    /// semantics: descriptors copied, descriptions shared).
+    /// semantics: descriptors copied, descriptions shared; cold cache).
     pub fn fork_copy(&self) -> FdTable {
-        FdTable { slots: self.slots.clone(), limit: self.limit, last: RefCell::new(None) }
+        self.clone()
     }
 }
 
@@ -250,7 +276,8 @@ mod tests {
         let f = file();
         let keep = t.alloc(f.clone(), false).unwrap();
         let lose = t.alloc(f, true).unwrap();
-        t.close_cloexec();
+        let swept = t.close_cloexec();
+        assert_eq!(swept.len(), 1, "swept entries are returned for release");
         assert!(t.get(keep).is_ok());
         assert_eq!(t.get(lose).unwrap_err(), Errno::Ebadf);
     }
@@ -285,8 +312,58 @@ mod tests {
         assert!(Rc::ptr_eq(&t.get_file_cached(c).unwrap(), &f2));
         // close_cloexec wipes the cache wholesale.
         let _ = t.get_file_cached(b).unwrap();
-        t.close_cloexec();
+        let _ = t.close_cloexec();
         assert!(t.get_file_cached(b).is_ok(), "non-cloexec fd survives");
+    }
+
+    #[test]
+    fn exec_sweep_cannot_serve_stale_cache() {
+        // Regression: the execve close-on-exec sweep must invalidate the
+        // lookup cache — a cached CLOEXEC description must not survive.
+        let mut t = FdTable::new();
+        let doomed = t.alloc(file(), true).unwrap();
+        let f1 = t.get_file_cached(doomed).unwrap();
+        let swept = t.close_cloexec();
+        assert_eq!(swept.len(), 1);
+        assert_eq!(t.get_file_cached(doomed).unwrap_err(), Errno::Ebadf);
+        // The slot re-allocates; the cache must resolve the new description.
+        let again = t.alloc(file(), false).unwrap();
+        assert_eq!(doomed, again);
+        assert!(!Rc::ptr_eq(&f1, &t.get_file_cached(again).unwrap()));
+    }
+
+    #[test]
+    fn clone_paths_start_with_a_cold_cache() {
+        // Regression: cloned tables (fork_copy and direct Clone) must not
+        // inherit the cache — a stale hit in the clone would bypass the
+        // clone's own slot state.
+        let mut t = FdTable::new();
+        let fd = t.alloc(file(), false).unwrap();
+        let _ = t.get_file_cached(fd).unwrap(); // warm the parent cache
+        let mut forked = t.fork_copy();
+        let mut cloned = t.clone();
+        // Mutate the clones' slots directly; a warm inherited cache would
+        // keep resolving the old description.
+        let repl = file();
+        let src = forked.alloc(repl.clone(), false).unwrap();
+        forked.dup_to(src, fd, false).unwrap();
+        assert!(Rc::ptr_eq(&forked.get_file_cached(fd).unwrap(), &repl));
+        cloned.close(fd).unwrap();
+        assert_eq!(cloned.get_file_cached(fd).unwrap_err(), Errno::Ebadf);
+        // The parent cache still serves its own (unchanged) slot.
+        assert!(t.get_file_cached(fd).is_ok());
+    }
+
+    #[test]
+    fn drain_returns_every_entry_and_clears_cache() {
+        let mut t = FdTable::new();
+        let a = t.alloc(file(), false).unwrap();
+        let _b = t.alloc(file(), true).unwrap();
+        let _ = t.get_file_cached(a).unwrap();
+        let drained = t.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(t.open_count(), 0);
+        assert_eq!(t.get_file_cached(a).unwrap_err(), Errno::Ebadf);
     }
 
     #[test]

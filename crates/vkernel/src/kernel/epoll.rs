@@ -1,0 +1,480 @@
+//! `epoll`: scalable readiness notification.
+//!
+//! A thin, deterministic model of the Linux epoll family, layered over the
+//! same readiness logic as `poll` (`Kernel::poll_one`) and the same
+//! waitqueues as every other blocking call:
+//!
+//! * the interest list is keyed by descriptor number but each
+//!   registration is pinned to its **open file description** identity
+//!   (`EpollReg::file`) — a closed fd whose slot number is reused by a
+//!   new file does not inherit the old registration, a registration
+//!   stays reportable while any `dup`/fork duplicate keeps its
+//!   description open, and fully-closed registrations are swept on the
+//!   next scan (Linux's description-keyed semantics, man epoll Q6);
+//! * readiness is **level-triggered**; `EPOLLET`/`EPOLLONESHOT` are
+//!   accepted and recorded but do not change delivery;
+//! * a blocked `epoll_wait` parks on the union of the interest list's wait
+//!   channels (see [`Kernel::wait_on_fds`]) and is woken by the first
+//!   transition on any of them.
+
+use wali_abi::flags::{
+    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLL_CLOEXEC, EPOLL_CTL_ADD, EPOLL_CTL_DEL,
+    EPOLL_CTL_MOD, POLLERR, POLLHUP, POLLIN, POLLOUT,
+};
+use wali_abi::Errno;
+
+use crate::fd::{FileKind, FileRef, OpenFile};
+use crate::{SysResult, Tid};
+
+use super::Kernel;
+
+/// One interest-list registration. Like Linux, the registration key is
+/// the `(fd number, open file description)` *pair*: the `file` identity
+/// pins it to the description that was registered, so a closed-and-reused
+/// fd number neither inherits nor displaces a registration whose
+/// description is still alive through a duplicate.
+#[derive(Clone, Debug)]
+pub(crate) struct EpollReg {
+    pub(crate) fd: i32,
+    pub(crate) events: u32,
+    pub(crate) data: u64,
+    pub(crate) file: std::rc::Weak<std::cell::RefCell<OpenFile>>,
+}
+
+/// One epoll instance: the interest list.
+#[derive(Clone, Debug, Default)]
+pub struct Epoll {
+    /// Registrations in insertion order (deterministic scan and report
+    /// order); entries whose description is fully closed are swept on
+    /// the next scan. Several entries may share an fd number when a slot
+    /// was reused while a dup keeps the old description alive — exactly
+    /// Linux's (fd, file) pair keying.
+    pub(crate) interest: Vec<EpollReg>,
+}
+
+/// Converts an epoll interest mask to the `poll` events to probe.
+fn epoll_to_poll(events: u32) -> i16 {
+    let mut ev = 0i16;
+    if events & EPOLLIN != 0 {
+        ev |= POLLIN;
+    }
+    if events & EPOLLOUT != 0 {
+        ev |= POLLOUT;
+    }
+    ev
+}
+
+/// Converts `poll` revents back to an epoll report mask, filtered by the
+/// registered interest (ERR/HUP are always reported, like Linux).
+fn poll_to_epoll(revents: i16, interest: u32) -> u32 {
+    let mut ev = 0u32;
+    if revents & POLLIN != 0 && interest & EPOLLIN != 0 {
+        ev |= EPOLLIN;
+    }
+    if revents & POLLOUT != 0 && interest & EPOLLOUT != 0 {
+        ev |= EPOLLOUT;
+    }
+    if revents & POLLERR != 0 {
+        ev |= EPOLLERR;
+    }
+    if revents & POLLHUP != 0 {
+        ev |= EPOLLHUP;
+    }
+    ev
+}
+
+impl Kernel {
+    fn alloc_epoll(&mut self) -> usize {
+        for (i, slot) in self.epolls.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(Epoll::default());
+                return i;
+            }
+        }
+        self.epolls.push(Some(Epoll::default()));
+        self.epolls.len() - 1
+    }
+
+    fn epoll_of_fd(&self, tid: Tid, epfd: i32) -> Result<usize, Errno> {
+        let task = self.task(tid)?;
+        let table = task.fdtable.borrow();
+        let kind = table.get(epfd)?.file.borrow().kind.clone();
+        match kind {
+            FileKind::Epoll(id) => Ok(id),
+            _ => Err(Errno::Einval),
+        }
+    }
+
+    fn epoll(&mut self, id: usize) -> Result<&mut Epoll, Errno> {
+        self.epolls.get_mut(id).and_then(|e| e.as_mut()).ok_or(Errno::Ebadf)
+    }
+
+    /// The live interest list of epoll instance `id` as `(description,
+    /// poll-events)` pairs (readiness + waitqueue subscription helper).
+    /// Registrations whose description has been fully closed are skipped.
+    pub(crate) fn epoll_interest_descs(&self, id: usize) -> Vec<(FileRef, i16)> {
+        self.epolls
+            .get(id)
+            .and_then(|e| e.as_ref())
+            .map(|e| {
+                e.interest
+                    .iter()
+                    .filter_map(|reg| {
+                        reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Frees an epoll instance when its last descriptor closes.
+    pub(crate) fn release_epoll(&mut self, id: usize) {
+        if let Some(slot) = self.epolls.get_mut(id) {
+            *slot = None;
+        }
+    }
+
+    /// `epoll_create1(flags)`: allocates an instance and its fd.
+    pub fn sys_epoll_create1(&mut self, tid: Tid, flags: i32) -> SysResult<i32> {
+        if flags & !EPOLL_CLOEXEC != 0 {
+            return Err(Errno::Einval.into());
+        }
+        let id = self.alloc_epoll();
+        let file: FileRef = std::rc::Rc::new(std::cell::RefCell::new(OpenFile::new(
+            FileKind::Epoll(id),
+            0,
+        )));
+        let task = self.task(tid)?;
+        let fd = task.fdtable.borrow_mut().alloc(file, flags & EPOLL_CLOEXEC != 0)?;
+        Ok(fd)
+    }
+
+    /// `epoll_ctl(epfd, op, fd, event)`.
+    pub fn sys_epoll_ctl(
+        &mut self,
+        tid: Tid,
+        epfd: i32,
+        op: i32,
+        fd: i32,
+        events: u32,
+        data: u64,
+    ) -> SysResult {
+        let id = self.epoll_of_fd(tid, epfd)?;
+        // The target must be an open descriptor of the caller.
+        let (kind, file) = {
+            let task = self.task(tid)?;
+            let table = task.fdtable.borrow();
+            let entry = table.get(fd)?;
+            let pair = (entry.file.borrow().kind.clone(), std::rc::Rc::downgrade(&entry.file));
+            pair
+        };
+        if matches!(kind, FileKind::Epoll(_)) {
+            // Nested epoll instances would make the wait-channel walk
+            // cyclic; Linux reports closed loops the same way.
+            return Err(Errno::Eloop.into());
+        }
+        let ep = self.epoll(id)?;
+        // The registration key is the (fd, description) pair: a stale
+        // entry for the same fd number but a different (or dead)
+        // description does not count as "present".
+        let target = file.upgrade();
+        let existing = ep.interest.iter().position(|reg| {
+            reg.fd == fd
+                && reg
+                    .file
+                    .upgrade()
+                    .zip(target.clone())
+                    .map(|(a, b)| std::rc::Rc::ptr_eq(&a, &b))
+                    .unwrap_or(false)
+        });
+        match (op, existing) {
+            (EPOLL_CTL_ADD, Some(_)) => return Err(Errno::Eexist.into()),
+            (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg { fd, events, data, file }),
+            (EPOLL_CTL_MOD, Some(i)) => ep.interest[i] = EpollReg { fd, events, data, file },
+            (EPOLL_CTL_DEL, Some(i)) => {
+                ep.interest.remove(i);
+            }
+            (EPOLL_CTL_MOD | EPOLL_CTL_DEL, None) => return Err(Errno::Enoent.into()),
+            _ => return Err(Errno::Einval.into()),
+        }
+        // A parked epoll_wait waiter holds a snapshot of the old interest
+        // list; wake it to re-scan (the added/changed fd may already be
+        // ready), like Linux's interest-change wakeups.
+        self.wait_post(crate::wait::Channel::EpollCtl(id));
+        Ok(0)
+    }
+
+    /// Level-triggered readiness scan for `epoll_wait`: up to `max` ready
+    /// `(events, data)` reports, in registration order. A registration stays live
+    /// as long as *any* duplicate of its open file description exists
+    /// (`dup`/fork copies keep it reportable even after the registering
+    /// fd number is closed — Linux's description-keyed semantics); it is
+    /// swept once the description is fully closed. Never blocks — the
+    /// embedder handles timeout and parking, exactly as for `poll`.
+    pub fn sys_epoll_ready(
+        &mut self,
+        tid: Tid,
+        id: usize,
+        max: usize,
+    ) -> SysResult<Vec<(u32, u64)>> {
+        let interest: Vec<EpollReg> = self.epoll(id)?.interest.clone();
+        let mut out = Vec::new();
+        let mut swept = false;
+        for reg in interest {
+            if out.len() >= max.max(1) {
+                break;
+            }
+            let Some(file) = reg.file.upgrade() else {
+                swept = true;
+                continue;
+            };
+            let revents = self.poll_desc(tid, &file, epoll_to_poll(reg.events))?;
+            let report = poll_to_epoll(revents, reg.events);
+            if report != 0 {
+                out.push((report, reg.data));
+            }
+        }
+        if swept {
+            self.epoll(id)?.interest.retain(|reg| reg.file.strong_count() > 0);
+        }
+        Ok(out)
+    }
+
+    /// Readiness scan addressed by epoll fd (the `epoll_wait` entry).
+    pub fn sys_epoll_wait_ready(
+        &mut self,
+        tid: Tid,
+        epfd: i32,
+        max: usize,
+    ) -> SysResult<Vec<(u32, u64)>> {
+        let id = self.epoll_of_fd(tid, epfd)?;
+        self.sys_epoll_ready(tid, id, max)
+    }
+
+    /// Parks `tid` on every wait channel of the instance's interest list
+    /// (the blocking half of `epoll_wait`).
+    pub fn epoll_subscribe(&mut self, tid: Tid, epfd: i32) -> SysResult {
+        let id = self.epoll_of_fd(tid, epfd)?;
+        let mut chans = Vec::new();
+        for (file, events) in self.epoll_interest_descs(id) {
+            self.desc_wait_channels(&file, events, &mut chans);
+        }
+        for ch in chans {
+            self.wait_subscribe(tid, ch);
+        }
+        // Interest-list edits and signals end the wait too.
+        self.wait_subscribe(tid, crate::wait::Channel::EpollCtl(id));
+        self.wait_subscribe(tid, crate::wait::Channel::Signal(tid));
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::Channel;
+    use crate::SysError;
+    use wali_abi::flags::{AF_INET, SOCK_STREAM};
+    use wali_abi::layout::WaliSockaddr;
+
+    fn kp() -> (Kernel, Tid) {
+        let mut k = Kernel::new();
+        let tid = k.spawn_process();
+        (k, tid)
+    }
+
+    #[test]
+    fn create_ctl_wait_round_trip_on_pipes() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, r as u64).unwrap();
+        // Nothing ready yet.
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        // Data arrives: level-triggered readiness until drained.
+        k.sys_write(tid, w, b"x").unwrap();
+        let ready = k.sys_epoll_wait_ready(tid, ep, 8).unwrap();
+        assert_eq!(ready, vec![(EPOLLIN, r as u64)]);
+        let ready = k.sys_epoll_wait_ready(tid, ep, 8).unwrap();
+        assert_eq!(ready.len(), 1, "level-triggered: still ready");
+        let mut buf = [0u8; 4];
+        k.sys_read(tid, r, &mut buf).unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ctl_errors_match_linux() {
+        let (mut k, tid) = kp();
+        let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        // MOD/DEL before ADD: ENOENT.
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, EPOLLIN, 0),
+            Err(SysError::Err(Errno::Enoent))
+        );
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_DEL, r, 0, 0),
+            Err(SysError::Err(Errno::Enoent))
+        );
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        // Double ADD: EEXIST.
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0),
+            Err(SysError::Err(Errno::Eexist))
+        );
+        // Bad target fd: EBADF; epoll-in-epoll: ELOOP.
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, 99, EPOLLIN, 0),
+            Err(SysError::Err(Errno::Ebadf))
+        );
+        let ep2 = k.sys_epoll_create1(tid, 0).unwrap();
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, ep2, EPOLLIN, 0),
+            Err(SysError::Err(Errno::Eloop))
+        );
+        // Not an epoll fd: EINVAL.
+        assert_eq!(
+            k.sys_epoll_ctl(tid, r, EPOLL_CTL_ADD, ep, EPOLLIN, 0),
+            Err(SysError::Err(Errno::Einval))
+        );
+    }
+
+    #[test]
+    fn listener_readiness_reports_epollin_on_pending_accept() {
+        let (mut k, tid) = kp();
+        let srv = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        let addr = WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 9090 };
+        k.sys_bind(tid, srv, addr.clone()).unwrap();
+        k.sys_listen(tid, srv, 8).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, srv, EPOLLIN, 7).unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
+        k.sys_connect(tid, cli, addr).unwrap();
+        assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap(), vec![(EPOLLIN, 7)]);
+    }
+
+    #[test]
+    fn closed_fd_is_swept_from_interest() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 1).unwrap();
+        k.sys_write(tid, w, b"y").unwrap();
+        k.sys_close(tid, r).unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        // The registration is gone: MOD now reports ENOENT (slot reused
+        // by a fresh pipe).
+        let (r2, _w2) = k.sys_pipe2(tid, 0).unwrap();
+        assert_eq!(r2, r, "lowest slot reused");
+        assert_eq!(
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r2, EPOLLIN, 2),
+            Err(SysError::Err(Errno::Enoent))
+        );
+    }
+
+    #[test]
+    fn registration_survives_fd_close_while_a_dup_is_open() {
+        // man epoll Q6: closing the registered fd does not drop the
+        // registration while a duplicate keeps the description open.
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xCAFE).unwrap();
+        let dup = k.sys_dup(tid, r).unwrap() as i32;
+        k.sys_close(tid, r).unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 0xCAFE)],
+            "description alive via the dup: still reported"
+        );
+        // Last duplicate closes: the registration is swept.
+        k.sys_close(tid, dup).unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reused_fd_slot_coexists_with_a_dup_kept_registration() {
+        // Linux keys registrations by (fd, description) pair: after the
+        // registered fd is closed but kept alive by a dup, the reused fd
+        // number can be registered for the *new* description and both
+        // registrations report independently.
+        let (mut k, tid) = kp();
+        let (ra, wa) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, ra, EPOLLIN, 0xA).unwrap();
+        let _dup = k.sys_dup(tid, ra).unwrap() as i32;
+        k.sys_close(tid, ra).unwrap();
+        // Pipe B reuses fd slot `ra`.
+        let (rb, wb) = k.sys_pipe2(tid, 0).unwrap();
+        assert_eq!(rb, ra);
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, rb, EPOLLIN, 0xB).unwrap();
+        k.sys_write(tid, wa, b"a").unwrap();
+        k.sys_write(tid, wb, b"b").unwrap();
+        let ready = k.sys_epoll_wait_ready(tid, ep, 8).unwrap();
+        assert_eq!(ready, vec![(EPOLLIN, 0xA), (EPOLLIN, 0xB)], "both pairs live");
+    }
+
+    #[test]
+    fn reused_fd_slot_does_not_inherit_a_stale_registration() {
+        // Close a registered fd, reuse its slot with a *ready* file, and
+        // scan: the stale registration must not report the new file
+        // under the old data cookie.
+        let (mut k, tid) = kp();
+        let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xAAAA).unwrap();
+        k.sys_close(tid, r).unwrap();
+        // Reuse the slot with a pipe that has readable data.
+        let (r2, w2) = k.sys_pipe2(tid, 0).unwrap();
+        assert_eq!(r2, r, "lowest slot reused");
+        k.sys_write(tid, w2, b"new").unwrap();
+        assert!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty(),
+            "stale registration must be swept, not matched to the new file"
+        );
+        // The new description can be registered fresh (ADD, not EEXIST).
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r2, EPOLLIN, 0xBBBB).unwrap();
+        assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap(), vec![(EPOLLIN, 0xBBBB)]);
+    }
+
+    #[test]
+    fn hangup_is_reported_without_interest() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, 0, 5).unwrap();
+        k.sys_close(tid, w).unwrap();
+        let ready = k.sys_epoll_wait_ready(tid, ep, 8).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_ne!(ready[0].0 & EPOLLHUP, 0);
+    }
+
+    #[test]
+    fn epoll_subscribe_parks_on_interest_channels_and_write_wakes() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        k.epoll_subscribe(tid, ep).unwrap();
+        assert!(k.task_waits(tid));
+        k.sys_write(tid, w, b"wake").unwrap();
+        assert_eq!(k.take_woken(), vec![tid]);
+        assert!(!k.task_waits(tid), "wake clears all subscriptions");
+        // Channel bookkeeping: nothing dangling.
+        let _ = Channel::PipeReadable(0);
+    }
+
+    #[test]
+    fn epoll_fd_is_pollable() {
+        use wali_abi::flags::POLLIN;
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![0]);
+        k.sys_write(tid, w, b"z").unwrap();
+        assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![POLLIN]);
+    }
+}

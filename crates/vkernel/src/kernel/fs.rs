@@ -17,6 +17,7 @@ use wali_abi::Errno;
 use crate::fd::{FdEntry, FileKind, FileRef, OpenFile};
 use crate::pipe::PipeIo;
 use crate::vfs::{DevKind, InodeId, InodeKind};
+use crate::wait::Channel;
 use crate::{block, SysResult, Tid};
 
 use super::Kernel;
@@ -159,13 +160,19 @@ impl Kernel {
             FileKind::PipeRead(id) => {
                 let nonblock = flags & O_NONBLOCK != 0;
                 match self.pipe(id)?.read(out) {
-                    PipeIo::Xfer(n) => Ok(n as i64),
+                    PipeIo::Xfer(n) => {
+                        // Space opened up: wake blocked writers.
+                        self.waits.post(Channel::PipeWritable(id));
+                        Ok(n as i64)
+                    }
                     PipeIo::Eof => Ok(0),
                     PipeIo::WouldBlock if nonblock => Err(Errno::Eagain.into()),
                     PipeIo::WouldBlock => {
                         if self.has_pending_signal(tid) {
                             Err(Errno::Eintr.into())
                         } else {
+                            self.waits.subscribe(tid, Channel::PipeReadable(id));
+                            self.waits.subscribe(tid, Channel::Signal(tid));
                             Err(block())
                         }
                     }
@@ -192,12 +199,16 @@ impl Kernel {
                     DevKind::ProcText(_) => Ok(0),
                 }
             }
+            FileKind::Epoll(_) => Err(Errno::Einval.into()),
             FileKind::EventFd => {
                 let mut f = file.borrow_mut();
                 if f.counter == 0 {
                     if flags & O_NONBLOCK != 0 {
                         return Err(Errno::Eagain.into());
                     }
+                    drop(f);
+                    self.waits.subscribe(tid, Channel::EventFd(Rc::as_ptr(&file) as usize));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
                     return Err(block());
                 }
                 if out.len() < 8 {
@@ -231,7 +242,11 @@ impl Kernel {
             FileKind::PipeWrite(id) => {
                 let nonblock = flags & O_NONBLOCK != 0;
                 match self.pipe(id)?.write(data) {
-                    PipeIo::Xfer(n) => Ok(n as i64),
+                    PipeIo::Xfer(n) => {
+                        // Data arrived: wake blocked readers and pollers.
+                        self.waits.post(Channel::PipeReadable(id));
+                        Ok(n as i64)
+                    }
                     PipeIo::Broken => {
                         let tgid = self.task(tid)?.tgid;
                         let _ = self.send_signal_to_process(tgid, Signal::Sigpipe.number());
@@ -242,6 +257,8 @@ impl Kernel {
                         if self.has_pending_signal(tid) {
                             Err(Errno::Eintr.into())
                         } else {
+                            self.waits.subscribe(tid, Channel::PipeWritable(id));
+                            self.waits.subscribe(tid, Channel::Signal(tid));
                             Err(block())
                         }
                     }
@@ -265,13 +282,18 @@ impl Kernel {
                     DevKind::ProcText(_) => Err(Errno::Eacces.into()),
                 }
             }
+            FileKind::Epoll(_) => Err(Errno::Einval.into()),
             FileKind::EventFd => {
                 if data.len() < 8 {
                     return Err(Errno::Einval.into());
                 }
                 let v = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
-                let mut f = file.borrow_mut();
-                f.counter = f.counter.saturating_add(v);
+                {
+                    let mut f = file.borrow_mut();
+                    f.counter = f.counter.saturating_add(v);
+                }
+                // The counter became non-zero: wake blocked readers.
+                self.waits.post(Channel::EventFd(Rc::as_ptr(&file) as usize));
                 Ok(8)
             }
         }
@@ -383,6 +405,9 @@ impl Kernel {
                         self.pipes[id] = None;
                     }
                 }
+                // Blocked writers must observe EPIPE; pollers the hangup.
+                self.waits.post(Channel::PipeWritable(id));
+                self.waits.post(Channel::PipeReadable(id));
             }
             FileKind::PipeWrite(id) => {
                 if let Ok(p) = self.pipe(id) {
@@ -391,8 +416,12 @@ impl Kernel {
                         self.pipes[id] = None;
                     }
                 }
+                // Blocked readers must observe EOF; pollers the hangup.
+                self.waits.post(Channel::PipeReadable(id));
+                self.waits.post(Channel::PipeWritable(id));
             }
             FileKind::Socket(id) => self.release_socket(id),
+            FileKind::Epoll(id) => self.release_epoll(id),
             _ => {}
         }
     }
@@ -532,7 +561,9 @@ impl Kernel {
                 st_blksize: 4096,
                 ..Default::default()
             }),
-            FileKind::EventFd => Ok(WaliStat { st_mode: 0o600, ..Default::default() }),
+            FileKind::EventFd | FileKind::Epoll(_) => {
+                Ok(WaliStat { st_mode: 0o600, ..Default::default() })
+            }
         }
     }
 

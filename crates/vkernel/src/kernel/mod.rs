@@ -2,6 +2,7 @@
 //! hooks. File, socket and memory syscalls live in the sibling submodules
 //! as further `impl Kernel` blocks.
 
+pub mod epoll;
 pub mod fs;
 pub mod sock;
 
@@ -23,6 +24,7 @@ use crate::signal::{disposition, Disposition, PendingSet, SigHandlers};
 use crate::socket::Socket;
 use crate::task::{FsInfo, Pid, Rusage, Task, TaskState, Tid};
 use crate::vfs::Vfs;
+use crate::wait::{Channel, WaitSet, WaitStats};
 use crate::{block, block_until, MmId, SysResult};
 
 /// What the embedder must do about a deliverable signal.
@@ -57,8 +59,11 @@ pub struct Kernel {
     next_mm: u64,
     pub(crate) pipes: Vec<Option<Pipe>>,
     pub(crate) sockets: Vec<Option<Socket>>,
+    pub(crate) epolls: Vec<Option<epoll::Epoll>>,
     pub(crate) addr_registry: HashMap<String, usize>,
     futexes: HashMap<(MmId, u32), VecDeque<Tid>>,
+    /// Waitqueues: blocked tasks parked on wait channels.
+    pub(crate) waits: WaitSet,
     rng_state: u64,
     /// Captured console (tty) output.
     pub console: Vec<u8>,
@@ -88,8 +93,10 @@ impl Kernel {
             next_mm: 2,
             pipes: Vec::new(),
             sockets: Vec::new(),
+            epolls: Vec::new(),
             addr_registry: HashMap::new(),
             futexes: HashMap::new(),
+            waits: WaitSet::new(),
             rng_state: 0x9e37_79b9_7f4a_7c15,
             console: Vec::new(),
             syscall_count: 0,
@@ -100,6 +107,144 @@ impl Kernel {
     pub fn enter_syscall(&mut self) {
         self.clock.tick();
         self.syscall_count += 1;
+    }
+
+    // --- Waitqueues --------------------------------------------------------
+
+    /// Subscribes `tid` to a wait channel (embedder-visible for layered
+    /// APIs that block on kernel state, e.g. `poll`/`epoll_wait`).
+    pub fn wait_subscribe(&mut self, tid: Tid, ch: Channel) {
+        self.waits.subscribe(tid, ch);
+    }
+
+    /// Posts a wakeup on a channel (mostly internal; public so layered
+    /// subsystems can participate in the protocol).
+    pub fn wait_post(&mut self, ch: Channel) -> usize {
+        self.waits.post(ch)
+    }
+
+    /// Drains the tasks woken since the last drain, in wake order.
+    pub fn take_woken(&mut self) -> Vec<Tid> {
+        self.waits.take_woken()
+    }
+
+    /// Drops every wait subscription of `tid` without waking it. The
+    /// embedder calls this when it re-queues a task for a reason the
+    /// kernel cannot see (deadline lapse), so no stale channel entry can
+    /// fire a spurious wakeup into a later, unrelated park.
+    pub fn wait_cancel(&mut self, tid: Tid) {
+        self.waits.unsubscribe(tid);
+    }
+
+    /// True when `tid` parked on at least one wait channel.
+    pub fn task_waits(&self, tid: Tid) -> bool {
+        self.waits.is_subscribed(tid)
+    }
+
+    /// True when a posted wakeup is waiting to be drained.
+    pub fn has_woken(&self) -> bool {
+        self.waits.has_woken()
+    }
+
+    /// Waitqueue counters (benchmarks and tests).
+    pub fn wait_stats(&self) -> WaitStats {
+        self.waits.stats
+    }
+
+    /// Subscribes `tid` to the readiness channels of each `(fd, events)`
+    /// pair — the blocking half of `poll`/`select`/`epoll_wait`. Unknown
+    /// or always-ready fd kinds contribute no channel (the caller's
+    /// readiness scan already returned their state). A signal wakes the
+    /// poller too, like the EINTR path on Linux.
+    pub fn wait_on_fds(&mut self, tid: Tid, fds: &[(i32, i16)]) {
+        let mut chans: Vec<Channel> = Vec::new();
+        for &(fd, events) in fds {
+            self.fd_wait_channels(tid, fd, events, &mut chans);
+        }
+        for ch in chans {
+            self.waits.subscribe(tid, ch);
+        }
+        self.waits.subscribe(tid, Channel::Signal(tid));
+    }
+
+    /// Collects the wait channels that can change fd readiness for the
+    /// given `poll`-style event mask. Always-ready kinds (regular files,
+    /// directories) contribute nothing.
+    pub(crate) fn fd_wait_channels(
+        &self,
+        tid: Tid,
+        fd: i32,
+        events: i16,
+        out: &mut Vec<Channel>,
+    ) {
+        let Ok(task) = self.task(tid) else { return };
+        let file = {
+            let table = task.fdtable.borrow();
+            let Ok(entry) = table.get(fd) else { return };
+            entry.file.clone()
+        };
+        self.desc_wait_channels(&file, events, out);
+    }
+
+    /// Same, addressed by open file description (the epoll interest list
+    /// is description-keyed, so its channel walk must not depend on fd
+    /// numbers still being open).
+    pub(crate) fn desc_wait_channels(&self, file: &FileRef, events: i16, out: &mut Vec<Channel>) {
+        use wali_abi::flags::{POLLIN, POLLOUT};
+        let kind = file.borrow().kind.clone();
+        let file_key = Rc::as_ptr(file) as usize;
+        match kind {
+            // POLLHUP/POLLERR are reported regardless of the requested
+            // events (a zero mask is the classic watch-for-hangup idiom),
+            // and hangups post on the same channels as data transitions —
+            // so pipe/socket pollers subscribe unconditionally. A data
+            // wakeup the poller did not ask for is merely spurious: the
+            // retry re-scans readiness and re-parks.
+            FileKind::PipeRead(id) => {
+                out.push(Channel::PipeReadable(id));
+            }
+            FileKind::PipeWrite(id) => {
+                out.push(Channel::PipeWritable(id));
+            }
+            FileKind::Socket(id) => {
+                out.push(Channel::SockReadable(id));
+                out.push(Channel::SockSpace(id));
+                if events & POLLOUT != 0 {
+                    // Writability = space in the peer's receive buffer.
+                    if let Ok(s) = self.socket_ref(id) {
+                        if let crate::socket::SockState::Connected { peer } = s.state {
+                            out.push(Channel::SockSpace(peer));
+                        }
+                    }
+                }
+            }
+            FileKind::EventFd if events & POLLIN != 0 => {
+                out.push(Channel::EventFd(file_key));
+            }
+            FileKind::Epoll(id) => {
+                // Polling an epoll fd: ready when its interest set is;
+                // interest-list edits change that too.
+                for (ifile, ievents) in self.epoll_interest_descs(id) {
+                    self.desc_wait_channels(&ifile, ievents, out);
+                }
+                out.push(Channel::EpollCtl(id));
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes a dying task's descriptors eagerly (Linux closes fds at
+    /// exit, not at reap): drops this task's reference to its fd table
+    /// and, when it was the last holder, releases every description so
+    /// pipe/socket peers observe EOF/EPIPE — and get their wakeups.
+    fn release_task_files(&mut self, tid: Tid) {
+        let Some(task) = self.tasks.get_mut(&tid) else { return };
+        let table = std::mem::replace(&mut task.fdtable, Rc::new(RefCell::new(FdTable::new())));
+        if let Ok(cell) = Rc::try_unwrap(table) {
+            for entry in cell.into_inner().drain() {
+                self.release_if_last(entry);
+            }
+        }
     }
 
     /// Fetches a task.
@@ -311,6 +456,10 @@ impl Kernel {
             let t = self.task_mut(tid)?;
             t.state = TaskState::Dead;
             t.exit_code = Some(code);
+            // Drop the thread's fd-table reference (shared tables survive
+            // until the last thread exits) and its wait subscriptions.
+            self.release_task_files(tid);
+            self.waits.unsubscribe(tid);
         }
         Ok(0)
     }
@@ -324,7 +473,10 @@ impl Kernel {
     }
 
     /// Marks a whole thread group zombie with `status` and signals the
-    /// parent with SIGCHLD; children are reparented to init.
+    /// parent with SIGCHLD; children are reparented to init. Every dying
+    /// task's descriptors are released (peers observe EOF/EPIPE and their
+    /// waitqueues fire), parked siblings are woken so the embedder can
+    /// finalize them, and the parent's `wait4` channel is posted.
     fn terminate_group(&mut self, tgid: Pid, status: i32, code: Option<i32>) {
         let tids = self.group_tids(tgid);
         for t in &tids {
@@ -334,9 +486,9 @@ impl Kernel {
         }
         let mut ppid = 1;
         let mut orphans = Vec::new();
-        for t in tids {
-            if let Some(task) = self.tasks.get_mut(&t) {
-                if t == tgid {
+        for t in &tids {
+            if let Some(task) = self.tasks.get_mut(t) {
+                if *t == tgid {
                     task.state = TaskState::Zombie(status);
                     ppid = task.ppid;
                     task.exit_code = code;
@@ -352,6 +504,13 @@ impl Kernel {
             }
             self.tasks.get_mut(&1).expect("init").children.push(orphan);
         }
+        for t in &tids {
+            self.release_task_files(*t);
+        }
+        for t in &tids {
+            self.waits.wake(*t);
+        }
+        self.waits.post(Channel::Child(ppid));
         let _ = self.send_signal_to_process(ppid, Signal::Sigchld.number());
     }
 
@@ -395,15 +554,23 @@ impl Kernel {
         if options & WNOHANG != 0 {
             return Ok((0, 0));
         }
+        // Park until a child changes state or a signal arrives.
+        self.waits.subscribe(tid, Channel::Child(me));
+        self.waits.subscribe(tid, Channel::Signal(tid));
         Err(block())
     }
 
     /// `execve` kernel-side effects: CLOEXEC fds closed, caught signal
-    /// handlers reset. (The engine swaps the program.)
+    /// handlers reset. (The engine swaps the program.) The swept entries
+    /// are released like any close — pipe/socket peers observe the
+    /// hangup and their waitqueues fire.
     pub fn sys_execve(&mut self, tid: Tid) -> SysResult {
         let task = self.task(tid)?;
-        task.fdtable.borrow_mut().close_cloexec();
+        let swept = task.fdtable.borrow_mut().close_cloexec();
         task.sighand.borrow_mut().reset_for_exec();
+        for entry in swept {
+            self.release_if_last(entry);
+        }
         Ok(0)
     }
 
@@ -578,6 +745,7 @@ impl Kernel {
         }
         t.pending.add(signo);
         t.sig_hint.set(true);
+        self.waits.post(Channel::Signal(tid));
         Ok(0)
     }
 
@@ -592,6 +760,9 @@ impl Kernel {
             if let Some(task) = self.tasks.get(&t) {
                 task.sig_hint.set(true);
             }
+            // Signal arrival is a wake-up source: parked EINTR-able calls
+            // and `pause`/`sigtimedwait` waiters must retry.
+            self.waits.post(Channel::Signal(t));
         }
         // SIGCONT resumes stopped tasks at generation time, like Linux.
         if signo == Signal::Sigcont.number() {
@@ -686,6 +857,7 @@ impl Kernel {
         if self.has_pending_signal(tid) {
             return Err(Errno::Eintr.into());
         }
+        self.waits.subscribe(tid, Channel::Signal(tid));
         Err(block())
     }
 
@@ -761,6 +933,11 @@ impl Kernel {
         if !q.contains(&tid) {
             q.push_back(tid);
         }
+        self.waits.subscribe(tid, Channel::Futex(mm, addr));
+        // Parity with every other blocking site: signal generation
+        // re-queues the waiter (its retry re-parks if the word is still
+        // unchanged, but killed/terminated tasks get finalized promptly).
+        self.waits.subscribe(tid, Channel::Signal(tid));
         Err(match deadline {
             Some(d) => block_until(d),
             None => block(),
@@ -776,12 +953,17 @@ impl Kernel {
     fn futex_wake_at(&mut self, mm: MmId, addr: u32, count: usize) -> usize {
         let Some(q) = self.futexes.get_mut(&(mm, addr)) else { return 0 };
         let mut woken = 0;
+        let mut wake_tids = Vec::new();
         while woken < count {
             let Some(t) = q.pop_front() else { break };
             if let Some(task) = self.tasks.get_mut(&t) {
                 task.futex_woken = true;
                 woken += 1;
+                wake_tids.push(t);
             }
+        }
+        for t in wake_tids {
+            self.waits.wake(t);
         }
         woken
     }
@@ -805,6 +987,9 @@ impl Kernel {
             return Err(Errno::Eintr.into());
         }
         let deadline = self.clock.monotonic_ns() + duration_ns;
+        // The deadline is the primary wake-up; a signal ends the sleep
+        // early (EINTR on the retry).
+        self.waits.subscribe(tid, Channel::Signal(tid));
         Err(block_until(deadline))
     }
 
@@ -816,6 +1001,7 @@ impl Kernel {
         if self.has_pending_signal(tid) {
             return Err(Errno::Eintr.into());
         }
+        self.waits.subscribe(tid, Channel::Signal(tid));
         Err(block_until(deadline))
     }
 

@@ -15,6 +15,7 @@ use crate::fd::{FileKind, FileRef, OpenFile};
 use crate::socket::{addr_key, SockState, Socket};
 use crate::vfs::DevKind;
 use crate::vfs::InodeKind;
+use crate::wait::Channel;
 use crate::{block, SysResult, Tid};
 
 use super::Kernel;
@@ -163,6 +164,8 @@ impl Kernel {
             SockState::Listening { pending, .. } => pending.push_back(server_id),
             _ => unreachable!("checked above"),
         }
+        // A connection is pending: wake blocked `accept`s and pollers.
+        self.waits.post(Channel::SockReadable(listener_id));
         Ok(0)
     }
 
@@ -184,6 +187,8 @@ impl Kernel {
                 if self.has_pending_signal(tid) {
                     Err(Errno::Eintr.into())
                 } else {
+                    self.waits.subscribe(tid, Channel::SockReadable(id));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
                     Err(block())
                 }
             }
@@ -219,10 +224,15 @@ impl Kernel {
                     if nonblock {
                         return Err(Errno::Eagain.into());
                     }
+                    // Park until the peer drains its receive buffer.
+                    self.waits.subscribe(tid, Channel::SockSpace(peer));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
                     return Err(block());
                 }
                 let n = data.len().min(space);
                 p.recv.extend(&data[..n]);
+                // Data arrived at the peer: wake its readers and pollers.
+                self.waits.post(Channel::SockReadable(peer));
                 Ok(n)
             }
             (SOCK_STREAM, SockState::Closed) => self.epipe(tid),
@@ -258,6 +268,8 @@ impl Kernel {
             return Err(Errno::Enobufs.into());
         }
         t.dgrams.push_back((src, data.to_vec()));
+        // A datagram arrived: wake the target's readers and pollers.
+        self.waits.post(Channel::SockReadable(target));
         Ok(data.len())
     }
 
@@ -300,6 +312,9 @@ impl Kernel {
                         for b in out.iter_mut().take(n) {
                             *b = s.recv.pop_front().expect("non-empty");
                         }
+                        // Space opened in our receive buffer: wake the
+                        // peer's blocked senders and POLLOUT pollers.
+                        self.waits.post(Channel::SockSpace(id));
                     }
                     return Ok(n);
                 }
@@ -324,6 +339,8 @@ impl Kernel {
                 if self.has_pending_signal(tid) {
                     return Err(Errno::Eintr.into());
                 }
+                self.waits.subscribe(tid, Channel::SockReadable(id));
+                self.waits.subscribe(tid, Channel::Signal(tid));
                 Err(block())
             }
             SOCK_DGRAM => {
@@ -336,7 +353,11 @@ impl Kernel {
                     }
                     None if shut_rd => Ok(0),
                     None if nonblock => Err(Errno::Eagain.into()),
-                    None => Err(block()),
+                    None => {
+                        self.waits.subscribe(tid, Channel::SockReadable(id));
+                        self.waits.subscribe(tid, Channel::Signal(tid));
+                        Err(block())
+                    }
                 }
             }
             _ => Err(Errno::Einval.into()),
@@ -362,7 +383,11 @@ impl Kernel {
                     Ok((n, Some(src)))
                 }
                 None if nonblock => Err(Errno::Eagain.into()),
-                None => Err(block()),
+                None => {
+                    self.waits.subscribe(tid, Channel::SockReadable(id));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
+                    Err(block())
+                }
             };
         }
         let n = self.sock_recv(tid, id, out, msg_flags)?;
@@ -383,7 +408,25 @@ impl Kernel {
             }
             _ => return Err(Errno::Einval.into()),
         }
+        // Readiness changed for both ends: blocked readers see EOF,
+        // blocked senders EPIPE.
+        self.post_socket_hangup(id);
         Ok(0)
+    }
+
+    /// Posts every channel a hangup on socket `id` can unblock: its own
+    /// readers/senders and, when connected, the peer's.
+    fn post_socket_hangup(&mut self, id: usize) {
+        let peer = match self.socket_ref(id).map(|s| s.state.clone()) {
+            Ok(SockState::Connected { peer }) => Some(peer),
+            _ => None,
+        };
+        self.waits.post(Channel::SockReadable(id));
+        self.waits.post(Channel::SockSpace(id));
+        if let Some(p) = peer {
+            self.waits.post(Channel::SockReadable(p));
+            self.waits.post(Channel::SockSpace(p));
+        }
     }
 
     /// `socketpair`.
@@ -438,6 +481,8 @@ impl Kernel {
 
     /// Tears a socket down when its last descriptor closes.
     pub(crate) fn release_socket(&mut self, id: usize) {
+        // Post the hangup while the peer link is still visible.
+        self.post_socket_hangup(id);
         // Unregister the bound address only if this socket owns the
         // registration (accepted connections share the listener's local
         // address but must not tear its registration down).
@@ -488,7 +533,7 @@ impl Kernel {
         Ok(out)
     }
 
-    fn poll_one(&mut self, tid: Tid, fd: i32, events: i16) -> SysResult<i16> {
+    pub(crate) fn poll_one(&mut self, tid: Tid, fd: i32, events: i16) -> SysResult<i16> {
         let task = self.task(tid)?;
         let entry = {
             let table = task.fdtable.borrow();
@@ -497,6 +542,14 @@ impl Kernel {
                 Err(_) => return Ok(wali_abi::flags::POLLNVAL),
             }
         };
+        self.poll_desc(tid, &entry, events)
+    }
+
+    /// Readiness of one open file description (shared by `poll_one` and
+    /// the description-keyed epoll scan, which must keep reporting for a
+    /// registration whose original fd number was closed while a duplicate
+    /// keeps the description alive).
+    pub(crate) fn poll_desc(&mut self, tid: Tid, entry: &FileRef, events: i16) -> SysResult<i16> {
         let kind = entry.borrow().kind.clone();
         let mut revents = 0i16;
         match kind {
@@ -559,6 +612,13 @@ impl Kernel {
                     revents |= POLLIN & events;
                 }
                 revents |= POLLOUT & events;
+            }
+            FileKind::Epoll(id) => {
+                // An epoll fd is readable when its interest set has at
+                // least one ready entry (epoll-inside-poll composition).
+                if !self.sys_epoll_ready(tid, id, 1)?.is_empty() {
+                    revents |= POLLIN & events;
+                }
             }
         }
         Ok(revents)

@@ -14,17 +14,21 @@
 //! # Execution model
 //!
 //! The kernel is **single-threaded and cooperative**: every syscall either
-//! completes immediately or returns [`SysError::Block`]. The embedder (the
-//! WALI runner) is responsible for scheduling — it retries blocked tasks
-//! round-robin and advances the [`clock::Clock`] when every task is
-//! blocked. This matches the paper's N-to-1 lightweight-process model
-//! (§3.1) and makes every test and benchmark in the repository
-//! deterministic. The 1-to-1 model is layered on top by giving each Wasm
-//! instance its own kernel task.
+//! completes immediately or returns [`SysError::Block`]. Before returning
+//! `Block`, the kernel subscribes the task to the [`wait::Channel`]s that
+//! can unblock it, and every unblocking state transition posts a wakeup
+//! into the [`wait::WaitSet`]. The embedder (the WALI runner) drains the
+//! woken list each scheduling round, parks blocked tasks, and advances the
+//! [`clock::Clock`] to the earliest deadline when every task is parked.
+//! This matches the paper's N-to-1 lightweight-process model (§3.1) and
+//! makes every test and benchmark in the repository deterministic. The
+//! 1-to-1 model is layered on top by giving each Wasm instance its own
+//! kernel task.
 //!
 //! Blocked syscalls follow the classic *retry* convention: the embedder
 //! re-issues the same call once the task is woken; the kernel guarantees
-//! idempotence of the blocked path.
+//! idempotence of the blocked path. Wakeups may be spurious (a retry may
+//! block again); they are never missing.
 
 pub mod clock;
 pub mod fd;
@@ -34,10 +38,12 @@ pub mod signal;
 pub mod socket;
 pub mod task;
 pub mod vfs;
+pub mod wait;
 
 pub use clock::Clock;
 pub use kernel::Kernel;
 pub use task::{Pid, Task, TaskState, Tid};
+pub use wait::{Channel, WaitSet, WaitStats};
 
 use wali_abi::Errno;
 

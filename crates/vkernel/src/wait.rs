@@ -1,0 +1,247 @@
+//! Kernel waitqueues: event-driven blocking.
+//!
+//! The original runner retried every blocked task on every scheduler pass
+//! (O(blocked × passes)). The paper's server workloads (§6: memcached,
+//! paho-mqtt) are readiness-driven, so blocked tasks now park on *wait
+//! channels* and are woken by the exact state transition that unblocks
+//! them:
+//!
+//! * a blocking syscall subscribes the calling task to the channel(s) it
+//!   is waiting on, *then* returns [`crate::SysError::Block`];
+//! * every kernel transition that can unblock a task (pipe write/close,
+//!   socket send/accept, futex wake, `exit_group`, signal generation)
+//!   posts a wakeup on the matching channel;
+//! * the embedder drains [`WaitSet::take_woken`] each scheduling round
+//!   and re-queues only the woken tasks.
+//!
+//! Wakeups are **edge-triggered and may be spurious**: a woken task simply
+//! retries its syscall (the classic retry convention, see `lib.rs`), and
+//! re-subscribes if it blocks again. The invariant that matters is the
+//! converse — a task never misses the transition it waits on — which holds
+//! because the kernel is single-threaded and subscription happens before
+//! the `Block` return reaches the scheduler.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{MmId, Pid, Tid};
+
+/// A wait channel: the kernel-side event a blocked task parks on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Pipe `id` may have become readable (data written or writers gone).
+    PipeReadable(usize),
+    /// Pipe `id` may have become writable (space freed or readers gone).
+    PipeWritable(usize),
+    /// Socket `id` may have become readable: stream bytes or a datagram
+    /// arrived, a pending connection was queued on a listener, or the
+    /// peer vanished (EOF is a readable condition).
+    SockReadable(usize),
+    /// Space may have opened in socket `id`'s receive buffer (the channel
+    /// a *peer's* blocked sender waits on), or the connection broke.
+    SockSpace(usize),
+    /// The eventfd description at this address became signalled. Keyed by
+    /// the `Rc` pointer of the open file description (stable for the
+    /// description's lifetime; never dereferenced).
+    EventFd(usize),
+    /// A `FUTEX_WAKE` may have hit this `(address-space, address)` word.
+    Futex(MmId, u32),
+    /// A child of process `pid` changed state (`wait4` wake-up).
+    Child(Pid),
+    /// A signal was generated for task `tid` (EINTR / `pause` wake-up).
+    Signal(Tid),
+    /// The interest list of epoll instance `id` changed (`epoll_ctl`
+    /// while another task is parked in `epoll_wait`): the waiter must
+    /// re-scan and re-subscribe against the new list, since an added fd
+    /// may already be level-triggered ready.
+    EpollCtl(usize),
+}
+
+/// Aggregate counters (observability + bench assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Channel subscriptions recorded.
+    pub subscribes: u64,
+    /// Posts that found at least one waiter.
+    pub posts_hit: u64,
+    /// Posts on channels nobody was waiting on (dropped, near-free).
+    pub posts_miss: u64,
+    /// Tasks moved to the woken list (by post or direct wake).
+    pub wakeups: u64,
+}
+
+/// The kernel's waitqueue table.
+#[derive(Debug, Default)]
+pub struct WaitSet {
+    /// Channel → subscribed tasks, in subscription order.
+    waiters: HashMap<Channel, Vec<Tid>>,
+    /// Reverse index: task → channels it is subscribed to.
+    subscribed: HashMap<Tid, Vec<Channel>>,
+    /// Woken tasks in wake order, deduplicated.
+    woken: Vec<Tid>,
+    woken_set: HashSet<Tid>,
+    /// Counters.
+    pub stats: WaitStats,
+}
+
+impl WaitSet {
+    /// Creates an empty waitqueue table.
+    pub fn new() -> WaitSet {
+        WaitSet::default()
+    }
+
+    /// Subscribes `tid` to `ch`. Idempotent per `(tid, ch)` pair.
+    pub fn subscribe(&mut self, tid: Tid, ch: Channel) {
+        let chans = self.subscribed.entry(tid).or_default();
+        if chans.contains(&ch) {
+            return;
+        }
+        chans.push(ch);
+        self.waiters.entry(ch).or_default().push(tid);
+        self.stats.subscribes += 1;
+    }
+
+    /// Posts a wakeup on `ch`: every subscriber moves to the woken list
+    /// and is unsubscribed from *all* its channels (a woken task either
+    /// completes or re-subscribes on its retry).
+    pub fn post(&mut self, ch: Channel) -> usize {
+        let Some(tids) = self.waiters.remove(&ch) else {
+            self.stats.posts_miss += 1;
+            return 0;
+        };
+        self.stats.posts_hit += 1;
+        let n = tids.len();
+        for tid in tids {
+            self.wake_inner(tid, Some(ch));
+        }
+        n
+    }
+
+    /// Wakes one task directly (futex wake, task termination).
+    pub fn wake(&mut self, tid: Tid) {
+        self.unsubscribe(tid);
+        self.wake_inner(tid, None);
+    }
+
+    fn wake_inner(&mut self, tid: Tid, via: Option<Channel>) {
+        // Drop the task's other subscriptions (already removed from `via`).
+        if let Some(chans) = self.subscribed.remove(&tid) {
+            for ch in chans {
+                if Some(ch) == via {
+                    continue;
+                }
+                if let Some(q) = self.waiters.get_mut(&ch) {
+                    q.retain(|t| *t != tid);
+                    if q.is_empty() {
+                        self.waiters.remove(&ch);
+                    }
+                }
+            }
+        }
+        if self.woken_set.insert(tid) {
+            self.woken.push(tid);
+            self.stats.wakeups += 1;
+        }
+    }
+
+    /// Removes every subscription of `tid` without waking it (task exit).
+    pub fn unsubscribe(&mut self, tid: Tid) {
+        if let Some(chans) = self.subscribed.remove(&tid) {
+            for ch in chans {
+                if let Some(q) = self.waiters.get_mut(&ch) {
+                    q.retain(|t| *t != tid);
+                    if q.is_empty() {
+                        self.waiters.remove(&ch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when `tid` is subscribed to at least one channel.
+    pub fn is_subscribed(&self, tid: Tid) -> bool {
+        self.subscribed.contains_key(&tid)
+    }
+
+    /// Drains the woken list in wake order.
+    pub fn take_woken(&mut self) -> Vec<Tid> {
+        self.woken_set.clear();
+        std::mem::take(&mut self.woken)
+    }
+
+    /// True when at least one task has been woken and not yet drained.
+    pub fn has_woken(&self) -> bool {
+        !self.woken.is_empty()
+    }
+
+    /// Number of distinct subscribed tasks (diagnostics).
+    pub fn subscribed_count(&self) -> usize {
+        self.subscribed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_post_wakes_in_order() {
+        let mut w = WaitSet::new();
+        w.subscribe(3, Channel::PipeReadable(0));
+        w.subscribe(5, Channel::PipeReadable(0));
+        w.subscribe(4, Channel::PipeWritable(0));
+        assert_eq!(w.post(Channel::PipeReadable(0)), 2);
+        assert_eq!(w.take_woken(), vec![3, 5]);
+        assert!(w.is_subscribed(4), "other channel untouched");
+        assert!(!w.is_subscribed(3));
+    }
+
+    #[test]
+    fn post_without_waiters_is_a_miss() {
+        let mut w = WaitSet::new();
+        assert_eq!(w.post(Channel::SockReadable(9)), 0);
+        assert_eq!(w.stats.posts_miss, 1);
+        assert!(w.take_woken().is_empty());
+    }
+
+    #[test]
+    fn multi_channel_subscription_is_fully_cleared_on_wake() {
+        let mut w = WaitSet::new();
+        // A poll-style waiter parks on several channels at once.
+        w.subscribe(7, Channel::SockReadable(1));
+        w.subscribe(7, Channel::SockReadable(2));
+        w.subscribe(7, Channel::Signal(7));
+        w.post(Channel::SockReadable(2));
+        assert_eq!(w.take_woken(), vec![7]);
+        // The other subscriptions are gone: posting them is a miss.
+        assert_eq!(w.post(Channel::SockReadable(1)), 0);
+        assert_eq!(w.post(Channel::Signal(7)), 0);
+    }
+
+    #[test]
+    fn wake_is_deduplicated() {
+        let mut w = WaitSet::new();
+        w.subscribe(2, Channel::Futex(MmId(1), 64));
+        w.wake(2);
+        w.wake(2);
+        assert_eq!(w.take_woken(), vec![2]);
+        assert_eq!(w.stats.wakeups, 1);
+    }
+
+    #[test]
+    fn subscribe_is_idempotent() {
+        let mut w = WaitSet::new();
+        w.subscribe(1, Channel::Child(1));
+        w.subscribe(1, Channel::Child(1));
+        assert_eq!(w.post(Channel::Child(1)), 1);
+        assert_eq!(w.take_woken(), vec![1]);
+    }
+
+    #[test]
+    fn unsubscribe_drops_without_waking() {
+        let mut w = WaitSet::new();
+        w.subscribe(6, Channel::EventFd(0xdead));
+        w.unsubscribe(6);
+        assert_eq!(w.post(Channel::EventFd(0xdead)), 0);
+        assert!(w.take_woken().is_empty());
+    }
+}

@@ -174,6 +174,33 @@ pub const POLLHUP: i16 = 0x010;
 /// `poll` event: fd not open (revents only).
 pub const POLLNVAL: i16 = 0x020;
 
+/// `epoll_create1` flag: close-on-exec (same bit as `O_CLOEXEC`).
+pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+/// `epoll_ctl` op: add an fd to the interest list.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: remove an fd from the interest list.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change the registration of an fd.
+pub const EPOLL_CTL_MOD: i32 = 3;
+/// `epoll` event: readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll` event: exceptional condition.
+pub const EPOLLPRI: u32 = 0x002;
+/// `epoll` event: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll` event: error (reported regardless of interest).
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll` event: hangup (reported regardless of interest).
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll` event: peer shut down the write side.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll` input flag: one-shot delivery (accepted; this kernel model
+/// reports level-triggered readiness, so the bit is recorded only).
+pub const EPOLLONESHOT: u32 = 1 << 30;
+/// `epoll` input flag: edge-triggered (accepted and ignored — the
+/// deterministic kernel reports level-triggered readiness).
+pub const EPOLLET: u32 = 1 << 31;
+
 /// Socket domain: Unix.
 pub const AF_UNIX: i32 = 1;
 /// Socket domain: IPv4.

@@ -598,6 +598,38 @@ impl WaliPollFd {
     }
 }
 
+/// The WALI `epoll_event` image: `events` then `data`, packed to 12
+/// bytes exactly like the x86-64 Linux ABI (musl declares the struct
+/// `__attribute__((packed))` there, and WALI inherits that layout for
+/// wasm32).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaliEpollEvent {
+    /// Requested/reported `EPOLL*` event mask.
+    pub events: u32,
+    /// Opaque user data (commonly the fd).
+    pub data: u64,
+}
+
+impl WaliEpollEvent {
+    /// Size of the WALI byte image (packed: no padding before `data`).
+    pub const SIZE: usize = 12;
+
+    /// Deserializes from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let events = r.u32()?;
+        let data = r.u64()?;
+        Ok(WaliEpollEvent { events, data })
+    }
+
+    /// Serializes into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u32(self.events)?;
+        w.u64(self.data)
+    }
+}
+
 /// A decoded WALI socket address.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WaliSockaddr {
@@ -672,6 +704,19 @@ impl WaliSockaddr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn epoll_event_is_packed_and_round_trips() {
+        // 12 bytes: u32 events then u64 data with no padding (x86-64
+        // Linux ABI packing, inherited by the wasm32 layout).
+        assert_eq!(WaliEpollEvent::SIZE, 12);
+        let e = WaliEpollEvent { events: 0x2011, data: 0xdead_beef_0bad_f00d };
+        let mut buf = [0u8; WaliEpollEvent::SIZE];
+        e.write_to(&mut buf).unwrap();
+        assert_eq!(&buf[0..4], &0x2011u32.to_le_bytes());
+        assert_eq!(&buf[4..12], &0xdead_beef_0bad_f00du64.to_le_bytes());
+        assert_eq!(WaliEpollEvent::read_from(&buf).unwrap(), e);
+    }
 
     #[test]
     fn stat_round_trip() {

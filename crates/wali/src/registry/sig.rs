@@ -161,8 +161,10 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                 if kk.clock.monotonic_ns() >= d {
                     return Err(Errno::Eagain.into());
                 }
+                kk.wait_subscribe(tid, vkernel::Channel::Signal(tid));
                 return Err(vkernel::block_until(d));
             }
+            kk.wait_subscribe(tid, vkernel::Channel::Signal(tid));
             Err(vkernel::block())
         })
     });

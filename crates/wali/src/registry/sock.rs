@@ -1,7 +1,7 @@
 //! Socket and readiness syscalls.
 
 use vkernel::SysError;
-use wali_abi::layout::{WaliPollFd, WaliSockaddr, WaliTimespec};
+use wali_abi::layout::{WaliEpollEvent, WaliPollFd, WaliSockaddr, WaliTimespec};
 use wali_abi::Errno;
 use wasm::host::{Caller, Linker};
 use wasm::interp::Value;
@@ -188,16 +188,97 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "select", |c: C, a: &[Value]| -> R { do_select(c, a, false) });
     sys!(l, "pselect6", |c: C, a: &[Value]| -> R { do_select(c, a, true) });
 
-    // Minimal epoll surface: report ENOSYS so portable code falls back to
-    // poll (libuv and friends handle this).
-    for name in ["epoll_create1", "epoll_ctl", "epoll_wait", "epoll_pwait"] {
-        crate::registry::register_nosys(l, match name {
-            "epoll_create1" => "epoll_create1",
-            "epoll_ctl" => "epoll_ctl",
-            "epoll_wait" => "epoll_wait",
-            _ => "epoll_pwait",
-        });
+    // The epoll family, backed by the kernel's waitqueues: a blocked
+    // `epoll_wait` parks on its interest list's wait channels and is
+    // woken by the first readiness transition on any of them.
+    sys!(l, "epoll_create1", |c: C, a: &[Value]| -> R {
+        let flags = arg_i32(a, 0);
+        k(c, |kk, tid| kk.sys_epoll_create1(tid, flags)).map(|fd| fd as i64)
+    });
+
+    // epoll_ctl(epfd, op, fd, event).
+    sys!(l, "epoll_ctl", |c: C, a: &[Value]| -> R {
+        let (epfd, op, fd, ev_ptr) = (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2), arg_ptr(a, 3));
+        let (events, data) = if ev_ptr != 0 {
+            let raw = read_bytes(&c.instance.memory, ev_ptr, WaliEpollEvent::SIZE)
+                .map_err(SysError::Err)?;
+            let ev = WaliEpollEvent::read_from(&raw).map_err(SysError::Err)?;
+            (ev.events, ev.data)
+        } else {
+            // EPOLL_CTL_DEL accepts a NULL event since Linux 2.6.9.
+            (0, 0)
+        };
+        k(c, |kk, tid| kk.sys_epoll_ctl(tid, epfd, op, fd, events, data))
+    });
+
+    // epoll_wait(epfd, events, maxevents, timeout_ms) — epoll_pwait adds
+    // a sigmask argument this model accepts and ignores (handler dispatch
+    // is engine-managed, §3.3).
+    sys!(l, "epoll_wait", |c: C, a: &[Value]| -> R { do_epoll_wait(c, a) });
+    sys!(l, "epoll_pwait", |c: C, a: &[Value]| -> R { do_epoll_wait(c, a) });
+}
+
+/// The shared blocking tail of the readiness syscalls (`poll`, `select`,
+/// `epoll_wait`): resolves the effective deadline (a retry keeps the one
+/// it blocked with), reports a lapsed deadline as `Ok(())` — the caller
+/// writes its timed-out result — and otherwise runs `subscribe` to park
+/// the task on its wait channels and blocks.
+fn park_readiness(
+    c: C,
+    retry_deadline: Option<u64>,
+    timeout_ms: i64,
+    subscribe: impl FnOnce(&mut vkernel::Kernel, vkernel::Tid),
+) -> Result<(), SysError> {
+    let deadline = match retry_deadline {
+        Some(d) => Some(d),
+        None if timeout_ms > 0 => Some(k(c, |kk, _| {
+            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
+        })?),
+        None => None,
+    };
+    if let Some(d) = deadline {
+        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
+        if now >= d {
+            return Ok(());
+        }
+        k(c, |kk, tid| {
+            subscribe(kk, tid);
+            Ok::<_, SysError>(0)
+        })?;
+        return Err(vkernel::block_until(d));
     }
+    k(c, |kk, tid| {
+        subscribe(kk, tid);
+        Ok::<_, SysError>(0)
+    })?;
+    Err(vkernel::block())
+}
+
+fn do_epoll_wait(c: C, a: &[Value]) -> R {
+    let (epfd, ev_ptr, maxevents) = (arg_i32(a, 0), arg_ptr(a, 1), arg_i32(a, 2));
+    let timeout_ms = arg(a, 3);
+    if maxevents <= 0 {
+        return Err(Errno::Einval.into());
+    }
+    let mem = c.instance.memory.clone();
+    let retry_deadline = c.data.retry_deadline.take();
+    let ready = k(c, |kk, tid| kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize))?;
+    if !ready.is_empty() || timeout_ms == 0 {
+        for (i, (events, data)) in ready.iter().enumerate() {
+            let ev = WaliEpollEvent { events: *events, data: *data };
+            let mut buf = [0u8; WaliEpollEvent::SIZE];
+            ev.write_to(&mut buf).map_err(SysError::Err)?;
+            write_bytes(&mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
+                .map_err(SysError::Err)?;
+        }
+        return Ok(ready.len() as i64);
+    }
+    // Nothing ready: park on the interest list's wait channels with the
+    // timeout deadline (same retry protocol as `poll`).
+    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
+        let _ = kk.epoll_subscribe(tid, epfd);
+    })?;
+    Ok(0)
 }
 
 fn do_accept(c: C, a: &[Value], flags: i32) -> R {
@@ -270,29 +351,16 @@ fn do_poll(c: C, fds_ptr: u32, nfds: usize, timeout_ms: i64) -> R {
         return Ok(ready as i64);
     }
     // Nothing ready: block with the timeout deadline.
-    let deadline = match retry_deadline {
-        Some(d) => Some(d),
-        None if timeout_ms > 0 => Some(k(c, |kk, _| {
-            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
-        })?),
-        None => None,
-    };
-    if let Some(d) = deadline {
-        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
-        if now >= d {
-            // Timed out: zero revents, return 0.
-            for (i, p) in fds.iter_mut().enumerate() {
-                p.revents = 0;
-                let mut buf = [0u8; WaliPollFd::SIZE];
-                p.write_to(&mut buf).map_err(SysError::Err)?;
-                write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
-                    .map_err(SysError::Err)?;
-            }
-            return Ok(0);
-        }
-        return Err(vkernel::block_until(d));
+    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| kk.wait_on_fds(tid, &pairs))?;
+    // Timed out: zero revents, return 0.
+    for (i, p) in fds.iter_mut().enumerate() {
+        p.revents = 0;
+        let mut buf = [0u8; WaliPollFd::SIZE];
+        p.write_to(&mut buf).map_err(SysError::Err)?;
+        write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
+            .map_err(SysError::Err)?;
     }
-    Err(vkernel::block())
+    Ok(0)
 }
 
 fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
@@ -361,19 +429,6 @@ fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
         return Ok(ready as i64);
     }
 
-    let deadline = match retry_deadline {
-        Some(d) => Some(d),
-        None if timeout_ms > 0 => Some(k(c, |kk, _| {
-            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
-        })?),
-        None => None,
-    };
-    if let Some(d) = deadline {
-        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
-        if now >= d {
-            return Ok(0);
-        }
-        return Err(vkernel::block_until(d));
-    }
-    Err(vkernel::block())
+    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| kk.wait_on_fds(tid, &pairs))?;
+    Ok(0)
 }

@@ -11,11 +11,18 @@
 //! * `clone(CLONE_VM)` — same snapshot but *sharing* linear memory, the
 //!   instance-per-thread model (fresh globals/table per instance);
 //! * `execve` — swap in a program registered under the target path;
-//! * blocking syscalls — retried round-robin, advancing the virtual clock
-//!   when every task is blocked.
+//! * blocking syscalls — the task parks on the kernel waitqueues
+//!   ([`vkernel::wait`]) and re-enters the run queue only when its wait
+//!   channel fires or its deadline lapses; the scheduler advances the
+//!   virtual clock straight to the earliest deadline when every task is
+//!   parked.
+//!
+//! Set `WALI_NO_WAITQ=1` (or [`WaliRunner::set_event_driven`]`(false)`)
+//! to fall back to the original poll-everything loop — kept as the A/B
+//! baseline for the scheduler benchmarks.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +47,21 @@ pub enum TaskEnd {
     Trapped(Trap),
 }
 
+/// Scheduler accounting for one run (waitqueue observability).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Times a task was parked on a wait channel or deadline.
+    pub parks: u64,
+    /// Parked tasks re-queued by a kernel wakeup.
+    pub wakeups: u64,
+    /// Idle steps: the clock jumped to the earliest deadline.
+    pub idle_advances: u64,
+    /// Blocked-syscall retry attempts that blocked again (busy-poll work;
+    /// stays O(wakeups) in event-driven mode, O(blocked × passes) in the
+    /// `WALI_NO_WAITQ` baseline).
+    pub blocked_retries: u64,
+}
+
 /// Everything a finished run reports.
 #[derive(Debug, Default)]
 pub struct RunOutcome {
@@ -53,6 +75,8 @@ pub struct RunOutcome {
     pub trace: Trace,
     /// Peak linear-memory pages over all instances.
     pub peak_memory_pages: u32,
+    /// Scheduler accounting.
+    pub sched: SchedStats,
 }
 
 impl RunOutcome {
@@ -114,12 +138,26 @@ enum Pending {
 /// Ops per scheduling slice before a busy task is preempted.
 const FUEL_SLICE: u64 = 1 << 20;
 
+/// Virtual nanoseconds one exhausted fuel slice accounts for (a ~1 GIPS
+/// virtual CPU: 2^20 ops ≈ 1 ms). Without this, a pure-compute spin loop
+/// would stall virtual time — the old polling loop advanced the clock as
+/// a side effect of its blocked-syscall retries, the event-driven
+/// scheduler advances it here and at idle steps instead, so parked
+/// deadlines lapse while a spinner runs.
+const SLICE_QUANTUM_NS: u64 = 1_000_000;
+
 struct Slot {
     tid: Tid,
     instance: Instance<WaliContext>,
     thread: Thread,
     ctx: WaliContext,
     pending: Option<Pending>,
+}
+
+/// Whether the event-driven scheduler is on by default (the
+/// `WALI_NO_WAITQ` escape hatch selects the polling baseline).
+pub fn event_driven_default() -> bool {
+    std::env::var_os("WALI_NO_WAITQ").is_none()
 }
 
 /// The runtime.
@@ -136,10 +174,29 @@ pub struct WaliRunner {
     /// Superinstruction fusion override; `None` follows
     /// [`wasm::prep::fuse_default`].
     fuse: Option<bool>,
+    /// Waitqueue scheduling override; `None` follows
+    /// [`event_driven_default`].
+    event_driven: Option<bool>,
     /// Set when `linker_mut` may have changed registrations since the
     /// handler table was built.
     handlers_dirty: bool,
-    tasks: Vec<Slot>,
+    /// Every live task, keyed by kernel tid (deterministic order).
+    tasks: BTreeMap<Tid, Slot>,
+    /// Runnable tasks, round-robin FIFO.
+    run_queue: VecDeque<Tid>,
+    /// Blocked tasks parked off the run queue, with their optional wake
+    /// deadline (virtual mono ns). Invariant: every live task is either
+    /// queued or parked, never both.
+    parked: BTreeMap<Tid, Option<u64>>,
+    /// Ordered index of parked deadlines: the scheduler compares its
+    /// minimum against the clock every round, so deadline-parked tasks
+    /// wake on time even while other tasks keep the run queue busy
+    /// (syscall ticks advance the virtual clock too, not just idle
+    /// steps). Kept in lock-step with `parked`.
+    deadlines: std::collections::BTreeSet<(u64, Tid)>,
+    /// Consecutive run-queue attempts without wasm progress (the polling
+    /// baseline's full-pass detector).
+    since_progress: usize,
     spawned_any: bool,
     main_tid: Option<Tid>,
     outcome: RunOutcome,
@@ -155,8 +212,13 @@ impl WaliRunner {
             programs: HashMap::new(),
             scheme,
             fuse: None,
+            event_driven: None,
             handlers_dirty: true,
-            tasks: Vec::new(),
+            tasks: BTreeMap::new(),
+            run_queue: VecDeque::new(),
+            parked: BTreeMap::new(),
+            deadlines: std::collections::BTreeSet::new(),
+            since_progress: 0,
             spawned_any: false,
             main_tid: None,
             outcome: RunOutcome::default(),
@@ -188,10 +250,21 @@ impl WaliRunner {
         self.fuse = Some(fuse);
     }
 
+    /// Overrides waitqueue scheduling (A/B measurement; default follows
+    /// [`event_driven_default`]). `false` selects the original
+    /// poll-every-blocked-task loop.
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = Some(on);
+    }
+
+    fn event_driven_on(&self) -> bool {
+        self.event_driven.unwrap_or_else(event_driven_default)
+    }
+
     /// Adjusts the context of a spawned (not yet finished) task — used to
     /// attach layered-API state such as WASI preopens.
     pub fn configure_ctx(&mut self, tid: Tid, f: impl FnOnce(&mut WaliContext)) {
-        if let Some(slot) = self.tasks.iter_mut().find(|s| s.tid == tid) {
+        if let Some(slot) = self.tasks.get_mut(&tid) {
             f(&mut slot.ctx);
         }
     }
@@ -244,7 +317,7 @@ impl WaliRunner {
             self.main_tid = Some(tid);
             self.spawned_any = true;
         }
-        self.tasks.push(Slot {
+        self.admit(Slot {
             tid,
             instance,
             thread: Thread::new(),
@@ -263,32 +336,208 @@ impl WaliRunner {
         policy: crate::policy::Policy,
     ) -> Result<Tid, RunnerError> {
         let tid = self.spawn(path, args, env)?;
-        if let Some(slot) = self.tasks.iter_mut().find(|s| s.tid == tid) {
+        if let Some(slot) = self.tasks.get_mut(&tid) {
             slot.ctx.policy = Some(policy);
         }
         Ok(tid)
     }
 
+    /// Registers a new task and queues it to run.
+    fn admit(&mut self, slot: Slot) {
+        let tid = slot.tid;
+        self.tasks.insert(tid, slot);
+        self.run_queue.push_back(tid);
+    }
+
     /// Runs until every task finishes.
+    ///
+    /// The scheduler loop: drain kernel wakeups into the run queue, run
+    /// the queue round-robin, and when nothing is runnable (or, in the
+    /// polling baseline, a full pass made no progress) take an idle step —
+    /// jump the virtual clock to the earliest deadline, fire timers, and
+    /// unpark whatever that woke. Wakeup cost is independent of the number
+    /// of parked tasks: a transition posts to exactly the tasks subscribed
+    /// to its channel.
     pub fn run(&mut self) -> Result<RunOutcome, RunnerError> {
         while !self.tasks.is_empty() {
-            let mut progressed = false;
-            let mut i = 0;
-            while i < self.tasks.len() {
-                if self.attempt(i)? {
-                    progressed = true;
+            self.drain_wakeups();
+            // Syscall ticks advance the clock while the queue stays busy;
+            // wake parked deadlines the moment they lapse, not only at
+            // idle steps.
+            if let Some(&(d, _)) = self.deadlines.first() {
+                let now = self.kernel.borrow().clock.monotonic_ns();
+                if now >= d {
+                    self.wake_lapsed(now);
                 }
-                // `attempt` may remove or append tasks; re-check bounds.
-                i += 1;
             }
-            self.reap_finished();
-            if !progressed && !self.tasks.is_empty() {
-                self.advance_idle_clock()?;
+            let idle = match self.run_queue.front() {
+                None => true,
+                // Polling baseline: every queued task attempted once since
+                // the last progress → the old "nothing progressed" pass.
+                // Never idle while a deterministically-runnable task
+                // (Start/Resume pending — it will execute wasm) is queued:
+                // `since_progress` over-counts when attempted tasks park
+                // and shrink the queue under it.
+                Some(_) => {
+                    self.since_progress > 0
+                        && self.since_progress >= self.run_queue.len()
+                        && !self.queue_has_runnable()
+                }
+            };
+            if idle {
+                self.idle_advance()?;
+                self.since_progress = 0;
+                continue;
+            }
+            let tid = self.run_queue.pop_front().expect("checked non-empty");
+            if !self.tasks.contains_key(&tid) {
+                continue;
+            }
+            if self.attempt(tid)? {
+                self.since_progress = 0;
+            } else {
+                self.since_progress += 1;
             }
         }
         let mut outcome = std::mem::take(&mut self.outcome);
         outcome.console = self.kernel.borrow_mut().take_console();
         Ok(outcome)
+    }
+
+    /// Parks a blocked task off the run queue.
+    fn park(&mut self, tid: Tid, deadline: Option<u64>) {
+        self.outcome.sched.parks += 1;
+        if let Some(d) = deadline {
+            self.deadlines.insert((d, tid));
+        }
+        self.parked.insert(tid, deadline);
+    }
+
+    /// Removes a task from the parked set (and the deadline index);
+    /// returns whether it was parked.
+    fn unpark(&mut self, tid: Tid) -> bool {
+        match self.parked.remove(&tid) {
+            Some(deadline) => {
+                if let Some(d) = deadline {
+                    self.deadlines.remove(&(d, tid));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves kernel-woken tasks from the parked set to the run queue.
+    fn drain_wakeups(&mut self) {
+        let mut k = self.kernel.borrow_mut();
+        if !k.has_woken() {
+            return;
+        }
+        let woken = k.take_woken();
+        drop(k);
+        for tid in woken {
+            if self.unpark(tid) {
+                self.outcome.sched.wakeups += 1;
+                self.run_queue.push_back(tid);
+                // A wakeup is fresh evidence of possible progress: the
+                // idle detector must give the woken task its attempt
+                // before declaring the queue stuck.
+                self.since_progress = 0;
+            }
+            // Wakeups for queued/running tasks are redundant: they will
+            // observe the new state on their own next attempt.
+        }
+    }
+
+    /// True when any queued task is deterministically runnable (its next
+    /// step executes wasm rather than retrying a blocked syscall).
+    fn queue_has_runnable(&self) -> bool {
+        self.run_queue.iter().any(|tid| {
+            self.tasks
+                .get(tid)
+                .map(|s| !matches!(s.pending, Some(Pending::Retry { .. })))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Nothing is runnable: advance the virtual clock to the earliest
+    /// wake-up source (parked deadlines, queued retry deadlines, kernel
+    /// timers), fire timers, and unpark deadline-lapsed tasks; error out
+    /// when no wake-up source exists.
+    fn idle_advance(&mut self) -> Result<(), RunnerError> {
+        let parked_min = self.deadlines.first().map(|&(d, _)| d);
+        let queued_min = self
+            .run_queue
+            .iter()
+            .filter_map(|tid| self.tasks.get(tid))
+            .filter_map(|s| match &s.pending {
+                Some(Pending::Retry { deadline, .. }) => *deadline,
+                _ => None,
+            })
+            .min();
+        let timer_min = self.kernel.borrow().next_timer_deadline();
+        let Some(deadline) = [parked_min, queued_min, timer_min].into_iter().flatten().min()
+        else {
+            return Err(RunnerError::Deadlock(self.blocked_report()));
+        };
+        let now = {
+            let mut k = self.kernel.borrow_mut();
+            k.clock.advance_to(deadline);
+            k.fire_timers();
+            k.clock.monotonic_ns()
+        };
+        self.outcome.sched.idle_advances += 1;
+        self.wake_lapsed(now);
+        self.drain_wakeups();
+        Ok(())
+    }
+
+    /// Accounts one exhausted fuel slice of virtual CPU time and fires
+    /// whatever that made due (timers, parked deadlines). Event-driven
+    /// mode only: the `WALI_NO_WAITQ` baseline must reproduce the old
+    /// loop exactly, which never advanced the clock on preemption (its
+    /// blocked-retry syscall ticks covered that).
+    fn tick_slice(&mut self) {
+        if !self.event_driven_on() {
+            return;
+        }
+        let now = {
+            let mut k = self.kernel.borrow_mut();
+            k.clock.advance(SLICE_QUANTUM_NS);
+            k.fire_timers();
+            k.clock.monotonic_ns()
+        };
+        self.wake_lapsed(now);
+    }
+
+    /// Re-queues parked tasks whose deadline has lapsed. The kernel-side
+    /// subscriptions are cancelled: this wake bypasses the waitqueue, so
+    /// leaving them would let a later post spuriously wake the task out
+    /// of an unrelated park.
+    fn wake_lapsed(&mut self, now: u64) {
+        while let Some(&(d, tid)) = self.deadlines.first() {
+            if d > now {
+                break;
+            }
+            self.deadlines.remove(&(d, tid));
+            self.parked.remove(&tid);
+            self.kernel.borrow_mut().wait_cancel(tid);
+            self.run_queue.push_back(tid);
+            self.since_progress = 0;
+        }
+    }
+
+    /// The blocked-task table for the deadlock report.
+    fn blocked_report(&self) -> Vec<(Tid, &'static str)> {
+        let name_of = |s: &Slot| match &s.pending {
+            Some(Pending::Retry { import, .. }) => *import,
+            _ => "?",
+        };
+        self.parked
+            .keys()
+            .chain(self.run_queue.iter())
+            .filter_map(|tid| self.tasks.get(tid).map(|s| (*tid, name_of(s))))
+            .collect()
     }
 
     /// Runs a single registered program to completion (convenience).
@@ -303,18 +552,22 @@ impl WaliRunner {
         runner.run()
     }
 
-    fn attempt(&mut self, i: usize) -> Result<bool, RunnerError> {
-        let Some(pending) = self.tasks[i].pending.take() else { return Ok(false) };
+    /// Runs one scheduling slice of `tid`. Returns whether the attempt
+    /// made progress (ran wasm, completed, or changed task structure) —
+    /// an immediately re-blocked retry did not.
+    fn attempt(&mut self, tid: Tid) -> Result<bool, RunnerError> {
+        let Some(pending) = self.tasks.get_mut(&tid).and_then(|s| s.pending.take()) else {
+            return Ok(false);
+        };
 
         // A task whose kernel identity died (killed by a sibling) is
         // finalized without running.
-        if self.task_killed(self.tasks[i].tid) {
-            self.finish_task(i, None);
+        if self.task_killed(tid) {
+            self.finish_task(tid, None);
             return Ok(true);
         }
-
         let result = {
-            let slot = &mut self.tasks[i];
+            let slot = self.tasks.get_mut(&tid).expect("live task");
             let t0 = Instant::now();
             let steps0 = slot.thread.steps;
             slot.thread.refuel(Some(FUEL_SLICE));
@@ -362,30 +615,30 @@ impl WaliRunner {
         match result {
             RunResult::Done(values) => {
                 let code = values.first().and_then(Value::as_i32).unwrap_or(0);
-                let tid = self.tasks[i].tid;
-                let already = self.tasks[i].ctx.exited;
+                let already = self.tasks.get(&tid).and_then(|s| s.ctx.exited);
                 if already.is_none() {
                     let _ = self.kernel.borrow_mut().sys_exit_group(tid, code);
                 }
-                self.finish_task(i, Some(TaskEnd::Exited(already.unwrap_or(code))));
+                self.finish_task(tid, Some(TaskEnd::Exited(already.unwrap_or(code))));
                 Ok(true)
             }
             RunResult::Trapped(Trap::Aborted) => {
-                self.finish_task(i, None);
+                self.finish_task(tid, None);
                 Ok(true)
             }
             RunResult::Trapped(t) => {
-                let tid = self.tasks[i].tid;
                 let _ = self.kernel.borrow_mut().sys_exit_group(tid, 128);
-                self.finish_task(i, Some(TaskEnd::Trapped(t)));
+                self.finish_task(tid, Some(TaskEnd::Trapped(t)));
                 Ok(true)
             }
             RunResult::Suspended(s) => match s.downcast::<WaliSuspend>() {
-                Ok(payload) => self.handle_suspend(i, *payload, ran_wasm),
+                Ok(payload) => self.handle_suspend(tid, *payload, ran_wasm),
                 Err(s) => {
                     if s.downcast::<wasm::interp::Preempted>().is_ok() {
-                        // Fuel slice expired: reschedule fairly.
-                        self.tasks[i].pending = Some(Pending::Resume(Vec::new()));
+                        // Fuel slice expired: reschedule fairly and account
+                        // the slice's virtual CPU time.
+                        self.requeue(tid, Pending::Resume(Vec::new()));
+                        self.tick_slice();
                         Ok(true)
                     } else {
                         Err(RunnerError::NoEntry("unknown suspension payload"))
@@ -395,15 +648,23 @@ impl WaliRunner {
         }
     }
 
+    /// Puts a live task back on the run queue with its next pending step.
+    fn requeue(&mut self, tid: Tid, pending: Pending) {
+        if let Some(slot) = self.tasks.get_mut(&tid) {
+            slot.pending = Some(pending);
+            self.run_queue.push_back(tid);
+        }
+    }
+
     fn handle_suspend(
         &mut self,
-        i: usize,
+        tid: Tid,
         payload: WaliSuspend,
         ran_wasm: bool,
     ) -> Result<bool, RunnerError> {
         match payload {
             WaliSuspend::Exit { code } => {
-                self.finish_task(i, Some(TaskEnd::Exited(code)));
+                self.finish_task(tid, Some(TaskEnd::Exited(code)));
                 Ok(true)
             }
             WaliSuspend::Blocked { module, import, sysno, args, deadline } => {
@@ -412,19 +673,34 @@ impl WaliRunner {
                 // that blocked again made real progress; an immediately
                 // re-blocked retry did not — the idle path advances the
                 // clock in that case).
-                let tid = self.tasks[i].tid;
-                self.tasks[i].pending =
-                    Some(Pending::Retry { module, import, sysno, args, deadline });
-                self.tasks[i].ctx.with_kernel(|k| {
-                    if let Ok(t) = k.task_mut(tid) {
-                        t.rusage.nvcsw += 1;
-                    }
-                });
+                if !ran_wasm {
+                    self.outcome.sched.blocked_retries += 1;
+                }
+                if let Some(slot) = self.tasks.get_mut(&tid) {
+                    slot.pending =
+                        Some(Pending::Retry { module, import, sysno, args, deadline });
+                    slot.ctx.with_kernel(|k| {
+                        if let Ok(t) = k.task_mut(tid) {
+                            t.rusage.nvcsw += 1;
+                        }
+                    });
+                }
+                // Event-driven: park on the kernel waitqueues / deadline.
+                // A blocked call that neither subscribed a channel nor set
+                // a deadline (a layered API outside the kernel protocol)
+                // stays on the run queue and is busy-polled like before.
+                let parkable = self.event_driven_on()
+                    && (deadline.is_some() || self.kernel.borrow().task_waits(tid));
+                if parkable {
+                    self.park(tid, deadline);
+                } else {
+                    self.run_queue.push_back(tid);
+                }
                 Ok(ran_wasm)
             }
             WaliSuspend::Fork { child_tid } => {
                 let child = {
-                    let slot = &self.tasks[i];
+                    let slot = self.tasks.get(&tid).expect("live task");
                     Slot {
                         tid: child_tid,
                         instance: slot.instance.fork_clone(),
@@ -433,14 +709,13 @@ impl WaliRunner {
                         pending: Some(Pending::Resume(vec![Value::I64(0)])),
                     }
                 };
-                self.tasks.push(child);
-                self.tasks[i].pending =
-                    Some(Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                self.admit(child);
+                self.requeue(tid, Pending::Resume(vec![Value::I64(child_tid as i64)]));
                 Ok(true)
             }
             WaliSuspend::Clone { child_tid, share_vm, thread } => {
                 let child = {
-                    let slot = &self.tasks[i];
+                    let slot = self.tasks.get(&tid).expect("live task");
                     let instance = if share_vm {
                         slot.instance.thread_clone()
                     } else {
@@ -459,18 +734,15 @@ impl WaliRunner {
                         pending: Some(Pending::Resume(vec![Value::I64(0)])),
                     }
                 };
-                self.tasks.push(child);
-                self.tasks[i].pending =
-                    Some(Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                self.admit(child);
+                self.requeue(tid, Pending::Resume(vec![Value::I64(child_tid as i64)]));
                 Ok(true)
             }
             WaliSuspend::Exec { path, argv, envp } => {
                 let Some(program) = self.programs.get(&path).cloned() else {
-                    self.tasks[i].pending =
-                        Some(Pending::Resume(vec![Value::I64(Errno::Enoent.as_ret())]));
+                    self.requeue(tid, Pending::Resume(vec![Value::I64(Errno::Enoent.as_ret())]));
                     return Ok(true);
                 };
-                let tid = self.tasks[i].tid;
                 {
                     let mut k = self.kernel.borrow_mut();
                     let _ = k.sys_execve(tid);
@@ -481,17 +753,19 @@ impl WaliRunner {
                     .export_func("_start")
                     .or_else(|| instance.export_func("main"))
                     .ok_or(RunnerError::NoEntry("_start"))?;
-                let old_trace = self.tasks[i].ctx.trace.clone();
+                let old_trace =
+                    self.tasks.get(&tid).map(|s| s.ctx.trace.clone()).unwrap_or_default();
                 let mut ctx =
                     WaliContext::new(self.kernel.clone(), tid, program.data_end());
                 ctx.args = if argv.is_empty() { vec![path.clone()] } else { argv };
                 ctx.env = envp;
                 ctx.trace = old_trace;
-                let slot = &mut self.tasks[i];
+                let slot = self.tasks.get_mut(&tid).expect("live task");
                 slot.instance = instance;
                 slot.thread = Thread::new();
                 slot.ctx = ctx;
                 slot.pending = Some(Pending::Start { func: entry, args: Vec::new() });
+                self.run_queue.push_back(tid);
                 Ok(true)
             }
         }
@@ -502,8 +776,9 @@ impl WaliRunner {
         k.task(tid).map(|t| t.exited()).unwrap_or(true)
     }
 
-    fn finish_task(&mut self, i: usize, end: Option<TaskEnd>) {
-        let slot = self.tasks.remove(i);
+    fn finish_task(&mut self, tid: Tid, end: Option<TaskEnd>) {
+        let Some(slot) = self.tasks.remove(&tid) else { return };
+        self.unpark(tid);
         let end = end.unwrap_or_else(|| {
             // Pull the status from the kernel (killed by signal or exited
             // by a sibling thread).
@@ -525,54 +800,5 @@ impl WaliRunner {
             self.outcome.main_exit = Some(end.clone());
         }
         self.outcome.ends.push((slot.tid, end));
-    }
-
-    /// Finalizes any task whose kernel identity exited while it was
-    /// blocked (killed by a sibling or a signal).
-    fn reap_finished(&mut self) {
-        let mut i = 0;
-        while i < self.tasks.len() {
-            if self.task_killed(self.tasks[i].tid) {
-                self.finish_task(i, None);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Every task is blocked: advance the virtual clock to the nearest
-    /// wake-up source and fire timers; error out if none exists.
-    fn advance_idle_clock(&mut self) -> Result<(), RunnerError> {
-        let retry_deadline = self
-            .tasks
-            .iter()
-            .filter_map(|s| match &s.pending {
-                Some(Pending::Retry { deadline, .. }) => *deadline,
-                _ => None,
-            })
-            .min();
-        let mut k = self.kernel.borrow_mut();
-        let timer_deadline = k.next_timer_deadline();
-        match retry_deadline.into_iter().chain(timer_deadline).min() {
-            Some(d) => {
-                k.clock.advance_to(d);
-                k.fire_timers();
-                Ok(())
-            }
-            None => {
-                let blocked: Vec<(Tid, &'static str)> = self
-                    .tasks
-                    .iter()
-                    .map(|s| {
-                        let name = match &s.pending {
-                            Some(Pending::Retry { import, .. }) => *import,
-                            _ => "?",
-                        };
-                        (s.tid, name)
-                    })
-                    .collect();
-                Err(RunnerError::Deadlock(blocked))
-            }
-        }
     }
 }
