@@ -28,7 +28,12 @@ fn entry(
     required: &[Feature],
     executable: bool,
 ) -> CatalogEntry {
-    CatalogEntry { name, description, required: required.iter().copied().collect(), executable }
+    CatalogEntry {
+        name,
+        description,
+        required: required.iter().copied().collect(),
+        executable,
+    }
 }
 
 /// Builds the seventeen-row catalog in the paper's order.
@@ -50,18 +55,43 @@ pub fn catalog() -> Vec<CatalogEntry> {
             &[BasicFs, Sockets, Threads, SockOpt, Mmap, Poll],
             true,
         ),
-        entry("openssh", "System Services", &[BasicFs, Sockets, Users, Fork, Signals], false),
+        entry(
+            "openssh",
+            "System Services",
+            &[BasicFs, Sockets, Users, Fork, Signals],
+            false,
+        ),
         entry("sqlite", "Database", &[BasicFs, Mmap, Mremap], true),
-        entry("paho-mqtt", "MQTT App", &[BasicFs, Sockets, SockOpt, Poll], true),
+        entry(
+            "paho-mqtt",
+            "MQTT App",
+            &[BasicFs, Sockets, SockOpt, Poll],
+            true,
+        ),
         entry("make", "CLI Tool", &[BasicFs, Fork, Wait4, Pipes], false),
         entry("vim", "CLI Tool", &[BasicFs, Mmap, Signals, Ioctl], false),
         entry("wasm-inst", "CLI Tool", &[BasicFs, Sysconf], false),
         entry("libuvwasi", "WASI Lib", &[BasicFs, Ioctl, Poll, Dup], false),
         entry("zlib", "Compression Lib", &[BasicFs], false),
-        entry("libevent", "System Lib", &[BasicFs, Sockets, SocketPair, Poll], false),
-        entry("libncurses", "System Lib", &[BasicFs, Ioctl, ProcessGroups], false),
+        entry(
+            "libevent",
+            "System Lib",
+            &[BasicFs, Sockets, SocketPair, Poll],
+            false,
+        ),
+        entry(
+            "libncurses",
+            "System Lib",
+            &[BasicFs, Ioctl, ProcessGroups],
+            false,
+        ),
         entry("openssl", "Security Lib", &[BasicFs, Sockets, Ioctl], false),
-        entry("LTP", "Test Harness", &[BasicFs, LinuxSpecific, Signals, Fork, Mmap], false),
+        entry(
+            "LTP",
+            "Test Harness",
+            &[BasicFs, LinuxSpecific, Signals, Fork, Mmap],
+            false,
+        ),
     ]
 }
 
@@ -78,7 +108,11 @@ mod tests {
     #[test]
     fn wali_ports_everything() {
         for e in catalog() {
-            assert!(Api::Wali.supports(&e.required).is_ok(), "{} fails on WALI", e.name);
+            assert!(
+                Api::Wali.supports(&e.required).is_ok(),
+                "{} fails on WALI",
+                e.name
+            );
         }
     }
 
@@ -104,14 +138,23 @@ mod tests {
         assert!(ported.contains(&"lua"));
         assert!(ported.contains(&"zlib"));
         assert!(ported.contains(&"make"));
-        assert!(!ported.contains(&"memcached"), "mmap blocks memcached on WASIX");
+        assert!(
+            !ported.contains(&"memcached"),
+            "mmap blocks memcached on WASIX"
+        );
         assert!(ported.len() > 1 && ported.len() < catalog().len());
     }
 
     #[test]
     fn executable_rows_match_the_suite() {
-        let exec: Vec<&str> =
-            catalog().iter().filter(|e| e.executable).map(|e| e.name).collect();
-        assert_eq!(exec, vec!["bash", "lua", "memcached", "sqlite", "paho-mqtt"]);
+        let exec: Vec<&str> = catalog()
+            .iter()
+            .filter(|e| e.executable)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            exec,
+            vec!["bash", "lua", "memcached", "sqlite", "paho-mqtt"]
+        );
     }
 }

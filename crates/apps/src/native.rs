@@ -27,7 +27,13 @@ fn unwrap_sys<T>(r: SysResult<T>) -> T {
 /// Native `lua` twin: dispatch loop + heap growth + script I/O.
 pub fn lua_native(k: &mut Kernel, tid: Tid, scale: u32) -> NativeStats {
     let mut stats = NativeStats::default();
-    let fd = unwrap_sys(k.sys_openat(tid, wali_abi::flags::AT_FDCWD, "/tmp/script.lua", O_CREAT | O_RDWR, 0o644));
+    let fd = unwrap_sys(k.sys_openat(
+        tid,
+        wali_abi::flags::AT_FDCWD,
+        "/tmp/script.lua",
+        O_CREAT | O_RDWR,
+        0o644,
+    ));
     stats.syscalls += 1;
     let mut script = [0u8; 4096];
     let n = unwrap_sys(k.sys_read(tid, fd, &mut script)) as usize;
@@ -86,7 +92,13 @@ pub fn bash_native(k: &mut Kernel, tid: Tid, iterations: u32) -> NativeStats {
 /// Native `sqlite` twin: paged inserts with journal beats.
 pub fn sqlite_native(k: &mut Kernel, tid: Tid, rows: u32) -> NativeStats {
     let mut stats = NativeStats::default();
-    let fd = unwrap_sys(k.sys_openat(tid, wali_abi::flags::AT_FDCWD, "/tmp/test.db", O_CREAT | O_RDWR, 0o644));
+    let fd = unwrap_sys(k.sys_openat(
+        tid,
+        wali_abi::flags::AT_FDCWD,
+        "/tmp/test.db",
+        O_CREAT | O_RDWR,
+        0o644,
+    ));
     unwrap_sys(k.sys_ftruncate(tid, fd, 16384));
     stats.syscalls += 2;
     let mut pages = vec![0u8; 16384];
@@ -139,7 +151,12 @@ mod tests {
         let sq = sqlite_native(&mut k, tid, 64);
         assert!(sq.syscalls > 5);
         assert!(k.vfs.read_file("/tmp/test.db").unwrap().len() >= 16384);
-        assert_eq!(String::from_utf8_lossy(&k.take_console()).matches("lua: done").count(), 1);
+        assert_eq!(
+            String::from_utf8_lossy(&k.take_console())
+                .matches("lua: done")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn lua_sim(scale: u32) -> App {
 
         // Load the "script" (created by the harness; missing is fine —
         // fall back to a built-in program of 64 ops).
-        b.i64(script_path as i64).i64(0).i64(0).call(open).local_set(fd);
+        b.i64(script_path as i64)
+            .i64(0)
+            .i64(0)
+            .call(open)
+            .local_set(fd);
         b.local_get(fd).i64(0).lt_s64();
         b.if_else(
             BlockType::Value(I32),
@@ -71,7 +75,11 @@ pub fn lua_sim(scale: u32) -> App {
                 b.i32(64);
             },
             |b| {
-                b.local_get(fd).i64(script_buf as i64).i64(4096).call(read).wrap();
+                b.local_get(fd)
+                    .i64(script_buf as i64)
+                    .i64(4096)
+                    .call(read)
+                    .wrap();
                 b.local_get(fd).call(close).drop_();
             },
         );
@@ -85,7 +93,12 @@ pub fn lua_sim(scale: u32) -> App {
             b.loop_(BlockType::Empty, |b| {
                 // opcode dispatch on script_buf[pc] & 7
                 let op = b.local(I32);
-                b.i32(script_buf as i32).local_get(pc).add32().load8u(0).i32(7).and32()
+                b.i32(script_buf as i32)
+                    .local_get(pc)
+                    .add32()
+                    .load8u(0)
+                    .i32(7)
+                    .and32()
                     .local_set(op);
                 // op 0..3: arithmetic on acc; 4: "concat" (alloc via brk
                 // every 64th); 5..7: hash mix.
@@ -100,7 +113,8 @@ pub fn lua_sim(scale: u32) -> App {
                 });
                 b.local_get(acc).i64(0x9e3779b9).add64();
                 b.local_get(op).extend_u().add64();
-                b.i64(31).emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
+                b.i64(31)
+                    .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
                 b.local_set(acc);
                 b.local_get(i).i32(1).add32().local_set(i);
                 b.local_get(pc).i32(1).add32().local_tee(pc);
@@ -161,7 +175,12 @@ pub fn bash_sim(jobs: u32) -> App {
         let j = b.local(I32);
         // Install the SIGCHLD handler (slot 2).
         b.i32(act as i32).i32(2).store32(0);
-        b.i64(17).i64(act as i64).i64(0).i64(8).call(sigaction).drop_();
+        b.i64(17)
+            .i64(act as i64)
+            .i64(0)
+            .i64(8)
+            .call(sigaction)
+            .drop_();
 
         let jobs = jobs.max(1) as i32;
         b.loop_(BlockType::Empty, |b| {
@@ -173,18 +192,45 @@ pub fn bash_sim(jobs: u32) -> App {
             b.local_get(pid).i64(0).eq64();
             b.if_(BlockType::Empty, |b| {
                 // Child: stdout := pipe write end (dup3), echo the cmd.
-                b.i32(fds as i32 + 4).load32(0).extend_u().i64(1).i64(0).call(dup3).drop_();
+                b.i32(fds as i32 + 4)
+                    .load32(0)
+                    .extend_u()
+                    .i64(1)
+                    .i64(0)
+                    .call(dup3)
+                    .drop_();
                 b.i32(fds as i32).load32(0).extend_u().call(close).drop_();
                 b.call(getpid).drop_();
                 b.i64(1).i64(cmd as i64).i64(18).call(write).drop_();
                 b.i64(0).call(exit).drop_();
             });
             // Shell: close write end, read child output, wait.
-            b.i32(fds as i32 + 4).load32(0).extend_u().call(close).drop_();
-            b.i32(fds as i32).load32(0).extend_u().i64(buf as i64).i64(128).call(read).drop_();
+            b.i32(fds as i32 + 4)
+                .load32(0)
+                .extend_u()
+                .call(close)
+                .drop_();
+            b.i32(fds as i32)
+                .load32(0)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(128)
+                .call(read)
+                .drop_();
             b.i32(fds as i32).load32(0).extend_u().call(close).drop_();
-            b.local_get(pid).i64(status as i64).i64(0).i64(0).call(wait4).drop_();
-            b.local_get(j).i32(1).add32().local_tee(j).i32(jobs).lt_s32().br_if(0);
+            b.local_get(pid)
+                .i64(status as i64)
+                .i64(0)
+                .i64(0)
+                .call(wait4)
+                .drop_();
+            b.local_get(j)
+                .i32(1)
+                .add32()
+                .local_tee(j)
+                .i32(jobs)
+                .lt_s32()
+                .br_if(0);
         });
         // Exit 0 iff every SIGCHLD was observed (handler ran per job).
         b.i32(512).load32(0).i32(jobs).ne32();
@@ -227,19 +273,33 @@ pub fn bash_builtin_sim(iterations: u32) -> App {
         b.loop_(BlockType::Empty, |b| {
             // Builtin evaluation: tokenize-ish bit twiddling plus history
             // file append and prompt writes.
-            b.local_get(acc).i64(0x5bd1e995).add64().i64(33)
-                .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul)).local_set(acc);
+            b.local_get(acc)
+                .i64(0x5bd1e995)
+                .add64()
+                .i64(33)
+                .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul))
+                .local_set(acc);
             b.local_get(i).i32(255).and32().eqz32();
             b.if_(BlockType::Empty, |b| {
                 b.i64(1).i64(prompt as i64).i64(2).call(write).drop_();
                 b.i64(path as i64).i64(0o102).i64(0o600).call(open);
                 let fd = b.local(I64);
                 b.local_set(fd);
-                b.local_get(fd).i64(prompt as i64).i64(2).call(write).drop_();
+                b.local_get(fd)
+                    .i64(prompt as i64)
+                    .i64(2)
+                    .call(write)
+                    .drop_();
                 b.local_get(fd).call(close).drop_();
                 b.call(getpid).drop_();
             });
-            b.local_get(i).i32(1).add32().local_tee(i).i32(iters).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(iters)
+                .lt_s32()
+                .br_if(0);
         });
         b.i32(0);
     });
@@ -280,37 +340,89 @@ pub fn sqlite_sim(rows: u32) -> App {
         let slot = b.local(I32);
 
         // Open + size the database file, mmap 4 pages MAP_SHARED.
-        b.i64(db_path as i64).i64(0o102).i64(0o644).call(open).local_set(fd);
+        b.i64(db_path as i64)
+            .i64(0o102)
+            .i64(0o644)
+            .call(open)
+            .local_set(fd);
         b.local_get(fd).i64(16384).call(ftruncate).drop_();
-        b.i64(0).i64(16384).i64(3).i64(0x01).local_get(fd).i64(0).call(mmap).local_set(base);
+        b.i64(0)
+            .i64(16384)
+            .i64(3)
+            .i64(0x01)
+            .local_get(fd)
+            .i64(0)
+            .call(mmap)
+            .local_set(base);
 
         let rows = rows.max(1) as i32;
         b.loop_(BlockType::Empty, |b| {
             // "B-tree insert": hash the key to a slot and store key/value
             // in the mapped page (16-byte cells).
-            b.local_get(i).i32(2654435761u32 as i32).mul32().i32(1023).and32().local_set(slot);
-            b.local_get(base).wrap().local_get(slot).i32(16).mul32().add32();
+            b.local_get(i)
+                .i32(2654435761u32 as i32)
+                .mul32()
+                .i32(1023)
+                .and32()
+                .local_set(slot);
+            b.local_get(base)
+                .wrap()
+                .local_get(slot)
+                .i32(16)
+                .mul32()
+                .add32();
             b.local_get(i).store32(0);
-            b.local_get(base).wrap().local_get(slot).i32(16).mul32().add32();
+            b.local_get(base)
+                .wrap()
+                .local_get(slot)
+                .i32(16)
+                .mul32()
+                .add32();
             b.local_get(i).i32(7).mul32().store32(4);
 
             // Journal append every 32 rows (write-ahead pattern), then
             // fsync — the sqlite checkpoint shape.
             b.local_get(i).i32(31).and32().eqz32();
             b.if_(BlockType::Empty, |b| {
-                b.i64(journal as i64).i64(0o2102).i64(0o644).call(open).local_set(jfd);
-                b.local_get(jfd).i64(scratch as i64).i64(32).i64(0).call(pwrite).drop_();
+                b.i64(journal as i64)
+                    .i64(0o2102)
+                    .i64(0o644)
+                    .call(open)
+                    .local_set(jfd);
+                b.local_get(jfd)
+                    .i64(scratch as i64)
+                    .i64(32)
+                    .i64(0)
+                    .call(pwrite)
+                    .drop_();
                 b.local_get(jfd).call(fsync).drop_();
                 b.local_get(jfd).call(close).drop_();
                 b.local_get(base).i64(16384).i64(4).call(msync).drop_();
             });
-            b.local_get(i).i32(1).add32().local_tee(i).i32(rows).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(rows)
+                .lt_s32()
+                .br_if(0);
         });
 
         // Grow the mapping (database file grew): mremap to 8 pages.
-        b.local_get(base).i64(16384).i64(32768).i64(1).i64(0).call(mremap).local_set(base);
+        b.local_get(base)
+            .i64(16384)
+            .i64(32768)
+            .i64(1)
+            .i64(0)
+            .call(mremap)
+            .local_set(base);
         // Point query via pread (cold page path).
-        b.local_get(fd).i64(scratch as i64).i64(16).i64(128).call(pread).drop_();
+        b.local_get(fd)
+            .i64(scratch as i64)
+            .i64(16)
+            .i64(128)
+            .call(pread)
+            .drop_();
         b.local_get(base).i64(32768).call(munmap).drop_();
         b.local_get(fd).call(close).drop_();
         b.i32(0);
@@ -365,23 +477,49 @@ pub fn memcached_sim(requests: u32) -> App {
         let n = requests.max(1) as i32;
 
         // Spawn the server thread (CLONE_VM|THREAD|SIGHAND).
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(tidv);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(tidv);
         b.local_get(tidv).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             // --- server thread ---
             b.i64(2).i64(1).i64(0).call(socket).local_set(srv);
-            b.local_get(srv).i64(1).i64(2).i64(addr as i64 + 12).i64(4).call(setsockopt).drop_();
+            b.local_get(srv)
+                .i64(1)
+                .i64(2)
+                .i64(addr as i64 + 12)
+                .i64(4)
+                .call(setsockopt)
+                .drop_();
             b.local_get(srv).i64(addr as i64).i64(16).call(bind).drop_();
             b.local_get(srv).i64(64).call(listen).drop_();
             b.i32(768).i32(1).store32(0); // ready
             let j = b.local(I32);
             b.loop_(BlockType::Empty, |b| {
                 b.local_get(srv).i64(0).i64(0).call(accept).local_set(conn);
-                b.local_get(conn).i64(buf as i64 + 128).i64(64).call(read).drop_();
-                b.local_get(conn).i64(reply as i64).i64(6).call(write).drop_();
+                b.local_get(conn)
+                    .i64(buf as i64 + 128)
+                    .i64(64)
+                    .call(read)
+                    .drop_();
+                b.local_get(conn)
+                    .i64(reply as i64)
+                    .i64(6)
+                    .call(write)
+                    .drop_();
                 b.local_get(conn).call(close).drop_();
                 b.i32(772).i32(772).load32(0).i32(1).add32().store32(0);
-                b.local_get(j).i32(1).add32().local_tee(j).i32(n).lt_s32().br_if(0);
+                b.local_get(j)
+                    .i32(1)
+                    .add32()
+                    .local_tee(j)
+                    .i32(n)
+                    .lt_s32()
+                    .br_if(0);
             });
             b.i64(0).call(exit).drop_();
         });
@@ -392,11 +530,21 @@ pub fn memcached_sim(requests: u32) -> App {
         });
         b.loop_(BlockType::Empty, |b| {
             b.i64(2).i64(1).i64(0).call(socket).local_set(cli);
-            b.local_get(cli).i64(addr as i64).i64(16).call(connect).drop_();
+            b.local_get(cli)
+                .i64(addr as i64)
+                .i64(16)
+                .call(connect)
+                .drop_();
             b.local_get(cli).i64(req as i64).i64(17).call(write).drop_();
             b.local_get(cli).i64(buf as i64).i64(64).call(read).drop_();
             b.local_get(cli).call(close).drop_();
-            b.local_get(i).i32(1).add32().local_tee(i).i32(n).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(n)
+                .lt_s32()
+                .br_if(0);
         });
         // Exit 0 iff the server served all requests.
         b.loop_(BlockType::Empty, |b| {
@@ -486,28 +634,56 @@ pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
         let ci = b.local(I32);
 
         // --- server thread -------------------------------------------------
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(tidv);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(tidv);
         b.local_get(tidv).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             b.i64(2).i64(1).i64(0).call(socket).local_set(srv);
-            b.local_get(srv).i64(1).i64(2).i64(addr as i64 + 12).i64(4).call(setsockopt).drop_();
+            b.local_get(srv)
+                .i64(1)
+                .i64(2)
+                .i64(addr as i64 + 12)
+                .i64(4)
+                .call(setsockopt)
+                .drop_();
             b.local_get(srv).i64(addr as i64).i64(16).call(bind).drop_();
             b.local_get(srv).i64(64).call(listen).drop_();
             b.i64(0).call(ep_create).local_set(ep);
             // Register the listener: events=EPOLLIN, data=srv.
             b.i32(evreg as i32).i32(1).store32(0);
             b.i32(evreg as i32).local_get(srv).store64(4);
-            b.local_get(ep).i64(1).local_get(srv).i64(evreg as i64).call(ep_ctl).drop_();
+            b.local_get(ep)
+                .i64(1)
+                .local_get(srv)
+                .i64(evreg as i64)
+                .call(ep_ctl)
+                .drop_();
             b.i32(768).i32(1).store32(0); // ready
             b.loop_(BlockType::Empty, |b| {
                 // Park until something is readable.
-                b.local_get(ep).i64(evbuf as i64).i64(16).i64(-1).call(ep_wait).wrap()
+                b.local_get(ep)
+                    .i64(evbuf as i64)
+                    .i64(16)
+                    .i64(-1)
+                    .call(ep_wait)
+                    .wrap()
                     .local_set(n);
                 b.i32(0).local_set(kx);
                 b.loop_(BlockType::Empty, |b| {
                     // fd = events[kx].data (low 32 bits, packed at +4).
-                    b.i32(evbuf as i32).local_get(kx).i32(12).mul32().add32().load32(4)
-                        .extend_u().local_set(fdv);
+                    b.i32(evbuf as i32)
+                        .local_get(kx)
+                        .i32(12)
+                        .mul32()
+                        .add32()
+                        .load32(4)
+                        .extend_u()
+                        .local_set(fdv);
                     b.local_get(fdv).local_get(srv).eq64();
                     b.if_else(
                         BlockType::Empty,
@@ -516,32 +692,52 @@ pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
                             b.local_get(srv).i64(0).i64(0).call(accept).local_set(conn);
                             b.i32(evreg as i32).i32(1).store32(0);
                             b.i32(evreg as i32).local_get(conn).store64(4);
-                            b.local_get(ep).i64(1).local_get(conn).i64(evreg as i64)
-                                .call(ep_ctl).drop_();
+                            b.local_get(ep)
+                                .i64(1)
+                                .local_get(conn)
+                                .i64(evreg as i64)
+                                .call(ep_ctl)
+                                .drop_();
                         },
                         |b| {
                             // Request bytes or EOF.
-                            b.local_get(fdv).i64(sbuf as i64).i64(64).call(read).local_set(r);
-                            b.local_get(r).i64(0).emit(wasm::instr::Instr::Rel(
-                                wasm::instr::RelOp::I64LeS,
-                            ));
+                            b.local_get(fdv)
+                                .i64(sbuf as i64)
+                                .i64(64)
+                                .call(read)
+                                .local_set(r);
+                            b.local_get(r)
+                                .i64(0)
+                                .emit(wasm::instr::Instr::Rel(wasm::instr::RelOp::I64LeS));
                             b.if_else(
                                 BlockType::Empty,
                                 |b| {
                                     // Client hung up: deregister + close.
-                                    b.local_get(ep).i64(2).local_get(fdv).i64(0)
-                                        .call(ep_ctl).drop_();
+                                    b.local_get(ep)
+                                        .i64(2)
+                                        .local_get(fdv)
+                                        .i64(0)
+                                        .call(ep_ctl)
+                                        .drop_();
                                     b.local_get(fdv).call(close).drop_();
                                 },
                                 |b| {
-                                    b.local_get(fdv).i64(reply as i64).i64(8).call(write)
+                                    b.local_get(fdv)
+                                        .i64(reply as i64)
+                                        .i64(8)
+                                        .call(write)
                                         .drop_();
                                     b.i32(772).i32(772).load32(0).i32(1).add32().store32(0);
                                 },
                             );
                         },
                     );
-                    b.local_get(kx).i32(1).add32().local_tee(kx).local_get(n).lt_s32()
+                    b.local_get(kx)
+                        .i32(1)
+                        .add32()
+                        .local_tee(kx)
+                        .local_get(n)
+                        .lt_s32()
                         .br_if(0);
                 });
                 b.i32(772).load32(0).i32(total).lt_s32().br_if(0);
@@ -551,7 +747,13 @@ pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
 
         // --- client threads ------------------------------------------------
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(tidv);
+            b.i64(0x10900)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .call(clone)
+                .local_set(tidv);
             b.local_get(tidv).i64(0).eq64();
             b.if_(BlockType::Empty, |b| {
                 // Wait for the server socket, then connect once and
@@ -560,19 +762,33 @@ pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
                     b.i32(768).load32(0).eqz32().br_if(0);
                 });
                 b.i64(2).i64(1).i64(0).call(socket).local_set(cli);
-                b.local_get(cli).i64(addr as i64).i64(16).call(connect).drop_();
+                b.local_get(cli)
+                    .i64(addr as i64)
+                    .i64(16)
+                    .call(connect)
+                    .drop_();
                 b.i32(0).local_set(j);
                 b.loop_(BlockType::Empty, |b| {
                     b.local_get(cli).i64(req as i64).i64(8).call(write).drop_();
                     b.local_get(cli).i64(cbuf as i64).i64(64).call(read).drop_();
-                    b.local_get(j).i32(1).add32().local_tee(j).i32(requests as i32)
-                        .lt_s32().br_if(0);
+                    b.local_get(j)
+                        .i32(1)
+                        .add32()
+                        .local_tee(j)
+                        .i32(requests as i32)
+                        .lt_s32()
+                        .br_if(0);
                 });
                 b.local_get(cli).call(close).drop_();
                 b.i32(776).i32(776).load32(0).i32(1).add32().store32(0);
                 b.i64(0).call(exit).drop_();
             });
-            b.local_get(ci).i32(1).add32().local_tee(ci).i32(clients as i32).lt_s32()
+            b.local_get(ci)
+                .i32(1)
+                .add32()
+                .local_tee(ci)
+                .i32(clients as i32)
+                .lt_s32()
                 .br_if(0);
         });
 
@@ -633,19 +849,47 @@ pub fn paho_mqtt_sim(messages: u32) -> App {
         let n = messages.max(1) as i32;
 
         // Broker thread: echo every datagram back as the PUBACK.
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(t);
         b.local_get(t).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             b.i64(2).i64(2).i64(0).call(socket).local_set(bsock);
-            b.local_get(bsock).i64(broker_addr as i64).i64(16).call(bind).drop_();
+            b.local_get(bsock)
+                .i64(broker_addr as i64)
+                .i64(16)
+                .call(bind)
+                .drop_();
             b.i32(768).i32(1).store32(0);
             let j = b.local(I32);
             b.loop_(BlockType::Empty, |b| {
-                b.local_get(bsock).i64(buf as i64 + 128).i64(64).i64(0).i64(0).i64(0)
-                    .call(recvfrom).drop_();
-                b.local_get(bsock).i64(buf as i64 + 128).i64(4).i64(0)
-                    .i64(client_addr as i64).i64(16).call(sendto).drop_();
-                b.local_get(j).i32(1).add32().local_tee(j).i32(n).lt_s32().br_if(0);
+                b.local_get(bsock)
+                    .i64(buf as i64 + 128)
+                    .i64(64)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .call(recvfrom)
+                    .drop_();
+                b.local_get(bsock)
+                    .i64(buf as i64 + 128)
+                    .i64(4)
+                    .i64(0)
+                    .i64(client_addr as i64)
+                    .i64(16)
+                    .call(sendto)
+                    .drop_();
+                b.local_get(j)
+                    .i32(1)
+                    .add32()
+                    .local_tee(j)
+                    .i32(n)
+                    .lt_s32()
+                    .br_if(0);
             });
             b.i64(0).call(exit).drop_();
         });
@@ -655,20 +899,47 @@ pub fn paho_mqtt_sim(messages: u32) -> App {
             b.i32(768).load32(0).eqz32().br_if(0);
         });
         b.i64(2).i64(2).i64(0).call(socket).local_set(csock);
-        b.local_get(csock).i64(1).i64(9).i64(broker_addr as i64 + 12).i64(4)
-            .call(setsockopt).drop_();
-        b.local_get(csock).i64(client_addr as i64).i64(16).call(bind).drop_();
+        b.local_get(csock)
+            .i64(1)
+            .i64(9)
+            .i64(broker_addr as i64 + 12)
+            .i64(4)
+            .call(setsockopt)
+            .drop_();
+        b.local_get(csock)
+            .i64(client_addr as i64)
+            .i64(16)
+            .call(bind)
+            .drop_();
         b.loop_(BlockType::Empty, |b| {
-            b.local_get(csock).i64(publish as i64).i64(25).i64(0)
-                .i64(broker_addr as i64).i64(16).call(sendto).drop_();
+            b.local_get(csock)
+                .i64(publish as i64)
+                .i64(25)
+                .i64(0)
+                .i64(broker_addr as i64)
+                .i64(16)
+                .call(sendto)
+                .drop_();
             // Wait for the PUBACK echo.
-            b.local_get(csock).i64(buf as i64).i64(64).i64(0).i64(0).i64(0)
-                .call(recvfrom).drop_();
+            b.local_get(csock)
+                .i64(buf as i64)
+                .i64(64)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .call(recvfrom)
+                .drop_();
             // Keepalive pacing: 1ms virtual sleep.
             b.i32(req_ts as i32).i64(0).store64(0);
             b.i32(req_ts as i32).i64(1_000_000).store64(8);
             b.i64(req_ts as i64).i64(0).call(nanosleep).drop_();
-            b.local_get(i).i32(1).add32().local_tee(i).i32(n).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(n)
+                .lt_s32()
+                .br_if(0);
         });
         b.i32(0);
     });
@@ -677,7 +948,12 @@ pub fn paho_mqtt_sim(messages: u32) -> App {
         name: "paho-bench",
         description: "MQTT App",
         module: mb.build(),
-        required: feats(&[Feature::BasicFs, Feature::Sockets, Feature::SockOpt, Feature::Poll]),
+        required: feats(&[
+            Feature::BasicFs,
+            Feature::Sockets,
+            Feature::SockOpt,
+            Feature::Poll,
+        ]),
         emulatable: false,
     }
 }
@@ -707,7 +983,10 @@ mod tests {
             .kernel
             .borrow_mut()
             .vfs
-            .write_file("/tmp/script.lua", b"print('x'); local t = {1,2,3}; return #t")
+            .write_file(
+                "/tmp/script.lua",
+                b"print('x'); local t = {1,2,3}; return #t",
+            )
             .unwrap();
         runner.register_program("/usr/bin/app", &module).unwrap();
         runner.spawn("/usr/bin/app", &[], &[]).unwrap();
@@ -718,7 +997,11 @@ mod tests {
     fn lua_sim_runs_and_allocates() {
         let out = run(lua_sim(4));
         assert_eq!(out.exit_code(), Some(0));
-        assert!(out.trace.counts.contains_key("brk"), "{:?}", out.trace.counts);
+        assert!(
+            out.trace.counts.contains_key("brk"),
+            "{:?}",
+            out.trace.counts
+        );
         assert!(out.stdout().contains("lua: done"));
     }
 
@@ -755,7 +1038,12 @@ mod tests {
     #[test]
     fn epoll_server_sim_serves_every_client() {
         let out = run(epoll_server_sim(4, 3));
-        assert_eq!(out.exit_code(), Some(0), "all 12 requests served: {:?}", out.main_exit);
+        assert_eq!(
+            out.exit_code(),
+            Some(0),
+            "all 12 requests served: {:?}",
+            out.main_exit
+        );
         assert_eq!(out.trace.counts["epoll_create1"], 1);
         // Listener + 4 connections added, 4 removed on hangup.
         assert!(out.trace.counts["epoll_ctl"] >= 5, "{:?}", out.trace.counts);

@@ -16,7 +16,9 @@ fn main() {
                 let mut runner = WaliRunner::new(SafepointScheme::LoopHeaders);
                 runner.set_fuse(fuse);
                 bench::seed_files(&runner);
-                runner.register_program("/usr/bin/app", &module).expect("register");
+                runner
+                    .register_program("/usr/bin/app", &module)
+                    .expect("register");
                 runner.spawn("/usr/bin/app", &[], &[]).expect("spawn");
                 let out = runner.run().expect("run");
                 assert!(matches!(out.main_exit, Some(TaskEnd::Exited(0))));

@@ -46,30 +46,68 @@ fn pingpong_program(parked: u32) -> Module {
         // Background parkers: FUTEX_WAIT on a word that never changes.
         if parked > 0 {
             b.loop_(BlockType::Empty, |b| {
-                b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+                b.i64(0x10900)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .call(clone)
+                    .local_set(t);
                 b.local_get(t).i64(0).eq64();
                 b.if_(BlockType::Empty, |b| {
-                    b.i64(fword as i64).i64(0).i64(0).i64(0).i64(0).i64(0)
-                        .call(futex).drop_();
+                    b.i64(fword as i64)
+                        .i64(0)
+                        .i64(0)
+                        .i64(0)
+                        .i64(0)
+                        .i64(0)
+                        .call(futex)
+                        .drop_();
                     b.i64(0).call(exit).drop_();
                 });
-                b.local_get(i).i32(1).add32().local_tee(i)
-                    .i32(parked as i32).lt_s32().br_if(0);
+                b.local_get(i)
+                    .i32(1)
+                    .add32()
+                    .local_tee(i)
+                    .i32(parked as i32)
+                    .lt_s32()
+                    .br_if(0);
             });
         }
 
         // Ponger thread: A → B echo.
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(t);
         b.local_get(t).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             let j = b.local(I32);
             b.loop_(BlockType::Empty, |b| {
-                b.i32(fds_a as i32).load32(0).extend_u().i64(buf as i64).i64(1)
-                    .call(read).drop_();
-                b.i32(fds_b as i32).load32(4).extend_u().i64(buf as i64).i64(1)
-                    .call(write).drop_();
-                b.local_get(j).i32(1).add32().local_tee(j)
-                    .i32(ROUNDS as i32).lt_s32().br_if(0);
+                b.i32(fds_a as i32)
+                    .load32(0)
+                    .extend_u()
+                    .i64(buf as i64)
+                    .i64(1)
+                    .call(read)
+                    .drop_();
+                b.i32(fds_b as i32)
+                    .load32(4)
+                    .extend_u()
+                    .i64(buf as i64)
+                    .i64(1)
+                    .call(write)
+                    .drop_();
+                b.local_get(j)
+                    .i32(1)
+                    .add32()
+                    .local_tee(j)
+                    .i32(ROUNDS as i32)
+                    .lt_s32()
+                    .br_if(0);
             });
             b.i64(0).call(exit).drop_();
         });
@@ -77,12 +115,27 @@ fn pingpong_program(parked: u32) -> Module {
         // Pinger (main): write A, read B, ROUNDS times.
         let j = b.local(I32);
         b.loop_(BlockType::Empty, |b| {
-            b.i32(fds_a as i32).load32(4).extend_u().i64(buf as i64).i64(1)
-                .call(write).drop_();
-            b.i32(fds_b as i32).load32(0).extend_u().i64(buf as i64).i64(1)
-                .call(read).drop_();
-            b.local_get(j).i32(1).add32().local_tee(j)
-                .i32(ROUNDS as i32).lt_s32().br_if(0);
+            b.i32(fds_a as i32)
+                .load32(4)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(1)
+                .call(write)
+                .drop_();
+            b.i32(fds_b as i32)
+                .load32(0)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(1)
+                .call(read)
+                .drop_();
+            b.local_get(j)
+                .i32(1)
+                .add32()
+                .local_tee(j)
+                .i32(ROUNDS as i32)
+                .lt_s32()
+                .br_if(0);
         });
         b.i32(0);
     });
@@ -93,7 +146,9 @@ fn pingpong_program(parked: u32) -> Module {
 fn run_pingpong(module: &Module, event_driven: bool) -> wali::runner::SchedStats {
     let mut runner = WaliRunner::new_default();
     runner.set_event_driven(event_driven);
-    runner.register_program("/usr/bin/pingpong", module).expect("register");
+    runner
+        .register_program("/usr/bin/pingpong", module)
+        .expect("register");
     runner.spawn("/usr/bin/pingpong", &[], &[]).expect("spawn");
     let out = runner.run().expect("run");
     assert_eq!(out.exit_code(), Some(0));

@@ -29,12 +29,21 @@ fn main() {
     let kernel = std::rc::Rc::new(std::cell::RefCell::new(vkernel::Kernel::new()));
     let tid = kernel.borrow_mut().spawn_process();
     let mut ctx = WaliContext::new(kernel, tid, 8192);
-    instance.memory.write(buf as u64, b"/tmp/bench.dat\0").unwrap();
+    instance
+        .memory
+        .write(buf as u64, b"/tmp/bench.dat\0")
+        .unwrap();
 
     let call = |ctx: &mut WaliContext, name: &str, args: &[i64]| {
-        let f = linker.resolve("wali", &format!("SYS_{name}")).unwrap().clone();
+        let f = linker
+            .resolve("wali", &format!("SYS_{name}"))
+            .unwrap()
+            .clone();
         let vals: Vec<Value> = args.iter().map(|v| Value::I64(*v)).collect();
-        let mut caller = Caller { instance: &instance, data: ctx };
+        let mut caller = Caller {
+            instance: &instance,
+            data: ctx,
+        };
         let _ = f(&mut caller, &vals);
     };
     call(&mut ctx, "open", &[buf, 0o102, 0o644]);
@@ -42,7 +51,9 @@ fn main() {
 
     let mut g = harness::group("table2");
     g.bench_function("getpid", |b| b.iter(|| call(&mut ctx, "getpid", &[])));
-    g.bench_function("read", |b| b.iter(|| call(&mut ctx, "read", &[fd, buf, 64])));
+    g.bench_function("read", |b| {
+        b.iter(|| call(&mut ctx, "read", &[fd, buf, 64]))
+    });
     g.bench_function("write_rewind", |b| {
         // Rewind each round so the file stays fixed-size: an append-only
         // file grows with iteration count, which would make the measured

@@ -22,12 +22,15 @@ fn main() {
     }
 
     // Aggregate ordering: most frequent first (the figure's x-axis).
-    let mut order: Vec<(&'static str, u64)> =
-        aggregate.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut order: Vec<(&'static str, u64)> = aggregate.iter().map(|(k, v)| (*k, *v)).collect();
     order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
 
     println!("Fig. 2 — log-normalized syscall profile (sorted by aggregate frequency)");
-    println!("{} unique syscalls across {} applications\n", order.len(), traces.len());
+    println!(
+        "{} unique syscalls across {} applications\n",
+        order.len(),
+        traces.len()
+    );
     let log_norm = |n: u64, max: u64| {
         if n == 0 {
             0.0
@@ -63,8 +66,13 @@ fn main() {
         let line: Vec<String> = chunk.iter().map(|(n, c)| format!("{n}={c}")).collect();
         println!("  {}", line.join("  "));
     }
-    let per_app: Vec<String> =
-        traces.iter().map(|(n, c)| format!("{n}:{}", c.len())).collect();
+    let per_app: Vec<String> = traces
+        .iter()
+        .map(|(n, c)| format!("{n}:{}", c.len()))
+        .collect();
     println!("\nunique syscalls per app: {}", per_app.join("  "));
-    println!("union across suite: {} (paper: most apps <100, union 140-150 over a full distro)", aggregate.len());
+    println!(
+        "union across suite: {} (paper: most apps <100, union 140-150 over a full distro)",
+        aggregate.len()
+    );
 }

@@ -4,7 +4,10 @@ use wasm::SafepointScheme;
 
 fn main() {
     println!("Fig. 7 — runtime breakdown (wasm-app / kernel / wali)\n");
-    println!("{:<12} {:>9} {:>9} {:>8}   breakdown", "App", "wasm-app", "kernel", "wali");
+    println!(
+        "{:<12} {:>9} {:>9} {:>8}   breakdown",
+        "App", "wasm-app", "kernel", "wali"
+    );
     println!("{}", "-".repeat(72));
     for app in apps::suite() {
         let name = app.name;

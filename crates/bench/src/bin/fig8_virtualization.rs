@@ -29,7 +29,12 @@ fn measure(name: &str, scale: u32) -> Tier {
     // Native twin.
     let native = bench::median_time(3, || {
         let mut k = vkernel::Kernel::new();
-        k.vfs.write_file("/tmp/script.lua", b"local acc = 0; for i = 1, 100 do acc = acc + i * 31 end; print(acc)").unwrap();
+        k.vfs
+            .write_file(
+                "/tmp/script.lua",
+                b"local acc = 0; for i = 1, 100 do acc = acc + i * 31 end; print(acc)",
+            )
+            .unwrap();
         let tid = k.spawn_process();
         match name {
             "lua" => {
@@ -54,7 +59,12 @@ fn measure(name: &str, scale: u32) -> Tier {
     let mut container_mem = 0usize;
     let container = bench::median_time(3, || {
         let mut k = vkernel::Kernel::new();
-        k.vfs.write_file("/tmp/script.lua", b"local acc = 0; for i = 1, 100 do acc = acc + i * 31 end; print(acc)").unwrap();
+        k.vfs
+            .write_file(
+                "/tmp/script.lua",
+                b"local acc = 0; for i = 1, 100 do acc = acc + i * 31 end; print(acc)",
+            )
+            .unwrap();
         let c = Container::start(&mut k, &image, "bench");
         container_mem = c.base_memory() + wali_mem;
         let tid = c.tid;
@@ -78,7 +88,14 @@ fn measure(name: &str, scale: u32) -> Tier {
         let out = e.run(&[]).unwrap();
         assert_eq!(out.exit, 0, "{name} emu exit");
     });
-    Tier { native, wali, container, emu, wali_mem, container_mem }
+    Tier {
+        native,
+        wali,
+        container,
+        emu,
+        wali_mem,
+        container_mem,
+    }
 }
 
 fn main() {
@@ -112,12 +129,19 @@ fn main() {
         println!(
             "  shape: emulator slowest ({}x native), container startup-bound at small scales{}\n",
             (t.emu.as_secs_f64() / t.native.as_secs_f64()).round(),
-            if crossover_seen { ", WALI wins below the crossover ✓" } else { "" }
+            if crossover_seen {
+                ", WALI wins below the crossover ✓"
+            } else {
+                ""
+            }
         );
     }
     let t0 = Instant::now();
     let mut k = vkernel::Kernel::new();
     let _ = Container::start(&mut k, &Image::typical(), "startup-probe");
-    println!("container cold start (image materialization): {:?}", t0.elapsed());
+    println!(
+        "container cold start (image materialization): {:?}",
+        t0.elapsed()
+    );
     println!("WALI/emulator start: module link+instantiate only (milliseconds)");
 }

@@ -9,11 +9,16 @@ use wasm::SafepointScheme;
 
 fn main() {
     println!("Table 1 — porting effort of Wasm APIs\n");
-    println!("{:<12} {:<16} {:>5} {:>6} {:>5}  Missing (first blocking feature)", "Codebase", "Description", "WALI", "WASIX", "WASI");
+    println!(
+        "{:<12} {:<16} {:>5} {:>6} {:>5}  Missing (first blocking feature)",
+        "Codebase", "Description", "WALI", "WASIX", "WASI"
+    );
     println!("{}", "-".repeat(78));
     for e in apps::catalog() {
-        let cells: Vec<(Api, Result<(), wasi_layer::Feature>)> =
-            Api::ALL.iter().map(|a| (*a, a.supports(&e.required))).collect();
+        let cells: Vec<(Api, Result<(), wasi_layer::Feature>)> = Api::ALL
+            .iter()
+            .map(|a| (*a, a.supports(&e.required)))
+            .collect();
         let mark = |r: &Result<(), wasi_layer::Feature>| if r.is_ok() { "ok" } else { "x" };
         let missing = cells
             .iter()

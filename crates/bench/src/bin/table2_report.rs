@@ -66,16 +66,25 @@ fn main() {
                 name: &str,
                 args: &[i64]|
      -> i64 {
-        let f = linker.resolve("wali", &format!("SYS_{name}")).unwrap().clone();
+        let f = linker
+            .resolve("wali", &format!("SYS_{name}"))
+            .unwrap()
+            .clone();
         let vals: Vec<Value> = args.iter().map(|v| Value::I64(*v)).collect();
-        let mut caller = Caller { instance, data: ctx };
+        let mut caller = Caller {
+            instance,
+            data: ctx,
+        };
         match f(&mut caller, &vals) {
             Ok(v) => v.first().and_then(Value::as_i64).unwrap_or(0),
             Err(_) => -1,
         }
     };
 
-    instance.memory.write(buf as u64, b"/tmp/bench.dat\0").unwrap();
+    instance
+        .memory
+        .write(buf as u64, b"/tmp/bench.dat\0")
+        .unwrap();
     let fd = call(&linker, &mut ctx, &instance, "open", &[buf, 0o102, 0o644]);
     instance.memory.write(buf as u64, &[0x55; 512]).unwrap();
     call(&linker, &mut ctx, &instance, "write", &[fd, buf, 512]);
@@ -83,7 +92,10 @@ fn main() {
 
     // (name, args) for the 30 representative syscalls of Table 2.
     let pathp = buf + 512;
-    instance.memory.write(pathp as u64, b"/tmp/bench.dat\0").unwrap();
+    instance
+        .memory
+        .write(pathp as u64, b"/tmp/bench.dat\0")
+        .unwrap();
     let cases: Vec<(&str, Vec<i64>)> = vec![
         ("read", vec![fd, buf, 64]),
         ("write", vec![fd, buf, 64]),
@@ -122,14 +134,20 @@ fn main() {
     let noop = linker.resolve("bench", "noop").unwrap().clone();
     let t0 = Instant::now();
     for _ in 0..N {
-        let mut caller = Caller { instance: &instance, data: &mut ctx };
+        let mut caller = Caller {
+            instance: &instance,
+            data: &mut ctx,
+        };
         let _ = noop(&mut caller, &[]);
     }
     let baseline = t0.elapsed().as_nanos() as f64 / N as f64;
 
     println!("Table 2 — WALI per-syscall intrinsic overhead");
     println!("(host-call baseline {baseline:.0} ns subtracted; N = {N} calls each)\n");
-    println!("{:<16} {:>10} {:>5} {:>6}", "Syscall", "Overhead", "LOC", "State");
+    println!(
+        "{:<16} {:>10} {:>5} {:>6}",
+        "Syscall", "Overhead", "LOC", "State"
+    );
     println!("{}", "-".repeat(42));
     for (name, args) in &cases {
         let spec = wali_abi::spec::lookup(name).expect("in spec");

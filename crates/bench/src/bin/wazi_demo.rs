@@ -26,10 +26,28 @@ fn main() {
         let i = b.local(I32);
         b.loop_(BlockType::Empty, |b| {
             b.i64(250).call(sleep).drop_();
-            b.i64(0).i64(13).local_get(i).i32(1).and32().extend_u().call(gpio_set).drop_();
+            b.i64(0)
+                .i64(13)
+                .local_get(i)
+                .i32(1)
+                .and32()
+                .extend_u()
+                .call(gpio_set)
+                .drop_();
             b.i64(msg as i64).i64(12).call(console).drop_();
-            b.i64(log as i64).i64(msg as i64).i64(12).i64(1).call(fs_write).drop_();
-            b.local_get(i).i32(1).add32().local_tee(i).i32(20).lt_s32().br_if(0);
+            b.i64(log as i64)
+                .i64(msg as i64)
+                .i64(12)
+                .i64(1)
+                .call(fs_write)
+                .drop_();
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(20)
+                .lt_s32()
+                .br_if(0);
         });
         b.call(uptime);
     });
@@ -41,10 +59,18 @@ fn main() {
     let mut runner = WaziRunner::new();
     let out = runner.run(&module, &[]).expect("deploys within budget");
     let z = runner.zephyr.borrow();
-    println!("uptime after run: {:?} ms", out.first().and_then(Value::as_i64));
+    println!(
+        "uptime after run: {:?} ms",
+        out.first().and_then(Value::as_i64)
+    );
     println!("console bytes: {}", z.console.len());
-    println!("flash log 'data.log': {} bytes", z.flash_fs["data.log"].len());
+    println!(
+        "flash log 'data.log': {} bytes",
+        z.flash_fs["data.log"].len()
+    );
     println!("GPIO 0.13 final: {}", z.gpio_get(0, 13));
-    println!("\nWAZI interface generated from the syscall encoding: {} calls",
-        wazi::interface::ZEPHYR_SYSCALLS.len());
+    println!(
+        "\nWAZI interface generated from the syscall encoding: {} calls",
+        wazi::interface::ZEPHYR_SYSCALLS.len()
+    );
 }

@@ -58,7 +58,11 @@ fn append_json(group: &str, name: &str, s: &Stats) {
         "{{\"bench\":\"{}/{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{}}}\n",
         group, name, s.median_ns, s.min_ns, s.max_ns, s.iters
     );
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = f.write_all(line.as_bytes());
     }
 }
@@ -84,7 +88,10 @@ pub struct Stats {
 
 /// Opens a benchmark group.
 pub fn group(name: &str) -> Group {
-    Group { name: name.to_string(), rows: Vec::new() }
+    Group {
+        name: name.to_string(),
+        rows: Vec::new(),
+    }
 }
 
 /// The per-benchmark driver handed to `bench_function` closures.
@@ -117,7 +124,10 @@ impl Group {
         let budget = sample_budget();
         let mut iters: u64 = 1;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             if b.elapsed >= budget || iters >= (1 << 30) {
                 break;
@@ -131,7 +141,10 @@ impl Group {
         }
         let mut per_iter: Vec<f64> = (0..SAMPLES)
             .map(|_| {
-                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
                 f(&mut b);
                 b.elapsed.as_nanos() as f64 / iters as f64
             })

@@ -37,7 +37,9 @@ pub fn run_on_wali(app: &App, scheme: SafepointScheme) -> (RunOutcome, Duration)
     let t0 = Instant::now();
     let mut runner = WaliRunner::new(scheme);
     seed_files(&runner);
-    runner.register_program("/usr/bin/app", &module).expect("register");
+    runner
+        .register_program("/usr/bin/app", &module)
+        .expect("register");
     runner.spawn("/usr/bin/app", &[], &[]).expect("spawn");
     let out = runner.run().expect("run");
     let wall = t0.elapsed();
@@ -112,7 +114,9 @@ mod tests {
             let mut runner = WaliRunner::new(SafepointScheme::LoopHeaders);
             runner.set_fuse(fuse);
             seed_files(&runner);
-            runner.register_program("/usr/bin/app", &module).expect("register");
+            runner
+                .register_program("/usr/bin/app", &module)
+                .expect("register");
             runner.spawn("/usr/bin/app", &[], &[]).expect("spawn");
             runner.run().expect("run")
         };
@@ -120,7 +124,10 @@ mod tests {
         let unfused = run(false);
         assert_eq!(fused.exit_code(), unfused.exit_code());
         assert_eq!(fused.stdout(), unfused.stdout());
-        assert_eq!(fused.trace.counts, unfused.trace.counts, "syscall mix must not change");
+        assert_eq!(
+            fused.trace.counts, unfused.trace.counts,
+            "syscall mix must not change"
+        );
         assert!(
             fused.trace.wasm_steps < unfused.trace.wasm_steps,
             "fusion should collapse dispatches: {} vs {}",

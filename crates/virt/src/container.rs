@@ -116,14 +116,25 @@ impl Container {
             cgroup_slabs: (0..4).map(|_| vec![0u8; 64 * 1024]).collect(),
         };
         let tid = k.spawn_process();
-        Container { tid, rootfs, namespaces, startup_bytes, startup_files }
+        Container {
+            tid,
+            rootfs,
+            namespaces,
+            startup_bytes,
+            startup_files,
+        }
     }
 
     /// Approximate base memory overhead of the container runtime for this
     /// instance (layer pages + bookkeeping), in bytes.
     pub fn base_memory(&self) -> usize {
         self.startup_bytes
-            + self.namespaces.cgroup_slabs.iter().map(Vec::len).sum::<usize>()
+            + self
+                .namespaces
+                .cgroup_slabs
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
             + self.namespaces.mounts.len() * 4096
     }
 }
@@ -148,7 +159,9 @@ mod tests {
     #[test]
     fn containers_are_isolated_by_rootfs() {
         let mut k = Kernel::new();
-        let image = Image { layers: vec![Layer::synthetic("base", 2, 64)] };
+        let image = Image {
+            layers: vec![Layer::synthetic("base", 2, 64)],
+        };
         let a = Container::start(&mut k, &image, "a");
         let b = Container::start(&mut k, &image, "b");
         assert_ne!(a.rootfs, b.rootfs);
@@ -158,14 +171,21 @@ mod tests {
     #[test]
     fn startup_cost_scales_with_image_size() {
         let mut k = Kernel::new();
-        let small = Image { layers: vec![Layer::synthetic("s", 10, 1024)] };
-        let large = Image { layers: vec![Layer::synthetic("l", 100, 1024)] };
+        let small = Image {
+            layers: vec![Layer::synthetic("s", 10, 1024)],
+        };
+        let large = Image {
+            layers: vec![Layer::synthetic("l", 100, 1024)],
+        };
         let t0 = std::time::Instant::now();
         Container::start(&mut k, &small, "s");
         let ts = t0.elapsed();
         let t1 = std::time::Instant::now();
         Container::start(&mut k, &large, "l");
         let tl = t1.elapsed();
-        assert!(tl >= ts, "bigger image cannot start faster: {ts:?} vs {tl:?}");
+        assert!(
+            tl >= ts,
+            "bigger image cannot start faster: {ts:?} vs {tl:?}"
+        );
     }
 }

@@ -61,8 +61,8 @@ impl EmuRunner {
     pub fn new(module: &Module) -> Result<EmuRunner, String> {
         let linker = build_linker();
         // Scheme is irrelevant: the emulator walks the structured code.
-        let program = Program::link(module, &linker, SafepointScheme::None)
-            .map_err(|e| e.to_string())?;
+        let program =
+            Program::link(module, &linker, SafepointScheme::None).map_err(|e| e.to_string())?;
         Ok(EmuRunner {
             module: module.clone(),
             program: Arc::new(program),
@@ -78,8 +78,7 @@ impl EmuRunner {
     /// Runs `_start` to completion.
     pub fn run(&mut self, args: &[&str]) -> Result<EmuOutcome, String> {
         let tid = self.kernel.borrow_mut().spawn_process();
-        let mut instance =
-            Instance::new(self.program.clone()).map_err(|t| t.to_string())?;
+        let mut instance = Instance::new(self.program.clone()).map_err(|t| t.to_string())?;
         let mut ctx = WaliContext::new(self.kernel.clone(), tid, self.program.data_end());
         ctx.args = args.iter().map(|s| s.to_string()).collect();
         let entry = instance
@@ -105,7 +104,11 @@ impl EmuRunner {
         };
         let steps = emu.steps;
         let console = self.kernel.borrow_mut().take_console();
-        Ok(EmuOutcome { exit, steps, console })
+        Ok(EmuOutcome {
+            exit,
+            steps,
+            console,
+        })
     }
 }
 
@@ -127,8 +130,7 @@ impl<'a> Emu<'a> {
                 let imports = self.module.num_imported_funcs();
                 let body: &FuncBody = &self.module.code[(func - imports) as usize];
                 let ty = self.module.func_type(func).expect("validated").clone();
-                let mut locals =
-                    vec![0u64; ty.params.len() + body.local_count() as usize];
+                let mut locals = vec![0u64; ty.params.len() + body.local_count() as usize];
                 for i in (0..ty.params.len()).rev() {
                     locals[i] = self.stack.pop().ok_or("stack underflow")?;
                 }
@@ -159,7 +161,10 @@ impl<'a> Emu<'a> {
             .collect();
         self.stack.truncate(base);
         loop {
-            let mut caller = Caller { instance: self.instance, data: self.ctx };
+            let mut caller = Caller {
+                instance: self.instance,
+                data: self.ctx,
+            };
             match f(&mut caller, &args) {
                 Ok(values) => {
                     for v in values {
@@ -200,7 +205,9 @@ impl<'a> Emu<'a> {
     }
 
     fn pop(&mut self) -> Result<u64, String> {
-        self.stack.pop().ok_or_else(|| "stack underflow".to_string())
+        self.stack
+            .pop()
+            .ok_or_else(|| "stack underflow".to_string())
     }
 
     /// Scans forward from `start` (which is *inside* a block) to find the
@@ -296,7 +303,11 @@ impl<'a> Emu<'a> {
                     return Ok(Flow::Branch(d));
                 }
                 Instr::Return => return Ok(Flow::Return),
-                Instr::Call(f) => if let Flow::Exit(c) = self.call_function(*f)? { return Ok(Flow::Exit(c)) },
+                Instr::Call(f) => {
+                    if let Flow::Exit(c) = self.call_function(*f)? {
+                        return Ok(Flow::Exit(c));
+                    }
+                }
                 Instr::CallIndirect(_) => {
                     let idx = self.pop()? as usize;
                     let f = self
@@ -365,9 +376,9 @@ impl<'a> Emu<'a> {
                         StoreKind::I32 | StoreKind::F32 => mem
                             .store::<4>(host, (v as u32).to_le_bytes())
                             .map_err(|e| e.to_string())?,
-                        StoreKind::I64 | StoreKind::F64 => {
-                            mem.store::<8>(host, v.to_le_bytes()).map_err(|e| e.to_string())?
-                        }
+                        StoreKind::I64 | StoreKind::F64 => mem
+                            .store::<8>(host, v.to_le_bytes())
+                            .map_err(|e| e.to_string())?,
                         StoreKind::I32_8 | StoreKind::I64_8 => {
                             mem.store::<1>(host, [v as u8]).map_err(|e| e.to_string())?
                         }
@@ -463,7 +474,11 @@ mod tests {
         // Emulated tier.
         let mut emu = EmuRunner::new(&module).unwrap();
         let out = emu.run(&[]).unwrap();
-        assert_eq!(Some(out.exit), fast.exit_code(), "same program, same result");
+        assert_eq!(
+            Some(out.exit),
+            fast.exit_code(),
+            "same program, same result"
+        );
         assert!(String::from_utf8_lossy(&out.console).contains("lua: done"));
         assert!(out.steps > 100);
     }

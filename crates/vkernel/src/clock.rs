@@ -64,7 +64,11 @@ mod tests {
         c.advance(1_000);
         assert_eq!(c.monotonic_ns(), SYSCALL_QUANTUM_NS + 1_000);
         c.advance_to(500);
-        assert_eq!(c.monotonic_ns(), SYSCALL_QUANTUM_NS + 1_000, "never goes backwards");
+        assert_eq!(
+            c.monotonic_ns(),
+            SYSCALL_QUANTUM_NS + 1_000,
+            "never goes backwards"
+        );
         c.advance_to(10_000);
         assert_eq!(c.monotonic_ns(), 10_000);
     }

@@ -54,7 +54,12 @@ pub struct OpenFile {
 impl OpenFile {
     /// Creates a description.
     pub fn new(kind: FileKind, flags: i32) -> OpenFile {
-        OpenFile { kind, offset: 0, flags, counter: 0 }
+        OpenFile {
+            kind,
+            offset: 0,
+            flags,
+            counter: 0,
+        }
     }
 }
 
@@ -89,14 +94,22 @@ impl Clone for FdTable {
     /// `close`/`dup2` invalidation would not reach. (Every clone path —
     /// `fork_copy` and direct `.clone()` — goes through here.)
     fn clone(&self) -> FdTable {
-        FdTable { slots: self.slots.clone(), limit: self.limit, last: RefCell::new(None) }
+        FdTable {
+            slots: self.slots.clone(),
+            limit: self.limit,
+            last: RefCell::new(None),
+        }
     }
 }
 
 impl FdTable {
     /// Creates an empty table with the default limit.
     pub fn new() -> FdTable {
-        FdTable { slots: Vec::new(), limit: DEFAULT_NOFILE, last: RefCell::new(None) }
+        FdTable {
+            slots: Vec::new(),
+            limit: DEFAULT_NOFILE,
+            last: RefCell::new(None),
+        }
     }
 
     /// Allocates the lowest free descriptor at or above `min`.
@@ -131,7 +144,10 @@ impl FdTable {
         if fd < 0 {
             return Err(Errno::Ebadf);
         }
-        self.slots.get(fd as usize).and_then(|e| e.as_ref()).ok_or(Errno::Ebadf)
+        self.slots
+            .get(fd as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(Errno::Ebadf)
     }
 
     /// Looks a descriptor up mutably.
@@ -139,7 +155,10 @@ impl FdTable {
         if fd < 0 {
             return Err(Errno::Ebadf);
         }
-        self.slots.get_mut(fd as usize).and_then(|e| e.as_mut()).ok_or(Errno::Ebadf)
+        self.slots
+            .get_mut(fd as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(Errno::Ebadf)
     }
 
     /// The cached fast path to an open file description.
@@ -172,7 +191,10 @@ impl FdTable {
             return Err(Errno::Ebadf);
         }
         self.uncache(fd);
-        self.slots.get_mut(fd as usize).and_then(|e| e.take()).ok_or(Errno::Ebadf)
+        self.slots
+            .get_mut(fd as usize)
+            .and_then(|e| e.take())
+            .ok_or(Errno::Ebadf)
     }
 
     /// `dup2`: places a duplicate of `old` at exactly `new`, closing any
@@ -221,7 +243,10 @@ impl FdTable {
 
     /// Iterates over open `(fd, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (i32, &FdEntry)> {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|e| (i as i32, e)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i as i32, e)))
     }
 
     /// Deep-copies the table sharing the open file descriptions (fork
@@ -267,7 +292,10 @@ mod tests {
         t.dup_to(a, b, false).unwrap();
         assert_eq!(t.get(b).unwrap().file.borrow().offset, 7);
         // dup2 to a large out-of-range fd fails.
-        assert_eq!(t.dup_to(a, DEFAULT_NOFILE as i32, false).unwrap_err(), Errno::Ebadf);
+        assert_eq!(
+            t.dup_to(a, DEFAULT_NOFILE as i32, false).unwrap_err(),
+            Errno::Ebadf
+        );
     }
 
     #[test]
@@ -372,6 +400,10 @@ mod tests {
         let fd = t.alloc(file(), false).unwrap();
         let copy = t.fork_copy();
         t.get(fd).unwrap().file.borrow_mut().offset = 99;
-        assert_eq!(copy.get(fd).unwrap().file.borrow().offset, 99, "offset shared across fork");
+        assert_eq!(
+            copy.get(fd).unwrap().file.borrow().offset,
+            99,
+            "offset shared across fork"
+        );
     }
 }

@@ -106,7 +106,10 @@ impl Kernel {
     }
 
     fn epoll(&mut self, id: usize) -> Result<&mut Epoll, Errno> {
-        self.epolls.get_mut(id).and_then(|e| e.as_mut()).ok_or(Errno::Ebadf)
+        self.epolls
+            .get_mut(id)
+            .and_then(|e| e.as_mut())
+            .ok_or(Errno::Ebadf)
     }
 
     /// The live interest list of epoll instance `id` as `(description,
@@ -119,9 +122,7 @@ impl Kernel {
             .map(|e| {
                 e.interest
                     .iter()
-                    .filter_map(|reg| {
-                        reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events)))
-                    })
+                    .filter_map(|reg| reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events))))
                     .collect()
             })
             .unwrap_or_default()
@@ -145,7 +146,10 @@ impl Kernel {
             0,
         )));
         let task = self.task(tid)?;
-        let fd = task.fdtable.borrow_mut().alloc(file, flags & EPOLL_CLOEXEC != 0)?;
+        let fd = task
+            .fdtable
+            .borrow_mut()
+            .alloc(file, flags & EPOLL_CLOEXEC != 0)?;
         Ok(fd)
     }
 
@@ -165,7 +169,10 @@ impl Kernel {
             let task = self.task(tid)?;
             let table = task.fdtable.borrow();
             let entry = table.get(fd)?;
-            let pair = (entry.file.borrow().kind.clone(), std::rc::Rc::downgrade(&entry.file));
+            let pair = (
+                entry.file.borrow().kind.clone(),
+                std::rc::Rc::downgrade(&entry.file),
+            );
             pair
         };
         if matches!(kind, FileKind::Epoll(_)) {
@@ -189,8 +196,20 @@ impl Kernel {
         });
         match (op, existing) {
             (EPOLL_CTL_ADD, Some(_)) => return Err(Errno::Eexist.into()),
-            (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg { fd, events, data, file }),
-            (EPOLL_CTL_MOD, Some(i)) => ep.interest[i] = EpollReg { fd, events, data, file },
+            (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg {
+                fd,
+                events,
+                data,
+                file,
+            }),
+            (EPOLL_CTL_MOD, Some(i)) => {
+                ep.interest[i] = EpollReg {
+                    fd,
+                    events,
+                    data,
+                    file,
+                }
+            }
             (EPOLL_CTL_DEL, Some(i)) => {
                 ep.interest.remove(i);
             }
@@ -235,7 +254,9 @@ impl Kernel {
             }
         }
         if swept {
-            self.epoll(id)?.interest.retain(|reg| reg.file.strong_count() > 0);
+            self.epoll(id)?
+                .interest
+                .retain(|reg| reg.file.strong_count() > 0);
         }
         Ok(out)
     }
@@ -288,7 +309,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, r as u64).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, r as u64)
+            .unwrap();
         // Nothing ready yet.
         assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
         // Data arrives: level-triggered readiness until drained.
@@ -316,7 +338,8 @@ mod tests {
             k.sys_epoll_ctl(tid, ep, EPOLL_CTL_DEL, r, 0, 0),
             Err(SysError::Err(Errno::Enoent))
         );
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0)
+            .unwrap();
         // Double ADD: EEXIST.
         assert_eq!(
             k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0),
@@ -343,15 +366,22 @@ mod tests {
     fn listener_readiness_reports_epollin_on_pending_accept() {
         let (mut k, tid) = kp();
         let srv = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
-        let addr = WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 9090 };
+        let addr = WaliSockaddr::Inet {
+            addr: [127, 0, 0, 1],
+            port: 9090,
+        };
         k.sys_bind(tid, srv, addr.clone()).unwrap();
         k.sys_listen(tid, srv, 8).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, srv, EPOLLIN, 7).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, srv, EPOLLIN, 7)
+            .unwrap();
         assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
         let cli = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
         k.sys_connect(tid, cli, addr).unwrap();
-        assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap(), vec![(EPOLLIN, 7)]);
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 7)]
+        );
     }
 
     #[test]
@@ -359,7 +389,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 1).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 1)
+            .unwrap();
         k.sys_write(tid, w, b"y").unwrap();
         k.sys_close(tid, r).unwrap();
         assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
@@ -380,7 +411,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xCAFE).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xCAFE)
+            .unwrap();
         let dup = k.sys_dup(tid, r).unwrap() as i32;
         k.sys_close(tid, r).unwrap();
         k.sys_write(tid, w, b"x").unwrap();
@@ -403,17 +435,23 @@ mod tests {
         let (mut k, tid) = kp();
         let (ra, wa) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, ra, EPOLLIN, 0xA).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, ra, EPOLLIN, 0xA)
+            .unwrap();
         let _dup = k.sys_dup(tid, ra).unwrap() as i32;
         k.sys_close(tid, ra).unwrap();
         // Pipe B reuses fd slot `ra`.
         let (rb, wb) = k.sys_pipe2(tid, 0).unwrap();
         assert_eq!(rb, ra);
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, rb, EPOLLIN, 0xB).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, rb, EPOLLIN, 0xB)
+            .unwrap();
         k.sys_write(tid, wa, b"a").unwrap();
         k.sys_write(tid, wb, b"b").unwrap();
         let ready = k.sys_epoll_wait_ready(tid, ep, 8).unwrap();
-        assert_eq!(ready, vec![(EPOLLIN, 0xA), (EPOLLIN, 0xB)], "both pairs live");
+        assert_eq!(
+            ready,
+            vec![(EPOLLIN, 0xA), (EPOLLIN, 0xB)],
+            "both pairs live"
+        );
     }
 
     #[test]
@@ -424,7 +462,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xAAAA).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xAAAA)
+            .unwrap();
         k.sys_close(tid, r).unwrap();
         // Reuse the slot with a pipe that has readable data.
         let (r2, w2) = k.sys_pipe2(tid, 0).unwrap();
@@ -435,8 +474,12 @@ mod tests {
             "stale registration must be swept, not matched to the new file"
         );
         // The new description can be registered fresh (ADD, not EEXIST).
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r2, EPOLLIN, 0xBBBB).unwrap();
-        assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap(), vec![(EPOLLIN, 0xBBBB)]);
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r2, EPOLLIN, 0xBBBB)
+            .unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 0xBBBB)]
+        );
     }
 
     #[test]
@@ -456,7 +499,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0)
+            .unwrap();
         k.epoll_subscribe(tid, ep).unwrap();
         assert!(k.task_waits(tid));
         k.sys_write(tid, w, b"wake").unwrap();
@@ -472,7 +516,8 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let ep = k.sys_epoll_create1(tid, 0).unwrap();
-        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0)
+            .unwrap();
         assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![0]);
         k.sys_write(tid, w, b"z").unwrap();
         assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![POLLIN]);

@@ -7,8 +7,8 @@ use std::rc::Rc;
 use wali_abi::flags::{
     AT_FDCWD, AT_REMOVEDIR, AT_SYMLINK_NOFOLLOW, FD_CLOEXEC, FIONBIO, FIONREAD, F_DUPFD,
     F_DUPFD_CLOEXEC, F_GETFD, F_GETFL, F_SETFD, F_SETFL, O_ACCMODE, O_APPEND, O_CLOEXEC, O_CREAT,
-    O_DIRECTORY, O_EXCL, O_NOFOLLOW, O_NONBLOCK, O_RDONLY, O_TRUNC, SEEK_CUR, SEEK_END,
-    SEEK_SET, S_IFIFO, S_IFSOCK, TIOCGWINSZ,
+    O_DIRECTORY, O_EXCL, O_NOFOLLOW, O_NONBLOCK, O_RDONLY, O_TRUNC, SEEK_CUR, SEEK_END, SEEK_SET,
+    S_IFIFO, S_IFSOCK, TIOCGWINSZ,
 };
 use wali_abi::layout::{WaliDirent, WaliStat, WaliTimespec};
 use wali_abi::signals::Signal;
@@ -63,7 +63,9 @@ impl Kernel {
                     return Err(Errno::Enoent.into());
                 }
                 let umask = self.task(tid)?.fs.borrow().umask;
-                let id = self.vfs.alloc(InodeKind::File(Vec::new()), mode & !umask & 0o777, now);
+                let id = self
+                    .vfs
+                    .alloc(InodeKind::File(Vec::new()), mode & !umask & 0o777, now);
                 self.vfs.link_into(r.parent, &r.name, id)?;
                 self.vfs.get_mut(id)?.nlink = 1;
                 id
@@ -107,7 +109,10 @@ impl Kernel {
 
         let file: FileRef = Rc::new(RefCell::new(OpenFile::new(kind, flags & !O_CLOEXEC)));
         let task = self.task(tid)?;
-        let fd = task.fdtable.borrow_mut().alloc(file, flags & O_CLOEXEC != 0)?;
+        let fd = task
+            .fdtable
+            .borrow_mut()
+            .alloc(file, flags & O_CLOEXEC != 0)?;
         Ok(fd)
     }
 
@@ -207,7 +212,8 @@ impl Kernel {
                         return Err(Errno::Eagain.into());
                     }
                     drop(f);
-                    self.waits.subscribe(tid, Channel::EventFd(Rc::as_ptr(&file) as usize));
+                    self.waits
+                        .subscribe(tid, Channel::EventFd(Rc::as_ptr(&file) as usize));
                     self.waits.subscribe(tid, Channel::Signal(tid));
                     return Err(block());
                 }
@@ -293,7 +299,8 @@ impl Kernel {
                     f.counter = f.counter.saturating_add(v);
                 }
                 // The counter became non-zero: wake blocked readers.
-                self.waits.post(Channel::EventFd(Rc::as_ptr(&file) as usize));
+                self.waits
+                    .post(Channel::EventFd(Rc::as_ptr(&file) as usize));
                 Ok(8)
             }
         }
@@ -462,7 +469,10 @@ impl Kernel {
         };
         // Release the replaced description if that was its last ref.
         if let Some(file) = closed {
-            self.release_if_last(FdEntry { file, cloexec: false });
+            self.release_if_last(FdEntry {
+                file,
+                cloexec: false,
+            });
         }
         Ok(new as i64)
     }
@@ -476,13 +486,23 @@ impl Kernel {
                     let table = task.fdtable.borrow();
                     table.get(fd)?.file.clone()
                 };
-                let entry = FdEntry { file, cloexec: cmd == F_DUPFD_CLOEXEC };
-                let new = task.fdtable.borrow_mut().alloc_from(arg.max(0) as usize, entry)?;
+                let entry = FdEntry {
+                    file,
+                    cloexec: cmd == F_DUPFD_CLOEXEC,
+                };
+                let new = task
+                    .fdtable
+                    .borrow_mut()
+                    .alloc_from(arg.max(0) as usize, entry)?;
                 Ok(new as i64)
             }
             F_GETFD => {
                 let table = task.fdtable.borrow();
-                Ok(if table.get(fd)?.cloexec { FD_CLOEXEC as i64 } else { 0 })
+                Ok(if table.get(fd)?.cloexec {
+                    FD_CLOEXEC as i64
+                } else {
+                    0
+                })
             }
             F_SETFD => {
                 let mut table = task.fdtable.borrow_mut();
@@ -561,9 +581,10 @@ impl Kernel {
                 st_blksize: 4096,
                 ..Default::default()
             }),
-            FileKind::EventFd | FileKind::Epoll(_) => {
-                Ok(WaliStat { st_mode: 0o600, ..Default::default() })
-            }
+            FileKind::EventFd | FileKind::Epoll(_) => Ok(WaliStat {
+                st_mode: 0o600,
+                ..Default::default()
+            }),
         }
     }
 
@@ -614,7 +635,9 @@ impl Kernel {
             let f = file.borrow();
             (f.kind.clone(), f.offset as usize)
         };
-        let FileKind::Dir(inode) = kind else { return Err(Errno::Enotdir.into()) };
+        let FileKind::Dir(inode) = kind else {
+            return Err(Errno::Enotdir.into());
+        };
         let node = self.vfs.get(inode)?;
         let entries = node.dir()?;
 
@@ -665,7 +688,9 @@ impl Kernel {
         }
         let umask = self.task(tid)?.fs.borrow().umask;
         let now = self.clock.realtime_ns();
-        let id = self.vfs.alloc(InodeKind::Dir(BTreeMap::new()), mode & !umask & 0o777, now);
+        let id = self
+            .vfs
+            .alloc(InodeKind::Dir(BTreeMap::new()), mode & !umask & 0o777, now);
         self.vfs.link_into(r.parent, &r.name, id)?;
         self.vfs.get_mut(id)?.nlink = 1;
         Ok(0)
@@ -754,7 +779,9 @@ impl Kernel {
             return Err(Errno::Eexist.into());
         }
         let now = self.clock.realtime_ns();
-        let id = self.vfs.alloc(InodeKind::Symlink(target.to_string()), 0o777, now);
+        let id = self
+            .vfs
+            .alloc(InodeKind::Symlink(target.to_string()), 0o777, now);
         self.vfs.link_into(r.parent, &r.name, id)?;
         self.vfs.get_mut(id)?.nlink = 1;
         Ok(0)
@@ -946,27 +973,36 @@ mod tests {
     #[test]
     fn open_write_read_round_trip() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/file.txt", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/file.txt", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         assert_eq!(k.sys_write(tid, fd, b"hello world").unwrap(), 11);
         k.sys_lseek(tid, fd, 0, SEEK_SET).unwrap();
         let mut buf = [0u8; 32];
         assert_eq!(k.sys_read(tid, fd, &mut buf).unwrap(), 11);
         assert_eq!(&buf[..11], b"hello world");
         k.sys_close(tid, fd).unwrap();
-        assert_eq!(k.sys_read(tid, fd, &mut buf), Err(SysError::Err(Errno::Ebadf)));
+        assert_eq!(
+            k.sys_read(tid, fd, &mut buf),
+            Err(SysError::Err(Errno::Ebadf))
+        );
     }
 
     #[test]
     fn o_excl_and_o_trunc() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/x", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/x", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"data").unwrap();
         k.sys_close(tid, fd).unwrap();
         assert_eq!(
             k.sys_openat(tid, AT_FDCWD, "/tmp/x", O_CREAT | O_EXCL | O_RDWR, 0o644),
             Err(SysError::Err(Errno::Eexist))
         );
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/x", O_TRUNC | O_RDWR, 0).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/x", O_TRUNC | O_RDWR, 0)
+            .unwrap();
         let st = k.sys_fstat(tid, fd).unwrap();
         assert_eq!(st.st_size, 0);
     }
@@ -974,9 +1010,13 @@ mod tests {
     #[test]
     fn append_mode_writes_at_end() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/log", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/log", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"aaa").unwrap();
-        let fd2 = k.sys_openat(tid, AT_FDCWD, "/tmp/log", O_APPEND | O_WRONLY, 0).unwrap();
+        let fd2 = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/log", O_APPEND | O_WRONLY, 0)
+            .unwrap();
         k.sys_write(tid, fd2, b"bbb").unwrap();
         assert_eq!(k.vfs.read_file("/tmp/log").unwrap(), b"aaabbb");
     }
@@ -984,7 +1024,9 @@ mod tests {
     #[test]
     fn pread_pwrite_do_not_move_offset() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"0123456789").unwrap();
         let mut buf = [0u8; 4];
         assert_eq!(k.sys_pread(tid, fd, &mut buf, 2).unwrap(), 4);
@@ -1000,16 +1042,26 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         let mut buf = [0u8; 8];
-        assert!(matches!(k.sys_read(tid, r, &mut buf), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_read(tid, r, &mut buf),
+            Err(SysError::Block(_))
+        ));
         k.sys_write(tid, w, b"ping").unwrap();
         assert_eq!(k.sys_read(tid, r, &mut buf).unwrap(), 4);
         k.sys_close(tid, w).unwrap();
-        assert_eq!(k.sys_read(tid, r, &mut buf).unwrap(), 0, "EOF after writer closes");
+        assert_eq!(
+            k.sys_read(tid, r, &mut buf).unwrap(),
+            0,
+            "EOF after writer closes"
+        );
         // Reopen scenario: EPIPE + SIGPIPE when readers are gone.
         let (r2, w2) = k.sys_pipe2(tid, 0).unwrap();
         k.sys_close(tid, r2).unwrap();
         assert_eq!(k.sys_write(tid, w2, b"x"), Err(SysError::Err(Errno::Epipe)));
-        assert!(k.sys_rt_sigpending(tid).unwrap().contains(Signal::Sigpipe.number()));
+        assert!(k
+            .sys_rt_sigpending(tid)
+            .unwrap()
+            .contains(Signal::Sigpipe.number()));
     }
 
     #[test]
@@ -1017,13 +1069,18 @@ mod tests {
         let (mut k, tid) = kp();
         let (r, _w) = k.sys_pipe2(tid, O_NONBLOCK).unwrap();
         let mut buf = [0u8; 8];
-        assert_eq!(k.sys_read(tid, r, &mut buf), Err(SysError::Err(Errno::Eagain)));
+        assert_eq!(
+            k.sys_read(tid, r, &mut buf),
+            Err(SysError::Err(Errno::Eagain))
+        );
     }
 
     #[test]
     fn dup_shares_offset_dup3_replaces() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"abcdef").unwrap();
         let dup = k.sys_dup(tid, fd).unwrap() as i32;
         k.sys_lseek(tid, fd, 2, SEEK_SET).unwrap();
@@ -1048,26 +1105,37 @@ mod tests {
         let mut buf = [1u8; 4];
         assert_eq!(k.sys_read(tid, null, &mut buf).unwrap(), 0);
         assert_eq!(k.sys_write(tid, null, b"discard").unwrap(), 7);
-        let zero = k.sys_openat(tid, AT_FDCWD, "/dev/zero", O_RDONLY, 0).unwrap();
+        let zero = k
+            .sys_openat(tid, AT_FDCWD, "/dev/zero", O_RDONLY, 0)
+            .unwrap();
         assert_eq!(k.sys_read(tid, zero, &mut buf).unwrap(), 4);
         assert_eq!(buf, [0u8; 4]);
-        let rand = k.sys_openat(tid, AT_FDCWD, "/dev/urandom", O_RDONLY, 0).unwrap();
+        let rand = k
+            .sys_openat(tid, AT_FDCWD, "/dev/urandom", O_RDONLY, 0)
+            .unwrap();
         assert_eq!(k.sys_read(tid, rand, &mut buf).unwrap(), 4);
     }
 
     #[test]
     fn proc_self_mem_reads_are_denied() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/proc/self/mem", O_RDWR, 0).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/proc/self/mem", O_RDWR, 0)
+            .unwrap();
         let mut buf = [0u8; 4];
-        assert_eq!(k.sys_read(tid, fd, &mut buf), Err(SysError::Err(Errno::Eio)));
+        assert_eq!(
+            k.sys_read(tid, fd, &mut buf),
+            Err(SysError::Err(Errno::Eio))
+        );
         assert_eq!(k.sys_write(tid, fd, b"pwn"), Err(SysError::Err(Errno::Eio)));
     }
 
     #[test]
     fn proc_status_is_generated() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/proc/self/status", O_RDONLY, 0).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/proc/self/status", O_RDONLY, 0)
+            .unwrap();
         let mut buf = [0u8; 256];
         let n = k.sys_read(tid, fd, &mut buf).unwrap() as usize;
         let text = String::from_utf8_lossy(&buf[..n]);
@@ -1079,11 +1147,19 @@ mod tests {
         let (mut k, tid) = kp();
         for name in ["a", "b", "c"] {
             let fd = k
-                .sys_openat(tid, AT_FDCWD, &format!("/tmp/{name}"), O_CREAT | O_RDWR, 0o644)
+                .sys_openat(
+                    tid,
+                    AT_FDCWD,
+                    &format!("/tmp/{name}"),
+                    O_CREAT | O_RDWR,
+                    0o644,
+                )
                 .unwrap();
             k.sys_close(tid, fd).unwrap();
         }
-        let dfd = k.sys_openat(tid, AT_FDCWD, "/tmp", O_DIRECTORY | O_RDONLY, 0).unwrap();
+        let dfd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp", O_DIRECTORY | O_RDONLY, 0)
+            .unwrap();
         let ents = k.sys_getdents(tid, dfd, 4096).unwrap();
         let names: Vec<&str> = ents.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec![".", "..", "a", "b", "c"]);
@@ -1105,7 +1181,9 @@ mod tests {
             k.sys_mkdirat(tid, AT_FDCWD, "/tmp/dir", 0o755),
             Err(SysError::Err(Errno::Eexist))
         );
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/dir/f", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/dir/f", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_close(tid, fd).unwrap();
         // rmdir of non-empty dir fails.
         assert_eq!(
@@ -1117,9 +1195,11 @@ mod tests {
             k.sys_unlinkat(tid, AT_FDCWD, "/tmp/dir", 0),
             Err(SysError::Err(Errno::Eisdir))
         );
-        k.sys_renameat(tid, AT_FDCWD, "/tmp/dir/f", AT_FDCWD, "/tmp/g").unwrap();
+        k.sys_renameat(tid, AT_FDCWD, "/tmp/dir/f", AT_FDCWD, "/tmp/g")
+            .unwrap();
         assert!(k.vfs.read_file("/tmp/g").is_ok());
-        k.sys_unlinkat(tid, AT_FDCWD, "/tmp/dir", AT_REMOVEDIR).unwrap();
+        k.sys_unlinkat(tid, AT_FDCWD, "/tmp/dir", AT_REMOVEDIR)
+            .unwrap();
         assert_eq!(
             k.sys_faccessat(tid, AT_FDCWD, "/tmp/dir", 0),
             Err(SysError::Err(Errno::Enoent))
@@ -1129,12 +1209,18 @@ mod tests {
     #[test]
     fn symlink_readlink() {
         let (mut k, tid) = kp();
-        k.sys_symlinkat(tid, "/etc/passwd", AT_FDCWD, "/tmp/pw").unwrap();
-        assert_eq!(k.sys_readlinkat(tid, AT_FDCWD, "/tmp/pw").unwrap(), b"/etc/passwd");
+        k.sys_symlinkat(tid, "/etc/passwd", AT_FDCWD, "/tmp/pw")
+            .unwrap();
+        assert_eq!(
+            k.sys_readlinkat(tid, AT_FDCWD, "/tmp/pw").unwrap(),
+            b"/etc/passwd"
+        );
         // stat follows, lstat does not.
         let st = k.sys_fstatat(tid, AT_FDCWD, "/tmp/pw", 0).unwrap();
         assert_eq!(st.st_mode & S_IFMT, S_IFREG);
-        let lst = k.sys_fstatat(tid, AT_FDCWD, "/tmp/pw", AT_SYMLINK_NOFOLLOW).unwrap();
+        let lst = k
+            .sys_fstatat(tid, AT_FDCWD, "/tmp/pw", AT_SYMLINK_NOFOLLOW)
+            .unwrap();
         assert_eq!(lst.st_mode & S_IFMT, wali_abi::flags::S_IFLNK);
     }
 
@@ -1145,23 +1231,33 @@ mod tests {
         k.sys_chdir(tid, "/tmp/wd").unwrap();
         assert_eq!(k.sys_getcwd(tid).unwrap(), "/tmp/wd");
         // Relative open now lands in /tmp/wd.
-        let fd = k.sys_openat(tid, AT_FDCWD, "rel.txt", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "rel.txt", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_close(tid, fd).unwrap();
         assert!(k.vfs.read_file("/tmp/wd/rel.txt").is_ok());
-        assert_eq!(k.sys_chdir(tid, "/etc/passwd"), Err(SysError::Err(Errno::Enotdir)));
+        assert_eq!(
+            k.sys_chdir(tid, "/etc/passwd"),
+            Err(SysError::Err(Errno::Enotdir))
+        );
     }
 
     #[test]
     fn fcntl_dup_and_flags() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         let dup = k.sys_fcntl(tid, fd, F_DUPFD, 10).unwrap();
         assert!(dup >= 10);
         assert_eq!(k.sys_fcntl(tid, fd, F_GETFD, 0).unwrap(), 0);
         k.sys_fcntl(tid, fd, F_SETFD, FD_CLOEXEC).unwrap();
         assert_eq!(k.sys_fcntl(tid, fd, F_GETFD, 0).unwrap(), FD_CLOEXEC as i64);
         k.sys_fcntl(tid, fd, F_SETFL, O_NONBLOCK).unwrap();
-        assert_ne!(k.sys_fcntl(tid, fd, F_GETFL, 0).unwrap() & O_NONBLOCK as i64, 0);
+        assert_ne!(
+            k.sys_fcntl(tid, fd, F_GETFL, 0).unwrap() & O_NONBLOCK as i64,
+            0
+        );
     }
 
     #[test]
@@ -1174,8 +1270,13 @@ mod tests {
         let (r, w) = k.sys_pipe2(tid, 0).unwrap();
         k.sys_write(tid, w, b"12345").unwrap();
         assert_eq!(k.sys_ioctl(tid, r, FIONREAD).unwrap(), IoctlOut::Int(5));
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644).unwrap();
-        assert_eq!(k.sys_ioctl(tid, fd, TIOCGWINSZ), Err(SysError::Err(Errno::Enotty)));
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
+        assert_eq!(
+            k.sys_ioctl(tid, fd, TIOCGWINSZ),
+            Err(SysError::Err(Errno::Enotty))
+        );
     }
 
     #[test]
@@ -1185,7 +1286,10 @@ mod tests {
         let mut buf = [0u8; 8];
         assert_eq!(k.sys_read(tid, fd, &mut buf).unwrap(), 8);
         assert_eq!(u64::from_le_bytes(buf), 3);
-        assert!(matches!(k.sys_read(tid, fd, &mut buf), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_read(tid, fd, &mut buf),
+            Err(SysError::Block(_))
+        ));
         k.sys_write(tid, fd, &5u64.to_le_bytes()).unwrap();
         k.sys_write(tid, fd, &2u64.to_le_bytes()).unwrap();
         k.sys_read(tid, fd, &mut buf).unwrap();
@@ -1196,7 +1300,9 @@ mod tests {
     fn umask_applies_to_create() {
         let (mut k, tid) = kp();
         assert_eq!(k.sys_umask(tid, 0o077).unwrap(), 0o022);
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o666).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/f", O_CREAT | O_RDWR, 0o666)
+            .unwrap();
         let st = k.sys_fstat(tid, fd).unwrap();
         assert_eq!(st.st_mode & 0o777, 0o600);
     }
@@ -1204,7 +1310,9 @@ mod tests {
     #[test]
     fn truncate_extends_and_shrinks() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/t", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/t", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"hello").unwrap();
         k.sys_ftruncate(tid, fd, 2).unwrap();
         assert_eq!(k.vfs.read_file("/tmp/t").unwrap(), b"he");
@@ -1215,9 +1323,12 @@ mod tests {
     #[test]
     fn hard_links_share_content() {
         let (mut k, tid) = kp();
-        let fd = k.sys_openat(tid, AT_FDCWD, "/tmp/a", O_CREAT | O_RDWR, 0o644).unwrap();
+        let fd = k
+            .sys_openat(tid, AT_FDCWD, "/tmp/a", O_CREAT | O_RDWR, 0o644)
+            .unwrap();
         k.sys_write(tid, fd, b"shared").unwrap();
-        k.sys_linkat(tid, AT_FDCWD, "/tmp/a", AT_FDCWD, "/tmp/b").unwrap();
+        k.sys_linkat(tid, AT_FDCWD, "/tmp/a", AT_FDCWD, "/tmp/b")
+            .unwrap();
         assert_eq!(k.vfs.read_file("/tmp/b").unwrap(), b"shared");
         let st = k.sys_fstatat(tid, AT_FDCWD, "/tmp/b", 0).unwrap();
         assert_eq!(st.st_nlink, 2);

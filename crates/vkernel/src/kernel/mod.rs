@@ -170,13 +170,7 @@ impl Kernel {
     /// Collects the wait channels that can change fd readiness for the
     /// given `poll`-style event mask. Always-ready kinds (regular files,
     /// directories) contribute nothing.
-    pub(crate) fn fd_wait_channels(
-        &self,
-        tid: Tid,
-        fd: i32,
-        events: i16,
-        out: &mut Vec<Channel>,
-    ) {
+    pub(crate) fn fd_wait_channels(&self, tid: Tid, fd: i32, events: i16, out: &mut Vec<Channel>) {
         let Ok(task) = self.task(tid) else { return };
         let file = {
             let table = task.fdtable.borrow();
@@ -238,7 +232,9 @@ impl Kernel {
     /// and, when it was the last holder, releases every description so
     /// pipe/socket peers observe EOF/EPIPE — and get their wakeups.
     fn release_task_files(&mut self, tid: Tid) {
-        let Some(task) = self.tasks.get_mut(&tid) else { return };
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
         let table = std::mem::replace(&mut task.fdtable, Rc::new(RefCell::new(FdTable::new())));
         if let Ok(cell) = Rc::try_unwrap(table) {
             for entry in cell.into_inner().drain() {
@@ -291,7 +287,10 @@ impl Kernel {
             sid: 1,
             state: TaskState::Running,
             fdtable: Rc::new(RefCell::new(fdtable)),
-            fs: Rc::new(RefCell::new(FsInfo { cwd: self.vfs.root, umask: 0o022 })),
+            fs: Rc::new(RefCell::new(FsInfo {
+                cwd: self.vfs.root,
+                umask: 0o022,
+            })),
             sighand: Rc::new(RefCell::new(SigHandlers::new())),
             shared_pending: Rc::new(RefCell::new(PendingSet::default())),
             pending: PendingSet::default(),
@@ -395,7 +394,11 @@ impl Kernel {
         let (tgid, ppid, shared_pending) = if is_thread {
             (parent.tgid, parent.ppid, parent.shared_pending.clone())
         } else {
-            (child_tid, parent.tgid, Rc::new(RefCell::new(PendingSet::default())))
+            (
+                child_tid,
+                parent.tgid,
+                Rc::new(RefCell::new(PendingSet::default())),
+            )
         };
 
         let child = Task {
@@ -687,7 +690,9 @@ impl Kernel {
     /// `rt_sigpending`.
     pub fn sys_rt_sigpending(&self, tid: Tid) -> SysResult<SigSet> {
         let t = self.task(tid)?;
-        Ok(SigSet(t.pending.mask().0 | t.shared_pending.borrow().mask().0))
+        Ok(SigSet(
+            t.pending.mask().0 | t.shared_pending.borrow().mask().0,
+        ))
     }
 
     /// `kill(pid, sig)`.
@@ -717,7 +722,11 @@ impl Kernel {
             }
         } else {
             // Process group.
-            let pgid = if pid == 0 { self.task(_tid)?.pgid } else { -pid };
+            let pgid = if pid == 0 {
+                self.task(_tid)?.pgid
+            } else {
+                -pid
+            };
             let targets: Vec<Pid> = self
                 .tasks
                 .values()
@@ -824,9 +833,15 @@ impl Kernel {
                     }
                     task.sigmask = during;
                     if action.flags & wali_abi::signals::SA_RESETHAND != 0 {
-                        task.sighand.borrow_mut().set(signo, WaliSigaction::default());
+                        task.sighand
+                            .borrow_mut()
+                            .set(signo, WaliSigaction::default());
                     }
-                    return Some(SignalDelivery::Handler { signo, action, old_mask });
+                    return Some(SignalDelivery::Handler {
+                        signo,
+                        action,
+                        old_mask,
+                    });
                 }
             }
         }
@@ -846,7 +861,9 @@ impl Kernel {
     /// True if an unblocked signal is pending (EINTR condition for
     /// blocking syscalls).
     pub fn has_pending_signal(&self, tid: Tid) -> bool {
-        let Ok(task) = self.task(tid) else { return false };
+        let Ok(task) = self.task(tid) else {
+            return false;
+        };
         let mask = task.sigmask;
         let pend = SigSet(task.pending.mask().0 | task.shared_pending.borrow().mask().0);
         SigSet(pend.0 & !mask.0).lowest().is_some()
@@ -870,8 +887,11 @@ impl Kernel {
             .alarm_deadline
             .map(|d| d.saturating_sub(now).div_ceil(1_000_000_000))
             .unwrap_or(0);
-        task.alarm_deadline =
-            if seconds == 0 { None } else { Some(now + seconds as u64 * 1_000_000_000) };
+        task.alarm_deadline = if seconds == 0 {
+            None
+        } else {
+            Some(now + seconds as u64 * 1_000_000_000)
+        };
         Ok(prev as i64)
     }
 
@@ -917,7 +937,9 @@ impl Kernel {
         let task = self.task_mut(tid)?;
         if task.futex_woken {
             task.futex_woken = false;
-            if let Some(q) = self.futexes.get_mut(&(mm, addr)) { q.retain(|t| *t != tid) }
+            if let Some(q) = self.futexes.get_mut(&(mm, addr)) {
+                q.retain(|t| *t != tid)
+            }
             return Ok(0);
         }
         if !value_matches {
@@ -925,7 +947,9 @@ impl Kernel {
         }
         if let Some(d) = deadline {
             if self.clock.monotonic_ns() >= d {
-                if let Some(q) = self.futexes.get_mut(&(mm, addr)) { q.retain(|t| *t != tid) }
+                if let Some(q) = self.futexes.get_mut(&(mm, addr)) {
+                    q.retain(|t| *t != tid)
+                }
                 return Err(Errno::Etimedout.into());
             }
         }
@@ -951,7 +975,9 @@ impl Kernel {
     }
 
     fn futex_wake_at(&mut self, mm: MmId, addr: u32, count: usize) -> usize {
-        let Some(q) = self.futexes.get_mut(&(mm, addr)) else { return 0 };
+        let Some(q) = self.futexes.get_mut(&(mm, addr)) else {
+            return 0;
+        };
         let mut woken = 0;
         let mut wake_tids = Vec::new();
         while woken < count {
@@ -975,7 +1001,9 @@ impl Kernel {
         use wali_abi::flags::*;
         match clock_id {
             CLOCK_REALTIME => Ok(self.clock.realtime_ns()),
-            CLOCK_MONOTONIC | CLOCK_MONOTONIC_RAW | CLOCK_PROCESS_CPUTIME_ID
+            CLOCK_MONOTONIC
+            | CLOCK_MONOTONIC_RAW
+            | CLOCK_PROCESS_CPUTIME_ID
             | CLOCK_THREAD_CPUTIME_ID => Ok(self.clock.monotonic_ns()),
             _ => Err(Errno::Einval.into()),
         }
@@ -1061,7 +1089,10 @@ impl Kernel {
     }
 
     pub(crate) fn pipe(&mut self, id: usize) -> Result<&mut Pipe, Errno> {
-        self.pipes.get_mut(id).and_then(|p| p.as_mut()).ok_or(Errno::Ebadf)
+        self.pipes
+            .get_mut(id)
+            .and_then(|p| p.as_mut())
+            .ok_or(Errno::Ebadf)
     }
 
     pub(crate) fn alloc_socket(&mut self, sock: Socket) -> usize {
@@ -1076,11 +1107,17 @@ impl Kernel {
     }
 
     pub(crate) fn socket(&mut self, id: usize) -> Result<&mut Socket, Errno> {
-        self.sockets.get_mut(id).and_then(|s| s.as_mut()).ok_or(Errno::Ebadf)
+        self.sockets
+            .get_mut(id)
+            .and_then(|s| s.as_mut())
+            .ok_or(Errno::Ebadf)
     }
 
     pub(crate) fn socket_ref(&self, id: usize) -> Result<&Socket, Errno> {
-        self.sockets.get(id).and_then(|s| s.as_ref()).ok_or(Errno::Ebadf)
+        self.sockets
+            .get(id)
+            .and_then(|s| s.as_ref())
+            .ok_or(Errno::Ebadf)
     }
 }
 
@@ -1126,7 +1163,10 @@ mod tests {
     fn wait_blocks_until_child_exits() {
         let (mut k, tid) = kernel_with_proc();
         let child = k.sys_fork(tid).unwrap() as Tid;
-        assert!(matches!(k.sys_wait4(tid, child, 0), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_wait4(tid, child, 0),
+            Err(SysError::Block(_))
+        ));
         assert_eq!(k.sys_wait4(tid, child, WNOHANG).unwrap(), (0, 0));
         k.sys_exit_group(child, 0).unwrap();
         assert_eq!(k.sys_wait4(tid, child, 0).unwrap().0, child);
@@ -1194,7 +1234,11 @@ mod tests {
         k.sys_rt_sigaction(
             tid,
             Signal::Sigterm.number(),
-            Some(WaliSigaction { handler: SIG_IGN, flags: 0, mask: 0 }),
+            Some(WaliSigaction {
+                handler: SIG_IGN,
+                flags: 0,
+                mask: 0,
+            }),
         )
         .unwrap();
         k.sys_kill(tid, tid, Signal::Sigterm.number()).unwrap();
@@ -1205,11 +1249,19 @@ mod tests {
     #[test]
     fn handler_delivery_blocks_signal_until_return() {
         let (mut k, tid) = kernel_with_proc();
-        let action = WaliSigaction { handler: 42, flags: 0, mask: 0 };
+        let action = WaliSigaction {
+            handler: 42,
+            flags: 0,
+            mask: 0,
+        };
         k.sys_rt_sigaction(tid, 10, Some(action)).unwrap();
         k.sys_kill(tid, tid, 10).unwrap();
         let old_mask = match k.next_signal(tid) {
-            Some(SignalDelivery::Handler { signo, action: a, old_mask }) => {
+            Some(SignalDelivery::Handler {
+                signo,
+                action: a,
+                old_mask,
+            }) => {
                 assert_eq!(signo, 10);
                 assert_eq!(a.handler, 42);
                 old_mask
@@ -1220,13 +1272,20 @@ mod tests {
         k.sys_kill(tid, tid, 10).unwrap();
         assert_eq!(k.next_signal(tid), None, "deferred during handler");
         k.signal_return(tid, old_mask);
-        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Handler { .. })));
+        assert!(matches!(
+            k.next_signal(tid),
+            Some(SignalDelivery::Handler { .. })
+        ));
     }
 
     #[test]
     fn sigprocmask_blocks_and_unblocks() {
         let (mut k, tid) = kernel_with_proc();
-        let action = WaliSigaction { handler: 7, flags: 0, mask: 0 };
+        let action = WaliSigaction {
+            handler: 7,
+            flags: 0,
+            mask: 0,
+        };
         k.sys_rt_sigaction(tid, 12, Some(action)).unwrap();
         let mut set = SigSet::EMPTY;
         set.insert(12);
@@ -1235,13 +1294,20 @@ mod tests {
         assert_eq!(k.next_signal(tid), None, "blocked");
         assert!(k.sys_rt_sigpending(tid).unwrap().contains(12));
         k.sys_rt_sigprocmask(tid, SIG_UNBLOCK, Some(set)).unwrap();
-        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Handler { .. })));
+        assert!(matches!(
+            k.next_signal(tid),
+            Some(SignalDelivery::Handler { .. })
+        ));
     }
 
     #[test]
     fn sigkill_cannot_be_caught() {
         let (mut k, tid) = kernel_with_proc();
-        let action = WaliSigaction { handler: 9, flags: 0, mask: 0 };
+        let action = WaliSigaction {
+            handler: 9,
+            flags: 0,
+            mask: 0,
+        };
         assert_eq!(
             k.sys_rt_sigaction(tid, Signal::Sigkill.number(), Some(action)),
             Err(SysError::Err(Errno::Einval))
@@ -1255,9 +1321,15 @@ mod tests {
         assert!(k.next_timer_deadline().is_some());
         k.clock.advance(2_000_000_000);
         k.fire_timers();
-        assert!(k.sys_rt_sigpending(tid).unwrap().contains(Signal::Sigalrm.number()));
+        assert!(k
+            .sys_rt_sigpending(tid)
+            .unwrap()
+            .contains(Signal::Sigalrm.number()));
         // Default SIGALRM kills.
-        assert!(matches!(k.next_signal(tid), Some(SignalDelivery::Killed { signo: 14 })));
+        assert!(matches!(
+            k.next_signal(tid),
+            Some(SignalDelivery::Killed { signo: 14 })
+        ));
     }
 
     #[test]
@@ -1266,7 +1338,10 @@ mod tests {
         let t2 = k.sys_clone(tid, CLONE_PTHREAD).unwrap() as Tid;
         let mm = k.task(tid).unwrap().mm;
         // t2 waits (value matched).
-        assert!(matches!(k.sys_futex_wait(t2, mm, 0x1000, true, None), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_futex_wait(t2, mm, 0x1000, true, None),
+            Err(SysError::Block(_))
+        ));
         // Waker wakes one.
         assert_eq!(k.sys_futex_wake(mm, 0x1000, 1).unwrap(), 1);
         // Retry completes.
@@ -1285,7 +1360,10 @@ mod tests {
         let mm = k.task(tid).unwrap().mm;
         k.sys_set_tid_address(t2, 0x2000).unwrap();
         // Main waits on the tid word.
-        assert!(matches!(k.sys_futex_wait(tid, mm, 0x2000, true, None), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_futex_wait(tid, mm, 0x2000, true, None),
+            Err(SysError::Block(_))
+        ));
         k.sys_exit_thread(t2, 0).unwrap();
         // Woken now.
         assert_eq!(k.sys_futex_wait(tid, mm, 0x2000, true, None).unwrap(), 0);
@@ -1299,7 +1377,10 @@ mod tests {
             Err(SysError::Block(b)) => b.deadline.unwrap(),
             other => panic!("{other:?}"),
         };
-        assert!(matches!(k.sys_nanosleep_retry(tid, deadline), Err(SysError::Block(_))));
+        assert!(matches!(
+            k.sys_nanosleep_retry(tid, deadline),
+            Err(SysError::Block(_))
+        ));
         k.clock.advance_to(deadline);
         assert_eq!(k.sys_nanosleep_retry(tid, deadline).unwrap(), 0);
     }

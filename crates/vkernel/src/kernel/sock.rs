@@ -4,8 +4,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use wali_abi::flags::{
-    MSG_DONTWAIT, MSG_PEEK, O_NONBLOCK, POLLERR, POLLHUP, POLLIN, POLLOUT, SHUT_RD,
-    SHUT_RDWR, SHUT_WR, SOCK_CLOEXEC, SOCK_DGRAM, SOCK_NONBLOCK, SOCK_STREAM,
+    MSG_DONTWAIT, MSG_PEEK, O_NONBLOCK, POLLERR, POLLHUP, POLLIN, POLLOUT, SHUT_RD, SHUT_RDWR,
+    SHUT_WR, SOCK_CLOEXEC, SOCK_DGRAM, SOCK_NONBLOCK, SOCK_STREAM,
 };
 use wali_abi::layout::WaliSockaddr;
 use wali_abi::signals::Signal;
@@ -22,10 +22,20 @@ use super::Kernel;
 
 impl Kernel {
     fn sock_fd(&mut self, tid: Tid, sock_id: usize, flags: i32) -> SysResult<i32> {
-        let status = if flags & SOCK_NONBLOCK != 0 { O_NONBLOCK } else { 0 };
-        let file: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::Socket(sock_id), status)));
+        let status = if flags & SOCK_NONBLOCK != 0 {
+            O_NONBLOCK
+        } else {
+            0
+        };
+        let file: FileRef = Rc::new(RefCell::new(OpenFile::new(
+            FileKind::Socket(sock_id),
+            status,
+        )));
         let task = self.task(tid)?;
-        let fd = task.fdtable.borrow_mut().alloc(file, flags & SOCK_CLOEXEC != 0)?;
+        let fd = task
+            .fdtable
+            .borrow_mut()
+            .alloc(file, flags & SOCK_CLOEXEC != 0)?;
         Ok(fd)
     }
 
@@ -44,7 +54,10 @@ impl Kernel {
             .ok()
             .and_then(|t| {
                 let table = t.fdtable.borrow();
-                table.get(fd).ok().map(|e| e.file.borrow().flags & O_NONBLOCK != 0)
+                table
+                    .get(fd)
+                    .ok()
+                    .map(|e| e.file.borrow().flags & O_NONBLOCK != 0)
             })
             .unwrap_or(false)
     }
@@ -72,10 +85,10 @@ impl Kernel {
             WaliSockaddr::Inet { addr: ip, port: 0 } => {
                 // Ephemeral port assignment.
                 let mut port = 49152u16;
-                while self.addr_registry.contains_key(&addr_key(&WaliSockaddr::Inet {
-                    addr: ip,
-                    port,
-                })) {
+                while self
+                    .addr_registry
+                    .contains_key(&addr_key(&WaliSockaddr::Inet { addr: ip, port }))
+                {
                     port = port.checked_add(1).ok_or(Errno::Eaddrinuse)?;
                 }
                 WaliSockaddr::Inet { addr: ip, port }
@@ -120,7 +133,10 @@ impl Kernel {
         let id = self.sock_of_fd(tid, fd)?;
         let (ty, state_ok) = {
             let s = self.socket(id)?;
-            (s.ty, matches!(s.state, SockState::Unbound | SockState::Bound))
+            (
+                s.ty,
+                matches!(s.state, SockState::Unbound | SockState::Bound),
+            )
         };
         if ty == SOCK_DGRAM {
             // Datagram connect just sets the default peer address.
@@ -131,8 +147,10 @@ impl Kernel {
         if !state_ok {
             return Err(Errno::Eisconn.into());
         }
-        let listener_id =
-            *self.addr_registry.get(&addr_key(&addr)).ok_or(Errno::Econnrefused)?;
+        let listener_id = *self
+            .addr_registry
+            .get(&addr_key(&addr))
+            .ok_or(Errno::Econnrefused)?;
         // Create the server-side socket of the pair.
         let (domain, srv_ty) = {
             let l = self.socket_ref(listener_id)?;
@@ -196,9 +214,14 @@ impl Kernel {
     }
 
     /// Stream/dgram send used by `write`, `send` and `sendto`.
-    pub fn sock_send(&mut self, tid: Tid, id: usize, data: &[u8], msg_flags: i32) -> SysResult<usize> {
-        let nonblock =
-            msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
+    pub fn sock_send(
+        &mut self,
+        tid: Tid,
+        id: usize,
+        data: &[u8],
+        msg_flags: i32,
+    ) -> SysResult<usize> {
+        let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
         let (ty, state, shut_wr) = {
             let s = self.socket_ref(id)?;
             (s.ty, s.state.clone(), s.shut_wr)
@@ -238,7 +261,11 @@ impl Kernel {
             (SOCK_STREAM, SockState::Closed) => self.epipe(tid),
             (SOCK_STREAM, _) => Err(Errno::Enotconn.into()),
             (SOCK_DGRAM, _) => {
-                let dest = self.socket_ref(id)?.remote.clone().ok_or(Errno::Edestaddrreq)?;
+                let dest = self
+                    .socket_ref(id)?
+                    .remote
+                    .clone()
+                    .ok_or(Errno::Edestaddrreq)?;
                 self.dgram_send_to(id, &dest, data)
             }
             _ => Err(Errno::Einval.into()),
@@ -257,12 +284,18 @@ impl Kernel {
         dest: &WaliSockaddr,
         data: &[u8],
     ) -> SysResult<usize> {
-        let target = *self.addr_registry.get(&addr_key(dest)).ok_or(Errno::Econnrefused)?;
+        let target = *self
+            .addr_registry
+            .get(&addr_key(dest))
+            .ok_or(Errno::Econnrefused)?;
         let src = self
             .socket_ref(from_id)?
             .local
             .clone()
-            .unwrap_or(WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 0 });
+            .unwrap_or(WaliSockaddr::Inet {
+                addr: [127, 0, 0, 1],
+                port: 0,
+            });
         let t = self.socket(target)?;
         if t.dgrams.len() >= 256 {
             return Err(Errno::Enobufs.into());
@@ -292,7 +325,13 @@ impl Kernel {
     }
 
     /// Stream/dgram receive used by `read`, `recv` and `recvfrom`.
-    pub fn sock_recv(&mut self, tid: Tid, id: usize, out: &mut [u8], msg_flags: i32) -> SysResult<usize> {
+    pub fn sock_recv(
+        &mut self,
+        tid: Tid,
+        id: usize,
+        out: &mut [u8],
+        msg_flags: i32,
+    ) -> SysResult<usize> {
         let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
         let peek = msg_flags & MSG_PEEK != 0;
         let (ty, state, shut_rd) = {
@@ -345,7 +384,11 @@ impl Kernel {
             }
             SOCK_DGRAM => {
                 let s = self.socket(id)?;
-                match if peek { s.dgrams.front().cloned() } else { s.dgrams.pop_front() } {
+                match if peek {
+                    s.dgrams.front().cloned()
+                } else {
+                    s.dgrams.pop_front()
+                } {
                     Some((_, data)) => {
                         let n = out.len().min(data.len());
                         out[..n].copy_from_slice(&data[..n]);
@@ -527,7 +570,11 @@ impl Kernel {
     pub fn poll_check(&mut self, tid: Tid, fds: &[(i32, i16)]) -> SysResult<Vec<i16>> {
         let mut out = Vec::with_capacity(fds.len());
         for &(fd, events) in fds {
-            let revents = if fd < 0 { 0 } else { self.poll_one(tid, fd, events)? };
+            let revents = if fd < 0 {
+                0
+            } else {
+                self.poll_one(tid, fd, events)?
+            };
             out.push(revents);
         }
         Ok(out)
@@ -638,7 +685,10 @@ mod tests {
     }
 
     fn loopback(port: u16) -> WaliSockaddr {
-        WaliSockaddr::Inet { addr: [127, 0, 0, 1], port }
+        WaliSockaddr::Inet {
+            addr: [127, 0, 0, 1],
+            port,
+        }
     }
 
     #[test]
@@ -680,7 +730,10 @@ mod tests {
         let a = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
         let b = k.sys_socket(tid, AF_INET, SOCK_STREAM, 0).unwrap();
         k.sys_bind(tid, a, loopback(80)).unwrap();
-        assert_eq!(k.sys_bind(tid, b, loopback(80)), Err(SysError::Err(Errno::Eaddrinuse)));
+        assert_eq!(
+            k.sys_bind(tid, b, loopback(80)),
+            Err(SysError::Err(Errno::Eaddrinuse))
+        );
         // Ephemeral assignment works.
         k.sys_bind(tid, b, loopback(0)).unwrap();
         let local = k.sys_getsockname(tid, b).unwrap();
@@ -706,7 +759,11 @@ mod tests {
         k.sys_write(tid, a, b"bye").unwrap();
         k.sys_close(tid, a).unwrap();
         let mut buf = [0u8; 8];
-        assert_eq!(k.sys_read(tid, b, &mut buf).unwrap(), 3, "drain buffered data");
+        assert_eq!(
+            k.sys_read(tid, b, &mut buf).unwrap(),
+            3,
+            "drain buffered data"
+        );
         assert_eq!(k.sys_read(tid, b, &mut buf).unwrap(), 0, "then EOF");
         assert_eq!(k.sys_write(tid, b, b"x"), Err(SysError::Err(Errno::Epipe)));
     }
@@ -718,7 +775,11 @@ mod tests {
         k.sys_bind(tid, rx, loopback(5353)).unwrap();
         let tx = k.sys_socket(tid, AF_INET, SOCK_DGRAM, 0).unwrap();
         k.sys_bind(tid, tx, loopback(5454)).unwrap();
-        assert_eq!(k.sys_sendto(tid, tx, b"dgram", 0, Some(loopback(5353))).unwrap(), 5);
+        assert_eq!(
+            k.sys_sendto(tid, tx, b"dgram", 0, Some(loopback(5353)))
+                .unwrap(),
+            5
+        );
         let mut buf = [0u8; 16];
         let (n, src) = k.sys_recvfrom(tid, rx, &mut buf, 0).unwrap();
         assert_eq!(&buf[..n], b"dgram");
@@ -729,7 +790,9 @@ mod tests {
     fn unix_sockets_use_path_namespace() {
         let (mut k, tid) = kp();
         let srv = k.sys_socket(tid, AF_UNIX, SOCK_STREAM, 0).unwrap();
-        let addr = WaliSockaddr::Unix { path: "/tmp/test.sock".into() };
+        let addr = WaliSockaddr::Unix {
+            path: "/tmp/test.sock".into(),
+        };
         k.sys_bind(tid, srv, addr.clone()).unwrap();
         k.sys_listen(tid, srv, 4).unwrap();
         let cli = k.sys_socket(tid, AF_UNIX, SOCK_STREAM, 0).unwrap();
@@ -742,13 +805,21 @@ mod tests {
         use wali_abi::flags::{SOL_SOCKET, SO_REUSEADDR};
         let (mut k, tid) = kp();
         let (a, b) = k.sys_socketpair(tid, AF_UNIX, SOCK_STREAM).unwrap();
-        k.sys_setsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR, 1).unwrap();
-        assert_eq!(k.sys_getsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR).unwrap(), 1);
+        k.sys_setsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR, 1)
+            .unwrap();
+        assert_eq!(
+            k.sys_getsockopt(tid, a, SOL_SOCKET, SO_REUSEADDR).unwrap(),
+            1
+        );
         k.sys_write(tid, a, b"peekme").unwrap();
         let id = k.sock_of_fd(tid, b).unwrap();
         let mut buf = [0u8; 6];
         assert_eq!(k.sock_recv(tid, id, &mut buf, MSG_PEEK).unwrap(), 6);
-        assert_eq!(k.sock_recv(tid, id, &mut buf, 0).unwrap(), 6, "peek did not consume");
+        assert_eq!(
+            k.sock_recv(tid, id, &mut buf, 0).unwrap(),
+            6,
+            "peek did not consume"
+        );
     }
 
     #[test]

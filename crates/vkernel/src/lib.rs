@@ -84,5 +84,7 @@ pub fn block() -> SysError {
 
 /// Shorthand: a blocking condition with a deadline.
 pub fn block_until(deadline: u64) -> SysError {
-    SysError::Block(Block { deadline: Some(deadline) })
+    SysError::Block(Block {
+        deadline: Some(deadline),
+    })
 }

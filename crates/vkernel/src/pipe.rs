@@ -38,7 +38,12 @@ pub enum PipeIo {
 impl Pipe {
     /// Creates an empty pipe with one reader and one writer end.
     pub fn new() -> Pipe {
-        Pipe { buf: VecDeque::new(), capacity: PIPE_BUF_SIZE, readers: 1, writers: 1 }
+        Pipe {
+            buf: VecDeque::new(),
+            capacity: PIPE_BUF_SIZE,
+            readers: 1,
+            writers: 1,
+        }
     }
 
     /// Bytes currently buffered.

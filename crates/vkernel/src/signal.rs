@@ -22,12 +22,17 @@ impl Default for SigHandlers {
 impl SigHandlers {
     /// All-default handler table.
     pub fn new() -> SigHandlers {
-        SigHandlers { actions: [WaliSigaction::default(); NSIG] }
+        SigHandlers {
+            actions: [WaliSigaction::default(); NSIG],
+        }
     }
 
     /// The action registered for `signo`.
     pub fn get(&self, signo: i32) -> WaliSigaction {
-        self.actions.get(signo as usize).copied().unwrap_or_default()
+        self.actions
+            .get(signo as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Replaces the action for `signo`, returning the old one.
@@ -125,7 +130,11 @@ mod tests {
     #[test]
     fn handler_set_returns_old() {
         let mut h = SigHandlers::new();
-        let a = WaliSigaction { handler: 5, flags: SA_RESTART, mask: 0 };
+        let a = WaliSigaction {
+            handler: 5,
+            flags: SA_RESTART,
+            mask: 0,
+        };
         let old = h.set(2, a);
         assert_eq!(old, WaliSigaction::default());
         assert_eq!(h.set(2, WaliSigaction::default()), a);
@@ -134,8 +143,22 @@ mod tests {
     #[test]
     fn exec_reset_preserves_ignored() {
         let mut h = SigHandlers::new();
-        h.set(2, WaliSigaction { handler: SIG_IGN, flags: 0, mask: 0 });
-        h.set(15, WaliSigaction { handler: 7, flags: 0, mask: 0 });
+        h.set(
+            2,
+            WaliSigaction {
+                handler: SIG_IGN,
+                flags: 0,
+                mask: 0,
+            },
+        );
+        h.set(
+            15,
+            WaliSigaction {
+                handler: 7,
+                flags: 0,
+                mask: 0,
+            },
+        );
         h.reset_for_exec();
         assert_eq!(h.get(2).handler, SIG_IGN);
         assert_eq!(h.get(15).handler, SIG_DFL);
@@ -168,11 +191,26 @@ mod tests {
     #[test]
     fn dispositions_follow_defaults() {
         let dfl = WaliSigaction::default();
-        assert_eq!(disposition(17, dfl), Disposition::Ignore, "SIGCHLD default ignore");
-        assert_eq!(disposition(15, dfl), Disposition::Kill, "SIGTERM default kill");
+        assert_eq!(
+            disposition(17, dfl),
+            Disposition::Ignore,
+            "SIGCHLD default ignore"
+        );
+        assert_eq!(
+            disposition(15, dfl),
+            Disposition::Kill,
+            "SIGTERM default kill"
+        );
         assert_eq!(disposition(19, dfl), Disposition::Stop, "SIGSTOP stops");
-        assert_eq!(disposition(18, dfl), Disposition::Continue, "SIGCONT continues");
-        let ign = WaliSigaction { handler: SIG_IGN, ..dfl };
+        assert_eq!(
+            disposition(18, dfl),
+            Disposition::Continue,
+            "SIGCONT continues"
+        );
+        let ign = WaliSigaction {
+            handler: SIG_IGN,
+            ..dfl
+        };
         assert_eq!(disposition(15, ign), Disposition::Ignore);
         let h = WaliSigaction { handler: 42, ..dfl };
         assert_eq!(disposition(15, h), Disposition::Handler(h));

@@ -98,7 +98,11 @@ impl Socket {
 
     /// Records a `setsockopt`.
     pub fn set_option(&mut self, level: i32, name: i32, value: i32) {
-        if let Some(slot) = self.options.iter_mut().find(|(l, n, _)| *l == level && *n == name) {
+        if let Some(slot) = self
+            .options
+            .iter_mut()
+            .find(|(l, n, _)| *l == level && *n == name)
+        {
             slot.2 = value;
         } else {
             self.options.push((level, name, value));
@@ -119,7 +123,10 @@ impl Socket {
 pub fn addr_key(addr: &WaliSockaddr) -> String {
     match addr {
         WaliSockaddr::Inet { addr, port } => {
-            format!("inet:{}.{}.{}.{}:{}", addr[0], addr[1], addr[2], addr[3], port)
+            format!(
+                "inet:{}.{}.{}.{}:{}",
+                addr[0], addr[1], addr[2], addr[3], port
+            )
         }
         WaliSockaddr::Unix { path } => format!("unix:{path}"),
     }
@@ -154,9 +161,14 @@ mod tests {
 
     #[test]
     fn addr_keys_are_canonical() {
-        let a = WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 80 };
+        let a = WaliSockaddr::Inet {
+            addr: [127, 0, 0, 1],
+            port: 80,
+        };
         assert_eq!(addr_key(&a), "inet:127.0.0.1:80");
-        let u = WaliSockaddr::Unix { path: "/tmp/s".into() };
+        let u = WaliSockaddr::Unix {
+            path: "/tmp/s".into(),
+        };
         assert_eq!(addr_key(&u), "unix:/tmp/s");
     }
 }

@@ -122,7 +122,10 @@ impl Task {
             sid: 1,
             state: TaskState::Running,
             fdtable: Rc::new(RefCell::new(FdTable::new())),
-            fs: Rc::new(RefCell::new(FsInfo { cwd: root, umask: 0o022 })),
+            fs: Rc::new(RefCell::new(FsInfo {
+                cwd: root,
+                umask: 0o022,
+            })),
             sighand: Rc::new(RefCell::new(SigHandlers::new())),
             shared_pending: Rc::new(RefCell::new(PendingSet::default())),
             pending: PendingSet::default(),

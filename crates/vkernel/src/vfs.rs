@@ -135,7 +135,11 @@ impl Default for Vfs {
 impl Vfs {
     /// Creates a filesystem with only `/`.
     pub fn new() -> Vfs {
-        let mut vfs = Vfs { inodes: Vec::new(), root: 0, next_ino: 1 };
+        let mut vfs = Vfs {
+            inodes: Vec::new(),
+            root: 0,
+            next_ino: 1,
+        };
         let root = vfs.alloc(InodeKind::Dir(BTreeMap::new()), 0o755, 0);
         vfs.root = root;
         vfs
@@ -146,20 +150,43 @@ impl Vfs {
     /// entries the WALI security model cares about.
     pub fn with_std_layout() -> Vfs {
         let mut vfs = Vfs::new();
-        for dir in ["/tmp", "/home", "/home/user", "/etc", "/dev", "/proc", "/proc/self", "/var", "/var/log", "/usr", "/usr/bin"] {
+        for dir in [
+            "/tmp",
+            "/home",
+            "/home/user",
+            "/etc",
+            "/dev",
+            "/proc",
+            "/proc/self",
+            "/var",
+            "/var/log",
+            "/usr",
+            "/usr/bin",
+        ] {
             vfs.mkdir_p(dir).expect("std layout");
         }
-        vfs.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/bash\nuser:x:1000:1000::/home/user:/bin/bash\n")
+        vfs.write_file(
+            "/etc/passwd",
+            b"root:x:0:0:root:/root:/bin/bash\nuser:x:1000:1000::/home/user:/bin/bash\n",
+        )
+        .expect("std layout");
+        vfs.write_file("/etc/hostname", b"wali-vm\n")
             .expect("std layout");
-        vfs.write_file("/etc/hostname", b"wali-vm\n").expect("std layout");
-        vfs.mknod_dev("/dev/null", DevKind::Null).expect("std layout");
-        vfs.mknod_dev("/dev/zero", DevKind::Zero).expect("std layout");
-        vfs.mknod_dev("/dev/urandom", DevKind::Urandom).expect("std layout");
+        vfs.mknod_dev("/dev/null", DevKind::Null)
+            .expect("std layout");
+        vfs.mknod_dev("/dev/zero", DevKind::Zero)
+            .expect("std layout");
+        vfs.mknod_dev("/dev/urandom", DevKind::Urandom)
+            .expect("std layout");
         vfs.mknod_dev("/dev/tty", DevKind::Tty).expect("std layout");
-        vfs.mknod_dev("/proc/self/mem", DevKind::ProcSelfMem).expect("std layout");
-        vfs.mknod_dev("/proc/self/status", DevKind::ProcText("status")).expect("std layout");
-        vfs.mknod_dev("/proc/meminfo", DevKind::ProcText("meminfo")).expect("std layout");
-        vfs.mknod_dev("/proc/cpuinfo", DevKind::ProcText("cpuinfo")).expect("std layout");
+        vfs.mknod_dev("/proc/self/mem", DevKind::ProcSelfMem)
+            .expect("std layout");
+        vfs.mknod_dev("/proc/self/status", DevKind::ProcText("status"))
+            .expect("std layout");
+        vfs.mknod_dev("/proc/meminfo", DevKind::ProcText("meminfo"))
+            .expect("std layout");
+        vfs.mknod_dev("/proc/cpuinfo", DevKind::ProcText("cpuinfo"))
+            .expect("std layout");
         vfs
     }
 
@@ -184,12 +211,18 @@ impl Vfs {
 
     /// Fetches an inode.
     pub fn get(&self, id: InodeId) -> Result<&Inode, Errno> {
-        self.inodes.get(id).and_then(|i| i.as_ref()).ok_or(Errno::Enoent)
+        self.inodes
+            .get(id)
+            .and_then(|i| i.as_ref())
+            .ok_or(Errno::Enoent)
     }
 
     /// Fetches an inode mutably.
     pub fn get_mut(&mut self, id: InodeId) -> Result<&mut Inode, Errno> {
-        self.inodes.get_mut(id).and_then(|i| i.as_mut()).ok_or(Errno::Enoent)
+        self.inodes
+            .get_mut(id)
+            .and_then(|i| i.as_mut())
+            .ok_or(Errno::Enoent)
     }
 
     /// Resolves `path` relative to `cwd`, following intermediate symlinks
@@ -222,11 +255,18 @@ impl Vfs {
             stack = self.dir_stack_of(cwd)?;
         }
 
-        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty() && *c != ".").collect();
+        let comps: Vec<&str> = path
+            .split('/')
+            .filter(|c| !c.is_empty() && *c != ".")
+            .collect();
         if comps.is_empty() {
             // "/" or "." — the directory itself.
             let dir = *stack.last().expect("non-empty stack");
-            return Ok(Resolved { parent: dir, name: String::new(), inode: Some(dir) });
+            return Ok(Resolved {
+                parent: dir,
+                name: String::new(),
+                inode: Some(dir),
+            });
         }
 
         for (i, comp) in comps.iter().enumerate() {
@@ -237,7 +277,11 @@ impl Vfs {
                 }
                 if last {
                     let dir = *stack.last().expect("root remains");
-                    return Ok(Resolved { parent: dir, name: String::new(), inode: Some(dir) });
+                    return Ok(Resolved {
+                        parent: dir,
+                        name: String::new(),
+                        inode: Some(dir),
+                    });
                 }
                 continue;
             }
@@ -246,7 +290,11 @@ impl Vfs {
             let entries = dir.dir()?;
             match entries.get(*comp) {
                 None if last => {
-                    return Ok(Resolved { parent: dir_id, name: comp.to_string(), inode: None });
+                    return Ok(Resolved {
+                        parent: dir_id,
+                        name: comp.to_string(),
+                        inode: None,
+                    });
                 }
                 None => return Err(Errno::Enoent),
                 Some(&child) => {
@@ -292,8 +340,12 @@ impl Vfs {
 
     fn dfs_to(&self, target: InodeId, stack: &mut Vec<InodeId>) -> bool {
         let cur = *stack.last().expect("non-empty");
-        let Ok(node) = self.get(cur) else { return false };
-        let Ok(entries) = node.dir() else { return false };
+        let Ok(node) = self.get(cur) else {
+            return false;
+        };
+        let Ok(entries) = node.dir() else {
+            return false;
+        };
         for &child in entries.values() {
             if matches!(self.get(child).map(|n| &n.kind), Ok(InodeKind::Dir(_))) {
                 stack.push(child);
@@ -378,16 +430,14 @@ impl Vfs {
     pub fn write_file(&mut self, path: &str, content: &[u8]) -> Result<InodeId, Errno> {
         let r = self.resolve(self.root, path, true)?;
         match r.inode {
-            Some(id) => {
-                match &mut self.get_mut(id)?.kind {
-                    InodeKind::File(data) => {
-                        data.clear();
-                        data.extend_from_slice(content);
-                        Ok(id)
-                    }
-                    _ => Err(Errno::Eisdir),
+            Some(id) => match &mut self.get_mut(id)?.kind {
+                InodeKind::File(data) => {
+                    data.clear();
+                    data.extend_from_slice(content);
+                    Ok(id)
                 }
-            }
+                _ => Err(Errno::Eisdir),
+            },
             None => {
                 let id = self.alloc(InodeKind::File(content.to_vec()), 0o644, 0);
                 self.link_into(r.parent, &r.name, id)?;
@@ -457,7 +507,10 @@ mod tests {
     #[test]
     fn missing_intermediate_is_enoent() {
         let vfs = Vfs::with_std_layout();
-        assert_eq!(vfs.resolve(vfs.root, "/no/such/dir", true).unwrap_err(), Errno::Enoent);
+        assert_eq!(
+            vfs.resolve(vfs.root, "/no/such/dir", true).unwrap_err(),
+            Errno::Enoent
+        );
         // Missing *final* component resolves with inode = None.
         let r = vfs.resolve(vfs.root, "/tmp/newfile", true).unwrap();
         assert!(r.inode.is_none());
@@ -468,7 +521,10 @@ mod tests {
     fn file_as_directory_is_enotdir() {
         let mut vfs = Vfs::with_std_layout();
         vfs.write_file("/tmp/f", b"x").unwrap();
-        assert_eq!(vfs.resolve(vfs.root, "/tmp/f/sub", true).unwrap_err(), Errno::Enotdir);
+        assert_eq!(
+            vfs.resolve(vfs.root, "/tmp/f/sub", true).unwrap_err(),
+            Errno::Enotdir
+        );
     }
 
     #[test]
@@ -491,7 +547,10 @@ mod tests {
         // Self-loop traps at depth 40.
         let looper = vfs.alloc(InodeKind::Symlink("/tmp/loop".into()), 0o777, 0);
         vfs.link_into(tmp, "loop", looper).unwrap();
-        assert_eq!(vfs.resolve(vfs.root, "/tmp/loop", true).unwrap_err(), Errno::Eloop);
+        assert_eq!(
+            vfs.resolve(vfs.root, "/tmp/loop", true).unwrap_err(),
+            Errno::Eloop
+        );
     }
 
     #[test]
@@ -529,7 +588,11 @@ mod tests {
     #[test]
     fn mode_bits_reflect_kind() {
         let vfs = Vfs::with_std_layout();
-        let dev = vfs.resolve(vfs.root, "/dev/null", true).unwrap().inode.unwrap();
+        let dev = vfs
+            .resolve(vfs.root, "/dev/null", true)
+            .unwrap()
+            .inode
+            .unwrap();
         assert_eq!(vfs.get(dev).unwrap().mode() & S_IFMT, S_IFCHR);
         let tmp = vfs.resolve(vfs.root, "/tmp", true).unwrap().inode.unwrap();
         assert_eq!(vfs.get(tmp).unwrap().mode() & S_IFMT, S_IFDIR);
@@ -539,6 +602,9 @@ mod tests {
     fn long_paths_rejected() {
         let vfs = Vfs::new();
         let long = "/a".repeat(3000);
-        assert_eq!(vfs.resolve(vfs.root, &long, true).unwrap_err(), Errno::Enametoolong);
+        assert_eq!(
+            vfs.resolve(vfs.root, &long, true).unwrap_err(),
+            Errno::Enametoolong
+        );
     }
 }

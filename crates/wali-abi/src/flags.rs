@@ -356,7 +356,9 @@ mod tests {
 
     #[test]
     fn file_kind_bits_are_disjoint_under_mask() {
-        let kinds = [S_IFIFO, S_IFCHR, S_IFDIR, S_IFBLK, S_IFREG, S_IFLNK, S_IFSOCK];
+        let kinds = [
+            S_IFIFO, S_IFCHR, S_IFDIR, S_IFBLK, S_IFREG, S_IFLNK, S_IFSOCK,
+        ];
         for (i, a) in kinds.iter().enumerate() {
             assert_eq!(a & S_IFMT, *a);
             for b in kinds.iter().skip(i + 1) {

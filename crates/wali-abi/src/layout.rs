@@ -235,7 +235,10 @@ impl WaliTimespec {
 
     /// Builds a timespec from total nanoseconds.
     pub fn from_nanos(ns: u64) -> Self {
-        WaliTimespec { sec: (ns / 1_000_000_000) as i64, nsec: (ns % 1_000_000_000) as i64 }
+        WaliTimespec {
+            sec: (ns / 1_000_000_000) as i64,
+            nsec: (ns % 1_000_000_000) as i64,
+        }
     }
 
     /// Converts to total nanoseconds, `None` on invalid/negative fields.
@@ -243,7 +246,9 @@ impl WaliTimespec {
         if self.sec < 0 || !(0..1_000_000_000).contains(&self.nsec) {
             return None;
         }
-        (self.sec as u64).checked_mul(1_000_000_000)?.checked_add(self.nsec as u64)
+        (self.sec as u64)
+            .checked_mul(1_000_000_000)?
+            .checked_add(self.nsec as u64)
     }
 
     /// Serializes into the WALI layout.
@@ -256,7 +261,10 @@ impl WaliTimespec {
     /// Deserializes from the WALI layout.
     pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
         let mut r = Cursor::new(buf);
-        Ok(WaliTimespec { sec: r.i64()?, nsec: r.i64()? })
+        Ok(WaliTimespec {
+            sec: r.i64()?,
+            nsec: r.i64()?,
+        })
     }
 }
 
@@ -282,7 +290,10 @@ impl WaliTimeval {
     /// Deserializes from the WALI layout.
     pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
         let mut r = Cursor::new(buf);
-        Ok(WaliTimeval { sec: r.i64()?, usec: r.i64()? })
+        Ok(WaliTimeval {
+            sec: r.i64()?,
+            usec: r.i64()?,
+        })
     }
 }
 
@@ -305,7 +316,10 @@ impl WaliIovec {
     /// Deserializes one iovec from the WALI layout.
     pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
         let mut r = Cursor::new(buf);
-        Ok(WaliIovec { base: r.u32()?, len: r.u32()? })
+        Ok(WaliIovec {
+            base: r.u32()?,
+            len: r.u32()?,
+        })
     }
 
     /// Reads an iovec array of `count` entries starting at `buf`.
@@ -360,7 +374,11 @@ impl WaliSigaction {
         let handler = r.u32()?;
         let flags = r.u32()?;
         let mask = r.u64()?;
-        Ok(WaliSigaction { handler, flags, mask })
+        Ok(WaliSigaction {
+            handler,
+            flags,
+            mask,
+        })
     }
 }
 
@@ -419,9 +437,20 @@ impl WaliDirent {
             return Err(Errno::Einval);
         }
         let name_area = &buf[Self::HEADER..reclen];
-        let name_len = name_area.iter().position(|&b| b == 0).ok_or(Errno::Einval)?;
+        let name_len = name_area
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(Errno::Einval)?;
         let name = String::from_utf8_lossy(&name_area[..name_len]).into_owned();
-        Ok((WaliDirent { ino, off, file_type, name }, reclen))
+        Ok((
+            WaliDirent {
+                ino,
+                off,
+                file_type,
+                name,
+            },
+            reclen,
+        ))
     }
 }
 
@@ -447,7 +476,10 @@ impl WaliRlimit {
     /// Deserializes from the WALI layout.
     pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
         let mut r = Cursor::new(buf);
-        Ok(WaliRlimit { cur: r.u64()?, max: r.u64()? })
+        Ok(WaliRlimit {
+            cur: r.u64()?,
+            max: r.u64()?,
+        })
     }
 }
 
@@ -586,7 +618,11 @@ impl WaliPollFd {
         let fd = r.i32()?;
         let events = r.u16()? as i16;
         let revents = r.u16()? as i16;
-        Ok(WaliPollFd { fd, events, revents })
+        Ok(WaliPollFd {
+            fd,
+            events,
+            revents,
+        })
     }
 
     /// Serializes into the WALI layout.
@@ -710,7 +746,10 @@ mod tests {
         // 12 bytes: u32 events then u64 data with no padding (x86-64
         // Linux ABI packing, inherited by the wasm32 layout).
         assert_eq!(WaliEpollEvent::SIZE, 12);
-        let e = WaliEpollEvent { events: 0x2011, data: 0xdead_beef_0bad_f00d };
+        let e = WaliEpollEvent {
+            events: 0x2011,
+            data: 0xdead_beef_0bad_f00d,
+        };
         let mut buf = [0u8; WaliEpollEvent::SIZE];
         e.write_to(&mut buf).unwrap();
         assert_eq!(&buf[0..4], &0x2011u32.to_le_bytes());
@@ -751,10 +790,23 @@ mod tests {
     #[test]
     fn timespec_nanos_round_trip() {
         let t = WaliTimespec::from_nanos(1_500_000_042);
-        assert_eq!(t, WaliTimespec { sec: 1, nsec: 500_000_042 });
+        assert_eq!(
+            t,
+            WaliTimespec {
+                sec: 1,
+                nsec: 500_000_042
+            }
+        );
         assert_eq!(t.to_nanos(), Some(1_500_000_042));
         assert_eq!(WaliTimespec { sec: -1, nsec: 0 }.to_nanos(), None);
-        assert_eq!(WaliTimespec { sec: 0, nsec: 1_000_000_000 }.to_nanos(), None);
+        assert_eq!(
+            WaliTimespec {
+                sec: 0,
+                nsec: 1_000_000_000
+            }
+            .to_nanos(),
+            None
+        );
     }
 
     #[test]
@@ -765,14 +817,24 @@ mod tests {
             chunk[4..8].copy_from_slice(&(16u32).to_le_bytes());
         }
         let v = WaliIovec::read_array(&buf, 3).unwrap();
-        assert_eq!(v[2], WaliIovec { base: 0x300, len: 16 });
+        assert_eq!(
+            v[2],
+            WaliIovec {
+                base: 0x300,
+                len: 16
+            }
+        );
         assert_eq!(WaliIovec::read_array(&buf, 4), Err(Errno::Efault));
         assert_eq!(WaliIovec::read_array(&buf, 2000), Err(Errno::Einval));
     }
 
     #[test]
     fn sigaction_round_trip() {
-        let sa = WaliSigaction { handler: 17, flags: crate::signals::SA_RESTART, mask: 0b1010 };
+        let sa = WaliSigaction {
+            handler: 17,
+            flags: crate::signals::SA_RESTART,
+            mask: 0b1010,
+        };
         let mut buf = [0u8; WaliSigaction::SIZE];
         sa.write_to(&mut buf).unwrap();
         assert_eq!(WaliSigaction::read_from(&buf).unwrap(), sa);
@@ -780,7 +842,12 @@ mod tests {
 
     #[test]
     fn dirent_round_trip_and_alignment() {
-        let d = WaliDirent { ino: 42, off: 1, file_type: 8, name: "hello.txt".into() };
+        let d = WaliDirent {
+            ino: 42,
+            off: 1,
+            file_type: 8,
+            name: "hello.txt".into(),
+        };
         assert_eq!(d.reclen() % 8, 0);
         let mut buf = vec![0u8; d.reclen()];
         let n = d.write_to(&mut buf).unwrap();
@@ -792,14 +859,22 @@ mod tests {
 
     #[test]
     fn dirent_does_not_overflow_small_buffer() {
-        let d = WaliDirent { ino: 1, off: 0, file_type: 4, name: "name".into() };
+        let d = WaliDirent {
+            ino: 1,
+            off: 0,
+            file_type: 4,
+            name: "name".into(),
+        };
         let mut buf = vec![0u8; d.reclen() - 1];
         assert_eq!(d.write_to(&mut buf), None);
     }
 
     #[test]
     fn sockaddr_inet_round_trip() {
-        let a = WaliSockaddr::Inet { addr: [127, 0, 0, 1], port: 8080 };
+        let a = WaliSockaddr::Inet {
+            addr: [127, 0, 0, 1],
+            port: 8080,
+        };
         let mut buf = [0u8; 16];
         let n = a.write_to(&mut buf).unwrap();
         assert_eq!(n, 16);
@@ -808,7 +883,9 @@ mod tests {
 
     #[test]
     fn sockaddr_unix_round_trip() {
-        let a = WaliSockaddr::Unix { path: "/tmp/sock".into() };
+        let a = WaliSockaddr::Unix {
+            path: "/tmp/sock".into(),
+        };
         let mut buf = [0u8; 64];
         a.write_to(&mut buf).unwrap();
         assert_eq!(WaliSockaddr::read_from(&buf).unwrap(), a);

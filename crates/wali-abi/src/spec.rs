@@ -62,7 +62,11 @@ use SyscallClass::{Passthrough as P, Stateful as S, Translated as T};
 
 macro_rules! sc {
     ($name:literal, $args:literal, $class:expr) => {
-        WaliSyscall { name: $name, args: $args, class: $class }
+        WaliSyscall {
+            name: $name,
+            args: $args,
+            class: $class,
+        }
     };
 }
 
@@ -280,7 +284,12 @@ pub fn sysno(name: &str) -> Option<u16> {
     use std::sync::OnceLock;
     static INDEX: OnceLock<HashMap<&'static str, u16>> = OnceLock::new();
     INDEX
-        .get_or_init(|| SPEC.iter().enumerate().map(|(i, s)| (s.name, i as u16)).collect())
+        .get_or_init(|| {
+            SPEC.iter()
+                .enumerate()
+                .map(|(i, s)| (s.name, i as u16))
+                .collect()
+        })
         .get(name)
         .copied()
 }
@@ -295,7 +304,12 @@ pub fn lookup(name: &str) -> Option<&'static WaliSyscall> {
 pub fn autogen_fraction() -> f64 {
     let auto = SPEC
         .iter()
-        .filter(|s| matches!(s.class, SyscallClass::Passthrough | SyscallClass::Translated))
+        .filter(|s| {
+            matches!(
+                s.class,
+                SyscallClass::Passthrough | SyscallClass::Translated
+            )
+        })
         .count();
     auto as f64 / SPEC.len() as f64
 }
@@ -333,7 +347,9 @@ mod tests {
 
     #[test]
     fn legacy_calls_are_x86_only() {
-        for name in ["open", "stat", "fork", "pipe", "dup2", "access", "select", "poll"] {
+        for name in [
+            "open", "stat", "fork", "pipe", "dup2", "access", "select", "poll",
+        ] {
             let s = lookup(name).unwrap();
             assert!(s.native_on(Isa::X86_64), "{name}");
             assert!(!s.native_on(Isa::Riscv64), "{name}");
@@ -342,7 +358,15 @@ mod tests {
 
     #[test]
     fn modern_core_is_everywhere() {
-        for name in ["openat", "read", "write", "mmap", "clone", "rt_sigaction", "futex"] {
+        for name in [
+            "openat",
+            "read",
+            "write",
+            "mmap",
+            "clone",
+            "rt_sigaction",
+            "futex",
+        ] {
             let s = lookup(name).unwrap();
             for isa in Isa::ALL {
                 assert!(s.native_on(isa), "{name} missing on {isa}");
@@ -353,7 +377,11 @@ mod tests {
     #[test]
     fn autogen_fraction_exceeds_paper_claim() {
         // Paper §5: ">85% of the WALI implementation [was] auto-generated".
-        assert!(autogen_fraction() > 0.85, "fraction = {}", autogen_fraction());
+        assert!(
+            autogen_fraction() > 0.85,
+            "fraction = {}",
+            autogen_fraction()
+        );
     }
 
     #[test]
@@ -365,8 +393,11 @@ mod tests {
     fn stateful_set_matches_design() {
         // The stateful set should stay small — that is what keeps the TCB
         // thin. Everything else must be derivable from the recipe.
-        let stateful: Vec<_> =
-            SPEC.iter().filter(|s| s.class == SyscallClass::Stateful).map(|s| s.name).collect();
+        let stateful: Vec<_> = SPEC
+            .iter()
+            .filter(|s| s.class == SyscallClass::Stateful)
+            .map(|s| s.name)
+            .collect();
         assert!(stateful.len() <= 20, "stateful = {stateful:?}");
         for required in ["mmap", "munmap", "clone", "rt_sigaction", "execve", "fork"] {
             assert!(stateful.contains(&required), "{required} must be stateful");

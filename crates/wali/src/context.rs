@@ -190,10 +190,15 @@ impl HostCtx for WaliContext {
             d
         }?;
         match delivery {
-            SignalDelivery::Handler { signo, old_mask, .. } => {
+            SignalDelivery::Handler {
+                signo, old_mask, ..
+            } => {
                 let entry = self.sigtable.borrow().get(signo)?;
                 self.handler_masks.push(old_mask);
-                Some(PendingCall { func: entry.func_index, args: vec![Value::I32(signo)] })
+                Some(PendingCall {
+                    func: entry.func_index,
+                    args: vec![Value::I32(signo)],
+                })
             }
             SignalDelivery::Killed { signo } => {
                 self.exited = Some(128 + signo);
@@ -256,7 +261,11 @@ mod tests {
         let mut c = ctx();
         let tid = c.tid;
         c.kernel.borrow_mut().sys_kill(tid, tid, 15).unwrap();
-        assert_eq!(c.poll_signal(), None, "default SIGTERM kills, no handler call");
+        assert_eq!(
+            c.poll_signal(),
+            None,
+            "default SIGTERM kills, no handler call"
+        );
         assert_eq!(c.check_abort(), Some(Trap::Aborted));
         assert_eq!(c.exited, Some(128 + 15));
     }
@@ -267,12 +276,24 @@ mod tests {
         use wali_abi::layout::WaliSigaction;
         let mut c = ctx();
         let tid = c.tid;
-        c.sigtable
-            .borrow_mut()
-            .set(10, Some(SigEntry { table_index: 2, func_index: 42 }));
+        c.sigtable.borrow_mut().set(
+            10,
+            Some(SigEntry {
+                table_index: 2,
+                func_index: 42,
+            }),
+        );
         c.kernel
             .borrow_mut()
-            .sys_rt_sigaction(tid, 10, Some(WaliSigaction { handler: 2, flags: 0, mask: 0 }))
+            .sys_rt_sigaction(
+                tid,
+                10,
+                Some(WaliSigaction {
+                    handler: 2,
+                    flags: 0,
+                    mask: 0,
+                }),
+            )
             .unwrap();
         c.kernel.borrow_mut().sys_kill(tid, tid, 10).unwrap();
         let call = c.poll_signal().expect("handler call");

@@ -53,7 +53,8 @@ pub fn with_slice<R>(
     len: usize,
     f: impl FnOnce(&[u8]) -> R,
 ) -> Result<R, Errno> {
-    mem.with_slice(ptr as u64, len, f).map_err(|_| Errno::Efault)
+    mem.with_slice(ptr as u64, len, f)
+        .map_err(|_| Errno::Efault)
 }
 
 /// Zero-copy write view: runs `f` over the mutable byte range.
@@ -63,27 +64,34 @@ pub fn with_slice_mut<R>(
     len: usize,
     f: impl FnOnce(&mut [u8]) -> R,
 ) -> Result<R, Errno> {
-    mem.with_slice_mut(ptr as u64, len, f).map_err(|_| Errno::Efault)
+    mem.with_slice_mut(ptr as u64, len, f)
+        .map_err(|_| Errno::Efault)
 }
 
 /// Reads a little-endian u32 at `ptr`.
 pub fn read_u32(mem: &Memory, ptr: u32) -> Result<u32, Errno> {
-    mem.load::<4>(ptr as u64).map(u32::from_le_bytes).map_err(|_| Errno::Efault)
+    mem.load::<4>(ptr as u64)
+        .map(u32::from_le_bytes)
+        .map_err(|_| Errno::Efault)
 }
 
 /// Writes a little-endian u32 at `ptr`.
 pub fn write_u32(mem: &Memory, ptr: u32, v: u32) -> Result<(), Errno> {
-    mem.store::<4>(ptr as u64, v.to_le_bytes()).map_err(|_| Errno::Efault)
+    mem.store::<4>(ptr as u64, v.to_le_bytes())
+        .map_err(|_| Errno::Efault)
 }
 
 /// Writes a little-endian u64 at `ptr`.
 pub fn write_u64(mem: &Memory, ptr: u32, v: u64) -> Result<(), Errno> {
-    mem.store::<8>(ptr as u64, v.to_le_bytes()).map_err(|_| Errno::Efault)
+    mem.store::<8>(ptr as u64, v.to_le_bytes())
+        .map_err(|_| Errno::Efault)
 }
 
 /// Reads a little-endian u64 at `ptr`.
 pub fn read_u64(mem: &Memory, ptr: u32) -> Result<u64, Errno> {
-    mem.load::<8>(ptr as u64).map(u64::from_le_bytes).map_err(|_| Errno::Efault)
+    mem.load::<8>(ptr as u64)
+        .map(u64::from_le_bytes)
+        .map_err(|_| Errno::Efault)
 }
 
 /// Reads a NUL-terminated array of wasm32 string pointers (argv/envp).
@@ -125,7 +133,10 @@ mod tests {
     fn out_of_bounds_is_efault() {
         let m = mem();
         assert_eq!(read_bytes(&m, 65530, 100).unwrap_err(), Errno::Efault);
-        assert_eq!(write_bytes(&m, u32::MAX - 2, b"abc").unwrap_err(), Errno::Efault);
+        assert_eq!(
+            write_bytes(&m, u32::MAX - 2, b"abc").unwrap_err(),
+            Errno::Efault
+        );
         assert_eq!(read_u32(&m, 65534).unwrap_err(), Errno::Efault);
     }
 

@@ -52,7 +52,11 @@ impl MmapPool {
     /// Creates a pool starting at `base` (rounded up to a map page).
     pub fn new(base: u32) -> MmapPool {
         let base = round_up(base);
-        MmapPool { base, high_water: base, regions: BTreeMap::new() }
+        MmapPool {
+            base,
+            high_water: base,
+            regions: BTreeMap::new(),
+        }
     }
 
     /// Pool base address.
@@ -102,7 +106,13 @@ impl MmapPool {
         }
         let len = round_up(len);
         let addr = self.find_gap(len).ok_or(Errno::Enomem)?;
-        let region = Region { addr, len, prot, flags, file };
+        let region = Region {
+            addr,
+            len,
+            prot,
+            flags,
+            file,
+        };
         self.regions.insert(addr, region.clone());
         self.high_water = self.high_water.max(addr + len);
         Ok(region)
@@ -112,7 +122,11 @@ impl MmapPool {
     fn find_gap(&self, len: u32) -> Option<u32> {
         let mut cursor = self.base;
         for r in self.regions.values() {
-            if r.addr.checked_sub(cursor).map(|gap| gap >= len).unwrap_or(false) {
+            if r.addr
+                .checked_sub(cursor)
+                .map(|gap| gap >= len)
+                .unwrap_or(false)
+            {
                 return Some(cursor);
             }
             cursor = r.addr + r.len;
@@ -274,7 +288,12 @@ mod tests {
     fn prot_exec_is_refused() {
         let mut p = pool();
         assert_eq!(
-            p.map(4096, PROT_READ | PROT_EXEC, MAP_PRIVATE | MAP_ANONYMOUS, None),
+            p.map(
+                4096,
+                PROT_READ | PROT_EXEC,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                None
+            ),
             Err(Errno::Eacces)
         );
         let r = p.map(4096, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
@@ -294,7 +313,9 @@ mod tests {
     #[test]
     fn unmap_splits_regions() {
         let mut p = pool();
-        let r = p.map(4 * MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
+        let r = p
+            .map(4 * MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None)
+            .unwrap();
         // Punch a hole in the middle.
         let removed = p.unmap(r.addr + MAP_PAGE, MAP_PAGE).unwrap();
         assert_eq!(removed.len(), 1);
@@ -315,7 +336,9 @@ mod tests {
     #[test]
     fn remap_grows_in_place_when_free() {
         let mut p = pool();
-        let r = p.map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
+        let r = p
+            .map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None)
+            .unwrap();
         let (_, grown) = p.remap(r.addr, r.len, 3 * MAP_PAGE, 0).unwrap();
         assert_eq!(grown.addr, r.addr);
         assert_eq!(grown.len, 3 * MAP_PAGE);
@@ -324,11 +347,17 @@ mod tests {
     #[test]
     fn remap_moves_when_blocked() {
         let mut p = pool();
-        let a = p.map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
-        let _b = p.map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
+        let a = p
+            .map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None)
+            .unwrap();
+        let _b = p
+            .map(MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None)
+            .unwrap();
         // Cannot extend a in place; without MAYMOVE it fails.
         assert_eq!(p.remap(a.addr, a.len, 2 * MAP_PAGE, 0), Err(Errno::Enomem));
-        let (_, moved) = p.remap(a.addr, a.len, 2 * MAP_PAGE, MREMAP_MAYMOVE).unwrap();
+        let (_, moved) = p
+            .remap(a.addr, a.len, 2 * MAP_PAGE, MREMAP_MAYMOVE)
+            .unwrap();
         assert_ne!(moved.addr, a.addr);
         assert_eq!(moved.len, 2 * MAP_PAGE);
     }
@@ -336,7 +365,9 @@ mod tests {
     #[test]
     fn remap_shrinks_in_place() {
         let mut p = pool();
-        let r = p.map(3 * MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None).unwrap();
+        let r = p
+            .map(3 * MAP_PAGE, RW, MAP_PRIVATE | MAP_ANONYMOUS, None)
+            .unwrap();
         let (_, small) = p.remap(r.addr, r.len, MAP_PAGE, 0).unwrap();
         assert_eq!(small.addr, r.addr);
         assert_eq!(small.len, MAP_PAGE);
@@ -345,9 +376,7 @@ mod tests {
     #[test]
     fn file_mapping_offset_tracks_splits() {
         let mut p = pool();
-        let r = p
-            .map(2 * MAP_PAGE, RW, MAP_SHARED, Some((5, 0)))
-            .unwrap();
+        let r = p.map(2 * MAP_PAGE, RW, MAP_SHARED, Some((5, 0))).unwrap();
         let removed = p.unmap(r.addr + MAP_PAGE, MAP_PAGE).unwrap();
         assert_eq!(removed[0].file, Some((5, MAP_PAGE as u64)));
         assert!(removed[0].is_shared_file());

@@ -87,7 +87,10 @@ mod tests {
     fn deny_list_blocks_only_listed() {
         let mut p = Policy::deny_list(["execve", "fork"], DenyAction::Errno(Errno::Eperm));
         assert_eq!(p.check("read"), Verdict::Allow);
-        assert_eq!(p.check("execve"), Verdict::Deny(DenyAction::Errno(Errno::Eperm)));
+        assert_eq!(
+            p.check("execve"),
+            Verdict::Deny(DenyAction::Errno(Errno::Eperm))
+        );
         assert_eq!(p.denied_log, vec!["execve"]);
     }
 

@@ -82,15 +82,15 @@ pub fn finish(
     match r {
         Ok(v) => Ok(vec![Value::I64(v)]),
         Err(SysError::Err(e)) => Ok(vec![Value::I64(e.as_ret())]),
-        Err(SysError::Block(Block { deadline })) => {
-            Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Blocked {
+        Err(SysError::Block(Block { deadline })) => Err(HostOutcome::Suspend(Suspension::new(
+            WaliSuspend::Blocked {
                 module: crate::WALI_MODULE,
                 import,
                 sysno,
                 args: args.to_vec(),
                 deadline,
-            })))
-        }
+            },
+        ))),
     }
 }
 
@@ -210,8 +210,7 @@ pub fn build_linker() -> Linker<WaliContext> {
 
     // Every remaining spec entry is exposed as a name-bound ENOSYS stub so
     // modules link against the full specification surface.
-    let have: std::collections::BTreeSet<String> =
-        l.names().map(|(_, n)| n.to_string()).collect();
+    let have: std::collections::BTreeSet<String> = l.names().map(|(_, n)| n.to_string()).collect();
     for spec in wali_abi::spec::SPEC {
         if !have.contains(&spec.import_name()) {
             register_nosys(&mut l, spec.name);
@@ -235,7 +234,10 @@ mod tests {
             );
         }
         for m in wali_abi::spec::SUPPORT_METHODS {
-            assert!(l.resolve(WALI_MODULE, m).is_some(), "missing support method {m}");
+            assert!(
+                l.resolve(WALI_MODULE, m).is_some(),
+                "missing support method {m}"
+            );
         }
     }
 

@@ -43,35 +43,55 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "read", |c: C, a: &[Value]| -> R {
         let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
         let mem = c.instance.memory.clone();
-        flat(with_slice_mut(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_read(tid, fd, buf))))
+        flat(with_slice_mut(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_read(tid, fd, buf))
+        }))
     });
 
     sys!(l, "write", |c: C, a: &[Value]| -> R {
         let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
         let mem = c.instance.memory.clone();
-        flat(with_slice(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_write(tid, fd, buf))))
+        flat(with_slice(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_write(tid, fd, buf))
+        }))
     });
 
     sys!(l, "pread64", |c: C, a: &[Value]| -> R {
-        let (fd, ptr, len, off) =
-            (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize, arg(a, 3) as u64);
+        let (fd, ptr, len, off) = (
+            arg_i32(a, 0),
+            arg_ptr(a, 1),
+            arg(a, 2) as usize,
+            arg(a, 3) as u64,
+        );
         let mem = c.instance.memory.clone();
-        flat(with_slice_mut(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_pread(tid, fd, buf, off))))
+        flat(with_slice_mut(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_pread(tid, fd, buf, off))
+        }))
     });
 
     sys!(l, "pwrite64", |c: C, a: &[Value]| -> R {
-        let (fd, ptr, len, off) =
-            (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize, arg(a, 3) as u64);
+        let (fd, ptr, len, off) = (
+            arg_i32(a, 0),
+            arg_ptr(a, 1),
+            arg(a, 2) as usize,
+            arg(a, 3) as u64,
+        );
         let mem = c.instance.memory.clone();
-        flat(with_slice(&mem, ptr, len, |buf| k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, off))))
+        flat(with_slice(&mem, ptr, len, |buf| {
+            k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, off))
+        }))
     });
 
     // Scatter-gather I/O needs layout conversion: wasm32 iovecs are 8
     // bytes, native ones 16 (§3.2 "Layout Conversion").
     sys!(l, "readv", |c: C, a: &[Value]| -> R { do_iov(c, a, false) });
     sys!(l, "writev", |c: C, a: &[Value]| -> R { do_iov(c, a, true) });
-    sys!(l, "preadv", |c: C, a: &[Value]| -> R { do_iov(c, a, false) });
-    sys!(l, "pwritev", |c: C, a: &[Value]| -> R { do_iov(c, a, true) });
+    sys!(l, "preadv", |c: C, a: &[Value]| -> R {
+        do_iov(c, a, false)
+    });
+    sys!(l, "pwritev", |c: C, a: &[Value]| -> R {
+        do_iov(c, a, true)
+    });
 
     sys!(l, "open", |c: C, a: &[Value]| -> R {
         let mem = c.instance.memory.clone();
@@ -118,8 +138,12 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         k(c, |kk, tid| kk.sys_dup3(tid, old, new, flags))
     });
 
-    sys!(l, "pipe", |c: C, a: &[Value]| -> R { do_pipe(c, arg_ptr(a, 0), 0) });
-    sys!(l, "pipe2", |c: C, a: &[Value]| -> R { do_pipe(c, arg_ptr(a, 0), arg_i32(a, 1)) });
+    sys!(l, "pipe", |c: C, a: &[Value]| -> R {
+        do_pipe(c, arg_ptr(a, 0), 0)
+    });
+    sys!(l, "pipe2", |c: C, a: &[Value]| -> R {
+        do_pipe(c, arg_ptr(a, 0), arg_i32(a, 1))
+    });
 
     sys!(l, "fcntl", |c: C, a: &[Value]| -> R {
         let (fd, cmd, argv) = (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2));
@@ -197,7 +221,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "lstat", |c: C, a: &[Value]| -> R {
         let mem = c.instance.memory.clone();
         let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
-        let st = k(c, |kk, tid| kk.sys_fstatat(tid, AT_FDCWD, &path, AT_SYMLINK_NOFOLLOW))?;
+        let st = k(c, |kk, tid| {
+            kk.sys_fstatat(tid, AT_FDCWD, &path, AT_SYMLINK_NOFOLLOW)
+        })?;
         stat_out(c, arg_ptr(a, 1), st)
     });
 
@@ -276,7 +302,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "rmdir", |c: C, a: &[Value]| -> R {
         let mem = c.instance.memory.clone();
         let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
-        k(c, |kk, tid| kk.sys_unlinkat(tid, AT_FDCWD, &path, AT_REMOVEDIR))
+        k(c, |kk, tid| {
+            kk.sys_unlinkat(tid, AT_FDCWD, &path, AT_REMOVEDIR)
+        })
     });
 
     sys!(l, "unlink", |c: C, a: &[Value]| -> R {
@@ -296,7 +324,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let mem = c.instance.memory.clone();
         let old = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
         let new = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
-        k(c, |kk, tid| kk.sys_renameat(tid, AT_FDCWD, &old, AT_FDCWD, &new))
+        k(c, |kk, tid| {
+            kk.sys_renameat(tid, AT_FDCWD, &old, AT_FDCWD, &new)
+        })
     });
 
     sys!(l, "renameat", |c: C, a: &[Value]| -> R {
@@ -319,7 +349,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let mem = c.instance.memory.clone();
         let old = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
         let new = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
-        k(c, |kk, tid| kk.sys_linkat(tid, AT_FDCWD, &old, AT_FDCWD, &new))
+        k(c, |kk, tid| {
+            kk.sys_linkat(tid, AT_FDCWD, &old, AT_FDCWD, &new)
+        })
     });
 
     sys!(l, "linkat", |c: C, a: &[Value]| -> R {
@@ -346,11 +378,23 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     });
 
     sys!(l, "readlink", |c: C, a: &[Value]| -> R {
-        do_readlink(c, AT_FDCWD, arg_ptr(a, 0), arg_ptr(a, 1), arg(a, 2) as usize)
+        do_readlink(
+            c,
+            AT_FDCWD,
+            arg_ptr(a, 0),
+            arg_ptr(a, 1),
+            arg(a, 2) as usize,
+        )
     });
 
     sys!(l, "readlinkat", |c: C, a: &[Value]| -> R {
-        do_readlink(c, arg_i32(a, 0), arg_ptr(a, 1), arg_ptr(a, 2), arg(a, 3) as usize)
+        do_readlink(
+            c,
+            arg_i32(a, 0),
+            arg_ptr(a, 1),
+            arg_ptr(a, 2),
+            arg(a, 3) as usize,
+        )
     });
 
     sys!(l, "access", |c: C, a: &[Value]| -> R {
@@ -397,7 +441,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let mem = c.instance.memory.clone();
         let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
         let (uid, gid) = (arg(a, 1) as u32, arg(a, 2) as u32);
-        k(c, |kk, tid| kk.sys_fchownat(tid, AT_FDCWD, &path, uid, gid, 0))
+        k(c, |kk, tid| {
+            kk.sys_fchownat(tid, AT_FDCWD, &path, uid, gid, 0)
+        })
     });
 
     sys!(l, "fchown", |_c: C, a: &[Value]| -> R {
@@ -409,9 +455,15 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "fchownat", |c: C, a: &[Value]| -> R {
         let mem = c.instance.memory.clone();
         let path = read_cstr(&mem, arg_ptr(a, 1)).map_err(SysError::Err)?;
-        let (dirfd, uid, gid, flags) =
-            (arg_i32(a, 0), arg(a, 2) as u32, arg(a, 3) as u32, arg_i32(a, 4));
-        k(c, |kk, tid| kk.sys_fchownat(tid, dirfd, &path, uid, gid, flags))
+        let (dirfd, uid, gid, flags) = (
+            arg_i32(a, 0),
+            arg(a, 2) as u32,
+            arg(a, 3) as u32,
+            arg_i32(a, 4),
+        );
+        k(c, |kk, tid| {
+            kk.sys_fchownat(tid, dirfd, &path, uid, gid, flags)
+        })
     });
 
     sys!(l, "umask", |c: C, a: &[Value]| -> R {
@@ -425,8 +477,14 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let path = read_cstr(&mem, arg_ptr(a, 0)).map_err(SysError::Err)?;
         let mode = arg(a, 1) as u32;
         k(c, |kk, tid| {
-            kk.sys_openat(tid, AT_FDCWD, &path, wali_abi::flags::O_CREAT | O_RDWR, mode)
-                .and_then(|fd| kk.sys_close(tid, fd))
+            kk.sys_openat(
+                tid,
+                AT_FDCWD,
+                &path,
+                wali_abi::flags::O_CREAT | O_RDWR,
+                mode,
+            )
+            .and_then(|fd| kk.sys_close(tid, fd))
         })
     });
 

@@ -36,15 +36,16 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "clock_getres", |c: C, a: &[Value]| -> R {
         let ts_ptr = arg_ptr(a, 1);
         if ts_ptr != 0 {
-            write_timespec(c, ts_ptr, WaliTimespec { sec: 0, nsec: 1 })
-                .map_err(SysError::Err)?;
+            write_timespec(c, ts_ptr, WaliTimespec { sec: 0, nsec: 1 }).map_err(SysError::Err)?;
         }
         Ok(0)
     });
 
     sys!(l, "gettimeofday", |c: C, a: &[Value]| -> R {
         let tv_ptr = arg_ptr(a, 0);
-        let ns = k(c, |kk, _| kk.sys_clock_gettime(wali_abi::flags::CLOCK_REALTIME))?;
+        let ns = k(c, |kk, _| {
+            kk.sys_clock_gettime(wali_abi::flags::CLOCK_REALTIME)
+        })?;
         if tv_ptr != 0 {
             let tv = WaliTimeval {
                 sec: (ns / 1_000_000_000) as i64,
@@ -57,7 +58,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         Ok(0)
     });
 
-    sys!(l, "settimeofday", |_c: C, _a: &[Value]| -> R { Err(Errno::Eperm.into()) });
+    sys!(l, "settimeofday", |_c: C, _a: &[Value]| -> R {
+        Err(Errno::Eperm.into())
+    });
 
     sys!(l, "nanosleep", |c: C, a: &[Value]| -> R {
         let req_ptr = arg_ptr(a, 0);
@@ -169,7 +172,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                     }
                     None => None,
                 };
-                k(c, |kk, tid| kk.sys_futex_wait(tid, mm, uaddr, matches, deadline))
+                k(c, |kk, tid| {
+                    kk.sys_futex_wait(tid, mm, uaddr, matches, deadline)
+                })
             }
             FUTEX_WAKE => {
                 let mm = c.data.mm;

@@ -33,7 +33,9 @@ fn ensure_mapped(c: C, end: u32) -> Result<(), SysError> {
 
 /// Reads file content into a fresh mapping.
 fn populate_file_mapping(c: C, region: &Region) -> Result<(), SysError> {
-    let Some((fd, off)) = region.file else { return Ok(()) };
+    let Some((fd, off)) = region.file else {
+        return Ok(());
+    };
     let mem = c.instance.memory.clone();
     let (addr, len) = (region.addr, region.len as usize);
     flat(
@@ -49,7 +51,9 @@ fn writeback_shared(c: C, region: &Region) -> Result<(), SysError> {
     if !region.is_shared_file() {
         return Ok(());
     }
-    let Some((fd, off)) = region.file else { return Ok(()) };
+    let Some((fd, off)) = region.file else {
+        return Ok(());
+    };
     let mem = c.instance.memory.clone();
     let (addr, len) = (region.addr, region.len as usize);
     flat(
@@ -70,7 +74,11 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             arg_i32(a, 4),
             arg(a, 5) as u64,
         );
-        let file = if flags & MAP_ANONYMOUS != 0 || fd < 0 { None } else { Some((fd, off)) };
+        let file = if flags & MAP_ANONYMOUS != 0 || fd < 0 {
+            None
+        } else {
+            Some((fd, off))
+        };
         let region = {
             let mut pool = c.data.mmap.borrow_mut();
             pool.map(len, prot, flags, file).map_err(SysError::Err)?
@@ -96,31 +104,43 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         for region in &removed {
             writeback_shared(c, region)?;
             // Discard contents so stale data cannot leak into later maps.
-            let _ = c.instance.memory.fill(region.addr as u64, 0, region.len as u64);
+            let _ = c
+                .instance
+                .memory
+                .fill(region.addr as u64, 0, region.len as u64);
         }
         Ok(0)
     });
 
     sys!(l, "mremap", |c: C, a: &[Value]| -> R {
-        let (old_addr, old_len, new_len, flags) =
-            (arg_ptr(a, 0), arg(a, 1) as u32, arg(a, 2) as u32, arg_i32(a, 3));
+        let (old_addr, old_len, new_len, flags) = (
+            arg_ptr(a, 0),
+            arg(a, 1) as u32,
+            arg(a, 2) as u32,
+            arg_i32(a, 3),
+        );
         let (old, new) = {
             let mut pool = c.data.mmap.borrow_mut();
-            pool.remap(old_addr, old_len, new_len, flags).map_err(SysError::Err)?
+            pool.remap(old_addr, old_len, new_len, flags)
+                .map_err(SysError::Err)?
         };
         ensure_mapped(c, new.addr + new.len)?;
         if new.addr != old.addr {
             // Moved: copy the old contents (MREMAP_MAYMOVE path).
             c.instance
                 .memory
-                .copy_within(new.addr as u64, old.addr as u64, old.len.min(new.len) as u64)
+                .copy_within(
+                    new.addr as u64,
+                    old.addr as u64,
+                    old.len.min(new.len) as u64,
+                )
                 .map_err(|_| SysError::Err(Errno::Efault))?;
             let _ = c.instance.memory.fill(old.addr as u64, 0, old.len as u64);
         } else if new.len > old.len {
-            let _ = c
-                .instance
-                .memory
-                .fill((new.addr + old.len) as u64, 0, (new.len - old.len) as u64);
+            let _ =
+                c.instance
+                    .memory
+                    .fill((new.addr + old.len) as u64, 0, (new.len - old.len) as u64);
         }
         Ok(new.addr as i64)
     });

@@ -27,9 +27,15 @@ fn errno_out(e: Errno) -> X {
 }
 
 pub(crate) fn register(l: &mut Linker<WaliContext>) {
-    sys!(l, "getpid", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_getpid(tid)) });
-    sys!(l, "getppid", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_getppid(tid)) });
-    sys!(l, "gettid", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_gettid(tid)) });
+    sys!(l, "getpid", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_getpid(tid))
+    });
+    sys!(l, "getppid", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_getppid(tid))
+    });
+    sys!(l, "gettid", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_gettid(tid))
+    });
 
     sys!(l, "getpgid", |c: C, a: &[Value]| -> R {
         let pid = arg_i32(a, 0);
@@ -39,8 +45,12 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let (pid, pgid) = (arg_i32(a, 0), arg_i32(a, 1));
         k(c, |kk, tid| kk.sys_setpgid(tid, pid, pgid))
     });
-    sys!(l, "getpgrp", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_getpgid(tid, 0)) });
-    sys!(l, "setsid", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_setsid(tid)) });
+    sys!(l, "getpgrp", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_getpgid(tid, 0))
+    });
+    sys!(l, "setsid", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_setsid(tid))
+    });
     sys!(l, "getsid", |c: C, a: &[Value]| -> R {
         let pid = arg_i32(a, 0);
         k(c, |kk, tid| kk.sys_getsid(tid, pid))
@@ -70,8 +80,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             return Err(Errno::Einval.into());
         }
         // One virtual CPU.
-        write_bytes(&c.instance.memory, mask_ptr, &1u64.to_le_bytes())
-            .map_err(SysError::Err)?;
+        write_bytes(&c.instance.memory, mask_ptr, &1u64.to_le_bytes()).map_err(SysError::Err)?;
         Ok(8)
     });
     sys!(l, "sched_setaffinity", |_c: C, _a: &[Value]| -> R { Ok(0) });
@@ -126,8 +135,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "times", |c: C, a: &[Value]| -> R {
         let buf_ptr = arg_ptr(a, 0);
         let mem = c.instance.memory.clone();
-        let (ru, now) =
-            k(c, |kk, tid| Ok::<_, SysError>((kk.rusage_of(tid), kk.clock.monotonic_ns())))?;
+        let (ru, now) = k(c, |kk, tid| {
+            Ok::<_, SysError>((kk.rusage_of(tid), kk.clock.monotonic_ns()))
+        })?;
         // clock_t at 100 Hz.
         let tick = |ns: u64| ns / 10_000_000;
         let mut image = [0u8; 32];
@@ -147,16 +157,24 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     // Identity.
     sys!(l, "getuid", |c: C, _a: &[Value]| -> R {
-        k(c, |kk, tid| Ok(kk.task(tid).map_err(SysError::Err)?.uid as i64))
+        k(c, |kk, tid| {
+            Ok(kk.task(tid).map_err(SysError::Err)?.uid as i64)
+        })
     });
     sys!(l, "geteuid", |c: C, _a: &[Value]| -> R {
-        k(c, |kk, tid| Ok(kk.task(tid).map_err(SysError::Err)?.euid as i64))
+        k(c, |kk, tid| {
+            Ok(kk.task(tid).map_err(SysError::Err)?.euid as i64)
+        })
     });
     sys!(l, "getgid", |c: C, _a: &[Value]| -> R {
-        k(c, |kk, tid| Ok(kk.task(tid).map_err(SysError::Err)?.gid as i64))
+        k(c, |kk, tid| {
+            Ok(kk.task(tid).map_err(SysError::Err)?.gid as i64)
+        })
     });
     sys!(l, "getegid", |c: C, _a: &[Value]| -> R {
-        k(c, |kk, tid| Ok(kk.task(tid).map_err(SysError::Err)?.egid as i64))
+        k(c, |kk, tid| {
+            Ok(kk.task(tid).map_err(SysError::Err)?.egid as i64)
+        })
     });
     sys!(l, "setuid", |c: C, a: &[Value]| -> R {
         let uid = arg(a, 0) as u32;
@@ -302,7 +320,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     sysx!(l, "fork", |c: C, _a: &[Value]| -> X {
         match k(c, |kk, tid| kk.sys_fork(tid)) {
-            Ok(child) => suspend(WaliSuspend::Fork { child_tid: child as i32 }),
+            Ok(child) => suspend(WaliSuspend::Fork {
+                child_tid: child as i32,
+            }),
             Err(SysError::Err(e)) => errno_out(e),
             Err(SysError::Block(_)) => errno_out(Errno::Eagain),
         }
@@ -310,7 +330,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     sysx!(l, "vfork", |c: C, _a: &[Value]| -> X {
         match k(c, |kk, tid| kk.sys_fork(tid)) {
-            Ok(child) => suspend(WaliSuspend::Fork { child_tid: child as i32 }),
+            Ok(child) => suspend(WaliSuspend::Fork {
+                child_tid: child as i32,
+            }),
             Err(SysError::Err(e)) => errno_out(e),
             Err(SysError::Block(_)) => errno_out(Errno::Eagain),
         }
@@ -368,9 +390,15 @@ fn do_getrlimit(c: C, resource: i32, ptr: u32) -> R {
             let n = k(c, |kk, tid| {
                 Ok::<_, SysError>(kk.task(tid).map_err(SysError::Err)?.fdtable.borrow().limit)
             })?;
-            WaliRlimit { cur: n as u64, max: n as u64 }
+            WaliRlimit {
+                cur: n as u64,
+                max: n as u64,
+            }
         }
-        _ => WaliRlimit { cur: RLIM_INFINITY, max: RLIM_INFINITY },
+        _ => WaliRlimit {
+            cur: RLIM_INFINITY,
+            max: RLIM_INFINITY,
+        },
     };
     let mut buf = [0u8; WaliRlimit::SIZE];
     lim.write_to(&mut buf).map_err(SysError::Err)?;

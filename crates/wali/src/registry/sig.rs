@@ -30,7 +30,12 @@ fn deref_handler(c: C, table_index: u32) -> Result<u32, Errno> {
         .copied()
         .flatten()
         .ok_or(Errno::Einval)?;
-    let def = c.instance.program.funcs.get(func as usize).ok_or(Errno::Einval)?;
+    let def = c
+        .instance
+        .program
+        .funcs
+        .get(func as usize)
+        .ok_or(Errno::Einval)?;
     let ty_idx = match def {
         FuncDef::Local(p) => p.ty,
         FuncDef::Host { ty, .. } => *ty,
@@ -139,7 +144,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                 let t = kk.task_mut(tid).map_err(SysError::Err)?;
                 t.pending.mask();
                 t.pending.take_deliverable(SigSet(!0 ^ (1 << (signo - 1))));
-                t.shared_pending.borrow_mut().take_deliverable(SigSet(!0 ^ (1 << (signo - 1))));
+                t.shared_pending
+                    .borrow_mut()
+                    .take_deliverable(SigSet(!0 ^ (1 << (signo - 1))));
                 return Ok(signo as i64);
             }
             let deadline = match retry_deadline {
@@ -151,8 +158,8 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                         wali_abi::layout::WaliTimespec::SIZE,
                     )
                     .map_err(SysError::Err)?;
-                    let ts = wali_abi::layout::WaliTimespec::read_from(&raw)
-                        .map_err(SysError::Err)?;
+                    let ts =
+                        wali_abi::layout::WaliTimespec::read_from(&raw).map_err(SysError::Err)?;
                     Some(kk.clock.monotonic_ns() + ts.to_nanos().unwrap_or(0))
                 }
                 None => None,
@@ -180,7 +187,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         Ok(0)
     });
 
-    sys!(l, "pause", |c: C, _a: &[Value]| -> R { k(c, |kk, tid| kk.sys_pause(tid)) });
+    sys!(l, "pause", |c: C, _a: &[Value]| -> R {
+        k(c, |kk, tid| kk.sys_pause(tid))
+    });
 
     sys!(l, "alarm", |c: C, a: &[Value]| -> R {
         let secs = arg(a, 0) as u32;

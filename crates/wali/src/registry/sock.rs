@@ -8,15 +8,18 @@ use wasm::interp::Value;
 
 use crate::context::WaliContext;
 use crate::mem::{
-    arg, arg_i32, arg_ptr, read_bytes, read_u32, with_slice, with_slice_mut, write_bytes,
-    write_u32,
+    arg, arg_i32, arg_ptr, read_bytes, read_u32, with_slice, with_slice_mut, write_bytes, write_u32,
 };
 use crate::registry::{flat, k, sys};
 
 type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
 type R = Result<i64, SysError>;
 
-fn read_sockaddr(c: &mut Caller<'_, WaliContext>, ptr: u32, len: usize) -> Result<WaliSockaddr, Errno> {
+fn read_sockaddr(
+    c: &mut Caller<'_, WaliContext>,
+    ptr: u32,
+    len: usize,
+) -> Result<WaliSockaddr, Errno> {
     let raw = read_bytes(&c.instance.memory, ptr, len.clamp(2, 128))?;
     WaliSockaddr::read_from(&raw)
 }
@@ -32,7 +35,11 @@ fn write_sockaddr(
     }
     let mut buf = [0u8; 128];
     let n = addr.write_to(&mut buf)?;
-    let cap = if len_ptr != 0 { read_u32(&c.instance.memory, len_ptr)? as usize } else { n };
+    let cap = if len_ptr != 0 {
+        read_u32(&c.instance.memory, len_ptr)? as usize
+    } else {
+        n
+    };
     let out = n.min(cap);
     write_bytes(&c.instance.memory, ptr, &buf[..out])?;
     if len_ptr != 0 {
@@ -110,7 +117,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         };
         let mem = c.instance.memory.clone();
         flat(with_slice(&mem, ptr, len, |buf| {
-            k(c, |kk, tid| kk.sys_sendto(tid, fd, buf, flags, dest.clone()))
+            k(c, |kk, tid| {
+                kk.sys_sendto(tid, fd, buf, flags, dest.clone())
+            })
         }))
         .map(|n| n as i64)
     });
@@ -136,8 +145,12 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     });
 
     // sendmsg/recvmsg: parse the wasm32 msghdr (name/namelen, iov/iovlen).
-    sys!(l, "sendmsg", |c: C, a: &[Value]| -> R { do_msg(c, a, true) });
-    sys!(l, "recvmsg", |c: C, a: &[Value]| -> R { do_msg(c, a, false) });
+    sys!(l, "sendmsg", |c: C, a: &[Value]| -> R {
+        do_msg(c, a, true)
+    });
+    sys!(l, "recvmsg", |c: C, a: &[Value]| -> R {
+        do_msg(c, a, false)
+    });
 
     sys!(l, "setsockopt", |c: C, a: &[Value]| -> R {
         let (fd, level, name, val_ptr) =
@@ -147,8 +160,13 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     });
 
     sys!(l, "getsockopt", |c: C, a: &[Value]| -> R {
-        let (fd, level, name, val_ptr, len_ptr) =
-            (arg_i32(a, 0), arg_i32(a, 1), arg_i32(a, 2), arg_ptr(a, 3), arg_ptr(a, 4));
+        let (fd, level, name, val_ptr, len_ptr) = (
+            arg_i32(a, 0),
+            arg_i32(a, 1),
+            arg_i32(a, 2),
+            arg_ptr(a, 3),
+            arg_ptr(a, 4),
+        );
         let mem = c.instance.memory.clone();
         let v = k(c, |kk, tid| kk.sys_getsockopt(tid, fd, level, name))?;
         write_u32(&mem, val_ptr, v as u32).map_err(SysError::Err)?;
@@ -185,8 +203,12 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     // select(nfds, readfds, writefds, exceptfds, timeval) over fd_set
     // bitmaps, lowered onto the same readiness check.
-    sys!(l, "select", |c: C, a: &[Value]| -> R { do_select(c, a, false) });
-    sys!(l, "pselect6", |c: C, a: &[Value]| -> R { do_select(c, a, true) });
+    sys!(l, "select", |c: C, a: &[Value]| -> R {
+        do_select(c, a, false)
+    });
+    sys!(l, "pselect6", |c: C, a: &[Value]| -> R {
+        do_select(c, a, true)
+    });
 
     // The epoll family, backed by the kernel's waitqueues: a blocked
     // `epoll_wait` parks on its interest list's wait channels and is
@@ -208,14 +230,20 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             // EPOLL_CTL_DEL accepts a NULL event since Linux 2.6.9.
             (0, 0)
         };
-        k(c, |kk, tid| kk.sys_epoll_ctl(tid, epfd, op, fd, events, data))
+        k(c, |kk, tid| {
+            kk.sys_epoll_ctl(tid, epfd, op, fd, events, data)
+        })
     });
 
     // epoll_wait(epfd, events, maxevents, timeout_ms) — epoll_pwait adds
     // a sigmask argument this model accepts and ignores (handler dispatch
     // is engine-managed, §3.3).
-    sys!(l, "epoll_wait", |c: C, a: &[Value]| -> R { do_epoll_wait(c, a) });
-    sys!(l, "epoll_pwait", |c: C, a: &[Value]| -> R { do_epoll_wait(c, a) });
+    sys!(l, "epoll_wait", |c: C, a: &[Value]| -> R {
+        do_epoll_wait(c, a)
+    });
+    sys!(l, "epoll_pwait", |c: C, a: &[Value]| -> R {
+        do_epoll_wait(c, a)
+    });
 }
 
 /// The shared blocking tail of the readiness syscalls (`poll`, `select`,
@@ -262,10 +290,15 @@ fn do_epoll_wait(c: C, a: &[Value]) -> R {
     }
     let mem = c.instance.memory.clone();
     let retry_deadline = c.data.retry_deadline.take();
-    let ready = k(c, |kk, tid| kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize))?;
+    let ready = k(c, |kk, tid| {
+        kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize)
+    })?;
     if !ready.is_empty() || timeout_ms == 0 {
         for (i, (events, data)) in ready.iter().enumerate() {
-            let ev = WaliEpollEvent { events: *events, data: *data };
+            let ev = WaliEpollEvent {
+                events: *events,
+                data: *data,
+            };
             let mut buf = [0u8; WaliEpollEvent::SIZE];
             ev.write_to(&mut buf).map_err(SysError::Err)?;
             write_bytes(&mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
@@ -314,7 +347,9 @@ fn do_msg(c: C, a: &[Value], send: bool) -> R {
             }))?
         } else {
             flat(with_slice_mut(&mem, iov.base, iov.len as usize, |buf| {
-                k(c, |kk, tid| kk.sys_recvfrom(tid, fd, buf, flags).map(|(n, _)| n))
+                k(c, |kk, tid| {
+                    kk.sys_recvfrom(tid, fd, buf, flags).map(|(n, _)| n)
+                })
             }))?
         };
         total += n as i64;
@@ -351,14 +386,15 @@ fn do_poll(c: C, fds_ptr: u32, nfds: usize, timeout_ms: i64) -> R {
         return Ok(ready as i64);
     }
     // Nothing ready: block with the timeout deadline.
-    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| kk.wait_on_fds(tid, &pairs))?;
+    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
+        kk.wait_on_fds(tid, &pairs)
+    })?;
     // Timed out: zero revents, return 0.
     for (i, p) in fds.iter_mut().enumerate() {
         p.revents = 0;
         let mut buf = [0u8; WaliPollFd::SIZE];
         p.write_to(&mut buf).map_err(SysError::Err)?;
-        write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
-            .map_err(SysError::Err)?;
+        write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf).map_err(SysError::Err)?;
     }
     Ok(0)
 }
@@ -429,6 +465,8 @@ fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
         return Ok(ready as i64);
     }
 
-    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| kk.wait_on_fds(tid, &pairs))?;
+    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
+        kk.wait_on_fds(tid, &pairs)
+    })?;
     Ok(0)
 }

@@ -77,6 +77,8 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let tid = caller.data.tid;
         let _ = caller.data.kernel.borrow_mut().sys_exit_group(tid, code);
         caller.data.exited = Some(code);
-        Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Exit { code })))
+        Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Exit {
+            code,
+        })))
     });
 }

@@ -276,14 +276,22 @@ impl WaliRunner {
         let fuse = self.fuse.unwrap_or_else(wasm::prep::fuse_default);
         let program = Program::link_with(module, &self.linker, self.scheme, fuse)
             .map_err(RunnerError::Link)?;
-        let _ = self.kernel.borrow_mut().vfs.write_file(path, b"\0asm\x01\0\0\0");
+        let _ = self
+            .kernel
+            .borrow_mut()
+            .vfs
+            .write_file(path, b"\0asm\x01\0\0\0");
         self.programs.insert(path.to_string(), Arc::new(program));
         // (Re)build the dense handler table, but only when the linker
         // could have changed since the last build.
         if self.handlers_dirty {
             self.handlers = wali_abi::spec::SPEC
                 .iter()
-                .map(|s| self.linker.resolve(crate::WALI_MODULE, &s.import_name()).cloned())
+                .map(|s| {
+                    self.linker
+                        .resolve(crate::WALI_MODULE, &s.import_name())
+                        .cloned()
+                })
                 .collect();
             self.handlers_dirty = false;
         }
@@ -291,12 +299,7 @@ impl WaliRunner {
     }
 
     /// Spawns a process running the program registered at `path`.
-    pub fn spawn(
-        &mut self,
-        path: &str,
-        args: &[&str],
-        env: &[&str],
-    ) -> Result<Tid, RunnerError> {
+    pub fn spawn(&mut self, path: &str, args: &[&str], env: &[&str]) -> Result<Tid, RunnerError> {
         let program = self
             .programs
             .get(path)
@@ -322,7 +325,10 @@ impl WaliRunner {
             instance,
             thread: Thread::new(),
             ctx,
-            pending: Some(Pending::Start { func: entry, args: Vec::new() }),
+            pending: Some(Pending::Start {
+                func: entry,
+                args: Vec::new(),
+            }),
         });
         Ok(tid)
     }
@@ -476,7 +482,10 @@ impl WaliRunner {
             })
             .min();
         let timer_min = self.kernel.borrow().next_timer_deadline();
-        let Some(deadline) = [parked_min, queued_min, timer_min].into_iter().flatten().min()
+        let Some(deadline) = [parked_min, queued_min, timer_min]
+            .into_iter()
+            .flatten()
+            .min()
         else {
             return Err(RunnerError::Deadlock(self.blocked_report()));
         };
@@ -573,12 +582,20 @@ impl WaliRunner {
             slot.thread.refuel(Some(FUEL_SLICE));
             let r = match pending {
                 Pending::Start { func, args } => {
-                    slot.thread.call(&mut slot.instance, &mut slot.ctx, func, &args)
+                    slot.thread
+                        .call(&mut slot.instance, &mut slot.ctx, func, &args)
                 }
                 Pending::Resume(values) => {
-                    slot.thread.resume(&mut slot.instance, &mut slot.ctx, &values)
+                    slot.thread
+                        .resume(&mut slot.instance, &mut slot.ctx, &values)
                 }
-                Pending::Retry { module, import, sysno, args, deadline } => {
+                Pending::Retry {
+                    module,
+                    import,
+                    sysno,
+                    args,
+                    deadline,
+                } => {
                     slot.ctx.retry_deadline = deadline;
                     // Fast path: WALI syscalls retry through the dense
                     // pre-resolved handler table; other modules (layered
@@ -595,11 +612,14 @@ impl WaliRunner {
                             .expect("retry of a registered function")
                             .clone(),
                     };
-                    let mut caller =
-                        Caller { instance: &slot.instance, data: &mut slot.ctx };
+                    let mut caller = Caller {
+                        instance: &slot.instance,
+                        data: &mut slot.ctx,
+                    };
                     match f(&mut caller, &args) {
                         Ok(values) => {
-                            slot.thread.resume(&mut slot.instance, &mut slot.ctx, &values)
+                            slot.thread
+                                .resume(&mut slot.instance, &mut slot.ctx, &values)
                         }
                         Err(HostOutcome::Trap(t)) => RunResult::Trapped(t),
                         Err(HostOutcome::Suspend(s)) => RunResult::Suspended(s),
@@ -667,7 +687,13 @@ impl WaliRunner {
                 self.finish_task(tid, Some(TaskEnd::Exited(code)));
                 Ok(true)
             }
-            WaliSuspend::Blocked { module, import, sysno, args, deadline } => {
+            WaliSuspend::Blocked {
+                module,
+                import,
+                sysno,
+                args,
+                deadline,
+            } => {
                 // Re-blocking counts as progress only if the task actually
                 // executed wasm since its last block (a completed retry
                 // that blocked again made real progress; an immediately
@@ -677,8 +703,13 @@ impl WaliRunner {
                     self.outcome.sched.blocked_retries += 1;
                 }
                 if let Some(slot) = self.tasks.get_mut(&tid) {
-                    slot.pending =
-                        Some(Pending::Retry { module, import, sysno, args, deadline });
+                    slot.pending = Some(Pending::Retry {
+                        module,
+                        import,
+                        sysno,
+                        args,
+                        deadline,
+                    });
                     slot.ctx.with_kernel(|k| {
                         if let Ok(t) = k.task_mut(tid) {
                             t.rusage.nvcsw += 1;
@@ -713,7 +744,11 @@ impl WaliRunner {
                 self.requeue(tid, Pending::Resume(vec![Value::I64(child_tid as i64)]));
                 Ok(true)
             }
-            WaliSuspend::Clone { child_tid, share_vm, thread } => {
+            WaliSuspend::Clone {
+                child_tid,
+                share_vm,
+                thread,
+            } => {
                 let child = {
                     let slot = self.tasks.get(&tid).expect("live task");
                     let instance = if share_vm {
@@ -740,31 +775,42 @@ impl WaliRunner {
             }
             WaliSuspend::Exec { path, argv, envp } => {
                 let Some(program) = self.programs.get(&path).cloned() else {
-                    self.requeue(tid, Pending::Resume(vec![Value::I64(Errno::Enoent.as_ret())]));
+                    self.requeue(
+                        tid,
+                        Pending::Resume(vec![Value::I64(Errno::Enoent.as_ret())]),
+                    );
                     return Ok(true);
                 };
                 {
                     let mut k = self.kernel.borrow_mut();
                     let _ = k.sys_execve(tid);
                 }
-                let instance =
-                    Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
+                let instance = Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
                 let entry = instance
                     .export_func("_start")
                     .or_else(|| instance.export_func("main"))
                     .ok_or(RunnerError::NoEntry("_start"))?;
-                let old_trace =
-                    self.tasks.get(&tid).map(|s| s.ctx.trace.clone()).unwrap_or_default();
-                let mut ctx =
-                    WaliContext::new(self.kernel.clone(), tid, program.data_end());
-                ctx.args = if argv.is_empty() { vec![path.clone()] } else { argv };
+                let old_trace = self
+                    .tasks
+                    .get(&tid)
+                    .map(|s| s.ctx.trace.clone())
+                    .unwrap_or_default();
+                let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
+                ctx.args = if argv.is_empty() {
+                    vec![path.clone()]
+                } else {
+                    argv
+                };
                 ctx.env = envp;
                 ctx.trace = old_trace;
                 let slot = self.tasks.get_mut(&tid).expect("live task");
                 slot.instance = instance;
                 slot.thread = Thread::new();
                 slot.ctx = ctx;
-                slot.pending = Some(Pending::Start { func: entry, args: Vec::new() });
+                slot.pending = Some(Pending::Start {
+                    func: entry,
+                    args: Vec::new(),
+                });
                 self.run_queue.push_back(tid);
                 Ok(true)
             }
@@ -777,7 +823,9 @@ impl WaliRunner {
     }
 
     fn finish_task(&mut self, tid: Tid, end: Option<TaskEnd>) {
-        let Some(slot) = self.tasks.remove(&tid) else { return };
+        let Some(slot) = self.tasks.remove(&tid) else {
+            return;
+        };
         self.unpark(tid);
         let end = end.unwrap_or_else(|| {
             // Pull the status from the kernel (killed by signal or exited
@@ -793,8 +841,10 @@ impl WaliRunner {
                 _ => TaskEnd::Exited(slot.ctx.exited.unwrap_or(0)),
             }
         });
-        self.outcome.peak_memory_pages =
-            self.outcome.peak_memory_pages.max(slot.instance.memory.peak_pages());
+        self.outcome.peak_memory_pages = self
+            .outcome
+            .peak_memory_pages
+            .max(slot.instance.memory.peak_pages());
         self.outcome.trace.merge(&slot.ctx.trace);
         if Some(slot.tid) == self.main_tid {
             self.outcome.main_exit = Some(end.clone());

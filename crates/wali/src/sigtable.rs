@@ -32,7 +32,9 @@ impl Default for SigTable {
 impl SigTable {
     /// An empty table.
     pub fn new() -> SigTable {
-        SigTable { entries: [None; NSIG] }
+        SigTable {
+            entries: [None; NSIG],
+        }
     }
 
     /// Registers a handler, returning the previous entry.
@@ -65,10 +67,16 @@ mod tests {
     fn set_get_replace() {
         let mut t = SigTable::new();
         assert_eq!(t.get(2), None);
-        let e = SigEntry { table_index: 3, func_index: 17 };
+        let e = SigEntry {
+            table_index: 3,
+            func_index: 17,
+        };
         assert_eq!(t.set(2, Some(e)), None);
         assert_eq!(t.get(2), Some(e));
-        let e2 = SigEntry { table_index: 4, func_index: 18 };
+        let e2 = SigEntry {
+            table_index: 4,
+            func_index: 18,
+        };
         assert_eq!(t.set(2, Some(e2)), Some(e));
         assert_eq!(t.set(2, None), Some(e2));
         assert_eq!(t.get(2), None);

@@ -26,7 +26,10 @@ pub struct SysCounts {
 
 impl Default for SysCounts {
     fn default() -> Self {
-        SysCounts { dense: Box::new([0; SPEC_LEN]), named: BTreeMap::new() }
+        SysCounts {
+            dense: Box::new([0; SPEC_LEN]),
+            named: BTreeMap::new(),
+        }
     }
 }
 

@@ -64,52 +64,118 @@ fn stress_program() -> Module {
         // --- pipe readers: each blocks on its own empty pipe. ------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i32(fds as i32).local_get(i).i32(8).mul32().add32().extend_u()
-                .call(pipe).drop_();
-            b.i32(fds as i32).local_get(i).i32(8).mul32().add32().load32(0)
-                .extend_u().local_set(rfd);
-            b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+            b.i32(fds as i32)
+                .local_get(i)
+                .i32(8)
+                .mul32()
+                .add32()
+                .extend_u()
+                .call(pipe)
+                .drop_();
+            b.i32(fds as i32)
+                .local_get(i)
+                .i32(8)
+                .mul32()
+                .add32()
+                .load32(0)
+                .extend_u()
+                .local_set(rfd);
+            b.i64(0x10900)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .call(clone)
+                .local_set(t);
             b.local_get(t).i64(0).eq64();
             b.if_(BlockType::Empty, |b| {
                 // Child: block until the main thread writes one byte.
                 b.local_get(rfd).i64(buf as i64).i64(1).call(read).drop_();
-                b.i32(counter).i32(counter).load32(0).i32(1).add32().store32(0);
+                b.i32(counter)
+                    .i32(counter)
+                    .load32(0)
+                    .i32(1)
+                    .add32()
+                    .store32(0);
                 b.i64(0).call(exit).drop_();
             });
-            b.local_get(i).i32(1).add32().local_tee(i)
-                .i32(PIPE_TASKS as i32).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(PIPE_TASKS as i32)
+                .lt_s32()
+                .br_if(0);
         });
 
         // --- futex waiters: all park on one word. ------------------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+            b.i64(0x10900)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .call(clone)
+                .local_set(t);
             b.local_get(t).i64(0).eq64();
             b.if_(BlockType::Empty, |b| {
                 // FUTEX_WAIT while *fword == 0; returns once woken.
-                b.i64(fword as i64).i64(0).i64(0).i64(0).i64(0).i64(0)
-                    .call(futex).drop_();
-                b.i32(counter).i32(counter).load32(0).i32(1).add32().store32(0);
+                b.i64(fword as i64)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .i64(0)
+                    .call(futex)
+                    .drop_();
+                b.i32(counter)
+                    .i32(counter)
+                    .load32(0)
+                    .i32(1)
+                    .add32()
+                    .store32(0);
                 b.i64(0).call(exit).drop_();
             });
-            b.local_get(i).i32(1).add32().local_tee(i)
-                .i32(FUTEX_TASKS as i32).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(FUTEX_TASKS as i32)
+                .lt_s32()
+                .br_if(0);
         });
 
         // --- timer sleepers: park on a virtual deadline. -----------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+            b.i64(0x10900)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .i64(0)
+                .call(clone)
+                .local_set(t);
             b.local_get(t).i64(0).eq64();
             b.if_(BlockType::Empty, |b| {
                 b.i32(ts as i32).i64(0).store64(0);
                 b.i32(ts as i32).i64(2_000_000).store64(8); // 2 ms virtual
                 b.i64(ts as i64).i64(0).call(nanosleep).drop_();
-                b.i32(counter).i32(counter).load32(0).i32(1).add32().store32(0);
+                b.i32(counter)
+                    .i32(counter)
+                    .load32(0)
+                    .i32(1)
+                    .add32()
+                    .store32(0);
                 b.i64(0).call(exit).drop_();
             });
-            b.local_get(i).i32(1).add32().local_tee(i)
-                .i32(TIMER_TASKS as i32).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(TIMER_TASKS as i32)
+                .lt_s32()
+                .br_if(0);
         });
 
         // --- main: sleep (timer path), then fire every wake-up. ----------
@@ -119,15 +185,35 @@ fn stress_program() -> Module {
         // One byte into each pipe.
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i32(fds as i32).local_get(i).i32(8).mul32().add32().load32(4)
-                .extend_u().i64(buf as i64).i64(1).call(write).drop_();
-            b.local_get(i).i32(1).add32().local_tee(i)
-                .i32(PIPE_TASKS as i32).lt_s32().br_if(0);
+            b.i32(fds as i32)
+                .local_get(i)
+                .i32(8)
+                .mul32()
+                .add32()
+                .load32(4)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(1)
+                .call(write)
+                .drop_();
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(PIPE_TASKS as i32)
+                .lt_s32()
+                .br_if(0);
         });
         // Set the word and wake every futex waiter.
         b.i32(fword as i32).i32(1).store32(0);
-        b.i64(fword as i64).i64(1).i64(i32::MAX as i64).i64(0).i64(0).i64(0)
-            .call(futex).drop_();
+        b.i64(fword as i64)
+            .i64(1)
+            .i64(i32::MAX as i64)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(futex)
+            .drop_();
         // Wait for all wake-ups to be observed (sleep-poll rather than a
         // wasm spin: a spin would advance virtual time only ~3 µs per
         // scheduler pass in the polling baseline and make the A/B run
@@ -153,7 +239,9 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
     let mut runner = WaliRunner::new_default();
     runner.set_fuse(fuse);
     runner.set_event_driven(event_driven);
-    runner.register_program("/usr/bin/stress", &module).expect("register");
+    runner
+        .register_program("/usr/bin/stress", &module)
+        .expect("register");
     runner.spawn("/usr/bin/stress", &[], &[]).expect("spawn");
     runner.run().expect("run")
 }
@@ -161,7 +249,12 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
 fn assert_event_driven_contract(fuse: bool) {
     let out = run_stress(fuse, true);
     // Every task was woken by its event: the counter reached TASKS.
-    assert_eq!(out.exit_code(), Some(0), "no starvation (fuse={fuse}): {:?}", out.main_exit);
+    assert_eq!(
+        out.exit_code(),
+        Some(0),
+        "no starvation (fuse={fuse}): {:?}",
+        out.main_exit
+    );
     // Wakeup work is bounded by the task count, not by scheduler passes:
     // each task parks about once and is retried about once. The bound is
     // deliberately loose (spurious wakeups are legal) but far below any
@@ -174,8 +267,16 @@ fn assert_event_driven_contract(fuse: bool) {
         TASKS,
         out.sched
     );
-    assert!(out.sched.parks >= TASKS as u64, "every blocked task parks: {:?}", out.sched);
-    assert!(out.sched.wakeups >= PIPE_TASKS as u64 + FUTEX_TASKS as u64, "{:?}", out.sched);
+    assert!(
+        out.sched.parks >= TASKS as u64,
+        "every blocked task parks: {:?}",
+        out.sched
+    );
+    assert!(
+        out.sched.wakeups >= PIPE_TASKS as u64 + FUTEX_TASKS as u64,
+        "{:?}",
+        out.sched
+    );
 }
 
 #[test]
@@ -238,7 +339,13 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
         b.i64(fds_a as i64).call(pipe).drop_();
         b.i64(fds_b as i64).call(pipe).drop_();
         // Sleeper: 50 µs, then raise the flag at [512].
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(t);
         b.local_get(t).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             b.i32(ts as i32).i64(0).store64(0);
@@ -248,23 +355,49 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
             b.i64(0).call(exit).drop_();
         });
         // Ponger: echo A → B forever (killed by main's exit_group).
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(t);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(t);
         b.local_get(t).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             b.loop_(BlockType::Empty, |b| {
-                b.i32(fds_a as i32).load32(0).extend_u().i64(buf as i64).i64(1)
-                    .call(read).drop_();
-                b.i32(fds_b as i32).load32(4).extend_u().i64(buf as i64).i64(1)
-                    .call(write).drop_();
+                b.i32(fds_a as i32)
+                    .load32(0)
+                    .extend_u()
+                    .i64(buf as i64)
+                    .i64(1)
+                    .call(read)
+                    .drop_();
+                b.i32(fds_b as i32)
+                    .load32(4)
+                    .extend_u()
+                    .i64(buf as i64)
+                    .i64(1)
+                    .call(write)
+                    .drop_();
                 b.i32(1).br_if(0);
             });
         });
         // Pinger (main): bounce until the flag rises or the cap is hit.
         b.loop_(BlockType::Empty, |b| {
-            b.i32(fds_a as i32).load32(4).extend_u().i64(buf as i64).i64(1)
-                .call(write).drop_();
-            b.i32(fds_b as i32).load32(0).extend_u().i64(buf as i64).i64(1)
-                .call(read).drop_();
+            b.i32(fds_a as i32)
+                .load32(4)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(1)
+                .call(write)
+                .drop_();
+            b.i32(fds_b as i32)
+                .load32(0)
+                .extend_u()
+                .i64(buf as i64)
+                .i64(1)
+                .call(read)
+                .drop_();
             b.local_get(rounds).i32(1).add32().local_set(rounds);
             b.i32(512).load32(0).eqz32();
             b.local_get(rounds).i32(20_000).lt_s32().and32();
@@ -272,9 +405,10 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
         });
         // Exit 0 iff the flag rose within the prompt-wakeup budget.
         b.i32(512).load32(0).eqz32();
-        b.local_get(rounds).i32(5000).ge_s32().emit(wasm::instr::Instr::Bin(
-            wasm::instr::BinOp::I32Or,
-        ));
+        b.local_get(rounds)
+            .i32(5000)
+            .ge_s32()
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I32Or));
     });
     mb.export("_start", main);
 
@@ -282,10 +416,17 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
     let module = wasm::decode::decode(&bytes).expect("round trip");
     let mut runner = WaliRunner::new_default();
     runner.set_event_driven(true);
-    runner.register_program("/usr/bin/busy", &module).expect("register");
+    runner
+        .register_program("/usr/bin/busy", &module)
+        .expect("register");
     runner.spawn("/usr/bin/busy", &[], &[]).expect("spawn");
     let out = runner.run().expect("run");
-    assert_eq!(out.exit_code(), Some(0), "sleep completed promptly: {:?}", out.main_exit);
+    assert_eq!(
+        out.exit_code(),
+        Some(0),
+        "sleep completed promptly: {:?}",
+        out.main_exit
+    );
 }
 
 #[test]

@@ -56,9 +56,17 @@ fn open_write_read_file_round_trip() {
     let main = mb.func(main_sig, |b| {
         let fd_local = b.local(I64);
         // fd = open(path, O_CREAT|O_RDWR = 0o102, 0o644)
-        b.i64(path as i64).i64(0o102).i64(0o644).call(open).local_set(fd_local);
+        b.i64(path as i64)
+            .i64(0o102)
+            .i64(0o644)
+            .call(open)
+            .local_set(fd_local);
         // write(fd, content, 9)
-        b.local_get(fd_local).i64(content as i64).i64(9).call(write).drop_();
+        b.local_get(fd_local)
+            .i64(content as i64)
+            .i64(9)
+            .call(write)
+            .drop_();
         // lseek(fd, 0, SEEK_SET)
         b.local_get(fd_local).i64(0).i64(0).call(lseek).drop_();
         // n = read(fd, buf, 64)
@@ -69,11 +77,15 @@ fn open_write_read_file_round_trip() {
         b.i64(9).eq64();
         b.i32(buf as i32).load8u(0).i32('p' as i32).eq32();
         b.and32();
-        b.if_else(BlockType::Value(I32), |b| {
-            b.i32(0);
-        }, |b| {
-            b.i32(1);
-        });
+        b.if_else(
+            BlockType::Value(I32),
+            |b| {
+                b.i32(0);
+            },
+            |b| {
+                b.i32(1);
+            },
+        );
     });
     mb.export("_start", main);
     let out = run(&mb.build(), &[]);
@@ -146,14 +158,22 @@ fn pipe_between_fork_halves() {
         b.i64(12).eq64();
         b.i32(buf as i32).load8u(0).i32('t' as i32).eq32();
         b.and32();
-        b.if_else(BlockType::Value(I32), |b| {
-            b.i32(0);
-        }, |b| {
-            b.i32(1);
-        });
+        b.if_else(
+            BlockType::Value(I32),
+            |b| {
+                b.i32(0);
+            },
+            |b| {
+                b.i32(1);
+            },
+        );
         // tidy: close both ends.
         b.i32(fds as i32).load32(0).extend_u().call(close).drop_();
-        b.i32(fds as i32 + 4).load32(0).extend_u().call(close).drop_();
+        b.i32(fds as i32 + 4)
+            .load32(0)
+            .extend_u()
+            .call(close)
+            .drop_();
     });
     mb.export("_start", main);
     let out = run(&mb.build(), &[]);
@@ -186,7 +206,12 @@ fn signal_handler_runs_at_safepoint() {
         // act.handler = table index 2; flags = 0; mask = 0.
         b.i32(act as i32).i32(2).store32(0);
         // rt_sigaction(SIGUSR1=10, act, 0, 8)
-        b.i64(10).i64(act as i64).i64(0).i64(8).call(sigaction).drop_();
+        b.i64(10)
+            .i64(act as i64)
+            .i64(0)
+            .i64(8)
+            .call(sigaction)
+            .drop_();
         // kill(getpid(), SIGUSR1)
         b.call(getpid).i64(10).call(kill).drop_();
         // Spin until the handler fires (loop-header safepoints poll).
@@ -258,7 +283,14 @@ fn mmap_munmap_and_brk() {
         let p = b.local(I64);
         let b0 = b.local(I64);
         // p = mmap(0, 8192, RW=3, MAP_PRIVATE|ANON=0x22, -1, 0)
-        b.i64(0).i64(8192).i64(3).i64(0x22).i64(-1).i64(0).call(mmap).local_set(p);
+        b.i64(0)
+            .i64(8192)
+            .i64(3)
+            .i64(0x22)
+            .i64(-1)
+            .i64(0)
+            .call(mmap)
+            .local_set(p);
         // *(i32*)p = 7 — the mapping is real linear memory.
         b.local_get(p).wrap().i32(7).store32(0);
         b.local_get(p).wrap().load32(0).i32(7).ne32();
@@ -339,8 +371,18 @@ fn argv_support_methods() {
     let main = mb.func(main_sig, |b| {
         let n = b.local(I32);
         // copy argv[1] into buf and write it (length excludes the NUL).
-        b.i32(buf as i32).i32(1).call(copy_argv).i32(1).sub32().local_set(n);
-        b.i64(1).i64(buf as i64).local_get(n).extend_u().call(write).drop_();
+        b.i32(buf as i32)
+            .i32(1)
+            .call(copy_argv)
+            .i32(1)
+            .sub32()
+            .local_set(n);
+        b.i64(1)
+            .i64(buf as i64)
+            .local_get(n)
+            .extend_u()
+            .call(write)
+            .drop_();
         b.call(get_argc);
         b.i32(1).call(get_argv_len).add32();
     });
@@ -381,9 +423,8 @@ fn proc_self_mem_is_interposed() {
     let main = mb.func(main_sig, |b| {
         // open returns -EACCES (-13): return the negated errno.
         b.i64(path as i64).i64(2).i64(0).call(open);
-        b.emit(wasm::instr::Instr::I64Const(-1)).emit(wasm::instr::Instr::Bin(
-            wasm::instr::BinOp::I64Mul,
-        ));
+        b.emit(wasm::instr::Instr::I64Const(-1))
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
         b.wrap();
     });
     mb.export("_start", main);
@@ -403,7 +444,13 @@ fn clone_thread_shares_memory() {
     let main = mb.func(main_sig, |b| {
         let pid = b.local(I64);
         // CLONE_VM|CLONE_THREAD|CLONE_SIGHAND = 0x10900
-        b.i64(0x10900).i64(0).i64(0).i64(0).i64(0).call(clone).local_set(pid);
+        b.i64(0x10900)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .i64(0)
+            .call(clone)
+            .local_set(pid);
         b.local_get(pid).i64(0).eq64();
         b.if_(BlockType::Empty, |b| {
             // "thread": share the same linear memory.
@@ -464,7 +511,13 @@ fn time_breakdown_is_populated() {
         let i = b.local(I32);
         b.loop_(BlockType::Empty, |b| {
             b.i64(1).i64(msg as i64).i64(1).call(write).drop_();
-            b.local_get(i).i32(1).add32().local_tee(i).i32(200).lt_s32().br_if(0);
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(200)
+                .lt_s32()
+                .br_if(0);
         });
         b.i32(0);
     });

@@ -82,8 +82,25 @@ impl Api {
         match self {
             // The union: WALI models the kernel interface itself.
             Api::Wali => [
-                BasicFs, Signals, Dup, Chmod, SelfHost, Mmap, Mremap, Users, SockOpt, Sockets,
-                Wait4, Fork, Threads, Sysconf, Ioctl, SocketPair, ProcessGroups, Poll, Pipes,
+                BasicFs,
+                Signals,
+                Dup,
+                Chmod,
+                SelfHost,
+                Mmap,
+                Mremap,
+                Users,
+                SockOpt,
+                Sockets,
+                Wait4,
+                Fork,
+                Threads,
+                Sysconf,
+                Ioctl,
+                SocketPair,
+                ProcessGroups,
+                Poll,
+                Pipes,
                 LinuxSpecific,
             ]
             .into_iter()
@@ -144,9 +161,15 @@ mod tests {
 
     #[test]
     fn wali_supports_everything() {
-        let all: BTreeSet<Feature> = Api::Wasix.features().union(&Api::Wasi.features()).copied().collect();
+        let all: BTreeSet<Feature> = Api::Wasix
+            .features()
+            .union(&Api::Wasi.features())
+            .copied()
+            .collect();
         assert!(Api::Wali.supports(&all).is_ok());
-        assert!(Api::Wali.supports(&[Signals, Mmap, LinuxSpecific].into_iter().collect()).is_ok());
+        assert!(Api::Wali
+            .supports(&[Signals, Mmap, LinuxSpecific].into_iter().collect())
+            .is_ok());
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl WasiState {
         if let Some(p) = self.preopen(fd) {
             return p.rights;
         }
-        self.fd_rights.iter().find(|(f, _)| *f == fd).map(|(_, r)| *r).unwrap_or(0)
+        self.fd_rights
+            .iter()
+            .find(|(f, _)| *f == fd)
+            .map(|(_, r)| *r)
+            .unwrap_or(0)
     }
 
     fn grant(&mut self, fd: i32, rights: u64) {
@@ -163,15 +167,15 @@ fn wali_call(
         Err(HostOutcome::Trap(t)) => Err(Err(HostOutcome::Trap(t))),
         Err(HostOutcome::Suspend(s)) => match s.downcast::<WaliSuspend>() {
             Ok(payload) => match *payload {
-                WaliSuspend::Blocked { deadline, .. } => {
-                    Err(Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Blocked {
+                WaliSuspend::Blocked { deadline, .. } => Err(Err(HostOutcome::Suspend(
+                    Suspension::new(WaliSuspend::Blocked {
                         module: WASI_MODULE,
                         import: wasi_import,
                         sysno: None,
                         args: wasi_args.to_vec(),
                         deadline,
-                    }))))
-                }
+                    }),
+                ))),
                 other => Err(Err(HostOutcome::Suspend(Suspension::new(other)))),
             },
             Err(s) => Err(Err(HostOutcome::Suspend(s))),
@@ -192,7 +196,9 @@ fn wmem(c: &Caller<'_, WaliContext>) -> Arc<wasm::mem::Memory> {
 /// path, rejecting escapes from the preopen subtree.
 fn resolve_path(c: C, dirfd: i32, ptr: u32, len: u32) -> Result<(String, u64), X> {
     let mem = wmem(c);
-    let raw = mem.read(ptr as u64, len as usize).map_err(|_| fail_x(INVAL))?;
+    let raw = mem
+        .read(ptr as u64, len as usize)
+        .map_err(|_| fail_x(INVAL))?;
     let rel = String::from_utf8(raw).map_err(|_| fail_x(INVAL))?;
     let state = state_mut(c.data).ok_or_else(|| fail_x(NOTCAPABLE))?;
     let pre = state.preopen(dirfd).ok_or_else(|| fail_x(NOTCAPABLE))?;
@@ -238,7 +244,8 @@ fn stage_path(c: C, path: &str) -> Result<u32, X> {
     if bytes.len() > 480 {
         return Err(fail_x(INVAL));
     }
-    mem.write(PATH_SCRATCH as u64, &bytes).map_err(|_| fail_x(INVAL))?;
+    mem.write(PATH_SCRATCH as u64, &bytes)
+        .map_err(|_| fail_x(INVAL))?;
     Ok(PATH_SCRATCH)
 }
 
@@ -312,8 +319,14 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         let clock = a32(args, 0);
         let out = a32(args, 2) as u32;
         let ts = STRUCT_SCRATCH;
-        match wali_call(b, c, "clock_gettime", &[clock as i64, ts as i64], "clock_time_get", args)
-        {
+        match wali_call(
+            b,
+            c,
+            "clock_gettime",
+            &[clock as i64, ts as i64],
+            "clock_time_get",
+            args,
+        ) {
             Ok(ret) => {
                 if let Err(e) = check(ret) {
                     return e;
@@ -350,7 +363,10 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
 
     wasi!("fd_read", |b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
-        if state_mut(c.data).map(|s| s.rights_of(fd) & RIGHT_FD_READ == 0).unwrap_or(true) {
+        if state_mut(c.data)
+            .map(|s| s.rights_of(fd) & RIGHT_FD_READ == 0)
+            .unwrap_or(true)
+        {
             return fail(NOTCAPABLE);
         }
         do_rw(b, c, args, false, "fd_read")
@@ -358,7 +374,10 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
 
     wasi!("fd_write", |b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
-        if state_mut(c.data).map(|s| s.rights_of(fd) & RIGHT_FD_WRITE == 0).unwrap_or(true) {
+        if state_mut(c.data)
+            .map(|s| s.rights_of(fd) & RIGHT_FD_WRITE == 0)
+            .unwrap_or(true)
+        {
             return fail(NOTCAPABLE);
         }
         do_rw(b, c, args, true, "fd_write")
@@ -373,7 +392,14 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
             2 => SEEK_END,
             _ => return fail(INVAL),
         };
-        match wali_call(b, c, "lseek", &[fd as i64, offset, whence as i64], "fd_seek", args) {
+        match wali_call(
+            b,
+            c,
+            "lseek",
+            &[fd as i64, offset, whence as i64],
+            "fd_seek",
+            args,
+        ) {
             Ok(ret) => match check(ret) {
                 Ok(pos) => {
                     let mem = wmem(c);
@@ -388,7 +414,14 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
 
     wasi!("fd_tell", |b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
-        match wali_call(b, c, "lseek", &[fd as i64, 0, SEEK_CUR as i64], "fd_tell", args) {
+        match wali_call(
+            b,
+            c,
+            "lseek",
+            &[fd as i64, 0, SEEK_CUR as i64],
+            "fd_tell",
+            args,
+        ) {
             Ok(ret) => match check(ret) {
                 Ok(pos) => {
                     let mem = wmem(c);
@@ -405,7 +438,14 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         let fd = a32(args, 0);
         let out = a32(args, 1) as u32;
         let st = STRUCT_SCRATCH;
-        match wali_call(b, c, "fstat", &[fd as i64, st as i64], "fd_fdstat_get", args) {
+        match wali_call(
+            b,
+            c,
+            "fstat",
+            &[fd as i64, st as i64],
+            "fd_fdstat_get",
+            args,
+        ) {
             Ok(ret) => {
                 if let Err(e) = check(ret) {
                     return e;
@@ -434,7 +474,14 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         let fd = a32(args, 0);
         let out = a32(args, 1) as u32;
         let st = STRUCT_SCRATCH;
-        match wali_call(b, c, "fstat", &[fd as i64, st as i64], "fd_filestat_get", args) {
+        match wali_call(
+            b,
+            c,
+            "fstat",
+            &[fd as i64, st as i64],
+            "fd_filestat_get",
+            args,
+        ) {
             Ok(ret) => {
                 if let Err(e) = check(ret) {
                     return e;
@@ -449,8 +496,12 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
     wasi!("fd_prestat_get", |_b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
         let out = a32(args, 1) as u32;
-        let Some(state) = state_mut(c.data) else { return fail(BADF) };
-        let Some(pre) = state.preopen(fd) else { return fail(BADF) };
+        let Some(state) = state_mut(c.data) else {
+            return fail(BADF);
+        };
+        let Some(pre) = state.preopen(fd) else {
+            return fail(BADF);
+        };
         let name_len = pre.host_path.len() as u32;
         let mem = wmem(c);
         let _ = mem.store::<4>(out as u64, 0u32.to_le_bytes());
@@ -461,8 +512,12 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
     wasi!("fd_prestat_dir_name", |_b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
         let (ptr, len) = (a32(args, 1) as u32, a32(args, 2) as u32);
-        let Some(state) = state_mut(c.data) else { return fail(BADF) };
-        let Some(pre) = state.preopen(fd) else { return fail(BADF) };
+        let Some(state) = state_mut(c.data) else {
+            return fail(BADF);
+        };
+        let Some(pre) = state.preopen(fd) else {
+            return fail(BADF);
+        };
         let name = pre.host_path.clone();
         if (len as usize) < name.len() {
             return fail(INVAL);
@@ -474,12 +529,22 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
 
     wasi!("fd_readdir", |b: &B, c: C, args: &[Value]| -> X {
         let fd = a32(args, 0);
-        if state_mut(c.data).map(|s| s.rights_of(fd) & RIGHT_FD_READDIR == 0).unwrap_or(true) {
+        if state_mut(c.data)
+            .map(|s| s.rights_of(fd) & RIGHT_FD_READDIR == 0)
+            .unwrap_or(true)
+        {
             return fail(NOTCAPABLE);
         }
         let (buf, buf_len) = (a32(args, 1) as u32, a32(args, 2) as u32);
         let tmp = STRUCT_SCRATCH;
-        match wali_call(b, c, "getdents64", &[fd as i64, tmp as i64, 240], "fd_readdir", args) {
+        match wali_call(
+            b,
+            c,
+            "getdents64",
+            &[fd as i64, tmp as i64, 240],
+            "fd_readdir",
+            args,
+        ) {
             Ok(ret) => {
                 let n = match check(ret) {
                     Ok(n) => n as usize,
@@ -535,7 +600,10 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         }
     });
 
-    wasi!("fd_fdstat_set_flags", |_b: &B, _c: C, _args: &[Value]| -> X { ok() });
+    wasi!("fd_fdstat_set_flags", |_b: &B,
+                                  _c: C,
+                                  _args: &[Value]|
+     -> X { ok() });
 
     wasi!("path_open", |b: &B, c: C, args: &[Value]| -> X {
         let dirfd = a32(args, 0);
@@ -572,7 +640,11 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         if fdflags & 0x4 != 0 {
             flags |= O_NONBLOCK;
         }
-        flags |= if granted & RIGHT_FD_WRITE != 0 { O_RDWR } else { O_RDONLY };
+        flags |= if granted & RIGHT_FD_WRITE != 0 {
+            O_RDWR
+        } else {
+            O_RDONLY
+        };
         let staged = match stage_path(c, &path) {
             Ok(p) => p,
             Err(x) => return x,
@@ -632,27 +704,39 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
         }
     });
 
-    wasi!("path_create_directory", |b: &B, c: C, args: &[Value]| -> X {
+    wasi!("path_create_directory", |b: &B,
+                                    c: C,
+                                    args: &[Value]|
+     -> X {
         path_simple(b, c, args, "mkdirat", &[0o755])
     });
-    wasi!("path_remove_directory", |b: &B, c: C, args: &[Value]| -> X {
-        path_simple(b, c, args, "unlinkat", &[wali_abi::flags::AT_REMOVEDIR as i64])
+    wasi!("path_remove_directory", |b: &B,
+                                    c: C,
+                                    args: &[Value]|
+     -> X {
+        path_simple(
+            b,
+            c,
+            args,
+            "unlinkat",
+            &[wali_abi::flags::AT_REMOVEDIR as i64],
+        )
     });
     wasi!("path_unlink_file", |b: &B, c: C, args: &[Value]| -> X {
         path_simple(b, c, args, "unlinkat", &[0])
     });
 
     wasi!("path_rename", |b: &B, c: C, args: &[Value]| -> X {
-        let (old, _) =
-            match resolve_path(c, a32(args, 0), a32(args, 1) as u32, a32(args, 2) as u32) {
-                Ok(p) => p,
-                Err(x) => return x,
-            };
-        let (new, _) =
-            match resolve_path(c, a32(args, 3), a32(args, 4) as u32, a32(args, 5) as u32) {
-                Ok(p) => p,
-                Err(x) => return x,
-            };
+        let (old, _) = match resolve_path(c, a32(args, 0), a32(args, 1) as u32, a32(args, 2) as u32)
+        {
+            Ok(p) => p,
+            Err(x) => return x,
+        };
+        let (new, _) = match resolve_path(c, a32(args, 3), a32(args, 4) as u32, a32(args, 5) as u32)
+        {
+            Ok(p) => p,
+            Err(x) => return x,
+        };
         let p1 = match stage_path(c, &old) {
             Ok(p) => p,
             Err(x) => return x,
@@ -738,7 +822,11 @@ pub fn add_wasi_layer(linker: &mut Linker<WaliContext>) {
     // poll_oneoff: clock subscriptions sleep via SYS_nanosleep; fd
     // subscriptions report ready immediately.
     wasi!("poll_oneoff", |b: &B, c: C, args: &[Value]| -> X {
-        let (subs, events, n) = (a32(args, 0) as u32, a32(args, 1) as u32, a32(args, 2) as u32);
+        let (subs, events, n) = (
+            a32(args, 0) as u32,
+            a32(args, 1) as u32,
+            a32(args, 2) as u32,
+        );
         if n == 0 {
             return fail(INVAL);
         }
@@ -771,7 +859,11 @@ fn do_rw(
     import: &'static str,
 ) -> X {
     let fd = a32(args, 0);
-    let (iovs, iovcnt, nout) = (a32(args, 1) as i64, a32(args, 2) as i64, a32(args, 3) as u32);
+    let (iovs, iovcnt, nout) = (
+        a32(args, 1) as i64,
+        a32(args, 2) as i64,
+        a32(args, 3) as u32,
+    );
     // WASI ciovec has the same wasm32 layout as the WALI iovec, so
     // readv/writev pass through directly — layering at its thinnest.
     let name = if write { "writev" } else { "readv" };
@@ -848,7 +940,11 @@ mod tests {
     fn rights_narrow_correctly() {
         let mut s = WasiState::with_preopens(&["/tmp"]);
         assert_eq!(s.rights_of(3), RIGHTS_ALL);
-        assert_eq!(s.rights_of(0) & RIGHT_FD_WRITE, RIGHT_FD_WRITE, "stdio writable");
+        assert_eq!(
+            s.rights_of(0) & RIGHT_FD_WRITE,
+            RIGHT_FD_WRITE,
+            "stdio writable"
+        );
         assert_eq!(s.rights_of(9), 0, "unknown fd has no rights");
         s.grant(9, RIGHT_FD_READ);
         assert_eq!(s.rights_of(9), RIGHT_FD_READ);

@@ -18,8 +18,12 @@ fn run_wasi(mb: ModuleBuilder, preopens: &[&str], args: &[&str]) -> wali::RunOut
     let module = wasm::decode::decode(&bytes).expect("round trip");
     let mut runner = WaliRunner::new_default();
     add_wasi_layer(runner.linker_mut());
-    runner.register_program("/usr/bin/wasi-app", &module).expect("register");
-    let tid = runner.spawn("/usr/bin/wasi-app", args, &["LANG=C"]).expect("spawn");
+    runner
+        .register_program("/usr/bin/wasi-app", &module)
+        .expect("register");
+    let tid = runner
+        .spawn("/usr/bin/wasi-app", args, &["LANG=C"])
+        .expect("spawn");
     let preopens = WasiState::with_preopens(preopens);
     runner.configure_ctx(tid, |ctx: &mut WaliContext| init_wasi(ctx, preopens));
     runner.run().expect("run")
@@ -42,7 +46,12 @@ fn fd_write_reaches_console_through_wali() {
     let nwritten = mb.reserve(4);
     let sig = mb.sig([], [I32]);
     let main = mb.func(sig, |b| {
-        b.i32(1).i32(iov as i32).i32(1).i32(nwritten as i32).call(fd_write).drop_();
+        b.i32(1)
+            .i32(iov as i32)
+            .i32(1)
+            .i32(nwritten as i32)
+            .call(fd_write)
+            .drop_();
         // return nwritten == 15 ? 0 : 1
         b.i32(nwritten as i32).load32(0).i32(15).ne32();
     });
@@ -128,11 +137,26 @@ fn wasi_file_round_trip_over_wali() {
         b.call(path_open).drop_();
         b.i32(fd_out as i32).load32(0).local_set(fd);
         // write
-        b.local_get(fd).i32(iov_w as i32).i32(1).i32(nout as i32).call(fd_write).drop_();
+        b.local_get(fd)
+            .i32(iov_w as i32)
+            .i32(1)
+            .i32(nout as i32)
+            .call(fd_write)
+            .drop_();
         // seek back
-        b.local_get(fd).i64(0).i32(0).i32(newpos as i32).call(fd_seek).drop_();
+        b.local_get(fd)
+            .i64(0)
+            .i32(0)
+            .i32(newpos as i32)
+            .call(fd_seek)
+            .drop_();
         // read
-        b.local_get(fd).i32(iov_r as i32).i32(1).i32(nout as i32).call(fd_read).drop_();
+        b.local_get(fd)
+            .i32(iov_r as i32)
+            .i32(1)
+            .i32(nout as i32)
+            .call(fd_read)
+            .drop_();
         b.local_get(fd).call(fd_close).drop_();
         // check: nread == 9 and first byte 'w'
         b.i32(nout as i32).load32(0).i32(9).eq32();
@@ -144,7 +168,10 @@ fn wasi_file_round_trip_over_wali() {
     assert_eq!(out.exit_code(), Some(0));
     // All through WALI: openat + writev + lseek + readv + close.
     for call in ["openat", "writev", "lseek", "readv", "close"] {
-        assert!(out.trace.counts.contains_key(call), "missing WALI call {call}");
+        assert!(
+            out.trace.counts.contains_key(call),
+            "missing WALI call {call}"
+        );
     }
 }
 
@@ -160,10 +187,17 @@ fn args_and_environ_round_trip() {
     let buf = mb.reserve(256);
     let sig = mb.sig([], [I32]);
     let main = mb.func(sig, |b| {
-        b.i32(argc_out as i32).i32(len_out as i32).call(args_sizes).drop_();
+        b.i32(argc_out as i32)
+            .i32(len_out as i32)
+            .call(args_sizes)
+            .drop_();
         b.i32(argv as i32).i32(buf as i32).call(args_get).drop_();
         // argv[1] first byte should be 'x' (arg "xyz").
-        b.i32(argv as i32).load32(4).load8u(0).i32('x' as i32).ne32();
+        b.i32(argv as i32)
+            .load32(4)
+            .load8u(0)
+            .i32('x' as i32)
+            .ne32();
         // plus argc must be 2.
         b.i32(argc_out as i32).load32(0).i32(2).ne32();
         b.emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I32Or));
@@ -186,5 +220,8 @@ fn proc_exit_goes_through_wali_exit_group() {
     mb.export("_start", main);
     let out = run_wasi(mb, &["/tmp"], &[]);
     assert_eq!(out.exit_code(), Some(33));
-    assert_eq!(out.trace.counts["exit_group"], 1, "lowered to SYS_exit_group");
+    assert_eq!(
+        out.trace.counts["exit_group"], 1,
+        "lowered to SYS_exit_group"
+    );
 }

@@ -7,8 +7,8 @@
 
 use crate::instr::{BlockType, Instr, LoadKind, MemArg, StoreKind};
 use crate::module::{
-    ConstExpr, DataSegment, ElemSegment, Export, ExportDesc, FuncBody, Global, Import,
-    ImportDesc, Module,
+    ConstExpr, DataSegment, ElemSegment, Export, ExportDesc, FuncBody, Global, Import, ImportDesc,
+    Module,
 };
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
@@ -51,7 +51,10 @@ impl ModuleBuilder {
         params: impl Into<Vec<ValType>>,
         results: impl Into<Vec<ValType>>,
     ) -> u32 {
-        let ty = FuncType { params: params.into(), results: results.into() };
+        let ty = FuncType {
+            params: params.into(),
+            results: results.into(),
+        };
         if let Some(i) = self.module.types.iter().position(|t| *t == ty) {
             return i as u32;
         }
@@ -61,7 +64,10 @@ impl ModuleBuilder {
 
     /// Imports a host function; must precede all local declarations.
     pub fn import_func(&mut self, module: &str, name: &str, ty: u32) -> FuncId {
-        assert!(!self.imports_frozen, "imports must be declared before local functions");
+        assert!(
+            !self.imports_frozen,
+            "imports must be declared before local functions"
+        );
         let idx = self.module.num_imported_funcs();
         self.module.imports.push(Import {
             module: module.to_string(),
@@ -73,26 +79,39 @@ impl ModuleBuilder {
 
     /// Declares a memory (64 KiB pages).
     pub fn memory(&mut self, min: u32, max: Option<u32>) -> &mut Self {
-        self.module.memories = vec![MemoryType { limits: Limits { min, max }, shared: false }];
+        self.module.memories = vec![MemoryType {
+            limits: Limits { min, max },
+            shared: false,
+        }];
         self
     }
 
     /// Declares a shared memory (for instance-per-thread workloads).
     pub fn shared_memory(&mut self, min: u32, max: u32) -> &mut Self {
-        self.module.memories =
-            vec![MemoryType { limits: Limits { min, max: Some(max) }, shared: true }];
+        self.module.memories = vec![MemoryType {
+            limits: Limits {
+                min,
+                max: Some(max),
+            },
+            shared: true,
+        }];
         self
     }
 
     /// Declares a funcref table.
     pub fn table(&mut self, min: u32, max: Option<u32>) -> &mut Self {
-        self.module.tables = vec![TableType { limits: Limits { min, max } }];
+        self.module.tables = vec![TableType {
+            limits: Limits { min, max },
+        }];
         self
     }
 
     /// Adds a mutable global and returns its index.
     pub fn global(&mut self, ty: ValType, mutable: bool, init: ConstExpr) -> u32 {
-        self.module.globals.push(Global { ty: GlobalType { ty, mutable }, init });
+        self.module.globals.push(Global {
+            ty: GlobalType { ty, mutable },
+            init,
+        });
         (self.module.globals.len() - 1) as u32
     }
 
@@ -107,9 +126,10 @@ impl ModuleBuilder {
 
     /// Places `bytes` at a fixed address.
     pub fn data_at(&mut self, addr: u32, bytes: &[u8]) {
-        self.module
-            .datas
-            .push(DataSegment { offset: ConstExpr::I32(addr as i32), bytes: bytes.to_vec() });
+        self.module.datas.push(DataSegment {
+            offset: ConstExpr::I32(addr as i32),
+            bytes: bytes.to_vec(),
+        });
     }
 
     /// Places a NUL-terminated string; returns the address.
@@ -158,13 +178,19 @@ impl ModuleBuilder {
 
     /// Exports a function.
     pub fn export(&mut self, name: &str, f: FuncId) -> &mut Self {
-        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Func(f.0) });
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            desc: ExportDesc::Func(f.0),
+        });
         self
     }
 
     /// Exports the memory.
     pub fn export_memory(&mut self, name: &str) -> &mut Self {
-        self.module.exports.push(Export { name: name.to_string(), desc: ExportDesc::Memory(0) });
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            desc: ExportDesc::Memory(0),
+        });
         self
     }
 
@@ -217,11 +243,18 @@ pub struct FuncBuilder {
 
 impl FuncBuilder {
     fn new(params: u32) -> FuncBuilder {
-        FuncBuilder { params, locals: Vec::new(), instrs: Vec::new() }
+        FuncBuilder {
+            params,
+            locals: Vec::new(),
+            instrs: Vec::new(),
+        }
     }
 
     fn finish(self) -> FuncBody {
-        FuncBody { locals: self.locals, instrs: self.instrs }
+        FuncBody {
+            locals: self.locals,
+            instrs: self.instrs,
+        }
     }
 
     /// Declares a new local and returns its index.

@@ -1,13 +1,11 @@
 //! Binary-format decoder: bytes → [`Module`].
 
 use crate::error::DecodeError;
-use crate::instr::{
-    AtomicWidth, BlockType, Instr, LoadKind, MemArg, RmwOp, StoreKind,
-};
+use crate::instr::{AtomicWidth, BlockType, Instr, LoadKind, MemArg, RmwOp, StoreKind};
 use crate::leb::Reader;
 use crate::module::{
-    ConstExpr, DataSegment, ElemSegment, Export, ExportDesc, FuncBody, Global, Import,
-    ImportDesc, Module,
+    ConstExpr, DataSegment, ElemSegment, Export, ExportDesc, FuncBody, Global, Import, ImportDesc,
+    Module,
 };
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
@@ -194,7 +192,10 @@ fn decode_globals(r: &mut Reader, m: &mut Module) -> Result<(), DecodeError> {
             _ => return Err(DecodeError::Malformed("global mutability")),
         };
         let init = const_expr(r)?;
-        m.globals.push(Global { ty: GlobalType { ty, mutable }, init });
+        m.globals.push(Global {
+            ty: GlobalType { ty, mutable },
+            init,
+        });
     }
     Ok(())
 }
@@ -617,6 +618,9 @@ mod tests {
     #[test]
     fn rejects_unknown_opcode() {
         let mut r = Reader::new(&[0xf5, 0x0b]);
-        assert!(matches!(decode_expr(&mut r), Err(DecodeError::UnknownOpcode(0xf5))));
+        assert!(matches!(
+            decode_expr(&mut r),
+            Err(DecodeError::UnknownOpcode(0xf5))
+        ));
     }
 }

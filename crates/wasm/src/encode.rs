@@ -607,14 +607,23 @@ mod tests {
             }],
             funcs: vec![0],
             memories: vec![MemoryType {
-                limits: Limits { min: 1, max: Some(16) },
+                limits: Limits {
+                    min: 1,
+                    max: Some(16),
+                },
                 shared: false,
             }],
             globals: vec![Global {
-                ty: GlobalType { ty: ValType::I64, mutable: true },
+                ty: GlobalType {
+                    ty: ValType::I64,
+                    mutable: true,
+                },
                 init: ConstExpr::I64(-7),
             }],
-            exports: vec![Export { name: "add".into(), desc: ExportDesc::Func(1) }],
+            exports: vec![Export {
+                name: "add".into(),
+                desc: ExportDesc::Func(1),
+            }],
             datas: vec![crate::module::DataSegment {
                 offset: ConstExpr::I32(8),
                 bytes: b"hello".to_vec(),
@@ -663,9 +672,21 @@ mod tests {
             Instr::F64Const(f64::NEG_INFINITY.to_bits()),
             Instr::MemoryCopy,
             Instr::MemoryFill,
-            Instr::AtomicRmw(RmwOp::Xchg, MemArg { align: 2, offset: 4 }),
-            Instr::AtomicCmpxchg(MemArg { align: 2, offset: 0 }),
-            Instr::AtomicWait32(MemArg { align: 2, offset: 0 }),
+            Instr::AtomicRmw(
+                RmwOp::Xchg,
+                MemArg {
+                    align: 2,
+                    offset: 4,
+                },
+            ),
+            Instr::AtomicCmpxchg(MemArg {
+                align: 2,
+                offset: 0,
+            }),
+            Instr::AtomicWait32(MemArg {
+                align: 2,
+                offset: 0,
+            }),
             Instr::AtomicFence,
         ];
         let mut buf = Vec::new();
@@ -682,7 +703,10 @@ mod tests {
     fn shared_memory_flag_round_trips() {
         let m = Module {
             memories: vec![MemoryType {
-                limits: Limits { min: 2, max: Some(4) },
+                limits: Limits {
+                    min: 2,
+                    max: Some(4),
+                },
                 shared: true,
             }],
             ..Default::default()

@@ -57,7 +57,10 @@ pub struct ValidateError {
 
 impl ValidateError {
     pub(crate) fn msg(message: impl Into<String>) -> Self {
-        ValidateError { func: None, message: message.into() }
+        ValidateError {
+            func: None,
+            message: message.into(),
+        }
     }
 }
 

@@ -108,13 +108,17 @@ pub struct Linker<T> {
 
 impl<T> Default for Linker<T> {
     fn default() -> Self {
-        Linker { funcs: HashMap::new() }
+        Linker {
+            funcs: HashMap::new(),
+        }
     }
 }
 
 impl<T> Clone for Linker<T> {
     fn clone(&self) -> Self {
-        Linker { funcs: self.funcs.clone() }
+        Linker {
+            funcs: self.funcs.clone(),
+        }
     }
 }
 

@@ -108,7 +108,10 @@ impl<T> Instance<T> {
 
     /// Instantiates over an existing memory (instance-per-thread sharing;
     /// data segments are *not* re-applied so sibling state is preserved).
-    pub fn spawn_sibling(program: Arc<Program<T>>, memory: Arc<Memory>) -> Result<Instance<T>, Trap> {
+    pub fn spawn_sibling(
+        program: Arc<Program<T>>,
+        memory: Arc<Memory>,
+    ) -> Result<Instance<T>, Trap> {
         let mut inst = Self::bare(program, memory)?;
         inst.apply_elems()?;
         Ok(inst)
@@ -146,7 +149,12 @@ impl<T> Instance<T> {
             Some(t) => vec![None; t.limits.min as usize],
             None => Vec::new(),
         };
-        Ok(Instance { program, memory, globals, table })
+        Ok(Instance {
+            program,
+            memory,
+            globals,
+            table,
+        })
     }
 
     fn apply_elems(&mut self) -> Result<(), Trap> {
@@ -322,7 +330,10 @@ impl Thread {
                     self.stack.pop();
                 }
                 let f = f.clone();
-                let mut caller = Caller { instance: inst, data: ctx };
+                let mut caller = Caller {
+                    instance: inst,
+                    data: ctx,
+                };
                 match f(&mut caller, args) {
                     Ok(values) => RunResult::Done(values),
                     Err(HostOutcome::Trap(t)) => RunResult::Trapped(t),
@@ -395,12 +406,11 @@ impl Thread {
     /// The interpreter loop.
     fn run<T: HostCtx>(&mut self, inst: &mut Instance<T>, ctx: &mut T) -> RunResult {
         let program = inst.program.clone();
-        let mut cur: Arc<PreparedFunc> = match &program.funcs
-            [self.frames.last().expect("frame").func as usize]
-        {
-            FuncDef::Local(c) => c.clone(),
-            FuncDef::Host { .. } => unreachable!("frames are local functions"),
-        };
+        let mut cur: Arc<PreparedFunc> =
+            match &program.funcs[self.frames.last().expect("frame").func as usize] {
+                FuncDef::Local(c) => c.clone(),
+                FuncDef::Host { .. } => unreachable!("frames are local functions"),
+            };
 
         macro_rules! trap {
             ($t:expr) => {{
@@ -475,7 +485,10 @@ impl Thread {
                             }
                             Some(FuncDef::Host { f, .. }) => {
                                 let f = f.clone();
-                                let mut caller = Caller { instance: inst, data: ctx };
+                                let mut caller = Caller {
+                                    instance: inst,
+                                    data: ctx,
+                                };
                                 match f(&mut caller, &call.args) {
                                     Ok(_) => {}
                                     Err(HostOutcome::Trap(t)) => trap!(t),
@@ -560,7 +573,10 @@ impl Thread {
                                 args.push(Value::from_raw(*t, self.stack[argbase + i]));
                             }
                             self.stack.truncate(argbase);
-                            let mut caller = Caller { instance: inst, data: ctx };
+                            let mut caller = Caller {
+                                instance: inst,
+                                data: ctx,
+                            };
                             match hf(&mut caller, &args) {
                                 Ok(values) => {
                                     if values.len() != ty.results.len() {
@@ -613,7 +629,10 @@ impl Thread {
                                 args.push(Value::from_raw(*t, self.stack[argbase + i]));
                             }
                             self.stack.truncate(argbase);
-                            let mut caller = Caller { instance: inst, data: ctx };
+                            let mut caller = Caller {
+                                instance: inst,
+                                data: ctx,
+                            };
                             match hf(&mut caller, &args) {
                                 Ok(values) => {
                                     for v in values {
@@ -766,7 +785,9 @@ impl Thread {
                     let v = self.pop();
                     let addr = self.pop() as u32 as u64 + offset;
                     let r = match w {
-                        crate::instr::AtomicWidth::I32 => inst.memory.atomic_store32(addr, v as u32),
+                        crate::instr::AtomicWidth::I32 => {
+                            inst.memory.atomic_store32(addr, v as u32)
+                        }
                         crate::instr::AtomicWidth::I64 => inst.memory.atomic_store64(addr, v),
                     };
                     if let Err(t) = r {
@@ -1074,7 +1095,9 @@ fn eval_cvt(op: CvtOp, a: u64) -> Result<u64, Trap> {
     use CvtOp::*;
     let v = match op {
         I32WrapI64 => a as u32 as u64,
-        I32TruncF32S => trunc_to_i64(f32v(a) as f64, i32::MIN as f64, i32::MAX as f64)? as u32 as u64,
+        I32TruncF32S => {
+            trunc_to_i64(f32v(a) as f64, i32::MIN as f64, i32::MAX as f64)? as u32 as u64
+        }
         I32TruncF32U => trunc_to_u64(f32v(a) as f64, u32::MAX as f64)? as u32 as u64,
         I32TruncF64S => trunc_to_i64(f64v(a), i32::MIN as f64, i32::MAX as f64)? as u32 as u64,
         I32TruncF64U => trunc_to_u64(f64v(a), u32::MAX as f64)? as u32 as u64,
@@ -1167,7 +1190,11 @@ fn fmin32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == 0.0 && b == 0.0 {
-        if a.is_sign_negative() { a } else { b }
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
     } else {
         a.min(b)
     }
@@ -1177,7 +1204,11 @@ fn fmax32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == 0.0 && b == 0.0 {
-        if a.is_sign_positive() { a } else { b }
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
     } else {
         a.max(b)
     }
@@ -1187,7 +1218,11 @@ fn fmin64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == 0.0 && b == 0.0 {
-        if a.is_sign_negative() { a } else { b }
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
     } else {
         a.min(b)
     }
@@ -1197,7 +1232,11 @@ fn fmax64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == 0.0 && b == 0.0 {
-        if a.is_sign_positive() { a } else { b }
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
     } else {
         a.max(b)
     }

@@ -43,7 +43,10 @@ impl<'a> Reader<'a> {
     /// Reads `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEof)?;
-        let s = self.buf.get(self.pos..end).ok_or(DecodeError::UnexpectedEof)?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError::UnexpectedEof)?;
         self.pos = end;
         Ok(s)
     }
@@ -197,7 +200,19 @@ mod tests {
 
     #[test]
     fn signed_round_trip_edges() {
-        for v in [0i64, 1, -1, 63, 64, -64, -65, i32::MIN as i64, i32::MAX as i64, i64::MIN, i64::MAX] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i32::MIN as i64,
+            i32::MAX as i64,
+            i64::MIN,
+            i64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_i64(&mut buf, v);
             assert_eq!(Reader::new(&buf).i64().unwrap(), v, "value {v}");
@@ -214,8 +229,14 @@ mod tests {
 
     #[test]
     fn eof_is_reported() {
-        assert!(matches!(Reader::new(&[0x80]).u32(), Err(DecodeError::UnexpectedEof)));
-        assert!(matches!(Reader::new(&[]).byte(), Err(DecodeError::UnexpectedEof)));
+        assert!(matches!(
+            Reader::new(&[0x80]).u32(),
+            Err(DecodeError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            Reader::new(&[]).byte(),
+            Err(DecodeError::UnexpectedEof)
+        ));
     }
 
     #[test]
@@ -228,7 +249,10 @@ mod tests {
     #[test]
     fn invalid_utf8_name_rejected() {
         let buf = [2u8, 0xff, 0xfe];
-        assert!(matches!(Reader::new(&buf).name(), Err(DecodeError::InvalidUtf8)));
+        assert!(matches!(
+            Reader::new(&buf).name(),
+            Err(DecodeError::InvalidUtf8)
+        ));
     }
 
     #[cfg(feature = "proptest")]

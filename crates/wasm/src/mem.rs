@@ -175,7 +175,12 @@ impl Memory {
     /// Runs `f` over the byte range as a shared slice (zero-copy reads).
     ///
     /// This is the zero-copy fast path WALI uses for I/O syscalls (§3.2).
-    pub fn with_slice<R>(&self, addr: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R, Trap> {
+    pub fn with_slice<R>(
+        &self,
+        addr: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, Trap> {
         let off = self.check(addr, len as u64)?;
         // SAFETY: Bounds checked; concurrent writers may race but byte
         // reads remain valid (shared-memory semantics).
@@ -293,10 +298,12 @@ impl Memory {
         let off = self.check_aligned(addr, 4)?;
         // SAFETY: See `atomic_load32`.
         let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
-        Ok(match a.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(v) => v,
-            Err(v) => v,
-        })
+        Ok(
+            match a.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(v) => v,
+                Err(v) => v,
+            },
+        )
     }
 
     fn check_aligned(&self, addr: u64, align: u64) -> Result<usize, Trap> {
@@ -325,7 +332,10 @@ mod tests {
         let m = Memory::new(1, Some(3));
         assert_eq!(m.pages(), 1);
         assert!(m.store::<4>(PAGE_SIZE as u64 - 4, [1, 2, 3, 4]).is_ok());
-        assert_eq!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]), Err(Trap::MemoryOutOfBounds));
+        assert_eq!(
+            m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]),
+            Err(Trap::MemoryOutOfBounds)
+        );
         assert_eq!(m.grow(1), 1);
         assert!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]).is_ok());
         assert_eq!(m.grow(2), -1);
@@ -337,8 +347,12 @@ mod tests {
     #[test]
     fn load_store_round_trip() {
         let m = Memory::new(1, None);
-        m.store::<8>(16, 0xdead_beef_cafe_f00du64.to_le_bytes()).unwrap();
-        assert_eq!(u64::from_le_bytes(m.load::<8>(16).unwrap()), 0xdead_beef_cafe_f00d);
+        m.store::<8>(16, 0xdead_beef_cafe_f00du64.to_le_bytes())
+            .unwrap();
+        assert_eq!(
+            u64::from_le_bytes(m.load::<8>(16).unwrap()),
+            0xdead_beef_cafe_f00d
+        );
     }
 
     #[test]

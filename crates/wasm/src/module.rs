@@ -153,7 +153,10 @@ pub struct Module {
 impl Module {
     /// Number of imported functions (local function index base).
     pub fn num_imported_funcs(&self) -> u32 {
-        self.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Func(_))).count() as u32
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Func(_)))
+            .count() as u32
     }
 
     /// The signature of any function in the combined index space.
@@ -202,7 +205,10 @@ mod tests {
             }],
             funcs: vec![1],
             code: vec![FuncBody::default()],
-            exports: vec![Export { name: "main".into(), desc: ExportDesc::Func(1) }],
+            exports: vec![Export {
+                name: "main".into(),
+                desc: ExportDesc::Func(1),
+            }],
             ..Default::default()
         }
     }

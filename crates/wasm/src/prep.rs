@@ -217,7 +217,9 @@ impl<T> Program<T> {
                 ImportDesc::Func(ty) => {
                     let f = linker
                         .resolve(&imp.module, &imp.name)
-                        .ok_or_else(|| LinkError::MissingImport(imp.module.clone(), imp.name.clone()))?
+                        .ok_or_else(|| {
+                            LinkError::MissingImport(imp.module.clone(), imp.name.clone())
+                        })?
                         .clone();
                     funcs.push(FuncDef::Host {
                         module: imp.module.clone(),
@@ -227,7 +229,10 @@ impl<T> Program<T> {
                     });
                 }
                 _ => {
-                    return Err(LinkError::UnsupportedImport(imp.module.clone(), imp.name.clone()))
+                    return Err(LinkError::UnsupportedImport(
+                        imp.module.clone(),
+                        imp.name.clone(),
+                    ))
                 }
             }
         }
@@ -242,12 +247,24 @@ impl<T> Program<T> {
         Ok(Program {
             types: module.types.clone(),
             funcs,
-            exports: module.exports.iter().map(|e| (e.name.clone(), e.desc)).collect(),
+            exports: module
+                .exports
+                .iter()
+                .map(|e| (e.name.clone(), e.desc))
+                .collect(),
             memory: module.memories.first().copied(),
             table: module.tables.first().copied(),
             globals: module.globals.iter().map(|g| (g.ty, g.init)).collect(),
-            elems: module.elems.iter().map(|e| (e.offset, e.funcs.clone())).collect(),
-            datas: module.datas.iter().map(|d| (d.offset, d.bytes.clone())).collect(),
+            elems: module
+                .elems
+                .iter()
+                .map(|e| (e.offset, e.funcs.clone()))
+                .collect(),
+            datas: module
+                .datas
+                .iter()
+                .map(|d| (d.offset, d.bytes.clone()))
+                .collect(),
             start: module.start,
             scheme,
             fused: fuse,
@@ -273,7 +290,9 @@ impl<T> Program<T> {
         self.funcs
             .iter()
             .filter_map(|f| match f {
-                FuncDef::Local(p) => Some(p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count()),
+                FuncDef::Local(p) => {
+                    Some(p.ops.iter().filter(|o| matches!(o, Op::Safepoint)).count())
+                }
                 _ => None,
             })
             .sum()
@@ -314,9 +333,16 @@ struct CtrlEntry {
 }
 
 enum CtrlKind {
-    Loop { header: u32 },
-    Block { patches: Vec<PatchRef> },
-    If { patches: Vec<PatchRef>, else_jump: Option<usize> },
+    Loop {
+        header: u32,
+    },
+    Block {
+        patches: Vec<PatchRef>,
+    },
+    If {
+        patches: Vec<PatchRef>,
+        else_jump: Option<usize>,
+    },
 }
 
 fn block_sig(module: &Module, bt: &BlockType) -> (u16, u16) {
@@ -365,14 +391,21 @@ fn prepare_func(
     ctrls.push(CtrlEntry {
         height: 0,
         arity: ty.results.len() as u16,
-        kind: CtrlKind::Block { patches: Vec::new() },
+        kind: CtrlKind::Block {
+            patches: Vec::new(),
+        },
         end_height: ty.results.len() as u32,
         end_arity: ty.results.len() as u16,
         start_arity: 0,
     });
 
     for instr in &body.instrs {
-        if every && !matches!(instr, Instr::Block(_) | Instr::Loop(_) | Instr::Else | Instr::End) {
+        if every
+            && !matches!(
+                instr,
+                Instr::Block(_) | Instr::Loop(_) | Instr::Else | Instr::End
+            )
+        {
             ops.push(Op::Safepoint);
         }
         match instr {
@@ -387,7 +420,9 @@ fn prepare_func(
                 ctrls.push(CtrlEntry {
                     height: entry,
                     arity: r,
-                    kind: CtrlKind::Block { patches: Vec::new() },
+                    kind: CtrlKind::Block {
+                        patches: Vec::new(),
+                    },
                     end_height: entry + r as u32,
                     end_arity: r,
                     start_arity: p,
@@ -416,9 +451,15 @@ fn prepare_func(
                 let after_cond = h!().saturating_sub(1);
                 height = height.map(|h| h.saturating_sub(1));
                 let entry = after_cond.saturating_sub(p as u32);
-                let dest = BrDest { target: 0, drop_to: entry, keep: p };
+                let dest = BrDest {
+                    target: 0,
+                    drop_to: entry,
+                    keep: p,
+                };
                 if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::Rel(_))) {
-                    let Some(Op::Rel(rel)) = ops.pop() else { unreachable!() };
+                    let Some(Op::Rel(rel)) = ops.pop() else {
+                        unreachable!()
+                    };
                     ops.push(Op::RelBrIfZero(rel, dest));
                 } else {
                     ops.push(Op::BrIfZero(dest));
@@ -428,7 +469,10 @@ fn prepare_func(
                 ctrls.push(CtrlEntry {
                     height: entry,
                     arity: r,
-                    kind: CtrlKind::If { patches: Vec::new(), else_jump: Some(patch_pos) },
+                    kind: CtrlKind::If {
+                        patches: Vec::new(),
+                        else_jump: Some(patch_pos),
+                    },
                     end_height: entry + r as u32,
                     end_arity: r,
                     start_arity: p,
@@ -444,11 +488,21 @@ fn prepare_func(
                     keep: top.end_arity,
                 }));
                 if let CtrlKind::If { patches, else_jump } = &mut top.kind {
-                    patches.push(PatchRef { op: over, slot: Slot::Single });
+                    patches.push(PatchRef {
+                        op: over,
+                        slot: Slot::Single,
+                    });
                     if let Some(pos) = else_jump.take() {
                         // The false-branch of `if` lands right here.
                         let here = ops.len() as u32;
-                        patch(&mut ops, PatchRef { op: pos, slot: Slot::Single }, here);
+                        patch(
+                            &mut ops,
+                            PatchRef {
+                                op: pos,
+                                slot: Slot::Single,
+                            },
+                            here,
+                        );
                     }
                 }
                 barrier = ops.len();
@@ -472,7 +526,14 @@ fn prepare_func(
                             // No else arm: the false branch falls through
                             // to the end (keep = result arity = param
                             // arity for valid no-else ifs).
-                            patch(&mut ops, PatchRef { op: pos, slot: Slot::Single }, end_pc);
+                            patch(
+                                &mut ops,
+                                PatchRef {
+                                    op: pos,
+                                    slot: Slot::Single,
+                                },
+                                end_pc,
+                            );
                         }
                     }
                 }
@@ -486,7 +547,9 @@ fn prepare_func(
                     ctrls.push(CtrlEntry {
                         height: top.end_height,
                         arity: top.end_arity,
-                        kind: CtrlKind::Block { patches: Vec::new() },
+                        kind: CtrlKind::Block {
+                            patches: Vec::new(),
+                        },
                         end_height: top.end_height,
                         end_arity: top.end_arity,
                         start_arity: 0,
@@ -502,7 +565,9 @@ fn prepare_func(
             Instr::BrIf(depth) => {
                 height = height.map(|h| h.saturating_sub(1));
                 if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::Rel(_))) {
-                    let Some(Op::Rel(rel)) = ops.pop() else { unreachable!() };
+                    let Some(Op::Rel(rel)) = ops.pop() else {
+                        unreachable!()
+                    };
                     let dest = br_dest(&mut ctrls, *depth, ops.len(), Slot::Single);
                     ops.push(Op::RelBrIf(rel, dest));
                 } else {
@@ -537,8 +602,9 @@ fn prepare_func(
             }
             Instr::CallIndirect(t) => {
                 let ft = &module.types[*t as usize];
-                height = height
-                    .map(|h| h.saturating_sub(1 + ft.params.len() as u32) + ft.results.len() as u32);
+                height = height.map(|h| {
+                    h.saturating_sub(1 + ft.params.len() as u32) + ft.results.len() as u32
+                });
                 ops.push(Op::CallIndirect(*t));
             }
             Instr::Drop => {
@@ -568,7 +634,9 @@ fn prepare_func(
             }
             Instr::Load(k, a) => {
                 if fuse && ops.len() > barrier && matches!(ops.last(), Some(Op::LocalGet(_))) {
-                    let Some(Op::LocalGet(i)) = ops.pop() else { unreachable!() };
+                    let Some(Op::LocalGet(i)) = ops.pop() else {
+                        unreachable!()
+                    };
                     ops.push(Op::LocalLoad(i, *k, a.offset as u64));
                 } else {
                     ops.push(Op::Load(*k, a.offset as u64));
@@ -619,14 +687,18 @@ fn prepare_func(
                     )
                 {
                     let second = ops.pop().expect("matched");
-                    let Some(Op::LocalGet(a)) = ops.pop() else { unreachable!() };
+                    let Some(Op::LocalGet(a)) = ops.pop() else {
+                        unreachable!()
+                    };
                     match second {
                         Op::LocalGet(b) => ops.push(Op::LocalLocalBin(a, b, *op)),
                         Op::Const(k) => ops.push(Op::LocalConstBin(a, k, *op)),
                         _ => unreachable!(),
                     }
                 } else if ops.len() > barrier && matches!(ops.last(), Some(Op::Const(_))) {
-                    let Some(Op::Const(k)) = ops.pop() else { unreachable!() };
+                    let Some(Op::Const(k)) = ops.pop() else {
+                        unreachable!()
+                    };
                     ops.push(Op::ConstBin(k, *op));
                 } else {
                     ops.push(Op::Bin(*op));
@@ -690,9 +762,16 @@ fn prepare_func(
 fn br_dest(ctrls: &mut [CtrlEntry], depth: u32, op_pos: usize, slot: Slot) -> BrDest {
     let idx = ctrls.len() - 1 - depth as usize;
     let entry = &mut ctrls[idx];
-    let dest = BrDest { target: 0, drop_to: entry.height, keep: entry.arity };
+    let dest = BrDest {
+        target: 0,
+        drop_to: entry.height,
+        keep: entry.arity,
+    };
     match &mut entry.kind {
-        CtrlKind::Loop { header } => BrDest { target: *header, ..dest },
+        CtrlKind::Loop { header } => BrDest {
+            target: *header,
+            ..dest
+        },
         CtrlKind::Block { patches } | CtrlKind::If { patches, .. } => {
             patches.push(PatchRef { op: op_pos, slot });
             dest
@@ -724,11 +803,20 @@ mod tests {
 
     fn prep_body(instrs: Vec<Instr>, results: Vec<ValType>) -> PreparedFunc {
         let module = Module {
-            types: vec![FuncType { params: vec![], results }],
+            types: vec![FuncType {
+                params: vec![],
+                results,
+            }],
             funcs: vec![0],
-            code: vec![FuncBody { locals: vec![], instrs }],
+            code: vec![FuncBody {
+                locals: vec![],
+                instrs,
+            }],
             memories: vec![MemoryType {
-                limits: crate::types::Limits { min: 1, max: Some(2) },
+                limits: crate::types::Limits {
+                    min: 1,
+                    max: Some(2),
+                },
                 shared: false,
             }],
             ..Default::default()
@@ -817,11 +905,18 @@ mod tests {
     #[test]
     fn every_instruction_scheme_polls_densely() {
         let module = Module {
-            types: vec![FuncType { params: vec![], results: vec![ValType::I32] }],
+            types: vec![FuncType {
+                params: vec![],
+                results: vec![ValType::I32],
+            }],
             funcs: vec![0],
             code: vec![FuncBody {
                 locals: vec![],
-                instrs: vec![Instr::I32Const(1), Instr::I32Const(2), Instr::Bin(BinOp::I32Add)],
+                instrs: vec![
+                    Instr::I32Const(1),
+                    Instr::I32Const(2),
+                    Instr::Bin(BinOp::I32Add),
+                ],
             }],
             ..Default::default()
         };
@@ -841,9 +936,15 @@ mod tests {
     #[test]
     fn function_entry_scheme_polls_once() {
         let module = Module {
-            types: vec![FuncType { params: vec![], results: vec![] }],
+            types: vec![FuncType {
+                params: vec![],
+                results: vec![],
+            }],
             funcs: vec![0],
-            code: vec![FuncBody { locals: vec![], instrs: vec![Instr::Nop] }],
+            code: vec![FuncBody {
+                locals: vec![],
+                instrs: vec![Instr::Nop],
+            }],
             ..Default::default()
         };
         crate::validate::validate(&module).unwrap();

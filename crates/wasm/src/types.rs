@@ -68,7 +68,10 @@ pub struct FuncType {
 impl FuncType {
     /// Builds a signature from slices.
     pub fn new(params: impl Into<Vec<ValType>>, results: impl Into<Vec<ValType>>) -> Self {
-        FuncType { params: params.into(), results: results.into() }
+        FuncType {
+            params: params.into(),
+            results: results.into(),
+        }
     }
 }
 
@@ -140,7 +143,13 @@ mod tests {
 
     #[test]
     fn valtype_byte_round_trip() {
-        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64, ValType::FuncRef] {
+        for t in [
+            ValType::I32,
+            ValType::I64,
+            ValType::F32,
+            ValType::F64,
+            ValType::FuncRef,
+        ] {
             assert_eq!(ValType::from_byte(t.byte()), Some(t));
         }
         assert_eq!(ValType::from_byte(0x00), None);
@@ -149,8 +158,16 @@ mod tests {
     #[test]
     fn limits_validity() {
         assert!(Limits { min: 1, max: None }.valid());
-        assert!(Limits { min: 1, max: Some(1) }.valid());
-        assert!(!Limits { min: 2, max: Some(1) }.valid());
+        assert!(Limits {
+            min: 1,
+            max: Some(1)
+        }
+        .valid());
+        assert!(!Limits {
+            min: 2,
+            max: Some(1)
+        }
+        .valid());
     }
 
     #[test]

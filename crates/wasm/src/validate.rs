@@ -17,7 +17,9 @@ pub fn validate(m: &Module) -> Result<(), ValidateError> {
     for (i, imp) in m.imports.iter().enumerate() {
         if let ImportDesc::Func(t) = imp.desc {
             if t as usize >= m.types.len() {
-                return Err(ValidateError::msg(format!("import {i}: bad type index {t}")));
+                return Err(ValidateError::msg(format!(
+                    "import {i}: bad type index {t}"
+                )));
             }
         }
     }
@@ -30,13 +32,19 @@ pub fn validate(m: &Module) -> Result<(), ValidateError> {
         return Err(ValidateError::msg("function/code count mismatch"));
     }
 
-    let num_memories =
-        m.memories.len() + m.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Memory(_))).count();
+    let num_memories = m.memories.len()
+        + m.imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Memory(_)))
+            .count();
     if num_memories > 1 {
         return Err(ValidateError::msg("at most one memory is supported"));
     }
-    let num_tables =
-        m.tables.len() + m.imports.iter().filter(|i| matches!(i.desc, ImportDesc::Table(_))).count();
+    let num_tables = m.tables.len()
+        + m.imports
+            .iter()
+            .filter(|i| matches!(i.desc, ImportDesc::Table(_)))
+            .count();
     if num_tables > 1 {
         return Err(ValidateError::msg("at most one table is supported"));
     }
@@ -72,7 +80,9 @@ pub fn validate(m: &Module) -> Result<(), ValidateError> {
             .ty(&imported_globals)
             .ok_or_else(|| ValidateError::msg(format!("global {i}: bad init global index")))?;
         if ty != g.ty.ty {
-            return Err(ValidateError::msg(format!("global {i}: init type mismatch")));
+            return Err(ValidateError::msg(format!(
+                "global {i}: init type mismatch"
+            )));
         }
         if let ConstExpr::RefFunc(f) = g.init {
             check_func_index(m, f)?;
@@ -138,7 +148,9 @@ pub fn validate(m: &Module) -> Result<(), ValidateError> {
 
     // Start function: [] -> [].
     if let Some(s) = m.start {
-        let ty = m.func_type(s).ok_or_else(|| ValidateError::msg("start: bad func index"))?;
+        let ty = m
+            .func_type(s)
+            .ok_or_else(|| ValidateError::msg("start: bad func index"))?;
         if !ty.params.is_empty() || !ty.results.is_empty() {
             return Err(ValidateError::msg("start function must be [] -> []"));
         }
@@ -230,7 +242,10 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn pop(&mut self) -> Result<MaybeType, ValidateError> {
-        let frame = self.ctrls.last().ok_or_else(|| self.err("pop with no frame"))?;
+        let frame = self
+            .ctrls
+            .last()
+            .ok_or_else(|| self.err("pop with no frame"))?;
         if self.vals.len() == frame.height {
             if frame.unreachable {
                 return Ok(None);
@@ -264,11 +279,22 @@ impl<'m> FuncValidator<'m> {
     fn push_frame(&mut self, is_loop: bool, start: Vec<ValType>, end: Vec<ValType>) {
         let height = self.vals.len();
         self.push_types(&start.clone());
-        self.ctrls.push(CtrlFrame { is_loop, start_types: start, end_types: end, height, unreachable: false });
+        self.ctrls.push(CtrlFrame {
+            is_loop,
+            start_types: start,
+            end_types: end,
+            height,
+            unreachable: false,
+        });
     }
 
     fn pop_frame(&mut self) -> Result<CtrlFrame, ValidateError> {
-        let end_types = self.ctrls.last().ok_or_else(|| self.err("end with no frame"))?.end_types.clone();
+        let end_types = self
+            .ctrls
+            .last()
+            .ok_or_else(|| self.err("end with no frame"))?
+            .end_types
+            .clone();
         self.pop_types(&end_types)?;
         let frame = self.ctrls.pop().expect("non-empty");
         if self.vals.len() != frame.height {
@@ -294,7 +320,11 @@ impl<'m> FuncValidator<'m> {
             .checked_sub(1 + depth as usize)
             .ok_or_else(|| self.err(format!("bad label depth {depth}")))?;
         let frame = &self.ctrls[idx];
-        Ok(if frame.is_loop { frame.start_types.clone() } else { frame.end_types.clone() })
+        Ok(if frame.is_loop {
+            frame.start_types.clone()
+        } else {
+            frame.end_types.clone()
+        })
     }
 
     fn block_sig(&self, bt: &BlockType) -> Result<(Vec<ValType>, Vec<ValType>), ValidateError> {
@@ -313,11 +343,17 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn local(&self, i: u32) -> Result<ValType, ValidateError> {
-        self.locals.get(i as usize).copied().ok_or_else(|| self.err(format!("bad local {i}")))
+        self.locals
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| self.err(format!("bad local {i}")))
     }
 
     fn global(&self, i: u32) -> Result<GlobalType, ValidateError> {
-        self.globals.get(i as usize).copied().ok_or_else(|| self.err(format!("bad global {i}")))
+        self.globals
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| self.err(format!("bad global {i}")))
     }
 
     fn need_memory(&self) -> Result<(), ValidateError> {
@@ -328,7 +364,11 @@ impl<'m> FuncValidator<'m> {
         }
     }
 
-    fn validate(mut self, ty: &FuncType, body: &crate::module::FuncBody) -> Result<(), ValidateError> {
+    fn validate(
+        mut self,
+        ty: &FuncType,
+        body: &crate::module::FuncBody,
+    ) -> Result<(), ValidateError> {
         self.locals = ty.params.clone();
         for (n, t) in &body.locals {
             for _ in 0..*n {
@@ -579,8 +619,17 @@ mod tests {
         Module {
             types: vec![FuncType { params, results }],
             funcs: vec![0],
-            memories: vec![MemoryType { limits: Limits { min: 1, max: Some(2) }, shared: false }],
-            code: vec![FuncBody { locals: vec![], instrs }],
+            memories: vec![MemoryType {
+                limits: Limits {
+                    min: 1,
+                    max: Some(2),
+                },
+                shared: false,
+            }],
+            code: vec![FuncBody {
+                locals: vec![],
+                instrs,
+            }],
             ..Default::default()
         }
     }
@@ -590,7 +639,11 @@ mod tests {
         let m = module_with_body(
             vec![ValType::I32, ValType::I32],
             vec![ValType::I32],
-            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::Bin(BinOp::I32Add)],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::Bin(BinOp::I32Add),
+            ],
         );
         validate(&m).unwrap();
     }
@@ -600,7 +653,11 @@ mod tests {
         let m = module_with_body(
             vec![],
             vec![ValType::I32],
-            vec![Instr::I64Const(1), Instr::I32Const(2), Instr::Bin(BinOp::I32Add)],
+            vec![
+                Instr::I64Const(1),
+                Instr::I32Const(2),
+                Instr::Bin(BinOp::I32Add),
+            ],
         );
         assert!(validate(&m).is_err());
     }
@@ -613,11 +670,7 @@ mod tests {
 
     #[test]
     fn rejects_leftover_values() {
-        let m = module_with_body(
-            vec![],
-            vec![],
-            vec![Instr::I32Const(1)],
-        );
+        let m = module_with_body(vec![], vec![], vec![Instr::I32Const(1)]);
         assert!(validate(&m).is_err());
     }
 
@@ -694,9 +747,16 @@ mod tests {
 
     #[test]
     fn immutable_global_cannot_be_set() {
-        let mut m = module_with_body(vec![], vec![], vec![Instr::I32Const(1), Instr::GlobalSet(0)]);
+        let mut m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::I32Const(1), Instr::GlobalSet(0)],
+        );
         m.globals.push(Global {
-            ty: GlobalType { ty: ValType::I32, mutable: false },
+            ty: GlobalType {
+                ty: ValType::I32,
+                mutable: false,
+            },
             init: ConstExpr::I32(0),
         });
         assert!(validate(&m).is_err());
@@ -709,7 +769,10 @@ mod tests {
         let mut m = module_with_body(
             vec![],
             vec![ValType::I32],
-            vec![Instr::I32Const(0), Instr::Load(crate::instr::LoadKind::I32, Default::default())],
+            vec![
+                Instr::I32Const(0),
+                Instr::Load(crate::instr::LoadKind::I32, Default::default()),
+            ],
         );
         m.memories.clear();
         assert!(validate(&m).is_err());
@@ -719,15 +782,25 @@ mod tests {
     fn rejects_duplicate_exports() {
         let mut m = module_with_body(vec![], vec![], vec![]);
         m.exports = vec![
-            crate::module::Export { name: "a".into(), desc: crate::module::ExportDesc::Func(0) },
-            crate::module::Export { name: "a".into(), desc: crate::module::ExportDesc::Func(0) },
+            crate::module::Export {
+                name: "a".into(),
+                desc: crate::module::ExportDesc::Func(0),
+            },
+            crate::module::Export {
+                name: "a".into(),
+                desc: crate::module::ExportDesc::Func(0),
+            },
         ];
         assert!(validate(&m).is_err());
     }
 
     #[test]
     fn start_must_be_nullary() {
-        let mut m = module_with_body(vec![ValType::I32], vec![], vec![Instr::LocalGet(0), Instr::Drop]);
+        let mut m = module_with_body(
+            vec![ValType::I32],
+            vec![],
+            vec![Instr::LocalGet(0), Instr::Drop],
+        );
         m.start = Some(0);
         assert!(validate(&m).is_err());
     }
@@ -739,7 +812,13 @@ mod tests {
             vec![ValType::I32],
             vec![
                 Instr::I32Const(0),
-                Instr::Load(crate::instr::LoadKind::I32, crate::instr::MemArg { align: 3, offset: 0 }),
+                Instr::Load(
+                    crate::instr::LoadKind::I32,
+                    crate::instr::MemArg {
+                        align: 3,
+                        offset: 0,
+                    },
+                ),
             ],
         );
         assert!(validate(&m).is_err());

@@ -67,7 +67,9 @@ fn division_by_zero_traps() {
     let mut mb = ModuleBuilder::new();
     let sig = mb.sig([ValType::I32, ValType::I32], [ValType::I32]);
     let f = mb.func(sig, |b| {
-        b.local_get(0).local_get(1).emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I32DivS));
+        b.local_get(0)
+            .local_get(1)
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I32DivS));
     });
     mb.export("main", f);
     let module = mb.build();
@@ -81,7 +83,12 @@ fn division_by_zero_traps() {
         other => panic!("{other:?}"),
     }
     let mut t = Thread::new();
-    match t.call(&mut inst, &mut ctx, main, &[Value::I32(i32::MIN), Value::I32(-1)]) {
+    match t.call(
+        &mut inst,
+        &mut ctx,
+        main,
+        &[Value::I32(i32::MIN), Value::I32(-1)],
+    ) {
         RunResult::Trapped(Trap::IntegerOverflow) => {}
         other => panic!("{other:?}"),
     }
@@ -159,7 +166,9 @@ fn suspension_resume_and_fork_style_clone() {
     let main_sig = mb.sig([], [ValType::I64]);
     let f = mb.func(main_sig, |b| {
         // return fork() * 2 + 1
-        b.call(fork).i64(2).emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
+        b.call(fork)
+            .i64(2)
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Mul));
         b.i64(1).add64();
     });
     mb.export("main", f);
@@ -223,8 +232,13 @@ fn safepoint_reentrancy_runs_signal_handler() {
     let main_idx = inst.export_func("main").unwrap();
     // Queue a pending "SIGINT" delivered at the first loop-header
     // safepoint.
-    let mut ctx =
-        Ctx { pending: Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] }), ..Default::default() };
+    let mut ctx = Ctx {
+        pending: Some(PendingCall {
+            func: handler_idx,
+            args: vec![Value::I32(2)],
+        }),
+        ..Default::default()
+    };
 
     let mut t = Thread::new();
     match t.call(&mut inst, &mut ctx, main_idx, &[]) {
@@ -258,8 +272,13 @@ fn no_safepoints_means_no_delivery() {
     let mut inst = link(&module, &Linker::<Ctx>::new(), SafepointScheme::None);
     let handler_idx = inst.export_func("handler").unwrap();
     let main_idx = inst.export_func("main").unwrap();
-    let mut ctx =
-        Ctx { pending: Some(PendingCall { func: handler_idx, args: vec![Value::I32(2)] }), ..Default::default() };
+    let mut ctx = Ctx {
+        pending: Some(PendingCall {
+            func: handler_idx,
+            args: vec![Value::I32(2)],
+        }),
+        ..Default::default()
+    };
 
     let mut t = Thread::new();
     match t.call(&mut inst, &mut ctx, main_idx, &[]) {
@@ -300,13 +319,23 @@ fn fib_exercises_control_flow() {
         b.if_(BlockType::Empty, |b| {
             b.local_get(0).ret();
         });
-        b.local_get(0).i64(1).emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Sub)).call(fib);
-        b.local_get(0).i64(2).emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Sub)).call(fib);
+        b.local_get(0)
+            .i64(1)
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Sub))
+            .call(fib);
+        b.local_get(0)
+            .i64(2)
+            .emit(wasm::instr::Instr::Bin(wasm::instr::BinOp::I64Sub))
+            .call(fib);
         b.add64();
     });
     mb.export("main", fib);
     let module = mb.build();
-    let mut inst = link(&module, &Linker::<Ctx>::new(), SafepointScheme::FunctionEntry);
+    let mut inst = link(
+        &module,
+        &Linker::<Ctx>::new(),
+        SafepointScheme::FunctionEntry,
+    );
     let mut ctx = Ctx::default();
     let main = inst.export_func("main").unwrap();
     let mut t = Thread::new();
@@ -350,7 +379,10 @@ fn br_table_dispatch() {
             b.block(BlockType::Empty, |b| {
                 b.block(BlockType::Empty, |b| {
                     b.local_get(0);
-                    b.emit(wasm::instr::Instr::BrTable(vec![0, 1].into_boxed_slice(), 2));
+                    b.emit(wasm::instr::Instr::BrTable(
+                        vec![0, 1].into_boxed_slice(),
+                        2,
+                    ));
                 });
                 b.i32(100).ret();
             });

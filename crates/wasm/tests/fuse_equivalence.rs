@@ -92,7 +92,11 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
             .emit(Instr::End);
     });
     mb.export("main", f);
-    out.push(("if_else_cmp", mb.build(), vec![Value::I32(9), Value::I32(4)]));
+    out.push((
+        "if_else_cmp",
+        mb.build(),
+        vec![Value::I32(9), Value::I32(4)],
+    ));
     let mut mb = ModuleBuilder::new();
     let sig = mb.sig([ValType::I32, ValType::I32], [ValType::I32]);
     let f = mb.func(sig, |b| {
@@ -108,7 +112,11 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
             .emit(Instr::End);
     });
     mb.export("main", f);
-    out.push(("if_else_cmp_taken", mb.build(), vec![Value::I32(2), Value::I32(4)]));
+    out.push((
+        "if_else_cmp_taken",
+        mb.build(),
+        vec![Value::I32(2), Value::I32(4)],
+    ));
 
     // Forward branch landing exactly *on* a fusible pair: the block end
     // coincides with the const, so a fused const+binop starting at the
@@ -147,7 +155,8 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
     mb.memory(1, Some(1));
     let sig = mb.sig([ValType::I32], [ValType::I32]);
     let f = mb.func(sig, |b| {
-        b.local_get(0).emit(Instr::Load(LoadKind::I32, MemArg::offset(0)));
+        b.local_get(0)
+            .emit(Instr::Load(LoadKind::I32, MemArg::offset(0)));
     });
     mb.export("main", f);
     out.push(("oob_local_load", mb.build(), vec![Value::I32(70000)]));
@@ -183,9 +192,11 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
     out.push(("loop_header_load", mb.build(), vec![Value::I32(8)]));
 
     // br_table with fused arithmetic in the arms.
-    for (name, v) in
-        [("br_table_0", 0), ("br_table_1", 1), ("br_table_default", 9)]
-    {
+    for (name, v) in [
+        ("br_table_0", 0),
+        ("br_table_1", 1),
+        ("br_table_default", 9),
+    ] {
         let mut mb2 = ModuleBuilder::new();
         let sig = mb2.sig([ValType::I32], [ValType::I32]);
         let f2 = mb2.func(sig, |b| {
@@ -216,7 +227,12 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
     out
 }
 
-fn run(module: &wasm::Module, fuse: bool, args: &[Value], scheme: SafepointScheme) -> (RunResult, Vec<u64>) {
+fn run(
+    module: &wasm::Module,
+    fuse: bool,
+    args: &[Value],
+    scheme: SafepointScheme,
+) -> (RunResult, Vec<u64>) {
     let linker: Linker<()> = Linker::new();
     let program = Arc::new(Program::link_with(module, &linker, scheme, fuse).expect("link"));
     assert_eq!(program.fused, fuse);
@@ -258,7 +274,11 @@ fn fused_op_count(module: &wasm::Module, fuse: bool) -> usize {
 
 #[test]
 fn fusion_is_observationally_equivalent() {
-    for scheme in [SafepointScheme::None, SafepointScheme::LoopHeaders, SafepointScheme::EveryInstruction] {
+    for scheme in [
+        SafepointScheme::None,
+        SafepointScheme::LoopHeaders,
+        SafepointScheme::EveryInstruction,
+    ] {
         for (name, module, args) in corpus() {
             let (fused, g1) = run(&module, true, &args, scheme);
             let (unfused, g2) = run(&module, false, &args, scheme);
@@ -281,10 +301,17 @@ fn fusion_actually_fires_on_the_corpus() {
     let mut total_fused = 0;
     for (name, module, _) in corpus() {
         let n = fused_op_count(&module, true);
-        assert_eq!(fused_op_count(&module, false), 0, "{name}: unfused link emits fused ops");
+        assert_eq!(
+            fused_op_count(&module, false),
+            0,
+            "{name}: unfused link emits fused ops"
+        );
         total_fused += n;
     }
-    assert!(total_fused >= 10, "corpus should exercise fusion, got {total_fused} fused ops");
+    assert!(
+        total_fused >= 10,
+        "corpus should exercise fusion, got {total_fused} fused ops"
+    );
 }
 
 #[test]
@@ -292,9 +319,17 @@ fn barrier_blocks_fusion_across_branch_targets() {
     // A branch target on a fused pair's *start* is fine: in
     // `branch_into_pair` both paths (taken / fall-through) land on the
     // const+add superinstruction and must produce n+7.
-    let (_, module, _) = corpus().into_iter().find(|(n, _, _)| *n == "branch_into_pair").unwrap();
+    let (_, module, _) = corpus()
+        .into_iter()
+        .find(|(n, _, _)| *n == "branch_into_pair")
+        .unwrap();
     for arg in [0, 5] {
-        let (r, _) = run(&module, true, &[Value::I32(arg)], SafepointScheme::LoopHeaders);
+        let (r, _) = run(
+            &module,
+            true,
+            &[Value::I32(arg)],
+            SafepointScheme::LoopHeaders,
+        );
         match r {
             RunResult::Done(v) => assert_eq!(v, vec![Value::I32(arg + 7)]),
             other => panic!("{other:?}"),
@@ -305,7 +340,10 @@ fn barrier_blocks_fusion_across_branch_targets() {
     // fusion: in `loop_header_load` (scheme None, so no safepoint pads
     // the header) the back edge lands on the load whose address operand
     // was pushed before the loop — the load must stay unfused.
-    let (_, module, _) = corpus().into_iter().find(|(n, _, _)| *n == "loop_header_load").unwrap();
+    let (_, module, _) = corpus()
+        .into_iter()
+        .find(|(n, _, _)| *n == "loop_header_load")
+        .unwrap();
     let linker: Linker<()> = Linker::new();
     let program =
         Arc::new(Program::link_with(&module, &linker, SafepointScheme::None, true).unwrap());
@@ -317,6 +355,9 @@ fn barrier_blocks_fusion_across_branch_targets() {
         wasm::prep::FuncDef::Local(p) => p.ops.iter().any(|o| matches!(o, Op::LocalLoad(..))),
         _ => false,
     });
-    assert!(has_plain_load, "the loop-header load must not fuse across the back edge");
+    assert!(
+        has_plain_load,
+        "the loop-header load must not fuse across the back edge"
+    );
     assert!(!has_fused_load);
 }

@@ -74,9 +74,7 @@ fn dispatch(c: C, name: &str, a: &[Value]) -> i64 {
             // (queue, msg_ptr); message size from the queue definition.
             let id = arg(a, 0) as usize;
             let ptr = arg(a, 1) as u32;
-            let Ok(size) = usize::try_from(
-                z.msgqs_size(id).unwrap_or(0),
-            ) else {
+            let Ok(size) = usize::try_from(z.msgqs_size(id).unwrap_or(0)) else {
                 return crate::zephyr::Z_EINVAL;
             };
             match c.instance.memory.read(ptr as u64, size) {
@@ -113,8 +111,12 @@ fn dispatch(c: C, name: &str, a: &[Value]) -> i64 {
             }
         }
         "fs_write" => {
-            let (name_ptr, ptr, len, append) =
-                (arg(a, 0) as u32, arg(a, 1) as u32, arg(a, 2) as usize, arg(a, 3) != 0);
+            let (name_ptr, ptr, len, append) = (
+                arg(a, 0) as u32,
+                arg(a, 1) as u32,
+                arg(a, 2) as usize,
+                arg(a, 3) != 0,
+            );
             let name = match c.instance.memory.read_cstr(name_ptr as u64) {
                 Ok(n) => String::from_utf8_lossy(&n).into_owned(),
                 Err(_) => return crate::zephyr::Z_EINVAL,
@@ -137,7 +139,12 @@ fn dispatch(c: C, name: &str, a: &[Value]) -> i64 {
             };
             let mut buf = vec![0u8; len];
             let n = z.fs_read(&name, off, &mut buf);
-            if n >= 0 && c.instance.memory.write(ptr as u64, &buf[..n as usize]).is_err() {
+            if n >= 0
+                && c.instance
+                    .memory
+                    .write(ptr as u64, &buf[..n as usize])
+                    .is_err()
+            {
                 return crate::zephyr::Z_EINVAL;
             }
             n
@@ -152,9 +159,11 @@ pub fn build_wazi_linker() -> Linker<WaziCtx> {
     let mut l = Linker::new();
     for (name, _args) in ZEPHYR_SYSCALLS {
         let name: &'static str = name;
-        l.func("wazi", &format!("z_{name}"), move |c: C<'_, '_>, args: &[Value]| {
-            Ok(vec![Value::I64(dispatch(c, name, args))])
-        });
+        l.func(
+            "wazi",
+            &format!("z_{name}"),
+            move |c: C<'_, '_>, args: &[Value]| Ok(vec![Value::I64(dispatch(c, name, args))]),
+        );
     }
     l
 }
@@ -175,7 +184,10 @@ impl Default for WaziRunner {
 impl WaziRunner {
     /// Boots the board model.
     pub fn new() -> WaziRunner {
-        WaziRunner { zephyr: Rc::new(RefCell::new(Zephyr::new())), linker: build_wazi_linker() }
+        WaziRunner {
+            zephyr: Rc::new(RefCell::new(Zephyr::new())),
+            linker: build_wazi_linker(),
+        }
     }
 
     /// Runs `main` of `module` to completion; rejects modules whose
@@ -191,13 +203,14 @@ impl WaziRunner {
         }
         let program = Program::link(module, &self.linker, SafepointScheme::LoopHeaders)
             .map_err(|e| e.to_string())?;
-        let mut instance =
-            Instance::new(Arc::new(program)).map_err(|t| t.to_string())?;
+        let mut instance = Instance::new(Arc::new(program)).map_err(|t| t.to_string())?;
         let entry = instance
             .export_func("main")
             .or_else(|| instance.export_func("_start"))
             .ok_or("no entry")?;
-        let mut ctx = WaziCtx { zephyr: self.zephyr.clone() };
+        let mut ctx = WaziCtx {
+            zephyr: self.zephyr.clone(),
+        };
         let mut thread = Thread::new();
         match thread.call(&mut instance, &mut ctx, entry, args) {
             RunResult::Done(v) => Ok(v),
@@ -236,10 +249,28 @@ mod tests {
             let i = b.local(I32);
             b.loop_(wasm::instr::BlockType::Empty, |b| {
                 b.i64(100).call(sleep).drop_();
-                b.i64(0).i64(13).local_get(i).i32(1).and32().extend_u().call(gpio_set).drop_();
+                b.i64(0)
+                    .i64(13)
+                    .local_get(i)
+                    .i32(1)
+                    .and32()
+                    .extend_u()
+                    .call(gpio_set)
+                    .drop_();
                 b.i64(msg as i64).i64(5).call(console).drop_();
-                b.i64(log as i64).i64(msg as i64).i64(5).i64(1).call(fs_write).drop_();
-                b.local_get(i).i32(1).add32().local_tee(i).i32(10).lt_s32().br_if(0);
+                b.i64(log as i64)
+                    .i64(msg as i64)
+                    .i64(5)
+                    .i64(1)
+                    .call(fs_write)
+                    .drop_();
+                b.local_get(i)
+                    .i32(1)
+                    .add32()
+                    .local_tee(i)
+                    .i32(10)
+                    .lt_s32()
+                    .br_if(0);
             });
             b.call(uptime);
         });
@@ -250,7 +281,10 @@ mod tests {
         let out = runner.run(&module, &[]).unwrap();
         assert_eq!(out, vec![Value::I64(1000)], "10 ticks x 100ms uptime");
         let z = runner.zephyr.borrow();
-        assert_eq!(z.console, b"tick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\n");
+        assert_eq!(
+            z.console,
+            b"tick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\ntick\n"
+        );
         assert_eq!(z.flash_fs["boot.log"].len(), 50);
         assert!(z.gpio_get(0, 13), "last toggle (i=9) set the pin high");
     }

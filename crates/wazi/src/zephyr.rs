@@ -77,7 +77,10 @@ impl Zephyr {
 
     /// `k_sem_init`: returns the semaphore id.
     pub fn sem_init(&mut self, initial: u32, limit: u32) -> usize {
-        self.sems.push(KSem { count: initial.min(limit), limit });
+        self.sems.push(KSem {
+            count: initial.min(limit),
+            limit,
+        });
         self.sems.len() - 1
     }
 
@@ -106,7 +109,11 @@ impl Zephyr {
 
     /// `k_msgq_init`: returns the queue id.
     pub fn msgq_init(&mut self, msg_size: u32, capacity: u32) -> usize {
-        self.msgqs.push(KMsgq { msg_size, capacity, queue: Vec::new() });
+        self.msgqs.push(KMsgq {
+            msg_size,
+            capacity,
+            queue: Vec::new(),
+        });
         self.msgqs.len() - 1
     }
 
@@ -139,7 +146,10 @@ impl Zephyr {
 
     /// `k_timer_start` (one-shot): returns the timer id.
     pub fn timer_start(&mut self, after_ms: u64) -> usize {
-        self.timers.push(KTimer { expiry_ms: self.uptime_ms + after_ms, expired: 0 });
+        self.timers.push(KTimer {
+            expiry_ms: self.uptime_ms + after_ms,
+            expired: 0,
+        });
         self.timers.len() - 1
     }
 

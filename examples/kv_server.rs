@@ -13,7 +13,9 @@ fn main() {
     let module = wasm::decode::decode(&bytes).expect("valid");
 
     let mut runner = wali::WaliRunner::new(SafepointScheme::LoopHeaders);
-    runner.register_program("/usr/bin/memcached", &module).expect("register");
+    runner
+        .register_program("/usr/bin/memcached", &module)
+        .expect("register");
     runner.spawn("/usr/bin/memcached", &[], &[]).expect("spawn");
     let out = runner.run().expect("run");
 
@@ -25,5 +27,8 @@ fn main() {
         out.trace.counts["connect"],
         out.trace.counts.get("write").copied().unwrap_or(0),
     );
-    println!("peak linear memory: {} KiB", out.peak_memory_pages as usize * 64);
+    println!(
+        "peak linear memory: {} KiB",
+        out.peak_memory_pages as usize * 64
+    );
 }

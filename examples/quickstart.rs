@@ -33,8 +33,7 @@ fn main() {
     let module = wasm::decode::decode(&bytes).expect("valid binary");
 
     // 3. Run it on the WALI runtime.
-    let out = wali::WaliRunner::run_to_exit(&module, &[], &["HOME=/home/user"])
-        .expect("runs");
+    let out = wali::WaliRunner::run_to_exit(&module, &[], &["HOME=/home/user"]).expect("runs");
     print!("console: {}", out.stdout());
     println!("exit code (the pid): {:?}", out.exit_code());
     println!("syscalls traced: {:?}", out.trace.counts);

@@ -13,12 +13,19 @@ fn main() {
     let module = wasm::decode::decode(&bytes).expect("valid");
 
     let mut runner = wali::WaliRunner::new(SafepointScheme::LoopHeaders);
-    runner.register_program("/bin/bash", &module).expect("register");
-    runner.spawn("/bin/bash", &["-c", "echo hello | wc -l"], &[]).expect("spawn");
+    runner
+        .register_program("/bin/bash", &module)
+        .expect("register");
+    runner
+        .spawn("/bin/bash", &["-c", "echo hello | wc -l"], &[])
+        .expect("spawn");
     let out = runner.run().expect("run");
 
     println!("shell output:\n{}", out.stdout());
-    println!("exit: {:?} (0 = every child reaped via SIGCHLD)", out.main_exit);
+    println!(
+        "exit: {:?} (0 = every child reaped via SIGCHLD)",
+        out.main_exit
+    );
     println!(
         "job-control syscalls: fork={} wait4={} pipe={} dup3={} rt_sigaction={}",
         out.trace.counts["fork"],

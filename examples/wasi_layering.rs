@@ -22,7 +22,11 @@ fn main() {
     let nwritten = mb.reserve(4);
     let main_sig = mb.sig([], [I32]);
     let main = mb.func(main_sig, |b| {
-        b.i32(1).i32(iov as i32).i32(1).i32(nwritten as i32).call(fd_write);
+        b.i32(1)
+            .i32(iov as i32)
+            .i32(1)
+            .i32(nwritten as i32)
+            .call(fd_write);
     });
     mb.export("_start", main);
     let bytes = wasm::encode::encode(&mb.build());
@@ -31,13 +35,19 @@ fn main() {
     let mut runner = wali::WaliRunner::new_default();
     // Stack the WASI layer over the WALI registry.
     add_wasi_layer(runner.linker_mut());
-    runner.register_program("/usr/bin/wasi-app", &module).expect("register");
+    runner
+        .register_program("/usr/bin/wasi-app", &module)
+        .expect("register");
     let tid = runner.spawn("/usr/bin/wasi-app", &[], &[]).expect("spawn");
-    runner.configure_ctx(tid, |ctx| init_wasi(ctx, WasiState::with_preopens(&["/tmp"])));
+    runner.configure_ctx(tid, |ctx| {
+        init_wasi(ctx, WasiState::with_preopens(&["/tmp"]))
+    });
     let out = runner.run().expect("run");
 
     print!("console: {}", out.stdout());
     println!("WASI errno returned: {:?}", out.exit_code());
-    println!("note the trace shows WALI syscalls, not WASI calls: {:?}",
-        out.trace.counts.keys().collect::<Vec<_>>());
+    println!(
+        "note the trace shows WALI syscalls, not WASI calls: {:?}",
+        out.trace.counts.keys().collect::<Vec<_>>()
+    );
 }

@@ -5,8 +5,8 @@
 //! is split across the crates in `crates/*`; see `DESIGN.md` for the map.
 
 pub use apps;
-pub use vkernel;
 pub use virt;
+pub use vkernel;
 pub use wali;
 pub use wali_abi;
 pub use wasi_layer;

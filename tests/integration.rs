@@ -68,11 +68,22 @@ fn policy_layer_restricts_the_suite() {
     let bytes = wasm::encode::encode(&app.module);
     let module = wasm::decode::decode(&bytes).unwrap();
     let mut runner = WaliRunner::new_default();
-    runner.kernel.borrow_mut().vfs.write_file("/tmp/script.lua", b"x").unwrap();
+    runner
+        .kernel
+        .borrow_mut()
+        .vfs
+        .write_file("/tmp/script.lua", b"x")
+        .unwrap();
     runner.register_program("/usr/bin/lua", &module).unwrap();
-    runner.spawn_with_policy("/usr/bin/lua", &[], &[], allow_fs).unwrap();
+    runner
+        .spawn_with_policy("/usr/bin/lua", &[], &[], allow_fs)
+        .unwrap();
     let out = runner.run().unwrap();
-    assert_eq!(out.main_exit, Some(TaskEnd::Exited(0)), "lua needs no sockets");
+    assert_eq!(
+        out.main_exit,
+        Some(TaskEnd::Exited(0)),
+        "lua needs no sockets"
+    );
 }
 
 #[test]
@@ -89,14 +100,23 @@ fn emulator_and_fast_tier_agree_on_every_emulatable_app() {
         };
         let fast = {
             let mut runner = WaliRunner::new_default();
-            runner.kernel.borrow_mut().vfs.write_file("/tmp/script.lua", b"x").unwrap();
+            runner
+                .kernel
+                .borrow_mut()
+                .vfs
+                .write_file("/tmp/script.lua", b"x")
+                .unwrap();
             runner.register_program("/usr/bin/app", &module).unwrap();
             runner.spawn("/usr/bin/app", &[], &[]).unwrap();
             runner.run().unwrap()
         };
         let mut emu = virt::EmuRunner::new(&module).unwrap();
         if seed {
-            emu.kernel().borrow_mut().vfs.write_file("/tmp/script.lua", b"x").unwrap();
+            emu.kernel()
+                .borrow_mut()
+                .vfs
+                .write_file("/tmp/script.lua", b"x")
+                .unwrap();
         }
         let slow = emu.run(&[]).unwrap();
         assert_eq!(Some(slow.exit), fast.exit_code(), "{name}: tiers disagree");
@@ -111,8 +131,13 @@ fn container_workloads_share_nothing_across_instances() {
     let b = virt::Container::start(&mut k, &image, "b");
     // Write inside container a's rootfs; b's view is unaffected.
     k.vfs.mkdir_p(&format!("{}/etc", a.rootfs)).unwrap();
-    k.vfs.write_file(&format!("{}/etc/app.conf", a.rootfs), b"A").unwrap();
-    assert!(k.vfs.read_file(&format!("{}/etc/app.conf", b.rootfs)).is_err());
+    k.vfs
+        .write_file(&format!("{}/etc/app.conf", a.rootfs), b"A")
+        .unwrap();
+    assert!(k
+        .vfs
+        .read_file(&format!("{}/etc/app.conf", b.rootfs))
+        .is_err());
 }
 
 #[test]
