@@ -16,6 +16,10 @@
 //! * [`progs::epoll_server_sim`] — event-loop KV server: one thread
 //!   multiplexing every connection with `epoll_create1`/`epoll_ctl`/
 //!   `epoll_wait`, plus N concurrent client threads.
+//! * [`progs::prefork_server_sim`] — prefork daemon: the parent forks N
+//!   workers that inherit one listening socket (COW memory), each worker
+//!   epoll-parks on it and serves accepted connections until a QUIT;
+//!   the parent drives the load and reaps the pool with `wait4`.
 //! * [`progs::paho_mqtt_sim`] — pub/sub client: `connect`, timed publishes
 //!   with `nanosleep`, socket echo round trips.
 //!
@@ -33,5 +37,5 @@ pub mod progs;
 pub use catalog::{catalog, CatalogEntry};
 pub use progs::{
     bash_builtin_sim, bash_sim, epoll_server_sim, lua_sim, memcached_sim, paho_mqtt_sim,
-    sqlite_sim, suite, App,
+    prefork_server_sim, sqlite_sim, suite, App,
 };

@@ -814,6 +814,215 @@ pub fn epoll_server_sim(clients: u32, requests: u32) -> App {
     }
 }
 
+/// Prefork server: the classic pre-`fork(2)` accept-loop daemon (apache/
+/// postgres shape) on the COW memory subsystem.
+///
+/// The parent creates one listening socket, forks `workers` processes
+/// that inherit it, then acts as the client: `workers × requests`
+/// connect/request/reply round trips served by whichever worker wins the
+/// accept race. Each worker parks in `epoll_wait` on the shared listener
+/// (waitqueues + epoll), `accept`s, serves one request and loops; a
+/// `QUIT` request makes the accepting worker exit. After the load the
+/// parent sends one QUIT per worker and reaps them all with `wait4` —
+/// fork + COW + waitqueues + epoll end-to-end.
+pub fn prefork_server_sim(workers: u32, requests: u32) -> App {
+    let mut mb = ModuleBuilder::new();
+    let socket = sys(&mut mb, "socket", 3);
+    let bind = sys(&mut mb, "bind", 3);
+    let listen = sys(&mut mb, "listen", 2);
+    let accept = sys(&mut mb, "accept", 3);
+    let connect = sys(&mut mb, "connect", 3);
+    let setsockopt = sys(&mut mb, "setsockopt", 5);
+    let read = sys(&mut mb, "read", 3);
+    let write = sys(&mut mb, "write", 3);
+    let close = sys(&mut mb, "close", 1);
+    let fork = sys(&mut mb, "fork", 0);
+    let wait4 = sys(&mut mb, "wait4", 4);
+    let exit = sys(&mut mb, "exit_group", 1);
+    let ep_create = sys(&mut mb, "epoll_create1", 1);
+    let ep_ctl = sys(&mut mb, "epoll_ctl", 4);
+    let ep_wait = sys(&mut mb, "epoll_wait", 4);
+    mb.memory(8, Some(256));
+
+    // sockaddr_in 127.0.0.1:11411.
+    let addr = mb.reserve(16);
+    let addr_init = {
+        let mut bytes = [0u8; 16];
+        bytes[0..2].copy_from_slice(&2u16.to_le_bytes());
+        bytes[2..4].copy_from_slice(&11411u16.to_be_bytes());
+        bytes[4..8].copy_from_slice(&[127, 0, 0, 1]);
+        bytes
+    };
+    mb.data_at(addr, &addr_init);
+    let ping = mb.c_str("ping");
+    let pong = mb.c_str("pong");
+    let quit = mb.c_str("QUIT");
+    let evreg = mb.reserve(12);
+    let evbuf = mb.reserve(4 * 12);
+    let wbuf = mb.reserve(64);
+    let cbuf = mb.reserve(64);
+    let status = mb.reserve(4);
+
+    let workers = workers.max(1);
+    let requests = requests.max(1);
+    let total = (workers * requests) as i32;
+
+    let sig = mb.sig([], [I32]);
+    let main = mb.func(sig, |b| {
+        let srv = b.local(I64);
+        let pid = b.local(I64);
+        let ep = b.local(I64);
+        let conn = b.local(I64);
+        let cli = b.local(I64);
+        let w = b.local(I32);
+        let i = b.local(I32);
+        let oks = b.local(I32);
+
+        // The listening socket, created before forking so every worker
+        // inherits the same open file description.
+        b.i64(2).i64(1).i64(0).call(socket).local_set(srv);
+        b.local_get(srv)
+            .i64(1)
+            .i64(2)
+            .i64(addr as i64 + 12)
+            .i64(4)
+            .call(setsockopt)
+            .drop_();
+        b.local_get(srv).i64(addr as i64).i64(16).call(bind).drop_();
+        b.local_get(srv).i64(64).call(listen).drop_();
+
+        // Fork the worker pool.
+        b.loop_(BlockType::Empty, |b| {
+            b.call(fork).local_set(pid);
+            b.local_get(pid).i64(0).eq64();
+            b.if_(BlockType::Empty, |b| {
+                // ---- worker: epoll-park on the inherited listener ----
+                b.i64(0).call(ep_create).local_set(ep);
+                b.i32(evreg as i32).i32(1).store32(0);
+                b.i32(evreg as i32).local_get(srv).store64(4);
+                b.local_get(ep)
+                    .i64(1)
+                    .local_get(srv)
+                    .i64(evreg as i64)
+                    .call(ep_ctl)
+                    .drop_();
+                b.loop_(BlockType::Empty, |b| {
+                    b.local_get(ep)
+                        .i64(evbuf as i64)
+                        .i64(4)
+                        .i64(-1)
+                        .call(ep_wait)
+                        .drop_();
+                    // Accept may still block when a sibling won the race;
+                    // the next connection wakes us either way.
+                    b.local_get(srv).i64(0).i64(0).call(accept).local_set(conn);
+                    b.local_get(conn)
+                        .i64(wbuf as i64)
+                        .i64(16)
+                        .call(read)
+                        .drop_();
+                    b.i32(wbuf as i32).load8u(0).i32('Q' as i32).eq32();
+                    b.if_(BlockType::Empty, |b| {
+                        b.local_get(conn).call(close).drop_();
+                        b.i64(0).call(exit).drop_();
+                    });
+                    b.local_get(conn)
+                        .i64(pong as i64)
+                        .i64(4)
+                        .call(write)
+                        .drop_();
+                    b.local_get(conn).call(close).drop_();
+                    b.br(0);
+                });
+            });
+            b.local_get(w)
+                .i32(1)
+                .add32()
+                .local_tee(w)
+                .i32(workers as i32)
+                .lt_s32()
+                .br_if(0);
+        });
+
+        // ---- parent as client: workers × requests round trips ----
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(2).i64(1).i64(0).call(socket).local_set(cli);
+            b.local_get(cli)
+                .i64(addr as i64)
+                .i64(16)
+                .call(connect)
+                .drop_();
+            b.local_get(cli).i64(ping as i64).i64(4).call(write).drop_();
+            b.local_get(cli).i64(cbuf as i64).i64(16).call(read).drop_();
+            b.i32(cbuf as i32).load8u(0).i32('p' as i32).eq32();
+            b.if_(BlockType::Empty, |b| {
+                b.local_get(oks).i32(1).add32().local_set(oks);
+            });
+            b.local_get(cli).call(close).drop_();
+            b.local_get(i)
+                .i32(1)
+                .add32()
+                .local_tee(i)
+                .i32(total)
+                .lt_s32()
+                .br_if(0);
+        });
+
+        // ---- shutdown: one QUIT per worker, then reap them all ----
+        b.i32(0).local_set(w);
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(2).i64(1).i64(0).call(socket).local_set(cli);
+            b.local_get(cli)
+                .i64(addr as i64)
+                .i64(16)
+                .call(connect)
+                .drop_();
+            b.local_get(cli).i64(quit as i64).i64(4).call(write).drop_();
+            b.local_get(cli).call(close).drop_();
+            b.local_get(w)
+                .i32(1)
+                .add32()
+                .local_tee(w)
+                .i32(workers as i32)
+                .lt_s32()
+                .br_if(0);
+        });
+        b.i32(0).local_set(w);
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(-1)
+                .i64(status as i64)
+                .i64(0)
+                .i64(0)
+                .call(wait4)
+                .drop_();
+            b.local_get(w)
+                .i32(1)
+                .add32()
+                .local_tee(w)
+                .i32(workers as i32)
+                .lt_s32()
+                .br_if(0);
+        });
+        // Exit 0 iff every request got its reply.
+        b.local_get(oks).i32(total).ne32();
+    });
+    mb.export("_start", main);
+    App {
+        name: "prefork",
+        description: "Prefork daemon",
+        module: mb.build(),
+        required: feats(&[
+            Feature::BasicFs,
+            Feature::Sockets,
+            Feature::SockOpt,
+            Feature::Fork,
+            Feature::Wait4,
+            Feature::Poll,
+        ]),
+        emulatable: false,
+    }
+}
+
 /// `paho-mqtt`-style pub/sub client against an in-process echo broker.
 pub fn paho_mqtt_sim(messages: u32) -> App {
     let mut mb = ModuleBuilder::new();
@@ -1057,6 +1266,46 @@ mod tests {
         // (the CI dispatch-equivalence gate runs this file that way).
         let out = run(epoll_server_sim(2, 2));
         assert_eq!(out.exit_code(), Some(0));
+    }
+
+    #[test]
+    fn prefork_server_serves_and_reaps_every_worker() {
+        let out = run(prefork_server_sim(3, 4));
+        assert_eq!(
+            out.exit_code(),
+            Some(0),
+            "all 12 replies received: {:?}",
+            out.main_exit
+        );
+        assert_eq!(out.trace.counts["fork"], 3);
+        // Blocked calls count one dispatch per retry, so these are floors.
+        assert!(out.trace.counts["wait4"] >= 3, "{:?}", out.trace.counts);
+        assert_eq!(
+            out.trace.counts["epoll_create1"], 3,
+            "one instance per worker"
+        );
+        // 12 serving accepts + 3 QUIT accepts.
+        assert!(out.trace.counts["accept"] >= 15, "{:?}", out.trace.counts);
+        assert!(out.trace.counts["connect"] >= 15);
+        // Workers exited, so parent + 3 children report endings.
+        assert_eq!(out.ends.len(), 4);
+    }
+
+    #[test]
+    fn prefork_server_is_cow_invariant() {
+        // The scenario must behave identically on the deep-copy baseline
+        // (the CI WALI_NO_COW gate runs the suite that way).
+        for cow in [true, false] {
+            let app = prefork_server_sim(2, 2);
+            let bytes = wasm::encode::encode(&app.module);
+            let module = wasm::decode::decode(&bytes).expect("round trip");
+            let mut runner = WaliRunner::new_default();
+            runner.set_cow(cow);
+            runner.register_program("/usr/bin/app", &module).unwrap();
+            runner.spawn("/usr/bin/app", &[], &[]).unwrap();
+            let out = runner.run().expect("run");
+            assert_eq!(out.exit_code(), Some(0), "cow={cow}: {:?}", out.main_exit);
+        }
     }
 
     #[test]

@@ -16,7 +16,13 @@ struct Tier {
     wali: Duration,
     container: Duration,
     emu: Duration,
+    /// Peak *resident* bytes (really-allocated pages; with the paged COW
+    /// backing this is what the process footprint experiment should
+    /// report — reservation is address space, not memory).
     wali_mem: usize,
+    /// Peak reserved bytes (the grow watermark — what this figure
+    /// reported before lazy allocation landed).
+    wali_reserved: usize,
     container_mem: usize,
 }
 
@@ -50,9 +56,11 @@ fn measure(name: &str, scale: u32) -> Tier {
     });
     // WALI (startup + run).
     let mut wali_mem = 0usize;
+    let mut wali_reserved = 0usize;
     let wali = bench::median_time(3, || {
         let (out, _) = bench::run_on_wali(&app, SafepointScheme::LoopHeaders);
-        wali_mem = out.peak_memory_pages as usize * wasm::PAGE_SIZE;
+        wali_mem = out.peak_resident_pages as usize * wasm::PAGE_SIZE;
+        wali_reserved = out.peak_memory_pages as usize * wasm::PAGE_SIZE;
     });
     // Container: materialize a typical image, then run the native twin.
     let image = Image::typical();
@@ -94,6 +102,7 @@ fn measure(name: &str, scale: u32) -> Tier {
         container,
         emu,
         wali_mem,
+        wali_reserved,
         container_mem,
     }
 }
@@ -122,8 +131,9 @@ fn main() {
         }
         let t = last.unwrap();
         println!(
-            "  memory: WALI peak {} KiB, container base+app {} KiB",
+            "  memory: WALI peak resident {} KiB (reserved {} KiB), container base+app {} KiB",
             t.wali_mem / 1024,
+            t.wali_reserved / 1024,
             t.container_mem / 1024
         );
         println!(

@@ -198,4 +198,12 @@ fn main() {
     }
     println!("\nshape check: most syscalls are O(100ns)-class and <10 LoC; the stateful");
     println!("minority (mmap/rt_sigaction) costs more; clone is engine-dominated ✓");
+    println!(
+        "memory: bench instance resident {} of {} reservable pages \
+         ({} KiB of {} KiB) — footprint reflects touched pages, not reservation",
+        instance.memory.resident_pages(),
+        instance.memory.max_pages(),
+        instance.memory.resident_pages() as u64 * 64,
+        instance.memory.max_pages() as u64 * 64,
+    );
 }

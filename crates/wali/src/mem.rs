@@ -46,6 +46,29 @@ pub fn read_cstr(mem: &Memory, ptr: u32) -> Result<String, Errno> {
     String::from_utf8(bytes).map_err(|_| Errno::Einval)
 }
 
+/// Iterates `[addr, addr+len)` as `(chunk_addr, chunk_len)` pieces that
+/// never cross a 64 KiB store-page boundary.
+///
+/// The paged memory backing is zero-copy only for ranges inside one page;
+/// bulk syscall paths (mmap population, shared-file writeback) walk their
+/// region with this iterator so every `with_slice(_mut)` call stays on
+/// the single-page fast path instead of staging through a scratch buffer.
+pub fn page_chunks(addr: u32, len: u32) -> impl Iterator<Item = (u32, u32)> {
+    let page = wasm::PAGE_SIZE as u64;
+    let mut cur = addr as u64;
+    let end = addr as u64 + len as u64;
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let page_end = (cur / page + 1) * page;
+        let n = end.min(page_end) - cur;
+        let at = cur;
+        cur += n;
+        Some((at as u32, n as u32))
+    })
+}
+
 /// Zero-copy read view: runs `f` over the linear-memory byte range.
 pub fn with_slice<R>(
     mem: &Memory,
@@ -150,6 +173,29 @@ mod tests {
         write_u32(&m, 208, 0).unwrap();
         assert_eq!(read_str_array(&m, 200).unwrap(), vec!["arg0", "arg1"]);
         assert_eq!(read_str_array(&m, 0).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn page_chunks_split_at_store_page_boundaries() {
+        let page = wasm::PAGE_SIZE as u32;
+        // Entirely inside one page: one chunk.
+        assert_eq!(page_chunks(100, 200).collect::<Vec<_>>(), vec![(100, 200)]);
+        // Straddling two pages: split at the boundary.
+        assert_eq!(
+            page_chunks(page - 10, 30).collect::<Vec<_>>(),
+            vec![(page - 10, 10), (page, 20)]
+        );
+        // Page-aligned multi-page run.
+        assert_eq!(
+            page_chunks(page, 2 * page).collect::<Vec<_>>(),
+            vec![(page, page), (2 * page, page)]
+        );
+        // Empty and end-of-space ranges are safe.
+        assert_eq!(page_chunks(123, 0).count(), 0);
+        assert_eq!(
+            page_chunks(u32::MAX, 1).collect::<Vec<_>>(),
+            vec![(u32::MAX, 1)]
+        );
     }
 
     #[test]

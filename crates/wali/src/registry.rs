@@ -51,6 +51,10 @@ pub enum WaliSuspend {
     Fork {
         /// The already-created kernel child pid.
         child_tid: i32,
+        /// `vfork` semantics: the child borrows the parent's pages
+        /// outright (no COW snapshot) and the parent stays suspended
+        /// until the child execs or exits.
+        vfork: bool,
     },
     /// `clone`: thread-style child sharing memory when `share_vm`.
     Clone {

@@ -31,22 +31,35 @@ fn ensure_mapped(c: C, end: u32) -> Result<(), SysError> {
     Ok(())
 }
 
-/// Reads file content into a fresh mapping.
+/// Reads file content into a fresh mapping, one store-page chunk at a
+/// time: each chunk is a zero-copy `with_slice_mut` view (the kernel
+/// reads straight into the page, no staging buffer), and the chunk walk
+/// is what materializes the mapping's pages on the paged backing.
 fn populate_file_mapping(c: C, region: &Region) -> Result<(), SysError> {
     let Some((fd, off)) = region.file else {
         return Ok(());
     };
     let mem = c.instance.memory.clone();
-    let (addr, len) = (region.addr, region.len as usize);
-    flat(
-        mem.with_slice_mut(addr as u64, len, |buf| {
-            k(c, |kk, tid| kk.sys_pread(tid, fd, buf, off)).map(|_| ())
-        })
-        .map_err(|_| Errno::Efault),
-    )
+    for (at, n) in crate::mem::page_chunks(region.addr, region.len) {
+        let file_off = off + (at - region.addr) as u64;
+        let got = flat(
+            mem.with_slice_mut(at as u64, n as usize, |buf| {
+                k(c, |kk, tid| kk.sys_pread(tid, fd, buf, file_off))
+            })
+            .map_err(|_| Errno::Efault),
+        )?;
+        // A short read means EOF: the rest of the mapping reads as zeros
+        // without materializing its pages (the lazy-residency point of
+        // the paged backing — don't touch store pages wholly past EOF).
+        if got < n as i64 {
+            break;
+        }
+    }
+    Ok(())
 }
 
-/// Writes a shared file mapping back to its file (msync/munmap).
+/// Writes a shared file mapping back to its file (msync/munmap), in
+/// store-page chunks so each `with_slice` view is zero-copy.
 fn writeback_shared(c: C, region: &Region) -> Result<(), SysError> {
     if !region.is_shared_file() {
         return Ok(());
@@ -55,13 +68,16 @@ fn writeback_shared(c: C, region: &Region) -> Result<(), SysError> {
         return Ok(());
     };
     let mem = c.instance.memory.clone();
-    let (addr, len) = (region.addr, region.len as usize);
-    flat(
-        mem.with_slice(addr as u64, len, |buf| {
-            k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, off)).map(|_| ())
-        })
-        .map_err(|_| Errno::Efault),
-    )
+    for (at, n) in crate::mem::page_chunks(region.addr, region.len) {
+        let file_off = off + (at - region.addr) as u64;
+        flat(
+            mem.with_slice(at as u64, n as usize, |buf| {
+                k(c, |kk, tid| kk.sys_pwrite(tid, fd, buf, file_off)).map(|_| ())
+            })
+            .map_err(|_| Errno::Efault),
+        )?;
+    }
+    Ok(())
 }
 
 pub(crate) fn register(l: &mut Linker<WaliContext>) {
@@ -84,10 +100,13 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             pool.map(len, prot, flags, file).map_err(SysError::Err)?
         };
         ensure_mapped(c, region.addr + region.len)?;
-        // Fresh anonymous mappings are zeroed; file mappings read content.
+        // Fresh mappings read as zeros without materializing anything:
+        // `release` drops whole store pages (lazy-zero anonymous memory)
+        // and zero-fills the partial edges that may hold stale bytes from
+        // an earlier mapping. File mappings then read their content in.
         c.instance
             .memory
-            .fill(region.addr as u64, 0, region.len as u64)
+            .release(region.addr as u64, region.len as u64)
             .map_err(|_| SysError::Err(Errno::Efault))?;
         if file.is_some() {
             populate_file_mapping(c, &region)?;
@@ -103,11 +122,12 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         };
         for region in &removed {
             writeback_shared(c, region)?;
-            // Discard contents so stale data cannot leak into later maps.
+            // Return the pages to the store (and zero partial edges) so
+            // stale data cannot leak into later maps and residency drops.
             let _ = c
                 .instance
                 .memory
-                .fill(region.addr as u64, 0, region.len as u64);
+                .release(region.addr as u64, region.len as u64);
         }
         Ok(0)
     });
@@ -126,7 +146,8 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         };
         ensure_mapped(c, new.addr + new.len)?;
         if new.addr != old.addr {
-            // Moved: copy the old contents (MREMAP_MAYMOVE path).
+            // Moved: copy the old contents (MREMAP_MAYMOVE path), then
+            // return the old range's pages to the store.
             c.instance
                 .memory
                 .copy_within(
@@ -135,12 +156,20 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                     old.len.min(new.len) as u64,
                 )
                 .map_err(|_| SysError::Err(Errno::Efault))?;
-            let _ = c.instance.memory.fill(old.addr as u64, 0, old.len as u64);
+            let _ = c.instance.memory.release(old.addr as u64, old.len as u64);
         } else if new.len > old.len {
-            let _ =
-                c.instance
-                    .memory
-                    .fill((new.addr + old.len) as u64, 0, (new.len - old.len) as u64);
+            // Grown in place: the extension must read as zeros (and may
+            // hold stale bytes from an earlier mapping).
+            let _ = c
+                .instance
+                .memory
+                .release((new.addr + old.len) as u64, (new.len - old.len) as u64);
+        } else if new.len < old.len {
+            // Shrunk in place: the released tail goes back to the store.
+            let _ = c
+                .instance
+                .memory
+                .release((new.addr + new.len) as u64, (old.len - new.len) as u64);
         }
         Ok(new.addr as i64)
     });
@@ -178,7 +207,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "madvise", |c: C, a: &[Value]| -> R {
         let (addr, len, advice) = (arg_ptr(a, 0), arg(a, 1) as u64, arg_i32(a, 2));
         if advice == MADV_DONTNEED {
-            let _ = c.instance.memory.fill(addr as u64, 0, len);
+            // Fully covered store pages are returned to the store; the
+            // range reads as zeros afterwards, like the Linux call.
+            let _ = c.instance.memory.release(addr as u64, len);
         }
         Ok(0)
     });
@@ -200,11 +231,33 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "membarrier", |_c: C, _a: &[Value]| -> R { Ok(0) });
 
     sys!(l, "mincore", |c: C, a: &[Value]| -> R {
-        let (_addr, len, vec) = (arg_ptr(a, 0), arg(a, 1) as usize, arg_ptr(a, 2));
-        // Everything in linear memory is resident by construction.
+        let (addr, len, vec) = (arg_ptr(a, 0), arg(a, 1) as usize, arg_ptr(a, 2));
+        // Linux contract: addr must be page-aligned and the range mapped.
+        if addr % 4096 != 0 {
+            return Err(Errno::Einval.into());
+        }
+        if addr as u64 + len as u64 > c.instance.memory.size() as u64 {
+            return Err(Errno::Enomem.into());
+        }
+        // Report real residency: a 4 KiB map page is in core iff its
+        // containing 64 KiB store page is materialized (the flat backing
+        // reports everything resident, as before). Probe once per store
+        // page, not once per map page — sixteen aligned map pages share
+        // a probe (and alignment means none straddles two store pages).
         let pages = len.div_ceil(4096);
-        let ones = vec![1u8; pages];
-        crate::mem::write_bytes(&c.instance.memory, vec, &ones).map_err(SysError::Err)?;
+        let mem = c.instance.memory.clone();
+        let mut incore = vec![0u8; pages];
+        let mut i = 0;
+        while i < pages {
+            let at = addr as u64 + i as u64 * 4096;
+            let bit = mem.addr_is_resident(at) as u8;
+            // Map pages sharing this 64 KiB store page share the answer.
+            let same_store_page = ((PAGE_SIZE as u64 - at % PAGE_SIZE as u64) / 4096) as usize;
+            let run = same_store_page.max(1).min(pages - i);
+            incore[i..i + run].fill(bit);
+            i += run;
+        }
+        crate::mem::write_bytes(&mem, vec, &incore).map_err(SysError::Err)?;
         Ok(0)
     });
 }

@@ -322,6 +322,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         match k(c, |kk, tid| kk.sys_fork(tid)) {
             Ok(child) => suspend(WaliSuspend::Fork {
                 child_tid: child as i32,
+                vfork: false,
             }),
             Err(SysError::Err(e)) => errno_out(e),
             Err(SysError::Block(_)) => errno_out(Errno::Eagain),
@@ -332,6 +333,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         match k(c, |kk, tid| kk.sys_fork(tid)) {
             Ok(child) => suspend(WaliSuspend::Fork {
                 child_tid: child as i32,
+                vfork: true,
             }),
             Err(SysError::Err(e)) => errno_out(e),
             Err(SysError::Block(_)) => errno_out(Errno::Eagain),

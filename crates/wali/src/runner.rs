@@ -73,8 +73,14 @@ pub struct RunOutcome {
     pub console: Vec<u8>,
     /// Merged trace across all tasks.
     pub trace: Trace,
-    /// Peak linear-memory pages over all instances.
+    /// Peak linear-memory pages over all instances (the grow watermark —
+    /// address-space footprint).
     pub peak_memory_pages: u32,
+    /// Peak *resident* (host-allocated) pages over all instances. With the
+    /// paged backing this counts touched pages only; the flat baseline
+    /// materializes its whole reservation, so the two differ exactly by
+    /// the lazy-allocation win.
+    pub peak_resident_pages: u32,
     /// Scheduler accounting.
     pub sched: SchedStats,
 }
@@ -152,6 +158,13 @@ struct Slot {
     thread: Thread,
     ctx: WaliContext,
     pending: Option<Pending>,
+    /// A kernel wakeup re-queued this task's blocked retry and it has not
+    /// been attempted since. The idle detector must treat such a retry as
+    /// runnable: the wakeup is fresh evidence its syscall can complete,
+    /// and `since_progress` may otherwise reach the queue length without
+    /// the task ever getting its attempt (tasks parking mid-pass shrink
+    /// the queue under the counter).
+    woken_retry: bool,
 }
 
 /// Whether the event-driven scheduler is on by default (the
@@ -177,6 +190,10 @@ pub struct WaliRunner {
     /// Waitqueue scheduling override; `None` follows
     /// [`event_driven_default`].
     event_driven: Option<bool>,
+    /// Paged copy-on-write memory override; `None` follows
+    /// [`wasm::mem::cow_default`] (`WALI_NO_COW=1` selects the flat
+    /// eager-zero / deep-copy-fork baseline).
+    cow: Option<bool>,
     /// Set when `linker_mut` may have changed registrations since the
     /// handler table was built.
     handlers_dirty: bool,
@@ -194,6 +211,10 @@ pub struct WaliRunner {
     /// (syscall ticks advance the virtual clock too, not just idle
     /// steps). Kept in lock-step with `parked`.
     deadlines: std::collections::BTreeSet<(u64, Tid)>,
+    /// `vfork` parents suspended until their child execs or exits, keyed
+    /// by child tid. These tasks sit on neither the run queue nor the
+    /// parked map; the child's exec/exit requeues them.
+    vfork_waiters: HashMap<Tid, Tid>,
     /// Consecutive run-queue attempts without wasm progress (the polling
     /// baseline's full-pass detector).
     since_progress: usize,
@@ -213,11 +234,13 @@ impl WaliRunner {
             scheme,
             fuse: None,
             event_driven: None,
+            cow: None,
             handlers_dirty: true,
             tasks: BTreeMap::new(),
             run_queue: VecDeque::new(),
             parked: BTreeMap::new(),
             deadlines: std::collections::BTreeSet::new(),
+            vfork_waiters: HashMap::new(),
             since_progress: 0,
             spawned_any: false,
             main_tid: None,
@@ -259,6 +282,17 @@ impl WaliRunner {
 
     fn event_driven_on(&self) -> bool {
         self.event_driven.unwrap_or_else(event_driven_default)
+    }
+
+    /// Overrides the paged copy-on-write memory backing (A/B measurement;
+    /// default follows [`wasm::mem::cow_default`]). `false` selects the
+    /// flat eager-zero backing whose `fork` deep-copies the memory.
+    pub fn set_cow(&mut self, on: bool) {
+        self.cow = Some(on);
+    }
+
+    fn cow_on(&self) -> bool {
+        self.cow.unwrap_or_else(wasm::mem::cow_default)
     }
 
     /// Adjusts the context of a spawned (not yet finished) task — used to
@@ -306,7 +340,8 @@ impl WaliRunner {
             .cloned()
             .ok_or(RunnerError::NoEntry("program not registered"))?;
         let tid = self.kernel.borrow_mut().spawn_process();
-        let instance = Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
+        let instance = Instance::new_with_cow(program.clone(), self.cow_on())
+            .map_err(RunnerError::Instantiate)?;
         let entry = instance
             .export_func("_start")
             .or_else(|| instance.export_func("main"))
@@ -329,6 +364,7 @@ impl WaliRunner {
                 func: entry,
                 args: Vec::new(),
             }),
+            woken_retry: false,
         });
         Ok(tid)
     }
@@ -444,6 +480,9 @@ impl WaliRunner {
         for tid in woken {
             if self.unpark(tid) {
                 self.outcome.sched.wakeups += 1;
+                if let Some(slot) = self.tasks.get_mut(&tid) {
+                    slot.woken_retry = true;
+                }
                 self.run_queue.push_back(tid);
                 // A wakeup is fresh evidence of possible progress: the
                 // idle detector must give the woken task its attempt
@@ -461,7 +500,7 @@ impl WaliRunner {
         self.run_queue.iter().any(|tid| {
             self.tasks
                 .get(tid)
-                .map(|s| !matches!(s.pending, Some(Pending::Retry { .. })))
+                .map(|s| s.woken_retry || !matches!(s.pending, Some(Pending::Retry { .. })))
                 .unwrap_or(false)
         })
     }
@@ -546,6 +585,14 @@ impl WaliRunner {
             .keys()
             .chain(self.run_queue.iter())
             .filter_map(|tid| self.tasks.get(tid).map(|s| (*tid, name_of(s))))
+            // vfork parents sit in neither collection; a stuck child must
+            // not hide its suspended parent from the diagnostic.
+            .chain(
+                self.vfork_waiters
+                    .values()
+                    .filter(|p| self.tasks.contains_key(p))
+                    .map(|p| (*p, "vfork (waiting on child)")),
+            )
             .collect()
     }
 
@@ -565,7 +612,10 @@ impl WaliRunner {
     /// made progress (ran wasm, completed, or changed task structure) —
     /// an immediately re-blocked retry did not.
     fn attempt(&mut self, tid: Tid) -> Result<bool, RunnerError> {
-        let Some(pending) = self.tasks.get_mut(&tid).and_then(|s| s.pending.take()) else {
+        let Some(pending) = self.tasks.get_mut(&tid).and_then(|s| {
+            s.woken_retry = false;
+            s.pending.take()
+        }) else {
             return Ok(false);
         };
 
@@ -729,19 +779,39 @@ impl WaliRunner {
                 }
                 Ok(ran_wasm)
             }
-            WaliSuspend::Fork { child_tid } => {
+            WaliSuspend::Fork { child_tid, vfork } => {
+                // `vfork` on the COW backing shares the parent's pages
+                // outright (no snapshot); the parent is suspended until
+                // the child execs or exits — the Linux contract. On the
+                // `WALI_NO_COW` baseline vfork degrades to fork, exactly
+                // the old behavior.
+                let share = vfork && self.cow_on();
                 let child = {
                     let slot = self.tasks.get(&tid).expect("live task");
                     Slot {
                         tid: child_tid,
-                        instance: slot.instance.fork_clone(),
+                        instance: if share {
+                            slot.instance.thread_clone()
+                        } else {
+                            slot.instance.fork_clone()
+                        },
                         thread: slot.thread.clone(),
                         ctx: slot.ctx.fork_child(child_tid),
                         pending: Some(Pending::Resume(vec![Value::I64(0)])),
+                        woken_retry: false,
                     }
                 };
                 self.admit(child);
-                self.requeue(tid, Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                if share {
+                    // Park the parent off every queue; the child's
+                    // exec/exit requeues it with the child pid.
+                    self.vfork_waiters.insert(child_tid, tid);
+                    if let Some(slot) = self.tasks.get_mut(&tid) {
+                        slot.pending = Some(Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                    }
+                } else {
+                    self.requeue(tid, Pending::Resume(vec![Value::I64(child_tid as i64)]));
+                }
                 Ok(true)
             }
             WaliSuspend::Clone {
@@ -767,6 +837,7 @@ impl WaliRunner {
                         thread: slot.thread.clone(),
                         ctx,
                         pending: Some(Pending::Resume(vec![Value::I64(0)])),
+                        woken_retry: false,
                     }
                 };
                 self.admit(child);
@@ -785,7 +856,11 @@ impl WaliRunner {
                     let mut k = self.kernel.borrow_mut();
                     let _ = k.sys_execve(tid);
                 }
-                let instance = Instance::new(program.clone()).map_err(RunnerError::Instantiate)?;
+                // A fresh private memory: replacing the old instance below
+                // drops its page references eagerly, so a vfork/COW parent
+                // regains exclusive ownership of the shared pages.
+                let instance = Instance::new_with_cow(program.clone(), self.cow_on())
+                    .map_err(RunnerError::Instantiate)?;
                 let entry = instance
                     .export_func("_start")
                     .or_else(|| instance.export_func("main"))
@@ -812,6 +887,8 @@ impl WaliRunner {
                     args: Vec::new(),
                 });
                 self.run_queue.push_back(tid);
+                // execve releases a vfork parent waiting on this child.
+                self.release_vfork_parent(tid);
                 Ok(true)
             }
         }
@@ -822,11 +899,23 @@ impl WaliRunner {
         k.task(tid).map(|t| t.exited()).unwrap_or(true)
     }
 
+    /// Requeues the vfork parent suspended on `child`, if any (called at
+    /// the child's execve and at its exit).
+    fn release_vfork_parent(&mut self, child: Tid) {
+        if let Some(parent) = self.vfork_waiters.remove(&child) {
+            if self.tasks.contains_key(&parent) {
+                self.run_queue.push_back(parent);
+                self.since_progress = 0;
+            }
+        }
+    }
+
     fn finish_task(&mut self, tid: Tid, end: Option<TaskEnd>) {
         let Some(slot) = self.tasks.remove(&tid) else {
             return;
         };
         self.unpark(tid);
+        self.release_vfork_parent(tid);
         let end = end.unwrap_or_else(|| {
             // Pull the status from the kernel (killed by signal or exited
             // by a sibling thread).
@@ -845,6 +934,10 @@ impl WaliRunner {
             .outcome
             .peak_memory_pages
             .max(slot.instance.memory.peak_pages());
+        self.outcome.peak_resident_pages = self
+            .outcome
+            .peak_resident_pages
+            .max(slot.instance.memory.peak_resident_pages());
         self.outcome.trace.merge(&slot.ctx.trace);
         if Some(slot.tid) == self.main_tid {
             self.outcome.main_exit = Some(end.clone());

@@ -127,6 +127,96 @@ fn fork_parent_and_child_diverge() {
     assert!(exits.contains(&&TaskEnd::Exited(7)));
 }
 
+/// Builds the vfork probe: the child stores 42 into a shared-or-copied
+/// word and exits; the parent (suspended until then under COW vfork)
+/// exits with whatever it reads back.
+fn vfork_probe() -> (Module, u32) {
+    let mut mb = ModuleBuilder::new();
+    let vfork = sys(&mut mb, "vfork", 0);
+    let exit = sys(&mut mb, "exit_group", 1);
+    mb.memory(2, Some(16));
+    let flag = mb.reserve(8);
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let pid = b.local(I64);
+        b.call(vfork).local_set(pid);
+        b.local_get(pid).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            b.i32(flag as i32).i32(42).store32(0);
+            b.i64(5).call(exit).drop_();
+        });
+        // Parent: report what the child's write left behind.
+        b.i32(flag as i32).load32(0);
+    });
+    mb.export("_start", main);
+    (mb.build(), flag)
+}
+
+fn run_with_cow(module: &Module, cow: bool) -> wali::RunOutcome {
+    let bytes = wasm::encode::encode(module);
+    let module = wasm::decode::decode(&bytes).expect("round trip");
+    let mut runner = WaliRunner::new_default();
+    runner.set_cow(cow);
+    runner.register_program("/usr/bin/app", &module).unwrap();
+    runner.spawn("/usr/bin/app", &[], &[]).unwrap();
+    runner.run().expect("run")
+}
+
+#[test]
+fn vfork_shares_pages_and_suspends_parent_until_exit() {
+    let (module, _) = vfork_probe();
+    let out = run_with_cow(&module, true);
+    // The child borrowed the parent's pages: its write is visible, and
+    // seeing it proves the parent stayed suspended until the child exited.
+    assert_eq!(out.exit_code(), Some(42), "{:?}", out.ends);
+    let exits: Vec<&TaskEnd> = out.ends.iter().map(|(_, e)| e).collect();
+    assert!(exits.contains(&&TaskEnd::Exited(5)));
+}
+
+#[test]
+fn vfork_on_the_no_cow_baseline_degrades_to_fork() {
+    let (module, _) = vfork_probe();
+    let out = run_with_cow(&module, false);
+    // Deep-copy semantics: the child wrote its own copy; the parent's
+    // word is untouched.
+    assert_eq!(out.exit_code(), Some(0), "{:?}", out.ends);
+}
+
+#[test]
+fn cow_fork_isolates_parent_and_child_writes() {
+    // fork (not vfork): the COW snapshot must keep the halves independent
+    // even though they share pages until first write.
+    let mut mb = ModuleBuilder::new();
+    let fork = sys(&mut mb, "fork", 0);
+    let wait4 = sys(&mut mb, "wait4", 4);
+    let exit = sys(&mut mb, "exit_group", 1);
+    mb.memory(2, Some(16));
+    let word = mb.reserve(8);
+    mb.data_at(word, &7u32.to_le_bytes());
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let pid = b.local(I64);
+        b.call(fork).local_set(pid);
+        b.local_get(pid).i64(0).eq64();
+        b.if_(BlockType::Empty, |b| {
+            // Child: overwrite the word, exit with its own view.
+            b.i32(word as i32).i32(1000).store32(0);
+            b.i32(word as i32).load32(0).extend_u().call(exit).drop_();
+        });
+        b.local_get(pid).i64(0).i64(0).i64(0).call(wait4).drop_();
+        // Parent: must still see the pre-fork value.
+        b.i32(word as i32).load32(0).i32(7).ne32();
+    });
+    mb.export("_start", main);
+    let out = run_with_cow(&mb.build(), true);
+    assert_eq!(out.exit_code(), Some(0), "{:?}", out.ends);
+    let exits: Vec<&TaskEnd> = out.ends.iter().map(|(_, e)| e).collect();
+    assert!(
+        exits.contains(&&TaskEnd::Exited(1000)),
+        "child saw its own write: {exits:?}"
+    );
+}
+
 #[test]
 fn pipe_between_fork_halves() {
     let mut mb = ModuleBuilder::new();

@@ -97,11 +97,20 @@ pub struct Instance<T> {
 
 impl<T> Instance<T> {
     /// Instantiates with a fresh memory, applying data and element
-    /// segments.
+    /// segments. The memory backing follows [`crate::mem::cow_default`];
+    /// memories declared `shared` always get the flat backing (they may be
+    /// accessed from several host threads).
     pub fn new(program: Arc<Program<T>>) -> Result<Instance<T>, Trap> {
+        Self::new_with_cow(program, crate::mem::cow_default())
+    }
+
+    /// Instantiates with explicit control over the private-memory backing:
+    /// `cow = true` selects the paged copy-on-write store, `false` the
+    /// flat deep-copy baseline. Shared memories are flat either way.
+    pub fn new_with_cow(program: Arc<Program<T>>, cow: bool) -> Result<Instance<T>, Trap> {
         let memory = Arc::new(match &program.memory {
-            Some(m) => Memory::new(m.limits.min, m.limits.max),
-            None => Memory::new(0, Some(0)),
+            Some(m) => Memory::with_backing(m.limits.min, m.limits.max, cow && !m.shared),
+            None => Memory::with_backing(0, Some(0), cow),
         });
         Self::with_memory(program, memory)
     }
@@ -180,11 +189,13 @@ impl<T> Instance<T> {
         }
     }
 
-    /// Fork-style duplicate: deep-copied memory, cloned globals and table.
+    /// Fork-style duplicate: copy-on-write memory snapshot on the paged
+    /// backing (O(allocated pages)), deep copy on the flat backing; cloned
+    /// globals and table either way.
     pub fn fork_clone(&self) -> Instance<T> {
         Instance {
             program: self.program.clone(),
-            memory: Arc::new(self.memory.deep_clone()),
+            memory: Arc::new(self.memory.fork_clone()),
             globals: self.globals.clone(),
             table: self.table.clone(),
         }

@@ -1,15 +1,37 @@
-//! Linear memory with up-front reservation for thread sharing.
+//! Linear memory: flat reservation for thread sharing, paged
+//! copy-on-write backing for private (process) memories.
 //!
 //! Instance-per-thread execution (paper §3.1) shares one linear memory
 //! between several instances running on different host threads. To make
-//! that sound without locking every access, [`Memory`] allocates its
-//! *maximum* size once at creation and never relocates; `memory.grow` only
-//! moves the current-length watermark. Plain loads/stores are then racy
-//! byte accesses into a stable allocation — the Wasm threads memory model —
-//! while `grow` and the atomics use real atomic operations.
+//! that sound without locking every access, the **flat** backing allocates
+//! its *maximum* size once at creation and never relocates; `memory.grow`
+//! only moves the current-length watermark. Plain loads/stores are then
+//! racy byte accesses into a stable allocation — the Wasm threads memory
+//! model — while `grow` and the atomics use real atomic operations.
+//!
+//! The process model (`fork`/`exec`, paper §3.1) is dominated by memory
+//! work when every spawn deep-copies the whole reservation. The **paged**
+//! backing fixes that: the address space is a table of 64 KiB pages
+//! allocated lazily on first write (creation and `grow` touch nothing;
+//! untouched pages read from one shared zero page), and pages are
+//! `Arc`-shared on [`Memory::fork_clone`] so fork is O(allocated pages)
+//! and a page is copied only on the first post-fork write (COW).
+//!
+//! The access hot path stays flat-fast: the store publishes per-page data
+//! pointers in two atomic arrays (`read_ptrs` always valid — zero page
+//! when untouched; `write_ptrs` non-null only while the page is owned
+//! exclusively), so a straight-line load/store costs the same bounds check
+//! as the flat backing plus one indexed pointer load and one null compare.
+//! Everything else (first touch, COW, release) is the locked slow path.
+//!
+//! Backing selection: shared (threaded) memories always use the flat
+//! backing; private memories follow [`cow_default`] — paged unless
+//! `WALI_NO_COW=1` selects the flat deep-copy baseline (A/B measurement,
+//! like `WALI_NO_FUSE` / `WALI_NO_WAITQ`).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::error::Trap;
 use crate::PAGE_SIZE;
@@ -18,41 +40,240 @@ use crate::PAGE_SIZE;
 /// pages = 64 MiB, a deliberate cap so reservation stays cheap.
 pub const DEFAULT_MAX_PAGES: u32 = 1024;
 
-/// A Wasm linear memory.
-pub struct Memory {
+/// log2(PAGE_SIZE): page index is `offset >> PAGE_SHIFT`.
+const PAGE_SHIFT: usize = 16;
+/// In-page offset mask.
+const PAGE_MASK: usize = PAGE_SIZE - 1;
+
+/// The process-wide default for the paged copy-on-write backing: on,
+/// unless the `WALI_NO_COW` environment variable selects the flat
+/// eager-zero / deep-copy-fork baseline.
+pub fn cow_default() -> bool {
+    std::env::var_os("WALI_NO_COW").is_none()
+}
+
+/// The shared all-zero page every untouched page reads from. Never
+/// written: the write path goes through `write_ptrs`, which never points
+/// here.
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+
+#[inline]
+fn zero_ptr() -> *mut u8 {
+    ZERO_PAGE.as_ptr() as *mut u8
+}
+
+/// One 64 KiB page. Contents are mutated through raw pointers while the
+/// page is exclusively owned by one store; `Arc`-shared pages are frozen
+/// (copied before the next write).
+struct Page(UnsafeCell<Box<[u8]>>);
+
+// SAFETY: Access discipline is enforced by `PageStore`: a page is written
+// only while `write_ptrs` publishes it (exclusive ownership), and shared
+// pages are read-only until copied. Racy u8 reads/writes that remain are
+// the Wasm shared-memory semantics (see the `Memory` impls below).
+unsafe impl Send for Page {}
+// SAFETY: See `Send`.
+unsafe impl Sync for Page {}
+
+impl Page {
+    fn zeroed() -> Arc<Page> {
+        Arc::new(Page(UnsafeCell::new(
+            vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        )))
+    }
+
+    #[inline]
+    fn data(&self) -> *mut u8 {
+        // SAFETY: Produces a raw pointer only; dereferences are governed
+        // by the store's ownership discipline.
+        unsafe { (*self.0.get()).as_mut_ptr() }
+    }
+}
+
+/// The flat max-reserved backing (shared memories, `WALI_NO_COW`).
+struct FlatStore {
     /// Backing buffer, sized to `max_pages` once and never reallocated.
     buf: UnsafeCell<Box<[u8]>>,
+}
+
+impl FlatStore {
+    #[inline]
+    fn ptr(&self) -> *mut u8 {
+        // SAFETY: We only produce a raw pointer here; all dereferences are
+        // bounds-checked by the callers.
+        unsafe { (*self.buf.get()).as_mut_ptr() }
+    }
+}
+
+/// The lazily-allocated paged backing with copy-on-write fork.
+struct PageStore {
+    /// Owner of record, one slot per reservable page; `None` reads as
+    /// zero. Mutated only under this lock (first touch, COW, release,
+    /// fork).
+    pages: Mutex<Vec<Option<Arc<Page>>>>,
+    /// Hot-path page-pointer cache for reads: always valid — the page's
+    /// data when materialized, the shared zero page otherwise.
+    read_ptrs: Box<[AtomicPtr<u8>]>,
+    /// Hot-path page-pointer cache for writes: the page's data while this
+    /// store owns it exclusively, null otherwise (untouched or
+    /// COW-shared → take the slow path).
+    write_ptrs: Box<[AtomicPtr<u8>]>,
+    /// Currently materialized pages.
+    resident: AtomicU32,
+    /// Peak materialized pages over the store's lifetime.
+    peak_resident: AtomicU32,
+}
+
+impl PageStore {
+    fn new(max_pages: u32) -> PageStore {
+        let n = max_pages as usize;
+        PageStore {
+            pages: Mutex::new(vec![None; n]),
+            read_ptrs: (0..n).map(|_| AtomicPtr::new(zero_ptr())).collect(),
+            write_ptrs: (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            resident: AtomicU32::new(0),
+            peak_resident: AtomicU32::new(0),
+        }
+    }
+
+    /// Slow path: materializes page `idx` for writing — first touch
+    /// allocates a zero page, a COW-shared page is copied into a private
+    /// one — and republishes both pointer caches.
+    fn page_for_write(&self, idx: usize) -> *mut u8 {
+        let mut pages = self.pages.lock().expect("page table");
+        let slot = &mut pages[idx];
+        let ptr = match slot {
+            Some(page) if Arc::strong_count(page) == 1 => page.data(),
+            Some(page) => {
+                // COW: the page is shared with a forked sibling; copy it.
+                let fresh = Page::zeroed();
+                // SAFETY: Both allocations are PAGE_SIZE; the shared
+                // source is frozen (no store writes a shared page).
+                unsafe {
+                    std::ptr::copy_nonoverlapping(page.data(), fresh.data(), PAGE_SIZE);
+                }
+                let ptr = fresh.data();
+                *slot = Some(fresh);
+                ptr
+            }
+            None => {
+                let fresh = Page::zeroed();
+                let ptr = fresh.data();
+                *slot = Some(fresh);
+                let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+                self.peak_resident.fetch_max(now, Ordering::Relaxed);
+                ptr
+            }
+        };
+        self.read_ptrs[idx].store(ptr, Ordering::Release);
+        self.write_ptrs[idx].store(ptr, Ordering::Release);
+        ptr
+    }
+
+    fn is_resident(&self, idx: usize) -> bool {
+        self.pages.lock().expect("page table")[idx].is_some()
+    }
+
+    /// Hot-path write resolution: the cached exclusive pointer, or the
+    /// locked slow path (first touch / COW copy).
+    #[inline]
+    fn write_ptr(&self, idx: usize) -> *mut u8 {
+        let ptr = self.write_ptrs[idx].load(Ordering::Acquire);
+        if ptr.is_null() {
+            self.page_for_write(idx)
+        } else {
+            ptr
+        }
+    }
+
+    /// Returns page `idx` to the store: subsequent reads see zeros and the
+    /// page's allocation is dropped (or its `Arc` reference released).
+    fn release_page(&self, idx: usize) {
+        let mut pages = self.pages.lock().expect("page table");
+        if pages[idx].take().is_some() {
+            self.write_ptrs[idx].store(std::ptr::null_mut(), Ordering::Release);
+            self.read_ptrs[idx].store(zero_ptr(), Ordering::Release);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+enum Backing {
+    Flat(FlatStore),
+    Paged(PageStore),
+}
+
+/// A Wasm linear memory.
+pub struct Memory {
+    backing: Backing,
     /// Current size in pages; grows monotonically up to `max_pages`.
     cur_pages: AtomicU32,
-    /// Peak observed size in pages (for memory-usage experiments).
+    /// Peak observed size in pages (the grow watermark).
     peak_pages: AtomicU32,
     max_pages: u32,
 }
 
-// SAFETY: All access to `buf` is bounds-checked against `cur_pages * 64Ki`,
-// and the buffer is allocated at maximum size up front, so concurrent
-// loads/stores never read outside the allocation and `grow` never moves it.
-// Plain (non-atomic) concurrent accesses may race, which is exactly the
-// semantics Wasm shared memories give to unsynchronized accesses (the
-// value read is *some* byte-level interleaving, never UB at the Wasm
-// level); the host-level data race is confined to `u8` reads/writes via
-// raw pointers, never references with aliasing guarantees.
+// SAFETY: All access to the backing is bounds-checked against
+// `cur_pages * 64Ki`. The flat buffer is allocated at maximum size up
+// front and never moves; paged mutations of the page table go through a
+// Mutex and the hot-path pointer caches are atomics, so concurrent
+// accesses never read outside a live allocation. Plain (non-atomic)
+// concurrent byte accesses may race, which is exactly the semantics Wasm
+// shared memories give to unsynchronized accesses (the value read is
+// *some* byte-level interleaving, never UB at the Wasm level); the
+// host-level data race is confined to `u8` reads/writes via raw pointers,
+// never references with aliasing guarantees. Fork-related paged memories
+// (which share `Arc` pages) are driven from one host thread by the
+// embedding — the WALI runner is single-threaded — so a page is never
+// reclaimed by one store while a sibling store's reader holds its
+// pointer; truly thread-shared memories use the flat backing.
 unsafe impl Sync for Memory {}
 // SAFETY: See `Sync` above; ownership transfer adds no additional hazard.
 unsafe impl Send for Memory {}
 
 impl Memory {
     /// Creates a memory with `min` pages, reserving `max` (or
-    /// [`DEFAULT_MAX_PAGES`]) up front.
+    /// [`DEFAULT_MAX_PAGES`]) up front. The backing follows
+    /// [`cow_default`]: paged unless `WALI_NO_COW` selects flat.
     pub fn new(min: u32, max: Option<u32>) -> Memory {
+        Self::with_backing(min, max, cow_default())
+    }
+
+    /// Creates a flat (eagerly reserved) memory — required for memories
+    /// shared between host threads.
+    pub fn new_flat(min: u32, max: Option<u32>) -> Memory {
+        Self::with_backing(min, max, false)
+    }
+
+    /// Creates a paged (lazy, copy-on-write-forkable) memory.
+    pub fn new_paged(min: u32, max: Option<u32>) -> Memory {
+        Self::with_backing(min, max, true)
+    }
+
+    /// Creates a memory with an explicit backing choice.
+    pub fn with_backing(min: u32, max: Option<u32>, paged: bool) -> Memory {
         let max_pages = max.unwrap_or(DEFAULT_MAX_PAGES).max(min);
-        let bytes = max_pages as usize * PAGE_SIZE;
+        let backing = if paged {
+            Backing::Paged(PageStore::new(max_pages))
+        } else {
+            let bytes = max_pages as usize * PAGE_SIZE;
+            Backing::Flat(FlatStore {
+                buf: UnsafeCell::new(vec![0u8; bytes].into_boxed_slice()),
+            })
+        };
         Memory {
-            buf: UnsafeCell::new(vec![0u8; bytes].into_boxed_slice()),
+            backing,
             cur_pages: AtomicU32::new(min),
             peak_pages: AtomicU32::new(min),
             max_pages,
         }
+    }
+
+    /// Whether this memory uses the paged copy-on-write backing.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backing, Backing::Paged(_))
     }
 
     /// Current size in pages.
@@ -61,9 +282,40 @@ impl Memory {
         self.cur_pages.load(Ordering::Acquire)
     }
 
-    /// Peak size in pages over the memory's lifetime.
+    /// Peak size in pages over the memory's lifetime (the grow
+    /// watermark — address-space footprint, not residency).
     pub fn peak_pages(&self) -> u32 {
         self.peak_pages.load(Ordering::Relaxed)
+    }
+
+    /// Pages currently backed by a host allocation. The flat backing
+    /// materializes its whole reservation at creation; the paged backing
+    /// counts only touched (written) pages.
+    pub fn resident_pages(&self) -> u32 {
+        match &self.backing {
+            Backing::Flat(_) => self.max_pages,
+            Backing::Paged(p) => p.resident.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Peak resident pages over the memory's lifetime.
+    pub fn peak_resident_pages(&self) -> u32 {
+        match &self.backing {
+            Backing::Flat(_) => self.max_pages,
+            Backing::Paged(p) => p.peak_resident.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the 64 KiB store page containing `addr` is backed by a
+    /// host allocation (the flat backing materializes everything).
+    pub fn addr_is_resident(&self, addr: u64) -> bool {
+        if addr >= self.size() as u64 {
+            return false;
+        }
+        match &self.backing {
+            Backing::Flat(_) => true,
+            Backing::Paged(p) => p.is_resident(addr as usize >> PAGE_SHIFT),
+        }
     }
 
     /// Declared maximum in pages.
@@ -78,7 +330,9 @@ impl Memory {
     }
 
     /// Grows by `delta` pages; returns the previous page count or -1,
-    /// exactly like `memory.grow`.
+    /// exactly like `memory.grow`. Neither backing zeroes anything here:
+    /// flat pre-zeroed the reservation, paged pages materialize on first
+    /// write.
     pub fn grow(&self, delta: u32) -> i32 {
         loop {
             let cur = self.cur_pages.load(Ordering::Acquire);
@@ -97,25 +351,79 @@ impl Memory {
         }
     }
 
-    #[inline]
-    fn ptr(&self) -> *mut u8 {
-        // SAFETY: We only produce a raw pointer here; all dereferences are
-        // bounds-checked by the callers below.
-        unsafe { (*self.buf.get()).as_mut_ptr() }
-    }
-
-    /// Deep-copies the memory (fork semantics: same limits, same bytes,
-    /// independent buffer).
+    /// Deep-copies the memory (same limits, same bytes, independent
+    /// backing). Kept for the `WALI_NO_COW` baseline and for tests;
+    /// process forks should use [`Memory::fork_clone`].
     pub fn deep_clone(&self) -> Memory {
-        let new = Memory::new(self.pages(), Some(self.max_pages));
-        let len = self.size();
-        // SAFETY: Both buffers are at least `len` bytes (same page count,
-        // maxima allocated up front) and do not overlap.
-        unsafe {
-            core::ptr::copy_nonoverlapping(self.ptr(), new.ptr(), len);
+        let new = Memory::with_backing(self.pages(), Some(self.max_pages), self.is_paged());
+        match (&self.backing, &new.backing) {
+            (Backing::Flat(a), Backing::Flat(b)) => {
+                let len = self.size();
+                // SAFETY: Both buffers are at least `len` bytes (same page
+                // count, maxima allocated up front) and do not overlap.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(a.ptr(), b.ptr(), len);
+                }
+            }
+            (Backing::Paged(a), Backing::Paged(b)) => {
+                let src = a.pages.lock().expect("page table");
+                let mut dst = b.pages.lock().expect("page table");
+                let mut resident = 0;
+                for (i, slot) in src.iter().enumerate() {
+                    if let Some(page) = slot {
+                        let fresh = Page::zeroed();
+                        // SAFETY: Both allocations are PAGE_SIZE.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(page.data(), fresh.data(), PAGE_SIZE);
+                        }
+                        b.read_ptrs[i].store(fresh.data(), Ordering::Release);
+                        b.write_ptrs[i].store(fresh.data(), Ordering::Release);
+                        dst[i] = Some(fresh);
+                        resident += 1;
+                    }
+                }
+                b.resident.store(resident, Ordering::Relaxed);
+                b.peak_resident.store(resident, Ordering::Relaxed);
+            }
+            _ => unreachable!("deep_clone preserves the backing"),
         }
         new.peak_pages.store(self.peak_pages(), Ordering::Relaxed);
         new
+    }
+
+    /// Fork-style duplicate. Flat backing: a deep copy (the `WALI_NO_COW`
+    /// baseline). Paged backing: an O(allocated pages) copy-on-write
+    /// snapshot — parent and child share every materialized page through
+    /// its `Arc` and both lose in-place write permission; whoever writes a
+    /// shared page first copies it.
+    pub fn fork_clone(&self) -> Memory {
+        let Backing::Paged(parent) = &self.backing else {
+            return self.deep_clone();
+        };
+        let child = Memory::with_backing(self.pages(), Some(self.max_pages), true);
+        let Backing::Paged(cs) = &child.backing else {
+            unreachable!()
+        };
+        {
+            let src = parent.pages.lock().expect("page table");
+            let mut dst = cs.pages.lock().expect("page table");
+            let mut resident = 0;
+            for (i, slot) in src.iter().enumerate() {
+                if let Some(page) = slot {
+                    cs.read_ptrs[i].store(page.data(), Ordering::Release);
+                    dst[i] = Some(Arc::clone(page));
+                    resident += 1;
+                    // The parent's page is now shared: revoke its in-place
+                    // write permission so its next write takes the COW
+                    // slow path.
+                    parent.write_ptrs[i].store(std::ptr::null_mut(), Ordering::Release);
+                }
+            }
+            cs.resident.store(resident, Ordering::Relaxed);
+            cs.peak_resident.store(resident, Ordering::Relaxed);
+        }
+        child.peak_pages.store(self.peak_pages(), Ordering::Relaxed);
+        child
     }
 
     /// Checks that `[addr, addr+len)` is in bounds.
@@ -128,14 +436,99 @@ impl Memory {
         Ok(addr as usize)
     }
 
+    /// Copies out of the backing (bounds already checked), chunking at
+    /// page boundaries for the paged store.
+    fn copy_out(&self, mut off: usize, out: &mut [u8]) {
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Caller bounds-checked `off + out.len() <= size`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(f.ptr().add(off), out.as_mut_ptr(), out.len());
+                }
+            }
+            Backing::Paged(p) => {
+                let mut done = 0;
+                while done < out.len() {
+                    let pg = off >> PAGE_SHIFT;
+                    let po = off & PAGE_MASK;
+                    let n = (PAGE_SIZE - po).min(out.len() - done);
+                    let src = p.read_ptrs[pg].load(Ordering::Acquire);
+                    // SAFETY: `src` is a live page (or the zero page) and
+                    // `po + n <= PAGE_SIZE`.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(src.add(po), out.as_mut_ptr().add(done), n);
+                    }
+                    off += n;
+                    done += n;
+                }
+            }
+        }
+    }
+
+    /// Copies into the backing (bounds already checked), materializing
+    /// pages as needed.
+    fn copy_in(&self, mut off: usize, src: &[u8]) {
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Caller bounds-checked `off + src.len() <= size`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src.as_ptr(), f.ptr().add(off), src.len());
+                }
+            }
+            Backing::Paged(p) => {
+                let mut done = 0;
+                while done < src.len() {
+                    let pg = off >> PAGE_SHIFT;
+                    let po = off & PAGE_MASK;
+                    let n = (PAGE_SIZE - po).min(src.len() - done);
+                    let chunk = &src[done..done + n];
+                    // Writing zeros to a page that isn't materialized is a
+                    // no-op: keep it lazy (this is what lets bulk copies
+                    // of untouched regions — memory.copy, syscall buffer
+                    // write-backs — avoid materializing the destination).
+                    let skip = p.write_ptrs[pg].load(Ordering::Acquire).is_null()
+                        && chunk.iter().all(|b| *b == 0)
+                        && !p.is_resident(pg);
+                    if !skip {
+                        let dst = p.write_ptr(pg);
+                        // SAFETY: `dst` is this store's exclusively-owned
+                        // page; `po + n <= PAGE_SIZE`.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(chunk.as_ptr(), dst.add(po), n);
+                        }
+                    }
+                    off += n;
+                    done += n;
+                }
+            }
+        }
+    }
+
     /// Reads `N` bytes at `addr`.
     #[inline]
     pub fn load<const N: usize>(&self, addr: u64) -> Result<[u8; N], Trap> {
         let off = self.check(addr, N as u64)?;
         let mut out = [0u8; N];
-        // SAFETY: `check` guarantees `off + N <= size <= allocation`.
-        unsafe {
-            core::ptr::copy_nonoverlapping(self.ptr().add(off), out.as_mut_ptr(), N);
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: `check` guarantees `off + N <= size <= allocation`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(f.ptr().add(off), out.as_mut_ptr(), N);
+                }
+            }
+            Backing::Paged(p) => {
+                let po = off & PAGE_MASK;
+                if po + N <= PAGE_SIZE {
+                    let src = p.read_ptrs[off >> PAGE_SHIFT].load(Ordering::Acquire);
+                    // SAFETY: Bounds-checked; `src` is a live page (or the
+                    // zero page) and the access stays inside it.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(src.add(po), out.as_mut_ptr(), N);
+                    }
+                } else {
+                    self.copy_out(off, &mut out);
+                }
+            }
         }
         Ok(out)
     }
@@ -144,9 +537,26 @@ impl Memory {
     #[inline]
     pub fn store<const N: usize>(&self, addr: u64, val: [u8; N]) -> Result<(), Trap> {
         let off = self.check(addr, N as u64)?;
-        // SAFETY: `check` guarantees `off + N <= size <= allocation`.
-        unsafe {
-            core::ptr::copy_nonoverlapping(val.as_ptr(), self.ptr().add(off), N);
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: `check` guarantees `off + N <= size <= allocation`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(val.as_ptr(), f.ptr().add(off), N);
+                }
+            }
+            Backing::Paged(p) => {
+                let po = off & PAGE_MASK;
+                if po + N <= PAGE_SIZE {
+                    let dst = p.write_ptr(off >> PAGE_SHIFT);
+                    // SAFETY: `dst` is this store's exclusively-owned page
+                    // and the access stays inside it.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(val.as_ptr(), dst.add(po), N);
+                    }
+                } else {
+                    self.copy_in(off, &val);
+                }
+            }
         }
         Ok(())
     }
@@ -155,26 +565,23 @@ impl Memory {
     pub fn read(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
         let off = self.check(addr, len as u64)?;
         let mut out = vec![0u8; len];
-        // SAFETY: Bounds checked above.
-        unsafe {
-            core::ptr::copy_nonoverlapping(self.ptr().add(off), out.as_mut_ptr(), len);
-        }
+        self.copy_out(off, &mut out);
         Ok(out)
     }
 
     /// Copies `bytes` into memory at `addr`.
     pub fn write(&self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
         let off = self.check(addr, bytes.len() as u64)?;
-        // SAFETY: Bounds checked above.
-        unsafe {
-            core::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr().add(off), bytes.len());
-        }
+        self.copy_in(off, bytes);
         Ok(())
     }
 
     /// Runs `f` over the byte range as a shared slice (zero-copy reads).
     ///
     /// This is the zero-copy fast path WALI uses for I/O syscalls (§3.2).
+    /// On the paged backing a range inside one page is zero-copy; a range
+    /// crossing pages is gathered into a scratch buffer first (WALI's
+    /// syscall helpers chunk at page boundaries to stay on the fast path).
     pub fn with_slice<R>(
         &self,
         addr: u64,
@@ -182,10 +589,27 @@ impl Memory {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, Trap> {
         let off = self.check(addr, len as u64)?;
-        // SAFETY: Bounds checked; concurrent writers may race but byte
-        // reads remain valid (shared-memory semantics).
-        let slice = unsafe { core::slice::from_raw_parts(self.ptr().add(off), len) };
-        Ok(f(slice))
+        match &self.backing {
+            Backing::Flat(fl) => {
+                // SAFETY: Bounds checked; concurrent writers may race but
+                // byte reads remain valid (shared-memory semantics).
+                let slice = unsafe { core::slice::from_raw_parts(fl.ptr().add(off), len) };
+                Ok(f(slice))
+            }
+            Backing::Paged(p) => {
+                let po = off & PAGE_MASK;
+                if len > 0 && po + len <= PAGE_SIZE {
+                    let src = p.read_ptrs[off >> PAGE_SHIFT].load(Ordering::Acquire);
+                    // SAFETY: Bounds checked; in-page range of a live page.
+                    let slice = unsafe { core::slice::from_raw_parts(src.add(po), len) };
+                    Ok(f(slice))
+                } else {
+                    let mut buf = vec![0u8; len];
+                    self.copy_out(off, &mut buf);
+                    Ok(f(&buf))
+                }
+            }
+        }
     }
 
     /// Runs `f` over the byte range as a mutable slice (zero-copy writes).
@@ -196,30 +620,101 @@ impl Memory {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, Trap> {
         let off = self.check(addr, len as u64)?;
-        // SAFETY: Bounds checked; exclusivity is not required under the
-        // shared-memory model (racy writes are program bugs, not UB at the
-        // byte level).
-        let slice = unsafe { core::slice::from_raw_parts_mut(self.ptr().add(off), len) };
-        Ok(f(slice))
+        match &self.backing {
+            Backing::Flat(fl) => {
+                // SAFETY: Bounds checked; exclusivity is not required
+                // under the shared-memory model (racy writes are program
+                // bugs, not UB at the byte level).
+                let slice = unsafe { core::slice::from_raw_parts_mut(fl.ptr().add(off), len) };
+                Ok(f(slice))
+            }
+            Backing::Paged(p) => {
+                let po = off & PAGE_MASK;
+                if po + len <= PAGE_SIZE && len > 0 {
+                    let dst = p.write_ptr(off >> PAGE_SHIFT);
+                    // SAFETY: Bounds checked; in-page range of this
+                    // store's exclusively-owned page.
+                    let slice = unsafe { core::slice::from_raw_parts_mut(dst.add(po), len) };
+                    Ok(f(slice))
+                } else {
+                    let mut buf = vec![0u8; len];
+                    self.copy_out(off, &mut buf);
+                    let r = f(&mut buf);
+                    self.copy_in(off, &buf);
+                    Ok(r)
+                }
+            }
+        }
     }
 
-    /// `memory.fill`.
+    /// `memory.fill`. On the paged backing, zero-filling a whole page
+    /// releases it back to the store (madvise(DONTNEED)-style) instead of
+    /// materializing it.
     pub fn fill(&self, addr: u64, val: u8, len: u64) -> Result<(), Trap> {
         let off = self.check(addr, len)?;
-        // SAFETY: Bounds checked above.
-        unsafe {
-            core::ptr::write_bytes(self.ptr().add(off), val, len as usize);
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Bounds checked above.
+                unsafe {
+                    std::ptr::write_bytes(f.ptr().add(off), val, len as usize);
+                }
+            }
+            Backing::Paged(p) => {
+                let mut off = off;
+                let mut left = len as usize;
+                while left > 0 {
+                    let pg = off >> PAGE_SHIFT;
+                    let po = off & PAGE_MASK;
+                    let n = (PAGE_SIZE - po).min(left);
+                    if val == 0 && po == 0 && n == PAGE_SIZE {
+                        p.release_page(pg);
+                    } else if val == 0
+                        && p.write_ptrs[pg].load(Ordering::Acquire).is_null()
+                        && !p.is_resident(pg)
+                    {
+                        // Untouched page already reads as zero.
+                    } else {
+                        let dst = p.write_ptr(pg);
+                        // SAFETY: In-page range of an exclusively-owned page.
+                        unsafe {
+                            std::ptr::write_bytes(dst.add(po), val, n);
+                        }
+                    }
+                    off += n;
+                    left -= n;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Releases `[addr, addr+len)`: fully covered pages go back to the
+    /// store (reads see zeros, allocations are dropped / `Arc` references
+    /// released), partial edge pages are zero-filled. This is the
+    /// `munmap` / `madvise(MADV_DONTNEED)` path; on the flat backing it
+    /// degrades to a zero fill.
+    pub fn release(&self, addr: u64, len: u64) -> Result<(), Trap> {
+        self.fill(addr, 0, len)
     }
 
     /// `memory.copy` (overlap-safe).
     pub fn copy_within(&self, dst: u64, src: u64, len: u64) -> Result<(), Trap> {
         let d = self.check(dst, len)?;
         let s = self.check(src, len)?;
-        // SAFETY: Both ranges bounds-checked; `copy` handles overlap.
-        unsafe {
-            core::ptr::copy(self.ptr().add(s), self.ptr().add(d), len as usize);
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Both ranges bounds-checked; `copy` handles overlap.
+                unsafe {
+                    std::ptr::copy(f.ptr().add(s), f.ptr().add(d), len as usize);
+                }
+            }
+            Backing::Paged(_) => {
+                // Stage through a scratch buffer: memmove semantics across
+                // page boundaries without aliasing pitfalls.
+                let mut tmp = vec![0u8; len as usize];
+                self.copy_out(s, &mut tmp);
+                self.copy_in(d, &tmp);
+            }
         }
         Ok(())
     }
@@ -241,20 +736,70 @@ impl Memory {
         }
     }
 
+    /// Resolves an aligned in-page offset to a pointer valid for atomic
+    /// *writes* (materializing/COW-copying the page on the paged backing).
+    fn atomic_ptr(&self, off: usize) -> *mut u8 {
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Caller bounds-checked.
+                unsafe { f.ptr().add(off) }
+            }
+            Backing::Paged(p) => {
+                // SAFETY: Aligned atomics never cross a 64 KiB page.
+                unsafe { p.write_ptr(off >> PAGE_SHIFT).add(off & PAGE_MASK) }
+            }
+        }
+    }
+
+    /// Resolves an aligned in-page offset for an atomic *read*. Returns
+    /// the writable pointer when this store owns the page; `None` means
+    /// the page is frozen (untouched or COW-shared) — no store writes a
+    /// frozen page in place, so the caller may read it plainly through
+    /// `read_ptrs` without materializing anything. Keeping loads off the
+    /// write path preserves the invariant that reads never allocate.
+    fn atomic_read_ptr(&self, off: usize) -> Option<*mut u8> {
+        match &self.backing {
+            Backing::Flat(f) => {
+                // SAFETY: Caller bounds-checked.
+                Some(unsafe { f.ptr().add(off) })
+            }
+            Backing::Paged(p) => {
+                let ptr = p.write_ptrs[off >> PAGE_SHIFT].load(Ordering::Acquire);
+                if ptr.is_null() {
+                    None
+                } else {
+                    // SAFETY: Aligned atomics never cross a 64 KiB page.
+                    Some(unsafe { ptr.add(off & PAGE_MASK) })
+                }
+            }
+        }
+    }
+
+    /// Plain read of `N` bytes from a frozen page (paged backing only).
+    fn frozen_read<const N: usize>(&self, off: usize) -> [u8; N] {
+        let mut out = [0u8; N];
+        self.copy_out(off, &mut out);
+        out
+    }
+
     /// 32-bit atomic load with SeqCst ordering.
     pub fn atomic_load32(&self, addr: u64) -> Result<u32, Trap> {
         let off = self.check_aligned(addr, 4)?;
-        // SAFETY: In-bounds, 4-aligned, and the allocation outlives the
-        // reference; AtomicU32 has the same layout as u32.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
-        Ok(a.load(Ordering::SeqCst))
+        match self.atomic_read_ptr(off) {
+            // SAFETY: In-bounds, 4-aligned, and the allocation outlives
+            // the reference; AtomicU32 has the same layout as u32.
+            Some(ptr) => Ok(unsafe { &*(ptr as *const AtomicU32) }.load(Ordering::SeqCst)),
+            // Frozen page: race-free plain read (native byte order, to
+            // match what an atomic load of the same bytes would return).
+            None => Ok(u32::from_ne_bytes(self.frozen_read::<4>(off))),
+        }
     }
 
     /// 32-bit atomic store with SeqCst ordering.
     pub fn atomic_store32(&self, addr: u64, val: u32) -> Result<(), Trap> {
         let off = self.check_aligned(addr, 4)?;
         // SAFETY: See `atomic_load32`.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        let a = unsafe { &*(self.atomic_ptr(off) as *const AtomicU32) };
         a.store(val, Ordering::SeqCst);
         Ok(())
     }
@@ -262,16 +807,18 @@ impl Memory {
     /// 64-bit atomic load with SeqCst ordering.
     pub fn atomic_load64(&self, addr: u64) -> Result<u64, Trap> {
         let off = self.check_aligned(addr, 8)?;
-        // SAFETY: See `atomic_load32`, with 8-byte alignment.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU64) };
-        Ok(a.load(Ordering::SeqCst))
+        match self.atomic_read_ptr(off) {
+            // SAFETY: See `atomic_load32`, with 8-byte alignment.
+            Some(ptr) => Ok(unsafe { &*(ptr as *const AtomicU64) }.load(Ordering::SeqCst)),
+            None => Ok(u64::from_ne_bytes(self.frozen_read::<8>(off))),
+        }
     }
 
     /// 64-bit atomic store with SeqCst ordering.
     pub fn atomic_store64(&self, addr: u64, val: u64) -> Result<(), Trap> {
         let off = self.check_aligned(addr, 8)?;
         // SAFETY: See `atomic_load32`, with 8-byte alignment.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU64) };
+        let a = unsafe { &*(self.atomic_ptr(off) as *const AtomicU64) };
         a.store(val, Ordering::SeqCst);
         Ok(())
     }
@@ -281,7 +828,7 @@ impl Memory {
         use crate::instr::RmwOp;
         let off = self.check_aligned(addr, 4)?;
         // SAFETY: See `atomic_load32`.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        let a = unsafe { &*(self.atomic_ptr(off) as *const AtomicU32) };
         let old = match op {
             RmwOp::Add => a.fetch_add(val, Ordering::SeqCst),
             RmwOp::Sub => a.fetch_sub(val, Ordering::SeqCst),
@@ -297,7 +844,7 @@ impl Memory {
     pub fn atomic_cmpxchg32(&self, addr: u64, expected: u32, new: u32) -> Result<u32, Trap> {
         let off = self.check_aligned(addr, 4)?;
         // SAFETY: See `atomic_load32`.
-        let a = unsafe { &*(self.ptr().add(off) as *const AtomicU32) };
+        let a = unsafe { &*(self.atomic_ptr(off) as *const AtomicU32) };
         Ok(
             match a.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(v) => v,
@@ -319,6 +866,8 @@ impl std::fmt::Debug for Memory {
         f.debug_struct("Memory")
             .field("pages", &self.pages())
             .field("max_pages", &self.max_pages)
+            .field("paged", &self.is_paged())
+            .field("resident_pages", &self.resident_pages())
             .finish()
     }
 }
@@ -327,80 +876,228 @@ impl std::fmt::Debug for Memory {
 mod tests {
     use super::*;
 
+    /// Every behavioral test runs against both backings.
+    fn both(f: impl Fn(fn(u32, Option<u32>) -> Memory)) {
+        f(Memory::new_flat);
+        f(Memory::new_paged);
+    }
+
     #[test]
     fn grow_and_bounds() {
-        let m = Memory::new(1, Some(3));
-        assert_eq!(m.pages(), 1);
-        assert!(m.store::<4>(PAGE_SIZE as u64 - 4, [1, 2, 3, 4]).is_ok());
-        assert_eq!(
-            m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]),
-            Err(Trap::MemoryOutOfBounds)
-        );
-        assert_eq!(m.grow(1), 1);
-        assert!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]).is_ok());
-        assert_eq!(m.grow(2), -1);
-        assert_eq!(m.grow(1), 2);
-        assert_eq!(m.grow(1), -1);
-        assert_eq!(m.peak_pages(), 3);
+        both(|mk| {
+            let m = mk(1, Some(3));
+            assert_eq!(m.pages(), 1);
+            assert!(m.store::<4>(PAGE_SIZE as u64 - 4, [1, 2, 3, 4]).is_ok());
+            assert_eq!(
+                m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]),
+                Err(Trap::MemoryOutOfBounds)
+            );
+            assert_eq!(m.grow(1), 1);
+            assert!(m.store::<4>(PAGE_SIZE as u64 - 3, [0; 4]).is_ok());
+            assert_eq!(m.grow(2), -1);
+            assert_eq!(m.grow(1), 2);
+            assert_eq!(m.grow(1), -1);
+            assert_eq!(m.peak_pages(), 3);
+        });
     }
 
     #[test]
     fn load_store_round_trip() {
-        let m = Memory::new(1, None);
-        m.store::<8>(16, 0xdead_beef_cafe_f00du64.to_le_bytes())
+        both(|mk| {
+            let m = mk(1, None);
+            m.store::<8>(16, 0xdead_beef_cafe_f00du64.to_le_bytes())
+                .unwrap();
+            assert_eq!(
+                u64::from_le_bytes(m.load::<8>(16).unwrap()),
+                0xdead_beef_cafe_f00d
+            );
+        });
+    }
+
+    #[test]
+    fn unaligned_access_across_a_page_boundary() {
+        let m = Memory::new_paged(2, Some(2));
+        let at = PAGE_SIZE as u64 - 3;
+        m.store::<8>(at, 0x0123_4567_89ab_cdefu64.to_le_bytes())
             .unwrap();
         assert_eq!(
-            u64::from_le_bytes(m.load::<8>(16).unwrap()),
-            0xdead_beef_cafe_f00d
+            u64::from_le_bytes(m.load::<8>(at).unwrap()),
+            0x0123_4567_89ab_cdef
         );
+        assert_eq!(m.resident_pages(), 2, "both straddled pages materialize");
     }
 
     #[test]
     fn cstr_and_bulk_ops() {
-        let m = Memory::new(1, None);
-        m.write(100, b"hello\0world").unwrap();
-        assert_eq!(m.read_cstr(100).unwrap(), b"hello");
-        m.copy_within(200, 100, 11).unwrap();
-        assert_eq!(m.read(200, 5).unwrap(), b"hello");
-        m.fill(100, b'x', 5).unwrap();
-        assert_eq!(m.read_cstr(100).unwrap(), b"xxxxx");
+        both(|mk| {
+            let m = mk(1, None);
+            m.write(100, b"hello\0world").unwrap();
+            assert_eq!(m.read_cstr(100).unwrap(), b"hello");
+            m.copy_within(200, 100, 11).unwrap();
+            assert_eq!(m.read(200, 5).unwrap(), b"hello");
+            m.fill(100, b'x', 5).unwrap();
+            assert_eq!(m.read_cstr(100).unwrap(), b"xxxxx");
+        });
     }
 
     #[test]
     fn overlapping_copy_is_memmove() {
-        let m = Memory::new(1, None);
-        m.write(0, b"abcdef").unwrap();
-        m.copy_within(2, 0, 4).unwrap();
-        assert_eq!(m.read(0, 6).unwrap(), b"ababcd");
+        both(|mk| {
+            let m = mk(1, None);
+            m.write(0, b"abcdef").unwrap();
+            m.copy_within(2, 0, 4).unwrap();
+            assert_eq!(m.read(0, 6).unwrap(), b"ababcd");
+        });
     }
 
     #[test]
     fn atomics_work_and_require_alignment() {
-        let m = Memory::new(1, None);
-        m.atomic_store32(8, 5).unwrap();
-        assert_eq!(m.atomic_rmw32(8, crate::instr::RmwOp::Add, 3).unwrap(), 5);
-        assert_eq!(m.atomic_load32(8).unwrap(), 8);
-        assert_eq!(m.atomic_cmpxchg32(8, 8, 42).unwrap(), 8);
-        assert_eq!(m.atomic_load32(8).unwrap(), 42);
-        assert_eq!(m.atomic_load32(6), Err(Trap::MemoryOutOfBounds));
+        both(|mk| {
+            let m = mk(1, None);
+            m.atomic_store32(8, 5).unwrap();
+            assert_eq!(m.atomic_rmw32(8, crate::instr::RmwOp::Add, 3).unwrap(), 5);
+            assert_eq!(m.atomic_load32(8).unwrap(), 8);
+            assert_eq!(m.atomic_cmpxchg32(8, 8, 42).unwrap(), 8);
+            assert_eq!(m.atomic_load32(8).unwrap(), 42);
+            assert_eq!(m.atomic_load32(6), Err(Trap::MemoryOutOfBounds));
+        });
     }
 
     #[test]
     fn shared_across_threads() {
         use std::sync::Arc;
-        let m = Arc::new(Memory::new(1, None));
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let m = Arc::clone(&m);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..1000 {
-                    m.atomic_rmw32(0, crate::instr::RmwOp::Add, 1).unwrap();
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(m.atomic_load32(0).unwrap(), 4000);
+        both(|mk| {
+            let m = Arc::new(mk(1, None));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.atomic_rmw32(0, crate::instr::RmwOp::Add, 1).unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(m.atomic_load32(0).unwrap(), 4000);
+        });
+    }
+
+    #[test]
+    fn paged_creation_and_grow_allocate_nothing() {
+        let m = Memory::new_paged(16, Some(1024));
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.grow(512), 16);
+        assert_eq!(m.resident_pages(), 0, "grow moves the watermark only");
+        assert_eq!(m.load::<8>(40 * PAGE_SIZE as u64).unwrap(), [0u8; 8]);
+        assert_eq!(m.resident_pages(), 0, "reads never materialize");
+        m.store::<1>(40 * PAGE_SIZE as u64, [7]).unwrap();
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.peak_resident_pages(), 1);
+    }
+
+    #[test]
+    fn fork_clone_is_cow() {
+        let parent = Memory::new_paged(8, Some(8));
+        parent.write(0, b"parent page 0").unwrap();
+        parent
+            .write(3 * PAGE_SIZE as u64, b"parent page 3")
+            .unwrap();
+        assert_eq!(parent.resident_pages(), 2);
+
+        let child = parent.fork_clone();
+        assert_eq!(child.resident_pages(), 2, "shared, not copied");
+        assert_eq!(child.read(0, 13).unwrap(), b"parent page 0");
+
+        // Child write copies only the touched page; the parent is intact.
+        child.write(0, b"child  page 0").unwrap();
+        assert_eq!(parent.read(0, 13).unwrap(), b"parent page 0");
+        assert_eq!(child.read(0, 13).unwrap(), b"child  page 0");
+
+        // Parent write after fork also copies (both lost in-place writes).
+        parent
+            .write(3 * PAGE_SIZE as u64, b"parent redone")
+            .unwrap();
+        assert_eq!(
+            child.read(3 * PAGE_SIZE as u64, 13).unwrap(),
+            b"parent page 3"
+        );
+        // Untouched-by-either pages stay zero everywhere.
+        assert_eq!(parent.load::<4>(5 * PAGE_SIZE as u64).unwrap(), [0; 4]);
+        assert_eq!(child.load::<4>(5 * PAGE_SIZE as u64).unwrap(), [0; 4]);
+    }
+
+    #[test]
+    fn release_returns_pages_and_zeroes_edges() {
+        let m = Memory::new_paged(4, Some(4));
+        m.fill(0, 0xaa, 4 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(m.resident_pages(), 4);
+        // Release page 1 fully plus the first half of page 2.
+        m.release(PAGE_SIZE as u64, PAGE_SIZE as u64 + PAGE_SIZE as u64 / 2)
+            .unwrap();
+        assert_eq!(m.resident_pages(), 3, "page 1 returned to the store");
+        assert_eq!(m.load::<1>(PAGE_SIZE as u64).unwrap(), [0]);
+        assert_eq!(m.load::<1>(2 * PAGE_SIZE as u64).unwrap(), [0]);
+        assert_eq!(
+            m.load::<1>(2 * PAGE_SIZE as u64 + PAGE_SIZE as u64 / 2)
+                .unwrap(),
+            [0xaa],
+            "tail of the partial page survives"
+        );
+        assert_eq!(m.peak_resident_pages(), 4);
+    }
+
+    #[test]
+    fn deep_clone_preserves_backing_and_content() {
+        both(|mk| {
+            let m = mk(2, Some(4));
+            m.write(10, b"abc").unwrap();
+            let c = m.deep_clone();
+            assert_eq!(c.is_paged(), m.is_paged());
+            assert_eq!(c.read(10, 3).unwrap(), b"abc");
+            c.write(10, b"xyz").unwrap();
+            assert_eq!(m.read(10, 3).unwrap(), b"abc", "independent copies");
+        });
+    }
+
+    #[test]
+    fn backing_default_follows_cow_default() {
+        let m = Memory::new(1, Some(1));
+        assert_eq!(m.is_paged(), cow_default());
+    }
+
+    #[test]
+    fn atomic_loads_never_materialize_or_copy() {
+        // Pure read of an untouched page: no allocation.
+        let m = Memory::new_paged(2, Some(2));
+        assert_eq!(m.atomic_load32(64).unwrap(), 0);
+        assert_eq!(m.atomic_load64(128).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0, "atomic loads are reads");
+        // Read of a fork-shared (frozen) page: no COW copy, value intact.
+        m.atomic_store32(64, 77).unwrap();
+        let child = m.fork_clone();
+        assert_eq!(child.atomic_load32(64).unwrap(), 77);
+        assert_eq!(m.atomic_load32(64).unwrap(), 77);
+        assert_eq!(child.resident_pages(), 1);
+        // An atomic *store* on the shared page does COW as usual.
+        child.atomic_store32(64, 99).unwrap();
+        assert_eq!(m.atomic_load32(64).unwrap(), 77);
+        assert_eq!(child.atomic_load32(64).unwrap(), 99);
+    }
+
+    #[test]
+    fn writing_zeros_to_untouched_pages_stays_lazy() {
+        let m = Memory::new_paged(4, Some(4));
+        // Bulk zero write and zero memory.copy over untouched space.
+        m.write(100, &[0u8; 4096]).unwrap();
+        m.copy_within(2 * PAGE_SIZE as u64, 0, PAGE_SIZE as u64)
+            .unwrap();
+        assert_eq!(m.resident_pages(), 0, "zeros into zeros is a no-op");
+        // A copy of real data still lands.
+        m.write(0, b"payload").unwrap();
+        m.copy_within(2 * PAGE_SIZE as u64, 0, 16).unwrap();
+        assert_eq!(m.read(2 * PAGE_SIZE as u64, 7).unwrap(), b"payload");
+        assert_eq!(m.resident_pages(), 2);
     }
 }
