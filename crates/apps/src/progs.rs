@@ -1181,6 +1181,7 @@ pub fn suite() -> Vec<App> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vkernel::MutexExt;
     use wali::runner::WaliRunner;
 
     fn run(app: App) -> wali::RunOutcome {
@@ -1190,7 +1191,7 @@ mod tests {
         // The lua script file the interpreter loads.
         runner
             .kernel
-            .borrow_mut()
+            .lock_ok()
             .vfs
             .write_file(
                 "/tmp/script.lua",
@@ -1218,9 +1219,9 @@ mod tests {
     fn bash_sim_reaps_all_jobs_with_sigchld() {
         let out = run(bash_sim(3));
         assert_eq!(out.exit_code(), Some(0), "all SIGCHLDs observed");
-        assert_eq!(out.trace.counts["fork"], 3);
-        assert_eq!(out.trace.counts["wait4"], 3);
-        assert!(out.trace.counts["pipe"] == 3);
+        assert_eq!(out.trace.counts.of("fork"), 3);
+        assert_eq!(out.trace.counts.of("wait4"), 3);
+        assert!(out.trace.counts.of("pipe") == 3);
     }
 
     #[test]
@@ -1239,9 +1240,9 @@ mod tests {
     fn memcached_sim_serves_every_request() {
         let out = run(memcached_sim(5));
         assert_eq!(out.exit_code(), Some(0));
-        assert_eq!(out.trace.counts["clone"], 1);
-        assert!(out.trace.counts["accept"] >= 5);
-        assert!(out.trace.counts["connect"] >= 5);
+        assert_eq!(out.trace.counts.of("clone"), 1);
+        assert!(out.trace.counts.of("accept") >= 5);
+        assert!(out.trace.counts.of("connect") >= 5);
     }
 
     #[test]
@@ -1253,11 +1254,15 @@ mod tests {
             "all 12 requests served: {:?}",
             out.main_exit
         );
-        assert_eq!(out.trace.counts["epoll_create1"], 1);
+        assert_eq!(out.trace.counts.of("epoll_create1"), 1);
         // Listener + 4 connections added, 4 removed on hangup.
-        assert!(out.trace.counts["epoll_ctl"] >= 5, "{:?}", out.trace.counts);
-        assert!(out.trace.counts["epoll_wait"] >= 4);
-        assert!(out.trace.counts["accept"] >= 4);
+        assert!(
+            out.trace.counts.of("epoll_ctl") >= 5,
+            "{:?}",
+            out.trace.counts
+        );
+        assert!(out.trace.counts.of("epoll_wait") >= 4);
+        assert!(out.trace.counts.of("accept") >= 4);
     }
 
     #[test]
@@ -1277,18 +1282,43 @@ mod tests {
             "all 12 replies received: {:?}",
             out.main_exit
         );
-        assert_eq!(out.trace.counts["fork"], 3);
+        assert_eq!(out.trace.counts.of("fork"), 3);
         // Blocked calls count one dispatch per retry, so these are floors.
-        assert!(out.trace.counts["wait4"] >= 3, "{:?}", out.trace.counts);
+        assert!(out.trace.counts.of("wait4") >= 3, "{:?}", out.trace.counts);
         assert_eq!(
-            out.trace.counts["epoll_create1"], 3,
+            out.trace.counts.of("epoll_create1"),
+            3,
             "one instance per worker"
         );
         // 12 serving accepts + 3 QUIT accepts.
-        assert!(out.trace.counts["accept"] >= 15, "{:?}", out.trace.counts);
-        assert!(out.trace.counts["connect"] >= 15);
+        assert!(
+            out.trace.counts.of("accept") >= 15,
+            "{:?}",
+            out.trace.counts
+        );
+        assert!(out.trace.counts.of("connect") >= 15);
         // Workers exited, so parent + 3 children report endings.
         assert_eq!(out.ends.len(), 4);
+    }
+
+    #[test]
+    fn prefork_server_parallel_workers() {
+        // The SMP variant of the scenario: with WALI_WORKERS=4 the
+        // forked server processes are interpreted on separate host
+        // workers and genuinely serve concurrently. Counts only — the
+        // reply interleaving is timing-dependent under SMP.
+        let app = prefork_server_sim(3, 4);
+        let bytes = wasm::encode::encode(&app.module);
+        let module = wasm::decode::decode(&bytes).expect("round trip");
+        let mut runner = WaliRunner::new_default();
+        runner.set_workers(4);
+        runner.register_program("/usr/bin/app", &module).unwrap();
+        runner.spawn("/usr/bin/app", &[], &[]).unwrap();
+        let out = runner.run().expect("run");
+        assert_eq!(out.exit_code(), Some(0), "{:?}", out.main_exit);
+        assert_eq!(out.trace.counts.of("fork"), 3);
+        assert_eq!(out.ends.len(), 4, "parent + 3 workers: {:?}", out.ends);
+        assert!(out.trace.counts.of("accept") >= 15);
     }
 
     #[test]
@@ -1312,8 +1342,8 @@ mod tests {
     fn paho_sim_round_trips_publishes() {
         let out = run(paho_mqtt_sim(4));
         assert_eq!(out.exit_code(), Some(0));
-        assert!(out.trace.counts["sendto"] >= 8, "{:?}", out.trace.counts);
-        assert!(out.trace.counts["nanosleep"] >= 4);
+        assert!(out.trace.counts.of("sendto") >= 8, "{:?}", out.trace.counts);
+        assert!(out.trace.counts.of("nanosleep") >= 4);
     }
 
     #[test]

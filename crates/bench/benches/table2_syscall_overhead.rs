@@ -5,6 +5,7 @@
 //! for the interpreter side of the fast path).
 
 use bench::harness;
+use vkernel::MutexExt;
 use wali::registry::build_linker;
 use wali::WaliContext;
 use wasm::host::Caller;
@@ -26,8 +27,8 @@ fn main() {
     let program =
         std::sync::Arc::new(Program::link(&module, &linker, SafepointScheme::None).unwrap());
     let instance = Instance::new(program).unwrap();
-    let kernel = std::rc::Rc::new(std::cell::RefCell::new(vkernel::Kernel::new()));
-    let tid = kernel.borrow_mut().spawn_process();
+    let kernel = std::sync::Arc::new(std::sync::Mutex::new(vkernel::Kernel::new()));
+    let tid = kernel.lock_ok().spawn_process();
     let mut ctx = WaliContext::new(kernel, tid, 8192);
     instance
         .memory
@@ -72,7 +73,7 @@ fn main() {
         b.iter(|| {
             call(&mut ctx, "mmap", &[0, 4096, 3, 0x22, -1, 0]);
             // Address is deterministic: pool reuses the gap each round.
-            let addr = ctx.mmap.borrow().base() as i64;
+            let addr = ctx.mmap.lock_ok().base() as i64;
             call(&mut ctx, "munmap", &[addr, 4096]);
         })
     });

@@ -7,6 +7,7 @@
 //! spec classification.
 
 use std::time::Instant;
+use vkernel::MutexExt;
 
 use wali::registry::build_linker;
 use wali::WaliContext;
@@ -55,8 +56,8 @@ fn main() {
     let program =
         std::sync::Arc::new(Program::link(&module, &linker, SafepointScheme::None).unwrap());
     let instance = Instance::new(program).unwrap();
-    let kernel = std::rc::Rc::new(std::cell::RefCell::new(vkernel::Kernel::new()));
-    let tid = kernel.borrow_mut().spawn_process();
+    let kernel = std::sync::Arc::new(std::sync::Mutex::new(vkernel::Kernel::new()));
+    let tid = kernel.lock_ok().spawn_process();
     let mut ctx = WaliContext::new(kernel, tid, 8192);
 
     // Open a working fd and a socket for the networked calls.
@@ -156,7 +157,7 @@ fn main() {
             // Paired with munmap so the pool stays flat; half the pair
             // time approximates the map cost (the kernel-side work is
             // split between the two anyway).
-            let pool_base = ctx.mmap.borrow().base() as i64;
+            let pool_base = ctx.mmap.lock_ok().base() as i64;
             let t0 = Instant::now();
             for _ in 0..N {
                 call(&linker, &mut ctx, &instance, "mmap", args);

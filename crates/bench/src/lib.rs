@@ -16,6 +16,7 @@
 //! | §5.1     | `wazi_demo` |
 
 use std::time::{Duration, Instant};
+use vkernel::MutexExt;
 
 use apps::App;
 
@@ -60,7 +61,7 @@ pub fn seed_files(runner: &WaliRunner) {
 /// Seeds input files on a raw kernel handle (emulator tier).
 pub fn seed_kernel(kernel: &wali::context::KernelRef) {
     kernel
-        .borrow_mut()
+        .lock_ok()
         .vfs
         .write_file(
             "/tmp/script.lua",

@@ -15,9 +15,9 @@
 //! differs. Startup is near-zero (no image to materialize, no preparation
 //! pass), which is exactly the QEMU trade-off Fig. 8 shows.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use vkernel::MutexExt;
 
 use wali::context::WaliContext;
 use wali::registry::{build_linker, WaliSuspend};
@@ -66,7 +66,7 @@ impl EmuRunner {
         Ok(EmuRunner {
             module: module.clone(),
             program: Arc::new(program),
-            kernel: Rc::new(RefCell::new(vkernel::Kernel::new())),
+            kernel: Arc::new(Mutex::new(vkernel::Kernel::new())),
         })
     }
 
@@ -77,7 +77,7 @@ impl EmuRunner {
 
     /// Runs `_start` to completion.
     pub fn run(&mut self, args: &[&str]) -> Result<EmuOutcome, String> {
-        let tid = self.kernel.borrow_mut().spawn_process();
+        let tid = self.kernel.lock_ok().spawn_process();
         let mut instance = Instance::new(self.program.clone()).map_err(|t| t.to_string())?;
         let mut ctx = WaliContext::new(self.kernel.clone(), tid, self.program.data_end());
         ctx.args = args.iter().map(|s| s.to_string()).collect();
@@ -103,7 +103,7 @@ impl EmuRunner {
             _ => emu.stack.pop().map(|v| v as i32).unwrap_or(0),
         };
         let steps = emu.steps;
-        let console = self.kernel.borrow_mut().take_console();
+        let console = self.kernel.lock_ok().take_console();
         Ok(EmuOutcome {
             exit,
             steps,
@@ -179,7 +179,7 @@ impl<'a> Emu<'a> {
                         WaliSuspend::Blocked { deadline, .. } => {
                             // Single-task guest: advance virtual time and
                             // retry the call.
-                            let mut k = self.ctx.kernel.borrow_mut();
+                            let mut k = self.ctx.kernel.lock_ok();
                             match deadline {
                                 Some(d) => k.clock.advance_to(d),
                                 None => k.clock.advance(1_000_000),

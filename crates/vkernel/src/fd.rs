@@ -5,10 +5,11 @@
 //! `FD_CLOEXEC` lives on the descriptor not the description, and the
 //! lowest free slot is always allocated.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wali_abi::Errno;
+
+use crate::sync::MutexExt;
 
 use crate::vfs::InodeId;
 
@@ -31,7 +32,7 @@ pub enum FileKind {
     /// Character device by inode.
     CharDev(InodeId),
     /// Snapshot text (generated `/proc` files).
-    ProcSnapshot(Rc<Vec<u8>>),
+    ProcSnapshot(Arc<Vec<u8>>),
     /// An eventfd counter.
     EventFd,
     /// An epoll instance.
@@ -64,7 +65,11 @@ impl OpenFile {
 }
 
 /// A shared open file description handle.
-pub type FileRef = Rc<RefCell<OpenFile>>;
+///
+/// The description carries its own lock: offset updates and eventfd
+/// counter edits on one file never serialize against another file or
+/// against the kernel core.
+pub type FileRef = Arc<Mutex<OpenFile>>;
 
 /// One descriptor-table slot.
 #[derive(Clone, Debug)]
@@ -85,7 +90,7 @@ pub struct FdTable {
     /// `(fd, description)` resolved. Read/write-heavy applications hammer
     /// a single descriptor, so this skips the slot walk and entry clone
     /// on the repeat lookups that dominate the syscall hot path.
-    last: RefCell<Option<(i32, FileRef)>>,
+    last: Mutex<Option<(i32, FileRef)>>,
 }
 
 impl Clone for FdTable {
@@ -97,7 +102,7 @@ impl Clone for FdTable {
         FdTable {
             slots: self.slots.clone(),
             limit: self.limit,
-            last: RefCell::new(None),
+            last: Mutex::new(None),
         }
     }
 }
@@ -108,7 +113,7 @@ impl FdTable {
         FdTable {
             slots: Vec::new(),
             limit: DEFAULT_NOFILE,
-            last: RefCell::new(None),
+            last: Mutex::new(None),
         }
     }
 
@@ -167,21 +172,21 @@ impl FdTable {
     /// so repeated I/O on one descriptor — the shape of every read/write
     /// loop — resolves without touching the slot table.
     pub fn get_file_cached(&self, fd: i32) -> Result<FileRef, Errno> {
-        if let Some((cached_fd, file)) = &*self.last.borrow() {
+        if let Some((cached_fd, file)) = &*self.last.lock_ok() {
             if *cached_fd == fd {
                 return Ok(file.clone());
             }
         }
         let file = self.get(fd)?.file.clone();
-        *self.last.borrow_mut() = Some((fd, file.clone()));
+        *self.last.lock_ok() = Some((fd, file.clone()));
         Ok(file)
     }
 
     /// Drops the lookup cache entry for `fd` (slot is being replaced).
     fn uncache(&mut self, fd: i32) {
-        let stale = matches!(&*self.last.borrow(), Some((cached_fd, _)) if *cached_fd == fd);
+        let stale = matches!(&*self.last.lock_ok(), Some((cached_fd, _)) if *cached_fd == fd);
         if stale {
-            *self.last.borrow_mut() = None;
+            *self.last.lock_ok() = None;
         }
     }
 
@@ -222,7 +227,7 @@ impl FdTable {
     /// counts, socket refs) exactly like an explicit `close`.
     #[must_use = "swept entries must be released by the kernel"]
     pub fn close_cloexec(&mut self) -> Vec<FdEntry> {
-        *self.last.borrow_mut() = None;
+        *self.last.lock_ok() = None;
         let mut swept = Vec::new();
         for slot in &mut self.slots {
             if slot.as_ref().map(|e| e.cloexec).unwrap_or(false) {
@@ -237,7 +242,7 @@ impl FdTable {
     /// Empties the table, returning every open entry (task exit: the
     /// kernel releases each description).
     pub fn drain(&mut self) -> Vec<FdEntry> {
-        *self.last.borrow_mut() = None;
+        *self.last.lock_ok() = None;
         self.slots.drain(..).flatten().collect()
     }
 
@@ -261,7 +266,7 @@ mod tests {
     use super::*;
 
     fn file() -> FileRef {
-        Rc::new(RefCell::new(OpenFile::new(FileKind::Regular(0), 0)))
+        Arc::new(Mutex::new(OpenFile::new(FileKind::Regular(0), 0)))
     }
 
     #[test]
@@ -279,8 +284,8 @@ mod tests {
         let mut t = FdTable::new();
         let fd = t.alloc(file(), false).unwrap();
         let dup = t.alloc(t.get(fd).unwrap().file.clone(), false).unwrap();
-        t.get(fd).unwrap().file.borrow_mut().offset = 42;
-        assert_eq!(t.get(dup).unwrap().file.borrow().offset, 42);
+        t.get(fd).unwrap().file.lock_ok().offset = 42;
+        assert_eq!(t.get(dup).unwrap().file.lock_ok().offset, 42);
     }
 
     #[test]
@@ -288,9 +293,9 @@ mod tests {
         let mut t = FdTable::new();
         let a = t.alloc(file(), false).unwrap();
         let b = t.alloc(file(), false).unwrap();
-        t.get(a).unwrap().file.borrow_mut().offset = 7;
+        t.get(a).unwrap().file.lock_ok().offset = 7;
         t.dup_to(a, b, false).unwrap();
-        assert_eq!(t.get(b).unwrap().file.borrow().offset, 7);
+        assert_eq!(t.get(b).unwrap().file.lock_ok().offset, 7);
         // dup2 to a large out-of-range fd fails.
         assert_eq!(
             t.dup_to(a, DEFAULT_NOFILE as i32, false).unwrap_err(),
@@ -324,7 +329,7 @@ mod tests {
         let a = t.alloc(file(), false).unwrap();
         let f1 = t.get_file_cached(a).unwrap();
         // Cache hit resolves to the same description.
-        assert!(Rc::ptr_eq(&f1, &t.get_file_cached(a).unwrap()));
+        assert!(Arc::ptr_eq(&f1, &t.get_file_cached(a).unwrap()));
         // close invalidates: the fd must become EBADF, not a stale hit.
         t.close(a).unwrap();
         assert_eq!(t.get_file_cached(a).unwrap_err(), Errno::Ebadf);
@@ -332,12 +337,12 @@ mod tests {
         let b = t.alloc(file(), false).unwrap();
         assert_eq!(a, b);
         let f2 = t.get_file_cached(b).unwrap();
-        assert!(!Rc::ptr_eq(&f1, &f2));
+        assert!(!Arc::ptr_eq(&f1, &f2));
         // dup2 over a cached fd must drop the stale mapping.
         let c = t.alloc(file(), false).unwrap();
         let _ = t.get_file_cached(c).unwrap();
         t.dup_to(b, c, false).unwrap();
-        assert!(Rc::ptr_eq(&t.get_file_cached(c).unwrap(), &f2));
+        assert!(Arc::ptr_eq(&t.get_file_cached(c).unwrap(), &f2));
         // close_cloexec wipes the cache wholesale.
         let _ = t.get_file_cached(b).unwrap();
         let _ = t.close_cloexec();
@@ -357,7 +362,7 @@ mod tests {
         // The slot re-allocates; the cache must resolve the new description.
         let again = t.alloc(file(), false).unwrap();
         assert_eq!(doomed, again);
-        assert!(!Rc::ptr_eq(&f1, &t.get_file_cached(again).unwrap()));
+        assert!(!Arc::ptr_eq(&f1, &t.get_file_cached(again).unwrap()));
     }
 
     #[test]
@@ -375,7 +380,7 @@ mod tests {
         let repl = file();
         let src = forked.alloc(repl.clone(), false).unwrap();
         forked.dup_to(src, fd, false).unwrap();
-        assert!(Rc::ptr_eq(&forked.get_file_cached(fd).unwrap(), &repl));
+        assert!(Arc::ptr_eq(&forked.get_file_cached(fd).unwrap(), &repl));
         cloned.close(fd).unwrap();
         assert_eq!(cloned.get_file_cached(fd).unwrap_err(), Errno::Ebadf);
         // The parent cache still serves its own (unchanged) slot.
@@ -399,9 +404,9 @@ mod tests {
         let mut t = FdTable::new();
         let fd = t.alloc(file(), false).unwrap();
         let copy = t.fork_copy();
-        t.get(fd).unwrap().file.borrow_mut().offset = 99;
+        t.get(fd).unwrap().file.lock_ok().offset = 99;
         assert_eq!(
-            copy.get(fd).unwrap().file.borrow().offset,
+            copy.get(fd).unwrap().file.lock_ok().offset,
             99,
             "offset shared across fork"
         );

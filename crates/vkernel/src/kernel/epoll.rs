@@ -11,19 +11,26 @@
 //!   stays reportable while any `dup`/fork duplicate keeps its
 //!   description open, and fully-closed registrations are swept on the
 //!   next scan (Linux's description-keyed semantics, man epoll Q6);
-//! * readiness is **level-triggered**; `EPOLLET`/`EPOLLONESHOT` are
-//!   accepted and recorded but do not change delivery;
+//! * delivery is level-triggered by default; `EPOLLET` reports on a
+//!   not-ready→ready edge or when a new transition (waitqueue post)
+//!   arrived since the last report — Linux's re-arm-on-new-event
+//!   semantics, tracked through per-channel event generations — and
+//!   `EPOLLONESHOT` disarms a registration after one report until
+//!   `EPOLL_CTL_MOD` re-arms it;
 //! * a blocked `epoll_wait` parks on the union of the interest list's wait
 //!   channels (see [`Kernel::wait_on_fds`]) and is woken by the first
 //!   transition on any of them.
 
+use std::sync::{Arc, Mutex, Weak};
+
 use wali_abi::flags::{
-    EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLL_CLOEXEC, EPOLL_CTL_ADD, EPOLL_CTL_DEL,
-    EPOLL_CTL_MOD, POLLERR, POLLHUP, POLLIN, POLLOUT,
+    EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLONESHOT, EPOLLOUT, EPOLL_CLOEXEC, EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL, EPOLL_CTL_MOD, POLLERR, POLLHUP, POLLIN, POLLOUT,
 };
 use wali_abi::Errno;
 
 use crate::fd::{FileKind, FileRef, OpenFile};
+use crate::sync::MutexExt;
 use crate::{SysResult, Tid};
 
 use super::Kernel;
@@ -38,7 +45,20 @@ pub(crate) struct EpollReg {
     pub(crate) fd: i32,
     pub(crate) events: u32,
     pub(crate) data: u64,
-    pub(crate) file: std::rc::Weak<std::cell::RefCell<OpenFile>>,
+    pub(crate) file: Weak<Mutex<OpenFile>>,
+    /// `EPOLLET` state: the readiness mask the previous scan observed.
+    /// A bit reports when it rises, or when the registration's event
+    /// generation moved (a new transition arrived — Linux re-notifies
+    /// ET on new data even while the level stays high). Level-triggered
+    /// registrations ignore this field.
+    pub(crate) prev_ready: u32,
+    /// `EPOLLET` state: sum of the wait-channel event generations at
+    /// the previous scan.
+    pub(crate) prev_gen: u64,
+    /// `EPOLLONESHOT` state: cleared after one report; `EPOLL_CTL_MOD`
+    /// re-arms. Disarmed registrations neither report nor contribute
+    /// wait channels.
+    pub(crate) armed: bool,
 }
 
 /// One epoll instance: the interest list.
@@ -97,8 +117,8 @@ impl Kernel {
 
     fn epoll_of_fd(&self, tid: Tid, epfd: i32) -> Result<usize, Errno> {
         let task = self.task(tid)?;
-        let table = task.fdtable.borrow();
-        let kind = table.get(epfd)?.file.borrow().kind.clone();
+        let table = task.fdtable.lock_ok();
+        let kind = table.get(epfd)?.file.lock_ok().kind.clone();
         match kind {
             FileKind::Epoll(id) => Ok(id),
             _ => Err(Errno::Einval),
@@ -122,6 +142,7 @@ impl Kernel {
             .map(|e| {
                 e.interest
                     .iter()
+                    .filter(|reg| reg.armed)
                     .filter_map(|reg| reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events))))
                     .collect()
             })
@@ -141,14 +162,11 @@ impl Kernel {
             return Err(Errno::Einval.into());
         }
         let id = self.alloc_epoll();
-        let file: FileRef = std::rc::Rc::new(std::cell::RefCell::new(OpenFile::new(
-            FileKind::Epoll(id),
-            0,
-        )));
+        let file: FileRef = Arc::new(Mutex::new(OpenFile::new(FileKind::Epoll(id), 0)));
         let task = self.task(tid)?;
         let fd = task
             .fdtable
-            .borrow_mut()
+            .lock_ok()
             .alloc(file, flags & EPOLL_CLOEXEC != 0)?;
         Ok(fd)
     }
@@ -167,11 +185,11 @@ impl Kernel {
         // The target must be an open descriptor of the caller.
         let (kind, file) = {
             let task = self.task(tid)?;
-            let table = task.fdtable.borrow();
+            let table = task.fdtable.lock_ok();
             let entry = table.get(fd)?;
             let pair = (
-                entry.file.borrow().kind.clone(),
-                std::rc::Rc::downgrade(&entry.file),
+                entry.file.lock_ok().kind.clone(),
+                Arc::downgrade(&entry.file),
             );
             pair
         };
@@ -191,7 +209,7 @@ impl Kernel {
                     .file
                     .upgrade()
                     .zip(target.clone())
-                    .map(|(a, b)| std::rc::Rc::ptr_eq(&a, &b))
+                    .map(|(a, b)| Arc::ptr_eq(&a, &b))
                     .unwrap_or(false)
         });
         match (op, existing) {
@@ -201,13 +219,21 @@ impl Kernel {
                 events,
                 data,
                 file,
+                prev_ready: 0,
+                prev_gen: 0,
+                armed: true,
             }),
+            // MOD re-arms a ONESHOT-disarmed registration and resets the
+            // edge-trigger state (Linux re-arms on modify).
             (EPOLL_CTL_MOD, Some(i)) => {
                 ep.interest[i] = EpollReg {
                     fd,
                     events,
                     data,
                     file,
+                    prev_ready: 0,
+                    prev_gen: 0,
+                    armed: true,
                 }
             }
             (EPOLL_CTL_DEL, Some(i)) => {
@@ -239,7 +265,13 @@ impl Kernel {
         let interest: Vec<EpollReg> = self.epoll(id)?.interest.clone();
         let mut out = Vec::new();
         let mut swept = false;
-        for reg in interest {
+        // Deferred per-registration state updates (ET edge/generation
+        // memory, ONESHOT disarm), applied after the scan: `poll_desc`
+        // needs `&mut self`, so the loop runs over a snapshot. Indices
+        // stay valid — the sweep below is the only mutation and it runs
+        // after the updates.
+        let mut updates: Vec<(usize, u32, u64, bool)> = Vec::new();
+        for (i, reg) in interest.into_iter().enumerate() {
             if out.len() >= max.max(1) {
                 break;
             }
@@ -247,10 +279,45 @@ impl Kernel {
                 swept = true;
                 continue;
             };
+            if !reg.armed {
+                // ONESHOT fired and not yet re-armed by EPOLL_CTL_MOD.
+                continue;
+            }
             let revents = self.poll_desc(tid, &file, epoll_to_poll(reg.events))?;
-            let report = poll_to_epoll(revents, reg.events);
+            let ready = poll_to_epoll(revents, reg.events);
+            let et = reg.events & EPOLLET != 0;
+            let gen = if et {
+                self.desc_event_gen(&file, epoll_to_poll(reg.events))
+            } else {
+                0
+            };
+            let report = if et {
+                // Edge-triggered: report bits that rose since the
+                // previous scan, or everything ready when a new
+                // transition arrived in between (generation moved) —
+                // data written between a drain and this scan must
+                // re-notify, like Linux ET re-arming on new events.
+                (ready & !reg.prev_ready) | if gen != reg.prev_gen { ready } else { 0 }
+            } else {
+                ready
+            };
+            let disarm = reg.events & EPOLLONESHOT != 0 && report != 0;
+            if reg.prev_ready != ready || reg.prev_gen != gen || disarm {
+                updates.push((i, ready, gen, disarm));
+            }
             if report != 0 {
                 out.push((report, reg.data));
+            }
+        }
+        {
+            let ep = self.epoll(id)?;
+            for (i, prev_ready, prev_gen, disarm) in updates {
+                let reg = &mut ep.interest[i];
+                reg.prev_ready = prev_ready;
+                reg.prev_gen = prev_gen;
+                if disarm {
+                    reg.armed = false;
+                }
             }
         }
         if swept {
@@ -508,6 +575,145 @@ mod tests {
         assert!(!k.task_waits(tid), "wake clears all subscriptions");
         // Channel bookkeeping: nothing dangling.
         let _ = Channel::PipeReadable(0);
+    }
+
+    #[test]
+    fn edge_triggered_reports_once_per_rising_edge() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLET, 9)
+            .unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 9)],
+            "rising edge reported"
+        );
+        // Regression: unread data must NOT re-notify an ET registration.
+        assert!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty(),
+            "no spurious re-notification while the level stays high"
+        );
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        // Drain (edge re-arms once observed clear), then write again.
+        let mut buf = [0u8; 4];
+        k.sys_read(tid, r, &mut buf).unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        k.sys_write(tid, w, b"y").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 9)],
+            "next rising edge reported again"
+        );
+    }
+
+    #[test]
+    fn edge_triggered_rearms_on_new_data_between_scans() {
+        // Regression (SMP review): data written between a drain and the
+        // next scan must re-notify an ET registration even though every
+        // scan observed the level high — Linux ET re-arms on the new
+        // event, not on an observed-clear scan. Without the generation
+        // re-arm the waiter would park forever.
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLET, 1)
+            .unwrap();
+        k.sys_write(tid, w, b"a").unwrap();
+        assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().len(), 1);
+        // Drain, then new data arrives BEFORE any scan observes the
+        // level clear.
+        let mut buf = [0u8; 1];
+        k.sys_read(tid, r, &mut buf).unwrap();
+        k.sys_write(tid, w, b"b").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 1)],
+            "new transition re-arms the edge"
+        );
+        // And new data while STILL ready also re-notifies (Linux ET).
+        k.sys_write(tid, w, b"c").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 1)],
+            "new data re-arms even while the level stays high"
+        );
+        // No new transition: stays quiet.
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn level_triggered_still_re_reports() {
+        // The ET change must not leak into default registrations.
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 1)
+            .unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        for _ in 0..3 {
+            assert_eq!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn oneshot_disarms_until_ctl_mod_rearms() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLONESHOT, 3)
+            .unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 3)]
+        );
+        // Regression: a fired ONESHOT registration must stay silent even
+        // with the level still high and across further writes.
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        k.sys_write(tid, w, b"more").unwrap();
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        // Disarmed registrations contribute no wait channels either.
+        k.epoll_subscribe(tid, ep).unwrap();
+        assert!(k.task_waits(tid), "still parked on ctl/signal channels");
+        k.wait_cancel(tid);
+        // MOD re-arms; the pending level is reported again.
+        k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, EPOLLIN | EPOLLONESHOT, 4)
+            .unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 4)]
+        );
+        assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oneshot_edge_combo_reports_exactly_once() {
+        let (mut k, tid) = kp();
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        k.sys_epoll_ctl(
+            tid,
+            ep,
+            EPOLL_CTL_ADD,
+            r,
+            EPOLLIN | EPOLLET | EPOLLONESHOT,
+            7,
+        )
+        .unwrap();
+        k.sys_write(tid, w, b"x").unwrap();
+        assert_eq!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+            vec![(EPOLLIN, 7)]
+        );
+        let mut buf = [0u8; 1];
+        k.sys_read(tid, r, &mut buf).unwrap();
+        k.sys_write(tid, w, b"y").unwrap();
+        assert!(
+            k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty(),
+            "new edge suppressed while disarmed"
+        );
     }
 
     #[test]

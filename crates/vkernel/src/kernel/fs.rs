@@ -1,8 +1,7 @@
 //! File and filesystem syscalls.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wali_abi::flags::{
     AT_FDCWD, AT_REMOVEDIR, AT_SYMLINK_NOFOLLOW, FD_CLOEXEC, FIONBIO, FIONREAD, F_DUPFD,
@@ -16,6 +15,7 @@ use wali_abi::Errno;
 
 use crate::fd::{FdEntry, FileKind, FileRef, OpenFile};
 use crate::pipe::PipeIo;
+use crate::sync::MutexExt;
 use crate::vfs::{DevKind, InodeId, InodeKind};
 use crate::wait::Channel;
 use crate::{block, SysResult, Tid};
@@ -25,12 +25,12 @@ use super::Kernel;
 impl Kernel {
     fn base_dir(&self, tid: Tid, dirfd: i32) -> Result<InodeId, Errno> {
         if dirfd == AT_FDCWD {
-            return Ok(self.task(tid)?.fs.borrow().cwd);
+            return Ok(self.task(tid)?.fs.lock_ok().cwd);
         }
         let task = self.task(tid)?;
-        let table = task.fdtable.borrow();
+        let table = task.fdtable.lock_ok();
         let entry = table.get(dirfd)?;
-        let kind = entry.file.borrow().kind.clone();
+        let kind = entry.file.lock_ok().kind.clone();
         match kind {
             FileKind::Dir(id) => Ok(id),
             _ => Err(Errno::Enotdir),
@@ -62,7 +62,7 @@ impl Kernel {
                 if flags & O_CREAT == 0 {
                     return Err(Errno::Enoent.into());
                 }
-                let umask = self.task(tid)?.fs.borrow().umask;
+                let umask = self.task(tid)?.fs.lock_ok().umask;
                 let id = self
                     .vfs
                     .alloc(InodeKind::File(Vec::new()), mode & !umask & 0o777, now);
@@ -90,7 +90,7 @@ impl Kernel {
             InodeKind::CharDev(dev) => match dev {
                 DevKind::ProcText(which) => {
                     let text = self.proc_text(tid, which);
-                    FileKind::ProcSnapshot(Rc::new(text))
+                    FileKind::ProcSnapshot(Arc::new(text))
                 }
                 _ => {
                     if flags & O_DIRECTORY != 0 {
@@ -107,12 +107,9 @@ impl Kernel {
             }
         }
 
-        let file: FileRef = Rc::new(RefCell::new(OpenFile::new(kind, flags & !O_CLOEXEC)));
+        let file: FileRef = Arc::new(Mutex::new(OpenFile::new(kind, flags & !O_CLOEXEC)));
         let task = self.task(tid)?;
-        let fd = task
-            .fdtable
-            .borrow_mut()
-            .alloc(file, flags & O_CLOEXEC != 0)?;
+        let fd = task.fdtable.lock_ok().alloc(file, flags & O_CLOEXEC != 0)?;
         Ok(fd)
     }
 
@@ -137,7 +134,7 @@ impl Kernel {
 
     fn file_of(&self, tid: Tid, fd: i32) -> Result<FileRef, Errno> {
         let task = self.task(tid)?;
-        let table = task.fdtable.borrow();
+        let table = task.fdtable.lock_ok();
         table.get_file_cached(fd)
     }
 
@@ -145,20 +142,20 @@ impl Kernel {
     pub fn sys_read(&mut self, tid: Tid, fd: i32, out: &mut [u8]) -> SysResult {
         let file = self.file_of(tid, fd)?;
         let (kind, offset, flags) = {
-            let f = file.borrow();
+            let f = file.lock_ok();
             (f.kind.clone(), f.offset, f.flags)
         };
         match kind {
             FileKind::Regular(inode) => {
                 let n = self.read_inode_at(inode, offset, out)?;
-                file.borrow_mut().offset += n as u64;
+                file.lock_ok().offset += n as u64;
                 Ok(n as i64)
             }
             FileKind::ProcSnapshot(text) => {
                 let off = (offset as usize).min(text.len());
                 let n = out.len().min(text.len() - off);
                 out[..n].copy_from_slice(&text[off..off + n]);
-                file.borrow_mut().offset += n as u64;
+                file.lock_ok().offset += n as u64;
                 Ok(n as i64)
             }
             FileKind::Dir(_) => Err(Errno::Eisdir.into()),
@@ -206,14 +203,14 @@ impl Kernel {
             }
             FileKind::Epoll(_) => Err(Errno::Einval.into()),
             FileKind::EventFd => {
-                let mut f = file.borrow_mut();
+                let mut f = file.lock_ok();
                 if f.counter == 0 {
                     if flags & O_NONBLOCK != 0 {
                         return Err(Errno::Eagain.into());
                     }
                     drop(f);
                     self.waits
-                        .subscribe(tid, Channel::EventFd(Rc::as_ptr(&file) as usize));
+                        .subscribe(tid, Channel::EventFd(Arc::as_ptr(&file) as usize));
                     self.waits.subscribe(tid, Channel::Signal(tid));
                     return Err(block());
                 }
@@ -231,7 +228,7 @@ impl Kernel {
     pub fn sys_write(&mut self, tid: Tid, fd: i32, data: &[u8]) -> SysResult {
         let file = self.file_of(tid, fd)?;
         let (kind, mut offset, flags) = {
-            let f = file.borrow();
+            let f = file.lock_ok();
             (f.kind.clone(), f.offset, f.flags)
         };
         match kind {
@@ -240,7 +237,7 @@ impl Kernel {
                     offset = self.vfs.get(inode)?.size();
                 }
                 let n = self.write_inode_at(inode, offset, data)?;
-                file.borrow_mut().offset = offset + n as u64;
+                file.lock_ok().offset = offset + n as u64;
                 Ok(n as i64)
             }
             FileKind::Dir(_) => Err(Errno::Eisdir.into()),
@@ -295,12 +292,12 @@ impl Kernel {
                 }
                 let v = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
                 {
-                    let mut f = file.borrow_mut();
+                    let mut f = file.lock_ok();
                     f.counter = f.counter.saturating_add(v);
                 }
                 // The counter became non-zero: wake blocked readers.
                 self.waits
-                    .post(Channel::EventFd(Rc::as_ptr(&file) as usize));
+                    .post(Channel::EventFd(Arc::as_ptr(&file) as usize));
                 Ok(8)
             }
         }
@@ -309,7 +306,7 @@ impl Kernel {
     /// `pread64`.
     pub fn sys_pread(&mut self, tid: Tid, fd: i32, out: &mut [u8], offset: u64) -> SysResult {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(inode) => Ok(self.read_inode_at(inode, offset, out)? as i64),
             FileKind::PipeRead(_) | FileKind::PipeWrite(_) | FileKind::Socket(_) => {
@@ -322,7 +319,7 @@ impl Kernel {
     /// `pwrite64`.
     pub fn sys_pwrite(&mut self, tid: Tid, fd: i32, data: &[u8], offset: u64) -> SysResult {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(inode) => Ok(self.write_inode_at(inode, offset, data)? as i64),
             FileKind::PipeRead(_) | FileKind::PipeWrite(_) | FileKind::Socket(_) => {
@@ -365,7 +362,7 @@ impl Kernel {
     pub fn sys_lseek(&mut self, tid: Tid, fd: i32, offset: i64, whence: i32) -> SysResult {
         let file = self.file_of(tid, fd)?;
         let (kind, cur) = {
-            let f = file.borrow();
+            let f = file.lock_ok();
             (f.kind.clone(), f.offset)
         };
         let size = match &kind {
@@ -384,14 +381,14 @@ impl Kernel {
         if new < 0 {
             return Err(Errno::Einval.into());
         }
-        file.borrow_mut().offset = new as u64;
+        file.lock_ok().offset = new as u64;
         Ok(new)
     }
 
     /// `close`.
     pub fn sys_close(&mut self, tid: Tid, fd: i32) -> SysResult {
         let task = self.task(tid)?;
-        let entry = task.fdtable.borrow_mut().close(fd)?;
+        let entry = task.fdtable.lock_ok().close(fd)?;
         self.release_if_last(entry);
         Ok(0)
     }
@@ -400,10 +397,10 @@ impl Kernel {
     /// away (pipe end counts, socket refs).
     pub(crate) fn release_if_last(&mut self, entry: FdEntry) {
         // One strong ref means only `entry` holds the description now.
-        if Rc::strong_count(&entry.file) != 1 {
+        if Arc::strong_count(&entry.file) != 1 {
             return;
         }
-        let kind = entry.file.borrow().kind.clone();
+        let kind = entry.file.lock_ok().kind.clone();
         match kind {
             FileKind::PipeRead(id) => {
                 if let Ok(p) = self.pipe(id) {
@@ -439,9 +436,9 @@ impl Kernel {
         let cloexec = flags & O_CLOEXEC != 0;
         let status = flags & O_NONBLOCK;
         let task = self.task(tid)?;
-        let mut table = task.fdtable.borrow_mut();
-        let r: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::PipeRead(id), status)));
-        let w: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::PipeWrite(id), status)));
+        let mut table = task.fdtable.lock_ok();
+        let r: FileRef = Arc::new(Mutex::new(OpenFile::new(FileKind::PipeRead(id), status)));
+        let w: FileRef = Arc::new(Mutex::new(OpenFile::new(FileKind::PipeWrite(id), status)));
         let rfd = table.alloc(r, cloexec)?;
         let wfd = table.alloc(w, cloexec)?;
         Ok((rfd, wfd))
@@ -451,7 +448,7 @@ impl Kernel {
     pub fn sys_dup(&mut self, tid: Tid, fd: i32) -> SysResult {
         let file = self.file_of(tid, fd)?;
         let task = self.task(tid)?;
-        let new = task.fdtable.borrow_mut().alloc(file, false)?;
+        let new = task.fdtable.lock_ok().alloc(file, false)?;
         Ok(new as i64)
     }
 
@@ -462,7 +459,7 @@ impl Kernel {
         }
         let task = self.task(tid)?;
         let closed = {
-            let mut table = task.fdtable.borrow_mut();
+            let mut table = task.fdtable.lock_ok();
             let prior = table.get(new).ok().map(|e| e.file.clone());
             table.dup_to(old, new, flags & O_CLOEXEC != 0)?;
             prior
@@ -483,7 +480,7 @@ impl Kernel {
         match cmd {
             F_DUPFD | F_DUPFD_CLOEXEC => {
                 let file = {
-                    let table = task.fdtable.borrow();
+                    let table = task.fdtable.lock_ok();
                     table.get(fd)?.file.clone()
                 };
                 let entry = FdEntry {
@@ -492,12 +489,12 @@ impl Kernel {
                 };
                 let new = task
                     .fdtable
-                    .borrow_mut()
+                    .lock_ok()
                     .alloc_from(arg.max(0) as usize, entry)?;
                 Ok(new as i64)
             }
             F_GETFD => {
-                let table = task.fdtable.borrow();
+                let table = task.fdtable.lock_ok();
                 Ok(if table.get(fd)?.cloexec {
                     FD_CLOEXEC as i64
                 } else {
@@ -505,21 +502,21 @@ impl Kernel {
                 })
             }
             F_SETFD => {
-                let mut table = task.fdtable.borrow_mut();
+                let mut table = task.fdtable.lock_ok();
                 table.get_mut(fd)?.cloexec = arg & FD_CLOEXEC != 0;
                 Ok(0)
             }
             F_GETFL => {
-                let table = task.fdtable.borrow();
-                let flags = table.get(fd)?.file.borrow().flags;
+                let table = task.fdtable.lock_ok();
+                let flags = table.get(fd)?.file.lock_ok().flags;
                 Ok(flags as i64)
             }
             F_SETFL => {
-                let table = task.fdtable.borrow();
+                let table = task.fdtable.lock_ok();
                 let file = table.get(fd)?.file.clone();
                 drop(table);
                 // Only O_APPEND and O_NONBLOCK are changeable.
-                let mut f = file.borrow_mut();
+                let mut f = file.lock_ok();
                 f.flags = (f.flags & !(O_APPEND | O_NONBLOCK)) | (arg & (O_APPEND | O_NONBLOCK));
                 Ok(0)
             }
@@ -531,25 +528,25 @@ impl Kernel {
     pub fn sys_ioctl(&mut self, tid: Tid, fd: i32, op: u64) -> SysResult<IoctlOut> {
         let file = self.file_of(tid, fd)?;
         match op {
-            TIOCGWINSZ => match file.borrow().kind {
+            TIOCGWINSZ => match file.lock_ok().kind {
                 FileKind::CharDev(_) => Ok(IoctlOut::Winsize { rows: 24, cols: 80 }),
                 _ => Err(Errno::Enotty.into()),
             },
             FIONREAD => {
-                let kind = file.borrow().kind.clone();
+                let kind = file.lock_ok().kind.clone();
                 let n = match kind {
                     FileKind::PipeRead(id) => self.pipe(id)?.len(),
                     FileKind::Socket(id) => self.socket_ref(id)?.recv.len(),
                     FileKind::Regular(inode) => {
                         let size = self.vfs.get(inode)?.size();
-                        size.saturating_sub(file.borrow().offset) as usize
+                        size.saturating_sub(file.lock_ok().offset) as usize
                     }
                     _ => 0,
                 };
                 Ok(IoctlOut::Int(n as i32))
             }
             FIONBIO => {
-                let mut f = file.borrow_mut();
+                let mut f = file.lock_ok();
                 f.flags |= O_NONBLOCK;
                 Ok(IoctlOut::Int(0))
             }
@@ -560,7 +557,7 @@ impl Kernel {
     /// `fstat`.
     pub fn sys_fstat(&mut self, tid: Tid, fd: i32) -> SysResult<WaliStat> {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(inode) | FileKind::Dir(inode) | FileKind::CharDev(inode) => {
                 self.stat_inode(inode)
@@ -632,7 +629,7 @@ impl Kernel {
     ) -> SysResult<Vec<WaliDirent>> {
         let file = self.file_of(tid, fd)?;
         let (kind, cursor) = {
-            let f = file.borrow();
+            let f = file.lock_ok();
             (f.kind.clone(), f.offset as usize)
         };
         let FileKind::Dir(inode) = kind else {
@@ -675,7 +672,7 @@ impl Kernel {
         if out.is_empty() && idx < all.len() {
             return Err(Errno::Einval.into());
         }
-        file.borrow_mut().offset = idx as u64;
+        file.lock_ok().offset = idx as u64;
         Ok(out)
     }
 
@@ -686,7 +683,7 @@ impl Kernel {
         if r.inode.is_some() {
             return Err(Errno::Eexist.into());
         }
-        let umask = self.task(tid)?.fs.borrow().umask;
+        let umask = self.task(tid)?.fs.lock_ok().umask;
         let now = self.clock.realtime_ns();
         let id = self
             .vfs
@@ -820,7 +817,7 @@ impl Kernel {
     /// `fchmod`.
     pub fn sys_fchmod(&mut self, tid: Tid, fd: i32, mode: u32) -> SysResult {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(i) | FileKind::Dir(i) | FileKind::CharDev(i) => {
                 self.vfs.get_mut(i)?.perm = mode & 0o7777;
@@ -857,7 +854,7 @@ impl Kernel {
     /// `ftruncate`.
     pub fn sys_ftruncate(&mut self, tid: Tid, fd: i32, len: u64) -> SysResult {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(inode) => {
                 match &mut self.vfs.get_mut(inode)?.kind {
@@ -872,7 +869,7 @@ impl Kernel {
 
     /// `truncate`.
     pub fn sys_truncate(&mut self, tid: Tid, path: &str, len: u64) -> SysResult {
-        let base = self.task(tid)?.fs.borrow().cwd;
+        let base = self.task(tid)?.fs.lock_ok().cwd;
         let r = self.vfs.resolve(base, path, true)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
         match &mut self.vfs.get_mut(inode)?.kind {
@@ -887,29 +884,29 @@ impl Kernel {
 
     /// `getcwd`.
     pub fn sys_getcwd(&mut self, tid: Tid) -> SysResult<String> {
-        let cwd = self.task(tid)?.fs.borrow().cwd;
+        let cwd = self.task(tid)?.fs.lock_ok().cwd;
         Ok(self.vfs.abs_path_of(cwd)?)
     }
 
     /// `chdir`.
     pub fn sys_chdir(&mut self, tid: Tid, path: &str) -> SysResult {
-        let base = self.task(tid)?.fs.borrow().cwd;
+        let base = self.task(tid)?.fs.lock_ok().cwd;
         let r = self.vfs.resolve(base, path, true)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
         if !matches!(self.vfs.get(inode)?.kind, InodeKind::Dir(_)) {
             return Err(Errno::Enotdir.into());
         }
-        self.task(tid)?.fs.borrow_mut().cwd = inode;
+        self.task(tid)?.fs.lock_ok().cwd = inode;
         Ok(0)
     }
 
     /// `fchdir`.
     pub fn sys_fchdir(&mut self, tid: Tid, fd: i32) -> SysResult {
         let file = self.file_of(tid, fd)?;
-        let kind = file.borrow().kind.clone();
+        let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Dir(inode) => {
-                self.task(tid)?.fs.borrow_mut().cwd = inode;
+                self.task(tid)?.fs.lock_ok().cwd = inode;
                 Ok(0)
             }
             _ => Err(Errno::Enotdir.into()),
@@ -919,7 +916,7 @@ impl Kernel {
     /// `umask`.
     pub fn sys_umask(&mut self, tid: Tid, mask: u32) -> SysResult {
         let task = self.task(tid)?;
-        let mut fs = task.fs.borrow_mut();
+        let mut fs = task.fs.lock_ok();
         let old = fs.umask;
         fs.umask = mask & 0o777;
         Ok(old as i64)
@@ -938,8 +935,8 @@ impl Kernel {
         let task = self.task(tid)?;
         let fd = task
             .fdtable
-            .borrow_mut()
-            .alloc(Rc::new(RefCell::new(file)), flags & O_CLOEXEC != 0)?;
+            .lock_ok()
+            .alloc(Arc::new(Mutex::new(file)), flags & O_CLOEXEC != 0)?;
         Ok(fd as i64)
     }
 }

@@ -6,9 +6,8 @@ pub mod epoll;
 pub mod fs;
 pub mod sock;
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wali_abi::flags::{
     w_exitcode, w_termsig, CLONE_FILES, CLONE_FS, CLONE_SIGHAND, CLONE_THREAD, CLONE_VM, WNOHANG,
@@ -22,6 +21,7 @@ use crate::fd::{FdTable, FileKind, FileRef, OpenFile};
 use crate::pipe::Pipe;
 use crate::signal::{disposition, Disposition, PendingSet, SigHandlers};
 use crate::socket::Socket;
+use crate::sync::{shared, HintFlag, MutexExt};
 use crate::task::{FsInfo, Pid, Rusage, Task, TaskState, Tid};
 use crate::vfs::Vfs;
 use crate::wait::{Channel, WaitSet, WaitStats};
@@ -67,8 +67,10 @@ pub struct Kernel {
     rng_state: u64,
     /// Captured console (tty) output.
     pub console: Vec<u8>,
-    /// Count of syscalls entered (all tasks).
-    pub syscall_count: u64,
+    /// Count of syscalls entered (all tasks). Atomic and `Arc`-shared so
+    /// the per-syscall tick ([`Kernel::syscall_meter`]) never takes the
+    /// kernel lock.
+    pub syscalls: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Default for Kernel {
@@ -99,14 +101,29 @@ impl Kernel {
             waits: WaitSet::new(),
             rng_state: 0x9e37_79b9_7f4a_7c15,
             console: Vec::new(),
-            syscall_count: 0,
+            syscalls: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
     /// Per-syscall bookkeeping: tick the clock and count the entry.
-    pub fn enter_syscall(&mut self) {
+    /// Both pieces are lock-free shards; embedders on the hot path use
+    /// [`Kernel::syscall_meter`] to tick without the kernel lock at all.
+    pub fn enter_syscall(&self) {
         self.clock.tick();
-        self.syscall_count += 1;
+        self.syscalls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Hands out `(clock, counter)` handles for lock-free per-syscall
+    /// ticking — the clock shard in action: one atomic add each, no
+    /// kernel lock on any syscall entry.
+    pub fn syscall_meter(&self) -> (Clock, Arc<std::sync::atomic::AtomicU64>) {
+        (self.clock.clone(), self.syscalls.clone())
+    }
+
+    /// Count of syscalls entered (all tasks).
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     // --- Waitqueues --------------------------------------------------------
@@ -151,6 +168,13 @@ impl Kernel {
         self.waits.stats
     }
 
+    /// Lock-free handle onto the waitqueue's woken hint: SMP workers
+    /// poll it between slices without taking the kernel lock and drain
+    /// [`Kernel::take_woken`] (under the lock) only when it reads true.
+    pub fn woken_hint(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        self.waits.woken_hint()
+    }
+
     /// Subscribes `tid` to the readiness channels of each `(fd, events)`
     /// pair — the blocking half of `poll`/`select`/`epoll_wait`. Unknown
     /// or always-ready fd kinds contribute no channel (the caller's
@@ -173,7 +197,7 @@ impl Kernel {
     pub(crate) fn fd_wait_channels(&self, tid: Tid, fd: i32, events: i16, out: &mut Vec<Channel>) {
         let Ok(task) = self.task(tid) else { return };
         let file = {
-            let table = task.fdtable.borrow();
+            let table = task.fdtable.lock_ok();
             let Ok(entry) = table.get(fd) else { return };
             entry.file.clone()
         };
@@ -185,8 +209,8 @@ impl Kernel {
     /// numbers still being open).
     pub(crate) fn desc_wait_channels(&self, file: &FileRef, events: i16, out: &mut Vec<Channel>) {
         use wali_abi::flags::{POLLIN, POLLOUT};
-        let kind = file.borrow().kind.clone();
-        let file_key = Rc::as_ptr(file) as usize;
+        let kind = file.lock_ok().kind.clone();
+        let file_key = Arc::as_ptr(file) as usize;
         match kind {
             // POLLHUP/POLLERR are reported regardless of the requested
             // events (a zero mask is the classic watch-for-hangup idiom),
@@ -227,6 +251,16 @@ impl Kernel {
         }
     }
 
+    /// Sum of the event generations of the wait channels behind a
+    /// description for the given poll-events — moves whenever a new
+    /// transition (post) happened on any of them. Edge-triggered epoll
+    /// uses it as its re-arm signal.
+    pub(crate) fn desc_event_gen(&self, file: &FileRef, events: i16) -> u64 {
+        let mut chans: Vec<Channel> = Vec::new();
+        self.desc_wait_channels(file, events, &mut chans);
+        chans.into_iter().map(|ch| self.waits.generation(ch)).sum()
+    }
+
     /// Closes a dying task's descriptors eagerly (Linux closes fds at
     /// exit, not at reap): drops this task's reference to its fd table
     /// and, when it was the last holder, releases every description so
@@ -235,9 +269,10 @@ impl Kernel {
         let Some(task) = self.tasks.get_mut(&tid) else {
             return;
         };
-        let table = std::mem::replace(&mut task.fdtable, Rc::new(RefCell::new(FdTable::new())));
-        if let Ok(cell) = Rc::try_unwrap(table) {
-            for entry in cell.into_inner().drain() {
+        let table = std::mem::replace(&mut task.fdtable, shared(FdTable::new()));
+        if let Ok(cell) = Arc::try_unwrap(table) {
+            let mut table = cell.into_inner().unwrap_or_else(|p| p.into_inner());
+            for entry in table.drain() {
                 self.release_if_last(entry);
             }
         }
@@ -275,7 +310,7 @@ impl Kernel {
             .and_then(|r| r.inode)
             .expect("std layout has /dev/tty");
         for _ in 0..3 {
-            let file: FileRef = Rc::new(RefCell::new(OpenFile::new(FileKind::CharDev(tty), 0)));
+            let file: FileRef = Arc::new(Mutex::new(OpenFile::new(FileKind::CharDev(tty), 0)));
             fdtable.alloc(file, false).expect("empty table");
         }
 
@@ -286,15 +321,16 @@ impl Kernel {
             pgid: tid,
             sid: 1,
             state: TaskState::Running,
-            fdtable: Rc::new(RefCell::new(fdtable)),
-            fs: Rc::new(RefCell::new(FsInfo {
+            fdtable: shared(fdtable),
+            fs: shared(FsInfo {
                 cwd: self.vfs.root,
                 umask: 0o022,
-            })),
-            sighand: Rc::new(RefCell::new(SigHandlers::new())),
-            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            }),
+            sighand: shared(SigHandlers::new()),
+            shared_pending: shared(PendingSet::default()),
             pending: PendingSet::default(),
             sigmask: SigSet::EMPTY,
+            saved_sigmask: None,
             mm,
             uid: 1000,
             euid: 1000,
@@ -306,7 +342,7 @@ impl Kernel {
             alarm_deadline: None,
             futex_woken: false,
             exit_code: None,
-            sig_hint: Rc::new(std::cell::Cell::new(false)),
+            sig_hint: HintFlag::new(),
         };
         self.tasks.get_mut(&1).expect("init").children.push(tid);
         self.tasks.insert(tid, task);
@@ -331,12 +367,13 @@ impl Kernel {
             pgid: parent.pgid,
             sid: parent.sid,
             state: TaskState::Running,
-            fdtable: Rc::new(RefCell::new(parent.fdtable.borrow().fork_copy())),
-            fs: Rc::new(RefCell::new(parent.fs.borrow().clone())),
-            sighand: Rc::new(RefCell::new(parent.sighand.borrow().clone())),
-            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            fdtable: shared(parent.fdtable.lock_ok().fork_copy()),
+            fs: shared(parent.fs.lock_ok().clone()),
+            sighand: shared(parent.sighand.lock_ok().clone()),
+            shared_pending: shared(PendingSet::default()),
             pending: PendingSet::default(),
             sigmask: parent.sigmask,
+            saved_sigmask: None,
             mm,
             uid: parent.uid,
             euid: parent.euid,
@@ -348,7 +385,7 @@ impl Kernel {
             alarm_deadline: None,
             futex_woken: false,
             exit_code: None,
-            sig_hint: Rc::new(std::cell::Cell::new(false)),
+            sig_hint: HintFlag::new(),
         };
         self.tasks.insert(child_tid, child);
         self.task_mut(tid)?.children.push(child_tid);
@@ -379,26 +416,22 @@ impl Kernel {
         let fdtable = if flags & CLONE_FILES != 0 {
             parent.fdtable.clone()
         } else {
-            Rc::new(RefCell::new(parent.fdtable.borrow().fork_copy()))
+            shared(parent.fdtable.lock_ok().fork_copy())
         };
         let fs = if flags & CLONE_FS != 0 {
             parent.fs.clone()
         } else {
-            Rc::new(RefCell::new(parent.fs.borrow().clone()))
+            shared(parent.fs.lock_ok().clone())
         };
         let sighand = if flags & CLONE_SIGHAND != 0 {
             parent.sighand.clone()
         } else {
-            Rc::new(RefCell::new(parent.sighand.borrow().clone()))
+            shared(parent.sighand.lock_ok().clone())
         };
         let (tgid, ppid, shared_pending) = if is_thread {
             (parent.tgid, parent.ppid, parent.shared_pending.clone())
         } else {
-            (
-                child_tid,
-                parent.tgid,
-                Rc::new(RefCell::new(PendingSet::default())),
-            )
+            (child_tid, parent.tgid, shared(PendingSet::default()))
         };
 
         let child = Task {
@@ -414,6 +447,7 @@ impl Kernel {
             shared_pending,
             pending: PendingSet::default(),
             sigmask: parent.sigmask,
+            saved_sigmask: None,
             mm,
             uid: parent.uid,
             euid: parent.euid,
@@ -425,7 +459,7 @@ impl Kernel {
             alarm_deadline: None,
             futex_woken: false,
             exit_code: None,
-            sig_hint: Rc::new(std::cell::Cell::new(false)),
+            sig_hint: HintFlag::new(),
         };
         self.tasks.insert(child_tid, child);
         if !is_thread {
@@ -569,8 +603,8 @@ impl Kernel {
     /// hangup and their waitqueues fire.
     pub fn sys_execve(&mut self, tid: Tid) -> SysResult {
         let task = self.task(tid)?;
-        let swept = task.fdtable.borrow_mut().close_cloexec();
-        task.sighand.borrow_mut().reset_for_exec();
+        let swept = task.fdtable.lock_ok().close_cloexec();
+        task.sighand.lock_ok().reset_for_exec();
         for entry in swept {
             self.release_if_last(entry);
         }
@@ -652,7 +686,7 @@ impl Kernel {
             return Err(Errno::Einval.into());
         }
         let task = self.task(tid)?;
-        let mut handlers = task.sighand.borrow_mut();
+        let mut handlers = task.sighand.lock_ok();
         let old = handlers.get(signo);
         if let Some(action) = new {
             if sig.map(|s| !s.catchable()).unwrap_or(false) {
@@ -680,18 +714,53 @@ impl Kernel {
             // Unblocking may expose pending signals; re-raise the hint so
             // the safepoint right after this syscall delivers them
             // (paper §3.3: the extra post-sigprocmask safepoint).
-            if !task.pending.is_empty() || !task.shared_pending.borrow().is_empty() {
+            if !task.pending.is_empty() || !task.shared_pending.lock_ok().is_empty() {
                 task.sig_hint.set(true);
             }
         }
         Ok(old)
     }
 
+    /// Applies the temporary signal mask of `ppoll`/`epoll_pwait`
+    /// atomically with respect to the wait: the first entry of the call
+    /// saves the caller's mask and installs `mask`; blocked-call retries
+    /// (a saved mask is already present) leave both untouched, so the
+    /// swap happens exactly once per wait no matter how often the task
+    /// re-parks. Signals the temporary mask newly unblocks raise the
+    /// delivery hint immediately, like the post-`sigprocmask` safepoint.
+    pub fn sigmask_swap_for_wait(&mut self, tid: Tid, mask: SigSet) {
+        let Ok(task) = self.task_mut(tid) else { return };
+        if task.saved_sigmask.is_some() {
+            return;
+        }
+        task.saved_sigmask = Some(task.sigmask);
+        task.sigmask = mask;
+        if !task.pending.is_empty() || !task.shared_pending.lock_ok().is_empty() {
+            task.sig_hint.set(true);
+        }
+    }
+
+    /// Restores the mask saved by [`Kernel::sigmask_swap_for_wait`] when
+    /// the wait returns (ready, timeout or error — any non-`Block`
+    /// outcome). A signal that arrived masked during the wait becomes
+    /// deliverable here, at the safepoint straight after the syscall —
+    /// exactly once, exactly after return, the `ppoll` contract.
+    pub fn sigmask_restore_after_wait(&mut self, tid: Tid) {
+        let Ok(task) = self.task_mut(tid) else { return };
+        let Some(old) = task.saved_sigmask.take() else {
+            return;
+        };
+        task.sigmask = old;
+        if !task.pending.is_empty() || !task.shared_pending.lock_ok().is_empty() {
+            task.sig_hint.set(true);
+        }
+    }
+
     /// `rt_sigpending`.
     pub fn sys_rt_sigpending(&self, tid: Tid) -> SysResult<SigSet> {
         let t = self.task(tid)?;
         Ok(SigSet(
-            t.pending.mask().0 | t.shared_pending.borrow().mask().0,
+            t.pending.mask().0 | t.shared_pending.lock_ok().mask().0,
         ))
     }
 
@@ -764,7 +833,7 @@ impl Kernel {
         if main.tgid != pid || main.exited() {
             return Err(Errno::Esrch);
         }
-        main.shared_pending.borrow_mut().add(signo);
+        main.shared_pending.lock_ok().add(signo);
         for t in self.group_tids(pid) {
             if let Some(task) = self.tasks.get(&t) {
                 task.sig_hint.set(true);
@@ -802,8 +871,8 @@ impl Kernel {
                 let signo = task
                     .pending
                     .take_deliverable(mask)
-                    .or_else(|| task.shared_pending.borrow_mut().take_deliverable(mask))?;
-                let action = task.sighand.borrow().get(signo);
+                    .or_else(|| task.shared_pending.lock_ok().take_deliverable(mask))?;
+                let action = task.sighand.lock_ok().get(signo);
                 (signo, action, mask)
             };
             match disposition(signo, action) {
@@ -833,9 +902,7 @@ impl Kernel {
                     }
                     task.sigmask = during;
                     if action.flags & wali_abi::signals::SA_RESETHAND != 0 {
-                        task.sighand
-                            .borrow_mut()
-                            .set(signo, WaliSigaction::default());
+                        task.sighand.lock_ok().set(signo, WaliSigaction::default());
                     }
                     return Some(SignalDelivery::Handler {
                         signo,
@@ -852,7 +919,7 @@ impl Kernel {
         if let Some(task) = self.tasks.get_mut(&tid) {
             task.sigmask = old_mask;
             // Previously-masked pending signals may now be deliverable.
-            if !task.pending.is_empty() || !task.shared_pending.borrow().is_empty() {
+            if !task.pending.is_empty() || !task.shared_pending.lock_ok().is_empty() {
                 task.sig_hint.set(true);
             }
         }
@@ -865,7 +932,7 @@ impl Kernel {
             return false;
         };
         let mask = task.sigmask;
-        let pend = SigSet(task.pending.mask().0 | task.shared_pending.borrow().mask().0);
+        let pend = SigSet(task.pending.mask().0 | task.shared_pending.lock_ok().mask().0);
         SigSet(pend.0 & !mask.0).lowest().is_some()
     }
 
@@ -1138,7 +1205,7 @@ mod tests {
     fn spawn_process_has_stdio() {
         let (k, tid) = kernel_with_proc();
         let t = k.task(tid).unwrap();
-        assert_eq!(t.fdtable.borrow().open_count(), 3);
+        assert_eq!(t.fdtable.lock_ok().open_count(), 3);
         assert_eq!(t.tgid, tid);
         assert_eq!(t.ppid, 1);
     }
@@ -1190,7 +1257,7 @@ mod tests {
         assert_eq!(k.task(t2).unwrap().tgid, tid);
         // fd opened by one thread is visible in the other.
         let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
-        assert!(k.task(t2).unwrap().fdtable.borrow().get(r).is_ok());
+        assert!(k.task(t2).unwrap().fdtable.lock_ok().get(r).is_ok());
     }
 
     #[test]
@@ -1199,7 +1266,7 @@ mod tests {
         let child = k.sys_clone(tid, 0).unwrap() as Tid;
         assert_ne!(k.task(child).unwrap().tgid, tid);
         let (r, _w) = k.sys_pipe2(tid, 0).unwrap();
-        assert!(k.task(child).unwrap().fdtable.borrow().get(r).is_err());
+        assert!(k.task(child).unwrap().fdtable.lock_ok().get(r).is_err());
     }
 
     #[test]
@@ -1298,6 +1365,41 @@ mod tests {
             k.next_signal(tid),
             Some(SignalDelivery::Handler { .. })
         ));
+    }
+
+    #[test]
+    fn wait_sigmask_swap_is_idempotent_and_restores_once() {
+        // The ppoll/epoll_pwait mask protocol: entry swaps once (retries
+        // are no-ops), restore returns the original mask and raises the
+        // delivery hint for signals that became deliverable.
+        let (mut k, tid) = kernel_with_proc();
+        let action = WaliSigaction {
+            handler: 5,
+            flags: 0,
+            mask: 0,
+        };
+        k.sys_rt_sigaction(tid, 10, Some(action)).unwrap();
+        let mut temp = SigSet::EMPTY;
+        temp.insert(10);
+        k.sigmask_swap_for_wait(tid, temp);
+        // A retry must not clobber the saved mask with the temp one.
+        k.sigmask_swap_for_wait(tid, temp);
+        assert_eq!(k.task(tid).unwrap().sigmask, temp);
+        // Signal 10 arrives during the wait: masked, stays pending.
+        k.sys_kill(tid, tid, 10).unwrap();
+        assert_eq!(k.next_signal(tid), None, "masked during the wait");
+        // The wait returns: original (empty) mask restored, delivery due.
+        k.sigmask_restore_after_wait(tid);
+        assert_eq!(k.task(tid).unwrap().sigmask, SigSet::EMPTY);
+        assert!(k.task(tid).unwrap().sig_hint.get(), "delivery hinted");
+        // A second restore without a swap is a no-op.
+        k.sigmask_restore_after_wait(tid);
+        assert_eq!(k.task(tid).unwrap().sigmask, SigSet::EMPTY);
+        assert!(matches!(
+            k.next_signal(tid),
+            Some(SignalDelivery::Handler { signo: 10, .. })
+        ));
+        assert_eq!(k.next_signal(tid), None, "delivered exactly once");
     }
 
     #[test]

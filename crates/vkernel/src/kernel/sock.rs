@@ -1,7 +1,6 @@
 //! Socket syscalls and readiness (`poll`).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wali_abi::flags::{
     MSG_DONTWAIT, MSG_PEEK, O_NONBLOCK, POLLERR, POLLHUP, POLLIN, POLLOUT, SHUT_RD, SHUT_RDWR,
@@ -13,6 +12,7 @@ use wali_abi::Errno;
 
 use crate::fd::{FileKind, FileRef, OpenFile};
 use crate::socket::{addr_key, SockState, Socket};
+use crate::sync::MutexExt;
 use crate::vfs::DevKind;
 use crate::vfs::InodeKind;
 use crate::wait::Channel;
@@ -27,22 +27,19 @@ impl Kernel {
         } else {
             0
         };
-        let file: FileRef = Rc::new(RefCell::new(OpenFile::new(
-            FileKind::Socket(sock_id),
-            status,
-        )));
+        let file: FileRef = Arc::new(Mutex::new(OpenFile::new(FileKind::Socket(sock_id), status)));
         let task = self.task(tid)?;
         let fd = task
             .fdtable
-            .borrow_mut()
+            .lock_ok()
             .alloc(file, flags & SOCK_CLOEXEC != 0)?;
         Ok(fd)
     }
 
     fn sock_of_fd(&self, tid: Tid, fd: i32) -> Result<usize, Errno> {
         let task = self.task(tid)?;
-        let table = task.fdtable.borrow();
-        let kind = table.get(fd)?.file.borrow().kind.clone();
+        let table = task.fdtable.lock_ok();
+        let kind = table.get(fd)?.file.lock_ok().kind.clone();
         match kind {
             FileKind::Socket(id) => Ok(id),
             _ => Err(Errno::Enotsock),
@@ -53,11 +50,11 @@ impl Kernel {
         self.task(tid)
             .ok()
             .and_then(|t| {
-                let table = t.fdtable.borrow();
+                let table = t.fdtable.lock_ok();
                 table
                     .get(fd)
                     .ok()
-                    .map(|e| e.file.borrow().flags & O_NONBLOCK != 0)
+                    .map(|e| e.file.lock_ok().flags & O_NONBLOCK != 0)
             })
             .unwrap_or(false)
     }
@@ -583,7 +580,7 @@ impl Kernel {
     pub(crate) fn poll_one(&mut self, tid: Tid, fd: i32, events: i16) -> SysResult<i16> {
         let task = self.task(tid)?;
         let entry = {
-            let table = task.fdtable.borrow();
+            let table = task.fdtable.lock_ok();
             match table.get(fd) {
                 Ok(e) => e.file.clone(),
                 Err(_) => return Ok(wali_abi::flags::POLLNVAL),
@@ -597,7 +594,7 @@ impl Kernel {
     /// registration whose original fd number was closed while a duplicate
     /// keeps the description alive).
     pub(crate) fn poll_desc(&mut self, tid: Tid, entry: &FileRef, events: i16) -> SysResult<i16> {
-        let kind = entry.borrow().kind.clone();
+        let kind = entry.lock_ok().kind.clone();
         let mut revents = 0i16;
         match kind {
             FileKind::Regular(_) | FileKind::Dir(_) | FileKind::ProcSnapshot(_) => {
@@ -655,7 +652,7 @@ impl Kernel {
                 }
             }
             FileKind::EventFd => {
-                if entry.borrow().counter > 0 {
+                if entry.lock_ok().counter > 0 {
                     revents |= POLLIN & events;
                 }
                 revents |= POLLOUT & events;

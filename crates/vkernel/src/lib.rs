@@ -36,12 +36,14 @@ pub mod kernel;
 pub mod pipe;
 pub mod signal;
 pub mod socket;
+pub mod sync;
 pub mod task;
 pub mod vfs;
 pub mod wait;
 
 pub use clock::Clock;
 pub use kernel::Kernel;
+pub use sync::{shared, HintFlag, MutexExt, Shared};
 pub use task::{Pid, Task, TaskState, Tid};
 pub use wait::{Channel, WaitSet, WaitStats};
 

@@ -1,0 +1,97 @@
+//! Shared-state primitives for the SMP kernel.
+//!
+//! The kernel model used to be single-threaded (`Rc<RefCell<…>>`
+//! everywhere). The SMP executor interprets runnable tasks on a pool of
+//! host worker threads, so every piece of state that `clone` semantics
+//! share between tasks — fd tables, open file descriptions, fs info,
+//! signal handlers, pending sets — is now an [`Shared`] handle with its
+//! own lock, independently lockable from the kernel core.
+//!
+//! Lock ordering (see DESIGN.md "Concurrency"): the kernel core mutex is
+//! the outermost lock; per-task shards (fd table → open file description)
+//! nest inside it; the scheduler's queue locks are never held across a
+//! kernel call. The virtual clock is lock-free (atomics) and may be read
+//! or ticked from any level.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A shared, independently lockable shard of kernel state.
+pub type Shared<T> = Arc<Mutex<T>>;
+
+/// Creates a [`Shared`] shard.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Arc::new(Mutex::new(value))
+}
+
+/// Poison-tolerant locking: a worker that panics mid-slice must not
+/// poison every sibling's view of the kernel (the state is still
+/// consistent at syscall granularity — kernel methods never unwind while
+/// holding partial updates in a way later calls observe).
+pub trait MutexExt<T> {
+    /// Locks, recovering the guard from a poisoned mutex.
+    fn lock_ok(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn lock_ok(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A shared boolean hint flag (the per-task signal fast path).
+///
+/// Replaces the old `Rc<Cell<bool>>`: safepoint polling happens on the
+/// worker running the task while signal generation can happen on any
+/// other worker, so the flag is an atomic. `Relaxed` suffices — the flag
+/// is a *hint*; the authoritative pending state is read under the kernel
+/// lock, which orders the actual delivery.
+#[derive(Clone, Debug, Default)]
+pub struct HintFlag(Arc<AtomicBool>);
+
+impl HintFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> HintFlag {
+        HintFlag::default()
+    }
+
+    /// Reads the hint.
+    #[inline]
+    pub fn get(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Sets or clears the hint.
+    #[inline]
+    pub fn set(&self, value: bool) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_flag_is_shared_between_clones() {
+        let a = HintFlag::new();
+        let b = a.clone();
+        assert!(!b.get());
+        a.set(true);
+        assert!(b.get());
+        b.set(false);
+        assert!(!a.get());
+    }
+
+    #[test]
+    fn lock_ok_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock_ok(), 7);
+    }
+}

@@ -6,13 +6,11 @@
 //! `clone` flags exactly as on Linux, which is what lets WALI explore the
 //! paper's process-model spectrum (§3.1, Fig. 4).
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
-
 use wali_abi::signals::SigSet;
 
 use crate::fd::FdTable;
 use crate::signal::{PendingSet, SigHandlers};
+use crate::sync::{shared, HintFlag, Shared};
 use crate::vfs::InodeId;
 use crate::MmId;
 
@@ -71,18 +69,22 @@ pub struct Task {
     pub sid: Pid,
     /// Lifecycle state.
     pub state: TaskState,
-    /// Descriptor table (shared under `CLONE_FILES`).
-    pub fdtable: Rc<RefCell<FdTable>>,
+    /// Descriptor table (shared under `CLONE_FILES`; own lock — a shard).
+    pub fdtable: Shared<FdTable>,
     /// cwd/umask (shared under `CLONE_FS`).
-    pub fs: Rc<RefCell<FsInfo>>,
+    pub fs: Shared<FsInfo>,
     /// Signal handlers (shared under `CLONE_SIGHAND`).
-    pub sighand: Rc<RefCell<SigHandlers>>,
+    pub sighand: Shared<SigHandlers>,
     /// Process-wide pending signals (shared by the thread group).
-    pub shared_pending: Rc<RefCell<PendingSet>>,
+    pub shared_pending: Shared<PendingSet>,
     /// Thread-private pending signals (`tkill`/`tgkill`).
     pub pending: PendingSet,
     /// Blocked-signal mask (per thread).
     pub sigmask: SigSet,
+    /// Mask saved by `ppoll`/`epoll_pwait` for the duration of the wait;
+    /// restored (atomically with respect to delivery) when the call
+    /// returns. `None` outside such a wait.
+    pub saved_sigmask: Option<SigSet>,
     /// Address-space identity (shared under `CLONE_VM`).
     pub mm: MmId,
     /// Real/effective/saved uid (simplified to one triple slot each).
@@ -108,7 +110,7 @@ pub struct Task {
     /// Fast-path flag the embedder polls at safepoints: set whenever a
     /// signal may be deliverable or the task was terminated, cleared by
     /// the embedder once drained. Keeps safepoint polling O(1).
-    pub sig_hint: Rc<Cell<bool>>,
+    pub sig_hint: HintFlag,
 }
 
 impl Task {
@@ -121,15 +123,16 @@ impl Task {
             pgid: 1,
             sid: 1,
             state: TaskState::Running,
-            fdtable: Rc::new(RefCell::new(FdTable::new())),
-            fs: Rc::new(RefCell::new(FsInfo {
+            fdtable: shared(FdTable::new()),
+            fs: shared(FsInfo {
                 cwd: root,
                 umask: 0o022,
-            })),
-            sighand: Rc::new(RefCell::new(SigHandlers::new())),
-            shared_pending: Rc::new(RefCell::new(PendingSet::default())),
+            }),
+            sighand: shared(SigHandlers::new()),
+            shared_pending: shared(PendingSet::default()),
             pending: PendingSet::default(),
             sigmask: SigSet::EMPTY,
+            saved_sigmask: None,
             mm: MmId(1),
             uid: 1000,
             euid: 1000,
@@ -141,7 +144,7 @@ impl Task {
             alarm_deadline: None,
             futex_woken: false,
             exit_code: None,
-            sig_hint: Rc::new(Cell::new(false)),
+            sig_hint: HintFlag::new(),
         }
     }
 

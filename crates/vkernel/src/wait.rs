@@ -22,6 +22,8 @@
 //! the `Block` return reaches the scheduler.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::{MmId, Pid, Tid};
 
@@ -40,7 +42,7 @@ pub enum Channel {
     /// a *peer's* blocked sender waits on), or the connection broke.
     SockSpace(usize),
     /// The eventfd description at this address became signalled. Keyed by
-    /// the `Rc` pointer of the open file description (stable for the
+    /// the `Arc` pointer of the open file description (stable for the
     /// description's lifetime; never dereferenced).
     EventFd(usize),
     /// A `FUTEX_WAKE` may have hit this `(address-space, address)` word.
@@ -74,11 +76,21 @@ pub struct WaitStats {
 pub struct WaitSet {
     /// Channel → subscribed tasks, in subscription order.
     waiters: HashMap<Channel, Vec<Tid>>,
+    /// Channel → number of posts ever (hit or miss): the event
+    /// generation. Edge-triggered epoll re-arms a registration when the
+    /// generation of any of its channels moved — i.e. when a new
+    /// transition happened since the last report, which is Linux's ET
+    /// re-arm condition (new data re-notifies even while still ready).
+    gens: HashMap<Channel, u64>,
     /// Reverse index: task → channels it is subscribed to.
     subscribed: HashMap<Tid, Vec<Channel>>,
     /// Woken tasks in wake order, deduplicated.
     woken: Vec<Tid>,
     woken_set: HashSet<Tid>,
+    /// Lock-free mirror of `!woken.is_empty()`: SMP workers poll this
+    /// between slices without taking the kernel lock (the authoritative
+    /// drain still happens under it, via [`WaitSet::take_woken`]).
+    woken_hint: Arc<AtomicBool>,
     /// Counters.
     pub stats: WaitStats,
 }
@@ -104,6 +116,7 @@ impl WaitSet {
     /// and is unsubscribed from *all* its channels (a woken task either
     /// completes or re-subscribes on its retry).
     pub fn post(&mut self, ch: Channel) -> usize {
+        *self.gens.entry(ch).or_default() += 1;
         let Some(tids) = self.waiters.remove(&ch) else {
             self.stats.posts_miss += 1;
             return 0;
@@ -139,6 +152,7 @@ impl WaitSet {
         }
         if self.woken_set.insert(tid) {
             self.woken.push(tid);
+            self.woken_hint.store(true, Ordering::Release);
             self.stats.wakeups += 1;
         }
     }
@@ -165,7 +179,18 @@ impl WaitSet {
     /// Drains the woken list in wake order.
     pub fn take_woken(&mut self) -> Vec<Tid> {
         self.woken_set.clear();
+        self.woken_hint.store(false, Ordering::Release);
         std::mem::take(&mut self.woken)
+    }
+
+    /// A shared handle onto the woken hint, checkable without any lock.
+    pub fn woken_hint(&self) -> Arc<AtomicBool> {
+        self.woken_hint.clone()
+    }
+
+    /// The event generation of `ch`: how many posts it has ever seen.
+    pub fn generation(&self, ch: Channel) -> u64 {
+        self.gens.get(&ch).copied().unwrap_or(0)
     }
 
     /// True when at least one task has been woken and not yet drained.

@@ -5,12 +5,12 @@
 //! WALI's bookkeeping: the virtual sigtable, the mmap pool base, the `brk`
 //! watermark, argv/env, the trace, and the seccomp-like policy layer.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use vkernel::kernel::SignalDelivery;
-use vkernel::{Kernel, MmId, Tid};
+use vkernel::{shared, HintFlag, Kernel, MmId, MutexExt, Shared, Tid};
 use wali_abi::signals::SigSet;
 use wasm::error::Trap;
 use wasm::host::{HostCtx, PendingCall};
@@ -22,7 +22,13 @@ use crate::sigtable::SigTable;
 use crate::trace::Trace;
 
 /// Shared handle to the kernel model.
-pub type KernelRef = Rc<RefCell<Kernel>>;
+///
+/// The kernel core sits behind one mutex; the independently lockable
+/// shards (per-task fd tables, open file descriptions, signal handler
+/// tables, the atomic virtual clock and the waitqueue woken hint) hang
+/// off it as their own `Arc`s, so the hot paths that touch only a shard
+/// never contend on this lock.
+pub type KernelRef = Arc<Mutex<Kernel>>;
 
 /// The embedder context threaded through every WALI host call.
 pub struct WaliContext {
@@ -33,11 +39,12 @@ pub struct WaliContext {
     /// Address-space identity (for futex keys).
     pub mm: MmId,
     /// Virtual signal table (shared between threads of a process).
-    pub sigtable: Rc<RefCell<SigTable>>,
+    pub sigtable: Shared<SigTable>,
     /// Memory-mapping pool (shared between threads of a process).
-    pub mmap: Rc<RefCell<MmapPool>>,
-    /// Current program break.
-    pub brk: Rc<Cell<u32>>,
+    pub mmap: Shared<MmapPool>,
+    /// Current program break (shared between threads of a process;
+    /// atomic because sibling threads may run on different workers).
+    pub brk: Arc<AtomicU32>,
     /// Initial program break (floor for shrinking).
     pub brk_start: u32,
     /// Command-line arguments (§3.4: owned by the engine, copied into the
@@ -52,14 +59,19 @@ pub struct WaliContext {
     /// Deadline handed back by the runner when retrying a blocked call.
     pub retry_deadline: Option<u64>,
     /// Fast-path signal hint shared with the kernel task.
-    sig_hint: Rc<Cell<bool>>,
+    sig_hint: HintFlag,
+    /// Lock-free syscall meter: clock + entry counter handles, cloned
+    /// from the kernel once so [`WaliContext::tick_syscall`] never takes
+    /// the kernel lock.
+    meter: (vkernel::Clock, std::sync::Arc<AtomicU64>),
     /// Masks to restore when nested signal handlers return (§3.3).
     handler_masks: Vec<SigSet>,
     /// Exit status once the task is terminated.
     pub exited: Option<i32>,
     /// Opaque state slot for APIs layered over WALI (e.g. the WASI
-    /// capability tables). Not inherited across fork/exec.
-    pub ext: Option<Box<dyn std::any::Any>>,
+    /// capability tables). Not inherited across fork/exec. `Send` so the
+    /// owning task can migrate between workers at safepoints.
+    pub ext: Option<Box<dyn std::any::Any + Send>>,
 }
 
 impl WaliContext {
@@ -69,10 +81,10 @@ impl WaliContext {
     /// `brk` heap starts there and the mmap pool above it (1 MiB of brk
     /// headroom).
     pub fn new(kernel: KernelRef, tid: Tid, heap_base: u32) -> WaliContext {
-        let (mm, sig_hint) = {
-            let k = kernel.borrow();
+        let (mm, sig_hint, meter) = {
+            let k = kernel.lock_ok();
             let task = k.task(tid).expect("task exists");
-            (task.mm, task.sig_hint.clone())
+            (task.mm, task.sig_hint.clone(), k.syscall_meter())
         };
         let brk_start = (heap_base + 15) & !15;
         let pool_base = brk_start + (1 << 20);
@@ -80,9 +92,9 @@ impl WaliContext {
             kernel,
             tid,
             mm,
-            sigtable: Rc::new(RefCell::new(SigTable::new())),
-            mmap: Rc::new(RefCell::new(MmapPool::new(pool_base))),
-            brk: Rc::new(Cell::new(brk_start)),
+            sigtable: shared(SigTable::new()),
+            mmap: shared(MmapPool::new(pool_base)),
+            brk: Arc::new(AtomicU32::new(brk_start)),
             brk_start,
             args: Vec::new(),
             env: Vec::new(),
@@ -90,6 +102,7 @@ impl WaliContext {
             policy: None,
             retry_deadline: None,
             sig_hint,
+            meter,
             handler_masks: Vec::new(),
             exited: None,
             ext: None,
@@ -100,10 +113,11 @@ impl WaliContext {
     /// sigtable, mmap pool and brk (one address space), fresh trace.
     pub fn thread_sibling(&self, tid: Tid) -> WaliContext {
         let (mm, sig_hint) = {
-            let k = self.kernel.borrow();
+            let k = self.kernel.lock_ok();
             let task = k.task(tid).expect("task exists");
             (task.mm, task.sig_hint.clone())
         };
+        let meter = self.meter.clone();
         WaliContext {
             kernel: self.kernel.clone(),
             tid,
@@ -118,6 +132,7 @@ impl WaliContext {
             policy: self.policy.clone(),
             retry_deadline: None,
             sig_hint,
+            meter,
             handler_masks: Vec::new(),
             exited: None,
             ext: None,
@@ -128,17 +143,18 @@ impl WaliContext {
     /// pool and brk (fresh address space with identical content).
     pub fn fork_child(&self, tid: Tid) -> WaliContext {
         let (mm, sig_hint) = {
-            let k = self.kernel.borrow();
+            let k = self.kernel.lock_ok();
             let task = k.task(tid).expect("task exists");
             (task.mm, task.sig_hint.clone())
         };
+        let meter = self.meter.clone();
         WaliContext {
             kernel: self.kernel.clone(),
             tid,
             mm,
-            sigtable: Rc::new(RefCell::new(self.sigtable.borrow().clone())),
-            mmap: Rc::new(RefCell::new(self.mmap.borrow().clone())),
-            brk: Rc::new(Cell::new(self.brk.get())),
+            sigtable: shared(self.sigtable.lock_ok().clone()),
+            mmap: shared(self.mmap.lock_ok().clone()),
+            brk: Arc::new(AtomicU32::new(self.brk.load(Ordering::Relaxed))),
             brk_start: self.brk_start,
             args: self.args.clone(),
             env: self.env.clone(),
@@ -146,6 +162,7 @@ impl WaliContext {
             policy: self.policy.clone(),
             retry_deadline: None,
             sig_hint,
+            meter,
             handler_masks: Vec::new(),
             exited: None,
             ext: None,
@@ -156,9 +173,18 @@ impl WaliContext {
     /// kernel layer (Fig. 7 accounting).
     pub fn with_kernel<R>(&mut self, f: impl FnOnce(&mut Kernel) -> R) -> R {
         let t0 = Instant::now();
-        let r = f(&mut self.kernel.borrow_mut());
+        let r = f(&mut self.kernel.lock_ok());
         self.trace.kernel_time += t0.elapsed();
         r
+    }
+
+    /// Fast-path read of the kernel's signal/termination hint for this
+    /// task: the scheduler gates its killed-by-a-sibling check on it
+    /// (every external termination path raises the hint before the state
+    /// change becomes observable).
+    #[inline]
+    pub(crate) fn hint_raised(&self) -> bool {
+        self.sig_hint.get()
     }
 
     /// Per-syscall-entry bookkeeping (clock tick + counter), without the
@@ -167,7 +193,8 @@ impl WaliContext {
     /// every single syscall.
     #[inline]
     pub fn tick_syscall(&mut self) {
-        self.kernel.borrow_mut().enter_syscall();
+        self.meter.0.tick();
+        self.meter.1.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -178,7 +205,7 @@ impl HostCtx for WaliContext {
             return None;
         }
         let delivery = {
-            let mut k = self.kernel.borrow_mut();
+            let mut k = self.kernel.lock_ok();
             let d = k.next_signal(self.tid);
             if d.is_none() {
                 // Drained (or the hint was for an already-consumed
@@ -193,7 +220,7 @@ impl HostCtx for WaliContext {
             SignalDelivery::Handler {
                 signo, old_mask, ..
             } => {
-                let entry = self.sigtable.borrow().get(signo)?;
+                let entry = self.sigtable.lock_ok().get(signo)?;
                 self.handler_masks.push(old_mask);
                 Some(PendingCall {
                     func: entry.func_index,
@@ -213,7 +240,7 @@ impl HostCtx for WaliContext {
         }
         if self.sig_hint.get() {
             // Another task may have terminated our process.
-            let k = self.kernel.borrow();
+            let k = self.kernel.lock_ok();
             if let Ok(task) = k.task(self.tid) {
                 if task.exited() {
                     drop(k);
@@ -227,7 +254,7 @@ impl HostCtx for WaliContext {
 
     fn signal_return(&mut self) {
         if let Some(mask) = self.handler_masks.pop() {
-            self.kernel.borrow_mut().signal_return(self.tid, mask);
+            self.kernel.lock_ok().signal_return(self.tid, mask);
         }
     }
 }
@@ -237,16 +264,16 @@ mod tests {
     use super::*;
 
     fn ctx() -> WaliContext {
-        let kernel = Rc::new(RefCell::new(Kernel::new()));
-        let tid = kernel.borrow_mut().spawn_process();
+        let kernel = Arc::new(Mutex::new(Kernel::new()));
+        let tid = kernel.lock_ok().spawn_process();
         WaliContext::new(kernel, tid, 4096)
     }
 
     #[test]
     fn layout_of_heap_and_pool() {
         let c = ctx();
-        assert_eq!(c.brk.get(), 4096);
-        assert!(c.mmap.borrow().base() >= c.brk.get() + (1 << 20));
+        assert_eq!(c.brk.load(Ordering::Relaxed), 4096);
+        assert!(c.mmap.lock_ok().base() >= c.brk.load(Ordering::Relaxed) + (1 << 20));
     }
 
     #[test]
@@ -260,7 +287,7 @@ mod tests {
     fn fatal_signal_aborts_via_hint() {
         let mut c = ctx();
         let tid = c.tid;
-        c.kernel.borrow_mut().sys_kill(tid, tid, 15).unwrap();
+        c.kernel.lock_ok().sys_kill(tid, tid, 15).unwrap();
         assert_eq!(
             c.poll_signal(),
             None,
@@ -276,7 +303,7 @@ mod tests {
         use wali_abi::layout::WaliSigaction;
         let mut c = ctx();
         let tid = c.tid;
-        c.sigtable.borrow_mut().set(
+        c.sigtable.lock_ok().set(
             10,
             Some(SigEntry {
                 table_index: 2,
@@ -284,7 +311,7 @@ mod tests {
             }),
         );
         c.kernel
-            .borrow_mut()
+            .lock_ok()
             .sys_rt_sigaction(
                 tid,
                 10,
@@ -295,13 +322,13 @@ mod tests {
                 }),
             )
             .unwrap();
-        c.kernel.borrow_mut().sys_kill(tid, tid, 10).unwrap();
+        c.kernel.lock_ok().sys_kill(tid, tid, 10).unwrap();
         let call = c.poll_signal().expect("handler call");
         assert_eq!(call.func, 42);
         assert_eq!(call.args, vec![Value::I32(10)]);
         // During the handler the signal is masked; same signal stays
         // pending rather than delivering.
-        c.kernel.borrow_mut().sys_kill(tid, tid, 10).unwrap();
+        c.kernel.lock_ok().sys_kill(tid, tid, 10).unwrap();
         assert_eq!(c.poll_signal(), None);
         // Handler returns: mask restored, second delivery happens.
         c.signal_return();
@@ -313,11 +340,15 @@ mod tests {
         let c = ctx();
         let child_tid = {
             let tid = c.tid;
-            c.kernel.borrow_mut().sys_fork(tid).unwrap() as Tid
+            c.kernel.lock_ok().sys_fork(tid).unwrap() as Tid
         };
         let child = c.fork_child(child_tid);
-        child.brk.set(999);
-        assert_ne!(c.brk.get(), 999, "brk not shared across fork");
+        child.brk.store(999, Ordering::Relaxed);
+        assert_ne!(
+            c.brk.load(Ordering::Relaxed),
+            999,
+            "brk not shared across fork"
+        );
         assert_ne!(c.mm, child.mm);
     }
 
@@ -327,13 +358,17 @@ mod tests {
         let t2 = {
             let tid = c.tid;
             c.kernel
-                .borrow_mut()
+                .lock_ok()
                 .sys_clone(tid, wali_abi::flags::CLONE_PTHREAD)
                 .unwrap() as Tid
         };
         let sib = c.thread_sibling(t2);
-        sib.brk.set(777);
-        assert_eq!(c.brk.get(), 777, "brk shared between threads");
+        sib.brk.store(777, Ordering::Relaxed);
+        assert_eq!(
+            c.brk.load(Ordering::Relaxed),
+            777,
+            "brk shared between threads"
+        );
         assert_eq!(c.mm, sib.mm);
     }
 }

@@ -30,6 +30,7 @@
 //! refused, and every pointer crossing the boundary is bounds-checked.
 
 pub mod context;
+pub(crate) mod exec;
 pub mod mem;
 pub mod mmap;
 pub mod policy;

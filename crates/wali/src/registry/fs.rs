@@ -14,6 +14,7 @@ use crate::mem::{
     write_u32,
 };
 use crate::registry::{flat, k, sys};
+use vkernel::MutexExt;
 
 type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
 type R = Result<i64, SysError>;
@@ -126,7 +127,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             // dup2 is a no-op on equal fds (dup3 errors instead).
             return k(c, |kk, tid| {
                 kk.task(tid)
-                    .and_then(|t| t.fdtable.borrow().get(old).map(|_| new as i64))
+                    .and_then(|t| t.fdtable.lock_ok().get(old).map(|_| new as i64))
                     .map_err(SysError::Err)
             });
         }

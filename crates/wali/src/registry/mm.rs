@@ -8,6 +8,8 @@ use wasm::host::{Caller, Linker};
 use wasm::interp::Value;
 use wasm::PAGE_SIZE;
 
+use vkernel::MutexExt;
+
 use crate::context::WaliContext;
 use crate::mem::{arg, arg_i32, arg_ptr};
 use crate::mmap::Region;
@@ -96,7 +98,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             Some((fd, off))
         };
         let region = {
-            let mut pool = c.data.mmap.borrow_mut();
+            let mut pool = c.data.mmap.lock_ok();
             pool.map(len, prot, flags, file).map_err(SysError::Err)?
         };
         ensure_mapped(c, region.addr + region.len)?;
@@ -117,7 +119,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     sys!(l, "munmap", |c: C, a: &[Value]| -> R {
         let (addr, len) = (arg_ptr(a, 0), arg(a, 1) as u32);
         let removed = {
-            let mut pool = c.data.mmap.borrow_mut();
+            let mut pool = c.data.mmap.lock_ok();
             pool.unmap(addr, len).map_err(SysError::Err)?
         };
         for region in &removed {
@@ -140,7 +142,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             arg_i32(a, 3),
         );
         let (old, new) = {
-            let mut pool = c.data.mmap.borrow_mut();
+            let mut pool = c.data.mmap.lock_ok();
             pool.remap(old_addr, old_len, new_len, flags)
                 .map_err(SysError::Err)?
         };
@@ -176,7 +178,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     sys!(l, "mprotect", |c: C, a: &[Value]| -> R {
         let (addr, len, prot) = (arg_ptr(a, 0), arg(a, 1) as u32, arg_i32(a, 2));
-        let mut pool = c.data.mmap.borrow_mut();
+        let mut pool = c.data.mmap.lock_ok();
         match pool.protect(addr, len, prot) {
             Ok(()) => Ok(0),
             // Protecting non-pool memory (data/heap) is a no-op success:
@@ -188,19 +190,19 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     sys!(l, "brk", |c: C, a: &[Value]| -> R {
         let want = arg_ptr(a, 0);
-        let cur = c.data.brk.get();
+        let cur = c.data.brk.load(std::sync::atomic::Ordering::Relaxed);
         if want == 0 {
             return Ok(cur as i64);
         }
         if want < c.data.brk_start {
             return Ok(cur as i64);
         }
-        let ceiling = c.data.mmap.borrow().base();
+        let ceiling = c.data.mmap.lock_ok().base();
         if want > ceiling {
             return Ok(cur as i64);
         }
         ensure_mapped(c, want)?;
-        c.data.brk.set(want);
+        c.data.brk.store(want, std::sync::atomic::Ordering::Relaxed);
         Ok(want as i64)
     });
 
@@ -216,7 +218,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
 
     sys!(l, "msync", |c: C, a: &[Value]| -> R {
         let (addr, _len) = (arg_ptr(a, 0), arg(a, 1) as u32);
-        let region = c.data.mmap.borrow().region_at(addr).cloned();
+        let region = c.data.mmap.lock_ok().region_at(addr).cloned();
         match region {
             Some(r) => {
                 writeback_shared(c, &r)?;

@@ -13,6 +13,7 @@ use wasm::interp::Value;
 use crate::context::WaliContext;
 use crate::mem::{arg, arg_i32, arg_ptr, read_cstr, read_str_array, write_bytes, write_u32};
 use crate::registry::{k, sys, sysx, WaliSuspend};
+use vkernel::MutexExt;
 
 type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
 type R = Result<i64, SysError>;
@@ -390,7 +391,7 @@ fn do_getrlimit(c: C, resource: i32, ptr: u32) -> R {
     let lim = match resource {
         RLIMIT_NOFILE => {
             let n = k(c, |kk, tid| {
-                Ok::<_, SysError>(kk.task(tid).map_err(SysError::Err)?.fdtable.borrow().limit)
+                Ok::<_, SysError>(kk.task(tid).map_err(SysError::Err)?.fdtable.lock_ok().limit)
             })?;
             WaliRlimit {
                 cur: n as u64,
@@ -415,7 +416,7 @@ fn do_setrlimit(c: C, resource: i32, ptr: u32) -> R {
     if resource == RLIMIT_NOFILE {
         k(c, |kk, tid| {
             let task = kk.task(tid).map_err(SysError::Err)?;
-            task.fdtable.borrow_mut().limit = (lim.cur as usize).clamp(8, 1 << 20);
+            task.fdtable.lock_ok().limit = (lim.cur as usize).clamp(8, 1 << 20);
             Ok::<i64, SysError>(0)
         })?;
     }

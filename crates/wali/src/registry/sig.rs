@@ -14,6 +14,7 @@ use crate::context::WaliContext;
 use crate::mem::{arg, arg_i32, arg_ptr, read_bytes, read_u64, write_bytes, write_u64};
 use crate::registry::{k, sys, sysx};
 use crate::sigtable::SigEntry;
+use vkernel::MutexExt;
 
 type C<'a, 'b> = &'a mut Caller<'b, WaliContext>;
 type R = Result<i64, SysError>;
@@ -73,7 +74,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             kk.sys_rt_sigaction(tid, signo, new_action.as_ref().map(|(act, _)| *act))
         })?;
         if let Some((_, entry)) = new_action {
-            c.data.sigtable.borrow_mut().set(signo, entry);
+            c.data.sigtable.lock_ok().set(signo, entry);
         }
         if old_ptr != 0 {
             let mut buf = [0u8; WaliSigaction::SIZE];
@@ -145,7 +146,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
                 t.pending.mask();
                 t.pending.take_deliverable(SigSet(!0 ^ (1 << (signo - 1))));
                 t.shared_pending
-                    .borrow_mut()
+                    .lock_ok()
                     .take_deliverable(SigSet(!0 ^ (1 << (signo - 1))));
                 return Ok(signo as i64);
             }

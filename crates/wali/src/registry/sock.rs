@@ -2,13 +2,15 @@
 
 use vkernel::SysError;
 use wali_abi::layout::{WaliEpollEvent, WaliPollFd, WaliSockaddr, WaliTimespec};
+use wali_abi::signals::SigSet;
 use wali_abi::Errno;
 use wasm::host::{Caller, Linker};
 use wasm::interp::Value;
 
 use crate::context::WaliContext;
 use crate::mem::{
-    arg, arg_i32, arg_ptr, read_bytes, read_u32, with_slice, with_slice_mut, write_bytes, write_u32,
+    arg, arg_i32, arg_ptr, read_bytes, read_u32, read_u64, with_slice, with_slice_mut, write_bytes,
+    write_u32,
 };
 use crate::registry::{flat, k, sys};
 
@@ -187,7 +189,11 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         do_poll(c, arg_ptr(a, 0), arg(a, 1) as usize, timeout_ms)
     });
 
-    // ppoll(fds, nfds, timespec, sigmask).
+    // ppoll(fds, nfds, timespec, sigmask): the mask is installed
+    // atomically with the block (saved once on entry, held across every
+    // re-park) and restored when the call returns — a signal that
+    // arrived masked during the wait is delivered exactly once, at the
+    // safepoint straight after the syscall.
     sys!(l, "ppoll", |c: C, a: &[Value]| -> R {
         let ts_ptr = arg_ptr(a, 2);
         let timeout_ms = if ts_ptr == 0 {
@@ -198,7 +204,9 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
             let ts = WaliTimespec::read_from(&raw).map_err(SysError::Err)?;
             (ts.to_nanos().unwrap_or(0) / 1_000_000) as i64
         };
-        do_poll(c, arg_ptr(a, 0), arg(a, 1) as usize, timeout_ms)
+        swap_wait_mask(c, arg_ptr(a, 3))?;
+        let r = do_poll(c, arg_ptr(a, 0), arg(a, 1) as usize, timeout_ms);
+        restore_wait_mask(c, r)
     });
 
     // select(nfds, readfds, writefds, exceptfds, timeval) over fd_set
@@ -236,50 +244,59 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     });
 
     // epoll_wait(epfd, events, maxevents, timeout_ms) — epoll_pwait adds
-    // a sigmask argument this model accepts and ignores (handler dispatch
-    // is engine-managed, §3.3).
+    // a sigmask argument honored like ppoll's: swapped in atomically with
+    // the block, restored on return.
     sys!(l, "epoll_wait", |c: C, a: &[Value]| -> R {
         do_epoll_wait(c, a)
     });
     sys!(l, "epoll_pwait", |c: C, a: &[Value]| -> R {
-        do_epoll_wait(c, a)
+        swap_wait_mask(c, arg_ptr(a, 4))?;
+        let r = do_epoll_wait(c, a);
+        restore_wait_mask(c, r)
     });
 }
 
-/// The shared blocking tail of the readiness syscalls (`poll`, `select`,
-/// `epoll_wait`): resolves the effective deadline (a retry keeps the one
-/// it blocked with), reports a lapsed deadline as `Ok(())` — the caller
-/// writes its timed-out result — and otherwise runs `subscribe` to park
-/// the task on its wait channels and blocks.
-fn park_readiness(
-    c: C,
+/// Installs a `ppoll`/`epoll_pwait` temporary signal mask (no-op for a
+/// NULL mask pointer). Safe to call on every blocked-call retry: the
+/// kernel saves the original mask only on the first swap of the wait.
+fn swap_wait_mask(c: C, mask_ptr: u32) -> Result<(), SysError> {
+    if mask_ptr == 0 {
+        return Ok(());
+    }
+    let mask = SigSet(read_u64(&c.instance.memory, mask_ptr).map_err(SysError::Err)?);
+    k(c, |kk, tid| {
+        kk.sigmask_swap_for_wait(tid, mask);
+        Ok::<_, SysError>(())
+    })
+}
+
+/// Restores the caller's signal mask once the wait concludes (any
+/// outcome but a re-park). Pending signals the restored mask unblocks
+/// are delivered at the next safepoint — exactly once, after return.
+fn restore_wait_mask(c: C, r: R) -> R {
+    if !matches!(r, Err(SysError::Block(_))) {
+        k(c, |kk, tid| {
+            kk.sigmask_restore_after_wait(tid);
+            Ok::<_, SysError>(())
+        })?;
+    }
+    r
+}
+
+/// Resolves the effective block deadline of a readiness wait (a retry
+/// keeps the one it blocked with). `None` means block without deadline;
+/// `Some(Err(Lapsed))`-style handling is the caller's: a deadline at or
+/// before `now` means the wait has timed out.
+fn wait_deadline(
+    kk: &vkernel::Kernel,
     retry_deadline: Option<u64>,
     timeout_ms: i64,
-    subscribe: impl FnOnce(&mut vkernel::Kernel, vkernel::Tid),
-) -> Result<(), SysError> {
-    let deadline = match retry_deadline {
+) -> Option<u64> {
+    match retry_deadline {
         Some(d) => Some(d),
-        None if timeout_ms > 0 => Some(k(c, |kk, _| {
-            Ok::<_, SysError>(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000)
-        })?),
+        None if timeout_ms > 0 => Some(kk.clock.monotonic_ns() + timeout_ms as u64 * 1_000_000),
         None => None,
-    };
-    if let Some(d) = deadline {
-        let now = k(c, |kk, _| Ok::<_, SysError>(kk.clock.monotonic_ns()))?;
-        if now >= d {
-            return Ok(());
-        }
-        k(c, |kk, tid| {
-            subscribe(kk, tid);
-            Ok::<_, SysError>(0)
-        })?;
-        return Err(vkernel::block_until(d));
     }
-    k(c, |kk, tid| {
-        subscribe(kk, tid);
-        Ok::<_, SysError>(0)
-    })?;
-    Err(vkernel::block())
 }
 
 fn do_epoll_wait(c: C, a: &[Value]) -> R {
@@ -290,28 +307,40 @@ fn do_epoll_wait(c: C, a: &[Value]) -> R {
     }
     let mem = c.instance.memory.clone();
     let retry_deadline = c.data.retry_deadline.take();
+    // Scan-then-subscribe runs inside ONE kernel critical section: a
+    // readiness transition on another worker can land between a separate
+    // scan and subscribe, posting its wakeup to no subscriber — the
+    // classic lost-wakeup race. Atomic check-or-park closes it (the
+    // single-threaded scheduler got this for free).
     let ready = k(c, |kk, tid| {
-        kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize)
-    })?;
-    if !ready.is_empty() || timeout_ms == 0 {
-        for (i, (events, data)) in ready.iter().enumerate() {
-            let ev = WaliEpollEvent {
-                events: *events,
-                data: *data,
-            };
-            let mut buf = [0u8; WaliEpollEvent::SIZE];
-            ev.write_to(&mut buf).map_err(SysError::Err)?;
-            write_bytes(&mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
-                .map_err(SysError::Err)?;
+        let ready = kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize)?;
+        if !ready.is_empty() || timeout_ms == 0 {
+            return Ok(ready);
         }
-        return Ok(ready.len() as i64);
-    }
-    // Nothing ready: park on the interest list's wait channels with the
-    // timeout deadline (same retry protocol as `poll`).
-    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
-        let _ = kk.epoll_subscribe(tid, epfd);
+        let deadline = wait_deadline(kk, retry_deadline, timeout_ms);
+        if let Some(d) = deadline {
+            if kk.clock.monotonic_ns() >= d {
+                // Timed out: report no events.
+                return Ok(Vec::new());
+            }
+        }
+        kk.epoll_subscribe(tid, epfd)?;
+        Err(match deadline {
+            Some(d) => vkernel::block_until(d),
+            None => vkernel::block(),
+        })
     })?;
-    Ok(0)
+    for (i, (events, data)) in ready.iter().enumerate() {
+        let ev = WaliEpollEvent {
+            events: *events,
+            data: *data,
+        };
+        let mut buf = [0u8; WaliEpollEvent::SIZE];
+        ev.write_to(&mut buf).map_err(SysError::Err)?;
+        write_bytes(&mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
+            .map_err(SysError::Err)?;
+    }
+    Ok(ready.len() as i64)
 }
 
 fn do_accept(c: C, a: &[Value], flags: i32) -> R {
@@ -373,30 +402,34 @@ fn do_poll(c: C, fds_ptr: u32, nfds: usize, timeout_ms: i64) -> R {
     }
     let pairs: Vec<(i32, i16)> = fds.iter().map(|p| (p.fd, p.events)).collect();
     let retry_deadline = c.data.retry_deadline.take();
-    let revents = k(c, |kk, tid| kk.poll_check(tid, &pairs))?;
-    let ready = revents.iter().filter(|&&r| r != 0).count();
-    if ready > 0 || timeout_ms == 0 {
-        for (i, p) in fds.iter_mut().enumerate() {
-            p.revents = revents[i];
-            let mut buf = [0u8; WaliPollFd::SIZE];
-            p.write_to(&mut buf).map_err(SysError::Err)?;
-            write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf)
-                .map_err(SysError::Err)?;
+    // Atomic check-or-park (see `do_epoll_wait` for the lost-wakeup
+    // race this closes). A lapsed deadline reports all-zero revents.
+    let revents = k(c, |kk, tid| {
+        let revents = kk.poll_check(tid, &pairs)?;
+        let ready = revents.iter().filter(|&&r| r != 0).count();
+        if ready > 0 || timeout_ms == 0 {
+            return Ok(revents);
         }
-        return Ok(ready as i64);
-    }
-    // Nothing ready: block with the timeout deadline.
-    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
-        kk.wait_on_fds(tid, &pairs)
+        let deadline = wait_deadline(kk, retry_deadline, timeout_ms);
+        if let Some(d) = deadline {
+            if kk.clock.monotonic_ns() >= d {
+                return Ok(vec![0; revents.len()]);
+            }
+        }
+        kk.wait_on_fds(tid, &pairs);
+        Err(match deadline {
+            Some(d) => vkernel::block_until(d),
+            None => vkernel::block(),
+        })
     })?;
-    // Timed out: zero revents, return 0.
+    let ready = revents.iter().filter(|&&r| r != 0).count();
     for (i, p) in fds.iter_mut().enumerate() {
-        p.revents = 0;
+        p.revents = revents[i];
         let mut buf = [0u8; WaliPollFd::SIZE];
         p.write_to(&mut buf).map_err(SysError::Err)?;
         write_bytes(&mem, fds_ptr + (i * WaliPollFd::SIZE) as u32, &buf).map_err(SysError::Err)?;
     }
-    Ok(0)
+    Ok(ready as i64)
 }
 
 fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
@@ -443,30 +476,43 @@ fn do_select(c: C, a: &[Value], is_pselect: bool) -> R {
     };
 
     let retry_deadline = c.data.retry_deadline.take();
-    let revents = k(c, |kk, tid| kk.poll_check(tid, &pairs))?;
-    let ready = revents.iter().filter(|&&r| r != 0).count();
-
-    if ready > 0 || timeout_ms == 0 {
-        // Write back the surviving bits.
-        let write_set = |ptr: u32, fds: &[i32], base: usize| -> Result<(), SysError> {
-            if ptr == 0 {
-                return Ok(());
+    // Atomic check-or-park; `None` back from the closure means the
+    // deadline lapsed (timeout: fd sets untouched, like before).
+    let revents = k(c, |kk, tid| {
+        let revents = kk.poll_check(tid, &pairs)?;
+        let ready = revents.iter().filter(|&&r| r != 0).count();
+        if ready > 0 || timeout_ms == 0 {
+            return Ok(Some(revents));
+        }
+        let deadline = wait_deadline(kk, retry_deadline, timeout_ms);
+        if let Some(d) = deadline {
+            if kk.clock.monotonic_ns() >= d {
+                return Ok(None);
             }
-            let mut raw = [0u8; 128];
-            for (i, fd) in fds.iter().enumerate() {
-                if revents[base + i] != 0 {
-                    raw[*fd as usize / 8] |= 1 << (*fd as usize % 8);
-                }
-            }
-            write_bytes(&mem, ptr, &raw).map_err(SysError::Err)
-        };
-        write_set(rptr, &rfds, 0)?;
-        write_set(wptr, &wfds, rfds.len())?;
-        return Ok(ready as i64);
-    }
-
-    park_readiness(c, retry_deadline, timeout_ms, |kk, tid| {
-        kk.wait_on_fds(tid, &pairs)
+        }
+        kk.wait_on_fds(tid, &pairs);
+        Err(match deadline {
+            Some(d) => vkernel::block_until(d),
+            None => vkernel::block(),
+        })
     })?;
-    Ok(0)
+    let Some(revents) = revents else {
+        return Ok(0);
+    };
+    let ready = revents.iter().filter(|&&r| r != 0).count();
+    let write_set = |ptr: u32, fds: &[i32], base: usize| -> Result<(), SysError> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        let mut raw = [0u8; 128];
+        for (i, fd) in fds.iter().enumerate() {
+            if revents[base + i] != 0 {
+                raw[*fd as usize / 8] |= 1 << (*fd as usize % 8);
+            }
+        }
+        write_bytes(&mem, ptr, &raw).map_err(SysError::Err)
+    };
+    write_set(rptr, &rfds, 0)?;
+    write_set(wptr, &wfds, rfds.len())?;
+    Ok(ready as i64)
 }

@@ -12,6 +12,7 @@ use wasm::interp::Value;
 use crate::context::WaliContext;
 use crate::registry::WaliSuspend;
 use crate::WALI_MODULE;
+use vkernel::MutexExt;
 
 pub(crate) fn register(l: &mut Linker<WaliContext>) {
     l.func(WALI_MODULE, "get_argc", |caller, _args| {
@@ -75,7 +76,7 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     l.func(WALI_MODULE, "proc_exit", |caller, args| {
         let code = args.first().and_then(Value::as_i32).unwrap_or(0);
         let tid = caller.data.tid;
-        let _ = caller.data.kernel.borrow_mut().sys_exit_group(tid, code);
+        let _ = caller.data.kernel.lock_ok().sys_exit_group(tid, code);
         caller.data.exited = Some(code);
         Err(HostOutcome::Suspend(Suspension::new(WaliSuspend::Exit {
             code,

@@ -20,14 +20,20 @@
 //! Set `WALI_NO_WAITQ=1` (or [`WaliRunner::set_event_driven`]`(false)`)
 //! to fall back to the original poll-everything loop — kept as the A/B
 //! baseline for the scheduler benchmarks.
+//!
+//! Set `WALI_WORKERS=N` (or [`WaliRunner::set_workers`]) to interpret
+//! runnable tasks on `N` host worker threads (`0`/`auto` selects
+//! `min(cores, 8)`). The default, `1`, keeps the deterministic
+//! single-threaded schedule every test and benchmark in the repository
+//! is pinned to; `N > 1` trades that determinism for true parallelism —
+//! see `crates/wali/src/exec.rs` and DESIGN.md "Concurrency".
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use vkernel::{Kernel, TaskState, Tid};
+use vkernel::{Kernel, MutexExt, TaskState, Tid};
 use wali_abi::Errno;
 use wasm::host::{Caller, HostFn, HostOutcome, Linker};
 use wasm::interp::{Instance, RunResult, Thread, Value};
@@ -60,6 +66,29 @@ pub struct SchedStats {
     /// stays O(wakeups) in event-driven mode, O(blocked × passes) in the
     /// `WALI_NO_WAITQ` baseline).
     pub blocked_retries: u64,
+}
+
+/// Lock-free accumulator behind [`SchedStats`]: SMP workers bump these
+/// concurrently; [`AtomicSched::take`] folds them into the plain struct
+/// a finished run reports. `Relaxed` suffices — counters, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicSched {
+    pub(crate) parks: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
+    pub(crate) idle_advances: AtomicU64,
+    pub(crate) blocked_retries: AtomicU64,
+}
+
+impl AtomicSched {
+    fn take(&self) -> SchedStats {
+        SchedStats {
+            parks: self.parks.swap(0, Ordering::Relaxed),
+            wakeups: self.wakeups.swap(0, Ordering::Relaxed),
+            idle_advances: self.idle_advances.swap(0, Ordering::Relaxed),
+            blocked_retries: self.blocked_retries.swap(0, Ordering::Relaxed),
+        }
+    }
 }
 
 /// Everything a finished run reports.
@@ -126,7 +155,7 @@ impl std::fmt::Display for RunnerError {
 
 impl std::error::Error for RunnerError {}
 
-enum Pending {
+pub(crate) enum Pending {
     Start {
         func: u32,
         args: Vec<Value>,
@@ -142,7 +171,7 @@ enum Pending {
 }
 
 /// Ops per scheduling slice before a busy task is preempted.
-const FUEL_SLICE: u64 = 1 << 20;
+pub(crate) const FUEL_SLICE: u64 = 1 << 20;
 
 /// Virtual nanoseconds one exhausted fuel slice accounts for (a ~1 GIPS
 /// virtual CPU: 2^20 ops ≈ 1 ms). Without this, a pure-compute spin loop
@@ -150,21 +179,21 @@ const FUEL_SLICE: u64 = 1 << 20;
 /// a side effect of its blocked-syscall retries, the event-driven
 /// scheduler advances it here and at idle steps instead, so parked
 /// deadlines lapse while a spinner runs.
-const SLICE_QUANTUM_NS: u64 = 1_000_000;
+pub(crate) const SLICE_QUANTUM_NS: u64 = 1_000_000;
 
-struct Slot {
-    tid: Tid,
-    instance: Instance<WaliContext>,
-    thread: Thread,
-    ctx: WaliContext,
-    pending: Option<Pending>,
+pub(crate) struct Slot {
+    pub(crate) tid: Tid,
+    pub(crate) instance: Instance<WaliContext>,
+    pub(crate) thread: Thread,
+    pub(crate) ctx: WaliContext,
+    pub(crate) pending: Option<Pending>,
     /// A kernel wakeup re-queued this task's blocked retry and it has not
     /// been attempted since. The idle detector must treat such a retry as
     /// runnable: the wakeup is fresh evidence its syscall can complete,
     /// and `since_progress` may otherwise reach the queue length without
     /// the task ever getting its attempt (tasks parking mid-pass shrink
     /// the queue under the counter).
-    woken_retry: bool,
+    pub(crate) woken_retry: bool,
 }
 
 /// Whether the event-driven scheduler is on by default (the
@@ -173,17 +202,37 @@ pub fn event_driven_default() -> bool {
     std::env::var_os("WALI_NO_WAITQ").is_none()
 }
 
+/// Worker-pool width selected by the `WALI_WORKERS` environment
+/// variable: a number, or `0`/`auto` for `min(cores, 8)`. Unset — or
+/// unparsable — means 1: the deterministic single-threaded schedule.
+pub fn workers_default() -> usize {
+    match std::env::var("WALI_WORKERS") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("auto") => auto_workers(),
+        Ok(v) => v.parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => 1,
+    }
+}
+
+/// `min(cores, 8)`: enough to saturate the scheduler benchmarks without
+/// oversubscribing small CI machines.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// The runtime.
 pub struct WaliRunner {
     /// The kernel all tasks share.
     pub kernel: KernelRef,
-    linker: Linker<WaliContext>,
+    pub(crate) linker: Linker<WaliContext>,
     /// Dense syscall handler table indexed by `wali_abi::spec::sysno`,
     /// pre-resolved from the linker at [`WaliRunner::register_program`]
     /// time so blocked-syscall retries skip the by-name registry lookup.
-    handlers: Vec<Option<HostFn<WaliContext>>>,
-    programs: HashMap<String, Arc<Program<WaliContext>>>,
-    scheme: SafepointScheme,
+    pub(crate) handlers: Vec<Option<HostFn<WaliContext>>>,
+    pub(crate) programs: HashMap<String, Arc<Program<WaliContext>>>,
+    pub(crate) scheme: SafepointScheme,
     /// Superinstruction fusion override; `None` follows
     /// [`wasm::prep::fuse_default`].
     fuse: Option<bool>,
@@ -194,40 +243,51 @@ pub struct WaliRunner {
     /// [`wasm::mem::cow_default`] (`WALI_NO_COW=1` selects the flat
     /// eager-zero / deep-copy-fork baseline).
     cow: Option<bool>,
+    /// Worker-pool width override; `None` follows [`workers_default`].
+    workers: Option<usize>,
     /// Set when `linker_mut` may have changed registrations since the
     /// handler table was built.
     handlers_dirty: bool,
     /// Every live task, keyed by kernel tid (deterministic order).
-    tasks: BTreeMap<Tid, Slot>,
+    pub(crate) tasks: BTreeMap<Tid, Slot>,
     /// Runnable tasks, round-robin FIFO.
-    run_queue: VecDeque<Tid>,
+    pub(crate) run_queue: VecDeque<Tid>,
     /// Blocked tasks parked off the run queue, with their optional wake
     /// deadline (virtual mono ns). Invariant: every live task is either
     /// queued or parked, never both.
-    parked: BTreeMap<Tid, Option<u64>>,
+    pub(crate) parked: BTreeMap<Tid, Option<u64>>,
     /// Ordered index of parked deadlines: the scheduler compares its
     /// minimum against the clock every round, so deadline-parked tasks
     /// wake on time even while other tasks keep the run queue busy
     /// (syscall ticks advance the virtual clock too, not just idle
     /// steps). Kept in lock-step with `parked`.
-    deadlines: std::collections::BTreeSet<(u64, Tid)>,
+    pub(crate) deadlines: std::collections::BTreeSet<(u64, Tid)>,
     /// `vfork` parents suspended until their child execs or exits, keyed
     /// by child tid. These tasks sit on neither the run queue nor the
     /// parked map; the child's exec/exit requeues them.
-    vfork_waiters: HashMap<Tid, Tid>,
+    pub(crate) vfork_waiters: HashMap<Tid, Tid>,
     /// Consecutive run-queue attempts without wasm progress (the polling
     /// baseline's full-pass detector).
     since_progress: usize,
     spawned_any: bool,
-    main_tid: Option<Tid>,
-    outcome: RunOutcome,
+    pub(crate) main_tid: Option<Tid>,
+    pub(crate) outcome: RunOutcome,
+    /// Concurrent scheduler counters (folded into `outcome.sched`).
+    pub(crate) stats: AtomicSched,
+    /// Lock-free virtual-clock handle (shares the kernel's counter).
+    clock: vkernel::Clock,
+    /// Lock-free mirror of "the kernel has undrained wakeups".
+    woken_hint: std::sync::Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl WaliRunner {
     /// Creates a runtime with a fresh kernel and the full WALI linker.
     pub fn new(scheme: SafepointScheme) -> WaliRunner {
+        let kernel = Kernel::new();
+        let clock = kernel.clock.clone();
+        let woken_hint = kernel.woken_hint();
         WaliRunner {
-            kernel: Rc::new(RefCell::new(Kernel::new())),
+            kernel: Arc::new(Mutex::new(kernel)),
             linker: build_linker(),
             handlers: Vec::new(),
             programs: HashMap::new(),
@@ -235,6 +295,7 @@ impl WaliRunner {
             fuse: None,
             event_driven: None,
             cow: None,
+            workers: None,
             handlers_dirty: true,
             tasks: BTreeMap::new(),
             run_queue: VecDeque::new(),
@@ -245,6 +306,9 @@ impl WaliRunner {
             spawned_any: false,
             main_tid: None,
             outcome: RunOutcome::default(),
+            stats: AtomicSched::default(),
+            clock,
+            woken_hint,
         }
     }
 
@@ -280,7 +344,7 @@ impl WaliRunner {
         self.event_driven = Some(on);
     }
 
-    fn event_driven_on(&self) -> bool {
+    pub(crate) fn event_driven_on(&self) -> bool {
         self.event_driven.unwrap_or_else(event_driven_default)
     }
 
@@ -291,8 +355,20 @@ impl WaliRunner {
         self.cow = Some(on);
     }
 
-    fn cow_on(&self) -> bool {
+    pub(crate) fn cow_on(&self) -> bool {
         self.cow.unwrap_or_else(wasm::mem::cow_default)
+    }
+
+    /// Overrides the worker-pool width (A/B measurement; default follows
+    /// [`workers_default`]). `1` pins the deterministic single-threaded
+    /// schedule; `n > 1` runs tasks on `n` host workers.
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = Some(n.max(1));
+    }
+
+    /// The effective worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(workers_default)
     }
 
     /// Adjusts the context of a spawned (not yet finished) task — used to
@@ -312,7 +388,7 @@ impl WaliRunner {
             .map_err(RunnerError::Link)?;
         let _ = self
             .kernel
-            .borrow_mut()
+            .lock_ok()
             .vfs
             .write_file(path, b"\0asm\x01\0\0\0");
         self.programs.insert(path.to_string(), Arc::new(program));
@@ -339,7 +415,7 @@ impl WaliRunner {
             .get(path)
             .cloned()
             .ok_or(RunnerError::NoEntry("program not registered"))?;
-        let tid = self.kernel.borrow_mut().spawn_process();
+        let tid = self.kernel.lock_ok().spawn_process();
         let instance = Instance::new_with_cow(program.clone(), self.cow_on())
             .map_err(RunnerError::Instantiate)?;
         let entry = instance
@@ -401,13 +477,24 @@ impl WaliRunner {
     /// of parked tasks: a transition posts to exactly the tasks subscribed
     /// to its channel.
     pub fn run(&mut self) -> Result<RunOutcome, RunnerError> {
+        let workers = self.workers();
+        if workers > 1 {
+            return self.run_smp(workers);
+        }
+        self.run_single()
+    }
+
+    /// The deterministic single-threaded scheduler (`WALI_WORKERS=1`):
+    /// byte-for-byte the pre-SMP behaviour, kept as the baseline every
+    /// test and benchmark can pin.
+    fn run_single(&mut self) -> Result<RunOutcome, RunnerError> {
         while !self.tasks.is_empty() {
             self.drain_wakeups();
             // Syscall ticks advance the clock while the queue stays busy;
             // wake parked deadlines the moment they lapse, not only at
             // idle steps.
             if let Some(&(d, _)) = self.deadlines.first() {
-                let now = self.kernel.borrow().clock.monotonic_ns();
+                let now = self.clock.monotonic_ns();
                 if now >= d {
                     self.wake_lapsed(now);
                 }
@@ -441,14 +528,21 @@ impl WaliRunner {
                 self.since_progress += 1;
             }
         }
+        self.finish_outcome()
+    }
+
+    /// Folds the concurrent counters and captured console into the
+    /// outcome of a completed run.
+    pub(crate) fn finish_outcome(&mut self) -> Result<RunOutcome, RunnerError> {
         let mut outcome = std::mem::take(&mut self.outcome);
-        outcome.console = self.kernel.borrow_mut().take_console();
+        outcome.sched = self.stats.take();
+        outcome.console = self.kernel.lock_ok().take_console();
         Ok(outcome)
     }
 
     /// Parks a blocked task off the run queue.
     fn park(&mut self, tid: Tid, deadline: Option<u64>) {
-        self.outcome.sched.parks += 1;
+        self.stats.parks.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = deadline {
             self.deadlines.insert((d, tid));
         }
@@ -471,15 +565,15 @@ impl WaliRunner {
 
     /// Moves kernel-woken tasks from the parked set to the run queue.
     fn drain_wakeups(&mut self) {
-        let mut k = self.kernel.borrow_mut();
-        if !k.has_woken() {
+        // Lock-free gate: the hint mirrors `has_woken`, so the kernel
+        // lock is taken only when there is something to drain.
+        if !self.woken_hint.load(Ordering::Acquire) {
             return;
         }
-        let woken = k.take_woken();
-        drop(k);
+        let woken = self.kernel.lock_ok().take_woken();
         for tid in woken {
             if self.unpark(tid) {
-                self.outcome.sched.wakeups += 1;
+                self.stats.wakeups.fetch_add(1, Ordering::Relaxed);
                 if let Some(slot) = self.tasks.get_mut(&tid) {
                     slot.woken_retry = true;
                 }
@@ -520,7 +614,7 @@ impl WaliRunner {
                 _ => None,
             })
             .min();
-        let timer_min = self.kernel.borrow().next_timer_deadline();
+        let timer_min = self.kernel.lock_ok().next_timer_deadline();
         let Some(deadline) = [parked_min, queued_min, timer_min]
             .into_iter()
             .flatten()
@@ -529,12 +623,12 @@ impl WaliRunner {
             return Err(RunnerError::Deadlock(self.blocked_report()));
         };
         let now = {
-            let mut k = self.kernel.borrow_mut();
+            let mut k = self.kernel.lock_ok();
             k.clock.advance_to(deadline);
             k.fire_timers();
             k.clock.monotonic_ns()
         };
-        self.outcome.sched.idle_advances += 1;
+        self.stats.idle_advances.fetch_add(1, Ordering::Relaxed);
         self.wake_lapsed(now);
         self.drain_wakeups();
         Ok(())
@@ -550,7 +644,7 @@ impl WaliRunner {
             return;
         }
         let now = {
-            let mut k = self.kernel.borrow_mut();
+            let mut k = self.kernel.lock_ok();
             k.clock.advance(SLICE_QUANTUM_NS);
             k.fire_timers();
             k.clock.monotonic_ns()
@@ -569,7 +663,7 @@ impl WaliRunner {
             }
             self.deadlines.remove(&(d, tid));
             self.parked.remove(&tid);
-            self.kernel.borrow_mut().wait_cancel(tid);
+            self.kernel.lock_ok().wait_cancel(tid);
             self.run_queue.push_back(tid);
             self.since_progress = 0;
         }
@@ -620,8 +714,15 @@ impl WaliRunner {
         };
 
         // A task whose kernel identity died (killed by a sibling) is
-        // finalized without running.
-        if self.task_killed(tid) {
+        // finalized without running. Gated on the task's signal hint:
+        // every external termination path raises it, so the common case
+        // skips the kernel lock entirely.
+        let hinted = self
+            .tasks
+            .get(&tid)
+            .map(|s| s.ctx.hint_raised())
+            .unwrap_or(true);
+        if hinted && self.task_killed(tid) {
             self.finish_task(tid, None);
             return Ok(true);
         }
@@ -687,7 +788,7 @@ impl WaliRunner {
                 let code = values.first().and_then(Value::as_i32).unwrap_or(0);
                 let already = self.tasks.get(&tid).and_then(|s| s.ctx.exited);
                 if already.is_none() {
-                    let _ = self.kernel.borrow_mut().sys_exit_group(tid, code);
+                    let _ = self.kernel.lock_ok().sys_exit_group(tid, code);
                 }
                 self.finish_task(tid, Some(TaskEnd::Exited(already.unwrap_or(code))));
                 Ok(true)
@@ -697,7 +798,7 @@ impl WaliRunner {
                 Ok(true)
             }
             RunResult::Trapped(t) => {
-                let _ = self.kernel.borrow_mut().sys_exit_group(tid, 128);
+                let _ = self.kernel.lock_ok().sys_exit_group(tid, 128);
                 self.finish_task(tid, Some(TaskEnd::Trapped(t)));
                 Ok(true)
             }
@@ -750,7 +851,7 @@ impl WaliRunner {
                 // re-blocked retry did not — the idle path advances the
                 // clock in that case).
                 if !ran_wasm {
-                    self.outcome.sched.blocked_retries += 1;
+                    self.stats.blocked_retries.fetch_add(1, Ordering::Relaxed);
                 }
                 if let Some(slot) = self.tasks.get_mut(&tid) {
                     slot.pending = Some(Pending::Retry {
@@ -771,7 +872,7 @@ impl WaliRunner {
                 // a deadline (a layered API outside the kernel protocol)
                 // stays on the run queue and is busy-polled like before.
                 let parkable = self.event_driven_on()
-                    && (deadline.is_some() || self.kernel.borrow().task_waits(tid));
+                    && (deadline.is_some() || self.kernel.lock_ok().task_waits(tid));
                 if parkable {
                     self.park(tid, deadline);
                 } else {
@@ -853,7 +954,7 @@ impl WaliRunner {
                     return Ok(true);
                 };
                 {
-                    let mut k = self.kernel.borrow_mut();
+                    let mut k = self.kernel.lock_ok();
                     let _ = k.sys_execve(tid);
                 }
                 // A fresh private memory: replacing the old instance below
@@ -895,7 +996,7 @@ impl WaliRunner {
     }
 
     fn task_killed(&self, tid: Tid) -> bool {
-        let k = self.kernel.borrow();
+        let k = self.kernel.lock_ok();
         k.task(tid).map(|t| t.exited()).unwrap_or(true)
     }
 
@@ -919,7 +1020,7 @@ impl WaliRunner {
         let end = end.unwrap_or_else(|| {
             // Pull the status from the kernel (killed by signal or exited
             // by a sibling thread).
-            let k = self.kernel.borrow();
+            let k = self.kernel.lock_ok();
             match k.task(slot.tid).map(|t| t.state.clone()) {
                 Ok(TaskState::Zombie(status)) if wali_abi::flags::wifsignaled(status) => {
                     TaskEnd::Exited(128 + wali_abi::flags::wtermsig(status))

@@ -12,23 +12,29 @@
 //! entries (support methods, layered APIs).
 
 use std::collections::BTreeMap;
-use std::ops::Index;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
+use vkernel::MutexExt;
 use wali_abi::spec::{self, SPEC_LEN};
 
 /// Per-syscall invocation counters with a dense spec-indexed fast path.
-#[derive(Clone)]
+///
+/// The counters are atomic: a trace may be observed (merged, printed)
+/// while the owning task still runs on another worker, and the dense
+/// bump must never be torn or lost under the SMP executor. `Relaxed`
+/// ordering suffices — counts are statistics, not synchronization.
 pub struct SysCounts {
-    dense: Box<[u64; SPEC_LEN]>,
-    named: BTreeMap<&'static str, u64>,
+    dense: Box<[AtomicU64]>,
+    named: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl Default for SysCounts {
     fn default() -> Self {
         SysCounts {
-            dense: Box::new([0; SPEC_LEN]),
-            named: BTreeMap::new(),
+            dense: (0..SPEC_LEN).map(|_| AtomicU64::new(0)).collect(),
+            named: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -36,35 +42,54 @@ impl Default for SysCounts {
 impl SysCounts {
     /// Records one invocation by dense syscall index (the hot path).
     #[inline]
-    pub fn bump(&mut self, sysno: u16) {
-        self.dense[sysno as usize] += 1;
+    pub fn bump(&self, sysno: u16) {
+        self.dense[sysno as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Same, through exclusive access — the single-owner hot path the
+    /// registry wrappers use: a plain add on the atomic cell, no RMW.
+    #[inline]
+    pub fn bump_mut(&mut self, sysno: u16) {
+        *self.dense[sysno as usize].get_mut() += 1;
     }
 
     /// Records one invocation by name (slow path; resolves the index).
-    pub fn count(&mut self, name: &'static str) {
+    pub fn count(&self, name: &'static str) {
         match spec::sysno(name) {
             Some(no) => self.bump(no),
-            None => *self.named.entry(name).or_insert(0) += 1,
+            None => self.count_named(name),
         }
     }
 
+    /// Records one invocation of a non-spec name (the named fallback;
+    /// callers that already resolved `sysno(name) == None` land here
+    /// directly instead of resolving twice).
+    fn count_named(&self, name: &'static str) {
+        *self.named.lock_ok().entry(name).or_insert(0) += 1;
+    }
+
     /// Adds `n` invocations of `name` (merging).
-    fn add(&mut self, name: &'static str, n: u64) {
+    fn add(&self, name: &'static str, n: u64) {
         match spec::sysno(name) {
-            Some(no) => self.dense[no as usize] += n,
-            None => *self.named.entry(name).or_insert(0) += n,
+            Some(no) => {
+                self.dense[no as usize].fetch_add(n, Ordering::Relaxed);
+            }
+            None => *self.named.lock_ok().entry(name).or_insert(0) += n,
+        }
+    }
+
+    /// The count recorded for `name` (0 when never invoked).
+    pub fn of(&self, name: &str) -> u64 {
+        match spec::sysno(name) {
+            Some(no) => self.dense[no as usize].load(Ordering::Relaxed),
+            None => self.named.lock_ok().get(name).copied().unwrap_or(0),
         }
     }
 
     /// The count for `name`, if any were recorded.
-    pub fn get(&self, name: &str) -> Option<&u64> {
-        match spec::sysno(name) {
-            Some(no) => {
-                let c = &self.dense[no as usize];
-                (*c > 0).then_some(c)
-            }
-            None => self.named.get(name),
-        }
+    pub fn get(&self, name: &str) -> Option<u64> {
+        let c = self.of(name);
+        (c > 0).then_some(c)
     }
 
     /// True if `name` was invoked at least once.
@@ -72,18 +97,23 @@ impl SysCounts {
         self.get(name).is_some()
     }
 
-    /// Iterates over `(name, count)` pairs with nonzero counts.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.dense
+    /// Snapshot of `(name, count)` pairs with nonzero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .dense
             .iter()
             .enumerate()
-            .filter(|(_, c)| **c > 0)
-            .map(|(i, c)| (spec::SPEC[i].name, *c))
-            .chain(self.named.iter().map(|(n, c)| (*n, *c)))
+            .filter_map(|(i, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then(|| (spec::SPEC[i].name, c))
+            })
+            .collect();
+        out.extend(self.named.lock_ok().iter().map(|(n, c)| (*n, *c)));
+        out.into_iter()
     }
 
     /// Iterates over invoked syscall names.
-    pub fn keys(&self) -> impl Iterator<Item = &'static str> + '_ {
+    pub fn keys(&self) -> impl Iterator<Item = &'static str> {
         self.iter().map(|(n, _)| n)
     }
 
@@ -99,12 +129,29 @@ impl SysCounts {
 
     /// Sum of all counts.
     pub fn total(&self) -> u64 {
-        self.dense.iter().sum::<u64>() + self.named.values().sum::<u64>()
+        self.dense
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.named.lock_ok().values().sum::<u64>()
     }
 
     /// Snapshot as an ordinary name-keyed map (report binaries).
     pub fn to_map(&self) -> BTreeMap<&'static str, u64> {
         self.iter().collect()
+    }
+}
+
+impl Clone for SysCounts {
+    fn clone(&self) -> Self {
+        SysCounts {
+            dense: self
+                .dense
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            named: Mutex::new(self.named.lock_ok().clone()),
+        }
     }
 }
 
@@ -117,20 +164,13 @@ impl<'a> IntoIterator for &'a SysCounts {
     }
 }
 
-impl Index<&str> for SysCounts {
-    type Output = u64;
-
-    fn index(&self, name: &str) -> &u64 {
-        match spec::sysno(name) {
-            Some(no) => &self.dense[no as usize],
-            None => self.named.get(name).unwrap_or(&0),
-        }
-    }
-}
-
 impl PartialEq for SysCounts {
     fn eq(&self, other: &Self) -> bool {
-        *self.dense == *other.dense && self.named == other.named
+        self.dense
+            .iter()
+            .zip(other.dense.iter())
+            .all(|(a, b)| a.load(Ordering::Relaxed) == b.load(Ordering::Relaxed))
+            && *self.named.lock_ok() == *other.named.lock_ok()
     }
 }
 
@@ -159,14 +199,17 @@ impl Trace {
     /// Records one invocation of `name`.
     #[inline]
     pub fn count(&mut self, name: &'static str) {
-        self.counts.count(name);
+        match spec::sysno(name) {
+            Some(no) => self.counts.bump_mut(no),
+            None => self.counts.count_named(name),
+        }
     }
 
     /// Records one invocation by pre-resolved dense index (the hot path
     /// used by the registry wrappers).
     #[inline]
     pub fn count_sysno(&mut self, sysno: u16) {
-        self.counts.bump(sysno);
+        self.counts.bump_mut(sysno);
     }
 
     /// Records one invocation through a registration-time dispatch pair:
@@ -175,7 +218,7 @@ impl Trace {
     #[inline]
     pub fn count_dispatch(&mut self, sysno: Option<u16>, name: &'static str) {
         match sysno {
-            Some(no) => self.counts.bump(no),
+            Some(no) => self.counts.bump_mut(no),
             None => self.counts.count(name),
         }
     }
@@ -214,11 +257,16 @@ impl Trace {
     }
 
     /// Merges another trace into this one (multi-task aggregation).
+    /// Exclusive access: plain adds, skipping the (typical) zero cells —
+    /// a per-task-exit cost that must stay cheap with hundreds of tasks.
     pub fn merge(&mut self, other: &Trace) {
         for i in 0..SPEC_LEN {
-            self.counts.dense[i] += other.counts.dense[i];
+            let v = other.counts.dense[i].load(std::sync::atomic::Ordering::Relaxed);
+            if v != 0 {
+                *self.counts.dense[i].get_mut() += v;
+            }
         }
-        for (name, n) in &other.counts.named {
+        for (name, n) in other.counts.named.lock_ok().iter() {
             self.counts.add(name, *n);
         }
         self.host_time += other.host_time;
@@ -238,21 +286,21 @@ mod tests {
         t.count("read");
         t.count("read");
         t.count("write");
-        assert_eq!(t.counts["read"], 2);
+        assert_eq!(t.counts.of("read"), 2);
         assert_eq!(t.total_syscalls(), 3);
         assert_eq!(t.unique_syscalls(), 2);
     }
 
     #[test]
     fn dense_and_named_counts_agree() {
-        let mut c = SysCounts::default();
+        let c = SysCounts::default();
         let no = spec::sysno("read").expect("read is in the spec");
         c.bump(no);
         c.count("read");
         c.count("get_argc"); // support method: not in SPEC, named fallback
-        assert_eq!(c["read"], 2);
-        assert_eq!(c["get_argc"], 1);
-        assert_eq!(c["never_called"], 0);
+        assert_eq!(c.of("read"), 2);
+        assert_eq!(c.of("get_argc"), 1);
+        assert_eq!(c.of("never_called"), 0);
         assert!(c.contains_key("get_argc"));
         assert!(!c.contains_key("never_called"));
         assert_eq!(c.total(), 3);
@@ -284,8 +332,8 @@ mod tests {
         b.count("mmap");
         b.kernel_time = Duration::from_millis(3);
         a.merge(&b);
-        assert_eq!(a.counts["read"], 2);
-        assert_eq!(a.counts["mmap"], 1);
+        assert_eq!(a.counts.of("read"), 2);
+        assert_eq!(a.counts.of("mmap"), 1);
         assert_eq!(a.kernel_time, Duration::from_millis(3));
     }
 }

@@ -237,6 +237,11 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
     let bytes = wasm::encode::encode(&stress_program());
     let module = wasm::decode::decode(&bytes).expect("round trip");
     let mut runner = WaliRunner::new_default();
+    // This suite pins the *deterministic scheduler's* counter contract
+    // (parks/wakeups/retries of the cooperative loop, and the polling
+    // baseline A/B); the SMP executor has its own contract, covered by
+    // tests/smp_stress.rs at WALI_WORKERS=4.
+    runner.set_workers(1);
     runner.set_fuse(fuse);
     runner.set_event_driven(event_driven);
     runner
@@ -415,6 +420,11 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
     let bytes = wasm::encode::encode(&mb.build());
     let module = wasm::decode::decode(&bytes).expect("round trip");
     let mut runner = WaliRunner::new_default();
+    // The ~70-round promptness budget is a property of the cooperative
+    // round-robin schedule; under SMP the ping-pong races ahead of the
+    // sleeper's requeue in wall-clock time and the round count is
+    // meaningless. Deterministic scheduler only.
+    runner.set_workers(1);
     runner.set_event_driven(true);
     runner
         .register_program("/usr/bin/busy", &module)

@@ -36,7 +36,7 @@ fn hello_world_via_sys_write() {
     let out = run(&mb.build(), &[]);
     assert_eq!(out.exit_code(), Some(0));
     assert_eq!(out.stdout(), "hello, wali!\n");
-    assert_eq!(out.trace.counts["write"], 1);
+    assert_eq!(out.trace.counts.of("write"), 1);
 }
 
 #[test]
@@ -271,6 +271,82 @@ fn pipe_between_fork_halves() {
 }
 
 #[test]
+fn ppoll_sigmask_defers_delivery_until_return() {
+    // The ppoll temporary-mask contract: SIGALRM is blocked by the mask
+    // ppoll installs for the wait, fires mid-wait (alarm at +1 s, ppoll
+    // timeout 2 s), must NOT interrupt the wait (no EINTR, the full
+    // timeout elapses), and is delivered exactly once after ppoll
+    // returns and the original (empty) mask is restored.
+    let mut mb = ModuleBuilder::new();
+    let sigaction = sys(&mut mb, "rt_sigaction", 4);
+    let alarm = sys(&mut mb, "alarm", 1);
+    let ppoll = sys(&mut mb, "ppoll", 4);
+    mb.memory(2, Some(16));
+
+    let handler_sig = mb.sig([I32], []);
+    let dummy = mb.func(handler_sig, |_| {});
+    let handler = mb.func(handler_sig, |b| {
+        // Count deliveries at [516] (exactly-once assertion).
+        b.i32(516).i32(516).load32(0).i32(1).add32().store32(0);
+    });
+    let base = mb.table_entries(&[dummy, dummy, handler]);
+    assert_eq!(base, 0);
+    let act = mb.reserve(24);
+    let ts = mb.reserve(16);
+    let mask = mb.reserve(8);
+
+    let main_sig = mb.sig([], [I32]);
+    let main = mb.func(main_sig, |b| {
+        let ret = b.local(I64);
+        // Handler for SIGALRM (14) at table index 2.
+        b.i32(act as i32).i32(2).store32(0);
+        b.i64(14)
+            .i64(act as i64)
+            .i64(0)
+            .i64(8)
+            .call(sigaction)
+            .drop_();
+        // Temporary mask blocking SIGALRM: bit 1 << (14 - 1).
+        b.i32(mask as i32).i64(1 << 13).store64(0);
+        // Timeout 2 s (virtual); the alarm fires at +1 s, mid-wait.
+        b.i32(ts as i32).i64(2).store64(0);
+        b.i32(ts as i32).i64(0).store64(8);
+        b.i64(1).call(alarm).drop_();
+        b.i64(0)
+            .i64(0)
+            .i64(ts as i64)
+            .i64(mask as i64)
+            .call(ppoll)
+            .local_set(ret);
+        // Timed out cleanly (0 events), not EINTR: the mask held.
+        b.local_get(ret).i64(0).eq64().eqz32();
+        b.if_(BlockType::Empty, |b| {
+            b.i32(100);
+            b.ret();
+        });
+        // The pending SIGALRM is delivered at a safepoint after return;
+        // spin until the handler ran, then report the delivery count.
+        b.loop_(BlockType::Empty, |b| {
+            b.i32(516).load32(0).eqz32().br_if(0);
+        });
+        b.i32(516).load32(0);
+    });
+    mb.export("_start", main);
+    let out = run(&mb.build(), &[]);
+    assert_eq!(
+        out.exit_code(),
+        Some(1),
+        "one timeout return, one delivery: {:?} (stdout {:?})",
+        out.main_exit,
+        out.stdout()
+    );
+    // Dispatch counting is per retry: the initial call, the (masked,
+    // non-delivering) signal-wake retry when the alarm fires, and the
+    // deadline-lapse retry that reports the timeout.
+    assert!(out.trace.counts.of("ppoll") >= 1, "{:?}", out.trace.counts);
+}
+
+#[test]
 fn signal_handler_runs_at_safepoint() {
     // Register a SIGUSR1 handler that stores 42 at mem[512]; kill(self);
     // spin until mem[512] != 0; return it.
@@ -313,7 +389,7 @@ fn signal_handler_runs_at_safepoint() {
     mb.export("_start", main);
     let out = run(&mb.build(), &[]);
     assert_eq!(out.exit_code(), Some(42));
-    assert_eq!(out.trace.counts["rt_sigaction"], 1);
+    assert_eq!(out.trace.counts.of("rt_sigaction"), 1);
 }
 
 #[test]
@@ -404,7 +480,7 @@ fn mmap_munmap_and_brk() {
     mb.export("_start", main);
     let out = run(&mb.build(), &[]);
     assert_eq!(out.exit_code(), Some(0));
-    assert_eq!(out.trace.counts["mmap"], 1);
+    assert_eq!(out.trace.counts.of("mmap"), 1);
 }
 
 #[test]
@@ -614,7 +690,7 @@ fn time_breakdown_is_populated() {
     mb.export("_start", main);
     let out = run(&mb.build(), &[]);
     assert_eq!(out.exit_code(), Some(0));
-    assert_eq!(out.trace.counts["write"], 200);
+    assert_eq!(out.trace.counts.of("write"), 200);
     assert!(out.trace.total_time.as_nanos() > 0);
     assert!(out.trace.host_time <= out.trace.total_time);
     assert!(out.trace.kernel_time <= out.trace.host_time);

@@ -107,7 +107,7 @@ impl WasiState {
 /// Attaches a [`WasiState`] to a context (call before running a WASI
 /// module).
 pub fn init_wasi(ctx: &mut WaliContext, state: WasiState) {
-    ctx.ext = Some(Box::new(state) as Box<dyn Any>);
+    ctx.ext = Some(Box::new(state) as Box<dyn Any + Send>);
 }
 
 fn state_mut(ctx: &mut WaliContext) -> Option<&mut WasiState> {

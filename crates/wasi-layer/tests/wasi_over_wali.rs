@@ -61,7 +61,7 @@ fn fd_write_reaches_console_through_wali() {
     assert_eq!(out.stdout(), "wasi over wali\n");
     // The layering is visible in the trace: the WASI call shows up as the
     // underlying WALI syscall.
-    assert_eq!(out.trace.counts["writev"], 1);
+    assert_eq!(out.trace.counts.of("writev"), 1);
 }
 
 #[test]
@@ -221,7 +221,8 @@ fn proc_exit_goes_through_wali_exit_group() {
     let out = run_wasi(mb, &["/tmp"], &[]);
     assert_eq!(out.exit_code(), Some(33));
     assert_eq!(
-        out.trace.counts["exit_group"], 1,
+        out.trace.counts.of("exit_group"),
+        1,
         "lowered to SYS_exit_group"
     );
 }

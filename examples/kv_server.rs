@@ -22,10 +22,10 @@ fn main() {
     println!("exit: {:?} (0 = all requests served)", out.main_exit);
     println!(
         "server: clone={} accept={} | clients: connect={} sendto/write={}",
-        out.trace.counts["clone"],
-        out.trace.counts["accept"],
-        out.trace.counts["connect"],
-        out.trace.counts.get("write").copied().unwrap_or(0),
+        out.trace.counts.of("clone"),
+        out.trace.counts.of("accept"),
+        out.trace.counts.of("connect"),
+        out.trace.counts.of("write"),
     );
     println!(
         "peak linear memory: {} KiB",

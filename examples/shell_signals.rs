@@ -28,10 +28,10 @@ fn main() {
     );
     println!(
         "job-control syscalls: fork={} wait4={} pipe={} dup3={} rt_sigaction={}",
-        out.trace.counts["fork"],
-        out.trace.counts["wait4"],
-        out.trace.counts["pipe"],
-        out.trace.counts["dup3"],
-        out.trace.counts["rt_sigaction"],
+        out.trace.counts.of("fork"),
+        out.trace.counts.of("wait4"),
+        out.trace.counts.of("pipe"),
+        out.trace.counts.of("dup3"),
+        out.trace.counts.of("rt_sigaction"),
     );
 }

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the whole stack from application suite
 //! through WALI, the kernel model, the WASI layer and the comparators.
 
+use vkernel::MutexExt;
 use wali::policy::{DenyAction, Policy};
 use wali::runner::{TaskEnd, WaliRunner};
 use wali_abi::Errno;
@@ -12,7 +13,7 @@ fn run_app(app: apps::App, scheme: SafepointScheme) -> wali::RunOutcome {
     let mut runner = WaliRunner::new(scheme);
     runner
         .kernel
-        .borrow_mut()
+        .lock_ok()
         .vfs
         .write_file("/tmp/script.lua", b"return 42")
         .unwrap();
@@ -70,7 +71,7 @@ fn policy_layer_restricts_the_suite() {
     let mut runner = WaliRunner::new_default();
     runner
         .kernel
-        .borrow_mut()
+        .lock_ok()
         .vfs
         .write_file("/tmp/script.lua", b"x")
         .unwrap();
@@ -102,7 +103,7 @@ fn emulator_and_fast_tier_agree_on_every_emulatable_app() {
             let mut runner = WaliRunner::new_default();
             runner
                 .kernel
-                .borrow_mut()
+                .lock_ok()
                 .vfs
                 .write_file("/tmp/script.lua", b"x")
                 .unwrap();
@@ -113,7 +114,7 @@ fn emulator_and_fast_tier_agree_on_every_emulatable_app() {
         let mut emu = virt::EmuRunner::new(&module).unwrap();
         if seed {
             emu.kernel()
-                .borrow_mut()
+                .lock_ok()
                 .vfs
                 .write_file("/tmp/script.lua", b"x")
                 .unwrap();
