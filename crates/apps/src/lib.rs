@@ -33,6 +33,7 @@
 pub mod catalog;
 pub mod native;
 pub mod progs;
+pub mod scenario;
 
 pub use catalog::{catalog, CatalogEntry};
 pub use progs::{

@@ -1,0 +1,324 @@
+//! Replayable failure artifacts: a line-oriented text codec.
+//!
+//! A failing (shrunk) scenario is written as plain text so it can be
+//! checked into the regression corpus, diffed in review, and replayed
+//! byte-identically (`wazi replay <file>`). The seed alone is *not*
+//! enough to replay: shrinking edits the scenario past what the seed
+//! regenerates, so the artifact carries the full op list. The format is
+//! versioned, hand-editable, and `#`-comments / blank lines are
+//! ignored.
+//!
+//! ```text
+//! wali-fuzz v1
+//! # optional metadata
+//! seed 42
+//! failure ToggleMismatch under [workers=4]: …
+//! chans Pipe EventFd
+//! words 1
+//! procs 2
+//! proc 0 kind=Normal children=1 handles=10
+//! thread 0 0 phases=3
+//! op 0 0 0 produce 0 2
+//! op 0 0 2 consume 0 2 epoll-lt
+//! ```
+
+use apps::scenario::{ChanKind, Mechanism, Op, Proc, ProcKind, Scenario, ThreadPlan};
+
+const HEADER: &str = "wali-fuzz v1";
+
+/// A failure (or corpus entry) on disk: the scenario plus provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifact {
+    /// The generator seed it came from (0 when hand-written).
+    pub seed: u64,
+    /// One-line failure description (empty for corpus entries that
+    /// document a *fixed* bug and must replay green).
+    pub failure: String,
+    /// The scenario to replay.
+    pub scenario: Scenario,
+}
+
+fn mech_name(m: Mechanism) -> &'static str {
+    match m {
+        Mechanism::Direct => "direct",
+        Mechanism::Poll => "poll",
+        Mechanism::Ppoll => "ppoll",
+        Mechanism::EpollLt => "epoll-lt",
+        Mechanism::EpollEt => "epoll-et",
+        Mechanism::EpollOneshot => "epoll-oneshot",
+    }
+}
+
+fn mech_parse(s: &str) -> Result<Mechanism, String> {
+    Ok(match s {
+        "direct" => Mechanism::Direct,
+        "poll" => Mechanism::Poll,
+        "ppoll" => Mechanism::Ppoll,
+        "epoll-lt" => Mechanism::EpollLt,
+        "epoll-et" => Mechanism::EpollEt,
+        "epoll-oneshot" => Mechanism::EpollOneshot,
+        _ => return Err(format!("unknown mechanism `{s}`")),
+    })
+}
+
+fn list(xs: &[impl std::fmt::Display]) -> String {
+    if xs.is_empty() {
+        "-".into()
+    } else {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| x.parse().map_err(|_| format!("bad list item `{x}`")))
+        .collect()
+}
+
+impl Artifact {
+    /// Serializes to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let scn = &self.scenario;
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        if !self.failure.is_empty() {
+            // The failure text is free-form but must stay one line.
+            out.push_str(&format!("failure {}\n", self.failure.replace('\n', " | ")));
+        }
+        let kinds: Vec<&str> = scn
+            .chans
+            .iter()
+            .map(|k| match k {
+                ChanKind::Pipe => "Pipe",
+                ChanKind::Sock => "Sock",
+                ChanKind::EventFd => "EventFd",
+            })
+            .collect();
+        out.push_str(&format!(
+            "chans {}\n",
+            if kinds.is_empty() {
+                "-".into()
+            } else {
+                kinds.join(" ")
+            }
+        ));
+        out.push_str(&format!("words {}\n", scn.futex_words));
+        out.push_str(&format!("procs {}\n", scn.procs.len()));
+        for (pi, p) in scn.procs.iter().enumerate() {
+            let kind = match p.kind {
+                ProcKind::Normal => "Normal",
+                ProcKind::Victim => "Victim",
+                ProcKind::VforkExec => "VforkExec",
+            };
+            out.push_str(&format!(
+                "proc {pi} kind={kind} children={} handles={}\n",
+                list(&p.children),
+                list(&p.handles)
+            ));
+            for (ti, t) in p.threads.iter().enumerate() {
+                out.push_str(&format!("thread {pi} {ti} phases={}\n", t.phases.len()));
+                for (ph, ops) in t.phases.iter().enumerate() {
+                    for op in ops {
+                        let body = match *op {
+                            Op::Produce { chan, tokens } => format!("produce {chan} {tokens}"),
+                            Op::Consume { chan, tokens, via } => {
+                                format!("consume {chan} {tokens} {}", mech_name(via))
+                            }
+                            Op::FutexSet { word } => format!("futex-set {word}"),
+                            Op::FutexWait { word } => format!("futex-wait {word}"),
+                            Op::Sleep { ns } => format!("sleep {ns}"),
+                            Op::Kill { target, signo } => format!("kill {target} {signo}"),
+                            Op::AwaitSignal { signo } => format!("await {signo}"),
+                        };
+                        out.push_str(&format!("op {pi} {ti} {ph} {body}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format, rejecting structural garbage early (the
+    /// scenario itself is additionally `validate`d by the replayer).
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        if lines.next() != Some(HEADER) {
+            return Err(format!("missing `{HEADER}` header"));
+        }
+        let mut seed = 0u64;
+        let mut failure = String::new();
+        let mut chans = Vec::new();
+        let mut words = 0usize;
+        let mut procs: Vec<Proc> = Vec::new();
+        for line in lines {
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "seed" => seed = rest.parse().map_err(|_| format!("bad seed `{rest}`"))?,
+                "failure" => failure = rest.to_string(),
+                "chans" => {
+                    if rest != "-" {
+                        for k in rest.split_whitespace() {
+                            chans.push(match k {
+                                "Pipe" => ChanKind::Pipe,
+                                "Sock" => ChanKind::Sock,
+                                "EventFd" => ChanKind::EventFd,
+                                _ => return Err(format!("unknown chan kind `{k}`")),
+                            });
+                        }
+                    }
+                }
+                "words" => words = rest.parse().map_err(|_| format!("bad words `{rest}`"))?,
+                "procs" => {
+                    let n: usize = rest.parse().map_err(|_| format!("bad procs `{rest}`"))?;
+                    procs = (0..n).map(|_| Proc::leaf(ProcKind::Normal)).collect();
+                    for p in &mut procs {
+                        p.threads.clear();
+                    }
+                }
+                "proc" => {
+                    let f: Vec<&str> = rest.split_whitespace().collect();
+                    let [idx, kind, children, handles] = f[..] else {
+                        return Err(format!("bad proc line `{line}`"));
+                    };
+                    let pi: usize = idx.parse().map_err(|_| format!("bad proc idx `{idx}`"))?;
+                    let p = procs.get_mut(pi).ok_or(format!("proc {pi} out of range"))?;
+                    p.kind = match kind.strip_prefix("kind=") {
+                        Some("Normal") => ProcKind::Normal,
+                        Some("Victim") => ProcKind::Victim,
+                        Some("VforkExec") => ProcKind::VforkExec,
+                        _ => return Err(format!("bad kind in `{line}`")),
+                    };
+                    p.children = parse_list(
+                        children
+                            .strip_prefix("children=")
+                            .ok_or(format!("bad children in `{line}`"))?,
+                    )?;
+                    p.handles = parse_list(
+                        handles
+                            .strip_prefix("handles=")
+                            .ok_or(format!("bad handles in `{line}`"))?,
+                    )?;
+                }
+                "thread" => {
+                    let f: Vec<&str> = rest.split_whitespace().collect();
+                    let [pidx, tidx, nphases] = f[..] else {
+                        return Err(format!("bad thread line `{line}`"));
+                    };
+                    let pi: usize = pidx.parse().map_err(|_| format!("bad idx `{pidx}`"))?;
+                    let ti: usize = tidx.parse().map_err(|_| format!("bad idx `{tidx}`"))?;
+                    let n: usize = nphases
+                        .strip_prefix("phases=")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(format!("bad phases in `{line}`"))?;
+                    let p = procs.get_mut(pi).ok_or(format!("proc {pi} out of range"))?;
+                    if ti != p.threads.len() {
+                        return Err(format!("thread {pi}.{ti} declared out of order"));
+                    }
+                    p.threads.push(ThreadPlan {
+                        phases: vec![Vec::new(); n],
+                    });
+                }
+                "op" => {
+                    let f: Vec<&str> = rest.split_whitespace().collect();
+                    if f.len() < 4 {
+                        return Err(format!("bad op line `{line}`"));
+                    }
+                    let pi: usize = f[0].parse().map_err(|_| format!("bad idx `{}`", f[0]))?;
+                    let ti: usize = f[1].parse().map_err(|_| format!("bad idx `{}`", f[1]))?;
+                    let ph: usize = f[2].parse().map_err(|_| format!("bad idx `{}`", f[2]))?;
+                    let num = |i: usize| -> Result<u64, String> {
+                        f.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or(format!("bad operand in `{line}`"))
+                    };
+                    let op = match f[3] {
+                        "produce" => Op::Produce {
+                            chan: num(4)? as usize,
+                            tokens: num(5)? as u32,
+                        },
+                        "consume" => Op::Consume {
+                            chan: num(4)? as usize,
+                            tokens: num(5)? as u32,
+                            via: mech_parse(f.get(6).copied().unwrap_or(""))?,
+                        },
+                        "futex-set" => Op::FutexSet {
+                            word: num(4)? as usize,
+                        },
+                        "futex-wait" => Op::FutexWait {
+                            word: num(4)? as usize,
+                        },
+                        "sleep" => Op::Sleep { ns: num(4)? },
+                        "kill" => Op::Kill {
+                            target: num(4)? as usize,
+                            signo: num(5)? as u32,
+                        },
+                        "await" => Op::AwaitSignal {
+                            signo: num(4)? as u32,
+                        },
+                        other => return Err(format!("unknown op `{other}`")),
+                    };
+                    let slot = procs
+                        .get_mut(pi)
+                        .and_then(|p| p.threads.get_mut(ti))
+                        .and_then(|t| t.phases.get_mut(ph))
+                        .ok_or(format!("op at undeclared slot {pi}.{ti}.{ph}"))?;
+                    slot.push(op);
+                }
+                other => return Err(format!("unknown directive `{other}`")),
+            }
+        }
+        if procs.is_empty() {
+            return Err("no `procs` section".into());
+        }
+        Ok(Artifact {
+            seed,
+            failure,
+            scenario: Scenario {
+                chans,
+                futex_words: words,
+                procs,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn round_trips_generated_scenarios() {
+        for seed in 0..100u64 {
+            let scenario = generate(seed);
+            let art = Artifact {
+                seed,
+                failure: format!("demo failure for seed {seed}"),
+                scenario,
+            };
+            let text = art.to_text();
+            let back = Artifact::parse(&text).expect("parse back");
+            assert_eq!(art, back, "seed {seed}\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Artifact::parse("").is_err());
+        assert!(Artifact::parse("wali-fuzz v2\nprocs 1").is_err());
+        assert!(Artifact::parse("wali-fuzz v1\nprocs 1\nop 0 0 0 jump 1").is_err());
+        assert!(Artifact::parse("wali-fuzz v1\nprocs 1\nop 0 0 0 sleep 5").is_err());
+        // thread undeclared
+    }
+}

@@ -1,0 +1,269 @@
+//! Scenario shrinking: keep cutting while the failure reproduces.
+//!
+//! Classic greedy delta-debugging over the scenario structure, biggest
+//! cuts first: whole processes (cascading away the channels, futex
+//! words and kills they touch), whole threads, whole channels, futex
+//! words, then individual fire-and-forget ops. Every candidate is
+//! re-validated (a cut that breaks token balance or strands a victim is
+//! skipped without spending a run) and only kept if the caller's
+//! `still_fails` predicate reproduces the failure on it. The loop
+//! restarts from the smaller scenario after every accepted cut and
+//! stops at a fixpoint or when the evaluation budget runs out.
+
+use apps::scenario::{Op, Proc, Scenario};
+
+/// A rough scenario size: ops + processes (shrink progress metric).
+pub fn size(scn: &Scenario) -> usize {
+    let ops: usize = scn
+        .procs
+        .iter()
+        .flat_map(|p| &p.threads)
+        .flat_map(|t| &t.phases)
+        .map(|ops| ops.len())
+        .sum();
+    ops + scn.procs.len()
+}
+
+/// Greedily shrinks `scn`, calling `still_fails` on each valid
+/// candidate (at most `budget` times). Returns the smallest scenario
+/// that still fails plus the number of evaluations spent.
+pub fn shrink(
+    scn: &Scenario,
+    budget: usize,
+    still_fails: &mut dyn FnMut(&Scenario) -> bool,
+) -> (Scenario, usize) {
+    let mut cur = scn.clone();
+    let mut evals = 0usize;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if evals >= budget {
+                return (cur, evals);
+            }
+            if cand.validate().is_err() {
+                continue;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer; // restart enumeration on the smaller scenario
+            }
+        }
+        return (cur, evals);
+    }
+}
+
+/// All single-cut candidates, biggest first.
+fn candidates(scn: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for p in 1..scn.procs.len() {
+        if scn.procs[p].children.is_empty() {
+            out.push(drop_proc(scn, p));
+        }
+    }
+    for p in 0..scn.procs.len() {
+        if scn.procs[p].threads.len() > 1 {
+            out.push(drop_thread(scn, p));
+        }
+    }
+    for c in 0..scn.chans.len() {
+        out.push(drop_chan(scn, c));
+    }
+    for w in 0..scn.futex_words {
+        out.push(drop_word(scn, w));
+    }
+    for (pi, p) in scn.procs.iter().enumerate() {
+        for (ti, t) in p.threads.iter().enumerate() {
+            for (ph, ops) in t.phases.iter().enumerate() {
+                for (oi, op) in ops.iter().enumerate() {
+                    if matches!(
+                        op,
+                        Op::Sleep { .. }
+                            | Op::AwaitSignal { .. }
+                            | Op::Kill { .. }
+                            | Op::FutexSet { .. }
+                            | Op::FutexWait { .. }
+                    ) {
+                        let mut s = scn.clone();
+                        s.procs[pi].threads[ti].phases[ph].remove(oi);
+                        out.push(s);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn for_each_op(procs: &mut [Proc], mut f: impl FnMut(&mut Vec<Op>)) {
+    for p in procs {
+        for t in &mut p.threads {
+            for ops in &mut t.phases {
+                f(ops);
+            }
+        }
+    }
+}
+
+/// Removes channel `c` and every op on it; higher indices shift down.
+fn drop_chan(scn: &Scenario, c: usize) -> Scenario {
+    let mut s = scn.clone();
+    s.chans.remove(c);
+    for_each_op(&mut s.procs, |ops| {
+        ops.retain(
+            |op| !matches!(*op, Op::Produce { chan, .. } | Op::Consume { chan, .. } if chan == c),
+        );
+        for op in ops.iter_mut() {
+            match op {
+                Op::Produce { chan, .. } | Op::Consume { chan, .. } if *chan > c => *chan -= 1,
+                _ => {}
+            }
+        }
+    });
+    s
+}
+
+/// Removes futex word `w` and every op on it; higher indices shift.
+fn drop_word(scn: &Scenario, w: usize) -> Scenario {
+    let mut s = scn.clone();
+    s.futex_words -= 1;
+    for_each_op(&mut s.procs, |ops| {
+        ops.retain(
+            |op| !matches!(*op, Op::FutexSet { word } | Op::FutexWait { word } if word == w),
+        );
+        for op in ops.iter_mut() {
+            match op {
+                Op::FutexSet { word } | Op::FutexWait { word } if *word > w => *word -= 1,
+                _ => {}
+            }
+        }
+    });
+    s
+}
+
+/// Channels and futex words a set of `(proc, thread)` sites touch.
+fn touched(scn: &Scenario, site: impl Fn(usize, usize) -> bool) -> (Vec<usize>, Vec<usize>) {
+    let (mut chans, mut words) = (Vec::new(), Vec::new());
+    for (pi, p) in scn.procs.iter().enumerate() {
+        for (ti, t) in p.threads.iter().enumerate() {
+            if !site(pi, ti) {
+                continue;
+            }
+            for ops in &t.phases {
+                for op in ops {
+                    match *op {
+                        Op::Produce { chan, .. } | Op::Consume { chan, .. } => chans.push(chan),
+                        Op::FutexSet { word } | Op::FutexWait { word } => words.push(word),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    chans.sort_unstable();
+    chans.dedup();
+    words.sort_unstable();
+    words.dedup();
+    (chans, words)
+}
+
+/// Removes leaf process `p` plus everything only it makes coherent: the
+/// channels and futex words it touches (their ops everywhere) and kills
+/// targeting it. Proc indices above `p` shift down.
+fn drop_proc(scn: &Scenario, p: usize) -> Scenario {
+    let mut s = scn.clone();
+    let (chans, words) = touched(&s, |pi, _| pi == p);
+    for &c in chans.iter().rev() {
+        s = drop_chan(&s, c);
+    }
+    for &w in words.iter().rev() {
+        s = drop_word(&s, w);
+    }
+    for_each_op(&mut s.procs, |ops| {
+        ops.retain(|op| !matches!(*op, Op::Kill { target, .. } if target == p));
+        for op in ops.iter_mut() {
+            if let Op::Kill { target, .. } = op {
+                if *target > p {
+                    *target -= 1;
+                }
+            }
+        }
+    });
+    for q in &mut s.procs {
+        q.children.retain(|&c| c != p);
+        for c in &mut q.children {
+            if *c > p {
+                *c -= 1;
+            }
+        }
+    }
+    s.procs.remove(p);
+    s
+}
+
+/// Removes the last thread of process `p`, cascading away the channels
+/// and futex words that thread touched.
+fn drop_thread(scn: &Scenario, p: usize) -> Scenario {
+    let mut s = scn.clone();
+    let last = s.procs[p].threads.len() - 1;
+    let (chans, words) = touched(&s, |pi, ti| pi == p && ti == last);
+    for &c in chans.iter().rev() {
+        s = drop_chan(&s, c);
+    }
+    for &w in words.iter().rev() {
+        s = drop_word(&s, w);
+    }
+    s.procs[p].threads.pop();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn shrink_reaches_a_small_fixpoint_on_an_always_failing_predicate() {
+        // With `still_fails` constant-true the shrinker must drive any
+        // scenario down to the bare root (everything removable goes).
+        for seed in [3u64, 17, 99] {
+            let scn = generate(seed);
+            let (small, _evals) = shrink(&scn, 10_000, &mut |_| true);
+            small.validate().expect("shrunk scenario stays valid");
+            assert_eq!(small.procs.len(), 1, "seed {seed}: {small:?}");
+            assert!(size(&small) <= size(&scn));
+            let ops = size(&small) - small.procs.len();
+            assert_eq!(ops, 0, "seed {seed} left ops behind: {small:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_what_the_failure_needs() {
+        // A predicate that requires a victim process keeps exactly one.
+        let scn = (0..200u64)
+            .map(generate)
+            .find(|s| {
+                s.procs
+                    .iter()
+                    .filter(|p| p.kind == apps::scenario::ProcKind::Victim)
+                    .count()
+                    >= 1
+            })
+            .expect("some seed makes a victim");
+        let needs_victim = |s: &Scenario| {
+            s.procs
+                .iter()
+                .any(|p| p.kind == apps::scenario::ProcKind::Victim)
+        };
+        let (small, _) = shrink(&scn, 10_000, &mut |s| needs_victim(s));
+        assert!(needs_victim(&small));
+        // Nothing survives beyond the victim's ancestor chain and the
+        // mandatory SIGTERM kill op.
+        let victims = small
+            .procs
+            .iter()
+            .filter(|p| p.kind == apps::scenario::ProcKind::Victim)
+            .count();
+        let ops = size(&small) - small.procs.len();
+        assert_eq!((victims, ops), (1, 1), "{small:?}");
+    }
+}

@@ -1186,6 +1186,123 @@ impl Kernel {
             .and_then(|s| s.as_ref())
             .ok_or(Errno::Ebadf)
     }
+
+    // --- Teardown audit ----------------------------------------------------
+
+    /// Audits kernel state after a full run, for leak detection.
+    ///
+    /// Every task exit releases its descriptor table
+    /// (`Kernel::release_task_files`), which frees pipe/socket/epoll
+    /// slots when the last reference drops; `wait4` removes reaped tasks
+    /// from the task map; wakeups unsubscribe their waiters. So once the
+    /// embedder has run a workload to completion, the kernel should hold
+    /// nothing but init and unreaped zombie groups (the embedder never
+    /// reaps the main process — its status *is* the run outcome). Any
+    /// other residue is a leak: a pipe slot still allocated, a wait
+    /// subscription never dropped, a live futex waiter stranded on a
+    /// word. The fuzzer's liveness oracle calls this at reap.
+    pub fn leak_audit(&self) -> LeakReport {
+        let live_tasks: Vec<Tid> = self
+            .tasks
+            .values()
+            .filter(|t| t.tid != 1 && !t.exited())
+            .map(|t| t.tid)
+            .collect();
+        let zombie_tasks: Vec<Tid> = self
+            .tasks
+            .values()
+            .filter(|t| t.exited())
+            .map(|t| t.tid)
+            .collect();
+        // Futex queues may retain tids of tasks that died while queued
+        // (a later wake pops and skips them); only entries for tasks
+        // that still exist and have not exited indicate a stranded
+        // waiter.
+        let futex_waiters = self
+            .futexes
+            .values()
+            .flatten()
+            .filter(|t| {
+                self.tasks
+                    .get(t)
+                    .map(|task| !task.exited())
+                    .unwrap_or(false)
+            })
+            .count();
+        LeakReport {
+            live_tasks,
+            zombie_tasks,
+            open_pipes: self.pipes.iter().filter(|s| s.is_some()).count(),
+            open_sockets: self.sockets.iter().filter(|s| s.is_some()).count(),
+            open_epolls: self.epolls.iter().filter(|s| s.is_some()).count(),
+            wait_subscriptions: self.waits.subscribed_count(),
+            undrained_wakeups: self.waits.has_woken(),
+            futex_waiters,
+        }
+    }
+}
+
+/// What [`Kernel::leak_audit`] found still allocated at teardown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LeakReport {
+    /// Non-init tasks still running or stopped (never exited).
+    pub live_tasks: Vec<Tid>,
+    /// Zombie/dead tasks still in the task map (unreaped). The main
+    /// process's group is expected here; anything else means a parent
+    /// exited without reaping — informational, not counted as a leak.
+    pub zombie_tasks: Vec<Tid>,
+    /// Pipe slots still allocated.
+    pub open_pipes: usize,
+    /// Socket slots still allocated.
+    pub open_sockets: usize,
+    /// Epoll instances still allocated.
+    pub open_epolls: usize,
+    /// Wait-channel subscriptions never unsubscribed.
+    pub wait_subscriptions: usize,
+    /// Posted wakeups the embedder never drained (informational: the
+    /// final exit can post wakes the run loop has no reason to drain).
+    pub undrained_wakeups: bool,
+    /// Futex-queue entries whose waiter is still a live task.
+    pub futex_waiters: usize,
+}
+
+impl LeakReport {
+    /// True when nothing leaked: no live task stranded, no fd-backed
+    /// resource slot allocated, no wait subscription or live futex
+    /// waiter left behind. Unreaped zombies and undrained wakeups are
+    /// tolerated (see the field docs).
+    pub fn is_clean(&self) -> bool {
+        self.live_tasks.is_empty()
+            && self.open_pipes == 0
+            && self.open_sockets == 0
+            && self.open_epolls == 0
+            && self.wait_subscriptions == 0
+            && self.futex_waiters == 0
+    }
+
+    /// Human-readable one-line summary of what leaked (empty if clean).
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.live_tasks.is_empty() {
+            parts.push(format!("live tasks {:?}", self.live_tasks));
+        }
+        if self.open_pipes != 0 {
+            parts.push(format!("{} pipe(s)", self.open_pipes));
+        }
+        if self.open_sockets != 0 {
+            parts.push(format!("{} socket(s)", self.open_sockets));
+        }
+        if self.open_epolls != 0 {
+            parts.push(format!("{} epoll(s)", self.open_epolls));
+        }
+        if self.wait_subscriptions != 0 {
+            parts.push(format!("{} wait subscription(s)", self.wait_subscriptions));
+        }
+        if self.futex_waiters != 0 {
+            parts.push(format!("{} futex waiter(s)", self.futex_waiters));
+        }
+        parts.join(", ")
+    }
 }
 
 #[cfg(test)]
@@ -1511,6 +1628,53 @@ mod tests {
         let sid = k.sys_setsid(child).unwrap();
         assert_eq!(sid, child as i64);
         assert_eq!(k.sys_getpgid(child, 0).unwrap(), child as i64);
+    }
+
+    #[test]
+    fn leak_audit_clean_after_full_lifecycle() {
+        let (mut k, tid) = kernel_with_proc();
+        // Open a pipe, fork, exchange a byte, close everything, reap.
+        let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+        let child = k.sys_fork(tid).unwrap() as Tid;
+        k.sys_write(child, w, b"x").unwrap();
+        let mut buf = [0u8; 1];
+        k.sys_read(tid, r, &mut buf).unwrap();
+        k.sys_exit_group(child, 0).unwrap();
+        k.sys_wait4(tid, child, 0).unwrap();
+        k.sys_close(tid, r).unwrap();
+        k.sys_close(tid, w).unwrap();
+        k.sys_exit_group(tid, 0).unwrap();
+        let report = k.leak_audit();
+        assert!(report.is_clean(), "leaks: {}", report.describe());
+        // The main process's zombie group is expected residue.
+        assert_eq!(report.zombie_tasks, vec![tid]);
+    }
+
+    #[test]
+    fn leak_audit_flags_open_pipe_and_live_task() {
+        let (mut k, tid) = kernel_with_proc();
+        let (_r, _w) = k.sys_pipe2(tid, 0).unwrap();
+        let report = k.leak_audit();
+        assert!(!report.is_clean());
+        assert_eq!(report.open_pipes, 1);
+        assert_eq!(report.live_tasks, vec![tid]);
+        assert!(report.describe().contains("pipe"));
+    }
+
+    #[test]
+    fn leak_audit_flags_stranded_futex_waiter() {
+        let (mut k, tid) = kernel_with_proc();
+        let mm = k.task(tid).unwrap().mm;
+        assert!(matches!(
+            k.sys_futex_wait(tid, mm, 0x1000, true, None),
+            Err(SysError::Block(_))
+        ));
+        let report = k.leak_audit();
+        assert_eq!(report.futex_waiters, 1);
+        assert!(report.wait_subscriptions > 0);
+        // Once the task exits, the stale queue entry no longer counts.
+        k.sys_exit_group(tid, 0).unwrap();
+        assert_eq!(k.leak_audit().futex_waiters, 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod vfs;
 pub mod wait;
 
 pub use clock::Clock;
-pub use kernel::Kernel;
+pub use kernel::{Kernel, LeakReport};
 pub use sync::{shared, HintFlag, MutexExt, Shared};
 pub use task::{Pid, Task, TaskState, Tid};
 pub use wait::{Channel, WaitSet, WaitStats};

@@ -202,6 +202,14 @@ impl WaitSet {
     pub fn subscribed_count(&self) -> usize {
         self.subscribed.len()
     }
+
+    /// The subscription table itself (leak diagnostics).
+    pub fn subscribed_channels(&self) -> Vec<(Tid, Vec<Channel>)> {
+        self.subscribed
+            .iter()
+            .map(|(t, chs)| (*t, chs.clone()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,12 @@
 //! * **deadlock-vs-backlog** — a worker must not declare deadlock while
 //!   an undrained wakeup exists; the idle path re-checks the lock-free
 //!   woken hint before reporting.
+//! * **deadlock-vs-drain** — taking wakeups out of the kernel clears
+//!   the hint before the tids reach any run queue; during that window
+//!   the `draining` counter is the only evidence the pool is live, and
+//!   the quiescence test honors it. (Found by the scenario fuzzer: a
+//!   `wait4` parent's wakeup was in a sibling worker's hands when a
+//!   third worker declared a false deadlock.)
 //!
 //! # Lock ordering
 //!
@@ -50,7 +56,7 @@
 //! depend on physical timing.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -121,6 +127,12 @@ struct SmpPool {
     kernel: crate::context::KernelRef,
     /// Lock-free mirror of "the kernel has undrained wakeups".
     woken_hint: Arc<AtomicBool>,
+    /// Drains in progress: wakeups already taken out of the kernel (the
+    /// hint is clear again) but not yet distributed to the run queues.
+    /// The quiescence test must treat them as work in flight, or a
+    /// sibling can declare deadlock over a wakeup another worker is
+    /// holding in its hands.
+    draining: AtomicUsize,
     /// Shared virtual-clock handle (lock-free).
     clock: Clock,
     main_tid: Option<Tid>,
@@ -190,6 +202,7 @@ impl WaliRunner {
             locals: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),
             kernel: self.kernel.clone(),
             woken_hint,
+            draining: AtomicUsize::new(0),
             clock,
             main_tid: self.main_tid,
         };
@@ -292,9 +305,15 @@ fn pop_tid(pool: &SmpPool, widx: usize) -> Option<Tid> {
 /// tasks currently running on some worker are recorded in
 /// `pending_wakes` so their next park requeues instead.
 fn drain_wakeups(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) {
+    // Raised before `take_woken` clears the hint, dropped only after the
+    // wakeups are visible on the queues: in between, this counter is the
+    // only evidence the pool is not quiescent (see `idle`).
+    pool.draining.fetch_add(1, Ordering::SeqCst);
     let woken = {
         let mut k = pool.kernel.lock_ok();
         if !k.has_woken() {
+            drop(k);
+            pool.draining.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         k.take_woken()
@@ -319,6 +338,8 @@ fn drain_wakeups(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) {
         }
         // Else: vfork-suspended — its child's exec/exit requeues it.
     }
+    drop(sched);
+    pool.draining.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Requeues parked tasks whose deadline lapsed. Takes the kernel lock
@@ -367,6 +388,11 @@ fn idle(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) -> bool {
             // them.
             return false;
         }
+        if pool.draining.load(Ordering::SeqCst) > 0 {
+            // A sibling took wakeups out of the kernel (hint already
+            // clear) but has not queued them yet.
+            return false;
+        }
         if sched.in_flight > 0 {
             // Siblings may produce work; the timeout bounds a lost
             // notify.
@@ -392,7 +418,8 @@ fn idle(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) -> bool {
     let still_quiescent = sched.in_flight == 0
         && sched.global.is_empty()
         && pool.locals.iter().all(|q| q.lock_ok().is_empty())
-        && !pool.woken_hint.load(Ordering::Acquire);
+        && !pool.woken_hint.load(Ordering::Acquire)
+        && pool.draining.load(Ordering::SeqCst) == 0;
     if !still_quiescent {
         return false;
     }
@@ -404,18 +431,43 @@ fn idle(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) -> bool {
             pool.cv.notify_all();
             return true;
         }
-        let report: Vec<(Tid, &'static str)> = sched
+        // Full diagnosis per stuck task: pending work, where the
+        // scheduler thinks it is, and what the kernel thinks it is.
+        // Kernel state is read after dropping the sched lock (lock
+        // order); the pool is quiescent, so nothing moves under us.
+        let entries: Vec<(Tid, String, &'static str)> = sched
             .slots
             .values()
             .map(|s| {
-                let name = match &s.pending {
-                    Some(Pending::Retry { import, .. }) => *import,
-                    _ => "?",
+                let pend = match &s.pending {
+                    Some(Pending::Retry { import, .. }) => format!("retry {import}"),
+                    Some(Pending::Start { .. }) => "start".to_string(),
+                    Some(Pending::Resume(_)) => "resume".to_string(),
+                    None => "no pending".to_string(),
                 };
-                (s.tid, name)
+                let place = if sched.parked.contains_key(&s.tid) {
+                    "parked"
+                } else if sched.vfork_waiters.values().any(|&p| p == s.tid) {
+                    "vfork-suspended"
+                } else {
+                    "limbo"
+                };
+                (s.tid, pend, place)
             })
             .collect();
         drop(sched);
+        let report: Vec<(Tid, String)> = entries
+            .into_iter()
+            .map(|(tid, pend, place)| {
+                let state = pool
+                    .kernel
+                    .lock_ok()
+                    .task(tid)
+                    .map(|t| format!("{:?}", t.state))
+                    .unwrap_or_else(|_| "gone".into());
+                (tid, format!("{pend}; {place}; kernel {state}"))
+            })
+            .collect();
         pool.fail(RunnerError::Deadlock(report));
         return true;
     };
@@ -739,6 +791,10 @@ fn release_vfork_parent(pool: &SmpPool, sched: &mut SmpSched, child: Tid) {
 /// and stops the pool once the last task is gone.
 fn finish_task(pool: &SmpPool, slot: Slot, end: Option<TaskEnd>) {
     let tid = slot.tid;
+    // A task killed mid-slice may have re-blocked (and re-subscribed)
+    // between the fatal signal and its worker noticing the death;
+    // finalization is the task's last word, so its subscriptions go.
+    pool.kernel.lock_ok().wait_cancel(tid);
     let end = end.unwrap_or_else(|| {
         let k = pool.kernel.lock_ok();
         match k.task(tid).map(|t| t.state.clone()) {

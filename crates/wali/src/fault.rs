@@ -1,0 +1,53 @@
+//! Fault injection: deliberately re-introduce fixed races so the fuzzer
+//! can prove it would have caught them.
+//!
+//! A test net that has never seen a failure proves nothing. Each gate
+//! here re-opens a bug this repository already fixed — off by default,
+//! enabled per-process via the `WALI_FAULT` environment variable
+//! (comma-separated gate names) or programmatically via the setters —
+//! so the fuzzer's CI job can flip a gate, watch an oracle fail, shrink
+//! the scenario and emit a replayable artifact, demonstrating end-to-end
+//! that the net is live.
+//!
+//! Gates:
+//!
+//! * `scan-split` — splits `epoll_wait`'s atomic check-or-park back into
+//!   a separate readiness scan and subscribe, re-opening the PR-4
+//!   lost-wakeup window: under SMP, a readiness transition on another
+//!   worker can land between the two kernel critical sections and post
+//!   its wakeup to no subscriber.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static SCAN_SPLIT: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+/// Applies `WALI_FAULT` once per process (idempotent; called from every
+/// gate query so embedders need no explicit init).
+fn init_from_env() {
+    ENV_INIT.get_or_init(|| {
+        if let Some(v) = std::env::var_os("WALI_FAULT") {
+            for gate in v.to_string_lossy().split(',') {
+                match gate.trim() {
+                    "scan-split" => SCAN_SPLIT.store(true, Ordering::Relaxed),
+                    "" => {}
+                    other => eprintln!("WALI_FAULT: unknown gate `{other}` (ignored)"),
+                }
+            }
+        }
+    });
+}
+
+/// True when the `scan-split` gate is armed (see module docs).
+pub fn scan_split_enabled() -> bool {
+    init_from_env();
+    SCAN_SPLIT.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms `scan-split` programmatically (the fuzzer CLI's
+/// `--fault scan-split`). Overrides whatever the environment set.
+pub fn set_scan_split(on: bool) {
+    init_from_env();
+    SCAN_SPLIT.store(on, Ordering::Relaxed);
+}

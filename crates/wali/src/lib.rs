@@ -31,17 +31,19 @@
 
 pub mod context;
 pub(crate) mod exec;
+pub mod fault;
 pub mod mem;
 pub mod mmap;
 pub mod policy;
 pub mod registry;
 pub mod runner;
 pub mod sigtable;
+pub mod testkit;
 pub mod trace;
 
 pub use context::WaliContext;
 pub use registry::build_linker;
-pub use runner::{RunOutcome, WaliRunner};
+pub use runner::{Observables, RunOutcome, WaliRunner};
 pub use trace::Trace;
 
 /// The import module namespace for WALI syscalls.

@@ -312,6 +312,39 @@ fn do_epoll_wait(c: C, a: &[Value]) -> R {
     // scan and subscribe, posting its wakeup to no subscriber — the
     // classic lost-wakeup race. Atomic check-or-park closes it (the
     // single-threaded scheduler got this for free).
+    //
+    // The `scan-split` fault gate re-opens exactly that window (two
+    // separate critical sections) so the fuzzer can demonstrate its
+    // oracles catch the race; see `crate::fault`.
+    if crate::fault::scan_split_enabled() {
+        let ready = k(c, |kk, tid| {
+            kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize)
+        })?;
+        if !ready.is_empty() || timeout_ms == 0 {
+            return write_epoll_events(&mem, ev_ptr, &ready);
+        }
+        // Kernel lock released here: the lost-wakeup window. Yield a few
+        // times to widen it — the injected race should fire within a
+        // handful of fuzzer attempts, not once in a blue moon.
+        for _ in 0..8 {
+            std::thread::yield_now();
+        }
+        k(c, |kk, tid| {
+            let deadline = wait_deadline(kk, retry_deadline, timeout_ms);
+            if let Some(d) = deadline {
+                if kk.clock.monotonic_ns() >= d {
+                    return Ok(());
+                }
+            }
+            kk.epoll_subscribe(tid, epfd)?;
+            Err(match deadline {
+                Some(d) => vkernel::block_until(d),
+                None => vkernel::block(),
+            })
+        })?;
+        // Deadline lapsed without events.
+        return Ok(0);
+    }
     let ready = k(c, |kk, tid| {
         let ready = kk.sys_epoll_wait_ready(tid, epfd, maxevents as usize)?;
         if !ready.is_empty() || timeout_ms == 0 {
@@ -330,6 +363,13 @@ fn do_epoll_wait(c: C, a: &[Value]) -> R {
             None => vkernel::block(),
         })
     })?;
+    write_epoll_events(&mem, ev_ptr, &ready)
+}
+
+/// Marshals ready `(events, data)` pairs into the guest's event array
+/// and returns the count (shared by the normal and fault-gated paths of
+/// [`do_epoll_wait`]).
+fn write_epoll_events(mem: &wasm::mem::Memory, ev_ptr: u32, ready: &[(u32, u64)]) -> R {
     for (i, (events, data)) in ready.iter().enumerate() {
         let ev = WaliEpollEvent {
             events: *events,
@@ -337,7 +377,7 @@ fn do_epoll_wait(c: C, a: &[Value]) -> R {
         };
         let mut buf = [0u8; WaliEpollEvent::SIZE];
         ev.write_to(&mut buf).map_err(SysError::Err)?;
-        write_bytes(&mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
+        write_bytes(mem, ev_ptr + (i * WaliEpollEvent::SIZE) as u32, &buf)
             .map_err(SysError::Err)?;
     }
     Ok(ready.len() as i64)

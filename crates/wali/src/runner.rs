@@ -127,6 +127,40 @@ impl RunOutcome {
             _ => None,
         }
     }
+
+    /// The order-insensitive summary of this run (toggle-equivalence
+    /// comparison across schedulers).
+    pub fn observables(&self) -> Observables {
+        let mut console_lines: Vec<String> = self.stdout().lines().map(str::to_owned).collect();
+        console_lines.sort();
+        let mut ends: Vec<String> = self.ends.iter().map(|(_, e)| format!("{e:?}")).collect();
+        ends.sort();
+        Observables {
+            main_exit: self.main_exit.as_ref().map(|e| format!("{e:?}")),
+            console_lines,
+            ends,
+        }
+    }
+}
+
+/// What every correct scheduler must agree on, regardless of worker
+/// count or toggle settings: the main task's ending, the *multiset* of
+/// console lines, and the *multiset* of task endings. Interleaving-
+/// dependent data (completion order, sched counters, syscall totals —
+/// polling retries re-invoke handlers) is deliberately excluded; the
+/// bit-determinism oracle compares those separately on `WALI_WORKERS=1`
+/// pairs, where they must match exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observables {
+    /// The main task's ending (`Debug`-rendered), if it ended.
+    pub main_exit: Option<String>,
+    /// Console lines, sorted (a multiset — line identity must hold, line
+    /// interleaving may differ across schedulers).
+    pub console_lines: Vec<String>,
+    /// Task endings (`Debug`-rendered), sorted. Tids are excluded: tid
+    /// assignment is deterministic, but which fork branch gets which tid
+    /// is an ordering artifact under SMP.
+    pub ends: Vec<String>,
 }
 
 /// A scheduling error.
@@ -138,8 +172,10 @@ pub enum RunnerError {
     Instantiate(Trap),
     /// The entry export is missing.
     NoEntry(&'static str),
-    /// All live tasks are blocked with no wake-up source.
-    Deadlock(Vec<(Tid, &'static str)>),
+    /// All live tasks are blocked with no wake-up source. Each entry
+    /// describes one stuck task: pending work, scheduler position,
+    /// kernel state.
+    Deadlock(Vec<(Tid, String)>),
 }
 
 impl std::fmt::Display for RunnerError {
@@ -369,6 +405,17 @@ impl WaliRunner {
     /// The effective worker-pool width.
     pub fn workers(&self) -> usize {
         self.workers.unwrap_or_else(workers_default)
+    }
+
+    /// Audits kernel state for leaked resources — call after [`run`]
+    /// returns. Clean means every fd-backed resource slot was released
+    /// and no task or wait subscription was stranded; see
+    /// [`vkernel::LeakReport`]. The fuzzer's liveness oracle asserts
+    /// `is_clean()` on every scenario.
+    ///
+    /// [`run`]: WaliRunner::run
+    pub fn leak_audit(&self) -> vkernel::LeakReport {
+        self.kernel.lock_ok().leak_audit()
     }
 
     /// Adjusts the context of a spawned (not yet finished) task — used to
@@ -670,10 +717,12 @@ impl WaliRunner {
     }
 
     /// The blocked-task table for the deadlock report.
-    fn blocked_report(&self) -> Vec<(Tid, &'static str)> {
+    fn blocked_report(&self) -> Vec<(Tid, String)> {
         let name_of = |s: &Slot| match &s.pending {
-            Some(Pending::Retry { import, .. }) => *import,
-            _ => "?",
+            Some(Pending::Retry { import, .. }) => format!("retry {import}"),
+            Some(Pending::Start { .. }) => "start".into(),
+            Some(Pending::Resume(_)) => "resume".into(),
+            None => "no pending".into(),
         };
         self.parked
             .keys()
@@ -685,7 +734,7 @@ impl WaliRunner {
                 self.vfork_waiters
                     .values()
                     .filter(|p| self.tasks.contains_key(p))
-                    .map(|p| (*p, "vfork (waiting on child)")),
+                    .map(|p| (*p, "vfork (waiting on child)".into())),
             )
             .collect()
     }
@@ -1017,6 +1066,12 @@ impl WaliRunner {
         };
         self.unpark(tid);
         self.release_vfork_parent(tid);
+        // A task killed mid-slice may have re-blocked (and re-subscribed)
+        // between the fatal signal and the runner noticing the death:
+        // EINTR resumes its wasm, which can reach the next blocking
+        // syscall before any safepoint unwinds it. Finalization is the
+        // task's last word, so its wait subscriptions go with it.
+        self.kernel.lock_ok().wait_cancel(tid);
         let end = end.unwrap_or_else(|| {
             // Pull the status from the kernel (killed by signal or exited
             // by a sibling thread).

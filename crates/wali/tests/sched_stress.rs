@@ -14,18 +14,12 @@
 //!
 //! and runs the same program under both superinstruction-fusion settings.
 
-use wasm::build::{FuncId, ModuleBuilder};
+use wasm::build::ModuleBuilder;
 use wasm::instr::BlockType;
 use wasm::types::ValType::{I32, I64};
 use wasm::Module;
 
-use wali::runner::WaliRunner;
-
-/// Imports `SYS_<name>` with `n` i64 params returning i64.
-fn sys(mb: &mut ModuleBuilder, name: &str, n: usize) -> FuncId {
-    let sig = mb.sig(vec![I64; n], [I64]);
-    mb.import_func("wali", &format!("SYS_{name}"), sig)
-}
+use wali::testkit::{emit_sleep, run_module, spawn_thread, sys, RunnerOpts};
 
 const PIPE_TASKS: u32 = 24;
 const FUTEX_TASKS: u32 = 24;
@@ -57,7 +51,6 @@ fn stress_program() -> Module {
 
     let sig = mb.sig([], [I32]);
     let main = mb.func(sig, |b| {
-        let t = b.local(I64);
         let i = b.local(I32);
         let rfd = b.local(I64);
 
@@ -80,15 +73,7 @@ fn stress_program() -> Module {
                 .load32(0)
                 .extend_u()
                 .local_set(rfd);
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
+            spawn_thread(b, clone, |b| {
                 // Child: block until the main thread writes one byte.
                 b.local_get(rfd).i64(buf as i64).i64(1).call(read).drop_();
                 b.i32(counter)
@@ -111,15 +96,7 @@ fn stress_program() -> Module {
         // --- futex waiters: all park on one word. ------------------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
+            spawn_thread(b, clone, |b| {
                 // FUTEX_WAIT while *fword == 0; returns once woken.
                 b.i64(fword as i64)
                     .i64(0)
@@ -149,18 +126,8 @@ fn stress_program() -> Module {
         // --- timer sleepers: park on a virtual deadline. -----------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
-                b.i32(ts as i32).i64(0).store64(0);
-                b.i32(ts as i32).i64(2_000_000).store64(8); // 2 ms virtual
-                b.i64(ts as i64).i64(0).call(nanosleep).drop_();
+            spawn_thread(b, clone, |b| {
+                emit_sleep(b, nanosleep, ts, 0, 2_000_000); // 2 ms virtual
                 b.i32(counter)
                     .i32(counter)
                     .load32(0)
@@ -179,10 +146,8 @@ fn stress_program() -> Module {
         });
 
         // --- main: sleep (timer path), then fire every wake-up. ----------
-        b.i32(ts as i32).i64(0).store64(0);
-        b.i32(ts as i32).i64(1_000_000).store64(8); // 1 ms virtual
-        b.i64(ts as i64).i64(0).call(nanosleep).drop_();
-        // One byte into each pipe.
+        emit_sleep(b, nanosleep, ts, 0, 1_000_000); // 1 ms virtual
+                                                    // One byte into each pipe.
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
             b.i32(fds as i32)
@@ -221,9 +186,7 @@ fn stress_program() -> Module {
         b.loop_(BlockType::Empty, |b| {
             b.i32(counter).load32(0).i32(TASKS as i32).lt_s32();
             b.if_(BlockType::Empty, |b| {
-                b.i32(ts as i32).i64(0).store64(0);
-                b.i32(ts as i32).i64(100_000).store64(8); // 100 µs virtual
-                b.i64(ts as i64).i64(0).call(nanosleep).drop_();
+                emit_sleep(b, nanosleep, ts, 0, 100_000); // 100 µs virtual
                 b.br(1);
             });
         });
@@ -234,21 +197,19 @@ fn stress_program() -> Module {
 }
 
 fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
-    let bytes = wasm::encode::encode(&stress_program());
-    let module = wasm::decode::decode(&bytes).expect("round trip");
-    let mut runner = WaliRunner::new_default();
     // This suite pins the *deterministic scheduler's* counter contract
     // (parks/wakeups/retries of the cooperative loop, and the polling
     // baseline A/B); the SMP executor has its own contract, covered by
     // tests/smp_stress.rs at WALI_WORKERS=4.
-    runner.set_workers(1);
-    runner.set_fuse(fuse);
-    runner.set_event_driven(event_driven);
-    runner
-        .register_program("/usr/bin/stress", &module)
-        .expect("register");
-    runner.spawn("/usr/bin/stress", &[], &[]).expect("spawn");
-    runner.run().expect("run")
+    let opts = RunnerOpts {
+        workers: Some(1),
+        fuse: Some(fuse),
+        event_driven: Some(event_driven),
+        cow: None,
+    };
+    run_module(&stress_program(), &[], &[], opts)
+        .expect("run")
+        .outcome
 }
 
 fn assert_event_driven_contract(fuse: bool) {
@@ -339,36 +300,17 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
 
     let sig = mb.sig([], [I32]);
     let main = mb.func(sig, |b| {
-        let t = b.local(I64);
         let rounds = b.local(I32);
         b.i64(fds_a as i64).call(pipe).drop_();
         b.i64(fds_b as i64).call(pipe).drop_();
         // Sleeper: 50 µs, then raise the flag at [512].
-        b.i64(0x10900)
-            .i64(0)
-            .i64(0)
-            .i64(0)
-            .i64(0)
-            .call(clone)
-            .local_set(t);
-        b.local_get(t).i64(0).eq64();
-        b.if_(BlockType::Empty, |b| {
-            b.i32(ts as i32).i64(0).store64(0);
-            b.i32(ts as i32).i64(50_000).store64(8);
-            b.i64(ts as i64).i64(0).call(nanosleep).drop_();
+        spawn_thread(b, clone, |b| {
+            emit_sleep(b, nanosleep, ts, 0, 50_000);
             b.i32(512).i32(1).store32(0);
             b.i64(0).call(exit).drop_();
         });
         // Ponger: echo A → B forever (killed by main's exit_group).
-        b.i64(0x10900)
-            .i64(0)
-            .i64(0)
-            .i64(0)
-            .i64(0)
-            .call(clone)
-            .local_set(t);
-        b.local_get(t).i64(0).eq64();
-        b.if_(BlockType::Empty, |b| {
+        spawn_thread(b, clone, |b| {
             b.loop_(BlockType::Empty, |b| {
                 b.i32(fds_a as i32)
                     .load32(0)
@@ -417,20 +359,18 @@ fn deadline_wakes_promptly_while_queue_stays_busy() {
     });
     mb.export("_start", main);
 
-    let bytes = wasm::encode::encode(&mb.build());
-    let module = wasm::decode::decode(&bytes).expect("round trip");
-    let mut runner = WaliRunner::new_default();
     // The ~70-round promptness budget is a property of the cooperative
     // round-robin schedule; under SMP the ping-pong races ahead of the
     // sleeper's requeue in wall-clock time and the round count is
     // meaningless. Deterministic scheduler only.
-    runner.set_workers(1);
-    runner.set_event_driven(true);
-    runner
-        .register_program("/usr/bin/busy", &module)
-        .expect("register");
-    runner.spawn("/usr/bin/busy", &[], &[]).expect("spawn");
-    let out = runner.run().expect("run");
+    let opts = RunnerOpts {
+        workers: Some(1),
+        event_driven: Some(true),
+        ..Default::default()
+    };
+    let out = run_module(&mb.build(), &[], &[], opts)
+        .expect("run")
+        .outcome;
     assert_eq!(
         out.exit_code(),
         Some(0),

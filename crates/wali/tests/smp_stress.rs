@@ -20,18 +20,12 @@
 //! console bytes, completion order, scheduler counters and syscall
 //! totals.
 
-use wasm::build::{FuncId, ModuleBuilder};
+use wasm::build::ModuleBuilder;
 use wasm::instr::BlockType;
 use wasm::types::ValType::{I32, I64};
 use wasm::Module;
 
-use wali::runner::WaliRunner;
-
-/// Imports `SYS_<name>` with `n` i64 params returning i64.
-fn sys(mb: &mut ModuleBuilder, name: &str, n: usize) -> FuncId {
-    let sig = mb.sig(vec![I64; n], [I64]);
-    mb.import_func("wali", &format!("SYS_{name}"), sig)
-}
+use wali::testkit::{emit_sleep, fork_reap_loop, run_module, spawn_thread, sys, RunnerOpts};
 
 const PIPE_TASKS: u32 = 12;
 const FUTEX_TASKS: u32 = 12;
@@ -66,7 +60,6 @@ fn smp_mix_program() -> Module {
 
     let sig = mb.sig([], [I32]);
     let main = mb.func(sig, |b| {
-        let t = b.local(I64);
         let i = b.local(I32);
         let rfd = b.local(I64);
 
@@ -89,15 +82,7 @@ fn smp_mix_program() -> Module {
                 .load32(0)
                 .extend_u()
                 .local_set(rfd);
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
+            spawn_thread(b, clone, |b| {
                 b.local_get(rfd).i64(buf as i64).i64(1).call(read).drop_();
                 // flags[i] = 1 (own slot; i was cloned with the stack).
                 b.i32(flags as i32)
@@ -121,15 +106,7 @@ fn smp_mix_program() -> Module {
         // --- futex waiters ----------------------------------------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
+            spawn_thread(b, clone, |b| {
                 b.i64(fword as i64)
                     .i64(0)
                     .i64(0)
@@ -161,18 +138,8 @@ fn smp_mix_program() -> Module {
         // --- timer sleepers ---------------------------------------------
         b.i32(0).local_set(i);
         b.loop_(BlockType::Empty, |b| {
-            b.i64(0x10900)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .i64(0)
-                .call(clone)
-                .local_set(t);
-            b.local_get(t).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
-                b.i32(ts as i32).i64(0).store64(0);
-                b.i32(ts as i32).i64(2_000_000).store64(8); // 2 ms virtual
-                b.i64(ts as i64).i64(0).call(nanosleep).drop_();
+            spawn_thread(b, clone, |b| {
+                emit_sleep(b, nanosleep, ts, 0, 2_000_000); // 2 ms virtual
                 b.i32(flags as i32)
                     .local_get(i)
                     .i32((PIPE_TASKS + FUTEX_TASKS) as i32)
@@ -194,27 +161,8 @@ fn smp_mix_program() -> Module {
         });
 
         // --- fork + reap FORKS child processes --------------------------
-        let pid = b.local(I64);
-        b.i32(0).local_set(i);
-        b.loop_(BlockType::Empty, |b| {
-            b.call(fork).local_set(pid);
-            b.local_get(pid).i64(0).eq64();
-            b.if_(BlockType::Empty, |b| {
-                b.i64(0).call(exit_group).drop_();
-            });
-            b.local_get(pid)
-                .i64(status as i64)
-                .i64(0)
-                .i64(0)
-                .call(wait4)
-                .drop_();
-            b.local_get(i)
-                .i32(1)
-                .add32()
-                .local_tee(i)
-                .i32(FORKS as i32)
-                .lt_s32()
-                .br_if(0);
+        fork_reap_loop(b, fork, wait4, status, FORKS, |b, _i| {
+            b.i64(0).call(exit_group).drop_();
         });
 
         // --- fire every wake-up -----------------------------------------
@@ -276,9 +224,7 @@ fn smp_mix_program() -> Module {
             });
             b.local_get(all).eqz32();
             b.if_(BlockType::Empty, |b| {
-                b.i32(ts as i32).i64(0).store64(0);
-                b.i32(ts as i32).i64(100_000).store64(8); // 100 µs virtual
-                b.i64(ts as i64).i64(0).call(nanosleep).drop_();
+                emit_sleep(b, nanosleep, ts, 0, 100_000); // 100 µs virtual
                 b.br(1);
             });
         });
@@ -293,19 +239,15 @@ fn run_mix(workers: usize, fuse: bool) -> wali::RunOutcome {
 }
 
 fn run_mix_with(workers: usize, fuse: bool, event_driven: Option<bool>) -> wali::RunOutcome {
-    let bytes = wasm::encode::encode(&smp_mix_program());
-    let module = wasm::decode::decode(&bytes).expect("round trip");
-    let mut runner = WaliRunner::new_default();
-    runner.set_workers(workers);
-    runner.set_fuse(fuse);
-    if let Some(on) = event_driven {
-        runner.set_event_driven(on);
-    }
-    runner
-        .register_program("/usr/bin/smpmix", &module)
-        .expect("register");
-    runner.spawn("/usr/bin/smpmix", &[], &[]).expect("spawn");
-    runner.run().expect("run")
+    let opts = RunnerOpts {
+        workers: Some(workers),
+        fuse: Some(fuse),
+        event_driven,
+        cow: None,
+    };
+    run_module(&smp_mix_program(), &[], &[], opts)
+        .expect("run")
+        .outcome
 }
 
 fn assert_mix_contract(out: &wali::RunOutcome) {

@@ -2,22 +2,16 @@
 //! to real binary bytes, decoded, validated, linked against the WALI
 //! registry and executed by the runner over the virtual kernel.
 
-use wasm::build::{FuncId, ModuleBuilder};
+use wasm::build::ModuleBuilder;
 use wasm::instr::BlockType;
 use wasm::types::ValType::{I32, I64};
 use wasm::Module;
 
 use wali::runner::{TaskEnd, WaliRunner};
-
-/// Imports `SYS_<name>` with `n` i64 params returning i64.
-fn sys(mb: &mut ModuleBuilder, name: &str, n: usize) -> FuncId {
-    let sig = mb.sig(vec![I64; n], [I64]);
-    mb.import_func("wali", &format!("SYS_{name}"), sig)
-}
+use wali::testkit::{roundtrip, sys};
 
 fn run(module: &Module, args: &[&str]) -> wali::RunOutcome {
-    let bytes = wasm::encode::encode(module);
-    let module = wasm::decode::decode(&bytes).expect("round trip");
+    let module = roundtrip(module);
     WaliRunner::run_to_exit(&module, args, &["HOME=/home/user"]).expect("run")
 }
 
@@ -153,13 +147,13 @@ fn vfork_probe() -> (Module, u32) {
 }
 
 fn run_with_cow(module: &Module, cow: bool) -> wali::RunOutcome {
-    let bytes = wasm::encode::encode(module);
-    let module = wasm::decode::decode(&bytes).expect("round trip");
-    let mut runner = WaliRunner::new_default();
-    runner.set_cow(cow);
-    runner.register_program("/usr/bin/app", &module).unwrap();
-    runner.spawn("/usr/bin/app", &[], &[]).unwrap();
-    runner.run().expect("run")
+    let opts = wali::testkit::RunnerOpts {
+        cow: Some(cow),
+        ..Default::default()
+    };
+    wali::testkit::run_module(module, &[], &[], opts)
+        .expect("run")
+        .outcome
 }
 
 #[test]
@@ -570,8 +564,7 @@ fn sigreturn_is_forbidden() {
         b.i32(0);
     });
     mb.export("_start", main);
-    let bytes = wasm::encode::encode(&mb.build());
-    let module = wasm::decode::decode(&bytes).unwrap();
+    let module = roundtrip(&mb.build());
     let out = WaliRunner::run_to_exit(&module, &[], &[]).unwrap();
     match &out.main_exit {
         Some(TaskEnd::Trapped(wasm::Trap::Forbidden("rt_sigreturn"))) => {}
@@ -649,8 +642,7 @@ fn policy_denies_sockets() {
         b.wrap();
     });
     mb.export("_start", main);
-    let bytes = wasm::encode::encode(&mb.build());
-    let module = wasm::decode::decode(&bytes).unwrap();
+    let module = roundtrip(&mb.build());
 
     let mut runner = WaliRunner::new_default();
     runner.register_program("/usr/bin/app", &module).unwrap();

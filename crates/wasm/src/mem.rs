@@ -30,7 +30,7 @@
 //! like `WALI_NO_FUSE` / `WALI_NO_WAITQ`).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::error::Trap;
@@ -62,6 +62,20 @@ fn zero_ptr() -> *mut u8 {
     ZERO_PAGE.as_ptr() as *mut u8
 }
 
+/// Process-wide count of live [`Page`] allocations, across every paged
+/// store (see [`global_resident_pages`]).
+static GLOBAL_RESIDENT: AtomicI64 = AtomicI64::new(0);
+
+/// Process-wide count of 64 KiB pages currently allocated by paged
+/// (copy-on-write) memories. Fork-shared pages count once — this tracks
+/// host allocations, not per-store residency. A run that materializes
+/// pages and then drops every memory returns this counter to its
+/// starting value; the fuzzer's liveness oracle asserts exactly that
+/// (no leaked page at reap).
+pub fn global_resident_pages() -> i64 {
+    GLOBAL_RESIDENT.load(Ordering::Relaxed)
+}
+
 /// One 64 KiB page. Contents are mutated through raw pointers while the
 /// page is exclusively owned by one store; `Arc`-shared pages are frozen
 /// (copied before the next write).
@@ -75,8 +89,15 @@ unsafe impl Send for Page {}
 // SAFETY: See `Send`.
 unsafe impl Sync for Page {}
 
+impl Drop for Page {
+    fn drop(&mut self) {
+        GLOBAL_RESIDENT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Page {
     fn zeroed() -> Arc<Page> {
+        GLOBAL_RESIDENT.fetch_add(1, Ordering::Relaxed);
         Arc::new(Page(UnsafeCell::new(
             vec![0u8; PAGE_SIZE].into_boxed_slice(),
         )))
@@ -912,6 +933,28 @@ mod tests {
                 0xdead_beef_cafe_f00d
             );
         });
+    }
+
+    #[test]
+    fn global_resident_tracks_page_lifecycle() {
+        // Other tests allocate pages concurrently, so assert deltas over
+        // a window this test controls rather than absolute values: while
+        // our pages are alive the counter sits at least `touched` above
+        // the low-water mark we observe after dropping them.
+        let before = global_resident_pages();
+        let m = Memory::new_paged(4, Some(4));
+        for i in 0..4u64 {
+            m.store::<4>(i * PAGE_SIZE as u64, [1; 4]).unwrap();
+        }
+        let alive = global_resident_pages();
+        assert!(alive >= before + 4, "4 touched pages counted globally");
+        let fork = m.fork_clone();
+        // COW shares Arc'd pages: a fork materializes nothing new.
+        fork.store::<4>(0, [2; 4]).unwrap(); // one COW copy
+        drop(fork);
+        drop(m);
+        let after = global_resident_pages();
+        assert!(after <= alive - 4, "dropped memories return their pages");
     }
 
     #[test]

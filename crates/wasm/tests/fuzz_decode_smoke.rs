@@ -1,0 +1,91 @@
+//! Std-only smoke variant of `fuzz_decode.rs`: the same never-panic
+//! properties driven by an inline splitmix64 stream so they run in the
+//! default `cargo test` (the proptest battery stays behind the
+//! `proptest` feature). 256 cases per property; override the stream
+//! with `WALI_FUZZ_SEED` to chase a reported case.
+
+const CASES: u64 = 256;
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len + 1) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+fn base_seed() -> u64 {
+    std::env::var("WALI_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+#[test]
+fn decoder_never_panics_on_random_bytes_smoke() {
+    let mut rng = SplitMix64(base_seed());
+    for case in 0..CASES {
+        let bytes = rng.bytes(512);
+        let res = std::panic::catch_unwind(|| {
+            let _ = wasm::decode::decode(&bytes);
+        });
+        assert!(res.is_ok(), "decoder panicked on case {case}: {bytes:?}");
+    }
+}
+
+#[test]
+fn decoder_never_panics_on_header_plus_noise_smoke() {
+    let mut rng = SplitMix64(base_seed() ^ 0x6e6f697365);
+    for case in 0..CASES {
+        let mut bytes = b"\0asm\x01\0\0\0".to_vec();
+        bytes.extend_from_slice(&rng.bytes(256));
+        let res = std::panic::catch_unwind(|| {
+            if let Ok(module) = wasm::decode::decode(&bytes) {
+                let _ = wasm::validate::validate(&module);
+            }
+        });
+        assert!(res.is_ok(), "validator panicked on case {case}: {bytes:?}");
+    }
+}
+
+#[test]
+fn mutated_valid_modules_never_panic_smoke() {
+    let mut rng = SplitMix64(base_seed() ^ 0x666c6970);
+    for case in 0..CASES {
+        let seed = rng.next() as u8;
+        let mut mb = wasm::build::ModuleBuilder::new();
+        mb.memory(1, Some(2));
+        let sig = mb.sig([wasm::types::ValType::I32], [wasm::types::ValType::I32]);
+        let f = mb.func(sig, |b| {
+            b.local_get(0).i32(seed as i32).add32();
+        });
+        mb.export("main", f);
+        let mut bytes = wasm::encode::encode(&mb.build());
+        for _ in 0..rng.below(16).max(1) {
+            let pos = rng.below(bytes.len() as u64) as usize;
+            bytes[pos] = rng.next() as u8;
+        }
+        let res = std::panic::catch_unwind(|| {
+            if let Ok(module) = wasm::decode::decode(&bytes) {
+                let _ = wasm::validate::validate(&module);
+            }
+        });
+        assert!(
+            res.is_ok(),
+            "panicked on mutated module, case {case}: {bytes:?}"
+        );
+    }
+}
