@@ -1181,7 +1181,6 @@ pub fn suite() -> Vec<App> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vkernel::MutexExt;
     use wali::runner::WaliRunner;
 
     fn run(app: App) -> wali::RunOutcome {

@@ -8,6 +8,13 @@
 //! ~min(N, TASKS)× — the tentpole claim of the SMP PR (≥ 2× at 4
 //! workers).
 //!
+//! The syscall-dense group forks the same fan-out but each child
+//! bounces bytes through its own private pipe instead of burning pure
+//! CPU: with every syscall crossing the kernel, this is the shape the
+//! sharded fast path accelerates and the worker-count CI matrix
+//! watches. It runs at the *environment's* worker count
+//! (`WALI_WORKERS`), so the matrix legs produce distinct rows.
+//!
 //! The second group runs the `prefork_server_sim` scenario — fork + one
 //! inherited listening socket + epoll-parked workers — at 1 and 4
 //! workers: the "parallel prefork" shape where forked server processes
@@ -105,6 +112,89 @@ fn cpu_fanout_program(tasks: u32, iters: u32) -> Module {
     mb.build()
 }
 
+/// Fork `tasks` children; each bounces `rounds` x 32 bytes through its
+/// own pipe (2 syscalls per round) and exits; the parent reaps them.
+fn syscall_dense_program(tasks: u32, rounds: u32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let fork = sys(&mut mb, "fork", 0);
+    let wait4 = sys(&mut mb, "wait4", 4);
+    let exit = sys(&mut mb, "exit_group", 1);
+    let pipe = sys(&mut mb, "pipe", 1);
+    let read = sys(&mut mb, "read", 3);
+    let write = sys(&mut mb, "write", 3);
+    mb.memory(2, Some(4));
+    let status = mb.reserve(8);
+    let fds = mb.reserve(8);
+    let buf = mb.reserve(32);
+
+    let sig = mb.sig([], [I32]);
+    let main = mb.func(sig, |b| {
+        let pid = b.local(I64);
+        let f = b.local(I32);
+        let j = b.local(I32);
+        // Spawn loop.
+        b.loop_(BlockType::Empty, |b| {
+            b.call(fork).local_set(pid);
+            b.local_get(pid).i64(0).eq64();
+            b.if_(BlockType::Empty, |b| {
+                // Child: private pipe, write+read per round.
+                b.i64(fds as i64).call(pipe).drop_();
+                b.loop_(BlockType::Empty, |b| {
+                    b.i32(fds as i32)
+                        .load32(4)
+                        .extend_u()
+                        .i64(buf as i64)
+                        .i64(32)
+                        .call(write)
+                        .drop_();
+                    b.i32(fds as i32)
+                        .load32(0)
+                        .extend_u()
+                        .i64(buf as i64)
+                        .i64(32)
+                        .call(read)
+                        .drop_();
+                    b.local_get(j)
+                        .i32(1)
+                        .add32()
+                        .local_tee(j)
+                        .i32(rounds as i32)
+                        .lt_s32()
+                        .br_if(0);
+                });
+                b.i64(0).call(exit).drop_();
+            });
+            b.local_get(f)
+                .i32(1)
+                .add32()
+                .local_tee(f)
+                .i32(tasks as i32)
+                .lt_s32()
+                .br_if(0);
+        });
+        // Reap loop.
+        let r = b.local(I32);
+        b.loop_(BlockType::Empty, |b| {
+            b.i64(-1)
+                .i64(status as i64)
+                .i64(0)
+                .i64(0)
+                .call(wait4)
+                .drop_();
+            b.local_get(r)
+                .i32(1)
+                .add32()
+                .local_tee(r)
+                .i32(tasks as i32)
+                .lt_s32()
+                .br_if(0);
+        });
+        b.i32(0);
+    });
+    mb.export("_start", main);
+    mb.build()
+}
+
 fn run_fanout(module: &Module, workers: usize) {
     let mut runner = WaliRunner::new_default();
     runner.set_workers(workers);
@@ -143,6 +233,23 @@ fn main() {
             b.iter(|| run_fanout(&module, workers))
         });
     }
+
+    // Syscall-dense fan-out at the environment's worker count: the
+    // row name carries the effective count so CI's WALI_WORKERS matrix
+    // legs fold into distinct trajectory entries.
+    let wenv = wali::runner::workers_default();
+    let dense = bench::reload(&syscall_dense_program(TASKS, 300));
+    g.bench_function(&format!("dense/tasks={TASKS}/workers={wenv}"), |b| {
+        b.iter(|| {
+            let mut runner = WaliRunner::new_default();
+            runner
+                .register_program("/usr/bin/dense", &dense)
+                .expect("register");
+            runner.spawn("/usr/bin/dense", &[], &[]).expect("spawn");
+            let out = runner.run().expect("run");
+            assert_eq!(out.exit_code(), Some(0), "{:?}", out.main_exit);
+        })
+    });
 
     // Parallel prefork: the PR-3 server scenario with genuinely
     // concurrent forked workers.

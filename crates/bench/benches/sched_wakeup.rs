@@ -8,7 +8,13 @@
 //! `WALI_NO_WAITQ` baseline, whose every scheduling pass retries all `P`
 //! parked futexes — the O(blocked × passes) behaviour this PR removes.
 //!
-//! The A/B medians are recorded in `DESIGN.md`'s waitqueue section.
+//! The `noshard` rows run the same event-driven program with the
+//! sharded syscall fast path disabled (`WALI_NO_SHARD` / `set_shard`):
+//! every ping-pong byte then crosses the big kernel lock, which is the
+//! thread-safety toll the sharding PR wins back at `WALI_WORKERS=1`.
+//!
+//! The A/B medians are recorded in `DESIGN.md`'s waitqueue and
+//! concurrency sections.
 
 use apps::progs::sys;
 use bench::harness;
@@ -143,9 +149,10 @@ fn pingpong_program(parked: u32) -> Module {
     mb.build()
 }
 
-fn run_pingpong(module: &Module, event_driven: bool) -> wali::runner::SchedStats {
+fn run_pingpong(module: &Module, event_driven: bool, shard: bool) -> wali::runner::SchedStats {
     let mut runner = WaliRunner::new_default();
     runner.set_event_driven(event_driven);
+    runner.set_shard(shard);
     runner
         .register_program("/usr/bin/pingpong", module)
         .expect("register");
@@ -160,18 +167,21 @@ fn main() {
     for &parked in &[0u32, 64, 256] {
         let module = bench::reload(&pingpong_program(parked));
         g.bench_function(&format!("pingpong/evt/parked={parked}"), |b| {
-            b.iter(|| run_pingpong(&module, true))
+            b.iter(|| run_pingpong(&module, true, true))
+        });
+        g.bench_function(&format!("pingpong/evt/noshard/parked={parked}"), |b| {
+            b.iter(|| run_pingpong(&module, true, false))
         });
         g.bench_function(&format!("pingpong/poll/parked={parked}"), |b| {
-            b.iter(|| run_pingpong(&module, false))
+            b.iter(|| run_pingpong(&module, false, true))
         });
     }
     g.finish();
 
     // One explanatory line: the retry-storm counterfactual.
     let module = bench::reload(&pingpong_program(256));
-    let evt = run_pingpong(&module, true);
-    let poll = run_pingpong(&module, false);
+    let evt = run_pingpong(&module, true, true);
+    let poll = run_pingpong(&module, false, true);
     println!(
         "\nblocked retries over {ROUNDS} rounds with 256 parked tasks: \
          event-driven={} polling={} ({}x)",

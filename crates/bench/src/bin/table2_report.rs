@@ -56,7 +56,7 @@ fn main() {
     let program =
         std::sync::Arc::new(Program::link(&module, &linker, SafepointScheme::None).unwrap());
     let instance = Instance::new(program).unwrap();
-    let kernel = std::sync::Arc::new(std::sync::Mutex::new(vkernel::Kernel::new()));
+    let kernel = wali::new_kernel_ref(vkernel::Kernel::new());
     let tid = kernel.lock_ok().spawn_process();
     let mut ctx = WaliContext::new(kernel, tid, 8192);
 

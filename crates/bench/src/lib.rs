@@ -16,7 +16,6 @@
 //! | §5.1     | `wazi_demo` |
 
 use std::time::{Duration, Instant};
-use vkernel::MutexExt;
 
 use apps::App;
 

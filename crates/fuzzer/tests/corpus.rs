@@ -4,7 +4,8 @@
 //! (or a scenario shape that once exposed one); every entry must replay
 //! green through the *full* oracle battery — two bit-deterministic
 //! `WALI_WORKERS=1` runs, the `WALI_NO_FUSE`/`WALI_NO_WAITQ`/
-//! `WALI_NO_COW` toggles, and the `WALI_WORKERS=4` SMP equivalence leg
+//! `WALI_NO_COW`/`WALI_NO_SHARD` toggles, and the `WALI_WORKERS=4` SMP
+//! equivalence leg
 //! — exactly as `wazi replay <file>` would run it. The process-global
 //! page-balance check stays off here (tests share the process); the
 //! per-kernel leak audit still runs on every leg.

@@ -57,6 +57,11 @@ fn race_bait() -> Scenario {
 
 #[test]
 fn scan_split_fault_is_caught_and_shrunk() {
+    // The planted race lives in the big-lock epoll scan; route the
+    // racing pipe writes through that same path (not the sharded fast
+    // path, which changes the window's timing and the shrunk repro
+    // odds). Own-process binary, so the env var is safe to set.
+    std::env::set_var("WALI_NO_SHARD", "1");
     wali::fault::set_scan_split(true);
     let cfg = OracleConfig {
         check_toggles: false, // the race is SMP-only; spend runs there
@@ -95,8 +100,11 @@ fn scan_split_fault_is_caught_and_shrunk() {
         fuzzer::shrink::size(&small)
     );
     assert!(fuzzer::shrink::size(&small) < fuzzer::shrink::size(&scn));
+    // The shrunk scenario is the *minimal* — and therefore least
+    // probable — reproducer, and on a loaded 1-core host the per-run
+    // repro odds sag further; give the final proof a generous budget.
     assert!(
-        (0..25).any(|_| oracle::check(&small, &cfg).is_err()),
+        (0..150).any(|_| oracle::check(&small, &cfg).is_err()),
         "shrunk scenario no longer reproduces"
     );
 

@@ -15,9 +15,7 @@
 //! differs. Startup is near-zero (no image to materialize, no preparation
 //! pass), which is exactly the QEMU trade-off Fig. 8 shows.
 
-use std::sync::{Arc, Mutex};
-
-use vkernel::MutexExt;
+use std::sync::Arc;
 
 use wali::context::WaliContext;
 use wali::registry::{build_linker, WaliSuspend};
@@ -66,7 +64,7 @@ impl EmuRunner {
         Ok(EmuRunner {
             module: module.clone(),
             program: Arc::new(program),
-            kernel: Arc::new(Mutex::new(vkernel::Kernel::new())),
+            kernel: wali::new_kernel_ref(vkernel::Kernel::new()),
         })
     }
 

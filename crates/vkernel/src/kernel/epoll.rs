@@ -105,14 +105,22 @@ fn poll_to_epoll(revents: i16, interest: u32) -> u32 {
 
 impl Kernel {
     fn alloc_epoll(&mut self) -> usize {
-        for (i, slot) in self.epolls.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(Epoll::default());
-                return i;
-            }
-        }
-        self.epolls.push(Some(Epoll::default()));
-        self.epolls.len() - 1
+        self.epolls.insert(Epoll::default())
+    }
+
+    /// Runs `f` under epoll instance `id`'s own lock (rank
+    /// [`LockClass::Epoll`](crate::lockorder::LockClass), below the
+    /// pipe/socket object rank so a scan may look at objects while the
+    /// interest list is held — though the scan paths below deliberately
+    /// snapshot first and never do).
+    pub(crate) fn with_epoll<R>(
+        &self,
+        id: usize,
+        f: impl FnOnce(&mut Epoll) -> R,
+    ) -> Result<R, Errno> {
+        let e = self.epolls.get(id).ok_or(Errno::Ebadf)?;
+        let mut g = e.lock_ok();
+        Ok(f(&mut g))
     }
 
     fn epoll_of_fd(&self, tid: Tid, epfd: i32) -> Result<usize, Errno> {
@@ -125,35 +133,23 @@ impl Kernel {
         }
     }
 
-    fn epoll(&mut self, id: usize) -> Result<&mut Epoll, Errno> {
-        self.epolls
-            .get_mut(id)
-            .and_then(|e| e.as_mut())
-            .ok_or(Errno::Ebadf)
-    }
-
     /// The live interest list of epoll instance `id` as `(description,
     /// poll-events)` pairs (readiness + waitqueue subscription helper).
     /// Registrations whose description has been fully closed are skipped.
     pub(crate) fn epoll_interest_descs(&self, id: usize) -> Vec<(FileRef, i16)> {
-        self.epolls
-            .get(id)
-            .and_then(|e| e.as_ref())
-            .map(|e| {
-                e.interest
-                    .iter()
-                    .filter(|reg| reg.armed)
-                    .filter_map(|reg| reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events))))
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.with_epoll(id, |e| {
+            e.interest
+                .iter()
+                .filter(|reg| reg.armed)
+                .filter_map(|reg| reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events))))
+                .collect()
+        })
+        .unwrap_or_default()
     }
 
     /// Frees an epoll instance when its last descriptor closes.
     pub(crate) fn release_epoll(&mut self, id: usize) {
-        if let Some(slot) = self.epolls.get_mut(id) {
-            *slot = None;
-        }
+        self.epolls.free(id);
     }
 
     /// `epoll_create1(flags)`: allocates an instance and its fd.
@@ -198,35 +194,23 @@ impl Kernel {
             // cyclic; Linux reports closed loops the same way.
             return Err(Errno::Eloop.into());
         }
-        let ep = self.epoll(id)?;
-        // The registration key is the (fd, description) pair: a stale
-        // entry for the same fd number but a different (or dead)
-        // description does not count as "present".
         let target = file.upgrade();
-        let existing = ep.interest.iter().position(|reg| {
-            reg.fd == fd
-                && reg
-                    .file
-                    .upgrade()
-                    .zip(target.clone())
-                    .map(|(a, b)| Arc::ptr_eq(&a, &b))
-                    .unwrap_or(false)
-        });
-        match (op, existing) {
-            (EPOLL_CTL_ADD, Some(_)) => return Err(Errno::Eexist.into()),
-            (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg {
-                fd,
-                events,
-                data,
-                file,
-                prev_ready: 0,
-                prev_gen: 0,
-                armed: true,
-            }),
-            // MOD re-arms a ONESHOT-disarmed registration and resets the
-            // edge-trigger state (Linux re-arms on modify).
-            (EPOLL_CTL_MOD, Some(i)) => {
-                ep.interest[i] = EpollReg {
+        self.with_epoll(id, |ep| {
+            // The registration key is the (fd, description) pair: a stale
+            // entry for the same fd number but a different (or dead)
+            // description does not count as "present".
+            let existing = ep.interest.iter().position(|reg| {
+                reg.fd == fd
+                    && reg
+                        .file
+                        .upgrade()
+                        .zip(target.clone())
+                        .map(|(a, b)| Arc::ptr_eq(&a, &b))
+                        .unwrap_or(false)
+            });
+            match (op, existing) {
+                (EPOLL_CTL_ADD, Some(_)) => return Err(Errno::Eexist),
+                (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg {
                     fd,
                     events,
                     data,
@@ -234,14 +218,28 @@ impl Kernel {
                     prev_ready: 0,
                     prev_gen: 0,
                     armed: true,
+                }),
+                // MOD re-arms a ONESHOT-disarmed registration and resets
+                // the edge-trigger state (Linux re-arms on modify).
+                (EPOLL_CTL_MOD, Some(i)) => {
+                    ep.interest[i] = EpollReg {
+                        fd,
+                        events,
+                        data,
+                        file,
+                        prev_ready: 0,
+                        prev_gen: 0,
+                        armed: true,
+                    }
                 }
+                (EPOLL_CTL_DEL, Some(i)) => {
+                    ep.interest.remove(i);
+                }
+                (EPOLL_CTL_MOD | EPOLL_CTL_DEL, None) => return Err(Errno::Enoent),
+                _ => return Err(Errno::Einval),
             }
-            (EPOLL_CTL_DEL, Some(i)) => {
-                ep.interest.remove(i);
-            }
-            (EPOLL_CTL_MOD | EPOLL_CTL_DEL, None) => return Err(Errno::Enoent.into()),
-            _ => return Err(Errno::Einval.into()),
-        }
+            Ok(())
+        })??;
         // A parked epoll_wait waiter holds a snapshot of the old interest
         // list; wake it to re-scan (the added/changed fd may already be
         // ready), like Linux's interest-change wakeups.
@@ -262,7 +260,9 @@ impl Kernel {
         id: usize,
         max: usize,
     ) -> SysResult<Vec<(u32, u64)>> {
-        let interest: Vec<EpollReg> = self.epoll(id)?.interest.clone();
+        // Snapshot the interest list so no epoll guard is held across the
+        // `poll_desc` scans below (which take pipe/socket object locks).
+        let interest: Vec<EpollReg> = self.with_epoll(id, |e| e.interest.clone())?;
         let mut out = Vec::new();
         let mut swept = false;
         // Deferred per-registration state updates (ET edge/generation
@@ -309,22 +309,19 @@ impl Kernel {
                 out.push((report, reg.data));
             }
         }
-        {
-            let ep = self.epoll(id)?;
-            for (i, prev_ready, prev_gen, disarm) in updates {
-                let reg = &mut ep.interest[i];
-                reg.prev_ready = prev_ready;
-                reg.prev_gen = prev_gen;
-                if disarm {
+        self.with_epoll(id, |ep| {
+            for (i, prev_ready, prev_gen, disarm) in &updates {
+                let reg = &mut ep.interest[*i];
+                reg.prev_ready = *prev_ready;
+                reg.prev_gen = *prev_gen;
+                if *disarm {
                     reg.armed = false;
                 }
             }
-        }
-        if swept {
-            self.epoll(id)?
-                .interest
-                .retain(|reg| reg.file.strong_count() > 0);
-        }
+            if swept {
+                ep.interest.retain(|reg| reg.file.strong_count() > 0);
+            }
+        })?;
         Ok(out)
     }
 

@@ -67,12 +67,13 @@ impl Kernel {
                     .vfs
                     .alloc(InodeKind::File(Vec::new()), mode & !umask & 0o777, now);
                 self.vfs.link_into(r.parent, &r.name, id)?;
-                self.vfs.get_mut(id)?.nlink = 1;
+                self.vfs.write().get_mut(id)?.nlink = 1;
                 id
             }
         };
 
-        let node = self.vfs.get(inode)?;
+        let vfs = self.vfs.read();
+        let node = vfs.get(inode)?;
         let kind = match &node.kind {
             InodeKind::Dir(_) => {
                 if flags & O_ACCMODE != O_RDONLY {
@@ -101,8 +102,10 @@ impl Kernel {
             },
         };
 
+        drop(vfs);
+
         if flags & O_TRUNC != 0 && flags & O_ACCMODE != O_RDONLY {
-            if let InodeKind::File(data) = &mut self.vfs.get_mut(inode)?.kind {
+            if let InodeKind::File(data) = &mut self.vfs.write().get_mut(inode)?.kind {
                 data.clear();
             }
         }
@@ -161,7 +164,20 @@ impl Kernel {
             FileKind::Dir(_) => Err(Errno::Eisdir.into()),
             FileKind::PipeRead(id) => {
                 let nonblock = flags & O_NONBLOCK != 0;
-                match self.pipe(id)?.read(out) {
+                let has_sig = self.has_pending_signal(tid);
+                let io = self.with_pipe(id, |p| {
+                    let r = p.read(out);
+                    if matches!(r, PipeIo::WouldBlock) && !nonblock && !has_sig {
+                        // Subscribe while still holding the pipe lock: a
+                        // writer filling the buffer after this point posts
+                        // only after dropping the lock, so the wakeup
+                        // cannot be missed.
+                        self.waits.subscribe(tid, Channel::PipeReadable(id));
+                        self.waits.subscribe(tid, Channel::Signal(tid));
+                    }
+                    r
+                })?;
+                match io {
                     PipeIo::Xfer(n) => {
                         // Space opened up: wake blocked writers.
                         self.waits.post(Channel::PipeWritable(id));
@@ -169,22 +185,15 @@ impl Kernel {
                     }
                     PipeIo::Eof => Ok(0),
                     PipeIo::WouldBlock if nonblock => Err(Errno::Eagain.into()),
-                    PipeIo::WouldBlock => {
-                        if self.has_pending_signal(tid) {
-                            Err(Errno::Eintr.into())
-                        } else {
-                            self.waits.subscribe(tid, Channel::PipeReadable(id));
-                            self.waits.subscribe(tid, Channel::Signal(tid));
-                            Err(block())
-                        }
-                    }
+                    PipeIo::WouldBlock if has_sig => Err(Errno::Eintr.into()),
+                    PipeIo::WouldBlock => Err(block()),
                     PipeIo::Broken => unreachable!("read never reports Broken"),
                 }
             }
             FileKind::PipeWrite(_) => Err(Errno::Ebadf.into()),
             FileKind::Socket(id) => self.sock_recv(tid, id, out, 0).map(|n| n as i64),
             FileKind::CharDev(inode) => {
-                let dev = match &self.vfs.get(inode)?.kind {
+                let dev = match &self.vfs.read().get(inode)?.kind {
                     InodeKind::CharDev(d) => d.clone(),
                     _ => return Err(Errno::Eio.into()),
                 };
@@ -234,7 +243,7 @@ impl Kernel {
         match kind {
             FileKind::Regular(inode) => {
                 if flags & O_APPEND != 0 {
-                    offset = self.vfs.get(inode)?.size();
+                    offset = self.vfs.read().get(inode)?.size();
                 }
                 let n = self.write_inode_at(inode, offset, data)?;
                 file.lock_ok().offset = offset + n as u64;
@@ -244,7 +253,17 @@ impl Kernel {
             FileKind::ProcSnapshot(_) => Err(Errno::Eacces.into()),
             FileKind::PipeWrite(id) => {
                 let nonblock = flags & O_NONBLOCK != 0;
-                match self.pipe(id)?.write(data) {
+                let has_sig = self.has_pending_signal(tid);
+                let io = self.with_pipe(id, |p| {
+                    let r = p.write(data);
+                    if matches!(r, PipeIo::WouldBlock) && !nonblock && !has_sig {
+                        // Subscribe under the pipe lock (see sys_read).
+                        self.waits.subscribe(tid, Channel::PipeWritable(id));
+                        self.waits.subscribe(tid, Channel::Signal(tid));
+                    }
+                    r
+                })?;
+                match io {
                     PipeIo::Xfer(n) => {
                         // Data arrived: wake blocked readers and pollers.
                         self.waits.post(Channel::PipeReadable(id));
@@ -256,22 +275,15 @@ impl Kernel {
                         Err(Errno::Epipe.into())
                     }
                     PipeIo::WouldBlock if nonblock => Err(Errno::Eagain.into()),
-                    PipeIo::WouldBlock => {
-                        if self.has_pending_signal(tid) {
-                            Err(Errno::Eintr.into())
-                        } else {
-                            self.waits.subscribe(tid, Channel::PipeWritable(id));
-                            self.waits.subscribe(tid, Channel::Signal(tid));
-                            Err(block())
-                        }
-                    }
+                    PipeIo::WouldBlock if has_sig => Err(Errno::Eintr.into()),
+                    PipeIo::WouldBlock => Err(block()),
                     PipeIo::Eof => unreachable!("write never reports Eof"),
                 }
             }
             FileKind::PipeRead(_) => Err(Errno::Ebadf.into()),
             FileKind::Socket(id) => self.sock_send(tid, id, data, 0).map(|n| n as i64),
             FileKind::CharDev(inode) => {
-                let dev = match &self.vfs.get(inode)?.kind {
+                let dev = match &self.vfs.read().get(inode)?.kind {
                     InodeKind::CharDev(d) => d.clone(),
                     _ => return Err(Errno::Eio.into()),
                 };
@@ -330,7 +342,7 @@ impl Kernel {
     }
 
     fn read_inode_at(&self, inode: InodeId, offset: u64, out: &mut [u8]) -> Result<usize, Errno> {
-        match &self.vfs.get(inode)?.kind {
+        match &self.vfs.read().get(inode)?.kind {
             InodeKind::File(data) => {
                 let off = (offset as usize).min(data.len());
                 let n = out.len().min(data.len() - off);
@@ -343,7 +355,8 @@ impl Kernel {
 
     fn write_inode_at(&mut self, inode: InodeId, offset: u64, data: &[u8]) -> Result<usize, Errno> {
         let now = self.clock.realtime_ns();
-        let node = self.vfs.get_mut(inode)?;
+        let mut vfs = self.vfs.write();
+        let node = vfs.get_mut(inode)?;
         match &mut node.kind {
             InodeKind::File(content) => {
                 let end = offset as usize + data.len();
@@ -366,9 +379,9 @@ impl Kernel {
             (f.kind.clone(), f.offset)
         };
         let size = match &kind {
-            FileKind::Regular(inode) => self.vfs.get(*inode)?.size(),
+            FileKind::Regular(inode) => self.vfs.read().get(*inode)?.size(),
             FileKind::ProcSnapshot(t) => t.len() as u64,
-            FileKind::Dir(inode) => self.vfs.get(*inode)?.dir()?.len() as u64 + 2,
+            FileKind::Dir(inode) => self.vfs.read().get(*inode)?.dir()?.len() as u64 + 2,
             _ => return Err(Errno::Espipe.into()),
         };
         let base = match whence {
@@ -403,22 +416,31 @@ impl Kernel {
         let kind = entry.file.lock_ok().kind.clone();
         match kind {
             FileKind::PipeRead(id) => {
-                if let Ok(p) = self.pipe(id) {
-                    p.readers = p.readers.saturating_sub(1);
-                    if p.readers == 0 && p.writers == 0 {
-                        self.pipes[id] = None;
-                    }
+                // Decrement under the pipe lock, but free the slab slot
+                // only after the guard drops: Slab ranks below Object in
+                // the lock-ordering DAG.
+                let dead = self
+                    .with_pipe(id, |p| {
+                        p.readers = p.readers.saturating_sub(1);
+                        p.readers == 0 && p.writers == 0
+                    })
+                    .unwrap_or(false);
+                if dead {
+                    self.pipes.free(id);
                 }
                 // Blocked writers must observe EPIPE; pollers the hangup.
                 self.waits.post(Channel::PipeWritable(id));
                 self.waits.post(Channel::PipeReadable(id));
             }
             FileKind::PipeWrite(id) => {
-                if let Ok(p) = self.pipe(id) {
-                    p.writers = p.writers.saturating_sub(1);
-                    if p.readers == 0 && p.writers == 0 {
-                        self.pipes[id] = None;
-                    }
+                let dead = self
+                    .with_pipe(id, |p| {
+                        p.writers = p.writers.saturating_sub(1);
+                        p.readers == 0 && p.writers == 0
+                    })
+                    .unwrap_or(false);
+                if dead {
+                    self.pipes.free(id);
                 }
                 // Blocked readers must observe EOF; pollers the hangup.
                 self.waits.post(Channel::PipeReadable(id));
@@ -535,10 +557,10 @@ impl Kernel {
             FIONREAD => {
                 let kind = file.lock_ok().kind.clone();
                 let n = match kind {
-                    FileKind::PipeRead(id) => self.pipe(id)?.len(),
-                    FileKind::Socket(id) => self.socket_ref(id)?.recv.len(),
+                    FileKind::PipeRead(id) => self.with_pipe(id, |p| p.len())?,
+                    FileKind::Socket(id) => self.with_sock(id, |s| s.recv.len())?,
                     FileKind::Regular(inode) => {
-                        let size = self.vfs.get(inode)?.size();
+                        let size = self.vfs.read().get(inode)?.size();
                         size.saturating_sub(file.lock_ok().offset) as usize
                     }
                     _ => 0,
@@ -601,7 +623,8 @@ impl Kernel {
     }
 
     fn stat_inode(&self, inode: InodeId) -> SysResult<WaliStat> {
-        let node = self.vfs.get(inode)?;
+        let vfs = self.vfs.read();
+        let node = vfs.get(inode)?;
         Ok(WaliStat {
             st_dev: 1,
             st_ino: node.ino,
@@ -635,14 +658,15 @@ impl Kernel {
         let FileKind::Dir(inode) = kind else {
             return Err(Errno::Enotdir.into());
         };
-        let node = self.vfs.get(inode)?;
+        let vfs = self.vfs.read();
+        let node = vfs.get(inode)?;
         let entries = node.dir()?;
 
         let mut all: Vec<(String, InodeId, u8)> = Vec::with_capacity(entries.len() + 2);
         all.push((".".into(), inode, 4));
         all.push(("..".into(), inode, 4));
         for (name, &id) in entries {
-            let ft = match &self.vfs.get(id)?.kind {
+            let ft = match &vfs.get(id)?.kind {
                 InodeKind::Dir(_) => 4,  // DT_DIR
                 InodeKind::File(_) => 8, // DT_REG
                 InodeKind::Symlink(_) => 10,
@@ -657,7 +681,7 @@ impl Kernel {
         while idx < all.len() {
             let (name, id, ft) = &all[idx];
             let d = WaliDirent {
-                ino: self.vfs.get(*id)?.ino,
+                ino: vfs.get(*id)?.ino,
                 off: (idx + 1) as i64,
                 file_type: *ft,
                 name: name.clone(),
@@ -689,7 +713,7 @@ impl Kernel {
             .vfs
             .alloc(InodeKind::Dir(BTreeMap::new()), mode & !umask & 0o777, now);
         self.vfs.link_into(r.parent, &r.name, id)?;
-        self.vfs.get_mut(id)?.nlink = 1;
+        self.vfs.write().get_mut(id)?.nlink = 1;
         Ok(0)
     }
 
@@ -698,17 +722,20 @@ impl Kernel {
         let base = self.base_dir(tid, dirfd)?;
         let r = self.vfs.resolve(base, path, false)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        let node = self.vfs.get(inode)?;
-        let is_dir = matches!(node.kind, InodeKind::Dir(_));
-        if flags & AT_REMOVEDIR != 0 {
-            if !is_dir {
-                return Err(Errno::Enotdir.into());
+        {
+            let vfs = self.vfs.read();
+            let node = vfs.get(inode)?;
+            let is_dir = matches!(node.kind, InodeKind::Dir(_));
+            if flags & AT_REMOVEDIR != 0 {
+                if !is_dir {
+                    return Err(Errno::Enotdir.into());
+                }
+                if !node.dir()?.is_empty() {
+                    return Err(Errno::Enotempty.into());
+                }
+            } else if is_dir {
+                return Err(Errno::Eisdir.into());
             }
-            if !node.dir()?.is_empty() {
-                return Err(Errno::Enotempty.into());
-            }
-        } else if is_dir {
-            return Err(Errno::Eisdir.into());
         }
         self.vfs.unlink_from(r.parent, &r.name)?;
         Ok(0)
@@ -733,9 +760,12 @@ impl Kernel {
                 return Ok(0);
             }
             // Replace target (directories only onto empty directories).
-            let enode = self.vfs.get(existing)?;
-            if matches!(enode.kind, InodeKind::Dir(_)) && !enode.dir()?.is_empty() {
-                return Err(Errno::Enotempty.into());
+            {
+                let vfs = self.vfs.read();
+                let enode = vfs.get(existing)?;
+                if matches!(enode.kind, InodeKind::Dir(_)) && !enode.dir()?.is_empty() {
+                    return Err(Errno::Enotempty.into());
+                }
             }
             self.vfs.unlink_from(nr.parent, &nr.name)?;
         }
@@ -757,7 +787,7 @@ impl Kernel {
         let nbase = self.base_dir(tid, newdirfd)?;
         let or = self.vfs.resolve(obase, old, true)?;
         let inode = or.inode.ok_or(Errno::Enoent)?;
-        if matches!(self.vfs.get(inode)?.kind, InodeKind::Dir(_)) {
+        if matches!(self.vfs.read().get(inode)?.kind, InodeKind::Dir(_)) {
             return Err(Errno::Eperm.into());
         }
         let nr = self.vfs.resolve(nbase, new, true)?;
@@ -780,7 +810,7 @@ impl Kernel {
             .vfs
             .alloc(InodeKind::Symlink(target.to_string()), 0o777, now);
         self.vfs.link_into(r.parent, &r.name, id)?;
-        self.vfs.get_mut(id)?.nlink = 1;
+        self.vfs.write().get_mut(id)?.nlink = 1;
         Ok(0)
     }
 
@@ -789,7 +819,7 @@ impl Kernel {
         let base = self.base_dir(tid, dirfd)?;
         let r = self.vfs.resolve(base, path, false)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        match &self.vfs.get(inode)?.kind {
+        match &self.vfs.read().get(inode)?.kind {
             InodeKind::Symlink(t) => Ok(t.clone().into_bytes()),
             _ => Err(Errno::Einval.into()),
         }
@@ -810,7 +840,7 @@ impl Kernel {
         let base = self.base_dir(tid, dirfd)?;
         let r = self.vfs.resolve(base, path, true)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        self.vfs.get_mut(inode)?.perm = mode & 0o7777;
+        self.vfs.write().get_mut(inode)?.perm = mode & 0o7777;
         Ok(0)
     }
 
@@ -820,7 +850,7 @@ impl Kernel {
         let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(i) | FileKind::Dir(i) | FileKind::CharDev(i) => {
-                self.vfs.get_mut(i)?.perm = mode & 0o7777;
+                self.vfs.write().get_mut(i)?.perm = mode & 0o7777;
                 Ok(0)
             }
             _ => Err(Errno::Einval.into()),
@@ -841,7 +871,8 @@ impl Kernel {
         let follow = flags & AT_SYMLINK_NOFOLLOW == 0;
         let r = self.vfs.resolve(base, path, follow)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        let node = self.vfs.get_mut(inode)?;
+        let mut vfs = self.vfs.write();
+        let node = vfs.get_mut(inode)?;
         if uid != u32::MAX {
             node.uid = uid;
         }
@@ -857,7 +888,7 @@ impl Kernel {
         let kind = file.lock_ok().kind.clone();
         match kind {
             FileKind::Regular(inode) => {
-                match &mut self.vfs.get_mut(inode)?.kind {
+                match &mut self.vfs.write().get_mut(inode)?.kind {
                     InodeKind::File(data) => data.resize(len as usize, 0),
                     _ => return Err(Errno::Einval.into()),
                 }
@@ -872,7 +903,7 @@ impl Kernel {
         let base = self.task(tid)?.fs.lock_ok().cwd;
         let r = self.vfs.resolve(base, path, true)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        match &mut self.vfs.get_mut(inode)?.kind {
+        match &mut self.vfs.write().get_mut(inode)?.kind {
             InodeKind::File(data) => {
                 data.resize(len as usize, 0);
                 Ok(0)
@@ -893,7 +924,7 @@ impl Kernel {
         let base = self.task(tid)?.fs.lock_ok().cwd;
         let r = self.vfs.resolve(base, path, true)?;
         let inode = r.inode.ok_or(Errno::Enoent)?;
-        if !matches!(self.vfs.get(inode)?.kind, InodeKind::Dir(_)) {
+        if !matches!(self.vfs.read().get(inode)?.kind, InodeKind::Dir(_)) {
             return Err(Errno::Enotdir.into());
         }
         self.task(tid)?.fs.lock_ok().cwd = inode;

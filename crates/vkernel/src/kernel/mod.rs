@@ -18,13 +18,16 @@ use wali_abi::Errno;
 
 use crate::clock::Clock;
 use crate::fd::{FdTable, FileKind, FileRef, OpenFile};
+use crate::lockorder::LockClass;
 use crate::pipe::Pipe;
+use crate::proc::{ProcIndex, TaskHot};
 use crate::signal::{disposition, Disposition, PendingSet, SigHandlers};
+use crate::slab::ObjSlab;
 use crate::socket::Socket;
 use crate::sync::{shared, HintFlag, MutexExt};
 use crate::task::{FsInfo, Pid, Rusage, Task, TaskState, Tid};
-use crate::vfs::Vfs;
-use crate::wait::{Channel, WaitSet, WaitStats};
+use crate::vfs::{Vfs, VfsShard};
+use crate::wait::{Channel, WaitShard, WaitStats};
 use crate::{block, block_until, MmId, SysResult};
 
 /// What the embedder must do about a deliverable signal.
@@ -50,20 +53,24 @@ pub enum SignalDelivery {
 
 /// The deterministic Linux model.
 pub struct Kernel {
-    /// The filesystem.
-    pub vfs: Vfs,
+    /// The filesystem, behind its reader/writer shard.
+    pub vfs: VfsShard,
     /// Virtual time.
     pub clock: Clock,
     tasks: BTreeMap<Tid, Task>,
     next_tid: Tid,
     next_mm: u64,
-    pub(crate) pipes: Vec<Option<Pipe>>,
-    pub(crate) sockets: Vec<Option<Socket>>,
-    pub(crate) epolls: Vec<Option<epoll::Epoll>>,
+    pub(crate) pipes: ObjSlab<Pipe>,
+    pub(crate) sockets: ObjSlab<Socket>,
+    pub(crate) epolls: ObjSlab<epoll::Epoll>,
     pub(crate) addr_registry: HashMap<String, usize>,
     futexes: HashMap<(MmId, u32), VecDeque<Tid>>,
-    /// Waitqueues: blocked tasks parked on wait channels.
-    pub(crate) waits: WaitSet,
+    /// Waitqueues: blocked tasks parked on wait channels, behind their
+    /// own shard lock (innermost in the ordering DAG).
+    pub(crate) waits: WaitShard,
+    /// The sharded tid → hot-state mirror (maintained on spawn/fork/
+    /// clone/reap; read lock-cheaply by the embedder's fast paths).
+    pub(crate) procs: ProcIndex,
     rng_state: u64,
     /// Captured console (tty) output.
     pub console: Vec<u8>,
@@ -71,6 +78,22 @@ pub struct Kernel {
     /// the per-syscall tick ([`Kernel::syscall_meter`]) never takes the
     /// kernel lock.
     pub syscalls: Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// Cloneable handles onto the kernel's shards: everything the
+/// embedder's uncontended fast path needs to run a pipe/socket syscall
+/// without the big kernel lock. Fetched once per context
+/// ([`Kernel::handles`]) while the kernel lock is already held.
+#[derive(Clone, Debug)]
+pub struct KernelHandles {
+    /// The pipe slab.
+    pub pipes: ObjSlab<Pipe>,
+    /// The socket slab.
+    pub socks: ObjSlab<Socket>,
+    /// The waitqueue shard.
+    pub waits: WaitShard,
+    /// The process index.
+    pub procs: ProcIndex,
 }
 
 impl Default for Kernel {
@@ -87,21 +110,50 @@ impl Kernel {
         let init = Task::init(vfs.root);
         let mut tasks = BTreeMap::new();
         tasks.insert(1, init);
-        Kernel {
-            vfs,
+        let k = Kernel {
+            vfs: VfsShard::new(vfs),
             clock: Clock::new(),
             tasks,
             next_tid: 2,
             next_mm: 2,
-            pipes: Vec::new(),
-            sockets: Vec::new(),
-            epolls: Vec::new(),
+            pipes: ObjSlab::new(LockClass::Object),
+            sockets: ObjSlab::new(LockClass::Object),
+            epolls: ObjSlab::new(LockClass::Epoll),
             addr_registry: HashMap::new(),
             futexes: HashMap::new(),
-            waits: WaitSet::new(),
+            waits: WaitShard::new(),
+            procs: ProcIndex::new(),
             rng_state: 0x9e37_79b9_7f4a_7c15,
             console: Vec::new(),
             syscalls: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        };
+        k.register_hot(1);
+        k
+    }
+
+    /// Cloneable handles onto the kernel's shards (for the embedder's
+    /// uncontended fast path). Cheap: five `Arc` clones.
+    pub fn handles(&self) -> KernelHandles {
+        KernelHandles {
+            pipes: self.pipes.clone(),
+            socks: self.sockets.clone(),
+            waits: self.waits.clone(),
+            procs: self.procs.clone(),
+        }
+    }
+
+    /// Mirrors `tid`'s hot state into the sharded process index.
+    fn register_hot(&self, tid: Tid) {
+        if let Some(t) = self.tasks.get(&tid) {
+            self.procs.insert(
+                tid,
+                TaskHot {
+                    tgid: t.tgid,
+                    fdtable: t.fdtable.clone(),
+                    sig_hint: t.sig_hint.clone(),
+                    mm: t.mm,
+                },
+            );
         }
     }
 
@@ -165,7 +217,7 @@ impl Kernel {
 
     /// Waitqueue counters (benchmarks and tests).
     pub fn wait_stats(&self) -> WaitStats {
-        self.waits.stats
+        self.waits.stats()
     }
 
     /// Lock-free handle onto the waitqueue's woken hint: SMP workers
@@ -229,10 +281,11 @@ impl Kernel {
                 out.push(Channel::SockSpace(id));
                 if events & POLLOUT != 0 {
                     // Writability = space in the peer's receive buffer.
-                    if let Ok(s) = self.socket_ref(id) {
-                        if let crate::socket::SockState::Connected { peer } = s.state {
-                            out.push(Channel::SockSpace(peer));
-                        }
+                    if let Ok(Some(peer)) = self.with_sock(id, |s| match s.state {
+                        crate::socket::SockState::Connected { peer } => Some(peer),
+                        _ => None,
+                    }) {
+                        out.push(Channel::SockSpace(peer));
                     }
                 }
             }
@@ -266,6 +319,10 @@ impl Kernel {
     /// and, when it was the last holder, releases every description so
     /// pipe/socket peers observe EOF/EPIPE — and get their wakeups.
     fn release_task_files(&mut self, tid: Tid) {
+        // Drop the fast-path index entry first: it holds a clone of the
+        // fd-table `Arc`, and the last-holder unwrap below must see this
+        // task's reference count only.
+        self.procs.remove(tid);
         let Some(task) = self.tasks.get_mut(&tid) else {
             return;
         };
@@ -346,6 +403,7 @@ impl Kernel {
         };
         self.tasks.get_mut(&1).expect("init").children.push(tid);
         self.tasks.insert(tid, task);
+        self.register_hot(tid);
         tid
     }
 
@@ -389,6 +447,7 @@ impl Kernel {
         };
         self.tasks.insert(child_tid, child);
         self.task_mut(tid)?.children.push(child_tid);
+        self.register_hot(child_tid);
         Ok(child_tid as i64)
     }
 
@@ -465,6 +524,7 @@ impl Kernel {
         if !is_thread {
             self.task_mut(tid)?.children.push(child_tid);
         }
+        self.register_hot(child_tid);
         Ok(child_tid as i64)
     }
 
@@ -583,6 +643,7 @@ impl Kernel {
                     .collect();
                 for d in dead {
                     self.tasks.remove(&d);
+                    self.procs.remove(d);
                 }
                 self.task_mut(tid)?.children.retain(|x| x != c);
                 return Ok((*c, status));
@@ -1145,46 +1206,39 @@ impl Kernel {
     }
 
     pub(crate) fn alloc_pipe(&mut self) -> usize {
-        for (i, slot) in self.pipes.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(Pipe::new());
-                return i;
-            }
-        }
-        self.pipes.push(Some(Pipe::new()));
-        self.pipes.len() - 1
+        self.pipes.insert(Pipe::new())
     }
 
-    pub(crate) fn pipe(&mut self, id: usize) -> Result<&mut Pipe, Errno> {
-        self.pipes
-            .get_mut(id)
-            .and_then(|p| p.as_mut())
-            .ok_or(Errno::Ebadf)
+    /// Runs `f` under the per-pipe lock (first-free-slot reuse keeps the
+    /// ids bit-identical to the pre-shard `Vec<Option<Pipe>>` table).
+    /// Takes `&self`: the closure may subscribe waiters through
+    /// `self.waits` (Object rank 20 → Waits rank 40), but must not call
+    /// back into pipe/socket accessors (equal rank is a violation).
+    pub(crate) fn with_pipe<R>(
+        &self,
+        id: usize,
+        f: impl FnOnce(&mut Pipe) -> R,
+    ) -> Result<R, Errno> {
+        let p = self.pipes.get(id).ok_or(Errno::Ebadf)?;
+        let mut g = p.lock_ok();
+        Ok(f(&mut g))
     }
 
     pub(crate) fn alloc_socket(&mut self, sock: Socket) -> usize {
-        for (i, slot) in self.sockets.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(sock);
-                return i;
-            }
-        }
-        self.sockets.push(Some(sock));
-        self.sockets.len() - 1
+        self.sockets.insert(sock)
     }
 
-    pub(crate) fn socket(&mut self, id: usize) -> Result<&mut Socket, Errno> {
-        self.sockets
-            .get_mut(id)
-            .and_then(|s| s.as_mut())
-            .ok_or(Errno::Ebadf)
-    }
-
-    pub(crate) fn socket_ref(&self, id: usize) -> Result<&Socket, Errno> {
-        self.sockets
-            .get(id)
-            .and_then(|s| s.as_ref())
-            .ok_or(Errno::Ebadf)
+    /// Runs `f` under the per-socket lock. Same rules as
+    /// [`Kernel::with_pipe`]; two-socket flows (send to a connected
+    /// peer) must take the locks one after the other, never nested.
+    pub(crate) fn with_sock<R>(
+        &self,
+        id: usize,
+        f: impl FnOnce(&mut Socket) -> R,
+    ) -> Result<R, Errno> {
+        let s = self.sockets.get(id).ok_or(Errno::Ebadf)?;
+        let mut g = s.lock_ok();
+        Ok(f(&mut g))
     }
 
     // --- Teardown audit ----------------------------------------------------
@@ -1232,9 +1286,9 @@ impl Kernel {
         LeakReport {
             live_tasks,
             zombie_tasks,
-            open_pipes: self.pipes.iter().filter(|s| s.is_some()).count(),
-            open_sockets: self.sockets.iter().filter(|s| s.is_some()).count(),
-            open_epolls: self.epolls.iter().filter(|s| s.is_some()).count(),
+            open_pipes: self.pipes.live(),
+            open_sockets: self.sockets.live(),
+            open_epolls: self.epolls.live(),
             wait_subscriptions: self.waits.subscribed_count(),
             undrained_wakeups: self.waits.has_woken(),
             futex_waiters,

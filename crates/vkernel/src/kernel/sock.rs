@@ -96,12 +96,14 @@ impl Kernel {
         if self.addr_registry.contains_key(&key) {
             return Err(Errno::Eaddrinuse.into());
         }
-        let sock = self.socket(id)?;
-        if sock.local.is_some() {
-            return Err(Errno::Einval.into());
-        }
-        sock.local = Some(addr.clone());
-        sock.state = SockState::Bound;
+        self.with_sock(id, |sock| {
+            if sock.local.is_some() {
+                return Err(Errno::Einval);
+            }
+            sock.local = Some(addr.clone());
+            sock.state = SockState::Bound;
+            Ok(())
+        })??;
         self.addr_registry.insert(key, id);
         Ok(0)
     }
@@ -109,36 +111,36 @@ impl Kernel {
     /// `listen`.
     pub fn sys_listen(&mut self, tid: Tid, fd: i32, backlog: i32) -> SysResult {
         let id = self.sock_of_fd(tid, fd)?;
-        let sock = self.socket(id)?;
-        if sock.ty != SOCK_STREAM {
-            return Err(Errno::Eopnotsupp.into());
-        }
-        match sock.state {
-            SockState::Bound | SockState::Listening { .. } => {
-                sock.state = SockState::Listening {
-                    backlog: backlog.max(1) as usize,
-                    pending: Default::default(),
-                };
-                Ok(0)
+        self.with_sock(id, |sock| {
+            if sock.ty != SOCK_STREAM {
+                return Err(Errno::Eopnotsupp);
             }
-            _ => Err(Errno::Einval.into()),
-        }
+            match sock.state {
+                SockState::Bound | SockState::Listening { .. } => {
+                    sock.state = SockState::Listening {
+                        backlog: backlog.max(1) as usize,
+                        pending: Default::default(),
+                    };
+                    Ok(())
+                }
+                _ => Err(Errno::Einval),
+            }
+        })??;
+        Ok(0)
     }
 
     /// `connect`.
     pub fn sys_connect(&mut self, tid: Tid, fd: i32, addr: WaliSockaddr) -> SysResult {
         let id = self.sock_of_fd(tid, fd)?;
-        let (ty, state_ok) = {
-            let s = self.socket(id)?;
+        let (ty, state_ok) = self.with_sock(id, |s| {
             (
                 s.ty,
                 matches!(s.state, SockState::Unbound | SockState::Bound),
             )
-        };
+        })?;
         if ty == SOCK_DGRAM {
             // Datagram connect just sets the default peer address.
-            let s = self.socket(id)?;
-            s.remote = Some(addr);
+            self.with_sock(id, |s| s.remote = Some(addr))?;
             return Ok(0);
         }
         if !state_ok {
@@ -148,38 +150,33 @@ impl Kernel {
             .addr_registry
             .get(&addr_key(&addr))
             .ok_or(Errno::Econnrefused)?;
-        // Create the server-side socket of the pair.
-        let (domain, srv_ty) = {
-            let l = self.socket_ref(listener_id)?;
-            match &l.state {
-                SockState::Listening { backlog, pending } if pending.len() >= *backlog => {
-                    return Err(Errno::Econnrefused.into());
-                }
-                SockState::Listening { .. } => {}
-                _ => return Err(Errno::Econnrefused.into()),
+        // Create the server-side socket of the pair. The per-socket
+        // locks are taken strictly one at a time (equal-rank locks must
+        // never nest).
+        let (domain, srv_ty) = self.with_sock(listener_id, |l| match &l.state {
+            SockState::Listening { backlog, pending } if pending.len() >= *backlog => {
+                Err(Errno::Econnrefused)
             }
-            (l.domain, l.ty)
-        };
+            SockState::Listening { .. } => Ok((l.domain, l.ty)),
+            _ => Err(Errno::Econnrefused),
+        })??;
         let mut server_side = Socket::new(domain, srv_ty);
         server_side.state = SockState::Connected { peer: id };
         server_side.local = Some(addr.clone());
         let server_id = self.alloc_socket(server_side);
 
-        {
-            let client = self.socket(id)?;
+        let client_local = self.with_sock(id, |client| {
             client.state = SockState::Connected { peer: server_id };
             client.remote = Some(addr);
-        }
-        {
-            let client_local = self.socket_ref(id)?.local.clone();
-            let server = self.socket(server_id)?;
-            server.remote = client_local;
-        }
-        match &mut self.socket(listener_id)?.state {
+            client.local.clone()
+        })?;
+        self.with_sock(server_id, |server| server.remote = client_local)?;
+        self.with_sock(listener_id, |l| match &mut l.state {
             SockState::Listening { pending, .. } => pending.push_back(server_id),
             _ => unreachable!("checked above"),
-        }
-        // A connection is pending: wake blocked `accept`s and pollers.
+        })?;
+        // A connection is pending: wake blocked `accept`s and pollers
+        // (post after every lock is dropped).
         self.waits.post(Channel::SockReadable(listener_id));
         Ok(0)
     }
@@ -187,26 +184,26 @@ impl Kernel {
     /// `accept4`: returns the new connection fd.
     pub fn sys_accept(&mut self, tid: Tid, fd: i32, flags: i32) -> SysResult<i32> {
         let id = self.sock_of_fd(tid, fd)?;
-        let nonblock = self.fd_nonblock(tid, fd) || self.socket_ref(id)?.nonblock;
-        let conn = {
-            let sock = self.socket(id)?;
-            match &mut sock.state {
-                SockState::Listening { pending, .. } => pending.pop_front(),
-                _ => return Err(Errno::Einval.into()),
+        let nonblock = self.fd_nonblock(tid, fd) || self.with_sock(id, |s| s.nonblock)?;
+        let has_sig = self.has_pending_signal(tid);
+        let conn = self.with_sock(id, |sock| match &mut sock.state {
+            SockState::Listening { pending, .. } => {
+                let c = pending.pop_front();
+                if c.is_none() && !nonblock && !has_sig {
+                    // Subscribe under the listener's lock: a connect
+                    // landing after this posts only after releasing it.
+                    self.waits.subscribe(tid, Channel::SockReadable(id));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
+                }
+                Ok(c)
             }
-        };
+            _ => Err(Errno::Einval),
+        })??;
         match conn {
             Some(conn_id) => self.sock_fd(tid, conn_id, flags),
             None if nonblock => Err(Errno::Eagain.into()),
-            None => {
-                if self.has_pending_signal(tid) {
-                    Err(Errno::Eintr.into())
-                } else {
-                    self.waits.subscribe(tid, Channel::SockReadable(id));
-                    self.waits.subscribe(tid, Channel::Signal(tid));
-                    Err(block())
-                }
-            }
+            None if has_sig => Err(Errno::Eintr.into()),
+            None => Err(block()),
         }
     }
 
@@ -218,50 +215,59 @@ impl Kernel {
         data: &[u8],
         msg_flags: i32,
     ) -> SysResult<usize> {
-        let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
-        let (ty, state, shut_wr) = {
-            let s = self.socket_ref(id)?;
-            (s.ty, s.state.clone(), s.shut_wr)
-        };
+        let (ty, state, shut_wr, sock_nonblock) =
+            self.with_sock(id, |s| (s.ty, s.state.clone(), s.shut_wr, s.nonblock))?;
+        let nonblock = msg_flags & MSG_DONTWAIT != 0 || sock_nonblock;
         if shut_wr {
             return self.epipe(tid);
         }
         match (ty, state) {
             (SOCK_STREAM, SockState::Connected { peer }) => {
-                let peer_ok = matches!(
-                    self.socket_ref(peer).map(|p| p.state.clone()),
-                    Ok(SockState::Connected { .. })
-                );
-                if !peer_ok {
-                    return self.epipe(tid);
+                // One acquisition of the peer's lock covers the state
+                // check, the copy into its receive buffer and — when the
+                // buffer is full — the wakeup subscription (a reader that
+                // drains afterwards posts only after unlocking).
+                enum Step {
+                    Sent(usize),
+                    Gone,
+                    Full,
                 }
-                let p = self.socket(peer)?;
-                if p.shut_rd {
-                    return self.epipe(tid);
-                }
-                let space = p.recv_space();
-                if space == 0 {
-                    if nonblock {
-                        return Err(Errno::Eagain.into());
+                let step = self
+                    .with_sock(peer, |p| {
+                        if !matches!(p.state, SockState::Connected { .. }) || p.shut_rd {
+                            return Step::Gone;
+                        }
+                        let space = p.recv_space();
+                        if space == 0 {
+                            if !nonblock {
+                                // Park until the peer drains its buffer.
+                                self.waits.subscribe(tid, Channel::SockSpace(peer));
+                                self.waits.subscribe(tid, Channel::Signal(tid));
+                            }
+                            return Step::Full;
+                        }
+                        let n = data.len().min(space);
+                        p.recv.extend(&data[..n]);
+                        Step::Sent(n)
+                    })
+                    .unwrap_or(Step::Gone);
+                match step {
+                    Step::Sent(n) => {
+                        // Data arrived at the peer: wake its readers and
+                        // pollers (post after dropping the peer's lock).
+                        self.waits.post(Channel::SockReadable(peer));
+                        Ok(n)
                     }
-                    // Park until the peer drains its receive buffer.
-                    self.waits.subscribe(tid, Channel::SockSpace(peer));
-                    self.waits.subscribe(tid, Channel::Signal(tid));
-                    return Err(block());
+                    Step::Gone => self.epipe(tid),
+                    Step::Full if nonblock => Err(Errno::Eagain.into()),
+                    Step::Full => Err(block()),
                 }
-                let n = data.len().min(space);
-                p.recv.extend(&data[..n]);
-                // Data arrived at the peer: wake its readers and pollers.
-                self.waits.post(Channel::SockReadable(peer));
-                Ok(n)
             }
             (SOCK_STREAM, SockState::Closed) => self.epipe(tid),
             (SOCK_STREAM, _) => Err(Errno::Enotconn.into()),
             (SOCK_DGRAM, _) => {
                 let dest = self
-                    .socket_ref(id)?
-                    .remote
-                    .clone()
+                    .with_sock(id, |s| s.remote.clone())?
                     .ok_or(Errno::Edestaddrreq)?;
                 self.dgram_send_to(id, &dest, data)
             }
@@ -286,18 +292,18 @@ impl Kernel {
             .get(&addr_key(dest))
             .ok_or(Errno::Econnrefused)?;
         let src = self
-            .socket_ref(from_id)?
-            .local
-            .clone()
+            .with_sock(from_id, |s| s.local.clone())?
             .unwrap_or(WaliSockaddr::Inet {
                 addr: [127, 0, 0, 1],
                 port: 0,
             });
-        let t = self.socket(target)?;
-        if t.dgrams.len() >= 256 {
-            return Err(Errno::Enobufs.into());
-        }
-        t.dgrams.push_back((src, data.to_vec()));
+        self.with_sock(target, |t| {
+            if t.dgrams.len() >= 256 {
+                return Err(Errno::Enobufs);
+            }
+            t.dgrams.push_back((src, data.to_vec()));
+            Ok(())
+        })??;
         // A datagram arrived: wake the target's readers and pollers.
         self.waits.post(Channel::SockReadable(target));
         Ok(data.len())
@@ -314,7 +320,7 @@ impl Kernel {
     ) -> SysResult<usize> {
         let id = self.sock_of_fd(tid, fd)?;
         match dest {
-            Some(addr) if self.socket_ref(id)?.ty == SOCK_DGRAM => {
+            Some(addr) if self.with_sock(id, |s| s.ty)? == SOCK_DGRAM => {
                 self.dgram_send_to(id, &addr, data)
             }
             _ => self.sock_send(tid, id, data, msg_flags),
@@ -329,75 +335,113 @@ impl Kernel {
         out: &mut [u8],
         msg_flags: i32,
     ) -> SysResult<usize> {
-        let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
+        let (ty, state, sock_nonblock) =
+            self.with_sock(id, |s| (s.ty, s.state.clone(), s.nonblock))?;
+        let nonblock = msg_flags & MSG_DONTWAIT != 0 || sock_nonblock;
         let peek = msg_flags & MSG_PEEK != 0;
-        let (ty, state, shut_rd) = {
-            let s = self.socket_ref(id)?;
-            (s.ty, s.state.clone(), s.shut_rd)
-        };
+        // Outcome of the single pass under our own socket lock; wakeup
+        // posts happen after the lock is dropped.
+        enum Step {
+            Data(usize, bool),
+            Eof,
+            NotConn,
+            Again,
+            Intr,
+            Park,
+        }
         match ty {
             SOCK_STREAM => {
-                let s = self.socket(id)?;
-                if !s.recv.is_empty() {
-                    let n = out.len().min(s.recv.len());
-                    if peek {
-                        for (i, b) in s.recv.iter().take(n).enumerate() {
-                            out[i] = *b;
-                        }
-                    } else {
-                        for b in out.iter_mut().take(n) {
-                            *b = s.recv.pop_front().expect("non-empty");
-                        }
-                        // Space opened in our receive buffer: wake the
-                        // peer's blocked senders and POLLOUT pollers.
-                        self.waits.post(Channel::SockSpace(id));
-                    }
-                    return Ok(n);
-                }
-                if shut_rd || matches!(state, SockState::Closed) {
-                    return Ok(0);
-                }
-                // Peer gone means EOF too.
-                if let SockState::Connected { peer } = state {
-                    let peer_live = matches!(
-                        self.socket_ref(peer).map(|p| p.state.clone()),
+                let has_sig = self.has_pending_signal(tid);
+                // Peer liveness is snapshotted before taking our own lock
+                // (the two per-socket locks must never nest). Any data the
+                // peer pushes concurrently is observed by the drain below
+                // or by the post it issues after unlocking.
+                let peer_live = match state {
+                    SockState::Connected { peer } => matches!(
+                        self.with_sock(peer, |p| p.state.clone()),
                         Ok(SockState::Connected { .. })
-                    );
-                    if !peer_live {
-                        return Ok(0);
+                    ),
+                    _ => false,
+                };
+                let step = self.with_sock(id, |s| {
+                    if !s.recv.is_empty() {
+                        let n = out.len().min(s.recv.len());
+                        if peek {
+                            for (i, b) in s.recv.iter().take(n).enumerate() {
+                                out[i] = *b;
+                            }
+                        } else {
+                            for b in out.iter_mut().take(n) {
+                                *b = s.recv.pop_front().expect("non-empty");
+                            }
+                        }
+                        return Step::Data(n, !peek);
                     }
-                } else {
-                    return Err(Errno::Enotconn.into());
-                }
-                if nonblock {
-                    return Err(Errno::Eagain.into());
-                }
-                if self.has_pending_signal(tid) {
-                    return Err(Errno::Eintr.into());
-                }
-                self.waits.subscribe(tid, Channel::SockReadable(id));
-                self.waits.subscribe(tid, Channel::Signal(tid));
-                Err(block())
-            }
-            SOCK_DGRAM => {
-                let s = self.socket(id)?;
-                match if peek {
-                    s.dgrams.front().cloned()
-                } else {
-                    s.dgrams.pop_front()
-                } {
-                    Some((_, data)) => {
-                        let n = out.len().min(data.len());
-                        out[..n].copy_from_slice(&data[..n]);
+                    if s.shut_rd || matches!(s.state, SockState::Closed) {
+                        return Step::Eof;
+                    }
+                    if !matches!(s.state, SockState::Connected { .. }) {
+                        return Step::NotConn;
+                    }
+                    // Peer gone means EOF too.
+                    if !peer_live {
+                        return Step::Eof;
+                    }
+                    if nonblock {
+                        return Step::Again;
+                    }
+                    if has_sig {
+                        return Step::Intr;
+                    }
+                    // Subscribe under our lock: a sender filling the
+                    // buffer after this posts only after unlocking.
+                    self.waits.subscribe(tid, Channel::SockReadable(id));
+                    self.waits.subscribe(tid, Channel::Signal(tid));
+                    Step::Park
+                })?;
+                match step {
+                    Step::Data(n, drained) => {
+                        if drained {
+                            // Space opened in our receive buffer: wake the
+                            // peer's blocked senders and POLLOUT pollers.
+                            self.waits.post(Channel::SockSpace(id));
+                        }
                         Ok(n)
                     }
-                    None if shut_rd => Ok(0),
-                    None if nonblock => Err(Errno::Eagain.into()),
-                    None => {
-                        self.waits.subscribe(tid, Channel::SockReadable(id));
-                        self.waits.subscribe(tid, Channel::Signal(tid));
-                        Err(block())
+                    Step::Eof => Ok(0),
+                    Step::NotConn => Err(Errno::Enotconn.into()),
+                    Step::Again => Err(Errno::Eagain.into()),
+                    Step::Intr => Err(Errno::Eintr.into()),
+                    Step::Park => Err(block()),
+                }
+            }
+            SOCK_DGRAM => {
+                let step = self.with_sock(id, |s| {
+                    match if peek {
+                        s.dgrams.front().cloned()
+                    } else {
+                        s.dgrams.pop_front()
+                    } {
+                        Some((_, data)) => {
+                            let n = out.len().min(data.len());
+                            out[..n].copy_from_slice(&data[..n]);
+                            Step::Data(n, false)
+                        }
+                        None if s.shut_rd => Step::Eof,
+                        None if nonblock => Step::Again,
+                        None => {
+                            self.waits.subscribe(tid, Channel::SockReadable(id));
+                            self.waits.subscribe(tid, Channel::Signal(tid));
+                            Step::Park
+                        }
                     }
+                })?;
+                match step {
+                    Step::Data(n, _) => Ok(n),
+                    Step::Eof => Ok(0),
+                    Step::Again => Err(Errno::Eagain.into()),
+                    Step::Park => Err(block()),
+                    Step::NotConn | Step::Intr => unreachable!("dgram path"),
                 }
             }
             _ => Err(Errno::Einval.into()),
@@ -413,41 +457,49 @@ impl Kernel {
         msg_flags: i32,
     ) -> SysResult<(usize, Option<WaliSockaddr>)> {
         let id = self.sock_of_fd(tid, fd)?;
-        if self.socket_ref(id)?.ty == SOCK_DGRAM {
-            let nonblock = msg_flags & MSG_DONTWAIT != 0 || self.socket_ref(id)?.nonblock;
-            let s = self.socket(id)?;
-            return match s.dgrams.pop_front() {
+        let (ty, sock_nonblock) = self.with_sock(id, |s| (s.ty, s.nonblock))?;
+        if ty == SOCK_DGRAM {
+            let nonblock = msg_flags & MSG_DONTWAIT != 0 || sock_nonblock;
+            let got = self.with_sock(id, |s| match s.dgrams.pop_front() {
                 Some((src, data)) => {
                     let n = out.len().min(data.len());
                     out[..n].copy_from_slice(&data[..n]);
-                    Ok((n, Some(src)))
+                    Some((n, Some(src)))
                 }
-                None if nonblock => Err(Errno::Eagain.into()),
                 None => {
-                    self.waits.subscribe(tid, Channel::SockReadable(id));
-                    self.waits.subscribe(tid, Channel::Signal(tid));
-                    Err(block())
+                    if !nonblock {
+                        self.waits.subscribe(tid, Channel::SockReadable(id));
+                        self.waits.subscribe(tid, Channel::Signal(tid));
+                    }
+                    None
                 }
+            })?;
+            return match got {
+                Some(v) => Ok(v),
+                None if nonblock => Err(Errno::Eagain.into()),
+                None => Err(block()),
             };
         }
         let n = self.sock_recv(tid, id, out, msg_flags)?;
-        let src = self.socket_ref(id)?.remote.clone();
+        let src = self.with_sock(id, |s| s.remote.clone())?;
         Ok((n, src))
     }
 
     /// `shutdown`.
     pub fn sys_shutdown(&mut self, tid: Tid, fd: i32, how: i32) -> SysResult {
         let id = self.sock_of_fd(tid, fd)?;
-        let s = self.socket(id)?;
-        match how {
-            SHUT_RD => s.shut_rd = true,
-            SHUT_WR => s.shut_wr = true,
-            SHUT_RDWR => {
-                s.shut_rd = true;
-                s.shut_wr = true;
+        self.with_sock(id, |s| {
+            match how {
+                SHUT_RD => s.shut_rd = true,
+                SHUT_WR => s.shut_wr = true,
+                SHUT_RDWR => {
+                    s.shut_rd = true;
+                    s.shut_wr = true;
+                }
+                _ => return Err(Errno::Einval),
             }
-            _ => return Err(Errno::Einval.into()),
-        }
+            Ok(())
+        })??;
         // Readiness changed for both ends: blocked readers see EOF,
         // blocked senders EPIPE.
         self.post_socket_hangup(id);
@@ -457,7 +509,7 @@ impl Kernel {
     /// Posts every channel a hangup on socket `id` can unblock: its own
     /// readers/senders and, when connected, the peer's.
     fn post_socket_hangup(&mut self, id: usize) {
-        let peer = match self.socket_ref(id).map(|s| s.state.clone()) {
+        let peer = match self.with_sock(id, |s| s.state.clone()) {
             Ok(SockState::Connected { peer }) => Some(peer),
             _ => None,
         };
@@ -474,8 +526,8 @@ impl Kernel {
         let base_ty = ty & 0xf;
         let a = self.alloc_socket(Socket::new(domain, base_ty));
         let b = self.alloc_socket(Socket::new(domain, base_ty));
-        self.socket(a)?.state = SockState::Connected { peer: b };
-        self.socket(b)?.state = SockState::Connected { peer: a };
+        self.with_sock(a, |s| s.state = SockState::Connected { peer: b })?;
+        self.with_sock(b, |s| s.state = SockState::Connected { peer: a })?;
         let fa = self.sock_fd(tid, a, ty)?;
         let fb = self.sock_fd(tid, b, ty)?;
         Ok((fa, fb))
@@ -491,31 +543,27 @@ impl Kernel {
         value: i32,
     ) -> SysResult {
         let id = self.sock_of_fd(tid, fd)?;
-        self.socket(id)?.set_option(level, name, value);
+        self.with_sock(id, |s| s.set_option(level, name, value))?;
         Ok(0)
     }
 
     /// `getsockopt`.
     pub fn sys_getsockopt(&mut self, tid: Tid, fd: i32, level: i32, name: i32) -> SysResult<i32> {
         let id = self.sock_of_fd(tid, fd)?;
-        Ok(self.socket_ref(id)?.get_option(level, name))
+        Ok(self.with_sock(id, |s| s.get_option(level, name))?)
     }
 
     /// `getsockname`.
     pub fn sys_getsockname(&mut self, tid: Tid, fd: i32) -> SysResult<WaliSockaddr> {
         let id = self.sock_of_fd(tid, fd)?;
-        self.socket_ref(id)?
-            .local
-            .clone()
+        self.with_sock(id, |s| s.local.clone())?
             .ok_or(Errno::Einval.into())
     }
 
     /// `getpeername`.
     pub fn sys_getpeername(&mut self, tid: Tid, fd: i32) -> SysResult<WaliSockaddr> {
         let id = self.sock_of_fd(tid, fd)?;
-        self.socket_ref(id)?
-            .remote
-            .clone()
+        self.with_sock(id, |s| s.remote.clone())?
             .ok_or(Errno::Enotconn.into())
     }
 
@@ -526,38 +574,35 @@ impl Kernel {
         // Unregister the bound address only if this socket owns the
         // registration (accepted connections share the listener's local
         // address but must not tear its registration down).
-        if let Ok(s) = self.socket_ref(id) {
-            if let Some(local) = &s.local {
-                let key = addr_key(local);
-                if self.addr_registry.get(&key) == Some(&id) {
-                    self.addr_registry.remove(&key);
-                }
+        if let Ok(Some(local)) = self.with_sock(id, |s| s.local.clone()) {
+            let key = addr_key(&local);
+            if self.addr_registry.get(&key) == Some(&id) {
+                self.addr_registry.remove(&key);
             }
         }
-        let peer = match self.socket_ref(id).map(|s| s.state.clone()) {
+        let peer = match self.with_sock(id, |s| s.state.clone()) {
             Ok(SockState::Connected { peer }) => Some(peer),
             _ => None,
         };
         if let Some(p) = peer {
-            if let Ok(ps) = self.socket(p) {
-                ps.state = SockState::Closed;
-            }
+            let _ = self.with_sock(p, |ps| ps.state = SockState::Closed);
         }
-        // Drop pending unaccepted connections of a listener.
-        if let Ok(s) = self.socket(id) {
-            if let SockState::Listening { pending, .. } = &mut s.state {
-                let orphans: Vec<usize> = pending.drain(..).collect();
+        // Drop pending unaccepted connections of a listener; free the
+        // slab slot only after the last per-socket guard is dropped.
+        let orphans = self
+            .with_sock(id, |s| {
+                let orphans: Vec<usize> = match &mut s.state {
+                    SockState::Listening { pending, .. } => pending.drain(..).collect(),
+                    _ => Vec::new(),
+                };
                 s.state = SockState::Closed;
-                for o in orphans {
-                    if let Ok(os) = self.socket(o) {
-                        os.state = SockState::Closed;
-                    }
-                }
-            } else {
-                s.state = SockState::Closed;
-            }
+                orphans
+            })
+            .unwrap_or_default();
+        for o in orphans {
+            let _ = self.with_sock(o, |os| os.state = SockState::Closed);
         }
-        self.sockets[id] = None;
+        self.sockets.free(id);
     }
 
     // --- poll ---------------------------------------------------------------
@@ -602,38 +647,46 @@ impl Kernel {
                 revents |= (POLLIN | POLLOUT) & events;
             }
             FileKind::PipeRead(id) => {
-                let p = self.pipe(id)?;
-                if p.readable() {
+                let (readable, writers) = self.with_pipe(id, |p| (p.readable(), p.writers))?;
+                if readable {
                     revents |= POLLIN & events;
                 }
-                if p.writers == 0 {
+                if writers == 0 {
                     revents |= POLLHUP;
                 }
             }
             FileKind::PipeWrite(id) => {
-                let p = self.pipe(id)?;
-                if p.writable() {
+                let (writable, readers) = self.with_pipe(id, |p| (p.writable(), p.readers))?;
+                if writable {
                     revents |= POLLOUT & events;
                 }
-                if p.readers == 0 {
+                if readers == 0 {
                     revents |= POLLERR;
                 }
             }
             FileKind::Socket(id) => {
-                let s = self.socket_ref(id)?;
-                if s.readable() {
+                let (readable, state) = self.with_sock(id, |s| (s.readable(), s.state.clone()))?;
+                if readable {
                     revents |= POLLIN & events;
                 }
-                match &s.state {
+                match state {
                     SockState::Connected { peer } => {
-                        let peer_live = matches!(
-                            self.socket_ref(*peer).map(|p| p.state.clone()),
-                            Ok(SockState::Connected { .. })
-                        );
-                        if !peer_live {
-                            revents |= POLLIN & events | POLLHUP;
-                        } else if self.socket_ref(*peer)?.recv_space() > 0 {
-                            revents |= POLLOUT & events;
+                        // Peer looked at with its own (sequential) lock.
+                        let peer_view = self
+                            .with_sock(peer, |p| {
+                                (
+                                    matches!(p.state, SockState::Connected { .. }),
+                                    p.recv_space(),
+                                )
+                            })
+                            .ok();
+                        match peer_view {
+                            Some((true, space)) => {
+                                if space > 0 {
+                                    revents |= POLLOUT & events;
+                                }
+                            }
+                            _ => revents |= POLLIN & events | POLLHUP,
                         }
                     }
                     SockState::Closed => revents |= POLLHUP,
@@ -641,7 +694,7 @@ impl Kernel {
                 }
             }
             FileKind::CharDev(inode) => {
-                let dev = match &self.vfs.get(inode)?.kind {
+                let dev = match &self.vfs.read().get(inode)?.kind {
                     InodeKind::CharDev(d) => d.clone(),
                     _ => return Ok(0),
                 };

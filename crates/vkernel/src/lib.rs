@@ -33,8 +33,11 @@
 pub mod clock;
 pub mod fd;
 pub mod kernel;
+pub mod lockorder;
 pub mod pipe;
+pub mod proc;
 pub mod signal;
+pub mod slab;
 pub mod socket;
 pub mod sync;
 pub mod task;
@@ -42,10 +45,13 @@ pub mod vfs;
 pub mod wait;
 
 pub use clock::Clock;
-pub use kernel::{Kernel, LeakReport};
+pub use kernel::{Kernel, KernelHandles, LeakReport};
+pub use lockorder::{contention, LockClass, OrderToken, Tracked};
+pub use proc::{ProcIndex, TaskHot};
+pub use slab::ObjSlab;
 pub use sync::{shared, HintFlag, MutexExt, Shared};
 pub use task::{Pid, Task, TaskState, Tid};
-pub use wait::{Channel, WaitSet, WaitStats};
+pub use wait::{Channel, WaitSet, WaitShard, WaitStats};
 
 use wali_abi::Errno;
 

@@ -7,11 +7,14 @@
 //! signal handlers, pending sets — is now an [`Shared`] handle with its
 //! own lock, independently lockable from the kernel core.
 //!
-//! Lock ordering (see DESIGN.md "Concurrency"): the kernel core mutex is
-//! the outermost lock; per-task shards (fd table → open file description)
-//! nest inside it; the scheduler's queue locks are never held across a
-//! kernel call. The virtual clock is lock-free (atomics) and may be read
-//! or ticked from any level.
+//! Lock ordering (see DESIGN.md "Concurrency" and
+//! [`crate::lockorder`]): the tracked classes form a DAG acquired
+//! strictly downward — `Kernel → Proc → Slab → Epoll → Object → Vfs →
+//! Waits` — enforced by a debug-build rank stack. Per-task shards (fd
+//! table → open file description) are plain mutexes nesting inside
+//! whatever class is held; the scheduler's queue locks are never held
+//! across a kernel call. The virtual clock is lock-free (atomics) and
+//! may be read or ticked from any level.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};

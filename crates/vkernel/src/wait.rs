@@ -25,6 +25,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::lockorder::{LockClass, Tracked};
 use crate::{MmId, Pid, Tid};
 
 /// A wait channel: the kernel-side event a blocked task parks on.
@@ -209,6 +210,99 @@ impl WaitSet {
             .iter()
             .map(|(t, chs)| (*t, chs.clone()))
             .collect()
+    }
+}
+
+/// The waitqueue table behind its own shard lock.
+///
+/// With the big kernel lock sharded, producers (a fast-path pipe write
+/// on one worker) and consumers (a subscribe-then-block on another)
+/// touch the waitqueues concurrently. `WaitShard` wraps [`WaitSet`] in
+/// a [`Tracked`] lock of class [`LockClass::Waits`] — the *innermost*
+/// class, because the never-miss-a-wakeup protocol subscribes while
+/// holding the object lock of the pipe/socket being waited on:
+///
+/// * consumers check object state and subscribe under the object lock;
+/// * producers mutate under the object lock and post *after* releasing
+///   it, so either the consumer saw the new state, or its subscription
+///   was visible when the post ran.
+#[derive(Clone, Debug)]
+pub struct WaitShard {
+    inner: Arc<Tracked<WaitSet>>,
+}
+
+impl Default for WaitShard {
+    fn default() -> WaitShard {
+        WaitShard::new()
+    }
+}
+
+impl WaitShard {
+    /// A fresh, empty waitqueue shard.
+    pub fn new() -> WaitShard {
+        WaitShard {
+            inner: Arc::new(Tracked::new(LockClass::Waits, WaitSet::new())),
+        }
+    }
+
+    /// See [`WaitSet::subscribe`].
+    pub fn subscribe(&self, tid: Tid, ch: Channel) {
+        self.inner.lock_ok().subscribe(tid, ch);
+    }
+
+    /// See [`WaitSet::post`].
+    pub fn post(&self, ch: Channel) -> usize {
+        self.inner.lock_ok().post(ch)
+    }
+
+    /// See [`WaitSet::wake`].
+    pub fn wake(&self, tid: Tid) {
+        self.inner.lock_ok().wake(tid);
+    }
+
+    /// See [`WaitSet::unsubscribe`].
+    pub fn unsubscribe(&self, tid: Tid) {
+        self.inner.lock_ok().unsubscribe(tid);
+    }
+
+    /// See [`WaitSet::is_subscribed`].
+    pub fn is_subscribed(&self, tid: Tid) -> bool {
+        self.inner.lock_ok().is_subscribed(tid)
+    }
+
+    /// See [`WaitSet::take_woken`].
+    pub fn take_woken(&self) -> Vec<Tid> {
+        self.inner.lock_ok().take_woken()
+    }
+
+    /// See [`WaitSet::woken_hint`].
+    pub fn woken_hint(&self) -> Arc<AtomicBool> {
+        self.inner.lock_ok().woken_hint()
+    }
+
+    /// See [`WaitSet::generation`].
+    pub fn generation(&self, ch: Channel) -> u64 {
+        self.inner.lock_ok().generation(ch)
+    }
+
+    /// See [`WaitSet::has_woken`].
+    pub fn has_woken(&self) -> bool {
+        self.inner.lock_ok().has_woken()
+    }
+
+    /// See [`WaitSet::subscribed_count`].
+    pub fn subscribed_count(&self) -> usize {
+        self.inner.lock_ok().subscribed_count()
+    }
+
+    /// See [`WaitSet::subscribed_channels`].
+    pub fn subscribed_channels(&self) -> Vec<(Tid, Vec<Channel>)> {
+        self.inner.lock_ok().subscribed_channels()
+    }
+
+    /// A copy of the aggregate counters.
+    pub fn stats(&self) -> WaitStats {
+        self.inner.lock_ok().stats
     }
 }
 

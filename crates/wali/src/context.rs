@@ -6,11 +6,11 @@
 //! watermark, argv/env, the trace, and the seccomp-like policy layer.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
-use vkernel::kernel::SignalDelivery;
-use vkernel::{shared, HintFlag, Kernel, MmId, MutexExt, Shared, Tid};
+use vkernel::kernel::{KernelHandles, SignalDelivery};
+use vkernel::{shared, HintFlag, Kernel, LockClass, MmId, MutexExt, Shared, Tid, Tracked};
 use wali_abi::signals::SigSet;
 use wasm::error::Trap;
 use wasm::host::{HostCtx, PendingCall};
@@ -28,7 +28,13 @@ use crate::trace::Trace;
 /// tables, the atomic virtual clock and the waitqueue woken hint) hang
 /// off it as their own `Arc`s, so the hot paths that touch only a shard
 /// never contend on this lock.
-pub type KernelRef = Arc<Mutex<Kernel>>;
+pub type KernelRef = Arc<Tracked<Kernel>>;
+
+/// Wraps a freshly built kernel in the shared, lock-order-tracked
+/// handle every context and worker clones.
+pub fn new_kernel_ref(kernel: Kernel) -> KernelRef {
+    Arc::new(Tracked::new(LockClass::Kernel, kernel))
+}
 
 /// The embedder context threaded through every WALI host call.
 pub struct WaliContext {
@@ -58,6 +64,18 @@ pub struct WaliContext {
     pub policy: Option<Policy>,
     /// Deadline handed back by the runner when retrying a blocked call.
     pub retry_deadline: Option<u64>,
+    /// Cloneable handles to the kernel's independently lockable shards
+    /// (pipe/socket slabs, the waitqueue, the process index). The
+    /// sharded syscall fast path goes through these without ever
+    /// touching the kernel lock.
+    pub(crate) handles: KernelHandles,
+    /// Whether the sharded fast path is enabled for this task
+    /// (`WALI_NO_SHARD=1` routes everything through the kernel lock).
+    pub(crate) shard: bool,
+    /// Lazily cached fast-path handles (fd table + signal hint) for
+    /// this task; filled on the first sharded syscall, reset whenever a
+    /// fresh context is built (spawn, fork, thread, exec).
+    pub(crate) hot_cache: Option<crate::fastpath::HotCache>,
     /// Fast-path signal hint shared with the kernel task.
     sig_hint: HintFlag,
     /// Lock-free syscall meter: clock + entry counter handles, cloned
@@ -81,10 +99,15 @@ impl WaliContext {
     /// `brk` heap starts there and the mmap pool above it (1 MiB of brk
     /// headroom).
     pub fn new(kernel: KernelRef, tid: Tid, heap_base: u32) -> WaliContext {
-        let (mm, sig_hint, meter) = {
+        let (mm, sig_hint, meter, handles) = {
             let k = kernel.lock_ok();
             let task = k.task(tid).expect("task exists");
-            (task.mm, task.sig_hint.clone(), k.syscall_meter())
+            (
+                task.mm,
+                task.sig_hint.clone(),
+                k.syscall_meter(),
+                k.handles(),
+            )
         };
         let brk_start = (heap_base + 15) & !15;
         let pool_base = brk_start + (1 << 20);
@@ -101,6 +124,9 @@ impl WaliContext {
             trace: Trace::default(),
             policy: None,
             retry_deadline: None,
+            handles,
+            shard: crate::runner::shard_default(),
+            hot_cache: None,
             sig_hint,
             meter,
             handler_masks: Vec::new(),
@@ -131,6 +157,9 @@ impl WaliContext {
             trace: Trace::default(),
             policy: self.policy.clone(),
             retry_deadline: None,
+            handles: self.handles.clone(),
+            shard: self.shard,
+            hot_cache: None,
             sig_hint,
             meter,
             handler_masks: Vec::new(),
@@ -161,6 +190,9 @@ impl WaliContext {
             trace: Trace::default(),
             policy: self.policy.clone(),
             retry_deadline: None,
+            handles: self.handles.clone(),
+            shard: self.shard,
+            hot_cache: None,
             sig_hint,
             meter,
             handler_masks: Vec::new(),
@@ -264,7 +296,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> WaliContext {
-        let kernel = Arc::new(Mutex::new(Kernel::new()));
+        let kernel = new_kernel_ref(Kernel::new());
         let tid = kernel.lock_ok().spawn_process();
         WaliContext::new(kernel, tid, 4096)
     }

@@ -85,6 +85,7 @@ struct RunnerView<'a> {
     programs: &'a std::collections::HashMap<String, Arc<Program<WaliContext>>>,
     stats: &'a AtomicSched,
     cow_on: bool,
+    shard_on: bool,
 }
 
 /// Mutable scheduler state shared by the worker pool (one lock).
@@ -213,6 +214,7 @@ impl WaliRunner {
                 programs: &self.programs,
                 stats: &self.stats,
                 cow_on: self.cow_on(),
+                shard_on: self.shard_on(),
             };
             let view = &view;
             let pool = &pool;
@@ -756,6 +758,7 @@ fn handle_suspend(
             };
             let old_trace = slot.ctx.trace.clone();
             let mut ctx = WaliContext::new(pool.kernel.clone(), tid, program.data_end());
+            ctx.shard = runner.shard_on;
             ctx.args = if argv.is_empty() { vec![path] } else { argv };
             ctx.env = envp;
             ctx.trace = old_trace;

@@ -31,6 +31,7 @@
 
 pub mod context;
 pub(crate) mod exec;
+pub(crate) mod fastpath;
 pub mod fault;
 pub mod mem;
 pub mod mmap;
@@ -41,7 +42,8 @@ pub mod sigtable;
 pub mod testkit;
 pub mod trace;
 
-pub use context::WaliContext;
+pub use context::{new_kernel_ref, WaliContext};
+pub use fastpath::fastpath_hits;
 pub use registry::build_linker;
 pub use runner::{Observables, RunOutcome, WaliRunner};
 pub use trace::Trace;

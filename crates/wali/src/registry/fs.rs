@@ -45,6 +45,11 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
         let mem = c.instance.memory.clone();
         flat(with_slice_mut(&mem, ptr, len, |buf| {
+            // Sharded fast path: pipe/stream-socket reads complete
+            // against the per-object locks without the kernel lock.
+            if let Some(r) = crate::fastpath::try_read(c.data, fd, buf) {
+                return r;
+            }
             k(c, |kk, tid| kk.sys_read(tid, fd, buf))
         }))
     });
@@ -53,6 +58,10 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
         let (fd, ptr, len) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
         let mem = c.instance.memory.clone();
         flat(with_slice(&mem, ptr, len, |buf| {
+            // Sharded fast path (see `read` above).
+            if let Some(r) = crate::fastpath::try_write(c.data, fd, buf) {
+                return r;
+            }
             k(c, |kk, tid| kk.sys_write(tid, fd, buf))
         }))
     });

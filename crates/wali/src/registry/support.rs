@@ -12,7 +12,6 @@ use wasm::interp::Value;
 use crate::context::WaliContext;
 use crate::registry::WaliSuspend;
 use crate::WALI_MODULE;
-use vkernel::MutexExt;
 
 pub(crate) fn register(l: &mut Linker<WaliContext>) {
     l.func(WALI_MODULE, "get_argc", |caller, _args| {

@@ -30,10 +30,10 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
-use vkernel::{Kernel, MutexExt, TaskState, Tid};
+use vkernel::{Kernel, TaskState, Tid};
 use wali_abi::Errno;
 use wasm::host::{Caller, HostFn, HostOutcome, Linker};
 use wasm::interp::{Instance, RunResult, Thread, Value};
@@ -238,6 +238,14 @@ pub fn event_driven_default() -> bool {
     std::env::var_os("WALI_NO_WAITQ").is_none()
 }
 
+/// Whether the sharded syscall fast path is on by default (the
+/// `WALI_NO_SHARD` escape hatch routes every syscall through the big
+/// kernel lock — the A/B baseline the equivalence oracle compares
+/// against).
+pub fn shard_default() -> bool {
+    std::env::var_os("WALI_NO_SHARD").is_none()
+}
+
 /// Worker-pool width selected by the `WALI_WORKERS` environment
 /// variable: a number, or `0`/`auto` for `min(cores, 8)`. Unset — or
 /// unparsable — means 1: the deterministic single-threaded schedule.
@@ -279,6 +287,8 @@ pub struct WaliRunner {
     /// [`wasm::mem::cow_default`] (`WALI_NO_COW=1` selects the flat
     /// eager-zero / deep-copy-fork baseline).
     cow: Option<bool>,
+    /// Sharded-fast-path override; `None` follows [`shard_default`].
+    shard: Option<bool>,
     /// Worker-pool width override; `None` follows [`workers_default`].
     workers: Option<usize>,
     /// Set when `linker_mut` may have changed registrations since the
@@ -323,7 +333,7 @@ impl WaliRunner {
         let clock = kernel.clock.clone();
         let woken_hint = kernel.woken_hint();
         WaliRunner {
-            kernel: Arc::new(Mutex::new(kernel)),
+            kernel: crate::context::new_kernel_ref(kernel),
             linker: build_linker(),
             handlers: Vec::new(),
             programs: HashMap::new(),
@@ -331,6 +341,7 @@ impl WaliRunner {
             fuse: None,
             event_driven: None,
             cow: None,
+            shard: None,
             workers: None,
             handlers_dirty: true,
             tasks: BTreeMap::new(),
@@ -393,6 +404,17 @@ impl WaliRunner {
 
     pub(crate) fn cow_on(&self) -> bool {
         self.cow.unwrap_or_else(wasm::mem::cow_default)
+    }
+
+    /// Overrides the sharded syscall fast path (A/B measurement; default
+    /// follows [`shard_default`]). `false` routes pipe/socket I/O through
+    /// the big kernel lock like the pre-shard runtime.
+    pub fn set_shard(&mut self, on: bool) {
+        self.shard = Some(on);
+    }
+
+    pub(crate) fn shard_on(&self) -> bool {
+        self.shard.unwrap_or_else(shard_default)
     }
 
     /// Overrides the worker-pool width (A/B measurement; default follows
@@ -470,6 +492,7 @@ impl WaliRunner {
             .or_else(|| instance.export_func("main"))
             .ok_or(RunnerError::NoEntry("_start"))?;
         let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
+        ctx.shard = self.shard_on();
         ctx.args = std::iter::once(path.to_string())
             .chain(args.iter().map(|s| s.to_string()))
             .collect();
@@ -1021,6 +1044,7 @@ impl WaliRunner {
                     .map(|s| s.ctx.trace.clone())
                     .unwrap_or_default();
                 let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
+                ctx.shard = self.shard_on();
                 ctx.args = if argv.is_empty() {
                     vec![path.clone()]
                 } else {

@@ -45,6 +45,8 @@ pub struct RunnerOpts {
     pub event_driven: Option<bool>,
     /// Paged copy-on-write memory (`WALI_NO_COW` off-switch).
     pub cow: Option<bool>,
+    /// Sharded syscall fast path (`WALI_NO_SHARD` off-switch).
+    pub shard: Option<bool>,
 }
 
 impl RunnerOpts {
@@ -69,6 +71,9 @@ impl RunnerOpts {
         }
         if let Some(on) = self.cow {
             runner.set_cow(on);
+        }
+        if let Some(on) = self.shard {
+            runner.set_shard(on);
         }
     }
 }

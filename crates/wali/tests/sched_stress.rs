@@ -206,6 +206,7 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
         fuse: Some(fuse),
         event_driven: Some(event_driven),
         cow: None,
+        shard: None,
     };
     run_module(&stress_program(), &[], &[], opts)
         .expect("run")

@@ -244,6 +244,7 @@ fn run_mix_with(workers: usize, fuse: bool, event_driven: Option<bool>) -> wali:
         fuse: Some(fuse),
         event_driven,
         cow: None,
+        shard: None,
     };
     run_module(&smp_mix_program(), &[], &[], opts)
         .expect("run")

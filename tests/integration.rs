@@ -1,7 +1,6 @@
 //! Cross-crate integration tests: the whole stack from application suite
 //! through WALI, the kernel model, the WASI layer and the comparators.
 
-use vkernel::MutexExt;
 use wali::policy::{DenyAction, Policy};
 use wali::runner::{TaskEnd, WaliRunner};
 use wali_abi::Errno;
