@@ -8,9 +8,9 @@
 //!    scheduler counters and syscall totals. The cooperative scheduler
 //!    promises bit-for-bit replay; any divergence is a hidden source of
 //!    nondeterminism (wall clock, hash order, …).
-//! 2. **Toggle equivalence** — `WALI_NO_FUSE`, `WALI_NO_WAITQ`,
-//!    `WALI_NO_COW`, `WALI_NO_SHARD` and `WALI_WORKERS=4` must leave
-//!    the *observable* outcome unchanged. Single-worker toggles are compared on the
+//! 2. **Toggle equivalence** — `WALI_NO_FUSE`, `WALI_NO_REGIR`,
+//!    `WALI_NO_WAITQ`, `WALI_NO_COW`, `WALI_NO_SHARD` and
+//!    `WALI_WORKERS=4` must leave the *observable* outcome unchanged. Single-worker toggles are compared on the
 //!    order-insensitive [`wali::Observables`] too (their schedule legitimately
 //!    shifts when blocking behavior changes); the model oracle below
 //!    pins the exact content.
@@ -35,7 +35,8 @@ pub struct OracleConfig {
     pub smp_workers: usize,
     /// Run the SMP equivalence leg at all.
     pub check_smp: bool,
-    /// Run the single-worker toggle legs (fuse / waitq / cow / shard).
+    /// Run the single-worker toggle legs (fuse / regir / waitq / cow /
+    /// shard).
     pub check_toggles: bool,
     /// Compare process-global resident pages before/after. Only valid
     /// when nothing else in the process touches guest memory
@@ -195,11 +196,18 @@ pub fn check(scn: &Scenario, cfg: &OracleConfig) -> Result<(), Failure> {
 
     // Oracle 2: single-worker toggles.
     if cfg.check_toggles {
-        let toggles: [(&str, RunnerOpts); 4] = [
+        let toggles: [(&str, RunnerOpts); 5] = [
             (
                 "workers=1 no-fuse",
                 RunnerOpts {
                     fuse: Some(false),
+                    ..RunnerOpts::single()
+                },
+            ),
+            (
+                "workers=1 no-regir",
+                RunnerOpts {
+                    regir: Some(false),
                     ..RunnerOpts::single()
                 },
             ),

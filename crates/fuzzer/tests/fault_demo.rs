@@ -60,8 +60,13 @@ fn scan_split_fault_is_caught_and_shrunk() {
     // The planted race lives in the big-lock epoll scan; route the
     // racing pipe writes through that same path (not the sharded fast
     // path, which changes the window's timing and the shrunk repro
-    // odds). Own-process binary, so the env var is safe to set.
+    // odds). Likewise pin the stack interpreter tier: the register
+    // tier's faster dispatch narrows the scan window the planted race
+    // needs, and this test is about the catch-and-shrink machinery,
+    // not the interp tier. Own-process binary, so the env vars are
+    // safe to set.
     std::env::set_var("WALI_NO_SHARD", "1");
+    std::env::set_var("WALI_NO_REGIR", "1");
     wali::fault::set_scan_split(true);
     let cfg = OracleConfig {
         check_toggles: false, // the race is SMP-only; spend runs there

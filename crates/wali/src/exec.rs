@@ -531,6 +531,7 @@ fn run_slice(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize, mut slot: Slo
     }
     let t0 = Instant::now();
     let steps0 = slot.thread.steps;
+    let reg0 = slot.thread.reg_steps;
     slot.thread.refuel(Some(FUEL_SLICE));
     let result = match pending {
         Pending::Start { func, args } => {
@@ -575,6 +576,7 @@ fn run_slice(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize, mut slot: Slo
     };
     slot.ctx.trace.total_time += t0.elapsed();
     slot.ctx.trace.wasm_steps += slot.thread.steps - steps0;
+    slot.ctx.trace.reg_steps += slot.thread.reg_steps - reg0;
     let ran_wasm = slot.thread.steps != steps0;
 
     match result {

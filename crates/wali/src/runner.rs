@@ -128,6 +128,13 @@ impl RunOutcome {
         }
     }
 
+    /// Per-tier dispatch counts `(stack, regir)`: ops executed by the
+    /// fused stack loop vs. the tier-2 register loop ([`wasm::regir`]).
+    pub fn dispatches(&self) -> (u64, u64) {
+        let reg = self.trace.reg_steps;
+        (self.trace.wasm_steps.saturating_sub(reg), reg)
+    }
+
     /// The order-insensitive summary of this run (toggle-equivalence
     /// comparison across schedulers).
     pub fn observables(&self) -> Observables {
@@ -280,6 +287,10 @@ pub struct WaliRunner {
     /// Superinstruction fusion override; `None` follows
     /// [`wasm::prep::fuse_default`].
     fuse: Option<bool>,
+    /// Tier-2 register-IR override; `None` follows
+    /// [`wasm::regir::regir_default`] (`WALI_NO_REGIR=1` selects the
+    /// fused stack tier).
+    regir: Option<bool>,
     /// Waitqueue scheduling override; `None` follows
     /// [`event_driven_default`].
     event_driven: Option<bool>,
@@ -339,6 +350,7 @@ impl WaliRunner {
             programs: HashMap::new(),
             scheme,
             fuse: None,
+            regir: None,
             event_driven: None,
             cow: None,
             shard: None,
@@ -382,6 +394,14 @@ impl WaliRunner {
     /// [`wasm::prep::fuse_default`]).
     pub fn set_fuse(&mut self, fuse: bool) {
         self.fuse = Some(fuse);
+    }
+
+    /// Overrides the tier-2 register IR for subsequently registered
+    /// programs (A/B measurement; default follows
+    /// [`wasm::regir::regir_default`]). `false` falls back to the fused
+    /// stack tier.
+    pub fn set_regir(&mut self, on: bool) {
+        self.regir = Some(on);
     }
 
     /// Overrides waitqueue scheduling (A/B measurement; default follows
@@ -453,7 +473,8 @@ impl WaliRunner {
     /// `access`/`stat` on the path behave.
     pub fn register_program(&mut self, path: &str, module: &Module) -> Result<(), RunnerError> {
         let fuse = self.fuse.unwrap_or_else(wasm::prep::fuse_default);
-        let program = Program::link_with(module, &self.linker, self.scheme, fuse)
+        let regir = self.regir.unwrap_or_else(wasm::regir::regir_default);
+        let program = Program::link_tiered(module, &self.linker, self.scheme, fuse, regir)
             .map_err(RunnerError::Link)?;
         let _ = self
             .kernel
@@ -802,6 +823,7 @@ impl WaliRunner {
             let slot = self.tasks.get_mut(&tid).expect("live task");
             let t0 = Instant::now();
             let steps0 = slot.thread.steps;
+            let reg0 = slot.thread.reg_steps;
             slot.thread.refuel(Some(FUEL_SLICE));
             let r = match pending {
                 Pending::Start { func, args } => {
@@ -851,6 +873,7 @@ impl WaliRunner {
             };
             slot.ctx.trace.total_time += t0.elapsed();
             slot.ctx.trace.wasm_steps += slot.thread.steps - steps0;
+            slot.ctx.trace.reg_steps += slot.thread.reg_steps - reg0;
             (r, slot.thread.steps != steps0)
         };
         let (result, ran_wasm) = result;

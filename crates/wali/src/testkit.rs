@@ -41,6 +41,8 @@ pub struct RunnerOpts {
     pub workers: Option<usize>,
     /// Superinstruction fusion (`WALI_NO_FUSE` off-switch).
     pub fuse: Option<bool>,
+    /// Tier-2 register IR (`WALI_NO_REGIR` off-switch).
+    pub regir: Option<bool>,
     /// Event-driven waitqueue scheduling (`WALI_NO_WAITQ` off-switch).
     pub event_driven: Option<bool>,
     /// Paged copy-on-write memory (`WALI_NO_COW` off-switch).
@@ -65,6 +67,9 @@ impl RunnerOpts {
         }
         if let Some(on) = self.fuse {
             runner.set_fuse(on);
+        }
+        if let Some(on) = self.regir {
+            runner.set_regir(on);
         }
         if let Some(on) = self.event_driven {
             runner.set_event_driven(on);

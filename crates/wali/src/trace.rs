@@ -193,6 +193,9 @@ pub struct Trace {
     pub total_time: Duration,
     /// Executed Wasm ops (engine step counter snapshot).
     pub wasm_steps: u64,
+    /// Of `wasm_steps`, ops dispatched by the tier-2 register loop
+    /// (`wasm_steps - reg_steps` ran on the fused stack tier).
+    pub reg_steps: u64,
 }
 
 impl Trace {
@@ -273,6 +276,7 @@ impl Trace {
         self.kernel_time += other.kernel_time;
         self.total_time += other.total_time;
         self.wasm_steps += other.wasm_steps;
+        self.reg_steps += other.reg_steps;
     }
 }
 

@@ -207,6 +207,7 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
         event_driven: Some(event_driven),
         cow: None,
         shard: None,
+        regir: None,
     };
     run_module(&stress_program(), &[], &[], opts)
         .expect("run")

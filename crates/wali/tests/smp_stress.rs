@@ -245,6 +245,7 @@ fn run_mix_with(workers: usize, fuse: bool, event_driven: Option<bool>) -> wali:
         event_driven,
         cow: None,
         shard: None,
+        regir: None,
     };
     run_module(&smp_mix_program(), &[], &[], opts)
         .expect("run")

@@ -14,6 +14,7 @@ use crate::instr::{BinOp, CvtOp, LoadKind, RelOp, StoreKind, UnOp};
 use crate::mem::Memory;
 use crate::module::{ConstExpr, ExportDesc};
 use crate::prep::{BrDest, FuncDef, Op, PreparedFunc, Program};
+use crate::regir::{ROp, RSrc};
 use crate::types::{FuncType, ValType};
 
 /// Maximum wasm frame depth before [`Trap::StackOverflow`].
@@ -286,6 +287,9 @@ pub struct Thread {
     fuel: Option<u64>,
     /// Executed op count (deterministic work metric).
     pub steps: u64,
+    /// Ops executed by the tier-2 register dispatch loop (subset of
+    /// `steps`; the per-tier dispatch counter surfaced by the benches).
+    pub reg_steps: u64,
 }
 
 impl Thread {
@@ -399,8 +403,19 @@ impl Thread {
         }
         let params = code.params as usize;
         let base = self.stack.len() - params;
-        for _ in 0..code.locals {
-            self.stack.push(0);
+        if let Some(reg) = &code.reg {
+            // Register frame: zero the locals and allocate every canonical
+            // operand slot up front; the stack stays at `base + nregs` for
+            // the frame's whole lifetime (the safepoint spill invariant).
+            let need = base + reg.nregs as usize;
+            if need >= MAX_STACK {
+                return Err(Trap::StackOverflow);
+            }
+            self.stack.resize(need, 0);
+        } else {
+            for _ in 0..code.locals {
+                self.stack.push(0);
+            }
         }
         self.frames.push(Frame {
             func,
@@ -414,8 +429,20 @@ impl Thread {
         Ok(())
     }
 
-    /// The interpreter loop.
+    /// The interpreter dispatcher: the register tier when the program was
+    /// lowered ([`crate::regir`]), the fused stack tier otherwise. A
+    /// program never mixes tiers within one call stack, so one check per
+    /// activation suffices.
     fn run<T: HostCtx>(&mut self, inst: &mut Instance<T>, ctx: &mut T) -> RunResult {
+        if inst.program.regir {
+            self.run_reg(inst, ctx)
+        } else {
+            self.run_stack(inst, ctx)
+        }
+    }
+
+    /// The stack-tier interpreter loop.
+    fn run_stack<T: HostCtx>(&mut self, inst: &mut Instance<T>, ctx: &mut T) -> RunResult {
         let program = inst.program.clone();
         let mut cur: Arc<PreparedFunc> =
             match &program.funcs[self.frames.last().expect("frame").func as usize] {
@@ -897,6 +924,700 @@ impl Thread {
             self.stack.truncate(tgt + keep);
         }
     }
+
+    /// The register-tier interpreter loop ([`crate::regir`]): three-address
+    /// ops over an in-frame register file, no operand push/pop traffic on
+    /// straight-line code. The frame invariant is that the stack holds
+    /// exactly `base + nregs` slots while a register frame is on top, so
+    /// clone/suspend/safepoint re-entry see the same canonical layout the
+    /// stack tier produces.
+    ///
+    /// The loop is two-level: the outer `'frame` loop re-derives per-frame
+    /// state (code, ops slice, `base`, `pc`) once per activation, and the
+    /// inner dispatch loop runs on locals only. `frame.pc` and the step/fuel
+    /// counters are synced back exclusively at frame switches, host calls
+    /// and run exits — never on the straight-line or branch fast path.
+    fn run_reg<T: HostCtx>(&mut self, inst: &mut Instance<T>, ctx: &mut T) -> RunResult {
+        let program = inst.program.clone();
+        let mut cur: Arc<PreparedFunc> =
+            match &program.funcs[self.frames.last().expect("frame").func as usize] {
+                FuncDef::Local(c) => c.clone(),
+                FuncDef::Host { .. } => unreachable!("frames are local functions"),
+            };
+
+        // Re-entry after a suspension: the host call truncated the stack to
+        // its result top. Re-extend to the full register frame — every slot
+        // above the results is dead or re-derivable from locals/immediates.
+        {
+            let frame = self.frames.last().expect("frame");
+            let need = frame.base + cur.reg.as_ref().expect("register tier").nregs as usize;
+            if self.stack.len() < need {
+                self.stack.resize(need, 0);
+            }
+        }
+
+        // Dispatch-loop state held in locals; `flush!` reconciles the
+        // thread-visible counters on every path that leaves the loop.
+        let mut fuel = self.fuel;
+        let mut steps: u64 = 0;
+
+        macro_rules! flush {
+            () => {{
+                self.fuel = fuel;
+                self.steps += steps;
+                self.reg_steps += steps;
+            }};
+        }
+
+        macro_rules! trap {
+            ($t:expr) => {{
+                flush!();
+                self.frames.clear();
+                self.stack.clear();
+                return RunResult::Trapped($t);
+            }};
+        }
+
+        'frame: loop {
+            // Frame activation: hoist everything per-frame out of the
+            // dispatch loop. `codearc` pins the borrow of the ops slice so
+            // `cur` stays reassignable at the switch points below.
+            let codearc = cur.clone();
+            let rcode = codearc
+                .reg
+                .as_ref()
+                .expect("register tier requires lowered code");
+            let ops: &[ROp] = &rcode.ops;
+            let consts: &[u64] = &rcode.consts;
+            let nregs = rcode.nregs as usize;
+            let (mut pc, base) = {
+                let f = self.frames.last().expect("frame");
+                (f.pc, f.base)
+            };
+
+            // SAFETY (for the three macros below): `regir::lower` only
+            // returns code whose register indices are `< nregs` and whose
+            // pool indices are within `consts` (its `validated` pass), and
+            // the frame invariant keeps `stack.len() >= base + nregs`
+            // while this frame is on top (entry resize, `push_frame`,
+            // `post_host_poll!` and the `Return` resize all re-establish
+            // it). The unchecked accesses therefore stay in bounds; they
+            // are the hottest loads/stores in the interpreter.
+
+            // Register read.
+            macro_rules! reg {
+                ($r:expr) => {
+                    unsafe { *self.stack.get_unchecked(base + $r as usize) }
+                };
+            }
+
+            // Register write.
+            macro_rules! set_reg {
+                ($r:expr, $v:expr) => {{
+                    let v = $v;
+                    unsafe {
+                        *self.stack.get_unchecked_mut(base + $r as usize) = v;
+                    }
+                }};
+            }
+
+            // Register-or-immediate operand read (immediates live in the
+            // function's constant pool).
+            macro_rules! src {
+                ($s:expr, $base:expr) => {
+                    match $s {
+                        RSrc::Reg(r) => reg!(r),
+                        RSrc::Const(i) => unsafe { *consts.get_unchecked(i as usize) },
+                    }
+                };
+            }
+
+            // Write the local pc back to the frame — required before any
+            // host call (fork clones the thread mid-call) and any frame
+            // push (the interrupted/calling frame must resume after the op).
+            macro_rules! sync_pc {
+                () => {
+                    self.frames.last_mut().expect("frame").pc = pc
+                };
+            }
+
+            // The safepoint poll (paper §3.3). Registers already sit
+            // canonically in the frame — a handler frame stacks directly
+            // on top, no spill needed. Shared by the `Safepoint` op and
+            // poll-carrying branches (the back-edge fold); in both cases
+            // `pc` is already the handler's resume point.
+            macro_rules! poll_signals {
+                () => {{
+                    if let Some(t) = ctx.check_abort() {
+                        trap!(t);
+                    }
+                    if let Some(call) = ctx.poll_signal() {
+                        let func = call.func;
+                        match program.funcs.get(func as usize) {
+                            Some(FuncDef::Local(code)) => {
+                                let code = code.clone();
+                                sync_pc!();
+                                for a in &call.args {
+                                    self.stack.push(a.raw());
+                                }
+                                if let Err(t) = self.push_frame(func, &code, false, true) {
+                                    trap!(t);
+                                }
+                                cur = code;
+                                continue 'frame;
+                            }
+                            Some(FuncDef::Host { f, .. }) => {
+                                let f = f.clone();
+                                sync_pc!();
+                                let mut caller = Caller {
+                                    instance: inst,
+                                    data: ctx,
+                                };
+                                match f(&mut caller, &call.args) {
+                                    Ok(_) => {}
+                                    Err(HostOutcome::Trap(t)) => trap!(t),
+                                    Err(HostOutcome::Suspend(_)) => {
+                                        trap!(Trap::Host("suspend in signal handler".into()))
+                                    }
+                                }
+                            }
+                            None => trap!(Trap::Host("bad signal handler index".into())),
+                        }
+                    }
+                }};
+            }
+
+            // A register-IR branch: jump, plus the statically resolved copy
+            // of the `keep` registers carried to their canonical home (a
+            // no-op on most branches). Stays inside the current frame, so
+            // no writeback. `poll` branches absorbed a loop-header
+            // safepoint (see `regir::fold_safepoint_polls`).
+            macro_rules! branch {
+                ($d:expr) => {{
+                    let d = $d;
+                    pc = d.target as usize;
+                    if d.keep > 0 && d.src != d.dst {
+                        let (s, t) = (base + d.src as usize, base + d.dst as usize);
+                        self.stack.copy_within(s..s + d.keep as usize, t);
+                    }
+                    if d.poll {
+                        poll_signals!();
+                    }
+                }};
+            }
+
+            // Signal delivery at syscall exit (see `run_stack`): the stack
+            // is restored to the full register frame before a handler frame
+            // is stacked on top of it.
+            macro_rules! post_host_poll {
+                () => {{
+                    if let Some(t) = ctx.check_abort() {
+                        trap!(t);
+                    }
+                    self.stack.resize(base + nregs, 0);
+                    if let Some(call) = ctx.poll_signal() {
+                        match program.funcs.get(call.func as usize) {
+                            Some(FuncDef::Local(code)) => {
+                                let code = code.clone();
+                                for a in &call.args {
+                                    self.stack.push(a.raw());
+                                }
+                                if let Err(t) = self.push_frame(call.func, &code, false, true) {
+                                    trap!(t);
+                                }
+                                cur = code;
+                                continue 'frame;
+                            }
+                            _ => trap!(Trap::Host("bad signal handler index".into())),
+                        }
+                    }
+                }};
+            }
+
+            loop {
+                if let Some(f) = &mut fuel {
+                    if *f == 0 {
+                        // Yield at an op boundary; resume(&[]) continues here.
+                        sync_pc!();
+                        flush!();
+                        self.pending_results = Some(Vec::new());
+                        return RunResult::Suspended(Suspension::new(Preempted));
+                    }
+                    *f -= 1;
+                }
+                // SAFETY: `regir::validated` guarantees every branch
+                // target is in bounds and the last op is a terminator, so
+                // neither fallthrough nor a jump can move `pc` past the
+                // array (resume pcs always follow non-terminator ops).
+                let op = unsafe { ops.get_unchecked(pc) };
+                pc += 1;
+                steps += 1;
+
+                match op {
+                    ROp::Unreachable => trap!(Trap::Unreachable),
+                    ROp::Safepoint => poll_signals!(),
+                    ROp::Mov { dst, src } => {
+                        let v = src!(*src, base);
+                        set_reg!(*dst, v);
+                    }
+                    ROp::Br(d) => branch!(*d),
+                    ROp::BrIf { cond, dest } => {
+                        let (c, d) = (src!(*cond, base), *dest);
+                        if c as u32 != 0 {
+                            branch!(d);
+                        }
+                    }
+                    ROp::BrIfZero { cond, dest } => {
+                        let (c, d) = (src!(*cond, base), *dest);
+                        if c as u32 == 0 {
+                            branch!(d);
+                        }
+                    }
+                    ROp::RelBr {
+                        op,
+                        a,
+                        b,
+                        if_true,
+                        dest,
+                    } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        let (want, d) = (*if_true, *dest);
+                        if (eval_rel(*op, va, vb) != 0) == want {
+                            branch!(d);
+                        }
+                    }
+                    ROp::BrTable { idx, table } => {
+                        let i = src!(*idx, base) as u32 as usize;
+                        let d = *table.dests.get(i).unwrap_or(&table.default);
+                        branch!(d);
+                    }
+                    ROp::Return { src, n } => {
+                        let (src, n) = (*src as usize, *n as usize);
+                        let frame = self.frames.pop().expect("frame");
+                        if frame.signal_frame {
+                            ctx.signal_return();
+                        }
+                        let from = frame.base + src;
+                        // Move results down over the register frame.
+                        self.stack.copy_within(from..from + n, frame.base);
+                        self.stack.truncate(frame.base + n);
+                        if frame.barrier {
+                            let func_ty = inst
+                                .func_type(frame.func)
+                                .expect("function exists")
+                                .results
+                                .clone();
+                            let mut out = Vec::with_capacity(n);
+                            for (i, ty) in func_ty.iter().enumerate() {
+                                out.push(Value::from_raw(*ty, self.stack[frame.base + i]));
+                            }
+                            self.stack.truncate(frame.base);
+                            flush!();
+                            return RunResult::Done(out);
+                        }
+                        let parent = self.frames.last().expect("parent frame");
+                        let pbase = parent.base;
+                        cur = match &program.funcs[parent.func as usize] {
+                            FuncDef::Local(c) => c.clone(),
+                            FuncDef::Host { .. } => unreachable!(),
+                        };
+                        // The results landed exactly in the caller's
+                        // canonical result registers; re-extend to its full
+                        // frame. (The parent's pc was synced at its call.)
+                        let pnregs = cur.reg.as_ref().expect("register tier").nregs as usize;
+                        self.stack.resize(pbase + pnregs, 0);
+                        continue 'frame;
+                    }
+                    ROp::Call { func, top, nargs } => {
+                        let f = *func;
+                        let (top, nargs) = (*top as usize, *nargs as usize);
+                        match &program.funcs[f as usize] {
+                            FuncDef::Local(code) => {
+                                let code = code.clone();
+                                sync_pc!();
+                                // The arguments are the top `nargs` canonical
+                                // registers; the callee frame starts on them.
+                                self.stack.truncate(base + top);
+                                if let Err(t) = self.push_frame(f, &code, false, false) {
+                                    trap!(t);
+                                }
+                                cur = code;
+                                continue 'frame;
+                            }
+                            FuncDef::Host { f: hf, ty, .. } => {
+                                let hf = hf.clone();
+                                let ty = program.types[*ty as usize].clone();
+                                sync_pc!();
+                                let argbase = base + top - nargs;
+                                let mut args = Vec::with_capacity(nargs);
+                                for (i, t) in ty.params.iter().enumerate() {
+                                    args.push(Value::from_raw(*t, self.stack[argbase + i]));
+                                }
+                                self.stack.truncate(argbase);
+                                let mut caller = Caller {
+                                    instance: inst,
+                                    data: ctx,
+                                };
+                                match hf(&mut caller, &args) {
+                                    Ok(values) => {
+                                        if values.len() != ty.results.len() {
+                                            trap!(Trap::Host("host result arity".into()));
+                                        }
+                                        for v in values {
+                                            self.stack.push(v.raw());
+                                        }
+                                        post_host_poll!();
+                                    }
+                                    Err(HostOutcome::Trap(t)) => trap!(t),
+                                    Err(HostOutcome::Suspend(s)) => {
+                                        flush!();
+                                        self.pending_results = Some(ty.results.clone());
+                                        return RunResult::Suspended(s);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ROp::CallIndirect {
+                        ty: expect_ty,
+                        idx,
+                        top,
+                        nargs,
+                    } => {
+                        let expect_ty = *expect_ty;
+                        let (top, nargs) = (*top as usize, *nargs as usize);
+                        let i = src!(*idx, base) as u32 as usize;
+                        let entry = match inst.table.get(i) {
+                            Some(e) => *e,
+                            None => trap!(Trap::TableOutOfBounds),
+                        };
+                        let f = match entry {
+                            Some(f) => f,
+                            None => trap!(Trap::UninitializedElement),
+                        };
+                        let actual = program.funcs[f as usize].type_idx();
+                        if program.types[actual as usize] != program.types[expect_ty as usize] {
+                            trap!(Trap::IndirectCallTypeMismatch);
+                        }
+                        match &program.funcs[f as usize] {
+                            FuncDef::Local(code) => {
+                                let code = code.clone();
+                                sync_pc!();
+                                self.stack.truncate(base + top);
+                                if let Err(t) = self.push_frame(f, &code, false, false) {
+                                    trap!(t);
+                                }
+                                cur = code;
+                                continue 'frame;
+                            }
+                            FuncDef::Host { f: hf, ty, .. } => {
+                                let hf = hf.clone();
+                                let ty = program.types[*ty as usize].clone();
+                                sync_pc!();
+                                let argbase = base + top - nargs;
+                                let mut args = Vec::with_capacity(nargs);
+                                for (i, t) in ty.params.iter().enumerate() {
+                                    args.push(Value::from_raw(*t, self.stack[argbase + i]));
+                                }
+                                self.stack.truncate(argbase);
+                                let mut caller = Caller {
+                                    instance: inst,
+                                    data: ctx,
+                                };
+                                match hf(&mut caller, &args) {
+                                    Ok(values) => {
+                                        if values.len() != ty.results.len() {
+                                            trap!(Trap::Host("host result arity".into()));
+                                        }
+                                        for v in values {
+                                            self.stack.push(v.raw());
+                                        }
+                                        post_host_poll!();
+                                    }
+                                    Err(HostOutcome::Trap(t)) => trap!(t),
+                                    Err(HostOutcome::Suspend(s)) => {
+                                        flush!();
+                                        self.pending_results = Some(ty.results.clone());
+                                        return RunResult::Suspended(s);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ROp::Select { dst, cond, a, b } => {
+                        let c = src!(*cond, base) as u32;
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        set_reg!(*dst, if c != 0 { va } else { vb });
+                    }
+                    ROp::GlobalGet { dst, idx } => {
+                        set_reg!(*dst, inst.globals[*idx as usize]);
+                    }
+                    ROp::GlobalSet { idx, src } => {
+                        inst.globals[*idx as usize] = src!(*src, base);
+                    }
+                    ROp::Load {
+                        dst,
+                        kind,
+                        addr,
+                        offset,
+                    } => {
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        let v = match load(&inst.memory, *kind, addr) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        set_reg!(*dst, v);
+                    }
+                    ROp::Store {
+                        kind,
+                        addr,
+                        val,
+                        offset,
+                    } => {
+                        let v = src!(*val, base);
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        if let Err(t) = store(&inst.memory, *kind, addr, v) {
+                            trap!(t);
+                        }
+                    }
+                    ROp::MemorySize { dst } => {
+                        set_reg!(*dst, inst.memory.pages() as u64);
+                    }
+                    ROp::MemoryGrow { dst, delta } => {
+                        let delta = src!(*delta, base) as u32;
+                        let prev = inst.memory.grow(delta);
+                        set_reg!(*dst, prev as u32 as u64);
+                    }
+                    ROp::MemoryCopy { dst, src, len } => {
+                        let len = src!(*len, base) as u32 as u64;
+                        let s = src!(*src, base) as u32 as u64;
+                        let d = src!(*dst, base) as u32 as u64;
+                        if let Err(t) = inst.memory.copy_within(d, s, len) {
+                            trap!(t);
+                        }
+                    }
+                    ROp::MemoryFill { dst, val, len } => {
+                        let len = src!(*len, base) as u32 as u64;
+                        let v = src!(*val, base) as u8;
+                        let d = src!(*dst, base) as u32 as u64;
+                        if let Err(t) = inst.memory.fill(d, v, len) {
+                            trap!(t);
+                        }
+                    }
+                    ROp::Un { dst, op, a } => {
+                        let a = src!(*a, base);
+                        match eval_un(*op, a) {
+                            Ok(v) => set_reg!(*dst, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::Bin { dst, op, a, b } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        match eval_bin(*op, va, vb) {
+                            Ok(v) => set_reg!(*dst, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::Rel { dst, op, a, b } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        set_reg!(*dst, eval_rel(*op, va, vb) as u64);
+                    }
+                    ROp::Cvt { dst, op, a } => {
+                        let a = src!(*a, base);
+                        match eval_cvt(*op, a) {
+                            Ok(v) => set_reg!(*dst, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::LoadIdx {
+                        dst,
+                        kind,
+                        a,
+                        b,
+                        offset,
+                    } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        let addr = (va as u32).wrapping_add(vb as u32) as u64 + *offset as u64;
+                        let v = match load(&inst.memory, *kind, addr) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        set_reg!(*dst, v);
+                    }
+                    ROp::Bin2 {
+                        op1,
+                        a,
+                        b,
+                        dst1,
+                        op2,
+                        a2,
+                        b2,
+                        dst2,
+                    } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        let v1 = match eval_bin(*op1, va, vb) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        // dst1 is written before the second op's operands
+                        // are read: one aliasing dst1 sees the fresh
+                        // value, exactly as the unfused sequence would.
+                        set_reg!(*dst1, v1);
+                        let (v2a, v2b) = (src!(*a2, base), src!(*b2, base));
+                        match eval_bin(*op2, v2a, v2b) {
+                            Ok(v) => set_reg!(*dst2, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::BinRelBr {
+                        op,
+                        a,
+                        b,
+                        dst,
+                        rel,
+                        c,
+                        if_true,
+                        target,
+                        poll,
+                    } => {
+                        let (va, vb) = (src!(*a, base), src!(*b, base));
+                        let v = match eval_bin(*op, va, vb) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        set_reg!(*dst, v);
+                        let vc = src!(*c, base);
+                        if (eval_rel(*rel, v, vc) != 0) == *if_true {
+                            pc = *target as usize;
+                            if *poll {
+                                poll_signals!();
+                            }
+                        }
+                    }
+                    ROp::CvtBin {
+                        cvt,
+                        a,
+                        dst1,
+                        op,
+                        a2,
+                        b2,
+                        dst2,
+                    } => {
+                        let va = src!(*a, base);
+                        let v1 = match eval_cvt(*cvt, va) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        set_reg!(*dst1, v1);
+                        let (v2a, v2b) = (src!(*a2, base), src!(*b2, base));
+                        match eval_bin(*op, v2a, v2b) {
+                            Ok(v) => set_reg!(*dst2, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::AtomicNotify {
+                        dst,
+                        addr,
+                        count,
+                        offset,
+                    } => {
+                        let _count = src!(*count, base) as u32;
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        if let Err(t) = inst.memory.check(addr, 4) {
+                            trap!(t);
+                        }
+                        // See the stack tier: engine-level parking is not
+                        // modeled, report zero waiters woken.
+                        set_reg!(*dst, 0);
+                    }
+                    ROp::AtomicWait32 {
+                        dst,
+                        addr,
+                        expected,
+                        timeout,
+                        offset,
+                    } => {
+                        let _timeout = src!(*timeout, base) as i64;
+                        let expected = src!(*expected, base) as u32;
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        let v = match inst.memory.atomic_load32(addr) {
+                            Ok(v) => v,
+                            Err(t) => trap!(t),
+                        };
+                        set_reg!(*dst, if v != expected { 1 } else { 2 });
+                    }
+                    ROp::AtomicFence => {
+                        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+                    }
+                    ROp::AtomicLoad {
+                        dst,
+                        width,
+                        addr,
+                        offset,
+                    } => {
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        let r = match width {
+                            crate::instr::AtomicWidth::I32 => {
+                                inst.memory.atomic_load32(addr).map(|v| v as u64)
+                            }
+                            crate::instr::AtomicWidth::I64 => inst.memory.atomic_load64(addr),
+                        };
+                        match r {
+                            Ok(v) => set_reg!(*dst, v),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::AtomicStore {
+                        width,
+                        addr,
+                        val,
+                        offset,
+                    } => {
+                        let v = src!(*val, base);
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        let r = match width {
+                            crate::instr::AtomicWidth::I32 => {
+                                inst.memory.atomic_store32(addr, v as u32)
+                            }
+                            crate::instr::AtomicWidth::I64 => inst.memory.atomic_store64(addr, v),
+                        };
+                        if let Err(t) = r {
+                            trap!(t);
+                        }
+                    }
+                    ROp::AtomicRmw {
+                        dst,
+                        op,
+                        addr,
+                        val,
+                        offset,
+                    } => {
+                        let v = src!(*val, base) as u32;
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        match inst.memory.atomic_rmw32(addr, *op, v) {
+                            Ok(old) => set_reg!(*dst, old as u64),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                    ROp::AtomicCmpxchg {
+                        dst,
+                        addr,
+                        expected,
+                        new,
+                        offset,
+                    } => {
+                        let new = src!(*new, base) as u32;
+                        let expected = src!(*expected, base) as u32;
+                        let addr = src!(*addr, base) as u32 as u64 + *offset as u64;
+                        match inst.memory.atomic_cmpxchg32(addr, expected, new) {
+                            Ok(old) => set_reg!(*dst, old as u64),
+                            Err(t) => trap!(t),
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn load(mem: &Memory, kind: LoadKind, addr: u64) -> Result<u64, Trap> {
@@ -926,7 +1647,7 @@ fn store(mem: &Memory, kind: StoreKind, addr: u64, v: u64) -> Result<(), Trap> {
     }
 }
 
-fn eval_un(op: UnOp, a: u64) -> Result<u64, Trap> {
+pub(crate) fn eval_un(op: UnOp, a: u64) -> Result<u64, Trap> {
     use UnOp::*;
     let v = match op {
         I32Clz => (a as u32).leading_zeros() as u64,
@@ -960,7 +1681,7 @@ fn eval_un(op: UnOp, a: u64) -> Result<u64, Trap> {
     Ok(v)
 }
 
-fn eval_bin(op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
+pub(crate) fn eval_bin(op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
     use BinOp::*;
     let v = match op {
         I32Add => (a as u32).wrapping_add(b as u32) as u64,
@@ -1063,7 +1784,7 @@ fn eval_bin(op: BinOp, a: u64, b: u64) -> Result<u64, Trap> {
     Ok(v)
 }
 
-fn eval_rel(op: RelOp, a: u64, b: u64) -> u32 {
+pub(crate) fn eval_rel(op: RelOp, a: u64, b: u64) -> u32 {
     use RelOp::*;
     let r = match op {
         I32Eq => a as u32 == b as u32,
@@ -1102,7 +1823,7 @@ fn eval_rel(op: RelOp, a: u64, b: u64) -> u32 {
     r as u32
 }
 
-fn eval_cvt(op: CvtOp, a: u64) -> Result<u64, Trap> {
+pub(crate) fn eval_cvt(op: CvtOp, a: u64) -> Result<u64, Trap> {
     use CvtOp::*;
     let v = match op {
         I32WrapI64 => a as u32 as u64,

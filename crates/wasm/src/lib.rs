@@ -43,6 +43,7 @@ pub mod leb;
 pub mod mem;
 pub mod module;
 pub mod prep;
+pub mod regir;
 pub mod safepoint;
 pub mod types;
 pub mod validate;

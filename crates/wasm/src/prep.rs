@@ -99,6 +99,10 @@ pub struct PreparedFunc {
     pub results: u32,
     /// Flat op array.
     pub ops: Box<[Op]>,
+    /// Tier-2 register-IR body, when the program was lowered
+    /// ([`crate::regir`]). Present on every function or on none: the
+    /// interpreter never mixes tiers inside one call stack.
+    pub reg: Option<crate::regir::RegFunc>,
 }
 
 /// A function in the combined index space.
@@ -181,6 +185,9 @@ pub struct Program<T> {
     pub scheme: SafepointScheme,
     /// Whether superinstruction fusion was applied.
     pub fused: bool,
+    /// Whether the tier-2 register IR is in effect (requested *and*
+    /// every local function lowered successfully).
+    pub regir: bool,
 }
 
 /// The process-wide default for superinstruction fusion: on, unless the
@@ -192,22 +199,45 @@ pub fn fuse_default() -> bool {
 
 impl<T> Program<T> {
     /// Validates, prepares and links `module` against `linker`, using the
-    /// [`fuse_default`] fusion setting.
+    /// [`fuse_default`] fusion and [`crate::regir::regir_default`]
+    /// register-tier settings.
     pub fn link(
         module: &Module,
         linker: &Linker<T>,
         scheme: SafepointScheme,
     ) -> Result<Program<T>, LinkError> {
-        Self::link_with(module, linker, scheme, fuse_default())
+        Self::link_tiered(
+            module,
+            linker,
+            scheme,
+            fuse_default(),
+            crate::regir::regir_default(),
+        )
     }
 
     /// Validates, prepares and links with explicit control over
-    /// superinstruction fusion (`fuse = false` emits only unfused ops).
+    /// superinstruction fusion (`fuse = false` emits only unfused ops);
+    /// the register tier follows [`crate::regir::regir_default`].
     pub fn link_with(
         module: &Module,
         linker: &Linker<T>,
         scheme: SafepointScheme,
         fuse: bool,
+    ) -> Result<Program<T>, LinkError> {
+        Self::link_tiered(module, linker, scheme, fuse, crate::regir::regir_default())
+    }
+
+    /// Validates, prepares and links with explicit control over both
+    /// execution tiers: superinstruction fusion and the tier-2 register
+    /// IR. When `regir` is requested, every local function is lowered;
+    /// if any bails, the whole program stays on the stack tier
+    /// (`self.regir` records the effective state).
+    pub fn link_tiered(
+        module: &Module,
+        linker: &Linker<T>,
+        scheme: SafepointScheme,
+        fuse: bool,
+        regir: bool,
     ) -> Result<Program<T>, LinkError> {
         crate::validate::validate(module)?;
 
@@ -237,11 +267,46 @@ impl<T> Program<T> {
             }
         }
 
-        for (i, body) in module.code.iter().enumerate() {
-            let ty_idx = module.funcs[i];
-            let ty = &module.types[ty_idx as usize];
-            let prepared = prepare_func(module, ty_idx, ty, body, scheme, fuse);
-            funcs.push(FuncDef::Local(Arc::new(prepared)));
+        let mut prepared: Vec<PreparedFunc> = module
+            .code
+            .iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let ty_idx = module.funcs[i];
+                let ty = &module.types[ty_idx as usize];
+                prepare_func(module, ty_idx, ty, body, scheme, fuse)
+            })
+            .collect();
+
+        // Tier-2 lowering is all-or-nothing: a single bail keeps the
+        // whole program on the stack tier so one call stack never mixes
+        // frame layouts mid-flight.
+        let mut regir_on = regir;
+        if regir_on {
+            let sigs: Vec<(u16, u16)> = funcs
+                .iter()
+                .map(|f| f.type_idx())
+                .chain(module.funcs.iter().copied())
+                .map(|ty| {
+                    let ty = &module.types[ty as usize];
+                    (ty.params.len() as u16, ty.results.len() as u16)
+                })
+                .collect();
+            let lowered: Option<Vec<crate::regir::RegFunc>> = prepared
+                .iter()
+                .map(|p| crate::regir::lower(p, &sigs, &module.types))
+                .collect();
+            match lowered {
+                Some(lowered) => {
+                    for (p, r) in prepared.iter_mut().zip(lowered) {
+                        p.reg = Some(r);
+                    }
+                }
+                None => regir_on = false,
+            }
+        }
+        for p in prepared {
+            funcs.push(FuncDef::Local(Arc::new(p)));
         }
 
         Ok(Program {
@@ -268,6 +333,7 @@ impl<T> Program<T> {
             start: module.start,
             scheme,
             fused: fuse,
+            regir: regir_on,
         })
     }
 
@@ -754,6 +820,7 @@ fn prepare_func(
         locals: body.local_count(),
         results: ty.results.len() as u32,
         ops: ops.into_boxed_slice(),
+        reg: None,
     }
 }
 

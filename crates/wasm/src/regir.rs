@@ -1,0 +1,1616 @@
+//! Tier-2 lowering: the flattened stack machine → a virtual-register IR.
+//!
+//! [`lower`] abstract-interprets a [`PreparedFunc`]'s operand stack at
+//! prepare time and emits three-address superinstructions
+//! (`r3 = add r1, r2`, `br_if_lt r1, #c, L`) that [`crate::interp`]
+//! executes with no value-stack traffic on straight-line code.
+//!
+//! # Register frame layout
+//!
+//! The register file of a frame *is* a fixed-size window of the thread's
+//! value stack: register `r` lives at `stack[frame.base + r]`. Registers
+//! `0..nlocals` are the params + declared locals (the same slots the
+//! stack tier uses); register `nlocals + d` is the **canonical** home of
+//! operand-stack position `d`. `nregs = nlocals + max_height` and the
+//! stack is kept at exactly `base + nregs` slots while a register frame
+//! runs. Because the layout is a superset of the stack tier's frame
+//! prefix, `Thread` clone (fork), suspension (execve/clone/exit) and
+//! safepoint re-entry for signal handlers all work unchanged — every
+//! live value is always spilled in the frame, there is no hidden cache
+//! to reconcile.
+//!
+//! # Lowering rules (the "linear-scan" allocator)
+//!
+//! The abstract stack holds `Abs` values: `Reg(r)` (the value lives in
+//! register `r`) or `Imm(k)` (a compile-time constant). Allocation is a
+//! degenerate linear scan with zero interference: position `d` always
+//! maps to register `nlocals + d`, so lifetimes never overlap and no
+//! spilling beyond the canonical home is ever needed. Laziness is the
+//! win: `local.get` pushes `Reg(local)` and `const` pushes `Imm` without
+//! emitting code, so a stack-machine `local.get x; local.get y; add;
+//! local.set z` collapses to one `Bin { dst: z, a: Reg(x), b: Reg(y) }`.
+//!
+//! Only side-effect-free values (constants and local reads) are
+//! deferred; loads, calls and global reads are emitted at their original
+//! program point, so trap order and memory-effect order are preserved
+//! exactly. Constant operands fold at lowering time when the operation
+//! cannot trap (a `div` by a constant zero is emitted, not folded, so
+//! the trap still fires in program order).
+//!
+//! # Branch-target barrier
+//!
+//! Every branch target ("label") requires the abstract stack in
+//! **canonical form** — position `d` in register `nlocals + d`.
+//! Fallthrough paths flush lazy entries with `Mov`s *before* the label's
+//! pc; taken branches flush what the target reads and carry a statically
+//! resolved copy `(src, dst, keep)` in [`RBr`] (a no-op when
+//! `src == dst`). This is the register-IR image of `prep.rs`'s fusion
+//! barrier: no lazy state flows across a label, mirroring how no
+//! superinstruction may absorb ops across one. The same barrier index
+//! blocks the store-redirect and compare-branch peepholes from rewriting
+//! ops emitted before a label.
+//!
+//! # Bail-out
+//!
+//! `lower` returns `None` when a function cannot be lowered (register
+//! index beyond `u16`, inconsistent label heights — both defensive; they
+//! do not occur for validated modules). The caller then runs the whole
+//! program on the fused stack tier: mixing tiers inside one call stack
+//! is never attempted.
+
+use std::collections::HashMap;
+
+use crate::instr::{AtomicWidth, BinOp, CvtOp, LoadKind, RelOp, RmwOp, StoreKind, UnOp};
+use crate::interp::{eval_bin, eval_cvt, eval_rel, eval_un};
+use crate::prep::{BrDest, Op, PreparedFunc};
+use crate::types::FuncType;
+
+/// A register-or-immediate operand of a register-IR instruction.
+///
+/// Immediates are indices into the function's constant pool
+/// ([`RegFunc::consts`]) rather than inline `u64`s: that keeps `RSrc` at
+/// 4 bytes and the whole [`ROp`] within 24, so the dispatch loop walks a
+/// dense op array instead of a 64-byte-stride one (the op fetch is the
+/// hottest load in the interpreter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RSrc {
+    /// Register index (slot `frame.base + r` of the value stack).
+    Reg(u16),
+    /// Constant-pool index (raw 64-bit representation in the pool).
+    Const(u16),
+}
+
+/// A resolved register-IR branch destination with its register fixup:
+/// jump to `target` after copying `keep` registers from `src..` down to
+/// `dst..` (the canonical home of the values carried across the branch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RBr {
+    /// Target op index in the lowered code.
+    pub target: u32,
+    /// First source register of the kept values.
+    pub src: u16,
+    /// First destination register (`nlocals + drop_to`).
+    pub dst: u16,
+    /// Number of values carried across the branch.
+    pub keep: u16,
+    /// Poll for signals after the jump. Set by [`lower`]'s safepoint
+    /// fold: a branch whose target is a `Safepoint` (the loop-header
+    /// scheme's back edge) is retargeted one op past it and polls
+    /// inline, saving the header dispatch on every iteration while
+    /// keeping the poll points — and the handler resume pc — identical
+    /// to the stack tier's.
+    pub poll: bool,
+}
+
+/// A register-IR instruction. `dst` fields are always register indices;
+/// operands are [`RSrc`] so immediates fold into the using instruction.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)]
+pub enum ROp {
+    Unreachable,
+    /// Poll for pending asynchronous signals (paper §3.3). Registers are
+    /// already canonical in-frame, so handler re-entry needs no spill.
+    Safepoint,
+    Mov {
+        dst: u16,
+        src: RSrc,
+    },
+    Br(RBr),
+    BrIf {
+        cond: RSrc,
+        dest: RBr,
+    },
+    BrIfZero {
+        cond: RSrc,
+        dest: RBr,
+    },
+    /// Fused compare-and-branch (`br_if_lt r1, #c, L`): branch when the
+    /// relation's truth equals `if_true`.
+    RelBr {
+        op: RelOp,
+        a: RSrc,
+        b: RSrc,
+        if_true: bool,
+        dest: RBr,
+    },
+    /// The jump table is boxed out-of-line: it is the one
+    /// unbounded-payload op and would otherwise set the size of every
+    /// `ROp` in the array.
+    BrTable {
+        idx: RSrc,
+        table: Box<RTable>,
+    },
+    /// Copy `n` result registers starting at `src` down to the frame
+    /// base and pop the frame.
+    Return {
+        src: u16,
+        n: u16,
+    },
+    /// Call with the arguments already in canonical registers ending at
+    /// `top`; the stack is truncated to `base + top` so the callee frame
+    /// starts right on the arguments.
+    Call {
+        func: u32,
+        top: u16,
+        nargs: u16,
+    },
+    CallIndirect {
+        ty: u32,
+        idx: RSrc,
+        top: u16,
+        nargs: u16,
+    },
+    Select {
+        dst: u16,
+        cond: RSrc,
+        a: RSrc,
+        b: RSrc,
+    },
+    GlobalGet {
+        dst: u16,
+        idx: u32,
+    },
+    GlobalSet {
+        idx: u32,
+        src: RSrc,
+    },
+    Load {
+        dst: u16,
+        kind: LoadKind,
+        addr: RSrc,
+        offset: u32,
+    },
+    Store {
+        kind: StoreKind,
+        addr: RSrc,
+        val: RSrc,
+        offset: u32,
+    },
+    MemorySize {
+        dst: u16,
+    },
+    MemoryGrow {
+        dst: u16,
+        delta: RSrc,
+    },
+    MemoryCopy {
+        dst: RSrc,
+        src: RSrc,
+        len: RSrc,
+    },
+    MemoryFill {
+        dst: RSrc,
+        val: RSrc,
+        len: RSrc,
+    },
+    Un {
+        dst: u16,
+        op: UnOp,
+        a: RSrc,
+    },
+    Bin {
+        dst: u16,
+        op: BinOp,
+        a: RSrc,
+        b: RSrc,
+    },
+    Rel {
+        dst: u16,
+        op: RelOp,
+        a: RSrc,
+        b: RSrc,
+    },
+    Cvt {
+        dst: u16,
+        op: CvtOp,
+        a: RSrc,
+    },
+    /// Peephole superinstruction (`a + b` address feeding a load whose
+    /// result overwrites the address scratch): one dispatch for the
+    /// ubiquitous base-plus-index addressing pattern.
+    LoadIdx {
+        dst: u16,
+        kind: LoadKind,
+        a: RSrc,
+        b: RSrc,
+        offset: u32,
+    },
+    /// Peephole superinstruction: two adjacent binary ops in one
+    /// dispatch. `dst1` is written before the second op's operands are
+    /// read, so the register file is observably identical to the two-op
+    /// sequence whether or not the second consumes the first's result —
+    /// the fusion needs no liveness or dataflow information.
+    Bin2 {
+        op1: BinOp,
+        a: RSrc,
+        b: RSrc,
+        dst1: u16,
+        op2: BinOp,
+        a2: RSrc,
+        b2: RSrc,
+        dst2: u16,
+    },
+    /// Peephole superinstruction: a conversion followed by a binary op
+    /// (same write-before-read contract as [`ROp::Bin2`]).
+    CvtBin {
+        cvt: CvtOp,
+        a: RSrc,
+        dst1: u16,
+        op: BinOp,
+        a2: RSrc,
+        b2: RSrc,
+        dst2: u16,
+    },
+    /// Peephole superinstruction: a binary op whose result is the left
+    /// operand of a compare-and-branch (`dst = a op b; br_if (v rel c)
+    /// == if_true, target`) — the shape of every `i += 1; if i < n`
+    /// back edge. Only fuses register-fixup-free branches
+    /// (`keep == 0`), so the destination is a bare `target`/`poll`
+    /// pair.
+    BinRelBr {
+        op: BinOp,
+        a: RSrc,
+        b: RSrc,
+        dst: u16,
+        rel: RelOp,
+        c: RSrc,
+        if_true: bool,
+        target: u32,
+        poll: bool,
+    },
+    AtomicNotify {
+        dst: u16,
+        addr: RSrc,
+        count: RSrc,
+        offset: u32,
+    },
+    AtomicWait32 {
+        dst: u16,
+        addr: RSrc,
+        expected: RSrc,
+        timeout: RSrc,
+        offset: u32,
+    },
+    AtomicFence,
+    AtomicLoad {
+        dst: u16,
+        width: AtomicWidth,
+        addr: RSrc,
+        offset: u32,
+    },
+    AtomicStore {
+        width: AtomicWidth,
+        addr: RSrc,
+        val: RSrc,
+        offset: u32,
+    },
+    AtomicRmw {
+        dst: u16,
+        op: RmwOp,
+        addr: RSrc,
+        val: RSrc,
+        offset: u32,
+    },
+    AtomicCmpxchg {
+        dst: u16,
+        addr: RSrc,
+        expected: RSrc,
+        new: RSrc,
+        offset: u32,
+    },
+}
+
+/// An out-of-line `br_table` jump table (see [`ROp::BrTable`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RTable {
+    /// Destination per index value.
+    pub dests: Box<[RBr]>,
+    /// Destination for out-of-range indices.
+    pub default: RBr,
+}
+
+/// A function body lowered to the register IR.
+#[derive(Clone, Debug)]
+pub struct RegFunc {
+    /// Frame size in registers: `params + locals + max operand height`.
+    pub nregs: u32,
+    /// Flat register-IR op array (branch targets index into it).
+    pub ops: Box<[ROp]>,
+    /// Constant pool referenced by [`RSrc::Const`] operands.
+    pub consts: Box<[u64]>,
+}
+
+impl RegFunc {
+    /// The pool value behind a [`RSrc::Const`] operand (`None` for
+    /// registers) — diagnostics and test support.
+    pub fn const_of(&self, s: RSrc) -> Option<u64> {
+        match s {
+            RSrc::Reg(_) => None,
+            RSrc::Const(i) => self.consts.get(i as usize).copied(),
+        }
+    }
+}
+
+/// The process-wide default for the register tier: on, unless the
+/// `WALI_NO_REGIR` environment variable is set (A/B measurement escape
+/// hatch mirroring `WALI_NO_FUSE`).
+pub fn regir_default() -> bool {
+    std::env::var_os("WALI_NO_REGIR").is_none()
+}
+
+/// An abstract operand-stack entry during lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Abs {
+    /// The value lives in register `r` (a local, or a canonical slot).
+    Reg(u16),
+    /// Compile-time constant.
+    Imm(u64),
+}
+
+struct Lowerer {
+    nlocals: u32,
+    results: u32,
+    out: Vec<ROp>,
+    stack: Vec<Abs>,
+    max_height: usize,
+    /// Ops below this index sit before a label: peepholes must not
+    /// rewrite or remove them (the register-IR branch-target barrier).
+    barrier: usize,
+    /// Deduplicated constant pool (`RSrc::Const` operands index it).
+    consts: Vec<u64>,
+    const_ix: HashMap<u64, u16>,
+}
+
+impl Lowerer {
+    /// Interns a constant into the pool (bails past `u16::MAX` entries —
+    /// the caller falls back to the stack tier).
+    fn imm(&mut self, k: u64) -> Option<RSrc> {
+        if let Some(&i) = self.const_ix.get(&k) {
+            return Some(RSrc::Const(i));
+        }
+        let i = u16::try_from(self.consts.len()).ok()?;
+        self.consts.push(k);
+        self.const_ix.insert(k, i);
+        Some(RSrc::Const(i))
+    }
+
+    /// Abstract value → instruction operand (interning immediates).
+    fn rsrc(&mut self, a: Abs) -> Option<RSrc> {
+        match a {
+            Abs::Reg(r) => Some(RSrc::Reg(r)),
+            Abs::Imm(k) => self.imm(k),
+        }
+    }
+    /// Canonical register of operand-stack position `d`.
+    fn canon(&self, d: usize) -> Option<u16> {
+        u16::try_from(self.nlocals as usize + d).ok()
+    }
+
+    fn push(&mut self, a: Abs) {
+        self.stack.push(a);
+        self.max_height = self.max_height.max(self.stack.len());
+    }
+
+    fn pop(&mut self) -> Option<Abs> {
+        self.stack.pop()
+    }
+
+    /// Canonical register for a value pushed at the current height.
+    fn dst_here(&self) -> Option<u16> {
+        self.canon(self.stack.len())
+    }
+
+    /// Spills lazy entries in `from..to` to their canonical registers.
+    fn flush_range(&mut self, from: usize, to: usize) -> Option<()> {
+        for d in from..to.min(self.stack.len()) {
+            let c = self.canon(d)?;
+            if self.stack[d] != Abs::Reg(c) {
+                let src = self.rsrc(self.stack[d])?;
+                self.out.push(ROp::Mov { dst: c, src });
+                self.stack[d] = Abs::Reg(c);
+            }
+        }
+        Some(())
+    }
+
+    /// Copies every abstract entry below `upto` that aliases local `i`
+    /// into its canonical register (the write-after-read hazard of
+    /// `local.set`/`local.tee` against lazy `local.get`s).
+    fn materialize_local(&mut self, i: u16, upto: usize) -> Option<()> {
+        for d in 0..upto.min(self.stack.len()) {
+            if self.stack[d] == Abs::Reg(i) {
+                let c = self.canon(d)?;
+                self.out.push(ROp::Mov {
+                    dst: c,
+                    src: RSrc::Reg(i),
+                });
+                self.stack[d] = Abs::Reg(c);
+            }
+        }
+        Some(())
+    }
+
+    /// Builds the register fixup for a branch taken at abstract height
+    /// `h` (after any condition pop), flushing the registers the target
+    /// label will read: everything below `drop_to` plus the `keep`
+    /// values carried across. Entries in between are dropped by the
+    /// branch and stay lazy (their flush would only burden fallthrough
+    /// paths that never need it).
+    fn branch_to(&mut self, d: &BrDest, h: usize) -> Option<RBr> {
+        let keep = d.keep as usize;
+        let drop_to = d.drop_to as usize;
+        if drop_to + keep > h {
+            return None;
+        }
+        self.flush_range(0, drop_to)?;
+        self.flush_range(h - keep, h)?;
+        Some(RBr {
+            target: d.target, // old pc; retargeted after the walk
+            src: self.canon(h - keep)?,
+            dst: self.canon(drop_to)?,
+            keep: d.keep,
+            poll: false,
+        })
+    }
+
+    /// If the last emitted op wrote register `r` (and sits after the
+    /// label barrier), returns its `dst` slot for rewriting — the
+    /// store-redirect peephole behind `local.set`/`local.tee`.
+    fn redirectable_dst(&mut self, r: u16) -> Option<&mut u16> {
+        if self.out.len() <= self.barrier {
+            return None;
+        }
+        let dst = match self.out.last_mut()? {
+            ROp::Mov { dst, .. }
+            | ROp::Select { dst, .. }
+            | ROp::GlobalGet { dst, .. }
+            | ROp::Load { dst, .. }
+            | ROp::MemorySize { dst }
+            | ROp::MemoryGrow { dst, .. }
+            | ROp::Un { dst, .. }
+            | ROp::Bin { dst, .. }
+            | ROp::Rel { dst, .. }
+            | ROp::Cvt { dst, .. }
+            | ROp::AtomicNotify { dst, .. }
+            | ROp::AtomicWait32 { dst, .. }
+            | ROp::AtomicLoad { dst, .. }
+            | ROp::AtomicRmw { dst, .. }
+            | ROp::AtomicCmpxchg { dst, .. } => dst,
+            _ => return None,
+        };
+        if *dst == r {
+            Some(dst)
+        } else {
+            None
+        }
+    }
+
+    /// `local.set`/`local.tee` write to local `i`; `tee` keeps the top.
+    fn set_local(&mut self, i: u16, tee: bool) -> Option<()> {
+        if i as u32 >= self.nlocals {
+            return None;
+        }
+        let top_pos = self.stack.len().checked_sub(1)?;
+        let has_alias = self.stack[..top_pos].contains(&Abs::Reg(i));
+        let v = self.stack[top_pos];
+        // Redirect: if the value was just computed into its canonical
+        // register by the previous op and no lazy entry still reads the
+        // local's old value, retarget that op to write the local
+        // directly (saves the Mov entirely).
+        if !has_alias {
+            if let Abs::Reg(r) = v {
+                if Some(r) == self.canon(top_pos) {
+                    if let Some(dst) = self.redirectable_dst(r) {
+                        *dst = i;
+                        if tee {
+                            self.stack[top_pos] = Abs::Reg(i);
+                        } else {
+                            self.pop()?;
+                        }
+                        return Some(());
+                    }
+                }
+            }
+        }
+        self.materialize_local(i, top_pos)?;
+        if v != Abs::Reg(i) {
+            let src = self.rsrc(v)?;
+            self.out.push(ROp::Mov { dst: i, src });
+        }
+        if !tee {
+            self.pop()?;
+        }
+        Some(())
+    }
+
+    /// Compare-and-branch peephole: when the branch condition is the
+    /// result of the immediately preceding `Rel`, fold both into one
+    /// `RelBr` dispatch. Safe against the branch flush: the `Rel`
+    /// operands reference registers at or above the condition's position
+    /// (or locals/immediates), which the flush — writing only canonical
+    /// slots below it — never touches.
+    fn take_rel_producer(&mut self, cond: Abs) -> Option<(RelOp, RSrc, RSrc)> {
+        if self.out.len() <= self.barrier {
+            return None;
+        }
+        let want = self.canon(self.stack.len())?;
+        if cond != Abs::Reg(want) {
+            return None;
+        }
+        match self.out.last() {
+            Some(ROp::Rel { dst, op, a, b }) if *dst == want => {
+                let (op, a, b) = (*op, *a, *b);
+                self.out.pop();
+                Some((op, a, b))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Collects every branch target with its canonical entry shape
+/// `(drop_to, keep)`. The shapes are structural per label (they come
+/// from the control-frame entries in `prep`), so a conflict means the
+/// input is malformed — the caller bails to the stack tier.
+fn collect_labels(ops: &[Op]) -> Option<HashMap<u32, (u32, u16)>> {
+    use std::collections::hash_map::Entry;
+    let mut labels: HashMap<u32, (u32, u16)> = HashMap::new();
+    let mut add = |d: &BrDest| -> bool {
+        match labels.entry(d.target) {
+            Entry::Occupied(e) => *e.get() == (d.drop_to, d.keep),
+            Entry::Vacant(e) => {
+                e.insert((d.drop_to, d.keep));
+                true
+            }
+        }
+    };
+    for op in ops {
+        let ok = match op {
+            Op::Br(d)
+            | Op::BrIf(d)
+            | Op::BrIfZero(d)
+            | Op::RelBrIf(_, d)
+            | Op::RelBrIfZero(_, d) => add(d),
+            Op::BrTable(dests, def) => dests.iter().all(&mut add) && add(def),
+            _ => true,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(labels)
+}
+
+/// Lowers one prepared function to the register IR. `sigs` gives
+/// `(params, results)` for every function in the combined index space;
+/// `types` resolves `call_indirect` signatures.
+pub fn lower(func: &PreparedFunc, sigs: &[(u16, u16)], types: &[FuncType]) -> Option<RegFunc> {
+    let nlocals = func.params + func.locals;
+    if nlocals > u16::MAX as u32 {
+        return None;
+    }
+    let labels = collect_labels(&func.ops)?;
+    let mut lw = Lowerer {
+        nlocals,
+        results: func.results,
+        out: Vec::with_capacity(func.ops.len()),
+        stack: Vec::new(),
+        max_height: 0,
+        barrier: 0,
+        consts: Vec::new(),
+        const_ix: HashMap::new(),
+    };
+    let mut new_pc: Vec<u32> = vec![0; func.ops.len() + 1];
+    let mut live = true;
+
+    for (pc, op) in func.ops.iter().enumerate() {
+        if let Some(&(drop_to, keep)) = labels.get(&(pc as u32)) {
+            let h = drop_to as usize + keep as usize;
+            if live {
+                if lw.stack.len() != h {
+                    return None;
+                }
+                lw.flush_range(0, h)?;
+            } else {
+                // Resurrect at the label: every entry path leaves the
+                // registers canonical, so the abstract state is exactly
+                // the canonical slots up to the label height.
+                lw.stack.clear();
+                for d in 0..h {
+                    let c = lw.canon(d)?;
+                    lw.push(Abs::Reg(c));
+                }
+                live = true;
+            }
+            lw.barrier = lw.out.len();
+        }
+        // Recorded *after* the label flush: fallthrough runs the Movs,
+        // branches land past them on canonical registers.
+        new_pc[pc] = lw.out.len() as u32;
+        if !live {
+            continue;
+        }
+        live = lower_op(&mut lw, op, sigs, types)?;
+        if !live {
+            lw.stack.clear();
+        }
+    }
+
+    // Retarget branches from old pcs to lowered pcs.
+    for op in &mut lw.out {
+        match op {
+            ROp::Br(d)
+            | ROp::BrIf { dest: d, .. }
+            | ROp::BrIfZero { dest: d, .. }
+            | ROp::RelBr { dest: d, .. } => d.target = new_pc[d.target as usize],
+            ROp::BrTable { table, .. } => {
+                for d in table.dests.iter_mut() {
+                    d.target = new_pc[d.target as usize];
+                }
+                table.default.target = new_pc[table.default.target as usize];
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = peephole(lw.out);
+    fold_safepoint_polls(&mut out);
+
+    validated(RegFunc {
+        nregs: nlocals + lw.max_height as u32,
+        ops: out.into_boxed_slice(),
+        consts: lw.consts.into_boxed_slice(),
+    })
+}
+
+/// Visits every branch destination of `op` (including jump-table
+/// entries) as a `(target, poll)` pair.
+fn for_each_dest(op: &mut ROp, f: &mut impl FnMut(&mut u32, &mut bool)) {
+    match op {
+        ROp::Br(d)
+        | ROp::BrIf { dest: d, .. }
+        | ROp::BrIfZero { dest: d, .. }
+        | ROp::RelBr { dest: d, .. } => f(&mut d.target, &mut d.poll),
+        ROp::BrTable { table, .. } => {
+            for d in table.dests.iter_mut() {
+                f(&mut d.target, &mut d.poll);
+            }
+            f(&mut table.default.target, &mut table.default.poll);
+        }
+        ROp::BinRelBr { target, poll, .. } => f(target, poll),
+        _ => {}
+    }
+}
+
+/// Merges `first; second` into one dispatch when the pair matches a
+/// superinstruction pattern. Every fusion writes the same registers the
+/// sequence wrote (both destinations for [`ROp::Bin2`]/[`ROp::CvtBin`]),
+/// so it needs no liveness information to be sound.
+fn fuse_pair(first: &ROp, second: &ROp) -> Option<ROp> {
+    match (first, second) {
+        // Base-plus-index addressing: the add's scratch result is
+        // consumed and overwritten by the load, so dropping the
+        // intermediate write is invisible.
+        (
+            ROp::Bin {
+                dst: t,
+                op: BinOp::I32Add,
+                a,
+                b,
+            },
+            ROp::Load {
+                dst,
+                kind,
+                addr: RSrc::Reg(r),
+                offset,
+            },
+        ) if r == t && dst == t => Some(ROp::LoadIdx {
+            dst: *dst,
+            kind: *kind,
+            a: *a,
+            b: *b,
+            offset: *offset,
+        }),
+        // `i += 1; if i rel n goto L`: a binary op feeding the left
+        // operand of a compare-and-branch with no register fixup.
+        (
+            ROp::Bin { dst: t, op, a, b },
+            ROp::RelBr {
+                op: rel,
+                a: RSrc::Reg(r),
+                b: c,
+                if_true,
+                dest,
+            },
+        ) if r == t && dest.keep == 0 => Some(ROp::BinRelBr {
+            op: *op,
+            a: *a,
+            b: *b,
+            dst: *t,
+            rel: *rel,
+            c: *c,
+            if_true: *if_true,
+            target: dest.target,
+            poll: dest.poll,
+        }),
+        // Any two adjacent binary ops — chained or independent, the
+        // write-before-read contract makes both cases sequential.
+        (
+            ROp::Bin {
+                dst: dst1,
+                op: op1,
+                a,
+                b,
+            },
+            ROp::Bin {
+                dst: dst2,
+                op: op2,
+                a: a2,
+                b: b2,
+            },
+        ) => Some(ROp::Bin2 {
+            op1: *op1,
+            a: *a,
+            b: *b,
+            dst1: *dst1,
+            op2: *op2,
+            a2: *a2,
+            b2: *b2,
+            dst2: *dst2,
+        }),
+        // A conversion followed by a binary op.
+        (
+            ROp::Cvt {
+                dst: dst1,
+                op: cvt,
+                a,
+            },
+            ROp::Bin {
+                dst: dst2,
+                op,
+                a: a2,
+                b: b2,
+            },
+        ) => Some(ROp::CvtBin {
+            cvt: *cvt,
+            a: *a,
+            dst1: *dst1,
+            op: *op,
+            a2: *a2,
+            b2: *b2,
+            dst2: *dst2,
+        }),
+        _ => None,
+    }
+}
+
+/// Pairwise superinstruction pass over the retargeted code. A pair
+/// `(i, i+1)` may merge only when `i + 1` is not a branch target
+/// (execution can never enter mid-superinstruction: the only other
+/// entry points are frame-resume pcs, which always follow
+/// `Call`/`CallIndirect`/`Safepoint`/host ops — never the
+/// `Bin`/`Cvt`/`Load` ops fused here). Branch targets are then remapped
+/// through the compaction.
+fn peephole(ops: Vec<ROp>) -> Vec<ROp> {
+    let mut is_target = vec![false; ops.len() + 1];
+    let mut mark = |t: u32| {
+        if let Some(slot) = is_target.get_mut(t as usize) {
+            *slot = true;
+        }
+    };
+    for op in &ops {
+        match op {
+            ROp::Br(d)
+            | ROp::BrIf { dest: d, .. }
+            | ROp::BrIfZero { dest: d, .. }
+            | ROp::RelBr { dest: d, .. } => mark(d.target),
+            ROp::BrTable { table, .. } => {
+                table.dests.iter().for_each(|d| mark(d.target));
+                mark(table.default.target);
+            }
+            ROp::BinRelBr { target, .. } => mark(*target),
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<ROp> = Vec::with_capacity(ops.len());
+    let mut new_pc: Vec<u32> = vec![0; ops.len() + 1];
+    let mut i = 0;
+    while i < ops.len() {
+        new_pc[i] = out.len() as u32;
+        if i + 1 < ops.len() && !is_target[i + 1] {
+            if let Some(fused) = fuse_pair(&ops[i], &ops[i + 1]) {
+                new_pc[i + 1] = out.len() as u32; // unreachable: not a target
+                out.push(fused);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(ops[i].clone());
+        i += 1;
+    }
+    new_pc[ops.len()] = out.len() as u32;
+
+    for op in &mut out {
+        for_each_dest(op, &mut |t, _| *t = new_pc[*t as usize]);
+    }
+    out
+}
+
+/// Folds loop-header safepoints into the branches that enter them: a
+/// branch targeting a `Safepoint` jumps one past it and polls inline
+/// ([`RBr::poll`]). The fallthrough entry still executes the header
+/// `Safepoint` op, so poll count and poll points — and the handler's
+/// resume pc — are exactly those of the unfused code; only the
+/// per-back-edge dispatch is saved.
+fn fold_safepoint_polls(ops: &mut [ROp]) {
+    let sp: Vec<bool> = ops.iter().map(|o| matches!(o, ROp::Safepoint)).collect();
+    for op in ops.iter_mut() {
+        for_each_dest(op, &mut |target, poll| {
+            let t = *target as usize;
+            if t + 1 < sp.len() && sp[t] {
+                *poll = true;
+                *target += 1;
+            }
+        });
+    }
+}
+
+/// Bounds-checks a lowered function once: every register operand below
+/// `nregs`, every pool index within the pool, every branch fixup within
+/// the frame, every branch target within the code, and a terminator
+/// (`Return`/`Unreachable`/`Br`/`BrTable`) as the last op. The dispatch
+/// loop relies on this to elide per-access bounds checks on the
+/// register file *and* the op fetch ([`crate::interp`]'s register-tier
+/// `SAFETY` comment): in-bounds targets plus a terminating tail mean
+/// the pc can never step or jump past the op array. `lower` never
+/// emits code violating these, so a failure is a lowering bug and the
+/// caller bails to the stack tier.
+fn validated(rf: RegFunc) -> Option<RegFunc> {
+    let nregs = rf.nregs;
+    let npool = rf.consts.len();
+    let nops = rf.ops.len() as u32;
+    let reg = |r: u16| ((r as u32) < nregs).then_some(());
+    let src = |s: &RSrc| match *s {
+        RSrc::Reg(r) => reg(r),
+        RSrc::Const(i) => ((i as usize) < npool).then_some(()),
+    };
+    let br = |d: &RBr| {
+        (d.target < nops
+            && d.src as u32 + d.keep as u32 <= nregs
+            && d.dst as u32 + d.keep as u32 <= nregs)
+            .then_some(())
+    };
+    matches!(
+        rf.ops.last()?,
+        ROp::Return { .. } | ROp::Unreachable | ROp::Br(_) | ROp::BrTable { .. }
+    )
+    .then_some(())?;
+    let span = |at: u16, n: u16| (at as u32 + n as u32 <= nregs).then_some(());
+    for op in &rf.ops {
+        match op {
+            ROp::Unreachable | ROp::Safepoint | ROp::AtomicFence => Some(()),
+            ROp::Mov { dst, src: s } => reg(*dst).and(src(s)),
+            ROp::Br(d) => br(d),
+            ROp::BrIf { cond, dest } | ROp::BrIfZero { cond, dest } => src(cond).and(br(dest)),
+            ROp::RelBr { a, b, dest, .. } => src(a).and(src(b)).and(br(dest)),
+            ROp::BrTable { idx, table } => table
+                .dests
+                .iter()
+                .chain([&table.default])
+                .try_for_each(|d| br(d).ok_or(()))
+                .ok()
+                .and(src(idx)),
+            ROp::Return { src: s, n } => span(*s, *n),
+            ROp::Call { top, nargs, .. } => span(0, *top).filter(|()| nargs <= top),
+            ROp::CallIndirect {
+                idx, top, nargs, ..
+            } => span(0, *top).filter(|()| nargs <= top).and(src(idx)),
+            ROp::Select { dst, cond, a, b } => reg(*dst).and(src(cond)).and(src(a)).and(src(b)),
+            ROp::GlobalGet { dst, .. } => reg(*dst),
+            ROp::GlobalSet { src: s, .. } => src(s),
+            ROp::Load { dst, addr, .. } => reg(*dst).and(src(addr)),
+            ROp::Store { addr, val, .. } => src(addr).and(src(val)),
+            ROp::MemorySize { dst } => reg(*dst),
+            ROp::MemoryGrow { dst, delta } => reg(*dst).and(src(delta)),
+            ROp::MemoryCopy { dst, src: s, len } => src(dst).and(src(s)).and(src(len)),
+            ROp::MemoryFill { dst, val, len } => src(dst).and(src(val)).and(src(len)),
+            ROp::Un { dst, a, .. } | ROp::Cvt { dst, a, .. } => reg(*dst).and(src(a)),
+            ROp::Bin { dst, a, b, .. }
+            | ROp::Rel { dst, a, b, .. }
+            | ROp::LoadIdx { dst, a, b, .. } => reg(*dst).and(src(a)).and(src(b)),
+            ROp::Bin2 {
+                a,
+                b,
+                dst1,
+                a2,
+                b2,
+                dst2,
+                ..
+            } => reg(*dst1)
+                .and(reg(*dst2))
+                .and(src(a))
+                .and(src(b))
+                .and(src(a2))
+                .and(src(b2)),
+            ROp::CvtBin {
+                a,
+                dst1,
+                a2,
+                b2,
+                dst2,
+                ..
+            } => reg(*dst1)
+                .and(reg(*dst2))
+                .and(src(a))
+                .and(src(a2))
+                .and(src(b2)),
+            ROp::BinRelBr {
+                a,
+                b,
+                dst,
+                c,
+                target,
+                ..
+            } => (*target < nops)
+                .then_some(())
+                .and(reg(*dst))
+                .and(src(a))
+                .and(src(b))
+                .and(src(c)),
+            ROp::AtomicNotify {
+                dst, addr, count, ..
+            } => reg(*dst).and(src(addr)).and(src(count)),
+            ROp::AtomicWait32 {
+                dst,
+                addr,
+                expected,
+                timeout,
+                ..
+            } => reg(*dst)
+                .and(src(addr))
+                .and(src(expected))
+                .and(src(timeout)),
+            ROp::AtomicLoad { dst, addr, .. } => reg(*dst).and(src(addr)),
+            ROp::AtomicStore { addr, val, .. } => src(addr).and(src(val)),
+            ROp::AtomicRmw { dst, addr, val, .. } => reg(*dst).and(src(addr)).and(src(val)),
+            ROp::AtomicCmpxchg {
+                dst,
+                addr,
+                expected,
+                new,
+                ..
+            } => reg(*dst).and(src(addr)).and(src(expected)).and(src(new)),
+        }?;
+    }
+    Some(rf)
+}
+
+/// Lowers one op; returns `Some(false)` when the op ends the live path.
+fn lower_op(lw: &mut Lowerer, op: &Op, sigs: &[(u16, u16)], types: &[FuncType]) -> Option<bool> {
+    match op {
+        Op::Unreachable => {
+            lw.out.push(ROp::Unreachable);
+            return Some(false);
+        }
+        Op::Safepoint => lw.out.push(ROp::Safepoint),
+        Op::Br(d) => {
+            let h = lw.stack.len();
+            let dest = lw.branch_to(d, h)?;
+            lw.out.push(ROp::Br(dest));
+            return Some(false);
+        }
+        Op::BrIf(d) | Op::BrIfZero(d) => {
+            let if_true = matches!(op, Op::BrIf(_));
+            let cond = lw.pop()?;
+            let h = lw.stack.len();
+            if let Some((rel, a, b)) = lw.take_rel_producer(cond) {
+                let dest = lw.branch_to(d, h)?;
+                lw.out.push(ROp::RelBr {
+                    op: rel,
+                    a,
+                    b,
+                    if_true,
+                    dest,
+                });
+            } else {
+                let dest = lw.branch_to(d, h)?;
+                let cond = lw.rsrc(cond)?;
+                lw.out.push(if if_true {
+                    ROp::BrIf { cond, dest }
+                } else {
+                    ROp::BrIfZero { cond, dest }
+                });
+            }
+        }
+        Op::RelBrIf(rel, d) | Op::RelBrIfZero(rel, d) => {
+            let if_true = matches!(op, Op::RelBrIf(..));
+            let b = lw.pop()?;
+            let a = lw.pop()?;
+            let h = lw.stack.len();
+            let dest = lw.branch_to(d, h)?;
+            let (a, b) = (lw.rsrc(a)?, lw.rsrc(b)?);
+            lw.out.push(ROp::RelBr {
+                op: *rel,
+                a,
+                b,
+                if_true,
+                dest,
+            });
+        }
+        Op::BrTable(dests, def) => {
+            let idx = lw.pop()?;
+            let h = lw.stack.len();
+            // All targets share one pre-branch register state: flush
+            // everything any of them could read.
+            lw.flush_range(0, h)?;
+            let rdests: Option<Box<[RBr]>> = dests.iter().map(|d| lw.branch_to(d, h)).collect();
+            let default = lw.branch_to(def, h)?;
+            let idx = lw.rsrc(idx)?;
+            lw.out.push(ROp::BrTable {
+                idx,
+                table: Box::new(RTable {
+                    dests: rdests?,
+                    default,
+                }),
+            });
+            return Some(false);
+        }
+        Op::Return => {
+            let n = u16::try_from(lw.results).ok()?;
+            let h = lw.stack.len();
+            let from = h.checked_sub(n as usize)?;
+            lw.flush_range(from, h)?;
+            lw.out.push(ROp::Return {
+                src: lw.canon(from)?,
+                n,
+            });
+            return Some(false);
+        }
+        Op::Call(f) => {
+            let (p, r) = *sigs.get(*f as usize)?;
+            emit_call(lw, p, r, |_, top| ROp::Call {
+                func: *f,
+                top,
+                nargs: p,
+            })?;
+        }
+        Op::CallIndirect(t) => {
+            let ft = types.get(*t as usize)?;
+            let p = u16::try_from(ft.params.len()).ok()?;
+            let r = u16::try_from(ft.results.len()).ok()?;
+            let idx = lw.pop()?;
+            let idx = lw.rsrc(idx)?;
+            emit_call(lw, p, r, |_, top| ROp::CallIndirect {
+                ty: *t,
+                idx,
+                top,
+                nargs: p,
+            })?;
+        }
+        Op::Drop => {
+            lw.pop()?;
+        }
+        Op::Select => {
+            let c = lw.pop()?;
+            let b = lw.pop()?;
+            let a = lw.pop()?;
+            if let Abs::Imm(cv) = c {
+                // Constant condition: the select is a plain move.
+                lw.push(if cv as u32 != 0 { a } else { b });
+            } else {
+                let dst = lw.dst_here()?;
+                let (cond, a, b) = (lw.rsrc(c)?, lw.rsrc(a)?, lw.rsrc(b)?);
+                lw.out.push(ROp::Select { dst, cond, a, b });
+                lw.push(Abs::Reg(dst));
+            }
+        }
+        Op::LocalGet(i) => {
+            if *i >= lw.nlocals {
+                return None;
+            }
+            lw.push(Abs::Reg(*i as u16));
+        }
+        Op::LocalSet(i) => lw.set_local(u16::try_from(*i).ok()?, false)?,
+        Op::LocalTee(i) => lw.set_local(u16::try_from(*i).ok()?, true)?,
+        Op::GlobalGet(i) => {
+            let dst = lw.dst_here()?;
+            lw.out.push(ROp::GlobalGet { dst, idx: *i });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::GlobalSet(i) => {
+            let v = lw.pop()?;
+            let src = lw.rsrc(v)?;
+            lw.out.push(ROp::GlobalSet { idx: *i, src });
+        }
+        Op::Load(kind, offset) => {
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let addr = lw.rsrc(addr)?;
+            lw.out.push(ROp::Load {
+                dst,
+                kind: *kind,
+                addr,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::LocalLoad(i, kind, offset) => {
+            if *i >= lw.nlocals {
+                return None;
+            }
+            let dst = lw.dst_here()?;
+            lw.out.push(ROp::Load {
+                dst,
+                kind: *kind,
+                addr: RSrc::Reg(*i as u16),
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::Store(kind, offset) => {
+            let v = lw.pop()?;
+            let addr = lw.pop()?;
+            let (addr, val) = (lw.rsrc(addr)?, lw.rsrc(v)?);
+            lw.out.push(ROp::Store {
+                kind: *kind,
+                addr,
+                val,
+                offset: u32::try_from(*offset).ok()?,
+            });
+        }
+        Op::MemorySize => {
+            let dst = lw.dst_here()?;
+            lw.out.push(ROp::MemorySize { dst });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::MemoryGrow => {
+            let delta = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let delta = lw.rsrc(delta)?;
+            lw.out.push(ROp::MemoryGrow { dst, delta });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::MemoryCopy => {
+            let len = lw.pop()?;
+            let src = lw.pop()?;
+            let dst = lw.pop()?;
+            let (dst, src, len) = (lw.rsrc(dst)?, lw.rsrc(src)?, lw.rsrc(len)?);
+            lw.out.push(ROp::MemoryCopy { dst, src, len });
+        }
+        Op::MemoryFill => {
+            let len = lw.pop()?;
+            let val = lw.pop()?;
+            let dst = lw.pop()?;
+            let (dst, val, len) = (lw.rsrc(dst)?, lw.rsrc(val)?, lw.rsrc(len)?);
+            lw.out.push(ROp::MemoryFill { dst, val, len });
+        }
+        Op::Const(v) => lw.push(Abs::Imm(*v)),
+        Op::Un(op) => {
+            let a = lw.pop()?;
+            if let Abs::Imm(x) = a {
+                if let Ok(v) = eval_un(*op, x) {
+                    lw.push(Abs::Imm(v));
+                    return Some(true);
+                }
+            }
+            let dst = lw.dst_here()?;
+            let a = lw.rsrc(a)?;
+            lw.out.push(ROp::Un { dst, op: *op, a });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::Bin(op) => {
+            let b = lw.pop()?;
+            let a = lw.pop()?;
+            emit_bin(lw, *op, a, b)?;
+        }
+        Op::ConstBin(k, op) => {
+            let a = lw.pop()?;
+            emit_bin(lw, *op, a, Abs::Imm(*k))?;
+        }
+        Op::LocalLocalBin(a, b, op) => {
+            if *a >= lw.nlocals || *b >= lw.nlocals {
+                return None;
+            }
+            emit_bin(lw, *op, Abs::Reg(*a as u16), Abs::Reg(*b as u16))?;
+        }
+        Op::LocalConstBin(a, k, op) => {
+            if *a >= lw.nlocals {
+                return None;
+            }
+            emit_bin(lw, *op, Abs::Reg(*a as u16), Abs::Imm(*k))?;
+        }
+        Op::Rel(op) => {
+            let b = lw.pop()?;
+            let a = lw.pop()?;
+            if let (Abs::Imm(x), Abs::Imm(y)) = (a, b) {
+                lw.push(Abs::Imm(eval_rel(*op, x, y) as u64));
+                return Some(true);
+            }
+            let dst = lw.dst_here()?;
+            let (a, b) = (lw.rsrc(a)?, lw.rsrc(b)?);
+            lw.out.push(ROp::Rel { dst, op: *op, a, b });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::Cvt(op) => {
+            let a = lw.pop()?;
+            if let Abs::Imm(x) = a {
+                if let Ok(v) = eval_cvt(*op, x) {
+                    lw.push(Abs::Imm(v));
+                    return Some(true);
+                }
+            }
+            let dst = lw.dst_here()?;
+            let a = lw.rsrc(a)?;
+            lw.out.push(ROp::Cvt { dst, op: *op, a });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::AtomicNotify(offset) => {
+            let count = lw.pop()?;
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let (addr, count) = (lw.rsrc(addr)?, lw.rsrc(count)?);
+            lw.out.push(ROp::AtomicNotify {
+                dst,
+                addr,
+                count,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::AtomicWait32(offset) => {
+            let timeout = lw.pop()?;
+            let expected = lw.pop()?;
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let (addr, expected, timeout) = (lw.rsrc(addr)?, lw.rsrc(expected)?, lw.rsrc(timeout)?);
+            lw.out.push(ROp::AtomicWait32 {
+                dst,
+                addr,
+                expected,
+                timeout,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::AtomicFence => lw.out.push(ROp::AtomicFence),
+        Op::AtomicLoad(w, offset) => {
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let addr = lw.rsrc(addr)?;
+            lw.out.push(ROp::AtomicLoad {
+                dst,
+                width: *w,
+                addr,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::AtomicStore(w, offset) => {
+            let v = lw.pop()?;
+            let addr = lw.pop()?;
+            let (addr, val) = (lw.rsrc(addr)?, lw.rsrc(v)?);
+            lw.out.push(ROp::AtomicStore {
+                width: *w,
+                addr,
+                val,
+                offset: u32::try_from(*offset).ok()?,
+            });
+        }
+        Op::AtomicRmw(op, offset) => {
+            let v = lw.pop()?;
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let (addr, val) = (lw.rsrc(addr)?, lw.rsrc(v)?);
+            lw.out.push(ROp::AtomicRmw {
+                dst,
+                op: *op,
+                addr,
+                val,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+        Op::AtomicCmpxchg(offset) => {
+            let new = lw.pop()?;
+            let expected = lw.pop()?;
+            let addr = lw.pop()?;
+            let dst = lw.dst_here()?;
+            let (addr, expected, new) = (lw.rsrc(addr)?, lw.rsrc(expected)?, lw.rsrc(new)?);
+            lw.out.push(ROp::AtomicCmpxchg {
+                dst,
+                addr,
+                expected,
+                new,
+                offset: u32::try_from(*offset).ok()?,
+            });
+            lw.push(Abs::Reg(dst));
+        }
+    }
+    Some(true)
+}
+
+/// Shared tail of `call`/`call_indirect`: flush the arguments to their
+/// canonical registers, emit the call with the operand `top`, then model
+/// the results as canonical registers.
+fn emit_call(
+    lw: &mut Lowerer,
+    params: u16,
+    results: u16,
+    build: impl FnOnce(&mut Lowerer, u16) -> ROp,
+) -> Option<()> {
+    let h = lw.stack.len();
+    let p = params as usize;
+    let argbase = h.checked_sub(p)?;
+    lw.flush_range(argbase, h)?;
+    let top = lw.canon(h)?;
+    let op = build(lw, top);
+    lw.out.push(op);
+    for _ in 0..p {
+        lw.pop()?;
+    }
+    for _ in 0..results {
+        let dst = lw.dst_here()?;
+        lw.push(Abs::Reg(dst));
+    }
+    Some(())
+}
+
+/// Emits a three-address binary op, folding constant operands.
+fn emit_bin(lw: &mut Lowerer, op: BinOp, a: Abs, b: Abs) -> Option<()> {
+    if let (Abs::Imm(x), Abs::Imm(y)) = (a, b) {
+        if let Ok(v) = eval_bin(op, x, y) {
+            lw.push(Abs::Imm(v));
+            return Some(());
+        }
+        // Trapping constants (e.g. div by zero): emit the op so the
+        // trap fires at the original program point.
+    }
+    let dst = lw.dst_here()?;
+    let (a, b) = (lw.rsrc(a)?, lw.rsrc(b)?);
+    lw.out.push(ROp::Bin { dst, op, a, b });
+    lw.push(Abs::Reg(dst));
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+
+    fn pf(params: u32, locals: u32, results: u32, ops: Vec<Op>) -> PreparedFunc {
+        PreparedFunc {
+            ty: 0,
+            params,
+            locals,
+            results,
+            ops: ops.into_boxed_slice(),
+            reg: None,
+        }
+    }
+
+    #[test]
+    fn fused_add_collapses_to_one_bin() {
+        // (param i32 i32) (result i32): local.get 0; local.get 1; add —
+        // in its fused input form.
+        let f = pf(
+            2,
+            0,
+            1,
+            vec![Op::LocalLocalBin(0, 1, BinOp::I32Add), Op::Return],
+        );
+        let r = lower(&f, &[], &[]).expect("lowers");
+        assert_eq!(r.nregs, 3);
+        assert_eq!(
+            &*r.ops,
+            &[
+                ROp::Bin {
+                    dst: 2,
+                    op: BinOp::I32Add,
+                    a: RSrc::Reg(0),
+                    b: RSrc::Reg(1),
+                },
+                ROp::Return { src: 2, n: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn constants_fold_at_lowering_time() {
+        let f = pf(
+            0,
+            0,
+            1,
+            vec![
+                Op::Const(2),
+                Op::Const(3),
+                Op::Bin(BinOp::I32Add),
+                Op::Return,
+            ],
+        );
+        let r = lower(&f, &[], &[]).expect("lowers");
+        // The sum spills once at the return flush; no Bin survives.
+        match r.ops[0] {
+            ROp::Mov { dst: 0, src } => assert_eq!(r.const_of(src), Some(5)),
+            ref other => panic!("expected folded Mov, got {other:?}"),
+        }
+        assert_eq!(r.ops[1], ROp::Return { src: 0, n: 1 });
+        assert_eq!(r.ops.len(), 2);
+    }
+
+    #[test]
+    fn trapping_const_div_is_not_folded() {
+        let f = pf(
+            0,
+            0,
+            1,
+            vec![
+                Op::Const(1),
+                Op::Const(0),
+                Op::Bin(BinOp::I32DivU),
+                Op::Return,
+            ],
+        );
+        let r = lower(&f, &[], &[]).expect("lowers");
+        assert!(
+            matches!(
+                r.ops[0],
+                ROp::Bin {
+                    op: BinOp::I32DivU,
+                    ..
+                }
+            ),
+            "div-by-zero must stay an op so the trap fires: {:?}",
+            r.ops
+        );
+    }
+
+    #[test]
+    fn counter_loop_needs_no_movs() {
+        // Fused-form body of `loop { l0 += 1; if l0 < 10 continue }`:
+        //   0: Safepoint (loop header, back-edge target)
+        //   1: LocalConstBin(0, 1, add)
+        //   2: LocalSet(0)
+        //   3: LocalGet(0)
+        //   4: Const(10)
+        //   5: RelBrIf(lt_u, -> 0)
+        //   6: Return
+        let f = pf(
+            1,
+            0,
+            0,
+            vec![
+                Op::Safepoint,
+                Op::LocalConstBin(0, 1, BinOp::I32Add),
+                Op::LocalSet(0),
+                Op::LocalGet(0),
+                Op::Const(10),
+                Op::RelBrIf(
+                    crate::instr::RelOp::I32LtU,
+                    BrDest {
+                        target: 0,
+                        drop_to: 0,
+                        keep: 0,
+                    },
+                ),
+                Op::Return,
+            ],
+        );
+        let r = lower(&f, &[], &[]).expect("lowers");
+        // Safepoint; then the whole steady state — increment, compare
+        // and back edge — is ONE `BinRelBr` dispatch whose poll flag
+        // absorbed the header safepoint; Return. Zero Movs, zero stack
+        // traffic.
+        assert!(
+            !r.ops.iter().any(|o| matches!(o, ROp::Mov { .. })),
+            "loop should lower Mov-free: {:?}",
+            r.ops
+        );
+        assert_eq!(r.ops.len(), 3, "{:?}", r.ops);
+        match r.ops[1] {
+            ROp::BinRelBr {
+                dst: 0,
+                a: RSrc::Reg(0),
+                b,
+                c,
+                target,
+                poll,
+                ..
+            } => {
+                assert_eq!(r.const_of(b), Some(1));
+                assert_eq!(r.const_of(c), Some(10));
+                assert_eq!(target, 1, "back edge skips the header safepoint");
+                assert!(poll, "back edge absorbs the header safepoint poll");
+            }
+            ref other => panic!(
+                "increment + compare + back edge should fuse: {other:?} in {:?}",
+                r.ops
+            ),
+        }
+    }
+
+    #[test]
+    fn value_held_across_branch_is_flushed() {
+        // A lazy constant sits *below* the branch's drop_to boundary: the
+        // taken path lands on a label that expects it in its canonical
+        // register, so the flush must happen before the branch.
+        //   0: Const(42)
+        //   1: Const(1)
+        //   2: BrIf -> 3 (drop_to 1, keep 0)
+        //   3: Return (result = the 42)
+        let f = pf(
+            0,
+            0,
+            1,
+            vec![
+                Op::Const(42),
+                Op::Const(1),
+                Op::BrIf(BrDest {
+                    target: 3,
+                    drop_to: 1,
+                    keep: 0,
+                }),
+                Op::Return,
+            ],
+        );
+        let r = lower(&f, &[], &[]).expect("lowers");
+        match r.ops[0] {
+            ROp::Mov { dst: 0, src } => assert_eq!(r.const_of(src), Some(42)),
+            ref other => panic!(
+                "the 42 must be canonical before the branch: {other:?} in {:?}",
+                r.ops
+            ),
+        }
+        match &r.ops[1] {
+            ROp::BrIf { cond, dest } => {
+                assert_eq!(r.const_of(*cond), Some(1));
+                // Retargeted past the flush Mov to the Return.
+                assert_eq!(dest.target, 2);
+            }
+            other => panic!("expected BrIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_label_shapes_bail() {
+        let f = pf(
+            0,
+            0,
+            0,
+            vec![
+                Op::Br(BrDest {
+                    target: 2,
+                    drop_to: 0,
+                    keep: 0,
+                }),
+                Op::Br(BrDest {
+                    target: 2,
+                    drop_to: 1,
+                    keep: 0,
+                }),
+                Op::Return,
+            ],
+        );
+        assert!(lower(&f, &[], &[]).is_none());
+    }
+}

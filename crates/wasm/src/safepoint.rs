@@ -4,6 +4,12 @@
 //! consistent (paper §3.3): the compiler inserts *safepoints* and the
 //! engine polls for pending signals there. The scheme trades reactivity
 //! against overhead — Table 3 of the paper quantifies all three.
+//!
+//! Both interpreter tiers honour the same safepoint schedule. The tier-2
+//! register interpreter needs no spill step at a poll: its registers
+//! *are* frame slots (`stack[base + r]`), always canonical, so a
+//! handler frame can be pushed — or the thread cloned by `fork` —
+//! at any safepoint without materialising extra state.
 
 /// Where `prep` inserts safepoint polls.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

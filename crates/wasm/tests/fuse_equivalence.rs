@@ -1,11 +1,15 @@
-//! Dispatch equivalence: superinstruction fusion must be unobservable.
+//! Tier equivalence: neither superinstruction fusion nor the tier-2
+//! register IR may be observable.
 //!
-//! Every program in the corpus is prepared twice — fusion enabled and
-//! disabled — and executed with the same inputs; results, traps, final
-//! memory and globals must match exactly. The corpus leans on the fused
-//! patterns (`local.get local.get binop`, `const binop`, compare+`br_if`,
-//! `local.get` + load) including the edge cases the fusion barrier
-//! protects: branch targets landing between fusible ops.
+//! Every program in the corpus is prepared on all three execution tiers
+//! — unfused stack, fused stack, register IR — and executed with the
+//! same inputs; results, traps, final memory and globals must match
+//! exactly. The corpus leans on the fused patterns (`local.get
+//! local.get binop`, `const binop`, compare+`br_if`, `local.get` +
+//! load) and on stack shapes that stress the register lowering: deep
+//! operand stacks, `br_table` back edges into loop headers, multi-value
+//! blocks, branch targets landing on fused heads, and lazy values
+//! parked below a branch boundary.
 
 use std::sync::Arc;
 
@@ -191,6 +195,122 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
     mb.export("main", f);
     out.push(("loop_header_load", mb.build(), vec![Value::I32(8)]));
 
+    // Deep operand stack: 16 pending values folded by a chain of adds —
+    // the register lowering must track every canonical slot.
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        for i in 0..8 {
+            b.local_get(0).i32(i + 1);
+        }
+        for _ in 0..15 {
+            b.emit(Instr::Bin(BinOp::I32Add));
+        }
+    });
+    mb.export("main", f);
+    out.push(("deep_stack", mb.build(), vec![Value::I32(6)]));
+
+    // br_table whose default arm is the back edge into a loop header:
+    // every dispatch of the table re-enters the label barrier.
+    let mut mb = ModuleBuilder::new();
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local(ValType::I32); // i = local 1
+        b.emit(Instr::Block(BlockType::Empty))
+            .emit(Instr::Loop(BlockType::Empty))
+            .local_get(1)
+            .i32(1)
+            .emit(Instr::Bin(BinOp::I32Add))
+            .local_set(1)
+            .local_get(1)
+            .local_get(0)
+            .emit(Instr::Rel(RelOp::I32LtS))
+            // 0 (done) -> depth 1 exits the block; 1 (continue) -> the
+            // default, depth 0, jumps back to the loop header.
+            .emit(Instr::BrTable(Box::new([1]), 0))
+            .emit(Instr::End)
+            .emit(Instr::End)
+            .local_get(1);
+    });
+    mb.export("main", f);
+    out.push(("br_table_loop_header", mb.build(), vec![Value::I32(5)]));
+
+    // Multi-value block: a conditional branch carries *two* values out
+    // (keep = 2); the fallthrough edits one of them first.
+    for (name, v) in [("multi_value_taken", 4), ("multi_value_fall", 0)] {
+        let mut mb2 = ModuleBuilder::new();
+        let sig = mb2.sig([ValType::I32], [ValType::I32]);
+        let pair = mb2.sig([], [ValType::I32, ValType::I32]);
+        let f2 = mb2.func(sig, |b| {
+            b.emit(Instr::Block(BlockType::Func(pair)))
+                .local_get(0)
+                .i32(1)
+                .emit(Instr::Bin(BinOp::I32Add)) // a = n + 1
+                .local_get(0)
+                .i32(3)
+                .emit(Instr::Bin(BinOp::I32Mul)) // b = n * 3
+                .local_get(0)
+                .emit(Instr::BrIf(0)) // taken: yields (a, b)
+                .i32(7)
+                .emit(Instr::Bin(BinOp::I32Add)) // fallthrough: (a, b + 7)
+                .emit(Instr::End)
+                .emit(Instr::Bin(BinOp::I32Add));
+        });
+        mb2.export("main", f2);
+        out.push((name, mb2.build(), vec![Value::I32(v)]));
+    }
+
+    // A lazy constant parked *below* the branch boundary: the br_if
+    // drops to a height above it, so the lowering must still spill it
+    // before the branch (the taken path reads it after the block).
+    for (name, v) in [
+        ("lazy_below_branch_taken", 3),
+        ("lazy_below_branch_fall", 0),
+    ] {
+        let mut mb2 = ModuleBuilder::new();
+        let sig = mb2.sig([ValType::I32], [ValType::I32]);
+        let one = mb2.sig([], [ValType::I32]);
+        let f2 = mb2.func(sig, |b| {
+            b.i32(42) // stays below the block for its whole lifetime
+                .emit(Instr::Block(BlockType::Func(one)))
+                .local_get(0)
+                .i32(5)
+                .emit(Instr::Bin(BinOp::I32Mul))
+                .local_get(0)
+                .emit(Instr::BrIf(0)) // carries n*5 out, over the 42
+                .i32(1)
+                .emit(Instr::Bin(BinOp::I32Add))
+                .emit(Instr::End)
+                .emit(Instr::Bin(BinOp::I32Add)); // 42 + result
+        });
+        mb2.export("main", f2);
+        out.push((name, mb2.build(), vec![Value::I32(v)]));
+    }
+
+    // Local wasm→wasm calls: arguments must land in the callee's
+    // canonical registers, results back in the caller's.
+    let mut mb = ModuleBuilder::new();
+    let helper_sig = mb.sig([ValType::I32], [ValType::I32]);
+    let helper = mb.func(helper_sig, |b| {
+        b.local_get(0)
+            .i32(2)
+            .emit(Instr::Bin(BinOp::I32Mul))
+            .i32(1)
+            .emit(Instr::Bin(BinOp::I32Add));
+    });
+    let sig = mb.sig([ValType::I32], [ValType::I32]);
+    let f = mb.func(sig, |b| {
+        b.local_get(0)
+            .call(helper)
+            .local_get(0)
+            .i32(1)
+            .emit(Instr::Bin(BinOp::I32Add))
+            .call(helper)
+            .emit(Instr::Bin(BinOp::I32Add));
+    });
+    mb.export("main", f);
+    out.push(("call_chain", mb.build(), vec![Value::I32(10)]));
+
     // br_table with fused arithmetic in the arms.
     for (name, v) in [
         ("br_table_0", 0),
@@ -227,15 +347,26 @@ fn corpus() -> Vec<(&'static str, wasm::Module, Vec<Value>)> {
     out
 }
 
+/// The three execution tiers, in ascending order of preparation.
+const TIERS: [(&str, bool, bool); 3] = [
+    ("unfused", false, false),
+    ("fused", true, false),
+    ("regir", true, true),
+];
+
 fn run(
     module: &wasm::Module,
-    fuse: bool,
+    (tier, fuse, regir): (&str, bool, bool),
     args: &[Value],
     scheme: SafepointScheme,
 ) -> (RunResult, Vec<u64>) {
     let linker: Linker<()> = Linker::new();
-    let program = Arc::new(Program::link_with(module, &linker, scheme, fuse).expect("link"));
+    let program =
+        Arc::new(Program::link_tiered(module, &linker, scheme, fuse, regir).expect("link"));
     assert_eq!(program.fused, fuse);
+    // Requesting the register tier must actually produce it — a silent
+    // bail-out to the stack tier would hollow this suite out.
+    assert_eq!(program.regir, regir, "{tier}: lowering must fire");
     let mut inst = Instance::new(program).expect("instantiate");
     let main = inst.export_func("main").expect("main export");
     let mut t = Thread::new();
@@ -273,25 +404,30 @@ fn fused_op_count(module: &wasm::Module, fuse: bool) -> usize {
 }
 
 #[test]
-fn fusion_is_observationally_equivalent() {
+fn tiers_are_observationally_equivalent() {
     for scheme in [
         SafepointScheme::None,
         SafepointScheme::LoopHeaders,
         SafepointScheme::EveryInstruction,
     ] {
         for (name, module, args) in corpus() {
-            let (fused, g1) = run(&module, true, &args, scheme);
-            let (unfused, g2) = run(&module, false, &args, scheme);
-            match (&fused, &unfused) {
-                (RunResult::Done(a), RunResult::Done(b)) => {
-                    assert_eq!(a, b, "{name} ({scheme:?}): results diverge")
+            let (baseline, g0) = run(&module, TIERS[0], &args, scheme);
+            for tier in &TIERS[1..] {
+                let (r, g) = run(&module, *tier, &args, scheme);
+                match (&baseline, &r) {
+                    (RunResult::Done(a), RunResult::Done(b)) => {
+                        assert_eq!(a, b, "{name} ({scheme:?}, {}): results diverge", tier.0)
+                    }
+                    (RunResult::Trapped(a), RunResult::Trapped(b)) => {
+                        assert_eq!(a, b, "{name} ({scheme:?}, {}): traps diverge", tier.0)
+                    }
+                    other => panic!(
+                        "{name} ({scheme:?}, {}): outcome shape diverges: {other:?}",
+                        tier.0
+                    ),
                 }
-                (RunResult::Trapped(a), RunResult::Trapped(b)) => {
-                    assert_eq!(a, b, "{name} ({scheme:?}): traps diverge")
-                }
-                other => panic!("{name} ({scheme:?}): outcome shape diverges: {other:?}"),
+                assert_eq!(g0, g, "{name} ({scheme:?}, {}): globals diverge", tier.0);
             }
-            assert_eq!(g1, g2, "{name} ({scheme:?}): globals diverge");
         }
     }
 }
@@ -324,15 +460,17 @@ fn barrier_blocks_fusion_across_branch_targets() {
         .find(|(n, _, _)| *n == "branch_into_pair")
         .unwrap();
     for arg in [0, 5] {
-        let (r, _) = run(
-            &module,
-            true,
-            &[Value::I32(arg)],
-            SafepointScheme::LoopHeaders,
-        );
-        match r {
-            RunResult::Done(v) => assert_eq!(v, vec![Value::I32(arg + 7)]),
-            other => panic!("{other:?}"),
+        for tier in TIERS {
+            let (r, _) = run(
+                &module,
+                tier,
+                &[Value::I32(arg)],
+                SafepointScheme::LoopHeaders,
+            );
+            match r {
+                RunResult::Done(v) => assert_eq!(v, vec![Value::I32(arg + 7)], "{}", tier.0),
+                other => panic!("{}: {other:?}", tier.0),
+            }
         }
     }
 
@@ -360,4 +498,41 @@ fn barrier_blocks_fusion_across_branch_targets() {
         "the loop-header load must not fuse across the back edge"
     );
     assert!(!has_fused_load);
+}
+
+#[test]
+fn register_tier_collapses_dispatches() {
+    let (_, module, args) = corpus()
+        .into_iter()
+        .find(|(n, _, _)| *n == "loop_arith")
+        .unwrap();
+    let steps = |(_, fuse, regir): (&str, bool, bool)| {
+        let linker: Linker<()> = Linker::new();
+        let program = Arc::new(
+            Program::link_tiered(&module, &linker, SafepointScheme::LoopHeaders, fuse, regir)
+                .unwrap(),
+        );
+        let mut inst = Instance::new(program).expect("instantiate");
+        let main = inst.export_func("main").unwrap();
+        let mut t = Thread::new();
+        match t.call(&mut inst, &mut (), main, &args) {
+            RunResult::Done(_) => {}
+            other => panic!("{other:?}"),
+        }
+        (t.steps, t.reg_steps)
+    };
+    let (fused, fused_reg) = steps(TIERS[1]);
+    let (regir, regir_reg) = steps(TIERS[2]);
+    assert_eq!(
+        fused_reg, 0,
+        "stack tier must not count register dispatches"
+    );
+    assert_eq!(
+        regir_reg, regir,
+        "register tier runs entirely in the register loop"
+    );
+    assert!(
+        regir < fused,
+        "register IR should collapse dispatches: {regir} vs {fused}"
+    );
 }
