@@ -96,6 +96,12 @@ pub enum Mechanism {
     /// `EPOLLONESHOT` epoll; exactly two tokens, re-armed with
     /// `EPOLL_CTL_MOD` between them.
     EpollOneshot,
+    /// Level-triggered epoll with a registration churn storm: the fd is
+    /// `EPOLL_CTL_DEL`ed and re-`ADD`ed twice before every wait (each
+    /// DEL may drop a queued ready-ring entry, each ADD re-probes), and
+    /// on socket channels the producer side is half-closed after the
+    /// last token so a registered, EOF-readable fd rides into teardown.
+    EpollChurn,
 }
 
 /// One operation inside a (thread, phase) slot.
@@ -586,6 +592,7 @@ struct Sys {
     epoll_create1: FuncId,
     epoll_ctl: FuncId,
     epoll_wait: FuncId,
+    shutdown: FuncId,
 }
 
 impl Sys {
@@ -612,6 +619,7 @@ impl Sys {
             epoll_create1: sys(mb, "epoll_create1", 1),
             epoll_ctl: sys(mb, "epoll_ctl", 4),
             epoll_wait: sys(mb, "epoll_wait", 4),
+            shutdown: sys(mb, "shutdown", 2),
         }
     }
 }
@@ -1051,14 +1059,16 @@ fn emit_consume(
     via: Mechanism,
     scratch: u32,
 ) {
-    use wali_abi::flags::{EPOLLET, EPOLLIN, EPOLLONESHOT, EPOLL_CTL_ADD, EPOLL_CTL_MOD};
+    use wali_abi::flags::{
+        EPOLLET, EPOLLIN, EPOLLONESHOT, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD, SHUT_WR,
+    };
     let is_eventfd = scn.chans[chan] == ChanKind::EventFd;
     let slot = ctx.lay.chan_slot(chan);
 
     // Epoll mechanisms register once up front (a fresh epoll fd per op:
     // teardown releases it with the rest of the task's files).
     let epoll_events = match via {
-        Mechanism::EpollLt => Some(EPOLLIN),
+        Mechanism::EpollLt | Mechanism::EpollChurn => Some(EPOLLIN),
         Mechanism::EpollEt => Some(EPOLLIN | EPOLLET),
         Mechanism::EpollOneshot => Some(EPOLLIN | EPOLLONESHOT),
         _ => None,
@@ -1090,6 +1100,21 @@ fn emit_consume(
                 .drop_();
         }
         Mechanism::EpollLt | Mechanism::EpollEt | Mechanism::EpollOneshot => {
+            b.local_get(ctx.l_epfd)
+                .i64((scratch + SCRATCH_EVBUF) as i64)
+                .i64(8)
+                .i64(-1)
+                .call(ctx.sys.epoll_wait)
+                .drop_();
+        }
+        Mechanism::EpollChurn => {
+            // Registration churn storm before the wait: a DEL drops any
+            // queued ready entry, an ADD of a ready fd must queue a
+            // fresh one — the wait after the storm may never hang.
+            for _ in 0..2 {
+                emit_epoll_ctl(b, ctx, EPOLL_CTL_DEL, slot, 0, scratch);
+                emit_epoll_ctl(b, ctx, EPOLL_CTL_ADD, slot, EPOLLIN, scratch);
+            }
             b.local_get(ctx.l_epfd)
                 .i64((scratch + SCRATCH_EVBUF) as i64)
                 .i64(8)
@@ -1159,6 +1184,19 @@ fn emit_consume(
             left -= n;
             first = false;
         }
+    }
+
+    // Half-close the producer side of a churned socket: the consumer fd
+    // (still registered in this op's epoll) flips EOF-readable with no
+    // waiter parked, so the queued readiness must be swept at teardown,
+    // not leaked or spuriously delivered.
+    if via == Mechanism::EpollChurn && scn.chans[chan] == ChanKind::Sock {
+        b.i32(slot as i32)
+            .load32(4)
+            .extend_u()
+            .i64(SHUT_WR as i64)
+            .call(ctx.sys.shutdown)
+            .drop_();
     }
 }
 
@@ -1353,9 +1391,15 @@ mod tests {
     #[test]
     fn direct_ppoll_and_et_mechanisms_run_clean() {
         // The mechanisms kitchen_sink doesn't cover: Direct, Ppoll,
-        // EpollEt, plus an eventfd consumed via Direct accumulation.
+        // EpollEt, an eventfd consumed via Direct accumulation, and a
+        // churned socket (DEL/ADD storms + producer half-close).
         let scn = Scenario {
-            chans: vec![ChanKind::Pipe, ChanKind::Pipe, ChanKind::EventFd],
+            chans: vec![
+                ChanKind::Pipe,
+                ChanKind::Pipe,
+                ChanKind::EventFd,
+                ChanKind::Sock,
+            ],
             futex_words: 0,
             procs: vec![
                 Proc {
@@ -1368,6 +1412,7 @@ mod tests {
                                 Op::Produce { chan: 0, tokens: 2 },
                                 Op::Produce { chan: 1, tokens: 1 },
                                 Op::Produce { chan: 2, tokens: 3 },
+                                Op::Produce { chan: 3, tokens: 2 },
                             ],
                             vec![],
                         ],
@@ -1395,6 +1440,11 @@ mod tests {
                                     chan: 2,
                                     tokens: 3,
                                     via: Mechanism::Direct,
+                                },
+                                Op::Consume {
+                                    chan: 3,
+                                    tokens: 2,
+                                    via: Mechanism::EpollChurn,
                                 },
                             ],
                         ],

@@ -185,6 +185,22 @@ impl Group {
     }
 }
 
+/// Reports a pre-measured value (a percentile, a derived per-op cost) as
+/// its own row, in the same console and `--json` format as a timed
+/// benchmark so CI's name→median fold picks it up unchanged.
+pub fn report_value(group: &str, name: &str, ns: f64) {
+    println!("{group}/{name:<28} {:>12}", fmt_ns(ns));
+    if json_requested() {
+        let stats = Stats {
+            median_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            iters: 1,
+        };
+        append_json(group, name, &stats);
+    }
+}
+
 /// Renders nanoseconds with an adaptive unit.
 pub fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {

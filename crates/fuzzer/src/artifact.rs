@@ -46,6 +46,7 @@ fn mech_name(m: Mechanism) -> &'static str {
         Mechanism::EpollLt => "epoll-lt",
         Mechanism::EpollEt => "epoll-et",
         Mechanism::EpollOneshot => "epoll-oneshot",
+        Mechanism::EpollChurn => "epoll-churn",
     }
 }
 
@@ -57,6 +58,7 @@ fn mech_parse(s: &str) -> Result<Mechanism, String> {
         "epoll-lt" => Mechanism::EpollLt,
         "epoll-et" => Mechanism::EpollEt,
         "epoll-oneshot" => Mechanism::EpollOneshot,
+        "epoll-churn" => Mechanism::EpollChurn,
         _ => return Err(format!("unknown mechanism `{s}`")),
     })
 }

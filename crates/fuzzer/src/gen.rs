@@ -213,6 +213,7 @@ fn plan_chan(
         Mechanism::EpollLt,
         Mechanism::EpollEt,
         Mechanism::EpollOneshot,
+        Mechanism::EpollChurn,
     ]);
     // Earliest consume phase; every produce lands strictly before it.
     let cmin = 1 + r.below(phases as u64 - 1) as usize;
@@ -413,7 +414,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(mechs.len(), 6, "mechanisms seen: {mechs:?}");
+        assert_eq!(mechs.len(), 7, "mechanisms seen: {mechs:?}");
         assert_eq!(kinds.len(), 3, "chan kinds seen: {kinds:?}");
         assert!(saw_victim && saw_vfork && saw_await && saw_futex);
     }

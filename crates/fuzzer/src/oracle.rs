@@ -196,7 +196,7 @@ pub fn check(scn: &Scenario, cfg: &OracleConfig) -> Result<(), Failure> {
 
     // Oracle 2: single-worker toggles.
     if cfg.check_toggles {
-        let toggles: [(&str, RunnerOpts); 5] = [
+        let toggles: [(&str, RunnerOpts); 6] = [
             (
                 "workers=1 no-fuse",
                 RunnerOpts {
@@ -229,6 +229,13 @@ pub fn check(scn: &Scenario, cfg: &OracleConfig) -> Result<(), Failure> {
                 "workers=1 no-shard",
                 RunnerOpts {
                     shard: Some(false),
+                    ..RunnerOpts::single()
+                },
+            ),
+            (
+                "workers=1 no-ready",
+                RunnerOpts {
+                    ready: Some(false),
                     ..RunnerOpts::single()
                 },
             ),

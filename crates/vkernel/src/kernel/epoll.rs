@@ -20,7 +20,30 @@
 //! * a blocked `epoll_wait` parks on the union of the interest list's wait
 //!   channels (see [`Kernel::wait_on_fds`]) and is woken by the first
 //!   transition on any of them.
+//!
+//! # The ready ring (`WALI_NO_READY` toggles it off)
+//!
+//! The scan path above is O(interest) per wakeup: a 100k-registration
+//! server pays for every idle connection on every event. In ready-ring
+//! mode (the default), readiness flows the other way, like Linux:
+//!
+//! * `epoll_ctl` registers each interest entry's wait channels in the
+//!   waitqueue's [`crate::wait::ReadyHub`];
+//! * every waitqueue post routes through the hub, pushing the watching
+//!   registrations onto their instance's `Epoll::ready` ring (the
+//!   `queued` flag keeps an entry on the ring at most once) and posting
+//!   [`Channel::EpollReady`] for freshly queued entries;
+//! * `epoll_wait` drains the ring and re-verifies only the popped
+//!   entries — O(ready), not O(interest) — re-queuing still-ready
+//!   level-triggered entries; a parked waiter subscribes the single
+//!   `EpollReady` channel instead of the whole interest union.
+//!
+//! ET edge memory, ONESHOT disarm and the description-keyed sweep use
+//! the same state and formulas on both paths, so the two modes stay
+//! observably identical (pinned by the adversarial tests below, the
+//! `WALI_NO_READY=1` CI gate and a fuzzer oracle leg).
 
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex, Weak};
 
 use wali_abi::flags::{
@@ -31,6 +54,7 @@ use wali_abi::Errno;
 
 use crate::fd::{FileKind, FileRef, OpenFile};
 use crate::sync::MutexExt;
+use crate::wait::Channel;
 use crate::{SysResult, Tid};
 
 use super::Kernel;
@@ -59,17 +83,109 @@ pub(crate) struct EpollReg {
     /// re-arms. Disarmed registrations neither report nor contribute
     /// wait channels.
     pub(crate) armed: bool,
+    /// Ready-ring state: true while this registration sits on
+    /// [`Epoll::ready`] (keeps it on the ring at most once).
+    pub(crate) queued: bool,
+    /// The wait channels this registration is registered for in the
+    /// [`crate::wait::ReadyHub`] (ring mode only; empty on the scan
+    /// path). Kept exact so `EPOLL_CTL_DEL`/`MOD`, the dead-description
+    /// sweep and instance release can unregister precisely.
+    pub(crate) hub_chans: Vec<Channel>,
 }
 
-/// One epoll instance: the interest list.
+/// One epoll instance: the interest list and its ready ring.
 #[derive(Clone, Debug, Default)]
 pub struct Epoll {
-    /// Registrations in insertion order (deterministic scan and report
-    /// order); entries whose description is fully closed are swept on
-    /// the next scan. Several entries may share an fd number when a slot
-    /// was reused while a dup keeps the old description alive — exactly
-    /// Linux's (fd, file) pair keying.
-    pub(crate) interest: Vec<EpollReg>,
+    /// Registrations keyed by a monotone insertion key (key order ==
+    /// registration order, so scans and ring pops report
+    /// deterministically); entries whose description is fully closed are
+    /// swept on the next scan/pop. Several entries may share an fd
+    /// number when a slot was reused while a dup keeps the old
+    /// description alive — exactly Linux's (fd, file) pair keying.
+    pub(crate) interest: BTreeMap<u64, EpollReg>,
+    /// Next insertion key.
+    pub(crate) next_key: u64,
+    /// The ready ring: keys pushed by readiness transitions, popped by
+    /// `epoll_wait`. May hold keys whose registration has since been
+    /// deleted (pops skip unknown keys).
+    pub(crate) ready: VecDeque<u64>,
+    /// fd number → registration keys (the `epoll_ctl` lookup index; a
+    /// number maps to several keys when a reused slot coexists with a
+    /// dup-kept registration).
+    pub(crate) by_fd: HashMap<i32, Vec<u64>>,
+    /// Recycled buffer for the fallback path's interest snapshot
+    /// ([`Kernel::epoll_interest_descs`]): kills the per-scan `Vec`
+    /// allocation.
+    pub(crate) scratch: Vec<(FileRef, i16)>,
+}
+
+impl Epoll {
+    /// Queues registration `key` on the ready ring. Returns `true` iff
+    /// the registration exists, is armed and was not already queued —
+    /// i.e. iff the caller should post [`Channel::EpollReady`].
+    /// Idempotent: racing pushes of the same key enqueue it once.
+    pub(crate) fn ring_push(&mut self, key: u64) -> bool {
+        let Some(reg) = self.interest.get_mut(&key) else {
+            return false;
+        };
+        if !reg.armed || reg.queued {
+            return false;
+        }
+        reg.queued = true;
+        self.ready.push_back(key);
+        true
+    }
+
+    /// Inserts a registration under a fresh key, maintaining the fd
+    /// index.
+    fn insert_reg(&mut self, reg: EpollReg) -> u64 {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.by_fd.entry(reg.fd).or_default().push(key);
+        self.interest.insert(key, reg);
+        key
+    }
+
+    /// Removes registration `key`, maintaining the fd index. A stale
+    /// copy of the key may remain on the ready ring; pops skip it.
+    fn remove_reg(&mut self, key: u64) -> Option<EpollReg> {
+        let reg = self.interest.remove(&key)?;
+        if let Some(keys) = self.by_fd.get_mut(&reg.fd) {
+            keys.retain(|&k| k != key);
+            if keys.is_empty() {
+                self.by_fd.remove(&reg.fd);
+            }
+        }
+        Some(reg)
+    }
+
+    /// The key registered for the `(fd, description)` pair, if any.
+    fn find(&self, fd: i32, target: &Option<FileRef>) -> Option<u64> {
+        let keys = self.by_fd.get(&fd)?;
+        keys.iter().copied().find(|k| {
+            self.interest.get(k).is_some_and(|reg| {
+                reg.file
+                    .upgrade()
+                    .zip(target.clone())
+                    .map(|(a, b)| Arc::ptr_eq(&a, &b))
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    /// Removes every registration whose description is fully closed,
+    /// returning them so the caller can unregister their hub channels.
+    fn sweep_dead(&mut self) -> Vec<(u64, EpollReg)> {
+        let dead: Vec<u64> = self
+            .interest
+            .iter()
+            .filter(|(_, r)| r.file.strong_count() == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        dead.into_iter()
+            .filter_map(|k| self.remove_reg(k).map(|r| (k, r)))
+            .collect()
+    }
 }
 
 /// Converts an epoll interest mask to the `poll` events to probe.
@@ -136,20 +252,51 @@ impl Kernel {
     /// The live interest list of epoll instance `id` as `(description,
     /// poll-events)` pairs (readiness + waitqueue subscription helper).
     /// Registrations whose description has been fully closed are skipped.
+    ///
+    /// The returned buffer is the instance's recycled scratch — return
+    /// it via [`Kernel::epoll_descs_recycle`] when done so repeated
+    /// fallback scans allocate nothing.
     pub(crate) fn epoll_interest_descs(&self, id: usize) -> Vec<(FileRef, i16)> {
         self.with_epoll(id, |e| {
-            e.interest
-                .iter()
-                .filter(|reg| reg.armed)
-                .filter_map(|reg| reg.file.upgrade().map(|f| (f, epoll_to_poll(reg.events))))
-                .collect()
+            let mut buf = std::mem::take(&mut e.scratch);
+            buf.clear();
+            for reg in e.interest.values().filter(|r| r.armed) {
+                if let Some(f) = reg.file.upgrade() {
+                    buf.push((f, epoll_to_poll(reg.events)));
+                }
+            }
+            buf
         })
         .unwrap_or_default()
     }
 
-    /// Frees an epoll instance when its last descriptor closes.
+    /// Hands an [`Kernel::epoll_interest_descs`] buffer back to the
+    /// instance for reuse (drops the description refs it held).
+    pub(crate) fn epoll_descs_recycle(&self, id: usize, mut buf: Vec<(FileRef, i16)>) {
+        buf.clear();
+        let _ = self.with_epoll(id, |e| {
+            if e.scratch.capacity() < buf.capacity() {
+                e.scratch = std::mem::take(&mut buf);
+            }
+        });
+    }
+
+    /// Frees an epoll instance when its last descriptor closes,
+    /// unregistering every ready-hub channel its registrations held.
     pub(crate) fn release_epoll(&mut self, id: usize) {
-        self.epolls.free(id);
+        let Some(ep) = self.epolls.free(id) else {
+            return;
+        };
+        let chans: Vec<(Channel, u64)> = {
+            let g = ep.lock_ok();
+            g.interest
+                .iter()
+                .flat_map(|(k, r)| r.hub_chans.iter().map(move |c| (*c, *k)))
+                .collect()
+        };
+        for (ch, key) in chans {
+            self.waits.hub_unregister(ch, id, key);
+        }
     }
 
     /// `epoll_create1(flags)`: allocates an instance and its fd.
@@ -195,55 +342,120 @@ impl Kernel {
             return Err(Errno::Eloop.into());
         }
         let target = file.upgrade();
-        self.with_epoll(id, |ep| {
+        // What happened under the epoll lock (hub bookkeeping and the
+        // readiness probe run after it drops: they take locks that rank
+        // below/above the epoll class).
+        enum Edit {
+            Added(u64),
+            Modified(u64, Vec<Channel>),
+            Deleted(Vec<Channel>, u64),
+        }
+        let edit = self.with_epoll(id, |ep| {
             // The registration key is the (fd, description) pair: a stale
             // entry for the same fd number but a different (or dead)
             // description does not count as "present".
-            let existing = ep.interest.iter().position(|reg| {
-                reg.fd == fd
-                    && reg
-                        .file
-                        .upgrade()
-                        .zip(target.clone())
-                        .map(|(a, b)| Arc::ptr_eq(&a, &b))
-                        .unwrap_or(false)
-            });
+            let existing = ep.find(fd, &target);
             match (op, existing) {
-                (EPOLL_CTL_ADD, Some(_)) => return Err(Errno::Eexist),
-                (EPOLL_CTL_ADD, None) => ep.interest.push(EpollReg {
+                (EPOLL_CTL_ADD, Some(_)) => Err(Errno::Eexist),
+                (EPOLL_CTL_ADD, None) => Ok(Edit::Added(ep.insert_reg(EpollReg {
                     fd,
                     events,
                     data,
-                    file,
+                    file: file.clone(),
                     prev_ready: 0,
                     prev_gen: 0,
                     armed: true,
-                }),
+                    queued: false,
+                    hub_chans: Vec::new(),
+                }))),
                 // MOD re-arms a ONESHOT-disarmed registration and resets
                 // the edge-trigger state (Linux re-arms on modify).
-                (EPOLL_CTL_MOD, Some(i)) => {
-                    ep.interest[i] = EpollReg {
-                        fd,
-                        events,
-                        data,
-                        file,
-                        prev_ready: 0,
-                        prev_gen: 0,
-                        armed: true,
-                    }
+                (EPOLL_CTL_MOD, Some(key)) => {
+                    let reg = ep.interest.get_mut(&key).expect("found key is live");
+                    let old_chans = std::mem::take(&mut reg.hub_chans);
+                    reg.events = events;
+                    reg.data = data;
+                    reg.prev_ready = 0;
+                    reg.prev_gen = 0;
+                    reg.armed = true;
+                    Ok(Edit::Modified(key, old_chans))
                 }
-                (EPOLL_CTL_DEL, Some(i)) => {
-                    ep.interest.remove(i);
+                (EPOLL_CTL_DEL, Some(key)) => {
+                    let reg = ep.remove_reg(key).expect("found key is live");
+                    Ok(Edit::Deleted(reg.hub_chans, key))
                 }
-                (EPOLL_CTL_MOD | EPOLL_CTL_DEL, None) => return Err(Errno::Enoent),
-                _ => return Err(Errno::Einval),
+                (EPOLL_CTL_MOD | EPOLL_CTL_DEL, None) => Err(Errno::Enoent),
+                _ => Err(Errno::Einval),
             }
-            Ok(())
         })??;
-        // A parked epoll_wait waiter holds a snapshot of the old interest
-        // list; wake it to re-scan (the added/changed fd may already be
-        // ready), like Linux's interest-change wakeups.
-        self.wait_post(crate::wait::Channel::EpollCtl(id));
+        if !self.ready {
+            // Scan mode: a parked epoll_wait waiter holds a snapshot of
+            // the old interest list; wake it to re-scan (the added or
+            // changed fd may already be ready), like Linux's
+            // interest-change wakeups.
+            self.wait_post(Channel::EpollCtl(id));
+            return Ok(0);
+        }
+        match edit {
+            Edit::Added(key) => {
+                if let Some(f) = target {
+                    self.ring_arm(tid, id, key, &f, events, Vec::new())?;
+                }
+            }
+            Edit::Modified(key, old_chans) => {
+                if let Some(f) = target {
+                    self.ring_arm(tid, id, key, &f, events, old_chans)?;
+                }
+            }
+            Edit::Deleted(chans, key) => {
+                // No wakeup: a waiter that no longer matches this entry
+                // simply never sees it (a stale ring key is skipped at
+                // the next pop).
+                for ch in chans {
+                    self.waits.hub_unregister(ch, id, key);
+                }
+            }
+        }
+        Ok(0)
+    }
+
+    /// Ring mode: (re)wires registration `key`'s hub channels and, when
+    /// the description is report-worthy right now, queues it and posts
+    /// the wakeup. Registration happens *before* the readiness probe so
+    /// a transition landing after the probe is guaranteed to route —
+    /// and, unlike the scan path's unconditional `EpollCtl` post, a
+    /// not-ready `EPOLL_CTL_ADD` wakes nobody.
+    fn ring_arm(
+        &mut self,
+        tid: Tid,
+        id: usize,
+        key: u64,
+        file: &FileRef,
+        events: u32,
+        old_chans: Vec<Channel>,
+    ) -> SysResult {
+        let mut chans = Vec::new();
+        self.desc_wait_channels(file, epoll_to_poll(events), &mut chans);
+        for &ch in &chans {
+            self.waits.hub_register(ch, id, key);
+        }
+        for ch in old_chans {
+            if !chans.contains(&ch) {
+                self.waits.hub_unregister(ch, id, key);
+            }
+        }
+        self.with_epoll(id, |ep| {
+            if let Some(reg) = ep.interest.get_mut(&key) {
+                reg.hub_chans = chans;
+            }
+        })?;
+        let revents = self.poll_desc(tid, file, epoll_to_poll(events))?;
+        if poll_to_epoll(revents, events) != 0 {
+            let pushed = self.with_epoll(id, |ep| ep.ring_push(key))?;
+            if pushed {
+                self.wait_post(Channel::EpollReady(id));
+            }
+        }
         Ok(0)
     }
 
@@ -260,18 +472,28 @@ impl Kernel {
         id: usize,
         max: usize,
     ) -> SysResult<Vec<(u32, u64)>> {
+        if self.ready {
+            self.epoll_ready_ring(tid, id, max)
+        } else {
+            self.epoll_ready_scan(tid, id, max)
+        }
+    }
+
+    /// The fallback full scan (`WALI_NO_READY=1`): walks the whole
+    /// interest list, O(interest) per call.
+    fn epoll_ready_scan(&mut self, tid: Tid, id: usize, max: usize) -> SysResult<Vec<(u32, u64)>> {
         // Snapshot the interest list so no epoll guard is held across the
         // `poll_desc` scans below (which take pipe/socket object locks).
-        let interest: Vec<EpollReg> = self.with_epoll(id, |e| e.interest.clone())?;
+        let interest: Vec<(u64, EpollReg)> = self.with_epoll(id, |e| {
+            e.interest.iter().map(|(k, r)| (*k, r.clone())).collect()
+        })?;
         let mut out = Vec::new();
         let mut swept = false;
         // Deferred per-registration state updates (ET edge/generation
         // memory, ONESHOT disarm), applied after the scan: `poll_desc`
-        // needs `&mut self`, so the loop runs over a snapshot. Indices
-        // stay valid — the sweep below is the only mutation and it runs
-        // after the updates.
-        let mut updates: Vec<(usize, u32, u64, bool)> = Vec::new();
-        for (i, reg) in interest.into_iter().enumerate() {
+        // needs `&mut self`, so the loop runs over a snapshot.
+        let mut updates: Vec<(u64, u32, u64, bool)> = Vec::new();
+        for (key, reg) in interest {
             if out.len() >= max.max(1) {
                 break;
             }
@@ -303,26 +525,165 @@ impl Kernel {
             };
             let disarm = reg.events & EPOLLONESHOT != 0 && report != 0;
             if reg.prev_ready != ready || reg.prev_gen != gen || disarm {
-                updates.push((i, ready, gen, disarm));
+                updates.push((key, ready, gen, disarm));
             }
             if report != 0 {
                 out.push((report, reg.data));
             }
         }
-        self.with_epoll(id, |ep| {
-            for (i, prev_ready, prev_gen, disarm) in &updates {
-                let reg = &mut ep.interest[*i];
-                reg.prev_ready = *prev_ready;
-                reg.prev_gen = *prev_gen;
-                if *disarm {
-                    reg.armed = false;
+        let removed = self.with_epoll(id, |ep| {
+            for (key, prev_ready, prev_gen, disarm) in &updates {
+                if let Some(reg) = ep.interest.get_mut(key) {
+                    reg.prev_ready = *prev_ready;
+                    reg.prev_gen = *prev_gen;
+                    if *disarm {
+                        reg.armed = false;
+                    }
                 }
             }
             if swept {
-                ep.interest.retain(|reg| reg.file.strong_count() > 0);
+                ep.sweep_dead()
+            } else {
+                Vec::new()
             }
         })?;
+        self.hub_unregister_regs(id, removed);
         Ok(out)
+    }
+
+    /// The ready-ring pop (`epoll_wait`'s default path): drains the
+    /// ring, re-verifies only the popped entries — O(ready) — and
+    /// re-queues still-ready level-triggered entries plus anything past
+    /// the caller's budget.
+    fn epoll_ready_ring(&mut self, tid: Tid, id: usize, max: usize) -> SysResult<Vec<(u32, u64)>> {
+        let max = max.max(1);
+        // Phase 1: drain the whole ring under the epoll lock. Keys are
+        // sorted so reports come out in registration order, exactly like
+        // the scan path (single-worker runs stay bit-deterministic).
+        // `queued` clears now: a transition racing the verification
+        // below re-pushes and is seen by the next pop.
+        let candidates: Vec<(u64, EpollReg)> = self.with_epoll(id, |ep| {
+            let mut keys: Vec<u64> = ep.ready.drain(..).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let mut cands = Vec::new();
+            for k in keys {
+                if let Some(reg) = ep.interest.get_mut(&k) {
+                    reg.queued = false;
+                    if reg.armed {
+                        cands.push((k, reg.clone()));
+                    }
+                }
+                // Unknown key: deleted after it was queued — dropped.
+            }
+            cands
+        })?;
+        // Phase 2: verify with no epoll lock held (readiness probes and
+        // channel walks take slab/object locks).
+        let mut out = Vec::new();
+        let mut updates: Vec<(u64, u32, u64, bool)> = Vec::new();
+        let mut requeue: Vec<u64> = Vec::new();
+        let mut rewire: Vec<(u64, Vec<Channel>, Vec<Channel>)> = Vec::new();
+        let mut swept: Vec<(u64, EpollReg)> = Vec::new();
+        for (i, (key, reg)) in candidates.iter().enumerate() {
+            if out.len() >= max {
+                // Past the caller's budget: re-queue unverified, their
+                // transitions are still unconsumed.
+                requeue.extend(candidates[i..].iter().map(|(k, _)| *k));
+                break;
+            }
+            let Some(file) = reg.file.upgrade() else {
+                swept.push((*key, reg.clone()));
+                continue;
+            };
+            // Refresh the hub wiring first: a description's readiness
+            // channels can change (a socket that connected gained its
+            // peer's space channel), and registering *before* the probe
+            // closes the missed-transition window.
+            let mut chans = Vec::new();
+            self.desc_wait_channels(&file, epoll_to_poll(reg.events), &mut chans);
+            if chans != reg.hub_chans {
+                for &ch in &chans {
+                    if !reg.hub_chans.contains(&ch) {
+                        self.waits.hub_register(ch, id, *key);
+                    }
+                }
+                let removed: Vec<Channel> = reg
+                    .hub_chans
+                    .iter()
+                    .copied()
+                    .filter(|c| !chans.contains(c))
+                    .collect();
+                rewire.push((*key, chans, removed));
+            }
+            let revents = self.poll_desc(tid, &file, epoll_to_poll(reg.events))?;
+            let ready = poll_to_epoll(revents, reg.events);
+            let et = reg.events & EPOLLET != 0;
+            let gen = if et {
+                self.desc_event_gen(&file, epoll_to_poll(reg.events))
+            } else {
+                0
+            };
+            // Same report formula as the scan path, verbatim.
+            let report = if et {
+                (ready & !reg.prev_ready) | if gen != reg.prev_gen { ready } else { 0 }
+            } else {
+                ready
+            };
+            let disarm = reg.events & EPOLLONESHOT != 0 && report != 0;
+            if reg.prev_ready != ready || reg.prev_gen != gen || disarm {
+                updates.push((*key, ready, gen, disarm));
+            }
+            if report != 0 {
+                out.push((report, reg.data));
+                if !et && !disarm {
+                    // Level-triggered readiness persists until drained:
+                    // re-queue so the next pop re-verifies it.
+                    requeue.push(*key);
+                }
+            }
+        }
+        // Phase 3: apply under the epoll lock (ring_push is idempotent
+        // against pushes that raced the verification).
+        self.with_epoll(id, |ep| {
+            for (key, prev_ready, prev_gen, disarm) in &updates {
+                if let Some(reg) = ep.interest.get_mut(key) {
+                    reg.prev_ready = *prev_ready;
+                    reg.prev_gen = *prev_gen;
+                    if *disarm {
+                        reg.armed = false;
+                    }
+                }
+            }
+            for (key, chans, _) in &rewire {
+                if let Some(reg) = ep.interest.get_mut(key) {
+                    reg.hub_chans = chans.clone();
+                }
+            }
+            for (key, _) in &swept {
+                ep.remove_reg(*key);
+            }
+            for key in &requeue {
+                ep.ring_push(*key);
+            }
+        })?;
+        self.hub_unregister_regs(id, swept);
+        for (key, _, removed) in rewire {
+            for ch in removed {
+                self.waits.hub_unregister(ch, id, key);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Unregisters the hub channels of removed registrations (called
+    /// with no epoll lock held).
+    fn hub_unregister_regs(&mut self, id: usize, removed: Vec<(u64, EpollReg)>) {
+        for (key, reg) in removed {
+            for ch in reg.hub_chans {
+                self.waits.hub_unregister(ch, id, key);
+            }
+        }
     }
 
     /// Readiness scan addressed by epoll fd (the `epoll_wait` entry).
@@ -336,20 +697,32 @@ impl Kernel {
         self.sys_epoll_ready(tid, id, max)
     }
 
-    /// Parks `tid` on every wait channel of the instance's interest list
-    /// (the blocking half of `epoll_wait`).
+    /// Parks `tid` for the blocking half of `epoll_wait`.
+    ///
+    /// Ring mode subscribes exactly two channels — the instance's ready
+    /// ring and the task's signal channel — regardless of interest-list
+    /// size; the hub routes every relevant readiness transition to
+    /// [`Channel::EpollReady`]. The fallback scan subscribes the union
+    /// of every registration's wait channels, as before.
     pub fn epoll_subscribe(&mut self, tid: Tid, epfd: i32) -> SysResult {
         let id = self.epoll_of_fd(tid, epfd)?;
-        let mut chans = Vec::new();
-        for (file, events) in self.epoll_interest_descs(id) {
-            self.desc_wait_channels(&file, events, &mut chans);
+        if self.ready {
+            self.wait_subscribe(tid, Channel::EpollReady(id));
+            self.wait_subscribe(tid, Channel::Signal(tid));
+            return Ok(0);
         }
+        let mut chans = Vec::new();
+        let descs = self.epoll_interest_descs(id);
+        for (file, events) in &descs {
+            self.desc_wait_channels(file, *events, &mut chans);
+        }
+        self.epoll_descs_recycle(id, descs);
         for ch in chans {
             self.wait_subscribe(tid, ch);
         }
         // Interest-list edits and signals end the wait too.
-        self.wait_subscribe(tid, crate::wait::Channel::EpollCtl(id));
-        self.wait_subscribe(tid, crate::wait::Channel::Signal(tid));
+        self.wait_subscribe(tid, Channel::EpollCtl(id));
+        self.wait_subscribe(tid, Channel::Signal(tid));
         Ok(0)
     }
 }
@@ -724,5 +1097,213 @@ mod tests {
         assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![0]);
         k.sys_write(tid, w, b"z").unwrap();
         assert_eq!(k.poll_check(tid, &[(ep, POLLIN)]).unwrap(), vec![POLLIN]);
+    }
+
+    // --- Adversarial ready-ring cases, run both toggle ways ------------
+
+    /// Runs `body` twice: once with the ready ring on, once on the
+    /// fallback scan — the two paths must agree on everything the body
+    /// asserts. The mode is set before the body runs (registrations wire
+    /// the hub at ctl time, so flipping mid-instance is not supported).
+    fn both_modes(body: impl Fn(&mut Kernel, Tid)) {
+        for ring in [true, false] {
+            let (mut k, tid) = kp();
+            k.set_ready(ring);
+            body(&mut k, tid);
+        }
+    }
+
+    #[test]
+    fn ctl_del_with_a_queued_ready_entry_drops_it() {
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0xD)
+                .unwrap();
+            // The write queues a ring entry (ring mode) — then the
+            // registration is deleted before anyone pops it.
+            k.sys_write(tid, w, b"x").unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_DEL, r, 0, 0).unwrap();
+            assert!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty(),
+                "stale queued entry for a deleted registration must not report"
+            );
+            // The hub wiring went with the registration.
+            assert_eq!(k.leak_audit().hub_watchers, 0);
+        });
+    }
+
+    #[test]
+    fn ctl_mod_racing_a_pending_push_reports_the_new_mask() {
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 1)
+                .unwrap();
+            // Queue a push for EPOLLIN, then narrow the mask to
+            // hangup-only before the pop: the queued entry re-verifies
+            // against the *current* mask and reports nothing.
+            k.sys_write(tid, w, b"x").unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, 0, 2).unwrap();
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+            // Widen it back: the still-buffered byte reports under the
+            // new cookie.
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, EPOLLIN, 3)
+                .unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 3)]
+            );
+        });
+    }
+
+    #[test]
+    fn et_rearm_is_observed_through_ring_pops_alone() {
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLET, 7)
+                .unwrap();
+            k.sys_write(tid, w, b"a").unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 7)]
+            );
+            assert!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty(),
+                "edge consumed; no level re-report"
+            );
+            // New data without draining: a fresh edge must re-arm purely
+            // via the transition push — no interest scan runs in ring
+            // mode to notice it as a side effect.
+            k.sys_write(tid, w, b"b").unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 7)]
+            );
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn oneshot_rearm_after_a_stale_ring_entry() {
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLONESHOT, 11)
+                .unwrap();
+            k.sys_write(tid, w, b"a").unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 11)]
+            );
+            // Disarmed: further transitions must neither report nor
+            // resurrect the registration via a stale queued entry.
+            k.sys_write(tid, w, b"b").unwrap();
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+            // MOD re-arms while data is still buffered: exactly one
+            // report, then disarmed again.
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, EPOLLIN | EPOLLONESHOT, 12)
+                .unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 12)]
+            );
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn oneshot_rearm_with_an_undrained_queued_entry_reports_once() {
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN | EPOLLONESHOT, 21)
+                .unwrap();
+            // Push queued but never popped; MOD re-arms on top of it
+            // (the re-arm probe pushes again — the queued flag must
+            // dedupe, not double-report).
+            k.sys_write(tid, w, b"a").unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_MOD, r, EPOLLIN | EPOLLONESHOT, 22)
+                .unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 22)]
+            );
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn dup_kept_description_keeps_its_ring_wiring() {
+        // man epoll Q6 through the ring: the registration (and its hub
+        // wiring) follows the description, not the fd number.
+        both_modes(|k, tid| {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, 0x96u64)
+                .unwrap();
+            let dup = k.sys_dup(tid, r).unwrap() as i32;
+            k.sys_close(tid, r).unwrap();
+            // The transition arrives *after* the registered fd closed:
+            // the push must still route via the dup-kept description.
+            k.sys_write(tid, w, b"x").unwrap();
+            assert_eq!(
+                k.sys_epoll_wait_ready(tid, ep, 8).unwrap(),
+                vec![(EPOLLIN, 0x96u64)]
+            );
+            // Last holder closes: the sweep unhooks the hub wiring.
+            k.sys_close(tid, dup).unwrap();
+            assert!(k.sys_epoll_wait_ready(tid, ep, 8).unwrap().is_empty());
+            assert_eq!(k.leak_audit().hub_watchers, 0);
+        });
+    }
+
+    #[test]
+    fn closing_the_epoll_fd_unhooks_all_hub_wiring() {
+        both_modes(|k, tid| {
+            let mut pipes = Vec::new();
+            let ep = k.sys_epoll_create1(tid, 0).unwrap();
+            for i in 0..8 {
+                let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+                k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, i)
+                    .unwrap();
+                pipes.push((r, w));
+            }
+            k.sys_close(tid, ep).unwrap();
+            assert_eq!(
+                k.leak_audit().hub_watchers,
+                0,
+                "release_epoll must unregister every channel route"
+            );
+            // Transitions after release must not touch the freed slot.
+            for &(_, w) in &pipes {
+                k.sys_write(tid, w, b"x").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn ring_park_subscribes_only_the_ready_channel() {
+        let (mut k, tid) = kp();
+        k.set_ready(true);
+        let ep = k.sys_epoll_create1(tid, 0).unwrap();
+        let mut writers = Vec::new();
+        for i in 0..32 {
+            let (r, w) = k.sys_pipe2(tid, 0).unwrap();
+            k.sys_epoll_ctl(tid, ep, EPOLL_CTL_ADD, r, EPOLLIN, i)
+                .unwrap();
+            writers.push(w);
+        }
+        let before = k.wait_stats().subscribes;
+        k.epoll_subscribe(tid, ep).unwrap();
+        assert_eq!(
+            k.wait_stats().subscribes - before,
+            2,
+            "ready ring + signal channel only, independent of interest size"
+        );
+        // And the two channels suffice: any member's transition wakes.
+        k.sys_write(tid, writers[17], b"x").unwrap();
+        assert_eq!(k.take_woken(), vec![tid]);
     }
 }

@@ -78,6 +78,11 @@ pub struct Kernel {
     /// the per-syscall tick ([`Kernel::syscall_meter`]) never takes the
     /// kernel lock.
     pub syscalls: Arc<std::sync::atomic::AtomicU64>,
+    /// Epoll ready-ring mode: readiness transitions are routed to
+    /// per-instance ready rings and `epoll_wait` pops O(ready) entries.
+    /// Off (`WALI_NO_READY=1` / [`Kernel::set_ready`]) falls back to
+    /// the full interest-list scan.
+    pub(crate) ready: bool,
 }
 
 /// Cloneable handles onto the kernel's shards: everything the
@@ -126,9 +131,25 @@ impl Kernel {
             rng_state: 0x9e37_79b9_7f4a_7c15,
             console: Vec::new(),
             syscalls: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            ready: std::env::var_os("WALI_NO_READY").is_none(),
         };
+        // The waitqueue's readiness router resolves epoll ids against
+        // the slab directly (hub → ring push without the kernel lock).
+        k.waits.set_epolls(k.epolls.clone());
         k.register_hot(1);
         k
+    }
+
+    /// Toggles the epoll ready-ring (`true` = ring, `false` = the
+    /// fallback full scan). Flip only while no `epoll_wait` is parked:
+    /// the two modes subscribe different wakeup channels.
+    pub fn set_ready(&mut self, on: bool) {
+        self.ready = on;
+    }
+
+    /// Whether the epoll ready-ring path is on.
+    pub fn ready_on(&self) -> bool {
+        self.ready
     }
 
     /// Cloneable handles onto the kernel's shards (for the embedder's
@@ -293,12 +314,21 @@ impl Kernel {
                 out.push(Channel::EventFd(file_key));
             }
             FileKind::Epoll(id) => {
-                // Polling an epoll fd: ready when its interest set is;
-                // interest-list edits change that too.
-                for (ifile, ievents) in self.epoll_interest_descs(id) {
-                    self.desc_wait_channels(&ifile, ievents, out);
+                if self.ready {
+                    // Ring mode: every readiness transition of the
+                    // interest set is routed to the instance's ready
+                    // channel by the hub — one channel, any size.
+                    out.push(Channel::EpollReady(id));
+                } else {
+                    // Polling an epoll fd: ready when its interest set
+                    // is; interest-list edits change that too.
+                    let descs = self.epoll_interest_descs(id);
+                    for (ifile, ievents) in &descs {
+                        self.desc_wait_channels(ifile, *ievents, out);
+                    }
+                    self.epoll_descs_recycle(id, descs);
+                    out.push(Channel::EpollCtl(id));
                 }
-                out.push(Channel::EpollCtl(id));
             }
             _ => {}
         }
@@ -1292,6 +1322,7 @@ impl Kernel {
             wait_subscriptions: self.waits.subscribed_count(),
             undrained_wakeups: self.waits.has_woken(),
             futex_waiters,
+            hub_watchers: self.waits.hub_entries(),
         }
     }
 }
@@ -1318,6 +1349,10 @@ pub struct LeakReport {
     pub undrained_wakeups: bool,
     /// Futex-queue entries whose waiter is still a live task.
     pub futex_waiters: usize,
+    /// Ready-hub routing entries never unregistered (every epoll
+    /// registration removes its channel wiring at CTL_DEL/close/sweep;
+    /// residue means a ring push could target a freed instance).
+    pub hub_watchers: usize,
 }
 
 impl LeakReport {
@@ -1332,6 +1367,7 @@ impl LeakReport {
             && self.open_epolls == 0
             && self.wait_subscriptions == 0
             && self.futex_waiters == 0
+            && self.hub_watchers == 0
     }
 
     /// Human-readable one-line summary of what leaked (empty if clean).
@@ -1354,6 +1390,9 @@ impl LeakReport {
         }
         if self.futex_waiters != 0 {
             parts.push(format!("{} futex waiter(s)", self.futex_waiters));
+        }
+        if self.hub_watchers != 0 {
+            parts.push(format!("{} ready-hub watcher(s)", self.hub_watchers));
         }
         parts.join(", ")
     }

@@ -176,8 +176,14 @@ impl Kernel {
             _ => unreachable!("checked above"),
         })?;
         // A connection is pending: wake blocked `accept`s and pollers
-        // (post after every lock is dropped).
+        // (post after every lock is dropped). Establishing the pair is
+        // also both ends' writability transition (POLLOUT = space in
+        // the peer's receive buffer, which just came into existence) —
+        // the ready-ring router needs that edge to queue POLLOUT-only
+        // registrations made before the connect.
         self.waits.post(Channel::SockReadable(listener_id));
+        self.waits.post(Channel::SockSpace(id));
+        self.waits.post(Channel::SockSpace(server_id));
         Ok(0)
     }
 

@@ -21,7 +21,7 @@
 //! The rank order (see DESIGN.md "Concurrency" for the full DAG):
 //!
 //! ```text
-//! Kernel(0) → Proc(10) → Slab(15) → Epoll(18) → Object(20) → Vfs(30) → Waits(40)
+//! Kernel(0) → Proc(10) → ReadyHub(12) → Slab(15) → Epoll(18) → Object(20) → Vfs(30) → Waits(40)
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +34,11 @@ pub enum LockClass {
     Kernel,
     /// A process-index shard (tid → hot task state).
     Proc,
+    /// The epoll ready-hub routing table (channel → interested epoll
+    /// registrations). Ranked *below* Slab/Epoll so the waitqueue's
+    /// readiness router can look up targets and then take the epoll
+    /// locks, never the reverse.
+    ReadyHub,
     /// An object slab's slot table (id → object handle).
     Slab,
     /// An epoll instance (its readiness scan takes pipe/socket locks).
@@ -48,7 +53,7 @@ pub enum LockClass {
 }
 
 /// Number of lock classes (sizes the counter table).
-const CLASS_COUNT: usize = 7;
+const CLASS_COUNT: usize = 8;
 
 impl LockClass {
     /// Rank in the ordering DAG; acquisitions must be strictly
@@ -57,6 +62,7 @@ impl LockClass {
         match self {
             LockClass::Kernel => 0,
             LockClass::Proc => 10,
+            LockClass::ReadyHub => 12,
             LockClass::Slab => 15,
             LockClass::Epoll => 18,
             LockClass::Object => 20,
@@ -69,17 +75,19 @@ impl LockClass {
         match self {
             LockClass::Kernel => 0,
             LockClass::Proc => 1,
-            LockClass::Slab => 2,
-            LockClass::Epoll => 3,
-            LockClass::Object => 4,
-            LockClass::Vfs => 5,
-            LockClass::Waits => 6,
+            LockClass::ReadyHub => 2,
+            LockClass::Slab => 3,
+            LockClass::Epoll => 4,
+            LockClass::Object => 5,
+            LockClass::Vfs => 6,
+            LockClass::Waits => 7,
         }
     }
 }
 
 /// Process-global contended-acquisition counters, one per class.
 static CONTENTION: [AtomicU64; CLASS_COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -22,10 +22,12 @@
 //! the `Block` return reaches the scheduler.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use crate::kernel::epoll::Epoll;
 use crate::lockorder::{LockClass, Tracked};
+use crate::slab::ObjSlab;
 use crate::{MmId, Pid, Tid};
 
 /// A wait channel: the kernel-side event a blocked task parks on.
@@ -57,6 +59,12 @@ pub enum Channel {
     /// re-scan and re-subscribe against the new list, since an added fd
     /// may already be level-triggered ready.
     EpollCtl(usize),
+    /// Epoll instance `id`'s ready ring received at least one entry: a
+    /// parked `epoll_wait` waiter can pop instead of re-scanning. Posted
+    /// by the [`ReadyHub`] router whenever a readiness transition pushes
+    /// a registration onto the ring (and by `epoll_ctl` when a freshly
+    /// added fd is already ready).
+    EpollReady(usize),
 }
 
 /// Aggregate counters (observability + bench assertions).
@@ -213,6 +221,52 @@ impl WaitSet {
     }
 }
 
+/// The ready-ring router's lookup table: wait channel → epoll
+/// registrations whose readiness that channel's transitions may change.
+///
+/// Kept outside the [`WaitSet`] lock so the common post (no epoll
+/// watcher anywhere) pays a single relaxed atomic load, and locked at
+/// [`LockClass::ReadyHub`] — *below* the slab and epoll classes — so
+/// the router can look up targets and then take each target's epoll
+/// lock without inverting the DAG.
+#[derive(Debug, Default)]
+pub struct ReadyHub {
+    /// Channel → `(epoll id, registration key)` watchers.
+    watchers: HashMap<Channel, Vec<(usize, u64)>>,
+}
+
+impl ReadyHub {
+    /// Adds a watcher; returns `true` if it was not already present.
+    fn register(&mut self, ch: Channel, eid: usize, key: u64) -> bool {
+        let v = self.watchers.entry(ch).or_default();
+        if v.contains(&(eid, key)) {
+            return false;
+        }
+        v.push((eid, key));
+        true
+    }
+
+    /// Removes a watcher; returns `true` if it was present.
+    fn unregister(&mut self, ch: Channel, eid: usize, key: u64) -> bool {
+        let Some(v) = self.watchers.get_mut(&ch) else {
+            return false;
+        };
+        let before = v.len();
+        v.retain(|&e| e != (eid, key));
+        let hit = v.len() != before;
+        if v.is_empty() {
+            self.watchers.remove(&ch);
+        }
+        hit
+    }
+
+    /// Snapshot of the watchers of `ch` (cloned so the caller can drop
+    /// the hub lock before taking any epoll lock).
+    fn targets(&self, ch: Channel) -> Vec<(usize, u64)> {
+        self.watchers.get(&ch).cloned().unwrap_or_default()
+    }
+}
+
 /// The waitqueue table behind its own shard lock.
 ///
 /// With the big kernel lock sharded, producers (a fast-path pipe write
@@ -229,6 +283,16 @@ impl WaitSet {
 #[derive(Clone, Debug)]
 pub struct WaitShard {
     inner: Arc<Tracked<WaitSet>>,
+    /// Ready-ring routing table (see [`ReadyHub`]).
+    hub: Arc<Tracked<ReadyHub>>,
+    /// Total watcher entries in the hub: the post fast path skips the
+    /// hub lock entirely while this is zero (scan mode, or no epoll
+    /// registrations anywhere).
+    hub_count: Arc<AtomicUsize>,
+    /// The kernel's epoll slab, wired once at kernel construction so
+    /// the router can push onto ready rings. Posts that race the wiring
+    /// window simply skip routing (no epoll exists yet to watch).
+    epolls: Arc<OnceLock<ObjSlab<Epoll>>>,
 }
 
 impl Default for WaitShard {
@@ -242,7 +306,37 @@ impl WaitShard {
     pub fn new() -> WaitShard {
         WaitShard {
             inner: Arc::new(Tracked::new(LockClass::Waits, WaitSet::new())),
+            hub: Arc::new(Tracked::new(LockClass::ReadyHub, ReadyHub::default())),
+            hub_count: Arc::new(AtomicUsize::new(0)),
+            epolls: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Wires the kernel's epoll slab into the router (called once at
+    /// kernel construction; later calls are no-ops).
+    pub fn set_epolls(&self, slab: ObjSlab<Epoll>) {
+        let _ = self.epolls.set(slab);
+    }
+
+    /// Registers epoll `eid`'s registration `key` as a watcher of `ch`.
+    /// Must not be called while holding a lock of rank ≥
+    /// [`LockClass::ReadyHub`] (notably the epoll lock itself).
+    pub fn hub_register(&self, ch: Channel, eid: usize, key: u64) {
+        if self.hub.lock_ok().register(ch, eid, key) {
+            self.hub_count.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Removes a watcher added by [`WaitShard::hub_register`].
+    pub fn hub_unregister(&self, ch: Channel, eid: usize, key: u64) {
+        if self.hub.lock_ok().unregister(ch, eid, key) {
+            self.hub_count.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Total watcher entries currently in the hub (leak audits).
+    pub fn hub_entries(&self) -> usize {
+        self.hub_count.load(Ordering::Acquire)
     }
 
     /// See [`WaitSet::subscribe`].
@@ -250,9 +344,36 @@ impl WaitShard {
         self.inner.lock_ok().subscribe(tid, ch);
     }
 
-    /// See [`WaitSet::post`].
+    /// See [`WaitSet::post`], plus ready-ring routing: if any epoll
+    /// registration watches `ch`, push it onto that instance's ready
+    /// ring and post [`Channel::EpollReady`] for freshly queued entries.
+    ///
+    /// Locking: the waitqueue lock is released before the hub lock, the
+    /// hub lock before any epoll lock, and the epoll lock before the
+    /// recursive `EpollReady` post — each acquisition starts from at
+    /// most the caller's held ranks (≤ `Kernel`), so the sequence is
+    /// rank-legal from every post site. Recursion terminates because a
+    /// push only reports "freshly queued" once per pop cycle.
     pub fn post(&self, ch: Channel) -> usize {
-        self.inner.lock_ok().post(ch)
+        let n = self.inner.lock_ok().post(ch);
+        if self.hub_count.load(Ordering::Acquire) == 0 {
+            return n;
+        }
+        let targets = self.hub.lock_ok().targets(ch);
+        if targets.is_empty() {
+            return n;
+        }
+        let Some(epolls) = self.epolls.get() else {
+            return n;
+        };
+        for (eid, key) in targets {
+            let Some(ep) = epolls.get(eid) else { continue };
+            let pushed = ep.lock_ok().ring_push(key);
+            if pushed {
+                self.post(Channel::EpollReady(eid));
+            }
+        }
+        n
     }
 
     /// See [`WaitSet::wake`].

@@ -55,7 +55,7 @@
 //! but not bit-deterministic: console interleaving and counter values
 //! depend on physical timing.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -100,8 +100,8 @@ struct SmpSched {
     global: VecDeque<Tid>,
     /// Parked tasks and their optional wake deadline.
     parked: BTreeMap<Tid, Option<u64>>,
-    /// Ordered index of parked deadlines.
-    deadlines: BTreeSet<(u64, Tid)>,
+    /// Index of parked deadlines (O(1) arm/disarm timer wheel).
+    deadlines: crate::timer::TimerWheel,
     /// vfork child → suspended parent.
     vfork_waiters: HashMap<Tid, Tid>,
     /// Wakeups that arrived for tasks currently running on a worker: the
@@ -324,7 +324,7 @@ fn drain_wakeups(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) {
     for tid in woken {
         if let Some(deadline) = sched.parked.remove(&tid) {
             if let Some(d) = deadline {
-                sched.deadlines.remove(&(d, tid));
+                sched.deadlines.cancel(d, tid);
             }
             runner.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             if let Some(slot) = sched.slots.get_mut(&tid) {
@@ -351,19 +351,15 @@ fn drain_wakeups(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) {
 fn wake_lapsed(pool: &SmpPool) {
     let now = pool.clock.monotonic_ns();
     {
-        let sched = pool.sched.lock_ok();
-        match sched.deadlines.first() {
-            Some(&(d, _)) if d <= now => {}
+        let mut sched = pool.sched.lock_ok();
+        match sched.deadlines.next_deadline() {
+            Some(d) if d <= now => {}
             _ => return,
         }
     }
     let mut k = pool.kernel.lock_ok();
     let mut sched = pool.sched.lock_ok();
-    while let Some(&(d, tid)) = sched.deadlines.first() {
-        if d > now {
-            break;
-        }
-        sched.deadlines.remove(&(d, tid));
+    for (_, tid) in sched.deadlines.advance_to(now) {
         sched.parked.remove(&tid);
         k.wait_cancel(tid);
         pool.enqueue(&mut sched, None, tid);
@@ -426,7 +422,7 @@ fn idle(runner: &RunnerView<'_>, pool: &SmpPool, widx: usize) -> bool {
         return false;
     }
     // Quiescent: every live task is parked (or vfork-suspended).
-    let parked_min = sched.deadlines.first().map(|&(d, _)| d);
+    let parked_min = sched.deadlines.next_deadline();
     let Some(deadline) = [parked_min, timer_min].into_iter().flatten().min() else {
         if sched.live == 0 {
             sched.done = true;
@@ -666,7 +662,7 @@ fn handle_suspend(
                 pool.enqueue(&mut sched, Some(widx), tid);
             } else {
                 if let Some(d) = deadline {
-                    sched.deadlines.insert((d, tid));
+                    sched.deadlines.insert(d, tid);
                 }
                 sched.parked.insert(tid, deadline);
                 sched.slots.insert(tid, slot);
@@ -814,7 +810,7 @@ fn finish_task(pool: &SmpPool, slot: Slot, end: Option<TaskEnd>) {
     sched.in_flight -= 1;
     sched.live -= 1;
     if let Some(Some(d)) = sched.parked.remove(&tid) {
-        sched.deadlines.remove(&(d, tid));
+        sched.deadlines.cancel(d, tid);
     }
     sched.pending_wakes.remove(&tid);
     release_vfork_parent(pool, &mut sched, tid);

@@ -40,6 +40,7 @@ pub mod registry;
 pub mod runner;
 pub mod sigtable;
 pub mod testkit;
+pub mod timer;
 pub mod trace;
 
 pub use context::{new_kernel_ref, WaliContext};

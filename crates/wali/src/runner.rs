@@ -313,12 +313,14 @@ pub struct WaliRunner {
     /// deadline (virtual mono ns). Invariant: every live task is either
     /// queued or parked, never both.
     pub(crate) parked: BTreeMap<Tid, Option<u64>>,
-    /// Ordered index of parked deadlines: the scheduler compares its
-    /// minimum against the clock every round, so deadline-parked tasks
-    /// wake on time even while other tasks keep the run queue busy
-    /// (syscall ticks advance the virtual clock too, not just idle
-    /// steps). Kept in lock-step with `parked`.
-    pub(crate) deadlines: std::collections::BTreeSet<(u64, Tid)>,
+    /// Index of parked deadlines: the scheduler compares its minimum
+    /// against the clock every round, so deadline-parked tasks wake on
+    /// time even while other tasks keep the run queue busy (syscall
+    /// ticks advance the virtual clock too, not just idle steps). Kept
+    /// in lock-step with `parked`. A hierarchical timer wheel
+    /// ([`crate::timer::TimerWheel`]): O(1) arm/disarm per park/unpark,
+    /// exact minimum for the idle clock jump.
+    pub(crate) deadlines: crate::timer::TimerWheel,
     /// `vfork` parents suspended until their child execs or exits, keyed
     /// by child tid. These tasks sit on neither the run queue nor the
     /// parked map; the child's exec/exit requeues them.
@@ -359,7 +361,7 @@ impl WaliRunner {
             tasks: BTreeMap::new(),
             run_queue: VecDeque::new(),
             parked: BTreeMap::new(),
-            deadlines: std::collections::BTreeSet::new(),
+            deadlines: crate::timer::TimerWheel::default(),
             vfork_waiters: HashMap::new(),
             since_progress: 0,
             spawned_any: false,
@@ -435,6 +437,20 @@ impl WaliRunner {
 
     pub(crate) fn shard_on(&self) -> bool {
         self.shard.unwrap_or_else(shard_default)
+    }
+
+    /// Overrides the epoll ready-ring (A/B measurement; default follows
+    /// the kernel's `WALI_NO_READY` environment check). `false` falls
+    /// back to the full interest-list scan per `epoll_wait`. Takes
+    /// effect immediately — kernel state, not a registration-time flag —
+    /// so set it before spawning.
+    pub fn set_ready(&mut self, on: bool) {
+        self.kernel.lock_ok().set_ready(on);
+    }
+
+    /// Whether the epoll ready-ring path is on.
+    pub fn ready_on(&self) -> bool {
+        self.kernel.lock_ok().ready_on()
     }
 
     /// Overrides the worker-pool width (A/B measurement; default follows
@@ -584,7 +600,7 @@ impl WaliRunner {
             // Syscall ticks advance the clock while the queue stays busy;
             // wake parked deadlines the moment they lapse, not only at
             // idle steps.
-            if let Some(&(d, _)) = self.deadlines.first() {
+            if let Some(d) = self.deadlines.next_deadline() {
                 let now = self.clock.monotonic_ns();
                 if now >= d {
                     self.wake_lapsed(now);
@@ -635,7 +651,7 @@ impl WaliRunner {
     fn park(&mut self, tid: Tid, deadline: Option<u64>) {
         self.stats.parks.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = deadline {
-            self.deadlines.insert((d, tid));
+            self.deadlines.insert(d, tid);
         }
         self.parked.insert(tid, deadline);
     }
@@ -646,7 +662,7 @@ impl WaliRunner {
         match self.parked.remove(&tid) {
             Some(deadline) => {
                 if let Some(d) = deadline {
-                    self.deadlines.remove(&(d, tid));
+                    self.deadlines.cancel(d, tid);
                 }
                 true
             }
@@ -695,7 +711,7 @@ impl WaliRunner {
     /// timers), fire timers, and unpark deadline-lapsed tasks; error out
     /// when no wake-up source exists.
     fn idle_advance(&mut self) -> Result<(), RunnerError> {
-        let parked_min = self.deadlines.first().map(|&(d, _)| d);
+        let parked_min = self.deadlines.next_deadline();
         let queued_min = self
             .run_queue
             .iter()
@@ -748,11 +764,7 @@ impl WaliRunner {
     /// leaving them would let a later post spuriously wake the task out
     /// of an unrelated park.
     fn wake_lapsed(&mut self, now: u64) {
-        while let Some(&(d, tid)) = self.deadlines.first() {
-            if d > now {
-                break;
-            }
-            self.deadlines.remove(&(d, tid));
+        for (_, tid) in self.deadlines.advance_to(now) {
             self.parked.remove(&tid);
             self.kernel.lock_ok().wait_cancel(tid);
             self.run_queue.push_back(tid);

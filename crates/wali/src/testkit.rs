@@ -49,6 +49,8 @@ pub struct RunnerOpts {
     pub cow: Option<bool>,
     /// Sharded syscall fast path (`WALI_NO_SHARD` off-switch).
     pub shard: Option<bool>,
+    /// Epoll ready-ring event path (`WALI_NO_READY` off-switch).
+    pub ready: Option<bool>,
 }
 
 impl RunnerOpts {
@@ -79,6 +81,9 @@ impl RunnerOpts {
         }
         if let Some(on) = self.shard {
             runner.set_shard(on);
+        }
+        if let Some(on) = self.ready {
+            runner.set_ready(on);
         }
     }
 }

@@ -1,0 +1,384 @@
+//! A hashed hierarchical timer wheel for parked-task deadlines.
+//!
+//! PR 2 gave the scheduler deadline parking backed by a
+//! `BTreeSet<(deadline, tid)>`: O(log n) insert/cancel and an ordered
+//! first-element peek. At C100K scale that index is on the per-park hot
+//! path — every blocked `epoll_wait`/`nanosleep`/backoff park inserts,
+//! every wakeup cancels — so this module replaces it with the classic
+//! kernel structure: a hierarchical timer wheel (Varghese & Lauck),
+//! O(1) insert and cancel, with cascading deferred to clock advances.
+//!
+//! Layout: `LEVELS` (4) levels of `SLOTS` (64) slots each. Level `l` buckets
+//! deadlines by bits `[BASE_SHIFT + 6l, BASE_SHIFT + 6l + 6)` of their
+//! absolute nanosecond value, so a slot at level 0 spans ~65 µs of
+//! virtual time and each level up is 64× coarser (level 3 slots span
+//! ~4.5 min; the whole wheel reaches ~4.8 h). Beyond that, entries sit
+//! in an `overflow` list that is re-bucketed whenever the top level
+//! ticks. Entries landing *inside* the current level-0 slot go to a
+//! tiny `near` list scanned on every advance — never early, never late.
+//!
+//! Two properties the scheduler relies on:
+//!
+//! - **Exact deadlines.** [`TimerWheel::next_deadline`] returns the true
+//!   minimum (cached, lazily recomputed after cancels/advances), not a
+//!   slot boundary: the virtual clock jumps *exactly* to the next
+//!   deadline on idle, and `WALI_WORKERS=1` runs must stay
+//!   bit-deterministic.
+//! - **Deterministic fire order.** [`TimerWheel::advance_to`] returns
+//!   lapsed entries sorted by `(deadline, tid)` — the same order the
+//!   `BTreeSet` popped them in, so single-worker schedules are
+//!   unchanged byte for byte.
+
+/// Wheel levels.
+const LEVELS: usize = 4;
+/// Slots per level (64 ⇒ 6 index bits per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Level-0 granularity: 2^16 ns ≈ 65.5 µs, well under the scheduler's
+/// 1 ms slice quantum so backoff parks spread across level-0 slots.
+const BASE_SHIFT: u32 = 16;
+
+/// Bit shift selecting a level's slot-index field.
+fn shift(level: usize) -> u32 {
+    BASE_SHIFT + SLOT_BITS * level as u32
+}
+
+/// A task id, as the scheduler keys deadlines (mirrors `vkernel::Tid`;
+/// kept as a plain integer so the wheel has no kernel dependency).
+type Tid = i32;
+
+/// Where an entry lives (internal placement result).
+enum Place {
+    Near,
+    Slot(usize, usize),
+    Overflow,
+}
+
+/// Hashed hierarchical timer wheel over virtual-clock nanoseconds.
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// `slots[level][idx]` holds `(deadline, tid)` entries.
+    slots: Vec<Vec<Vec<(u64, Tid)>>>,
+    /// Entries inside the current level-0 slot (or already due),
+    /// scanned on every advance.
+    near: Vec<(u64, Tid)>,
+    /// Entries beyond the top level's horizon.
+    overflow: Vec<(u64, Tid)>,
+    /// Virtual time of the last advance (placement origin).
+    cur: u64,
+    /// Live entries.
+    len: usize,
+    /// Cached minimum deadline; stale when `dirty`.
+    min_cache: Option<u64>,
+    dirty: bool,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new(0)
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel anchored at virtual time `now`.
+    pub fn new(now: u64) -> TimerWheel {
+        TimerWheel {
+            slots: vec![vec![Vec::new(); SLOTS]; LEVELS],
+            near: Vec::new(),
+            overflow: Vec::new(),
+            cur: now,
+            len: 0,
+            min_cache: None,
+            dirty: false,
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no deadline is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Picks where a deadline goes relative to `self.cur`: the first
+    /// level whose slot index for `deadline` is 1–63 slots ahead of the
+    /// current one. Same level-0 slot (or already due) ⇒ `near`; beyond
+    /// the top level ⇒ `overflow`.
+    fn placement(&self, deadline: u64) -> Place {
+        if deadline <= self.cur {
+            return Place::Near;
+        }
+        for level in 0..LEVELS {
+            let diff = (deadline >> shift(level)) - (self.cur >> shift(level));
+            if diff == 0 {
+                // Only reachable at level 0 (a higher level's tick fully
+                // contains the lower's): sub-slot distance.
+                return Place::Near;
+            }
+            if diff < SLOTS as u64 {
+                return Place::Slot(level, (deadline >> shift(level)) as usize % SLOTS);
+            }
+        }
+        Place::Overflow
+    }
+
+    /// Files an entry without touching `len` (shared by insert and the
+    /// cascade re-bucketing).
+    fn place(&mut self, deadline: u64, tid: Tid) {
+        match self.placement(deadline) {
+            Place::Near => self.near.push((deadline, tid)),
+            Place::Slot(level, idx) => self.slots[level][idx].push((deadline, tid)),
+            Place::Overflow => self.overflow.push((deadline, tid)),
+        }
+    }
+
+    /// Arms `(deadline, tid)`. O(1). Duplicate pairs are kept (and fire
+    /// once each), matching `BTreeSet` semantics only if callers avoid
+    /// duplicates — which the parked-map invariant guarantees.
+    pub fn insert(&mut self, deadline: u64, tid: Tid) {
+        self.place(deadline, tid);
+        self.len += 1;
+        if !self.dirty {
+            self.min_cache = Some(match self.min_cache {
+                Some(m) => m.min(deadline),
+                None => deadline,
+            });
+        }
+    }
+
+    /// Disarms `(deadline, tid)`; returns whether it was armed. O(1):
+    /// at most one small slot per level is searched.
+    pub fn cancel(&mut self, deadline: u64, tid: Tid) -> bool {
+        let hit = |v: &mut Vec<(u64, Tid)>| -> bool {
+            match v.iter().position(|&e| e == (deadline, tid)) {
+                Some(i) => {
+                    v.swap_remove(i);
+                    true
+                }
+                None => false,
+            }
+        };
+        let mut found = hit(&mut self.near);
+        if !found {
+            for level in 0..LEVELS {
+                let idx = (deadline >> shift(level)) as usize % SLOTS;
+                if hit(&mut self.slots[level][idx]) {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if !found {
+            found = hit(&mut self.overflow);
+        }
+        if found {
+            self.len -= 1;
+            if self.min_cache == Some(deadline) {
+                self.dirty = true;
+            }
+        }
+        found
+    }
+
+    /// The exact earliest armed deadline (not a slot boundary). Cached;
+    /// recomputed in one pass over the slots only after a cancel or
+    /// advance invalidated it.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        if self.dirty {
+            self.min_cache = self
+                .near
+                .iter()
+                .chain(self.overflow.iter())
+                .chain(self.slots.iter().flatten().flatten())
+                .map(|&(d, _)| d)
+                .min();
+            self.dirty = false;
+        }
+        self.min_cache
+    }
+
+    /// Advances the wheel to virtual time `now`, returning every entry
+    /// with `deadline <= now`, sorted by `(deadline, tid)` — the order
+    /// the old `BTreeSet` index popped them in. Entries in crossed slots
+    /// that are not yet due cascade down to finer levels. Cost is
+    /// O(slots crossed + entries touched), independent of the total
+    /// armed count.
+    pub fn advance_to(&mut self, now: u64) -> Vec<(u64, Tid)> {
+        let now = now.max(self.cur);
+        let mut fired = Vec::new();
+        let mut keep = Vec::new();
+        let mut split = |taken: Vec<(u64, Tid)>, fired: &mut Vec<(u64, Tid)>| {
+            for e in taken {
+                if e.0 <= now {
+                    fired.push(e);
+                } else {
+                    keep.push(e);
+                }
+            }
+        };
+        if !self.near.is_empty() {
+            split(std::mem::take(&mut self.near), &mut fired);
+        }
+        for level in 0..LEVELS {
+            let old = self.cur >> shift(level);
+            let new = now >> shift(level);
+            // Visit (old, new] — at most one full revolution: entries
+            // are placed at most 63 slots ahead, so a wider jump has
+            // provably lapsed or cascaded everything in the level.
+            let crossed = (new - old).min(SLOTS as u64);
+            for step in 1..=crossed {
+                let idx = ((old + step) as usize) % SLOTS;
+                if !self.slots[level][idx].is_empty() {
+                    split(std::mem::take(&mut self.slots[level][idx]), &mut fired);
+                }
+            }
+        }
+        if !self.overflow.is_empty()
+            && (now >> shift(LEVELS - 1)) != (self.cur >> shift(LEVELS - 1))
+        {
+            // The top level ticked: overflow entries may be in horizon
+            // now. (They only become due after many top-level ticks, so
+            // this re-bucketing always precedes their deadline.)
+            split(std::mem::take(&mut self.overflow), &mut fired);
+        }
+        self.cur = now;
+        for (d, tid) in keep {
+            // Cascade: re-bucket relative to the new origin.
+            self.place(d, tid);
+        }
+        if !fired.is_empty() {
+            fired.sort_unstable();
+            self.len -= fired.len();
+            self.dirty = true;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: the old ordered-set index.
+    fn model_fire(set: &mut std::collections::BTreeSet<(u64, Tid)>, now: u64) -> Vec<(u64, Tid)> {
+        let mut out = Vec::new();
+        while let Some(&(d, t)) = set.first() {
+            if d > now {
+                break;
+            }
+            set.remove(&(d, t));
+            out.push((d, t));
+        }
+        out
+    }
+
+    #[test]
+    fn fires_exactly_at_deadline() {
+        let mut w = TimerWheel::new(1000);
+        w.insert(5000, 7);
+        assert_eq!(w.next_deadline(), Some(5000));
+        assert!(w.advance_to(4999).is_empty());
+        assert_eq!(w.advance_to(5000), vec![(5000, 7)]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn cancel_hits_every_region() {
+        let mut w = TimerWheel::new(0);
+        let near = 1; // sub-slot
+        let level0 = 3 << BASE_SHIFT;
+        let level2 = 5 << shift(2);
+        let far = 1 << (shift(LEVELS - 1) + SLOT_BITS + 2); // overflow
+        for (i, d) in [near, level0, level2, far].into_iter().enumerate() {
+            w.insert(d, i as Tid);
+        }
+        assert_eq!(w.len(), 4);
+        assert!(w.cancel(near, 0));
+        assert!(w.cancel(level0, 1));
+        assert!(w.cancel(level2, 2));
+        assert!(w.cancel(far, 3));
+        assert!(!w.cancel(far, 3), "double cancel reports unarmed");
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn cascades_preserve_exactness_across_levels() {
+        let mut w = TimerWheel::new(0);
+        // A deadline two levels up, not aligned to any slot boundary.
+        let d = (3 << shift(2)) + (5 << shift(1)) + 12345;
+        w.insert(d, 42);
+        // Creep up in uneven jumps; it must fire exactly at d.
+        let mut now = 0;
+        while now < d - 1 {
+            now = ((now + (now / 3) + 7919).min(d - 1)).max(now + 1);
+            assert!(w.advance_to(now).is_empty(), "early fire at {now}");
+            assert_eq!(w.next_deadline(), Some(d));
+        }
+        assert_eq!(w.advance_to(d), vec![(d, 42)]);
+    }
+
+    #[test]
+    fn matches_btreeset_model_on_a_mixed_workload() {
+        // Deterministic pseudo-random insert/cancel/advance trace,
+        // cross-checked against the ordered-set reference.
+        let mut w = TimerWheel::new(0);
+        let mut model = std::collections::BTreeSet::new();
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        let mut step = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut now = 0u64;
+        let mut armed: Vec<(u64, Tid)> = Vec::new();
+        for i in 0..5000u64 {
+            match step() % 10 {
+                // Mostly inserts, at wildly mixed horizons (sub-slot to
+                // overflow).
+                0..=5 => {
+                    let horizon = 1u64 << (step() % 45);
+                    let d = now + 1 + step() % horizon;
+                    let tid = i as Tid;
+                    w.insert(d, tid);
+                    model.insert((d, tid));
+                    armed.push((d, tid));
+                }
+                6..=7 => {
+                    if !armed.is_empty() {
+                        let (d, tid) = armed.swap_remove((step() % armed.len() as u64) as usize);
+                        assert_eq!(w.cancel(d, tid), model.remove(&(d, tid)));
+                    }
+                }
+                _ => {
+                    now += step() % (1 << (step() % 40));
+                    let fired = w.advance_to(now);
+                    assert_eq!(fired, model_fire(&mut model, now));
+                    armed.retain(|e| !fired.contains(e));
+                }
+            }
+            assert_eq!(w.len(), model.len());
+            assert_eq!(w.next_deadline(), model.first().map(|&(d, _)| d));
+        }
+        // Drain the rest in one final jump.
+        let fired = w.advance_to(u64::MAX);
+        assert_eq!(fired, model_fire(&mut model, u64::MAX));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_deadlines_fire_in_tid_order() {
+        let mut w = TimerWheel::new(0);
+        let d = 10 << BASE_SHIFT;
+        for tid in [9, 3, 7] {
+            w.insert(d, tid);
+        }
+        assert_eq!(w.advance_to(d), vec![(d, 3), (d, 7), (d, 9)]);
+    }
+}

@@ -208,6 +208,7 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
         cow: None,
         shard: None,
         regir: None,
+        ready: None,
     };
     run_module(&stress_program(), &[], &[], opts)
         .expect("run")

@@ -246,6 +246,7 @@ fn run_mix_with(workers: usize, fuse: bool, event_driven: Option<bool>) -> wali:
         cow: None,
         shard: None,
         regir: None,
+        ready: None,
     };
     run_module(&smp_mix_program(), &[], &[], opts)
         .expect("run")
