@@ -102,6 +102,12 @@ pub enum Mechanism {
     /// on socket channels the producer side is half-closed after the
     /// last token so a registered, EOF-readable fd rides into teardown.
     EpollChurn,
+    /// Each read is submitted as a `READ` SQE on a 1-entry batched
+    /// syscall ring and drained with `wali_ring_enter(ring, 1, 1, 0)`;
+    /// a `-ENOSYS` return (rings toggled off) falls back to the
+    /// identical plain blocking read, which is exactly the equivalence
+    /// the fuzzer's `WALI_NO_RING` oracle leg checks.
+    Ring,
 }
 
 /// One operation inside a (thread, phase) slot.
@@ -593,6 +599,7 @@ struct Sys {
     epoll_ctl: FuncId,
     epoll_wait: FuncId,
     shutdown: FuncId,
+    ring_enter: FuncId,
 }
 
 impl Sys {
@@ -620,6 +627,7 @@ impl Sys {
             epoll_ctl: sys(mb, "epoll_ctl", 4),
             epoll_wait: sys(mb, "epoll_wait", 4),
             shutdown: sys(mb, "shutdown", 2),
+            ring_enter: sys(mb, "wali_ring_enter", 4),
         }
     }
 }
@@ -633,7 +641,8 @@ const SCRATCH_PFD: u32 = 40; // one pollfd, 8 B
 const SCRATCH_MASK: u32 = 48; // ppoll sigmask, 8 B
 const SCRATCH_EV: u32 = 56; // epoll_ctl event, 12 B (+pad)
 const SCRATCH_EVBUF: u32 = 72; // epoll_wait out buffer, 8 events
-const SCRATCH_SIZE: u32 = 72 + 8 * 12;
+const SCRATCH_RING: u32 = 72 + 8 * 12; // 1-entry SQ/CQ ring: 32 + 32 + 16 B
+const SCRATCH_SIZE: u32 = SCRATCH_RING + 80;
 
 /// Reserved memory addresses, all allocated before any function body so
 /// closures can reference them.
@@ -1078,9 +1087,10 @@ fn emit_consume(
         emit_epoll_ctl(b, ctx, EPOLL_CTL_ADD, slot, events, scratch);
     }
 
-    // One blocking wait for readiness (no-op for Direct).
+    // One blocking wait for readiness (no-op for Direct and Ring,
+    // whose reads block by themselves).
     let emit_wait = |b: &mut FuncBuilder, ctx: &Ctx| match via {
-        Mechanism::Direct => {}
+        Mechanism::Direct | Mechanism::Ring => {}
         Mechanism::Poll => {
             emit_pollfd(b, slot, scratch);
             b.i64((scratch + SCRATCH_PFD) as i64)
@@ -1124,6 +1134,22 @@ fn emit_consume(
         }
     };
 
+    // One blocking read of `len` bytes into the scratch buffer — either
+    // the plain syscall or (for Ring) a single-SQE `wali_ring_enter`.
+    let emit_read = |b: &mut FuncBuilder, ctx: &Ctx, len: u32| {
+        if via == Mechanism::Ring {
+            emit_ring_read(b, ctx, slot, scratch + SCRATCH_BUF, len, scratch);
+        } else {
+            b.i32(slot as i32)
+                .load32(0)
+                .extend_u()
+                .i64((scratch + SCRATCH_BUF) as i64)
+                .i64(len as i64)
+                .call(ctx.sys.read)
+                .drop_();
+        }
+    };
+
     if is_eventfd {
         // Counter semantics: each read drains everything accumulated so
         // far, so accumulate until all expected tokens arrived. (validate
@@ -1132,13 +1158,7 @@ fn emit_consume(
         b.i64(0).local_set(ctx.l_got);
         b.loop_(BlockType::Empty, |b| {
             emit_wait(b, ctx);
-            b.i32(slot as i32)
-                .load32(0)
-                .extend_u()
-                .i64(buf as i64)
-                .i64(8)
-                .call(ctx.sys.read)
-                .drop_();
+            emit_read(b, ctx, 8);
             b.local_get(ctx.l_got)
                 .i32(buf as i32)
                 .load64(0)
@@ -1157,7 +1177,6 @@ fn emit_consume(
         });
     } else {
         // Byte streams: exactly one byte per token, waiting each time.
-        let buf = scratch + SCRATCH_BUF;
         let mut left = tokens;
         let mut first = true;
         while left > 0 {
@@ -1173,13 +1192,7 @@ fn emit_consume(
             };
             emit_repeat(b, ctx, n, |b, ctx| {
                 emit_wait(b, ctx);
-                b.i32(slot as i32)
-                    .load32(0)
-                    .extend_u()
-                    .i64(buf as i64)
-                    .i64(1)
-                    .call(ctx.sys.read)
-                    .drop_();
+                emit_read(b, ctx, 1);
             });
             left -= n;
             first = false;
@@ -1190,7 +1203,25 @@ fn emit_consume(
     // (still registered in this op's epoll) flips EOF-readable with no
     // waiter parked, so the queued readiness must be swept at teardown,
     // not leaked or spuriously delivered.
-    if via == Mechanism::EpollChurn && scn.chans[chan] == ChanKind::Sock {
+    //
+    // Only sound when this op is the channel's *sole* consume: the op
+    // completes only after every produced token arrived, and a write
+    // happens-before its token is readable, so no producer can still
+    // write. With a second consume op anywhere (found by fuzz seed 76,
+    // `corpus/churn-shutdown-late-producer.txt`), this op can
+    // finish on an early producer's tokens while another produce is
+    // still pending — the SHUT_WR then fails those writes with EPIPE
+    // and the remaining consume deadlocks on tokens that never arrive.
+    let sole_consume = scn
+        .procs
+        .iter()
+        .flat_map(|p| &p.threads)
+        .flat_map(|t| &t.phases)
+        .flatten()
+        .filter(|op| matches!(op, Op::Consume { chan: c, .. } if *c == chan))
+        .count()
+        == 1;
+    if via == Mechanism::EpollChurn && scn.chans[chan] == ChanKind::Sock && sole_consume {
         b.i32(slot as i32)
             .load32(4)
             .extend_u()
@@ -1222,6 +1253,46 @@ fn emit_epoll_ctl(b: &mut FuncBuilder, ctx: &Ctx, op: i32, slot: u32, events: u3
         .i64(ev as i64)
         .call(ctx.sys.epoll_ctl)
         .drop_();
+}
+
+/// One blocking read issued through the batched-syscall ring: a fresh
+/// 1-entry SQ/CQ ring in the thread's scratch carries a single `READ`
+/// SQE and is drained with `wali_ring_enter(ring, 1, 1, 0)`, which
+/// parks until the completion posts. A negative return (`-ENOSYS`,
+/// rings toggled off) falls back to the identical plain blocking read.
+fn emit_ring_read(b: &mut FuncBuilder, ctx: &Ctx, slot: u32, buf: u32, len: u32, scratch: u32) {
+    let ring = scratch + SCRATCH_RING;
+    // Header: sq_entries=1, cq_entries=1, sq_head=0, sq_tail=1,
+    // cq_head=0, cq_tail=0, flags=reserved=0.
+    b.i32(ring as i32).i64(1 | (1 << 32)).store64(0);
+    b.i32(ring as i32).i64(1 << 32).store64(8);
+    b.i32(ring as i32).i64(0).store64(16);
+    b.i32(ring as i32).i64(0).store64(24);
+    // SQE 0 at ring+32: READ(fd = consumer side, addr = buf, len).
+    b.i32(ring as i32)
+        .i32(wali_abi::ring::op::READ as i32)
+        .store32(32);
+    b.i32(ring as i32).i32(slot as i32).load32(0).store32(36);
+    b.i32(ring as i32).i32(buf as i32).store32(40);
+    b.i32(ring as i32).i32(len as i32).store32(44);
+    b.i32(ring as i32).i64(0).store64(48);
+    b.i32(ring as i32).i64(0).store64(56);
+    b.i64(ring as i64)
+        .i64(1)
+        .i64(1)
+        .i64(0)
+        .call(ctx.sys.ring_enter)
+        .local_set(ctx.l_ret);
+    b.local_get(ctx.l_ret).i64(0).lt_s64();
+    b.if_(BlockType::Empty, |b| {
+        b.i32(slot as i32)
+            .load32(0)
+            .extend_u()
+            .i64(buf as i64)
+            .i64(len as i64)
+            .call(ctx.sys.read)
+            .drop_();
+    });
 }
 
 /// Runs `body` `n` times via a wasm counter loop (constant-size code for
@@ -1458,6 +1529,97 @@ mod tests {
         assert_eq!(obs.main_exit.as_deref(), Some("Exited(10)"));
         assert_eq!(obs.console_lines, scn.expected_console());
         assert!(report.leaks.is_clean(), "{}", report.leaks.describe());
+    }
+
+    #[test]
+    fn ring_mechanism_matches_sync_fallback() {
+        // A ring-driven server: one producer process feeds a pipe, a
+        // socketpair and an eventfd; the consumer process drains all
+        // three through `wali_ring_enter` READ SQEs across two threads.
+        // The same scenario under WALI_NO_RING takes the -ENOSYS
+        // fallback (plain blocking reads); observables must agree — the
+        // in-tree version of the fuzzer's `workers=1 no-ring` leg.
+        let scn = Scenario {
+            chans: vec![ChanKind::Pipe, ChanKind::Sock, ChanKind::EventFd],
+            futex_words: 0,
+            procs: vec![
+                Proc {
+                    kind: ProcKind::Normal,
+                    children: vec![1],
+                    handles: vec![],
+                    threads: vec![ThreadPlan {
+                        phases: vec![
+                            vec![
+                                Op::Produce { chan: 0, tokens: 3 },
+                                Op::Produce { chan: 1, tokens: 2 },
+                                Op::Produce { chan: 2, tokens: 2 },
+                            ],
+                            vec![],
+                        ],
+                    }],
+                },
+                Proc {
+                    kind: ProcKind::Normal,
+                    children: vec![],
+                    handles: vec![],
+                    threads: vec![
+                        ThreadPlan {
+                            phases: vec![
+                                vec![],
+                                vec![
+                                    Op::Consume {
+                                        chan: 0,
+                                        tokens: 3,
+                                        via: Mechanism::Ring,
+                                    },
+                                    Op::Consume {
+                                        chan: 2,
+                                        tokens: 2,
+                                        via: Mechanism::Ring,
+                                    },
+                                ],
+                            ],
+                        },
+                        ThreadPlan {
+                            phases: vec![
+                                vec![],
+                                vec![Op::Consume {
+                                    chan: 1,
+                                    tokens: 2,
+                                    via: Mechanism::Ring,
+                                }],
+                            ],
+                        },
+                    ],
+                },
+            ],
+        };
+        scn.validate().expect("valid");
+        let ring = run_scenario(&scn, RunnerOpts::single());
+        assert!(ring.leaks.is_clean(), "{}", ring.leaks.describe());
+        let obs = ring.outcome.observables();
+        assert_eq!(obs.console_lines, scn.expected_console());
+        let sync = run_scenario(
+            &scn,
+            RunnerOpts {
+                ring: Some(false),
+                ..RunnerOpts::single()
+            },
+        );
+        assert_eq!(
+            obs,
+            sync.outcome.observables(),
+            "ring vs WALI_NO_RING fallback"
+        );
+        let smp = run_scenario(
+            &scn,
+            RunnerOpts {
+                workers: Some(4),
+                ..RunnerOpts::default()
+            },
+        );
+        assert_eq!(obs, smp.outcome.observables(), "ring under SMP");
+        assert!(smp.leaks.is_clean(), "{}", smp.leaks.describe());
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn mech_name(m: Mechanism) -> &'static str {
         Mechanism::EpollEt => "epoll-et",
         Mechanism::EpollOneshot => "epoll-oneshot",
         Mechanism::EpollChurn => "epoll-churn",
+        Mechanism::Ring => "ring",
     }
 }
 
@@ -59,6 +60,7 @@ fn mech_parse(s: &str) -> Result<Mechanism, String> {
         "epoll-et" => Mechanism::EpollEt,
         "epoll-oneshot" => Mechanism::EpollOneshot,
         "epoll-churn" => Mechanism::EpollChurn,
+        "ring" => Mechanism::Ring,
         _ => return Err(format!("unknown mechanism `{s}`")),
     })
 }

@@ -214,6 +214,7 @@ fn plan_chan(
         Mechanism::EpollEt,
         Mechanism::EpollOneshot,
         Mechanism::EpollChurn,
+        Mechanism::Ring,
     ]);
     // Earliest consume phase; every produce lands strictly before it.
     let cmin = 1 + r.below(phases as u64 - 1) as usize;
@@ -414,7 +415,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(mechs.len(), 7, "mechanisms seen: {mechs:?}");
+        assert_eq!(mechs.len(), 8, "mechanisms seen: {mechs:?}");
         assert_eq!(kinds.len(), 3, "chan kinds seen: {kinds:?}");
         assert!(saw_victim && saw_vfork && saw_await && saw_futex);
     }

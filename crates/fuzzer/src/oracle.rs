@@ -9,7 +9,8 @@
 //!    promises bit-for-bit replay; any divergence is a hidden source of
 //!    nondeterminism (wall clock, hash order, …).
 //! 2. **Toggle equivalence** — `WALI_NO_FUSE`, `WALI_NO_REGIR`,
-//!    `WALI_NO_WAITQ`, `WALI_NO_COW`, `WALI_NO_SHARD` and
+//!    `WALI_NO_WAITQ`, `WALI_NO_COW`, `WALI_NO_SHARD`,
+//!    `WALI_NO_READY`, `WALI_NO_RING` and
 //!    `WALI_WORKERS=4` must leave the *observable* outcome unchanged. Single-worker toggles are compared on the
 //!    order-insensitive [`wali::Observables`] too (their schedule legitimately
 //!    shifts when blocking behavior changes); the model oracle below
@@ -36,7 +37,7 @@ pub struct OracleConfig {
     /// Run the SMP equivalence leg at all.
     pub check_smp: bool,
     /// Run the single-worker toggle legs (fuse / regir / waitq / cow /
-    /// shard).
+    /// shard / ready / ring).
     pub check_toggles: bool,
     /// Compare process-global resident pages before/after. Only valid
     /// when nothing else in the process touches guest memory
@@ -196,7 +197,7 @@ pub fn check(scn: &Scenario, cfg: &OracleConfig) -> Result<(), Failure> {
 
     // Oracle 2: single-worker toggles.
     if cfg.check_toggles {
-        let toggles: [(&str, RunnerOpts); 6] = [
+        let toggles: [(&str, RunnerOpts); 7] = [
             (
                 "workers=1 no-fuse",
                 RunnerOpts {
@@ -236,6 +237,16 @@ pub fn check(scn: &Scenario, cfg: &OracleConfig) -> Result<(), Failure> {
                 "workers=1 no-ready",
                 RunnerOpts {
                     ready: Some(false),
+                    ..RunnerOpts::single()
+                },
+            ),
+            // Ring-vs-sync equivalence: scenarios that consume through
+            // `wali_ring_enter` must fall back to the identical per-op
+            // synchronous path when rings are off.
+            (
+                "workers=1 no-ring",
+                RunnerOpts {
+                    ring: Some(false),
                     ..RunnerOpts::single()
                 },
             ),

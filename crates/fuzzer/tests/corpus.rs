@@ -51,3 +51,12 @@ fn corpus_epoll_edge_oneshot_replays_green() {
 fn corpus_signal_victim_futex_replays_green() {
     replay_corpus("signal-victim-futex.txt");
 }
+
+/// Two epoll-churn consumes on one socket: the emitter's post-consume
+/// SHUT_WR raced a still-pending producer (EPIPE'd its writes) and
+/// deadlocked the second consume. Half-closing is now restricted to a
+/// channel's sole consume op.
+#[test]
+fn corpus_churn_shutdown_late_producer_replays_green() {
+    replay_corpus("churn-shutdown-late-producer.txt");
+}

@@ -218,6 +218,23 @@ impl Kernel {
         self.waits.take_woken()
     }
 
+    /// Drains the channels whose posts woke `tid` since its last drain
+    /// (empty for direct wakes — callers treat that as "re-check
+    /// everything"). Batched-syscall retries use this to complete the
+    /// operations whose wakeup actually arrived first, so ring CQE
+    /// order follows the wakeup path rather than submission order.
+    pub fn take_fired(&mut self, tid: Tid) -> Vec<Channel> {
+        self.waits.take_fired(tid)
+    }
+
+    /// Arms fired-channel recording for `tid` until its next
+    /// [`Kernel::take_fired`] drain. Only armed tasks pay the per-wake
+    /// fired-log bookkeeping, so `wali_ring_enter` calls this each time
+    /// it parks and everyone else's wakes stay record-free.
+    pub fn track_fired(&mut self, tid: Tid) {
+        self.waits.track_fired(tid);
+    }
+
     /// Drops every wait subscription of `tid` without waking it. The
     /// embedder calls this when it re-queues a task for a reason the
     /// kernel cannot see (deadline lapse), so no stale channel entry can

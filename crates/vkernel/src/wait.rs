@@ -100,6 +100,17 @@ pub struct WaitSet {
     /// between slices without taking the kernel lock (the authoritative
     /// drain still happens under it, via [`WaitSet::take_woken`]).
     woken_hint: Arc<AtomicBool>,
+    /// Task → channels whose posts woke it since its last
+    /// [`WaitSet::take_fired`] drain, in fire order. Batched-syscall
+    /// retries (`wali_ring_enter`) consult this to re-attempt the
+    /// operations whose channel actually fired first, so CQE order
+    /// reflects wakeup order rather than submission order.
+    fired: HashMap<Tid, Vec<Channel>>,
+    /// Tasks that armed fired-channel recording for their next wakeups
+    /// ([`WaitSet::track_fired`], one-shot until the next drain). Only
+    /// batched-syscall parks need the record, so only they pay the
+    /// per-wake bookkeeping; everyone else's wakes skip it entirely.
+    tracked: HashSet<Tid>,
     /// Counters.
     pub stats: WaitStats,
 }
@@ -159,6 +170,14 @@ impl WaitSet {
                 }
             }
         }
+        if let Some(ch) = via {
+            if !self.tracked.is_empty() && self.tracked.contains(&tid) {
+                let log = self.fired.entry(tid).or_default();
+                if !log.contains(&ch) {
+                    log.push(ch);
+                }
+            }
+        }
         if self.woken_set.insert(tid) {
             self.woken.push(tid);
             self.woken_hint.store(true, Ordering::Release);
@@ -166,8 +185,19 @@ impl WaitSet {
         }
     }
 
+    /// Arms fired-channel recording for `tid`'s next wakeups, until its
+    /// next [`WaitSet::take_fired`] drain or unsubscription. Called by
+    /// `wali_ring_enter` each time it parks; a wake that lands before
+    /// the arm merely yields an empty record (submission-order retry),
+    /// which callers already treat as "re-check everything".
+    pub fn track_fired(&mut self, tid: Tid) {
+        self.tracked.insert(tid);
+    }
+
     /// Removes every subscription of `tid` without waking it (task exit).
     pub fn unsubscribe(&mut self, tid: Tid) {
+        self.tracked.remove(&tid);
+        self.fired.remove(&tid);
         if let Some(chans) = self.subscribed.remove(&tid) {
             for ch in chans {
                 if let Some(q) = self.waiters.get_mut(&ch) {
@@ -190,6 +220,15 @@ impl WaitSet {
         self.woken_set.clear();
         self.woken_hint.store(false, Ordering::Release);
         std::mem::take(&mut self.woken)
+    }
+
+    /// Drains the channels whose posts woke `tid` since its last drain,
+    /// in fire order. Empty for direct wakes (futex wake, deadline
+    /// lapse) — callers must treat an empty answer as "re-check
+    /// everything", never "nothing fired".
+    pub fn take_fired(&mut self, tid: Tid) -> Vec<Channel> {
+        self.tracked.remove(&tid);
+        self.fired.remove(&tid).unwrap_or_default()
     }
 
     /// A shared handle onto the woken hint, checkable without any lock.
@@ -396,6 +435,16 @@ impl WaitShard {
         self.inner.lock_ok().take_woken()
     }
 
+    /// See [`WaitSet::track_fired`].
+    pub fn track_fired(&self, tid: Tid) {
+        self.inner.lock_ok().track_fired(tid);
+    }
+
+    /// See [`WaitSet::take_fired`].
+    pub fn take_fired(&self, tid: Tid) -> Vec<Channel> {
+        self.inner.lock_ok().take_fired(tid)
+    }
+
     /// See [`WaitSet::woken_hint`].
     pub fn woken_hint(&self) -> Arc<AtomicBool> {
         self.inner.lock_ok().woken_hint()
@@ -482,6 +531,41 @@ mod tests {
         w.subscribe(1, Channel::Child(1));
         assert_eq!(w.post(Channel::Child(1)), 1);
         assert_eq!(w.take_woken(), vec![1]);
+    }
+
+    #[test]
+    fn fired_channels_record_wake_order_and_drain() {
+        let mut w = WaitSet::new();
+        w.subscribe(1, Channel::PipeReadable(3));
+        w.subscribe(1, Channel::PipeWritable(4));
+        w.track_fired(1);
+        w.post(Channel::PipeReadable(3));
+        // The retry re-subscribes the still-blocked channel; a second
+        // post appends to the same undrained log (tracking is still
+        // armed: only a drain or unsubscription disarms it).
+        w.subscribe(1, Channel::PipeWritable(4));
+        w.post(Channel::PipeWritable(4));
+        assert_eq!(
+            w.take_fired(1),
+            vec![Channel::PipeReadable(3), Channel::PipeWritable(4)]
+        );
+        assert!(w.take_fired(1).is_empty(), "drain clears the log");
+        // Direct wakes record no channel: an empty answer means
+        // "re-check everything", so futex wakes must not fabricate one.
+        w.subscribe(1, Channel::PipeReadable(3));
+        w.wake(1);
+        assert!(w.take_fired(1).is_empty());
+        // Unsubscribe (task exit, deadline cancel) discards the log.
+        w.subscribe(2, Channel::Child(9));
+        w.track_fired(2);
+        w.post(Channel::Child(9));
+        w.unsubscribe(2);
+        assert!(w.take_fired(2).is_empty());
+        // A task that never armed tracking records nothing: ordinary
+        // blocked retries pay no fired-log bookkeeping on their wakes.
+        w.subscribe(3, Channel::Child(1));
+        w.post(Channel::Child(1));
+        assert!(w.take_fired(3).is_empty());
     }
 
     #[test]

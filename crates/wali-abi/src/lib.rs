@@ -18,11 +18,15 @@
 //!   structured syscall arguments whose native layout varies across ISAs
 //!   (`kstat`, `ksigaction`, timespec, iovec, …; paper §3.2 "Layout (ABI)
 //!   Conversion").
+//! * [`ring`] — the batched-syscall submission/completion ring layout
+//!   drained by `wali_ring_enter` (an io_uring-shaped extension beyond
+//!   the paper; see DESIGN.md "Substitutions").
 
 pub mod errno;
 pub mod flags;
 pub mod isa;
 pub mod layout;
+pub mod ring;
 pub mod signals;
 pub mod spec;
 pub mod tables;

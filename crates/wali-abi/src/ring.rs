@@ -1,0 +1,308 @@
+//! Batched-syscall ring layout: io_uring-shaped SQ/CQ pairs in linear
+//! memory.
+//!
+//! A deliberate extension beyond the paper (see DESIGN.md
+//! "Substitutions"): the WALI boundary costs a fixed ~hundreds of ns per
+//! crossing, so syscall-dense guests amortize it by describing many
+//! operations in wasm linear memory and draining them with **one**
+//! `wali_ring_enter` host call. The layout is a single contiguous block
+//! the guest owns:
+//!
+//! | offset                          | contents                       |
+//! |---------------------------------|--------------------------------|
+//! | `0`                             | header, 32 bytes ([`WaliRingHdr`]) |
+//! | `32`                            | `sq_entries` × 32-byte SQEs ([`WaliSqe`]) |
+//! | `32 + sq_entries * 32`          | `cq_entries` × 16-byte CQEs ([`WaliCqe`]) |
+//!
+//! Both rings are single-producer/single-consumer. The guest advances
+//! `sq_tail` (submit) and `cq_head` (reap); the host advances `sq_head`
+//! (consume) and `cq_tail` (complete). Indexes are free-running `u32`s
+//! taken modulo the entry count. The host advances `sq_head` in guest
+//! memory *at consume time*, before attempting the operation, so a
+//! `ring_enter` that parks and is retried never re-reads an SQE: the
+//! retry sees `sq_head == sq_tail` and only re-attempts the operations
+//! it still holds in flight.
+//!
+//! The `ring_enter(ring_ptr, to_submit, min_complete, flags)` call
+//! returns the number of CQEs available for reaping (`cq_tail -
+//! cq_head`), which is idempotent across blocked retries, or a negative
+//! errno (`-ENOSYS` when rings are disabled — guests branch to the
+//! per-op synchronous ABI).
+
+use crate::errno::Errno;
+use crate::layout::{Cursor, CursorMut};
+
+/// Linux `UIO_MAXIOV`: the most iovecs one vectored op may carry.
+pub const IOV_MAX: usize = 1024;
+
+/// Largest accepted ring entry count (either ring). Bounds the memory
+/// the host touches per `ring_enter` against hostile headers.
+pub const MAX_RING_ENTRIES: u32 = 4096;
+
+/// SQE opcodes. Synchronous-completable shapes (pipe/stream-socket
+/// read/write and the vectored family) complete inline; anything that
+/// would block parks on the kernel waitqueues and completes from the
+/// wakeup path.
+#[allow(missing_docs)]
+pub mod op {
+    /// Completes immediately with `res = 0`.
+    pub const NOP: u8 = 0;
+    /// `read(fd, addr, len)`.
+    pub const READ: u8 = 1;
+    /// `write(fd, addr, len)`.
+    pub const WRITE: u8 = 2;
+    /// `pread64(fd, addr, len, off)` — file offset unmoved.
+    pub const PREAD: u8 = 3;
+    /// `pwrite64(fd, addr, len, off)` — file offset unmoved.
+    pub const PWRITE: u8 = 4;
+    /// `readv(fd, addr = iovec array, len = iovcnt)`.
+    pub const READV: u8 = 5;
+    /// `writev(fd, addr = iovec array, len = iovcnt)`.
+    pub const WRITEV: u8 = 6;
+    /// `preadv(fd, addr, len, off)`.
+    pub const PREADV: u8 = 7;
+    /// `pwritev(fd, addr, len, off)`.
+    pub const PWRITEV: u8 = 8;
+    /// `sendmsg(fd, addr = wasm32 msghdr, len = flags)`.
+    pub const SENDMSG: u8 = 9;
+    /// Completes with `-ETIME` once `off` nanoseconds of virtual time
+    /// have elapsed; parks on the runner's timer wheel meanwhile.
+    pub const TIMEOUT: u8 = 10;
+}
+
+/// Ring header: `{ sq_entries @0, cq_entries @4, sq_head @8, sq_tail
+/// @12, cq_head @16, cq_tail @20, flags @24, reserved @28 }`, all
+/// little-endian `u32`, size 32.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliRingHdr {
+    pub sq_entries: u32,
+    pub cq_entries: u32,
+    pub sq_head: u32,
+    pub sq_tail: u32,
+    pub cq_head: u32,
+    pub cq_tail: u32,
+    pub flags: u32,
+    pub reserved: u32,
+}
+
+impl WaliRingHdr {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 32;
+
+    /// Deserializes the header from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliRingHdr {
+            sq_entries: r.u32()?,
+            cq_entries: r.u32()?,
+            sq_head: r.u32()?,
+            sq_tail: r.u32()?,
+            cq_head: r.u32()?,
+            cq_tail: r.u32()?,
+            flags: r.u32()?,
+            reserved: r.u32()?,
+        })
+    }
+
+    /// Serializes the header into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u32(self.sq_entries)?;
+        w.u32(self.cq_entries)?;
+        w.u32(self.sq_head)?;
+        w.u32(self.sq_tail)?;
+        w.u32(self.cq_head)?;
+        w.u32(self.cq_tail)?;
+        w.u32(self.flags)?;
+        w.u32(self.reserved)?;
+        Ok(())
+    }
+
+    /// Structural validity: both rings non-empty, bounded, and the CQ
+    /// at least SQ-sized so a full drain can never overflow completions.
+    pub fn validate(&self) -> Result<(), Errno> {
+        let ok = self.sq_entries >= 1
+            && self.sq_entries <= MAX_RING_ENTRIES
+            && self.cq_entries >= self.sq_entries
+            && self.cq_entries <= MAX_RING_ENTRIES
+            && self.sq_tail.wrapping_sub(self.sq_head) <= self.sq_entries
+            && self.cq_tail.wrapping_sub(self.cq_head) <= self.cq_entries;
+        if ok {
+            Ok(())
+        } else {
+            Err(Errno::Einval)
+        }
+    }
+
+    /// Byte offset of SQE slot `i` (modulo the ring) from the ring base.
+    pub fn sqe_offset(&self, i: u32) -> u32 {
+        Self::SIZE as u32 + (i % self.sq_entries) * WaliSqe::SIZE as u32
+    }
+
+    /// Byte offset of CQE slot `i` (modulo the ring) from the ring base.
+    pub fn cqe_offset(&self, i: u32) -> u32 {
+        Self::SIZE as u32
+            + self.sq_entries * WaliSqe::SIZE as u32
+            + (i % self.cq_entries) * WaliCqe::SIZE as u32
+    }
+}
+
+/// Submission queue entry: `{ opcode u8 @0, flags u8 @1, pad u16 @2,
+/// fd i32 @4, addr u32 @8, len u32 @12, off u64 @16, user_data u64
+/// @24 }`, size 32.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliSqe {
+    pub opcode: u8,
+    pub flags: u8,
+    pub fd: i32,
+    pub addr: u32,
+    pub len: u32,
+    pub off: u64,
+    pub user_data: u64,
+}
+
+impl WaliSqe {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 32;
+
+    /// Deserializes one SQE from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        let opcode = r.u16()?;
+        r.skip(2)?;
+        Ok(WaliSqe {
+            opcode: (opcode & 0xff) as u8,
+            flags: (opcode >> 8) as u8,
+            fd: r.i32()?,
+            addr: r.u32()?,
+            len: r.u32()?,
+            off: r.u64()?,
+            user_data: r.u64()?,
+        })
+    }
+
+    /// Serializes one SQE into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u16(self.opcode as u16 | ((self.flags as u16) << 8))?;
+        w.u16(0)?;
+        w.u32(self.fd as u32)?;
+        w.u32(self.addr)?;
+        w.u32(self.len)?;
+        w.u64(self.off)?;
+        w.u64(self.user_data)?;
+        Ok(())
+    }
+}
+
+/// Completion queue entry: `{ user_data u64 @0, res i64 @8 }`, size 16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WaliCqe {
+    pub user_data: u64,
+    pub res: i64,
+}
+
+impl WaliCqe {
+    /// Size of the WALI byte image.
+    pub const SIZE: usize = 16;
+
+    /// Deserializes one CQE from the WALI layout.
+    pub fn read_from(buf: &[u8]) -> Result<Self, Errno> {
+        let mut r = Cursor::new(buf);
+        Ok(WaliCqe {
+            user_data: r.u64()?,
+            res: r.i64()?,
+        })
+    }
+
+    /// Serializes one CQE into the WALI layout.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut w = CursorMut::new(buf);
+        w.u64(self.user_data)?;
+        w.i64(self.res)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdr_round_trips() {
+        let h = WaliRingHdr {
+            sq_entries: 32,
+            cq_entries: 64,
+            sq_head: 5,
+            sq_tail: 9,
+            cq_head: 2,
+            cq_tail: 4,
+            flags: 0,
+            reserved: 0,
+        };
+        let mut buf = [0u8; WaliRingHdr::SIZE];
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(WaliRingHdr::read_from(&buf).unwrap(), h);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn sqe_cqe_round_trip() {
+        let s = WaliSqe {
+            opcode: op::PWRITEV,
+            flags: 3,
+            fd: 7,
+            addr: 0x1000,
+            len: 4,
+            off: u64::MAX / 3,
+            user_data: 0xdead_beef,
+        };
+        let mut buf = [0u8; WaliSqe::SIZE];
+        s.write_to(&mut buf).unwrap();
+        assert_eq!(WaliSqe::read_from(&buf).unwrap(), s);
+
+        let c = WaliCqe {
+            user_data: 0xdead_beef,
+            res: -11,
+        };
+        let mut buf = [0u8; WaliCqe::SIZE];
+        c.write_to(&mut buf).unwrap();
+        assert_eq!(WaliCqe::read_from(&buf).unwrap(), c);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_rings() {
+        let mut h = WaliRingHdr {
+            sq_entries: 0,
+            cq_entries: 1,
+            ..WaliRingHdr::default()
+        };
+        assert_eq!(h.validate(), Err(Errno::Einval));
+        h.sq_entries = 8;
+        h.cq_entries = 4; // CQ smaller than SQ could overflow completions
+        assert_eq!(h.validate(), Err(Errno::Einval));
+        h.cq_entries = MAX_RING_ENTRIES + 1;
+        assert_eq!(h.validate(), Err(Errno::Einval));
+        h.cq_entries = 8;
+        h.sq_head = 0;
+        h.sq_tail = 9; // more submitted than the ring holds
+        assert_eq!(h.validate(), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn slot_offsets_wrap_modulo_entries() {
+        let h = WaliRingHdr {
+            sq_entries: 4,
+            cq_entries: 4,
+            ..WaliRingHdr::default()
+        };
+        assert_eq!(h.sqe_offset(0), 32);
+        assert_eq!(h.sqe_offset(5), 32 + WaliSqe::SIZE as u32);
+        let cq_base = 32 + 4 * WaliSqe::SIZE as u32;
+        assert_eq!(h.cqe_offset(4), cq_base);
+        assert_eq!(h.cqe_offset(6), cq_base + 2 * WaliCqe::SIZE as u32);
+    }
+}

@@ -76,6 +76,15 @@ pub struct WaliContext {
     /// this task; filled on the first sharded syscall, reset whenever a
     /// fresh context is built (spawn, fork, thread, exec).
     pub(crate) hot_cache: Option<crate::fastpath::HotCache>,
+    /// Whether batched syscall rings are enabled for this task
+    /// (`WALI_NO_RING=1` makes `wali_ring_enter` return `-ENOSYS` so
+    /// guests fall back to the synchronous per-op ABI).
+    pub(crate) ring: bool,
+    /// SQEs consumed from a ring but still blocked in flight: the
+    /// parked `wali_ring_enter` re-attempts these on every retry and
+    /// posts their CQEs from the wakeup path. Never inherited — a fork
+    /// or exec starts with no in-flight ring operations.
+    pub(crate) ring_pending: Vec<wali_abi::ring::WaliSqe>,
     /// Fast-path signal hint shared with the kernel task.
     sig_hint: HintFlag,
     /// Lock-free syscall meter: clock + entry counter handles, cloned
@@ -127,6 +136,8 @@ impl WaliContext {
             handles,
             shard: crate::runner::shard_default(),
             hot_cache: None,
+            ring: crate::runner::ring_default(),
+            ring_pending: Vec::new(),
             sig_hint,
             meter,
             handler_masks: Vec::new(),
@@ -160,6 +171,8 @@ impl WaliContext {
             handles: self.handles.clone(),
             shard: self.shard,
             hot_cache: None,
+            ring: self.ring,
+            ring_pending: Vec::new(),
             sig_hint,
             meter,
             handler_masks: Vec::new(),
@@ -193,6 +206,8 @@ impl WaliContext {
             handles: self.handles.clone(),
             shard: self.shard,
             hot_cache: None,
+            ring: self.ring,
+            ring_pending: Vec::new(),
             sig_hint,
             meter,
             handler_masks: Vec::new(),

@@ -37,6 +37,7 @@ pub mod mem;
 pub mod mmap;
 pub mod policy;
 pub mod registry;
+pub(crate) mod ring;
 pub mod runner;
 pub mod sigtable;
 pub mod testkit;

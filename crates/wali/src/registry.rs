@@ -211,6 +211,9 @@ pub fn build_linker() -> Linker<WaliContext> {
     sock::register(&mut l);
     misc::register(&mut l);
     support::register(&mut l);
+    // The batched-syscall ring entry point (an extension import beyond
+    // the spec; `WALI_NO_RING=1` turns it into a runtime -ENOSYS).
+    crate::ring::register(&mut l);
 
     // Every remaining spec entry is exposed as a name-bound ENOSYS stub so
     // modules link against the full specification surface.

@@ -10,8 +10,8 @@ use wasm::interp::Value;
 
 use crate::context::WaliContext;
 use crate::mem::{
-    arg, arg_i32, arg_ptr, read_bytes, read_cstr, with_slice, with_slice_mut, write_bytes,
-    write_u32,
+    arg, arg_i32, arg_ptr, page_chunks, read_bytes, read_cstr, with_slice, with_slice_mut,
+    write_bytes, write_u32,
 };
 use crate::registry::{flat, k, sys};
 use vkernel::MutexExt;
@@ -93,14 +93,20 @@ pub(crate) fn register(l: &mut Linker<WaliContext>) {
     });
 
     // Scatter-gather I/O needs layout conversion: wasm32 iovecs are 8
-    // bytes, native ones 16 (§3.2 "Layout Conversion").
-    sys!(l, "readv", |c: C, a: &[Value]| -> R { do_iov(c, a, false) });
-    sys!(l, "writev", |c: C, a: &[Value]| -> R { do_iov(c, a, true) });
+    // bytes, native ones 16 (§3.2 "Layout Conversion"). The positional
+    // variants route through `sys_pread`/`sys_pwrite`, leaving the file
+    // cursor unmoved like Linux.
+    sys!(l, "readv", |c: C, a: &[Value]| -> R {
+        do_iov(c, a, false, false)
+    });
+    sys!(l, "writev", |c: C, a: &[Value]| -> R {
+        do_iov(c, a, true, false)
+    });
     sys!(l, "preadv", |c: C, a: &[Value]| -> R {
-        do_iov(c, a, false)
+        do_iov(c, a, false, true)
     });
     sys!(l, "pwritev", |c: C, a: &[Value]| -> R {
-        do_iov(c, a, true)
+        do_iov(c, a, true, true)
     });
 
     sys!(l, "open", |c: C, a: &[Value]| -> R {
@@ -593,27 +599,84 @@ fn do_readlink(c: C, dirfd: i32, path_ptr: u32, buf: u32, size: usize) -> R {
     Ok(n as i64)
 }
 
-fn do_iov(c: C, a: &[Value], write: bool) -> R {
+fn do_iov(c: C, a: &[Value], write: bool, positional: bool) -> R {
     let (fd, iov_ptr, iovcnt) = (arg_i32(a, 0), arg_ptr(a, 1), arg(a, 2) as usize);
+    let offset = if positional {
+        Some(arg(a, 3) as u64)
+    } else {
+        None
+    };
+    iov_rw(c, fd, iov_ptr, iovcnt, write, offset)
+}
+
+/// Shared core of `readv`/`writev`/`preadv`/`pwritev` and the ring's
+/// vectored SQE opcodes. Positional calls (`offset` set) go through
+/// `sys_pread`/`sys_pwrite` at `offset + bytes-done`, leaving the file
+/// cursor unmoved; sequential calls move it as usual.
+///
+/// Blocking follows Linux's short-count rule: once any bytes have
+/// transferred, a would-block (or error) on a later iov returns the
+/// partial total instead of propagating — `Block`ing the whole syscall
+/// would re-execute the completed iovs on retry and duplicate their
+/// data. Only a zero-progress block propagates; that retry is
+/// idempotent. Each iov is walked in page-sized `page_chunks` so the
+/// kernel sees zero-copy views that never cross a store page.
+pub(crate) fn iov_rw(
+    c: C,
+    fd: i32,
+    iov_ptr: u32,
+    iovcnt: usize,
+    write: bool,
+    offset: Option<u64>,
+) -> R {
+    // Linux bounds iovcnt by UIO_MAXIOV before touching the array; do
+    // the same (and use a checked multiply) so a hostile count can't
+    // size an allocation.
+    if iovcnt > wali_abi::ring::IOV_MAX {
+        return Err(Errno::Einval.into());
+    }
+    let bytes = iovcnt.checked_mul(WaliIovec::SIZE).ok_or(Errno::Einval)?;
     let mem = c.instance.memory.clone();
-    let raw = read_bytes(&mem, iov_ptr, iovcnt * WaliIovec::SIZE).map_err(SysError::Err)?;
+    let raw = read_bytes(&mem, iov_ptr, bytes).map_err(SysError::Err)?;
     let iovs = WaliIovec::read_array(&raw, iovcnt).map_err(SysError::Err)?;
     let mut total = 0i64;
     for iov in iovs {
         if iov.len == 0 {
             continue;
         }
-        let n = if write {
-            flat(with_slice(&mem, iov.base, iov.len as usize, |buf| {
-                k(c, |kk, tid| kk.sys_write(tid, fd, buf))
-            }))?
-        } else {
-            flat(with_slice_mut(&mem, iov.base, iov.len as usize, |buf| {
-                k(c, |kk, tid| kk.sys_read(tid, fd, buf))
-            }))?
-        };
-        total += n;
-        if (n as u32) < iov.len {
+        let mut done = 0u32;
+        let mut short = false;
+        for (addr, len) in page_chunks(iov.base, iov.len) {
+            let pos = offset.map(|off| off + total as u64 + done as u64);
+            let r = if write {
+                flat(with_slice(&mem, addr, len as usize, |buf| {
+                    k(c, |kk, tid| match pos {
+                        Some(off) => kk.sys_pwrite(tid, fd, buf, off),
+                        None => kk.sys_write(tid, fd, buf),
+                    })
+                }))
+            } else {
+                flat(with_slice_mut(&mem, addr, len as usize, |buf| {
+                    k(c, |kk, tid| match pos {
+                        Some(off) => kk.sys_pread(tid, fd, buf, off),
+                        None => kk.sys_read(tid, fd, buf),
+                    })
+                }))
+            };
+            match r {
+                Ok(n) => {
+                    done += n as u32;
+                    if (n as u32) < len {
+                        short = true;
+                        break;
+                    }
+                }
+                Err(e) if total == 0 && done == 0 => return Err(e),
+                Err(_) => return Ok(total + done as i64),
+            }
+        }
+        total += done as i64;
+        if short {
             break;
         }
     }

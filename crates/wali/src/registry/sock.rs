@@ -408,31 +408,50 @@ fn do_accept(c: C, a: &[Value], flags: i32) -> R {
 }
 
 fn do_msg(c: C, a: &[Value], send: bool) -> R {
-    use wali_abi::layout::WaliIovec;
     let (fd, msg_ptr, flags) = (arg_i32(a, 0), arg_ptr(a, 1), arg_i32(a, 2));
+    msg_rw(c, fd, msg_ptr, flags, send)
+}
+
+/// Shared core of `sendmsg`/`recvmsg` and the ring's `Sendmsg` SQE:
+/// parses the wasm32 msghdr and walks its iov array with the same
+/// IOV_MAX bound and short-count blocking rule as
+/// [`crate::registry::fs::iov_rw`] — a would-block after earlier iovs
+/// transferred returns the partial total (retrying the whole call
+/// would duplicate the sent bytes); only a zero-progress block parks.
+pub(crate) fn msg_rw(c: C, fd: i32, msg_ptr: u32, flags: i32, send: bool) -> R {
+    use wali_abi::layout::WaliIovec;
     let mem = c.instance.memory.clone();
     // wasm32 msghdr: name(4) namelen(4) iov(4) iovlen(4) control(4)
     // controllen(4) flags(4).
     let hdr = read_bytes(&mem, msg_ptr, 28).map_err(SysError::Err)?;
     let iov_ptr = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
     let iovlen = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
-    let raw = read_bytes(&mem, iov_ptr, iovlen * WaliIovec::SIZE).map_err(SysError::Err)?;
+    if iovlen > wali_abi::ring::IOV_MAX {
+        return Err(Errno::Einval.into());
+    }
+    let bytes = iovlen.checked_mul(WaliIovec::SIZE).ok_or(Errno::Einval)?;
+    let raw = read_bytes(&mem, iov_ptr, bytes).map_err(SysError::Err)?;
     let iovs = WaliIovec::read_array(&raw, iovlen).map_err(SysError::Err)?;
     let mut total = 0i64;
     for iov in iovs {
         if iov.len == 0 {
             continue;
         }
-        let n = if send {
+        let r = if send {
             flat(with_slice(&mem, iov.base, iov.len as usize, |buf| {
                 k(c, |kk, tid| kk.sys_sendto(tid, fd, buf, flags, None))
-            }))?
+            }))
         } else {
             flat(with_slice_mut(&mem, iov.base, iov.len as usize, |buf| {
                 k(c, |kk, tid| {
                     kk.sys_recvfrom(tid, fd, buf, flags).map(|(n, _)| n)
                 })
-            }))?
+            }))
+        };
+        let n = match r {
+            Ok(n) => n,
+            Err(e) if total == 0 => return Err(e),
+            Err(_) => return Ok(total),
         };
         total += n as i64;
         if (n as u32) < iov.len {

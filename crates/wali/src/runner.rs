@@ -253,6 +253,14 @@ pub fn shard_default() -> bool {
     std::env::var_os("WALI_NO_SHARD").is_none()
 }
 
+/// Whether batched syscall rings are on by default (the `WALI_NO_RING`
+/// escape hatch makes `wali_ring_enter` return `-ENOSYS`, so guests
+/// fall back to the synchronous per-op ABI — the A/B baseline the
+/// equivalence oracle compares against).
+pub fn ring_default() -> bool {
+    std::env::var_os("WALI_NO_RING").is_none()
+}
+
 /// Worker-pool width selected by the `WALI_WORKERS` environment
 /// variable: a number, or `0`/`auto` for `min(cores, 8)`. Unset — or
 /// unparsable — means 1: the deterministic single-threaded schedule.
@@ -300,6 +308,8 @@ pub struct WaliRunner {
     cow: Option<bool>,
     /// Sharded-fast-path override; `None` follows [`shard_default`].
     shard: Option<bool>,
+    /// Batched-syscall-ring override; `None` follows [`ring_default`].
+    ring: Option<bool>,
     /// Worker-pool width override; `None` follows [`workers_default`].
     workers: Option<usize>,
     /// Set when `linker_mut` may have changed registrations since the
@@ -356,6 +366,7 @@ impl WaliRunner {
             event_driven: None,
             cow: None,
             shard: None,
+            ring: None,
             workers: None,
             handlers_dirty: true,
             tasks: BTreeMap::new(),
@@ -437,6 +448,17 @@ impl WaliRunner {
 
     pub(crate) fn shard_on(&self) -> bool {
         self.shard.unwrap_or_else(shard_default)
+    }
+
+    /// Overrides batched syscall rings (A/B measurement; default follows
+    /// [`ring_default`]). `false` makes `wali_ring_enter` return
+    /// `-ENOSYS` so guests take their synchronous per-op fallback.
+    pub fn set_ring(&mut self, on: bool) {
+        self.ring = Some(on);
+    }
+
+    pub(crate) fn ring_on(&self) -> bool {
+        self.ring.unwrap_or_else(ring_default)
     }
 
     /// Overrides the epoll ready-ring (A/B measurement; default follows
@@ -530,6 +552,7 @@ impl WaliRunner {
             .ok_or(RunnerError::NoEntry("_start"))?;
         let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
         ctx.shard = self.shard_on();
+        ctx.ring = self.ring_on();
         ctx.args = std::iter::once(path.to_string())
             .chain(args.iter().map(|s| s.to_string()))
             .collect();
@@ -1080,6 +1103,7 @@ impl WaliRunner {
                     .unwrap_or_default();
                 let mut ctx = WaliContext::new(self.kernel.clone(), tid, program.data_end());
                 ctx.shard = self.shard_on();
+                ctx.ring = self.ring_on();
                 ctx.args = if argv.is_empty() {
                     vec![path.clone()]
                 } else {

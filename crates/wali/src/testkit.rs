@@ -51,6 +51,10 @@ pub struct RunnerOpts {
     pub shard: Option<bool>,
     /// Epoll ready-ring event path (`WALI_NO_READY` off-switch).
     pub ready: Option<bool>,
+    /// Batched syscall rings (`WALI_NO_RING` off-switch): off makes
+    /// `wali_ring_enter` return `-ENOSYS` so guests take their
+    /// synchronous per-op fallback.
+    pub ring: Option<bool>,
 }
 
 impl RunnerOpts {
@@ -84,6 +88,9 @@ impl RunnerOpts {
         }
         if let Some(on) = self.ready {
             runner.set_ready(on);
+        }
+        if let Some(on) = self.ring {
+            runner.set_ring(on);
         }
     }
 }

@@ -209,6 +209,7 @@ fn run_stress(fuse: bool, event_driven: bool) -> wali::RunOutcome {
         shard: None,
         regir: None,
         ready: None,
+        ring: None,
     };
     run_module(&stress_program(), &[], &[], opts)
         .expect("run")

@@ -247,6 +247,7 @@ fn run_mix_with(workers: usize, fuse: bool, event_driven: Option<bool>) -> wali:
         shard: None,
         regir: None,
         ready: None,
+        ring: None,
     };
     run_module(&smp_mix_program(), &[], &[], opts)
         .expect("run")
